@@ -1,0 +1,402 @@
+//! Connected-component labelling on RLE images.
+//!
+//! The classic run-based two-pass algorithm: scan rows top to bottom,
+//! give each run a provisional label, union it with every run in the
+//! previous row it touches (column overlap for 4-connectivity, overlap
+//! widened by one for 8-connectivity), then resolve labels to a dense
+//! `0..count` range. Cost is O(total runs · α(total runs)) — independent
+//! of pixel counts, like everything else in the compressed domain.
+
+use rle::{Pixel, RleImage, Run};
+use serde::{Deserialize, Serialize};
+
+/// Pixel adjacency rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Connectivity {
+    /// Orthogonal neighbours only.
+    Four,
+    /// Orthogonal plus diagonal neighbours.
+    Eight,
+}
+
+/// One labelled run: the run, its row, and its component id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LabeledRun {
+    /// Row index.
+    pub row: usize,
+    /// The run.
+    pub run: Run,
+    /// Dense component id in `0..component_count`.
+    pub label: u32,
+}
+
+/// A connected component's aggregate description.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    /// Dense component id.
+    pub label: u32,
+    /// Foreground pixel count.
+    pub area: u64,
+    /// Number of runs forming the component.
+    pub runs: usize,
+    /// Inclusive column range `[x0, x1]`.
+    pub x0: Pixel,
+    /// Rightmost column.
+    pub x1: Pixel,
+    /// Topmost row.
+    pub y0: usize,
+    /// Bottommost row.
+    pub y1: usize,
+    /// Centroid column (area-weighted mean of pixel x-coordinates).
+    pub cx: f64,
+    /// Centroid row.
+    pub cy: f64,
+}
+
+impl Component {
+    /// Bounding-box width in pixels.
+    #[must_use]
+    pub fn bbox_width(&self) -> Pixel {
+        self.x1 - self.x0 + 1
+    }
+
+    /// Bounding-box height in rows.
+    #[must_use]
+    pub fn bbox_height(&self) -> usize {
+        self.y1 - self.y0 + 1
+    }
+}
+
+/// The result of labelling: per-run labels plus per-component summaries.
+#[derive(Clone, Debug)]
+pub struct Labeling {
+    /// Every foreground run with its component id, in row-major order.
+    pub runs: Vec<LabeledRun>,
+    /// One summary per component, indexed by label.
+    pub components: Vec<Component>,
+}
+
+impl Labeling {
+    /// Number of connected components.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.components.len()
+    }
+}
+
+/// Union-find with path halving and union by size.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new() -> Self {
+        Self { parent: Vec::new(), size: Vec::new() }
+    }
+
+    fn make(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.size.push(1);
+        id
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) =
+            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+    }
+}
+
+/// Whether two runs in vertically adjacent rows touch under the rule.
+fn touches(a: &Run, b: &Run, connectivity: Connectivity) -> bool {
+    match connectivity {
+        Connectivity::Four => a.start() <= b.end() && b.start() <= a.end(),
+        Connectivity::Eight => {
+            // Diagonal contact widens each run's influence by one column.
+            a.start() <= b.end().saturating_add(1) && b.start() <= a.end().saturating_add(1)
+        }
+    }
+}
+
+/// Labels the connected components of an image.
+///
+/// ```
+/// use rle::RleImage;
+/// use rle_analysis::{label_components, Connectivity};
+///
+/// let img = RleImage::from_ascii("##..#\n##...\n....#\n");
+/// let labeling = label_components(&img, Connectivity::Four);
+/// assert_eq!(labeling.count(), 3);
+/// let biggest = labeling.components.iter().max_by_key(|c| c.area).unwrap();
+/// assert_eq!(biggest.area, 4);
+/// ```
+#[must_use]
+pub fn label_components(img: &RleImage, connectivity: Connectivity) -> Labeling {
+    let mut uf = UnionFind::new();
+    // Provisional label of every run, row-major.
+    let mut provisional: Vec<Vec<u32>> = Vec::with_capacity(img.height());
+
+    let mut prev_row: &[Run] = &[];
+    let mut prev_labels: Vec<u32> = Vec::new();
+    for row in img.rows() {
+        let runs = row.runs();
+        let mut labels = Vec::with_capacity(runs.len());
+        // Two-pointer sweep over the previous row's runs: both lists are
+        // sorted, so each pair is visited at most once.
+        let mut p = 0usize;
+        for run in runs {
+            let mut label: Option<u32> = None;
+            // Skip previous-row runs entirely left of this one.
+            while p < prev_row.len() && !touches(&prev_row[p], run, connectivity) {
+                if prev_row[p].end() < run.start() {
+                    p += 1;
+                } else {
+                    break;
+                }
+            }
+            let mut q = p;
+            while q < prev_row.len() && touches(&prev_row[q], run, connectivity) {
+                let up = prev_labels[q];
+                match label {
+                    None => label = Some(up),
+                    Some(l) => uf.union(l, up),
+                }
+                q += 1;
+            }
+            // The last touching run may also touch this row's *next* run;
+            // back up one so the sweep re-examines it.
+            let label = label.unwrap_or_else(|| uf.make());
+            labels.push(label);
+        }
+        provisional.push(labels.clone());
+        prev_row = runs;
+        prev_labels = labels;
+    }
+
+    // Resolve provisional labels to dense component ids.
+    let mut dense: Vec<Option<u32>> = vec![None; uf.parent.len()];
+    let mut components: Vec<Component> = Vec::new();
+    let mut labeled_runs = Vec::new();
+    for (y, row) in img.rows().iter().enumerate() {
+        for (run, &prov) in row.runs().iter().zip(&provisional[y]) {
+            let root = uf.find(prov);
+            let label = *dense[root as usize].get_or_insert_with(|| {
+                components.push(Component {
+                    label: components.len() as u32,
+                    area: 0,
+                    runs: 0,
+                    x0: Pixel::MAX,
+                    x1: 0,
+                    y0: usize::MAX,
+                    y1: 0,
+                    cx: 0.0,
+                    cy: 0.0,
+                });
+                components.len() as u32 - 1
+            });
+            let c = &mut components[label as usize];
+            let len = u64::from(run.len());
+            c.area += len;
+            c.runs += 1;
+            c.x0 = c.x0.min(run.start());
+            c.x1 = c.x1.max(run.end());
+            c.y0 = c.y0.min(y);
+            c.y1 = c.y1.max(y);
+            // Sum of x over the run is an arithmetic series.
+            c.cx += (f64::from(run.start()) + f64::from(run.end())) / 2.0 * len as f64;
+            c.cy += y as f64 * len as f64;
+            labeled_runs.push(LabeledRun { row: y, run: *run, label });
+        }
+    }
+    for c in &mut components {
+        if c.area > 0 {
+            c.cx /= c.area as f64;
+            c.cy /= c.area as f64;
+        }
+    }
+    Labeling { runs: labeled_runs, components }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn label_art(art: &str, conn: Connectivity) -> Labeling {
+        label_components(&RleImage::from_ascii(art), conn)
+    }
+
+    #[test]
+    fn empty_image_has_no_components() {
+        let l = label_art("....\n....\n", Connectivity::Four);
+        assert_eq!(l.count(), 0);
+        assert!(l.runs.is_empty());
+    }
+
+    #[test]
+    fn single_blob() {
+        let l = label_art("###.\n.##.\n", Connectivity::Four);
+        assert_eq!(l.count(), 1);
+        let c = &l.components[0];
+        assert_eq!(c.area, 5);
+        assert_eq!(c.runs, 2);
+        assert_eq!((c.x0, c.x1, c.y0, c.y1), (0, 2, 0, 1));
+    }
+
+    #[test]
+    fn separate_blobs() {
+        let l = label_art("##..##\n##..##\n", Connectivity::Four);
+        assert_eq!(l.count(), 2);
+        assert_eq!(l.components[0].area, 4);
+        assert_eq!(l.components[1].area, 4);
+    }
+
+    #[test]
+    fn diagonal_touch_depends_on_connectivity() {
+        let art = "#....\n.#...\n";
+        assert_eq!(label_art(art, Connectivity::Four).count(), 2);
+        assert_eq!(label_art(art, Connectivity::Eight).count(), 1);
+    }
+
+    #[test]
+    fn u_shape_merges_late() {
+        // The two arms get different provisional labels, united by the base.
+        let art = "\
+#...#\n\
+#...#\n\
+#####\n";
+        let l = label_art(art, Connectivity::Four);
+        assert_eq!(l.count(), 1);
+        assert_eq!(l.components[0].area, 9);
+    }
+
+    #[test]
+    fn w_shape_multiple_unions_per_run() {
+        // One wide run touching three runs above.
+        let art = "\
+#.#.#\n\
+#####\n";
+        let l = label_art(art, Connectivity::Four);
+        assert_eq!(l.count(), 1);
+        assert_eq!(l.components[0].area, 8);
+    }
+
+    #[test]
+    fn nested_components_stay_separate() {
+        let art = "\
+#####\n\
+#...#\n\
+#.#.#\n\
+#...#\n\
+#####\n";
+        let l = label_art(art, Connectivity::Four);
+        assert_eq!(l.count(), 2, "ring and centre dot");
+        let dot = l.components.iter().find(|c| c.area == 1).unwrap();
+        assert_eq!((dot.cx, dot.cy), (2.0, 2.0));
+    }
+
+    #[test]
+    fn centroid_of_rectangle() {
+        let l = label_art("....\n.##.\n.##.\n", Connectivity::Four);
+        let c = &l.components[0];
+        assert!((c.cx - 1.5).abs() < 1e-12);
+        assert!((c.cy - 1.5).abs() < 1e-12);
+        assert_eq!(c.bbox_width(), 2);
+        assert_eq!(c.bbox_height(), 2);
+    }
+
+    #[test]
+    fn labels_are_dense_and_cover_all_runs() {
+        let art = "\
+##..#..#\n\
+.#..#...\n\
+........\n\
+#..#..##\n";
+        let img = RleImage::from_ascii(art);
+        let l = label_components(&img, Connectivity::Four);
+        let max_label = l.runs.iter().map(|r| r.label).max().unwrap();
+        assert_eq!(usize::try_from(max_label).unwrap() + 1, l.count());
+        let total_runs: usize = img.rows().iter().map(|r| r.run_count()).sum();
+        assert_eq!(l.runs.len(), total_runs);
+        // Component areas sum to the image's foreground.
+        let area: u64 = l.components.iter().map(|c| c.area).sum();
+        assert_eq!(area, img.ones());
+    }
+
+    #[test]
+    fn component_count_matches_flood_fill_reference() {
+        // Pseudo-random images, both connectivities, vs a pixel flood fill.
+        let mut state = 0xDEADBEEFu64;
+        for trial in 0..20 {
+            let (w, h) = (24u32, 16usize);
+            let mut art = String::new();
+            for _ in 0..h {
+                for _ in 0..w {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    art.push(if state >> 33 & 1 == 1 { '#' } else { '.' });
+                }
+                art.push('\n');
+            }
+            let img = RleImage::from_ascii(&art);
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                let got = label_components(&img, conn).count();
+                let want = flood_fill_count(&img, conn);
+                assert_eq!(got, want, "trial {trial}, {conn:?}\n{art}");
+            }
+        }
+    }
+
+    fn flood_fill_count(img: &RleImage, conn: Connectivity) -> usize {
+        let (w, h) = (img.width() as i64, img.height() as i64);
+        let mut seen = vec![false; (w * h) as usize];
+        let at = |x: i64, y: i64| (y * w + x) as usize;
+        let mut count = 0;
+        let neighbours: &[(i64, i64)] = match conn {
+            Connectivity::Four => &[(1, 0), (-1, 0), (0, 1), (0, -1)],
+            Connectivity::Eight => {
+                &[(1, 0), (-1, 0), (0, 1), (0, -1), (1, 1), (1, -1), (-1, 1), (-1, -1)]
+            }
+        };
+        for y in 0..h {
+            for x in 0..w {
+                if !img.get(x as u32, y as usize) || seen[at(x, y)] {
+                    continue;
+                }
+                count += 1;
+                let mut stack = vec![(x, y)];
+                seen[at(x, y)] = true;
+                while let Some((cx, cy)) = stack.pop() {
+                    for (dx, dy) in neighbours {
+                        let (nx, ny) = (cx + dx, cy + dy);
+                        if nx >= 0
+                            && nx < w
+                            && ny >= 0
+                            && ny < h
+                            && img.get(nx as u32, ny as usize)
+                            && !seen[at(nx, ny)]
+                        {
+                            seen[at(nx, ny)] = true;
+                            stack.push((nx, ny));
+                        }
+                    }
+                }
+            }
+        }
+        count
+    }
+}

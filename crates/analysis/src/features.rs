@@ -1,0 +1,164 @@
+//! Feature extraction over labelled components.
+//!
+//! The paper's introduction cites "procedures and algorithms for detecting
+//! and determining the orientation of objects in binary images" — feature
+//! extraction. [`crate::components::Component`] already carries the raw
+//! measurements (area, bounding box, centroid); this module adds the
+//! derived descriptors and selection helpers an inspection or recognition
+//! stage uses.
+
+use crate::components::{Component, Labeling};
+use serde::{Deserialize, Serialize};
+
+/// Derived shape descriptors of a component.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShapeFeatures {
+    /// The component's dense label.
+    pub label: u32,
+    /// Foreground pixels.
+    pub area: u64,
+    /// Fraction of the bounding box that is foreground, in `(0, 1]`.
+    pub fill_ratio: f64,
+    /// Bounding-box width / height.
+    pub aspect_ratio: f64,
+    /// Mean run length — long runs mean horizontally coherent structure.
+    pub mean_run_length: f64,
+}
+
+/// Computes the shape descriptors of one component.
+#[must_use]
+pub fn shape_features(c: &Component) -> ShapeFeatures {
+    let bbox_area = u64::from(c.bbox_width()) * c.bbox_height() as u64;
+    ShapeFeatures {
+        label: c.label,
+        area: c.area,
+        fill_ratio: c.area as f64 / bbox_area.max(1) as f64,
+        aspect_ratio: f64::from(c.bbox_width()) / c.bbox_height().max(1) as f64,
+        mean_run_length: c.area as f64 / c.runs.max(1) as f64,
+    }
+}
+
+/// Components sorted by decreasing area.
+#[must_use]
+pub fn by_area_desc(labeling: &Labeling) -> Vec<Component> {
+    let mut v = labeling.components.clone();
+    v.sort_by(|a, b| b.area.cmp(&a.area).then(a.label.cmp(&b.label)));
+    v
+}
+
+/// Components with at least `min_area` pixels — the blob-level despeckle.
+#[must_use]
+pub fn filter_by_area(labeling: &Labeling, min_area: u64) -> Vec<Component> {
+    labeling.components.iter().copied().filter(|c| c.area >= min_area).collect()
+}
+
+/// The component whose centroid is nearest to `(x, y)`, if any.
+#[must_use]
+pub fn nearest_to(labeling: &Labeling, x: f64, y: f64) -> Option<Component> {
+    labeling
+        .components
+        .iter()
+        .copied()
+        .min_by(|a, b| {
+            let da = (a.cx - x).powi(2) + (a.cy - y).powi(2);
+            let db = (b.cx - x).powi(2) + (b.cy - y).powi(2);
+            da.partial_cmp(&db).expect("distances are finite")
+        })
+}
+
+/// A coarse defect taxonomy for the PCB-inspection story: classify a
+/// difference-mask component by size and shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DefectClass {
+    /// Single pixels / tiny specks — usually sensor noise.
+    Speck,
+    /// Small compact blob — pinhole, mousebite or spur.
+    Blob,
+    /// Elongated region — likely a broken or bridged trace segment.
+    Linear,
+    /// Large area — gross artwork mismatch.
+    Gross,
+}
+
+/// Classifies a component.
+#[must_use]
+pub fn classify_defect(c: &Component) -> DefectClass {
+    let f = shape_features(c);
+    if c.area <= 2 {
+        DefectClass::Speck
+    } else if c.area > 400 {
+        DefectClass::Gross
+    } else if f.aspect_ratio > 3.0 || f.aspect_ratio < 1.0 / 3.0 {
+        DefectClass::Linear
+    } else {
+        DefectClass::Blob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{label_components, Connectivity};
+    use rle::RleImage;
+
+    fn labeling(art: &str) -> Labeling {
+        label_components(&RleImage::from_ascii(art), Connectivity::Eight)
+    }
+
+    #[test]
+    fn shape_features_of_square_and_line() {
+        let l = labeling("####\n####\n####\n####\n");
+        let square = shape_features(&l.components[0]);
+        assert_eq!(square.area, 16);
+        assert!((square.fill_ratio - 1.0).abs() < 1e-12);
+        assert!((square.aspect_ratio - 1.0).abs() < 1e-12);
+        assert!((square.mean_run_length - 4.0).abs() < 1e-12);
+
+        let l = labeling("########\n");
+        let line = shape_features(&l.components[0]);
+        assert!((line.aspect_ratio - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorting_and_filtering() {
+        let l = labeling("#....###\n.....###\n........\n##......\n");
+        let sorted = by_area_desc(&l);
+        assert_eq!(sorted[0].area, 6);
+        assert_eq!(sorted.last().unwrap().area, 1);
+        assert_eq!(filter_by_area(&l, 2).len(), 2);
+        assert_eq!(filter_by_area(&l, 7).len(), 0);
+    }
+
+    #[test]
+    fn nearest_component() {
+        let l = labeling("#......#\n");
+        let near_left = nearest_to(&l, 1.0, 0.0).unwrap();
+        assert_eq!(near_left.cx, 0.0);
+        let near_right = nearest_to(&l, 6.0, 0.0).unwrap();
+        assert_eq!(near_right.cx, 7.0);
+        assert!(nearest_to(&labeling("...\n"), 0.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn defect_taxonomy() {
+        let speck = labeling("#.\n..\n");
+        assert_eq!(classify_defect(&speck.components[0]), DefectClass::Speck);
+
+        let blob = labeling("####\n####\n####\n");
+        assert_eq!(classify_defect(&blob.components[0]), DefectClass::Blob);
+
+        let mut line_art = String::from(".");
+        line_art.push_str(&"#".repeat(30));
+        line_art.push('\n');
+        let linear = labeling(&line_art);
+        assert_eq!(classify_defect(&linear.components[0]), DefectClass::Linear);
+
+        let mut gross_art = String::new();
+        for _ in 0..25 {
+            gross_art.push_str(&"#".repeat(25));
+            gross_art.push('\n');
+        }
+        let gross = labeling(&gross_art);
+        assert_eq!(classify_defect(&gross.components[0]), DefectClass::Gross);
+    }
+}

@@ -1,0 +1,25 @@
+//! Image analysis on RLE binary images.
+//!
+//! The paper's introduction motivates compressed-domain processing with a
+//! list of binary-image applications — component labelling, feature
+//! extraction, template matching, morphological operations. This crate
+//! implements those downstream stages directly on the RLE representation,
+//! so a full inspection pipeline (difference → clean-up → defect grouping →
+//! classification) never decompresses:
+//!
+//! * [`components`] — connected-component labelling (4/8-connectivity) via
+//!   row-run merging with union-find, O(total runs · α);
+//! * [`features`] — per-component features: area, bounding box, centroid;
+//! * [`matching`] — binary template matching by windowed XOR score;
+//! * [`morph2d`] — separable 2-D morphology (rectangular structuring
+//!   elements) built from the row operators in `rle::morph`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod components;
+pub mod features;
+pub mod matching;
+pub mod morph2d;
+
+pub use components::{label_components, Component, Connectivity, Labeling};

@@ -1,0 +1,189 @@
+//! Binary template matching by windowed image difference.
+//!
+//! The paper's introduction cites systolic "binary template matching"
+//! hardware; the software kernel is: slide a template over the image and
+//! score each placement by the number of differing pixels inside the
+//! window (a windowed XOR popcount — the same image-difference primitive
+//! the systolic array computes). The best placement has the lowest score.
+//!
+//! Everything stays in RLE: each window row is `crop`ped out in O(runs in
+//! window) and XORed against the template row with the sequential merge.
+
+use rle::{ops, Pixel, RleImage};
+use serde::{Deserialize, Serialize};
+
+/// One scored template placement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Window left edge.
+    pub x: Pixel,
+    /// Window top row.
+    pub y: usize,
+    /// Differing pixels inside the window.
+    pub score: u64,
+}
+
+/// Scores the template at one placement. The window must lie within the
+/// image.
+///
+/// # Panics
+///
+/// Panics if the window exceeds the image.
+#[must_use]
+pub fn score_at(image: &RleImage, template: &RleImage, x: Pixel, y: usize) -> u64 {
+    assert!(
+        u64::from(x) + u64::from(template.width()) <= u64::from(image.width())
+            && y + template.height() <= image.height(),
+        "template window out of bounds"
+    );
+    template
+        .rows()
+        .iter()
+        .enumerate()
+        .map(|(ty, trow)| {
+            let window = image.rows()[y + ty].crop(x, template.width());
+            ops::xor_raw_with_stats(&window, trow).0.ones()
+        })
+        .sum()
+}
+
+/// Exhaustively scores every placement (step 1 in both axes), returning
+/// them in row-major order. Empty if the template does not fit.
+#[must_use]
+pub fn score_all(image: &RleImage, template: &RleImage) -> Vec<Placement> {
+    let (iw, ih) = (image.width(), image.height());
+    let (tw, th) = (template.width(), template.height());
+    if tw > iw || th > ih {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for y in 0..=(ih - th) {
+        for x in 0..=(iw - tw) {
+            out.push(Placement { x, y, score: score_at(image, template, x, y) });
+        }
+    }
+    out
+}
+
+/// The lowest-score placement (ties broken by row-major order), or `None`
+/// if the template does not fit in the image.
+#[must_use]
+pub fn best_match(image: &RleImage, template: &RleImage) -> Option<Placement> {
+    score_all(image, template).into_iter().min_by_key(|p| (p.score, p.y, p.x))
+}
+
+/// Classifies a glyph-sized probe image against a set of labelled
+/// templates (all the same size as the probe): returns the label of the
+/// template with the fewest differing pixels, with its score.
+pub fn classify<'a, L>(
+    probe: &RleImage,
+    templates: impl IntoIterator<Item = (L, &'a RleImage)>,
+) -> Option<(L, u64)> {
+    templates
+        .into_iter()
+        .map(|(label, t)| {
+            assert_eq!(
+                (t.width(), t.height()),
+                (probe.width(), probe.height()),
+                "classify templates must match the probe size"
+            );
+            let score = score_at(t, probe, 0, 0);
+            (label, score)
+        })
+        .min_by_key(|&(_, score)| score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rle::RleImage;
+
+    fn img(art: &str) -> RleImage {
+        RleImage::from_ascii(art)
+    }
+
+    #[test]
+    fn perfect_match_scores_zero() {
+        let image = img("........\n..##....\n..##....\n........\n");
+        let template = img("##\n##\n");
+        assert_eq!(score_at(&image, &template, 2, 1), 0);
+        let best = best_match(&image, &template).unwrap();
+        assert_eq!((best.x, best.y, best.score), (2, 1, 0));
+    }
+
+    #[test]
+    fn score_counts_window_difference_only() {
+        let image = img("##......\n##......\n");
+        let template = img("##\n##\n");
+        // At (0,0): exact. At (2,0): template all-on vs window all-off = 4.
+        assert_eq!(score_at(&image, &template, 0, 0), 0);
+        assert_eq!(score_at(&image, &template, 2, 0), 4);
+        // Shifting one column keeps the overlapping column matched and
+        // costs only the vacated one: 2 differing pixels.
+        assert_eq!(score_at(&image, &template, 1, 0), 2);
+    }
+
+    #[test]
+    fn score_all_covers_every_placement() {
+        let image = img("....\n....\n");
+        let template = img("##\n");
+        let all = score_all(&image, &template);
+        assert_eq!(all.len(), 3 * 2);
+        assert!(all.iter().all(|p| p.score == 2));
+    }
+
+    #[test]
+    fn oversized_template_does_not_fit() {
+        let image = img("..\n");
+        let template = img("###\n");
+        assert!(score_all(&image, &template).is_empty());
+        assert!(best_match(&image, &template).is_none());
+    }
+
+    #[test]
+    fn best_match_prefers_lowest_then_row_major() {
+        let image = img("#..#\n");
+        let template = img("#\n");
+        let best = best_match(&image, &template).unwrap();
+        assert_eq!((best.x, best.y, best.score), (0, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn score_at_bounds_checked() {
+        let image = img("..\n");
+        let template = img("###\n");
+        let _ = score_at(&image, &template, 0, 0);
+    }
+
+    #[test]
+    fn classify_glyphs_with_noise() {
+        use workload::glyphs;
+        let probe_dense = glyphs::perturb(&glyphs::render("K", 2), 5, 99);
+        let probe = bitimg::convert::encode(&probe_dense);
+        let alphabet: Vec<(char, RleImage)> =
+            ('A'..='Z').map(|c| (c, glyphs::render_rle(&c.to_string(), 2))).collect();
+        let (label, score) =
+            classify(&probe, alphabet.iter().map(|(c, t)| (*c, t))).unwrap();
+        assert_eq!(label, 'K');
+        assert!(score <= 5, "noise bound: {score}");
+    }
+
+    #[test]
+    fn matching_agrees_with_dense_reference() {
+        // Exhaustive check of every placement vs a pixel-level computation.
+        let image = img("#.#.#.\n.###..\n..#..#\n");
+        let template = img("##\n.#\n");
+        for p in score_all(&image, &template) {
+            let mut want = 0u64;
+            for ty in 0..template.height() {
+                for tx in 0..template.width() {
+                    if template.get(tx, ty) != image.get(p.x + tx, p.y + ty) {
+                        want += 1;
+                    }
+                }
+            }
+            assert_eq!(p.score, want, "placement ({}, {})", p.x, p.y);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Separable 2-D morphology with rectangular structuring elements.
+//!
+//! A dilation/erosion by a `(2·rx+1) × (2·ry+1)` rectangle factors into a
+//! horizontal pass (the O(k) row operators of `rle::morph`) and a vertical
+//! pass (the same operators applied to the transposed image via the dense
+//! substrate). Rectangles are what inspection pipelines actually use for
+//! mask clean-up, and separability keeps everything linear in runs.
+
+use bitimg::convert::{decode, encode};
+use rle::morph;
+use rle::{Pixel, RleImage};
+
+/// Applies a horizontal-only pass of `f` to every row.
+fn horizontal(img: &RleImage, radius: Pixel, f: fn(&rle::RleRow, Pixel) -> rle::RleRow) -> RleImage {
+    let rows = img.rows().iter().map(|r| f(r, radius)).collect();
+    RleImage::from_rows(img.width(), rows).expect("row widths preserved")
+}
+
+/// Applies a vertical-only pass by transposing through the dense substrate.
+fn vertical(img: &RleImage, radius: Pixel, f: fn(&rle::RleRow, Pixel) -> rle::RleRow) -> RleImage {
+    let transposed = encode(&decode(img).transpose());
+    let processed = horizontal(&transposed, radius, f);
+    encode(&decode(&processed).transpose())
+}
+
+/// 2-D dilation by a `(2·rx+1) × (2·ry+1)` rectangle.
+#[must_use]
+pub fn dilate_rect(img: &RleImage, rx: Pixel, ry: Pixel) -> RleImage {
+    let h = horizontal(img, rx, morph::dilate);
+    if ry == 0 {
+        h
+    } else {
+        vertical(&h, ry, morph::dilate)
+    }
+}
+
+/// 2-D erosion by a `(2·rx+1) × (2·ry+1)` rectangle.
+#[must_use]
+pub fn erode_rect(img: &RleImage, rx: Pixel, ry: Pixel) -> RleImage {
+    let h = horizontal(img, rx, morph::erode);
+    if ry == 0 {
+        h
+    } else {
+        vertical(&h, ry, morph::erode)
+    }
+}
+
+/// 2-D opening (erode then dilate).
+#[must_use]
+pub fn open_rect(img: &RleImage, rx: Pixel, ry: Pixel) -> RleImage {
+    dilate_rect(&erode_rect(img, rx, ry), rx, ry)
+}
+
+/// 2-D closing (dilate then erode).
+#[must_use]
+pub fn close_rect(img: &RleImage, rx: Pixel, ry: Pixel) -> RleImage {
+    erode_rect(&dilate_rect(img, rx, ry), rx, ry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(art: &str) -> RleImage {
+        RleImage::from_ascii(art)
+    }
+
+    /// Pixel-level reference: value at (x,y) is OR/AND over the rectangle.
+    fn reference(img: &RleImage, rx: i64, ry: i64, dilated: bool) -> RleImage {
+        let (w, h) = (i64::from(img.width()), img.height() as i64);
+        let mut art = String::new();
+        for y in 0..h {
+            for x in 0..w {
+                let mut acc = !dilated;
+                for dy in -ry..=ry {
+                    for dx in -rx..=rx {
+                        let (nx, ny) = (x + dx, y + dy);
+                        let v = nx >= 0
+                            && nx < w
+                            && ny >= 0
+                            && ny < h
+                            && img.get(nx as u32, ny as usize);
+                        if dilated {
+                            acc |= v;
+                        } else {
+                            acc &= v;
+                        }
+                    }
+                }
+                art.push(if acc { '#' } else { '.' });
+            }
+            art.push('\n');
+        }
+        RleImage::from_ascii(&art)
+    }
+
+    #[test]
+    fn dilate_matches_reference() {
+        let im = img("......\n..#...\n......\n....#.\n");
+        for (rx, ry) in [(0u32, 0u32), (1, 0), (0, 1), (1, 1), (2, 1)] {
+            assert_eq!(
+                dilate_rect(&im, rx, ry),
+                reference(&im, i64::from(rx), i64::from(ry), true),
+                "({rx},{ry})"
+            );
+        }
+    }
+
+    #[test]
+    fn erode_matches_reference() {
+        let im = img("......\n.####.\n.####.\n.####.\n......\n");
+        for (rx, ry) in [(0u32, 0u32), (1, 0), (0, 1), (1, 1)] {
+            assert_eq!(
+                erode_rect(&im, rx, ry),
+                reference(&im, i64::from(rx), i64::from(ry), false),
+                "({rx},{ry})"
+            );
+        }
+    }
+
+    #[test]
+    fn closing_bridges_vertical_gaps() {
+        let im = img("..#..\n.....\n..#..\n");
+        let closed = close_rect(&im, 0, 1);
+        assert!(closed.get(2, 1), "vertical 1-px gap must close:\n{}", closed.to_ascii());
+    }
+
+    #[test]
+    fn opening_removes_thin_vertical_lines() {
+        let im = img("..#..\n..#..\n..#..\n");
+        let opened = open_rect(&im, 1, 0);
+        assert_eq!(opened.ones(), 0, "1-px-wide line dies under horizontal opening");
+        // But survives a vertical-only opening.
+        let opened_v = open_rect(&im, 0, 1);
+        assert_eq!(opened_v.ones(), 3);
+    }
+
+    #[test]
+    fn idempotence_of_open_and_close() {
+        let im = img(".##..\n.###.\n..#..\n#....\n");
+        let o = open_rect(&im, 1, 1);
+        assert_eq!(open_rect(&o, 1, 1), o);
+        let c = close_rect(&im, 1, 1);
+        assert_eq!(close_rect(&c, 1, 1), c);
+    }
+}

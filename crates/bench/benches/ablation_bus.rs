@@ -1,0 +1,49 @@
+//! Bench counterpart of the §6 ablation (experiment E10): pure systolic
+//! vs. broadcast bus vs. reconfigurable mesh on the Figure-5 workload.
+//! The mesh's near-constant iteration count shows up as near-constant run
+//! time across error rates, while the pure machine's time grows.
+
+use bench::paper_pair;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use systolic_core::bus::{BusArray, BusMode};
+
+fn ablation(c: &mut Criterion) {
+    let percents: [u32; 3] = [2, 20, 50];
+
+    let mut group = c.benchmark_group("ablation_bus");
+    for &pct in &percents {
+        let (a, b) = paper_pair(10_000, f64::from(pct) / 100.0, 0xB005 + u64::from(pct));
+        group.bench_with_input(BenchmarkId::new("pure", pct), &pct, |bench, _| {
+            bench.iter(|| {
+                let mut m = systolic_core::SystolicArray::load(&a, &b).unwrap();
+                m.enable_invariant_checks(false);
+                m.run().unwrap();
+                black_box(m.stats().iterations)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("broadcast1", pct), &pct, |bench, _| {
+            bench.iter(|| {
+                let mut m = BusArray::load(&a, &b).unwrap();
+                m.run().unwrap();
+                black_box(m.stats().iterations)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("mesh", pct), &pct, |bench, _| {
+            bench.iter(|| {
+                let mut m = BusArray::load(&a, &b).unwrap().with_mode(BusMode::Mesh);
+                m.run().unwrap();
+                black_box(m.stats().iterations)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_millis(1600));
+    targets = ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Experiment E12: scaling of the barrier-synchronised parallel engine
+//! with worker threads on a large cell array (our simulator substrate;
+//! real hardware is parallel by construction).
+
+use bench::paper_pair;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use systolic_core::engine::parallel::run_parallel;
+
+fn scaling(c: &mut Criterion) {
+    // ~50k runs per side → ~100k cells; each iteration scans all of them,
+    // so one run costs ~100M cell-updates — big enough to expose scaling,
+    // small enough for criterion.
+    let (a, b) = paper_pair(2_000_000, 0.001, 0x5CA1E);
+
+    let mut group = c.benchmark_group("engine_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bench, &t| {
+            bench.iter(|| {
+                let mut m = systolic_core::SystolicArray::load(&a, &b).unwrap();
+                m.enable_invariant_checks(false);
+                run_parallel(&mut m, t).unwrap();
+                black_box(m.stats().iterations)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_millis(1600));
+    targets = scaling
+}
+criterion_main!(benches);

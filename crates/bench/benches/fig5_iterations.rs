@@ -1,0 +1,38 @@
+//! Bench counterpart of Figure 5: systolic run time over the error-rate
+//! sweep on the paper's 10 000-px / ~250-run workload. Wall-clock rises
+//! with the error percentage exactly as the iteration counts do in the
+//! figure; the sequential baseline stays flat (its cost is `k1 + k2`,
+//! independent of similarity).
+
+use bench::paper_pair;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn fig5(c: &mut Criterion) {
+    let percents: [u32; 6] = [1, 5, 10, 20, 40, 60];
+
+    let mut group = c.benchmark_group("fig5");
+    for &pct in &percents {
+        let (a, b) = paper_pair(10_000, f64::from(pct) / 100.0, u64::from(pct));
+        group.bench_with_input(BenchmarkId::new("systolic", pct), &pct, |bench, _| {
+            bench.iter(|| {
+                let mut m = systolic_core::SystolicArray::load(&a, &b).unwrap();
+                m.enable_invariant_checks(false);
+                m.run().unwrap();
+                black_box(m.stats().iterations)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", pct), &pct, |bench, _| {
+            bench.iter(|| black_box(rle::ops::xor_raw_with_stats(&a, &b).1.iterations));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_millis(1600));
+    targets = fig5
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Throughput benches for the supporting substrates: the coalescing pass
+//! (E13's wall-clock counterpart), the storage codec, the analysis stages
+//! and RLE morphology — the costs a whole inspection pipeline is built
+//! from.
+
+use bench::paper_pair;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rle::RleImage;
+use std::hint::black_box;
+use std::time::Duration;
+use systolic_core::coalesce::{bus_coalesce, CoalescePass};
+
+fn substrate(c: &mut Criterion) {
+    // A halted XOR machine's RegSmall chain, as coalescing input.
+    let (a, b) = paper_pair(10_000, 0.05, 0x50B5);
+    let mut machine = systolic_core::SystolicArray::load(&a, &b).unwrap();
+    machine.enable_invariant_checks(false);
+    machine.run().unwrap();
+    let chain: Vec<_> = machine.views().map(|c| c.small).collect();
+
+    let mut group = c.benchmark_group("coalesce");
+    group.bench_function("pure_systolic", |bench| {
+        bench.iter(|| {
+            let mut pass = CoalescePass::from_cells(10_000, chain.clone());
+            pass.run().unwrap();
+            black_box(pass.stats().iterations)
+        });
+    });
+    group.bench_function("broadcast_bus", |bench| {
+        bench.iter(|| black_box(bus_coalesce(10_000, &chain)));
+    });
+    group.finish();
+
+    // Storage codec throughput.
+    let img = {
+        let rows = (0..64).map(|i| paper_pair(10_000, 0.0, i).0).collect();
+        RleImage::from_rows(10_000, rows).unwrap()
+    };
+    let encoded = rle::serialize::encode_image(&img);
+    let mut group = c.benchmark_group("serialize");
+    group.throughput(criterion::Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_image", |bench| {
+        bench.iter(|| black_box(rle::serialize::encode_image(&img)));
+    });
+    group.bench_function("decode_image", |bench| {
+        bench.iter(|| black_box(rle::serialize::decode_image(&encoded).unwrap()));
+    });
+    group.finish();
+
+    // Analysis stages on an inspection-scale difference mask.
+    let (reference, scan) = {
+        let params = workload::pcb::PcbParams { width: 2048, height: 512, ..Default::default() };
+        workload::pcb::inspection_pair(&params, &workload::pcb::typical_defects(), 0xB0A2D)
+    };
+    let (mask, _) = systolic_core::image::xor_image(&reference, &scan).unwrap();
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("label_components_mask", |bench| {
+        bench.iter(|| {
+            black_box(rle_analysis::label_components(
+                &mask,
+                rle_analysis::Connectivity::Eight,
+            ))
+        });
+    });
+    group.bench_function("label_components_full_board", |bench| {
+        bench.iter(|| {
+            black_box(rle_analysis::label_components(
+                &reference,
+                rle_analysis::Connectivity::Eight,
+            ))
+        });
+    });
+    group.finish();
+
+    // Row morphology on the paper workload.
+    let mut group = c.benchmark_group("morph");
+    group.bench_function("dilate_r2", |bench| {
+        bench.iter(|| black_box(rle::morph::dilate(&a, 2)));
+    });
+    group.bench_function("open_r2", |bench| {
+        bench.iter(|| black_box(rle::morph::open(&a, 2)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_millis(1600));
+    targets = substrate
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Bench counterpart of Table 1: systolic vs. sequential across image
+//! sizes, in both error regimes. Wall-clock of the simulator tracks the
+//! iteration counts the paper reports (each iteration is an `O(cells)`
+//! scan), so the *shape* — linear growth at 3.5 % errors, flat systolic
+//! cost at 6 fixed error runs — shows up directly in the timings.
+
+use bench::{fixed_error_pair, paper_pair};
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn table1(c: &mut Criterion) {
+    let sizes: [u32; 5] = [128, 256, 512, 1024, 2048];
+
+    let mut group = c.benchmark_group("table1/errors_3.5pct");
+    for &size in &sizes {
+        let (a, b) = paper_pair(size, 0.035, u64::from(size));
+        group.bench_with_input(BenchmarkId::new("systolic", size), &size, |bench, _| {
+            bench.iter(|| {
+                let mut m = systolic_core::SystolicArray::load(&a, &b).unwrap();
+                m.enable_invariant_checks(false);
+                m.run().unwrap();
+                black_box(m.stats().iterations)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", size), &size, |bench, _| {
+            bench.iter(|| black_box(rle::ops::xor_raw_with_stats(&a, &b).1.iterations));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table1/errors_6_runs");
+    for &size in &sizes {
+        let (a, b) = fixed_error_pair(size, 6, 4, u64::from(size));
+        group.bench_with_input(BenchmarkId::new("systolic", size), &size, |bench, _| {
+            bench.iter(|| {
+                let mut m = systolic_core::SystolicArray::load(&a, &b).unwrap();
+                m.enable_invariant_checks(false);
+                m.run().unwrap();
+                black_box(m.stats().iterations)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", size), &size, |bench, _| {
+            bench.iter(|| black_box(rle::ops::xor_raw_with_stats(&a, &b).1.iterations));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_millis(1600));
+    targets = table1
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! The conclusions' trade-off, measured (experiment E11): compressed-domain
+//! algorithms vs. the uncompressed baselines on the same 1 M-pixel rows.
+//!
+//! * sequential RLE merge — `O(k1 + k2)`, no decompression;
+//! * systolic simulation — what the hardware would execute;
+//! * dense word XOR — the "constant time with enough processors" world,
+//!   flattened onto one core's word loop;
+//! * dense XOR + re-encode — the honest uncompressed pipeline when the
+//!   result must go back to RLE storage;
+//! * multi-threaded dense XOR — the parallel uncompressed baseline.
+
+use bench::paper_pair;
+use bitimg::convert::{decode_row, encode_row};
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn matrix(c: &mut Criterion) {
+    let width: u32 = 1_000_000;
+    let (a, b) = paper_pair(width, 0.01, 0xCAFE);
+    let (da, db) = (decode_row(&a), decode_row(&b));
+
+    let mut bma = bitimg::Bitmap::new(width, 1);
+    let mut bmb = bitimg::Bitmap::new(width, 1);
+    bma.set_row(0, &da);
+    bmb.set_row(0, &db);
+
+    let mut group = c.benchmark_group("wallclock_1Mpx");
+    group.bench_function("rle_sequential_merge", |bench| {
+        bench.iter(|| black_box(rle::ops::xor_raw_with_stats(&a, &b)));
+    });
+    group.bench_function("systolic_simulation", |bench| {
+        bench.iter(|| {
+            let mut m = systolic_core::SystolicArray::load(&a, &b).unwrap();
+            m.enable_invariant_checks(false);
+            m.run().unwrap();
+            black_box(m.stats().iterations)
+        });
+    });
+    group.bench_function("dense_word_xor", |bench| {
+        bench.iter(|| black_box(bitimg::ops::xor_row(&da, &db)));
+    });
+    group.bench_function("dense_xor_plus_reencode", |bench| {
+        bench.iter(|| {
+            let x = bitimg::ops::xor_row(&da, &db);
+            black_box(encode_row(&x))
+        });
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_function(format!("dense_parallel_xor_{threads}t"), |bench| {
+            bench.iter(|| black_box(bitimg::par::xor(&bma, &bmb, threads)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(12).warm_up_time(Duration::from_millis(400)).measurement_time(Duration::from_millis(1600));
+    targets = matrix
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Shared workload construction for the Criterion benches (the targets live
+//! in `benches/`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rle::RleRow;
+use workload::{ErrorModel, GenParams, RowGenerator};
+
+/// A deterministic paper-style row pair: `width` pixels at 30 % density,
+/// with `error_fraction` of the pixels flipped in 2–6 px runs.
+pub fn paper_pair(width: u32, error_fraction: f64, seed: u64) -> (RleRow, RleRow) {
+    let params = GenParams::for_density(width, 0.3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = RowGenerator::new(params, rng.gen()).next_row();
+    let b = workload::errors::apply_errors_rng(&a, &ErrorModel::fraction(error_fraction), &mut rng);
+    (a, b)
+}
+
+/// A paper-style pair in the *fixed error* regime: `count` error runs of
+/// `len` pixels each, regardless of image size (Table 1's second block).
+pub fn fixed_error_pair(width: u32, count: usize, len: u32, seed: u64) -> (RleRow, RleRow) {
+    let params = GenParams::for_density(width, 0.3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = RowGenerator::new(params, rng.gen()).next_row();
+    let b = workload::errors::apply_errors_rng(&a, &ErrorModel::fixed(count, len), &mut rng);
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_are_deterministic_and_similar() {
+        let (a1, b1) = paper_pair(4096, 0.02, 5);
+        let (a2, b2) = paper_pair(4096, 0.02, 5);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert!(rle::metrics::hamming(&a1, &b1) > 0);
+    }
+
+    #[test]
+    fn fixed_pair_has_exact_error_budget() {
+        let (a, b) = fixed_error_pair(4096, 6, 4, 9);
+        assert_eq!(rle::metrics::hamming(&a, &b), 24);
+    }
+}

@@ -1,0 +1,311 @@
+//! A dense binary image: flat word storage with a fixed row stride.
+
+use crate::bitrow::{words_for, BitRow, WORD_BITS};
+use std::fmt;
+
+/// A dense binary image of `width × height` pixels.
+///
+/// Storage is a single flat `Vec<u64>` with `words_per_row` stride so that
+/// whole-image operations are cache-friendly straight-line word loops and can
+/// be chunked across threads (see [`crate::par`]). Tail bits of each row are
+/// kept zero, mirroring the [`BitRow`] invariant.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    width: u32,
+    height: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    /// All-background image.
+    #[must_use]
+    pub fn new(width: u32, height: usize) -> Self {
+        let words_per_row = words_for(width);
+        Self { width, height, words_per_row, words: vec![0; words_per_row * height] }
+    }
+
+    /// Image width in pixels.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in rows.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Words per row (the stride).
+    #[must_use]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The flat word storage.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable flat word storage. Callers must preserve the tail-bit
+    /// invariant per row.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// The words of row `y`.
+    #[must_use]
+    pub fn row_words(&self, y: usize) -> &[u64] {
+        let s = y * self.words_per_row;
+        &self.words[s..s + self.words_per_row]
+    }
+
+    /// Mutable words of row `y`.
+    pub fn row_words_mut(&mut self, y: usize) -> &mut [u64] {
+        let s = y * self.words_per_row;
+        &mut self.words[s..s + self.words_per_row]
+    }
+
+    /// Pixel accessor.
+    #[must_use]
+    pub fn get(&self, x: u32, y: usize) -> bool {
+        debug_assert!(x < self.width && y < self.height);
+        let w = y * self.words_per_row + (x / WORD_BITS) as usize;
+        (self.words[w] >> (x % WORD_BITS)) & 1 == 1
+    }
+
+    /// Pixel mutator.
+    pub fn set(&mut self, x: u32, y: usize, value: bool) {
+        debug_assert!(x < self.width && y < self.height);
+        let w = y * self.words_per_row + (x / WORD_BITS) as usize;
+        let bit = 1u64 << (x % WORD_BITS);
+        if value {
+            self.words[w] |= bit;
+        } else {
+            self.words[w] &= !bit;
+        }
+    }
+
+    /// Copies a [`BitRow`] into row `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the image width.
+    pub fn set_row(&mut self, y: usize, row: &BitRow) {
+        assert_eq!(row.width(), self.width, "row width mismatch");
+        self.row_words_mut(y).copy_from_slice(row.words());
+    }
+
+    /// Extracts row `y` as an owned [`BitRow`].
+    #[must_use]
+    pub fn extract_row(&self, y: usize) -> BitRow {
+        BitRow::from_words(self.width, self.row_words(y).to_vec())
+    }
+
+    /// Draws an axis-aligned filled rectangle; coordinates are clamped to
+    /// the image, so partially off-image rectangles are fine.
+    pub fn fill_rect(&mut self, x0: u32, y0: usize, w: u32, h: usize, value: bool) {
+        if w == 0 || h == 0 || x0 >= self.width || y0 >= self.height {
+            return;
+        }
+        let x1 = (x0 + w - 1).min(self.width - 1);
+        let y1 = (y0 + h - 1).min(self.height - 1);
+        for y in y0..=y1 {
+            let mut row = self.extract_row(y);
+            row.set_range(x0, x1, value);
+            self.set_row(y, &row);
+        }
+    }
+
+    /// The transposed image (rows become columns). Enables vertical
+    /// processing — e.g. column-wise RLE operations or 2-D separable
+    /// morphology — through the row-oriented machinery.
+    #[must_use]
+    pub fn transpose(&self) -> Bitmap {
+        let mut out =
+            Bitmap::new(u32::try_from(self.height).expect("height fits in u32"), self.width as usize);
+        // Word-blocked loop: walk source words and scatter set bits, so
+        // sparse images cost ~ones, not width × height.
+        for y in 0..self.height {
+            for (wi, &word) in self.row_words(y).iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    let bit = w.trailing_zeros();
+                    w &= w - 1;
+                    let x = wi as u32 * WORD_BITS + bit;
+                    out.set(y as u32, x as usize, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Total foreground pixels.
+    #[must_use]
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Foreground fraction.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        let total = u64::from(self.width) * self.height as u64;
+        if total == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / total as f64
+        }
+    }
+
+    /// Renders as `.`/`#` ASCII art (same format as `rle::RleImage`).
+    #[must_use]
+    pub fn to_ascii(&self) -> String {
+        let mut s = String::with_capacity((self.width as usize + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                s.push(if self.get(x, y) { '#' } else { '.' });
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Bitmap[{}x{}, ones={}, density {:.3}]",
+            self.width,
+            self.height,
+            self.count_ones(),
+            self.density()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let bm = Bitmap::new(100, 3);
+        assert_eq!(bm.width(), 100);
+        assert_eq!(bm.height(), 3);
+        assert_eq!(bm.words_per_row(), 2);
+        assert_eq!(bm.words().len(), 6);
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn get_set_pixels() {
+        let mut bm = Bitmap::new(70, 2);
+        bm.set(0, 0, true);
+        bm.set(69, 1, true);
+        bm.set(64, 0, true);
+        assert!(bm.get(0, 0) && bm.get(69, 1) && bm.get(64, 0));
+        assert!(!bm.get(1, 0) && !bm.get(69, 0));
+        assert_eq!(bm.count_ones(), 3);
+        bm.set(0, 0, false);
+        assert_eq!(bm.count_ones(), 2);
+    }
+
+    #[test]
+    fn row_round_trip() {
+        let mut bm = Bitmap::new(70, 2);
+        let mut row = BitRow::new(70);
+        row.set_range(10, 20, true);
+        bm.set_row(1, &row);
+        assert_eq!(bm.extract_row(1), row);
+        assert_eq!(bm.extract_row(0), BitRow::new(70));
+        assert_eq!(bm.count_ones(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn set_row_checks_width() {
+        let mut bm = Bitmap::new(70, 1);
+        bm.set_row(0, &BitRow::new(64));
+    }
+
+    #[test]
+    fn fill_rect_basic() {
+        let mut bm = Bitmap::new(10, 5);
+        bm.fill_rect(2, 1, 3, 2, true);
+        assert_eq!(bm.count_ones(), 6);
+        assert!(bm.get(2, 1) && bm.get(4, 2));
+        assert!(!bm.get(5, 1) && !bm.get(2, 3));
+        bm.fill_rect(3, 1, 1, 1, false);
+        assert_eq!(bm.count_ones(), 5);
+    }
+
+    #[test]
+    fn fill_rect_clamps() {
+        let mut bm = Bitmap::new(10, 5);
+        bm.fill_rect(8, 4, 100, 100, true);
+        assert_eq!(bm.count_ones(), 2); // pixels (8,4), (9,4)
+        bm.fill_rect(20, 0, 5, 5, true); // fully off-image
+        assert_eq!(bm.count_ones(), 2);
+        bm.fill_rect(0, 0, 0, 3, true); // zero-sized
+        assert_eq!(bm.count_ones(), 2);
+    }
+
+    #[test]
+    fn transpose_swaps_axes() {
+        let mut bm = Bitmap::new(5, 3);
+        bm.set(0, 0, true);
+        bm.set(4, 0, true);
+        bm.set(2, 2, true);
+        let t = bm.transpose();
+        assert_eq!((t.width(), t.height()), (3, 5));
+        assert!(t.get(0, 0) && t.get(0, 4) && t.get(2, 2));
+        assert_eq!(t.count_ones(), bm.count_ones());
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let mut bm = Bitmap::new(130, 70); // spans word boundaries
+        bm.fill_rect(60, 10, 10, 30, true);
+        bm.set(129, 69, true);
+        bm.set(0, 0, true);
+        assert_eq!(bm.transpose().transpose(), bm);
+    }
+
+    #[test]
+    fn transpose_exhaustive_small() {
+        let mut bm = Bitmap::new(3, 2);
+        bm.set(1, 0, true);
+        bm.set(2, 1, true);
+        let t = bm.transpose();
+        for x in 0..3u32 {
+            for y in 0..2usize {
+                assert_eq!(bm.get(x, y), t.get(y as u32, x as usize), "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_empty_and_degenerate() {
+        assert_eq!(Bitmap::new(0, 5).transpose(), Bitmap::new(5, 0));
+        assert_eq!(Bitmap::new(7, 0).transpose(), Bitmap::new(0, 7));
+    }
+
+    #[test]
+    fn ascii_rendering() {
+        let mut bm = Bitmap::new(4, 2);
+        bm.set(0, 0, true);
+        bm.set(3, 1, true);
+        assert_eq!(bm.to_ascii(), "#...\n...#\n");
+    }
+
+    #[test]
+    fn density() {
+        let mut bm = Bitmap::new(10, 1);
+        bm.fill_rect(0, 0, 5, 1, true);
+        assert!((bm.density() - 0.5).abs() < 1e-12);
+        assert_eq!(Bitmap::new(0, 0).density(), 0.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! A word-packed binary image row.
+
+use std::fmt;
+
+/// Bits per storage word.
+pub const WORD_BITS: u32 = u64::BITS;
+
+/// A binary row of `width` pixels packed into `u64` words, least-significant
+/// bit first (pixel `p` lives in word `p / 64`, bit `p % 64`).
+///
+/// Bits at positions `>= width` in the last word are always zero — every
+/// mutator maintains this so popcounts and word-wise comparisons never need
+/// masking.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitRow {
+    width: u32,
+    words: Vec<u64>,
+}
+
+/// Number of words needed for `width` bits.
+#[must_use]
+pub fn words_for(width: u32) -> usize {
+    (width as usize).div_ceil(WORD_BITS as usize)
+}
+
+impl BitRow {
+    /// All-background row of the given width.
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        Self { width, words: vec![0; words_for(width)] }
+    }
+
+    /// Builds a row from a bit slice.
+    #[must_use]
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let width = u32::try_from(bits.len()).expect("row too wide");
+        let mut row = Self::new(width);
+        for (p, &b) in bits.iter().enumerate() {
+            if b {
+                row.set(p as u32, true);
+            }
+        }
+        row
+    }
+
+    /// Decodes into a bit vector of length `width`.
+    #[must_use]
+    pub fn to_bits(&self) -> Vec<bool> {
+        (0..self.width).map(|p| self.get(p)).collect()
+    }
+
+    /// Builds a row directly from packed words. Excess high bits in the last
+    /// word are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != words_for(width)`.
+    #[must_use]
+    pub fn from_words(width: u32, mut words: Vec<u64>) -> Self {
+        assert_eq!(words.len(), words_for(width), "word count must match width");
+        let tail = width % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        Self { width, words }
+    }
+
+    /// Row width in pixels.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The packed words (LSB-first within each word).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable packed words. The caller must keep the tail bits clear;
+    /// [`BitRow::mask_tail`] restores the invariant.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Clears any bits at positions `>= width` in the last word.
+    pub fn mask_tail(&mut self) {
+        let tail = self.width % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Pixel accessor.
+    #[must_use]
+    pub fn get(&self, p: u32) -> bool {
+        debug_assert!(p < self.width);
+        (self.words[(p / WORD_BITS) as usize] >> (p % WORD_BITS)) & 1 == 1
+    }
+
+    /// Pixel mutator.
+    pub fn set(&mut self, p: u32, value: bool) {
+        debug_assert!(p < self.width);
+        let w = (p / WORD_BITS) as usize;
+        let bit = 1u64 << (p % WORD_BITS);
+        if value {
+            self.words[w] |= bit;
+        } else {
+            self.words[w] &= !bit;
+        }
+    }
+
+    /// Sets the inclusive pixel range `[start, end]` to `value`.
+    pub fn set_range(&mut self, start: u32, end: u32, value: bool) {
+        debug_assert!(start <= end && end < self.width);
+        let (ws, we) = ((start / WORD_BITS) as usize, (end / WORD_BITS) as usize);
+        for w in ws..=we {
+            let lo = if w == ws { start % WORD_BITS } else { 0 };
+            let hi = if w == we { end % WORD_BITS } else { WORD_BITS - 1 };
+            // Mask covering bits lo..=hi of the word.
+            let mask = (u64::MAX >> (WORD_BITS - 1 - hi)) & (u64::MAX << lo);
+            if value {
+                self.words[w] |= mask;
+            } else {
+                self.words[w] &= !mask;
+            }
+        }
+    }
+
+    /// Number of foreground pixels.
+    #[must_use]
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Whether the row is all background.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterator over set-bit positions, in increasing order. Uses
+    /// trailing-zero scanning so sparse rows are cheap.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros();
+                w &= w - 1; // clear lowest set bit
+                Some(wi as u32 * WORD_BITS + bit)
+            })
+        })
+    }
+}
+
+impl fmt::Debug for BitRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitRow[w={}, ones={}]", self.width, self.count_ones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let r = BitRow::new(100);
+        assert_eq!(r.width(), 100);
+        assert_eq!(r.words().len(), 2);
+        assert!(r.is_empty());
+        assert_eq!(r.count_ones(), 0);
+    }
+
+    #[test]
+    fn words_for_boundaries() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(128), 2);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut r = BitRow::new(130);
+        for p in [0u32, 1, 63, 64, 65, 127, 128, 129] {
+            r.set(p, true);
+            assert!(r.get(p), "pixel {p}");
+        }
+        assert_eq!(r.count_ones(), 8);
+        r.set(64, false);
+        assert!(!r.get(64));
+        assert_eq!(r.count_ones(), 7);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let mut bits = vec![false; 70];
+        for p in [0usize, 5, 63, 64, 69] {
+            bits[p] = true;
+        }
+        let r = BitRow::from_bits(&bits);
+        assert_eq!(r.to_bits(), bits);
+    }
+
+    #[test]
+    fn from_words_masks_tail() {
+        let r = BitRow::from_words(65, vec![u64::MAX, u64::MAX]);
+        assert_eq!(r.count_ones(), 65);
+        assert_eq!(r.words()[1], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count must match width")]
+    fn from_words_checks_length() {
+        let _ = BitRow::from_words(65, vec![0]);
+    }
+
+    #[test]
+    fn set_range_within_one_word() {
+        let mut r = BitRow::new(64);
+        r.set_range(3, 10, true);
+        assert_eq!(r.count_ones(), 8);
+        assert!(!r.get(2) && r.get(3) && r.get(10) && !r.get(11));
+        r.set_range(5, 6, false);
+        assert_eq!(r.count_ones(), 6);
+    }
+
+    #[test]
+    fn set_range_spanning_words() {
+        let mut r = BitRow::new(200);
+        r.set_range(60, 140, true);
+        assert_eq!(r.count_ones(), 81);
+        for p in 60..=140 {
+            assert!(r.get(p), "pixel {p}");
+        }
+        assert!(!r.get(59) && !r.get(141));
+    }
+
+    #[test]
+    fn set_range_single_pixel_and_word_edges() {
+        let mut r = BitRow::new(128);
+        r.set_range(63, 63, true);
+        r.set_range(64, 64, true);
+        assert_eq!(r.count_ones(), 2);
+        r.set_range(0, 127, true);
+        assert_eq!(r.count_ones(), 128);
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let mut r = BitRow::new(130);
+        let expected = vec![0u32, 5, 63, 64, 100, 129];
+        for &p in &expected {
+            r.set(p, true);
+        }
+        assert_eq!(r.iter_ones().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn zero_width_row() {
+        let r = BitRow::new(0);
+        assert!(r.is_empty());
+        assert_eq!(r.iter_ones().count(), 0);
+        assert_eq!(r.to_bits().len(), 0);
+    }
+
+    #[test]
+    fn mask_tail_restores_invariant() {
+        let mut r = BitRow::new(65);
+        r.words_mut()[1] = u64::MAX;
+        r.mask_tail();
+        assert_eq!(r.count_ones(), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Lossless conversion between the dense and RLE representations.
+//!
+//! Encoding scans packed words with trailing-zero arithmetic rather than
+//! per-pixel loops, so converting sparse scan lines costs time proportional
+//! to the number of *words plus runs*, not pixels.
+
+use crate::bitmap::Bitmap;
+use crate::bitrow::{BitRow, WORD_BITS};
+use rle::{RleImage, RleRow, Run};
+
+/// Run-length encodes a dense row. The result is canonical by construction.
+#[must_use]
+pub fn encode_row(row: &BitRow) -> RleRow {
+    let mut out = RleRow::new(row.width());
+    let words = row.words();
+    let mut run_start: Option<u32> = None;
+    for (wi, &word) in words.iter().enumerate() {
+        let base = wi as u32 * WORD_BITS;
+        let mut w = word;
+        if let Some(start) = run_start {
+            // A run is open across the word boundary: find where it ends.
+            let ones = (!w).trailing_zeros().min(WORD_BITS);
+            if ones == WORD_BITS {
+                continue; // run spans this entire word
+            }
+            out.push_run(Run::new(start, base + ones - start)).expect("encoder emits in order");
+            run_start = None;
+            w &= !((1u64 << ones) - 1);
+        }
+        while w != 0 {
+            let start_bit = w.trailing_zeros();
+            let after_start = w >> start_bit;
+            let len = (!after_start).trailing_zeros().min(WORD_BITS - start_bit);
+            if start_bit + len == WORD_BITS {
+                run_start = Some(base + start_bit);
+                break;
+            }
+            out.push_run(Run::new(base + start_bit, len)).expect("encoder emits in order");
+            // Clear the bits of the emitted run.
+            w &= !(((1u64 << len) - 1) << start_bit);
+        }
+    }
+    if let Some(start) = run_start {
+        out.push_run(Run::new(start, row.width() - start)).expect("encoder emits in order");
+    }
+    out
+}
+
+/// Decodes an RLE row into a dense row.
+#[must_use]
+pub fn decode_row(row: &RleRow) -> BitRow {
+    let mut out = BitRow::new(row.width());
+    for run in row.runs() {
+        out.set_range(run.start(), run.end(), true);
+    }
+    out
+}
+
+/// Run-length encodes a whole bitmap, row by row.
+#[must_use]
+pub fn encode(bm: &Bitmap) -> RleImage {
+    let rows = (0..bm.height()).map(|y| encode_row(&bm.extract_row(y))).collect();
+    RleImage::from_rows(bm.width(), rows).expect("encoder preserves widths")
+}
+
+/// Decodes an RLE image into a bitmap.
+#[must_use]
+pub fn decode(img: &RleImage) -> Bitmap {
+    let mut bm = Bitmap::new(img.width(), img.height());
+    for (y, row) in img.rows().iter().enumerate() {
+        bm.set_row(y, &decode_row(row));
+    }
+    bm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_row(width: u32, ones: &[u32]) {
+        let mut dense = BitRow::new(width);
+        for &p in ones {
+            dense.set(p, true);
+        }
+        let encoded = encode_row(&dense);
+        assert!(encoded.is_canonical(), "{encoded:?}");
+        assert_eq!(decode_row(&encoded), dense, "width={width}, ones={ones:?}");
+    }
+
+    #[test]
+    fn encode_empty_and_full() {
+        round_trip_row(100, &[]);
+        let full: Vec<u32> = (0..100).collect();
+        round_trip_row(100, &full);
+        let r = {
+            let mut d = BitRow::new(100);
+            d.set_range(0, 99, true);
+            encode_row(&d)
+        };
+        assert_eq!(r.runs(), &[Run::new(0, 100)]);
+    }
+
+    #[test]
+    fn encode_runs_at_word_boundaries() {
+        round_trip_row(200, &[63]);
+        round_trip_row(200, &[64]);
+        round_trip_row(200, &[63, 64]);
+        round_trip_row(200, &[62, 63, 64, 65]);
+        round_trip_row(200, &[0, 199]);
+    }
+
+    #[test]
+    fn encode_run_spanning_multiple_words() {
+        let mut d = BitRow::new(300);
+        d.set_range(10, 250, true);
+        let e = encode_row(&d);
+        assert_eq!(e.runs(), &[Run::new(10, 241)]);
+        assert_eq!(decode_row(&e), d);
+    }
+
+    #[test]
+    fn encode_run_to_row_end() {
+        let mut d = BitRow::new(130);
+        d.set_range(120, 129, true);
+        let e = encode_row(&d);
+        assert_eq!(e.runs(), &[Run::new(120, 10)]);
+    }
+
+    #[test]
+    fn encode_alternating_pattern() {
+        let width = 130;
+        let ones: Vec<u32> = (0..width).filter(|p| p % 2 == 0).collect();
+        let mut d = BitRow::new(width);
+        for &p in &ones {
+            d.set(p, true);
+        }
+        let e = encode_row(&d);
+        assert_eq!(e.run_count(), ones.len());
+        assert_eq!(decode_row(&e), d);
+    }
+
+    #[test]
+    fn encode_matches_naive_bit_encoder() {
+        // Pseudo-random rows vs the rle crate's naive from_bits.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        for width in [1u32, 17, 64, 65, 127, 128, 129, 1000] {
+            let mut d = BitRow::new(width);
+            for p in 0..width {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if state >> 40 & 1 == 1 {
+                    d.set(p, true);
+                }
+            }
+            let fast = encode_row(&d);
+            let naive = RleRow::from_bits(&d.to_bits());
+            assert_eq!(fast, naive, "width={width}");
+        }
+    }
+
+    #[test]
+    fn image_round_trip() {
+        let mut bm = Bitmap::new(100, 20);
+        bm.fill_rect(5, 2, 30, 10, true);
+        bm.fill_rect(60, 0, 40, 20, true);
+        bm.set(0, 19, true);
+        let img = encode(&bm);
+        assert_eq!(img.width(), 100);
+        assert_eq!(img.height(), 20);
+        assert_eq!(decode(&img), bm);
+        assert_eq!(img.ones(), bm.count_ones());
+    }
+
+    #[test]
+    fn zero_width_round_trip() {
+        let bm = Bitmap::new(0, 3);
+        assert_eq!(decode(&encode(&bm)), bm);
+    }
+}

@@ -1,0 +1,29 @@
+//! Dense (uncompressed) binary image substrate.
+//!
+//! The paper contrasts its compressed-domain systolic algorithm with
+//! operating on raw bitmaps — both the sequential bitwise XOR and the
+//! "constant time if the number of processors is proportional to the number
+//! of pixels" parallel solution mentioned in its conclusions. This crate
+//! provides that uncompressed world:
+//!
+//! * [`BitRow`] / [`Bitmap`] — `u64`-word-packed binary rows and images,
+//! * [`ops`] — word-wise boolean operations and popcounts,
+//! * [`par`] — multi-threaded dense XOR (the uncompressed parallel baseline),
+//! * [`pbm`] — portable bitmap (P1/P4) reading and writing,
+//! * [`convert`] — lossless conversion to and from the RLE representation.
+//!
+//! The dense XOR also serves as the *reference implementation* against which
+//! both the sequential RLE merge and the systolic array are verified.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitmap;
+pub mod bitrow;
+pub mod convert;
+pub mod ops;
+pub mod par;
+pub mod pbm;
+
+pub use bitmap::Bitmap;
+pub use bitrow::BitRow;

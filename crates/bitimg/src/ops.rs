@@ -1,0 +1,194 @@
+//! Word-wise boolean operations on dense rows and bitmaps.
+//!
+//! These are the uncompressed-domain counterparts of `rle::ops` and serve as
+//! the ground-truth reference when verifying the compressed-domain
+//! algorithms: XOR over packed words cannot get the geometry wrong.
+
+use crate::bitmap::Bitmap;
+use crate::bitrow::BitRow;
+
+/// XOR of two rows.
+///
+/// # Panics
+///
+/// Panics if widths differ.
+#[must_use]
+pub fn xor_row(a: &BitRow, b: &BitRow) -> BitRow {
+    zip_row(a, b, |x, y| x ^ y)
+}
+
+/// AND of two rows.
+#[must_use]
+pub fn and_row(a: &BitRow, b: &BitRow) -> BitRow {
+    zip_row(a, b, |x, y| x & y)
+}
+
+/// OR of two rows.
+#[must_use]
+pub fn or_row(a: &BitRow, b: &BitRow) -> BitRow {
+    zip_row(a, b, |x, y| x | y)
+}
+
+/// Set difference `a AND NOT b` of two rows.
+#[must_use]
+pub fn sub_row(a: &BitRow, b: &BitRow) -> BitRow {
+    zip_row(a, b, |x, y| x & !y)
+}
+
+/// Complement of a row (within its width).
+#[must_use]
+pub fn not_row(a: &BitRow) -> BitRow {
+    let mut out = BitRow::from_words(a.width(), a.words().iter().map(|w| !w).collect());
+    out.mask_tail();
+    out
+}
+
+/// In-place XOR: `a ^= b`.
+///
+/// # Panics
+///
+/// Panics if widths differ.
+pub fn xor_row_assign(a: &mut BitRow, b: &BitRow) {
+    assert_eq!(a.width(), b.width(), "row width mismatch");
+    for (x, y) in a.words_mut().iter_mut().zip(b.words()) {
+        *x ^= y;
+    }
+}
+
+/// Number of differing pixels between two rows, without materialising the
+/// difference.
+#[must_use]
+pub fn hamming_row(a: &BitRow, b: &BitRow) -> u64 {
+    assert_eq!(a.width(), b.width(), "row width mismatch");
+    a.words()
+        .iter()
+        .zip(b.words())
+        .map(|(x, y)| u64::from((x ^ y).count_ones()))
+        .sum()
+}
+
+fn zip_row(a: &BitRow, b: &BitRow, f: impl Fn(u64, u64) -> u64) -> BitRow {
+    assert_eq!(a.width(), b.width(), "row width mismatch");
+    let words = a.words().iter().zip(b.words()).map(|(&x, &y)| f(x, y)).collect();
+    // Inputs keep tail bits clear; all four f's preserve 0 op 0 == 0 except
+    // complement, which is handled separately — still mask defensively.
+    let mut out = BitRow::from_words(a.width(), words);
+    out.mask_tail();
+    out
+}
+
+/// XOR of two bitmaps.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+#[must_use]
+pub fn xor(a: &Bitmap, b: &Bitmap) -> Bitmap {
+    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "bitmap dimension mismatch");
+    let mut out = Bitmap::new(a.width(), a.height());
+    for ((o, x), y) in out.words_mut().iter_mut().zip(a.words()).zip(b.words()) {
+        *o = x ^ y;
+    }
+    out
+}
+
+/// In-place bitmap XOR: `a ^= b`.
+pub fn xor_assign(a: &mut Bitmap, b: &Bitmap) {
+    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "bitmap dimension mismatch");
+    for (x, y) in a.words_mut().iter_mut().zip(b.words()) {
+        *x ^= y;
+    }
+}
+
+/// Number of differing pixels between two bitmaps.
+#[must_use]
+pub fn hamming(a: &Bitmap, b: &Bitmap) -> u64 {
+    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "bitmap dimension mismatch");
+    a.words()
+        .iter()
+        .zip(b.words())
+        .map(|(x, y)| u64::from((x ^ y).count_ones()))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(width: u32, ones: &[u32]) -> BitRow {
+        let mut r = BitRow::new(width);
+        for &p in ones {
+            r.set(p, true);
+        }
+        r
+    }
+
+    #[test]
+    fn row_ops_match_per_pixel() {
+        let a = row(70, &[0, 5, 63, 64, 69]);
+        let b = row(70, &[5, 6, 64]);
+        let (ba, bb) = (a.to_bits(), b.to_bits());
+        let check = |got: BitRow, f: fn(bool, bool) -> bool| {
+            let want: Vec<bool> = ba.iter().zip(&bb).map(|(&x, &y)| f(x, y)).collect();
+            assert_eq!(got.to_bits(), want);
+        };
+        check(xor_row(&a, &b), |x, y| x ^ y);
+        check(and_row(&a, &b), |x, y| x && y);
+        check(or_row(&a, &b), |x, y| x || y);
+        check(sub_row(&a, &b), |x, y| x && !y);
+    }
+
+    #[test]
+    fn not_row_masks_tail() {
+        let a = row(70, &[0]);
+        let n = not_row(&a);
+        assert_eq!(n.count_ones(), 69);
+        assert!(!n.get(0) && n.get(1) && n.get(69));
+        assert_eq!(not_row(&n), a);
+    }
+
+    #[test]
+    fn xor_assign_row() {
+        let mut a = row(70, &[0, 5]);
+        let b = row(70, &[5, 6]);
+        xor_row_assign(&mut a, &b);
+        assert_eq!(a, row(70, &[0, 6]));
+    }
+
+    #[test]
+    fn hamming_row_counts() {
+        let a = row(70, &[0, 5, 64]);
+        let b = row(70, &[5, 6]);
+        assert_eq!(hamming_row(&a, &b), 3);
+        assert_eq!(hamming_row(&a, &a.clone()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let _ = xor_row(&BitRow::new(10), &BitRow::new(11));
+    }
+
+    #[test]
+    fn bitmap_xor_and_hamming() {
+        let mut a = Bitmap::new(70, 2);
+        let mut b = Bitmap::new(70, 2);
+        a.fill_rect(0, 0, 10, 2, true);
+        b.fill_rect(5, 0, 10, 2, true);
+        let d = xor(&a, &b);
+        assert_eq!(d.count_ones(), 20); // pixels 0..5 and 10..15 per row
+        assert_eq!(hamming(&a, &b), 20);
+        let mut c = a.clone();
+        xor_assign(&mut c, &b);
+        assert_eq!(c, d);
+        // XOR twice restores.
+        xor_assign(&mut c, &b);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitmap dimension mismatch")]
+    fn bitmap_dimension_mismatch_panics() {
+        let _ = xor(&Bitmap::new(10, 2), &Bitmap::new(10, 3));
+    }
+}

@@ -1,0 +1,282 @@
+//! Portable bitmap (PBM) I/O: ASCII `P1` and binary `P4`.
+//!
+//! PBM is the simplest interchange format for binary images and is what a
+//! real inspection pipeline would ingest before run-length encoding. In PBM,
+//! `1` means black; we map black to *foreground* (`true`).
+
+use crate::bitmap::Bitmap;
+use std::io::{self, BufRead, Read, Write};
+
+/// Errors arising while parsing PBM data.
+#[derive(Debug)]
+pub enum PbmError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The magic number was not `P1` or `P4`.
+    BadMagic(String),
+    /// Header was truncated or dimensions malformed.
+    BadHeader,
+    /// Fewer pixels/bytes than the header promised.
+    Truncated,
+    /// A `P1` body contained a character other than `0`, `1`, whitespace or
+    /// comments.
+    BadDigit(char),
+}
+
+impl std::fmt::Display for PbmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PbmError::Io(e) => write!(f, "i/o error: {e}"),
+            PbmError::BadMagic(m) => write!(f, "not a PBM file (magic {m:?})"),
+            PbmError::BadHeader => write!(f, "malformed PBM header"),
+            PbmError::Truncated => write!(f, "PBM data shorter than header promised"),
+            PbmError::BadDigit(c) => write!(f, "unexpected character {c:?} in P1 body"),
+        }
+    }
+}
+
+impl std::error::Error for PbmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PbmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PbmError {
+    fn from(e: io::Error) -> Self {
+        PbmError::Io(e)
+    }
+}
+
+/// Writes a bitmap as ASCII `P1`, 70-column wrapped per the spec.
+pub fn write_p1(bm: &Bitmap, out: &mut impl Write) -> io::Result<()> {
+    writeln!(out, "P1")?;
+    writeln!(out, "{} {}", bm.width(), bm.height())?;
+    let mut col = 0;
+    for y in 0..bm.height() {
+        for x in 0..bm.width() {
+            if col >= 35 {
+                writeln!(out)?;
+                col = 0;
+            }
+            write!(out, "{} ", u8::from(bm.get(x, y)))?;
+            col += 1;
+        }
+    }
+    writeln!(out)?;
+    Ok(())
+}
+
+/// Writes a bitmap as binary `P4` (rows padded to whole bytes, MSB-first).
+pub fn write_p4(bm: &Bitmap, out: &mut impl Write) -> io::Result<()> {
+    writeln!(out, "P4")?;
+    writeln!(out, "{} {}", bm.width(), bm.height())?;
+    let bytes_per_row = (bm.width() as usize).div_ceil(8);
+    let mut row = vec![0u8; bytes_per_row];
+    for y in 0..bm.height() {
+        row.fill(0);
+        for x in 0..bm.width() {
+            if bm.get(x, y) {
+                row[(x / 8) as usize] |= 0x80 >> (x % 8);
+            }
+        }
+        out.write_all(&row)?;
+    }
+    Ok(())
+}
+
+/// Reads a PBM image (auto-detecting `P1` vs `P4`).
+pub fn read(input: &mut impl Read) -> Result<Bitmap, PbmError> {
+    let mut data = Vec::new();
+    input.read_to_end(&mut data)?;
+    let mut pos = 0usize;
+
+    let magic = read_token(&data, &mut pos).ok_or(PbmError::BadHeader)?;
+    if magic != b"P1" && magic != b"P4" {
+        return Err(PbmError::BadMagic(String::from_utf8_lossy(&magic).into_owned()));
+    }
+    let width: u32 = parse_dim(&data, &mut pos)?;
+    let height: usize = parse_dim(&data, &mut pos)? as usize;
+    let mut bm = Bitmap::new(width, height);
+
+    if magic == b"P1" {
+        let mut x = 0u32;
+        let mut y = 0usize;
+        let total = u64::from(width) * height as u64;
+        let mut seen = 0u64;
+        while pos < data.len() && seen < total {
+            let c = data[pos];
+            pos += 1;
+            match c {
+                b'0' | b'1' => {
+                    if c == b'1' {
+                        bm.set(x, y, true);
+                    }
+                    seen += 1;
+                    x += 1;
+                    if x == width {
+                        x = 0;
+                        y += 1;
+                    }
+                }
+                b'#' => skip_comment(&data, &mut pos),
+                c if c.is_ascii_whitespace() => {}
+                c => return Err(PbmError::BadDigit(c as char)),
+            }
+        }
+        if seen < total {
+            return Err(PbmError::Truncated);
+        }
+    } else {
+        // P4: exactly one whitespace byte after the header, then raw rows.
+        let bytes_per_row = (width as usize).div_ceil(8);
+        let needed = bytes_per_row * height;
+        if data.len() < pos + needed {
+            return Err(PbmError::Truncated);
+        }
+        for y in 0..height {
+            let row = &data[pos + y * bytes_per_row..pos + (y + 1) * bytes_per_row];
+            for x in 0..width {
+                if row[(x / 8) as usize] & (0x80 >> (x % 8)) != 0 {
+                    bm.set(x, y, true);
+                }
+            }
+        }
+    }
+    Ok(bm)
+}
+
+/// Convenience: read a PBM from any `BufRead` source (e.g. a file).
+pub fn read_buf(input: &mut impl BufRead) -> Result<Bitmap, PbmError> {
+    read(input)
+}
+
+fn skip_comment(data: &[u8], pos: &mut usize) {
+    while *pos < data.len() && data[*pos] != b'\n' {
+        *pos += 1;
+    }
+}
+
+fn read_token(data: &[u8], pos: &mut usize) -> Option<Vec<u8>> {
+    // Skip whitespace and comments.
+    loop {
+        while *pos < data.len() && data[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+        if *pos < data.len() && data[*pos] == b'#' {
+            skip_comment(data, pos);
+        } else {
+            break;
+        }
+    }
+    if *pos >= data.len() {
+        return None;
+    }
+    let start = *pos;
+    while *pos < data.len() && !data[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+    let token = data[start..*pos].to_vec();
+    // Consume the single whitespace that terminates the token (significant
+    // before a P4 body).
+    if *pos < data.len() {
+        *pos += 1;
+    }
+    Some(token)
+}
+
+fn parse_dim(data: &[u8], pos: &mut usize) -> Result<u32, PbmError> {
+    let token = read_token(data, pos).ok_or(PbmError::BadHeader)?;
+    std::str::from_utf8(&token)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or(PbmError::BadHeader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Bitmap {
+        let mut bm = Bitmap::new(11, 3);
+        bm.fill_rect(1, 0, 3, 2, true);
+        bm.set(10, 2, true);
+        bm
+    }
+
+    #[test]
+    fn p1_round_trip() {
+        let bm = sample();
+        let mut buf = Vec::new();
+        write_p1(&bm, &mut buf).unwrap();
+        let back = read(&mut &buf[..]).unwrap();
+        assert_eq!(back, bm);
+    }
+
+    #[test]
+    fn p4_round_trip() {
+        let bm = sample();
+        let mut buf = Vec::new();
+        write_p4(&bm, &mut buf).unwrap();
+        let back = read(&mut &buf[..]).unwrap();
+        assert_eq!(back, bm);
+    }
+
+    #[test]
+    fn p4_round_trip_byte_aligned_width() {
+        let mut bm = Bitmap::new(16, 2);
+        bm.fill_rect(7, 0, 2, 2, true);
+        let mut buf = Vec::new();
+        write_p4(&bm, &mut buf).unwrap();
+        assert_eq!(read(&mut &buf[..]).unwrap(), bm);
+    }
+
+    #[test]
+    fn p1_with_comments_and_loose_whitespace() {
+        let text = "P1\n# a comment\n 3 2 \n1 0 1\n# trailing comment\n0 1 0\n";
+        let bm = read(&mut text.as_bytes()).unwrap();
+        assert_eq!(bm.to_ascii(), "#.#\n.#.\n");
+    }
+
+    #[test]
+    fn p1_compact_digits() {
+        let text = "P1\n3 2\n101010";
+        let bm = read(&mut text.as_bytes()).unwrap();
+        assert_eq!(bm.to_ascii(), "#.#\n.#.\n");
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(read(&mut "P5\n1 1\n0".as_bytes()), Err(PbmError::BadMagic(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_p1() {
+        assert!(matches!(read(&mut "P1\n3 2\n1 0".as_bytes()), Err(PbmError::Truncated)));
+    }
+
+    #[test]
+    fn rejects_truncated_p4() {
+        let text = b"P4\n16 2\n\x00";
+        assert!(matches!(read(&mut &text[..]), Err(PbmError::Truncated)));
+    }
+
+    #[test]
+    fn rejects_bad_digit() {
+        assert!(matches!(read(&mut "P1\n2 1\n1 2".as_bytes()), Err(PbmError::BadDigit('2'))));
+    }
+
+    #[test]
+    fn rejects_malformed_header() {
+        assert!(matches!(read(&mut "P1\nxyz 2\n".as_bytes()), Err(PbmError::BadHeader)));
+        assert!(matches!(read(&mut "P1".as_bytes()), Err(PbmError::BadHeader)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(PbmError::BadMagic("P9".into()).to_string().contains("P9"));
+        assert!(PbmError::Truncated.to_string().contains("shorter"));
+    }
+}

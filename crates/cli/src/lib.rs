@@ -1,0 +1,614 @@
+//! Implementation of the `rlediff` command-line tool.
+//!
+//! The binary in `main.rs` is a thin wrapper over [`run_command`]; all
+//! behaviour lives here so it can be unit-tested without spawning
+//! processes.
+//!
+//! ```text
+//! rlediff diff a.pbm b.pbm -o diff.pbm [--algo systolic|sequential|mesh|dense] [--clean N]
+//! rlediff encode image.pbm -o image.rle
+//! rlediff decode image.rle -o image.pbm
+//! rlediff info file.(pbm|rle)
+//! rlediff components file.(pbm|rle) [--min-area N]
+//! rlediff gen pcb|paper|glyphs -o out.pbm [--seed N] [--text S]
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use bitimg::{convert, pbm};
+use rle::{serialize, RleImage};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Which differencing algorithm `diff` uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// The paper's systolic array (simulated).
+    Systolic,
+    /// The sequential RLE merge (§2 baseline).
+    Sequential,
+    /// The §6 reconfigurable-mesh-assisted array.
+    Mesh,
+    /// Dense word-wise XOR (uncompressed baseline).
+    Dense,
+}
+
+impl Algo {
+    fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "systolic" => Ok(Algo::Systolic),
+            "sequential" => Ok(Algo::Sequential),
+            "mesh" => Ok(Algo::Mesh),
+            "dense" => Ok(Algo::Dense),
+            other => Err(CliError::Usage(format!("unknown algorithm {other:?}"))),
+        }
+    }
+}
+
+/// A parsed command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Diff two images.
+    Diff {
+        /// First input path.
+        a: PathBuf,
+        /// Second input path.
+        b: PathBuf,
+        /// Output path (PBM or `.rle`); `None` prints stats only.
+        out: Option<PathBuf>,
+        /// Algorithm selection.
+        algo: Algo,
+        /// Despeckle radius: drop difference components shorter than this.
+        clean: u32,
+    },
+    /// Convert a PBM file to the compact RLE format.
+    Encode {
+        /// Input PBM path.
+        input: PathBuf,
+        /// Output `.rle` path.
+        out: PathBuf,
+    },
+    /// Convert a compact RLE file back to PBM.
+    Decode {
+        /// Input `.rle` path.
+        input: PathBuf,
+        /// Output PBM path.
+        out: PathBuf,
+    },
+    /// Print information about an image file.
+    Info {
+        /// Input path (PBM or `.rle`).
+        input: PathBuf,
+    },
+    /// Label the connected components of an image and report them.
+    Components {
+        /// Input path (PBM or `.rle`).
+        input: PathBuf,
+        /// Ignore components smaller than this many pixels.
+        min_area: u64,
+    },
+    /// Generate a synthetic workload image.
+    Gen {
+        /// Workload kind: `pcb`, `paper` or `glyphs`.
+        kind: String,
+        /// Output path.
+        out: PathBuf,
+        /// RNG seed.
+        seed: u64,
+        /// Text for the `glyphs` kind.
+        text: String,
+    },
+    /// Show usage.
+    Help,
+}
+
+/// CLI failure modes.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments; the string explains.
+    Usage(String),
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Input file could not be parsed.
+    Parse(String),
+    /// The two diff inputs are incompatible.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Parse(m) => write!(f, "parse error: {m}"),
+            CliError::Mismatch(m) => write!(f, "input mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+rlediff — binary image differencing in the compressed domain
+
+usage:
+  rlediff diff <a> <b> [-o OUT] [--algo systolic|sequential|mesh|dense] [--clean N]
+  rlediff encode <in.pbm> -o <out.rle>
+  rlediff decode <in.rle> -o <out.pbm>
+  rlediff info <file>
+  rlediff components <file> [--min-area N]
+  rlediff gen <pcb|paper|glyphs> -o <out> [--seed N] [--text S]
+
+Inputs and outputs may be PBM (P1/P4, by .pbm extension) or the compact
+RLE stream format (any other extension).";
+
+/// Parses an argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut algo = Algo::Systolic;
+    let mut clean = 0u32;
+    let mut seed = 1u64;
+    let mut min_area = 1u64;
+    let mut text = String::from("RLE SYSTOLIC 1999");
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" | "--out" => {
+                let v = it.next().ok_or_else(|| CliError::Usage("-o needs a path".into()))?;
+                out = Some(PathBuf::from(v));
+            }
+            "--algo" => {
+                let v = it.next().ok_or_else(|| CliError::Usage("--algo needs a value".into()))?;
+                algo = Algo::parse(v)?;
+            }
+            "--clean" => {
+                let v = it.next().ok_or_else(|| CliError::Usage("--clean needs a value".into()))?;
+                clean = v.parse().map_err(|_| CliError::Usage("--clean needs a number".into()))?;
+            }
+            "--min-area" => {
+                let v =
+                    it.next().ok_or_else(|| CliError::Usage("--min-area needs a value".into()))?;
+                min_area =
+                    v.parse().map_err(|_| CliError::Usage("--min-area needs a number".into()))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or_else(|| CliError::Usage("--seed needs a value".into()))?;
+                seed = v.parse().map_err(|_| CliError::Usage("--seed needs a number".into()))?;
+            }
+            "--text" => {
+                let v = it.next().ok_or_else(|| CliError::Usage("--text needs a value".into()))?;
+                text = v.clone();
+            }
+            "-h" | "--help" => return Ok(Command::Help),
+            other => positional.push(other),
+        }
+    }
+
+    match positional.as_slice() {
+        ["diff", a, b] => Ok(Command::Diff {
+            a: PathBuf::from(a),
+            b: PathBuf::from(b),
+            out,
+            algo,
+            clean,
+        }),
+        ["encode", input] => Ok(Command::Encode {
+            input: PathBuf::from(input),
+            out: out.ok_or_else(|| CliError::Usage("encode needs -o".into()))?,
+        }),
+        ["decode", input] => Ok(Command::Decode {
+            input: PathBuf::from(input),
+            out: out.ok_or_else(|| CliError::Usage("decode needs -o".into()))?,
+        }),
+        ["info", input] => Ok(Command::Info { input: PathBuf::from(input) }),
+        ["components", input] => {
+            Ok(Command::Components { input: PathBuf::from(input), min_area })
+        }
+        ["gen", kind] => Ok(Command::Gen {
+            kind: (*kind).to_string(),
+            out: out.ok_or_else(|| CliError::Usage("gen needs -o".into()))?,
+            seed,
+            text,
+        }),
+        [] => Ok(Command::Help),
+        other => Err(CliError::Usage(format!("unrecognised arguments: {other:?}"))),
+    }
+}
+
+fn is_pbm(path: &Path) -> bool {
+    path.extension().is_some_and(|e| e.eq_ignore_ascii_case("pbm"))
+}
+
+/// Loads an image from PBM or the compact RLE format, by extension.
+pub fn load_image(path: &Path) -> Result<RleImage, CliError> {
+    let data = fs::read(path)?;
+    if is_pbm(path) {
+        let bm = pbm::read(&mut &data[..])
+            .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+        Ok(convert::encode(&bm))
+    } else {
+        serialize::decode_image(&data)
+            .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))
+    }
+}
+
+/// Saves an image as PBM (P4) or the compact RLE format, by extension.
+pub fn save_image(img: &RleImage, path: &Path) -> Result<(), CliError> {
+    if is_pbm(path) {
+        let bm = convert::decode(img);
+        let mut buf = Vec::new();
+        pbm::write_p4(&bm, &mut buf)?;
+        fs::write(path, buf)?;
+    } else {
+        fs::write(path, serialize::encode_image(img))?;
+    }
+    Ok(())
+}
+
+/// Executes a command, returning the text to print.
+pub fn run_command(cmd: &Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(format!("{USAGE}\n")),
+        Command::Encode { input, out } => {
+            let img = load_image(input)?;
+            save_image(&img, out)?;
+            let rle_len = serialize::encode_image(&img).len();
+            let dense = serialize::dense_size_bytes(img.width(), img.height());
+            Ok(format!(
+                "encoded {} -> {} ({} runs, {} bytes vs {} dense, {:.1}x)\n",
+                input.display(),
+                out.display(),
+                img.total_runs(),
+                rle_len,
+                dense,
+                dense as f64 / rle_len.max(1) as f64
+            ))
+        }
+        Command::Decode { input, out } => {
+            let img = load_image(input)?;
+            save_image(&img, out)?;
+            Ok(format!("decoded {} -> {}\n", input.display(), out.display()))
+        }
+        Command::Info { input } => {
+            let img = load_image(input)?;
+            let rle_len = serialize::encode_image(&img).len();
+            let dense = serialize::dense_size_bytes(img.width(), img.height());
+            let mut s = String::new();
+            let _ = writeln!(s, "{}", input.display());
+            let _ = writeln!(s, "  dimensions : {} x {}", img.width(), img.height());
+            let _ = writeln!(s, "  runs       : {}", img.total_runs());
+            let _ = writeln!(s, "  foreground : {} px ({:.2}%)", img.ones(), img.density() * 100.0);
+            let _ = writeln!(s, "  canonical  : {}", img.is_canonical());
+            let _ = writeln!(
+                s,
+                "  storage    : {} bytes RLE vs {} bytes dense ({:.1}x)",
+                rle_len,
+                dense,
+                dense as f64 / rle_len.max(1) as f64
+            );
+            Ok(s)
+        }
+        Command::Components { input, min_area } => {
+            use rle_analysis::features::{classify_defect, shape_features};
+            let img = load_image(input)?;
+            let labeling =
+                rle_analysis::label_components(&img, rle_analysis::Connectivity::Eight);
+            let kept = rle_analysis::features::filter_by_area(&labeling, *min_area);
+            let mut s = String::new();
+            let _ = writeln!(
+                s,
+                "{}: {} components ({} after --min-area {})",
+                input.display(),
+                labeling.count(),
+                kept.len(),
+                min_area
+            );
+            let mut sorted = kept;
+            sorted.sort_by_key(|c| std::cmp::Reverse(c.area));
+            for c in sorted.iter().take(20) {
+                let f = shape_features(c);
+                let _ = writeln!(
+                    s,
+                    "  #{:<4} {:?} at ({:.0},{:.0})  area {:<6} bbox {}x{}  fill {:.0}%",
+                    c.label,
+                    classify_defect(c),
+                    c.cx,
+                    c.cy,
+                    c.area,
+                    c.bbox_width(),
+                    c.bbox_height(),
+                    f.fill_ratio * 100.0
+                );
+            }
+            if sorted.len() > 20 {
+                let _ = writeln!(s, "  ... and {} more", sorted.len() - 20);
+            }
+            Ok(s)
+        }
+        Command::Diff { a, b, out, algo, clean } => {
+            let ia = load_image(a)?;
+            let ib = load_image(b)?;
+            if ia.width() != ib.width() || ia.height() != ib.height() {
+                return Err(CliError::Mismatch(format!(
+                    "{}x{} vs {}x{}",
+                    ia.width(),
+                    ia.height(),
+                    ib.width(),
+                    ib.height()
+                )));
+            }
+            let (mut diff, detail) = run_diff(&ia, &ib, *algo)?;
+            if *clean > 0 {
+                for y in 0..diff.height() {
+                    let cleaned = rle::morph::remove_small(&diff.rows()[y], *clean);
+                    diff.set_row(y, cleaned).expect("widths preserved");
+                }
+            }
+            let mut s = String::new();
+            let _ = writeln!(s, "diff: {} px differ in {} runs", diff.ones(), diff.total_runs());
+            let _ = writeln!(s, "{detail}");
+            if let Some(out) = out {
+                save_image(&diff, out)?;
+                let _ = writeln!(s, "wrote {}", out.display());
+            }
+            Ok(s)
+        }
+        Command::Gen { kind, out, seed, text } => {
+            let img = match kind.as_str() {
+                "pcb" => {
+                    let bm = workload::pcb::reference_layer(&workload::pcb::PcbParams::default(), *seed);
+                    convert::encode(&bm)
+                }
+                "paper" => {
+                    let params = workload::GenParams::for_density(2_048, 0.3);
+                    workload::RowGenerator::new(params, *seed).next_image(512)
+                }
+                "glyphs" => workload::glyphs::render_rle(text, 4),
+                other => return Err(CliError::Usage(format!("unknown workload kind {other:?}"))),
+            };
+            save_image(&img, out)?;
+            Ok(format!(
+                "generated {kind} workload: {}x{}, {} runs -> {}\n",
+                img.width(),
+                img.height(),
+                img.total_runs(),
+                out.display()
+            ))
+        }
+    }
+}
+
+fn run_diff(a: &RleImage, b: &RleImage, algo: Algo) -> Result<(RleImage, String), CliError> {
+    let to_err = |e: systolic_core::SystolicError| CliError::Mismatch(e.to_string());
+    match algo {
+        Algo::Systolic => {
+            let (diff, stats) =
+                systolic_core::image::xor_image(a, b).map_err(to_err)?;
+            Ok((
+                diff,
+                format!(
+                    "systolic: {} iterations total, slowest row {} (cells provisioned: {})",
+                    stats.totals.iterations, stats.max_row_iterations, stats.totals.cells
+                ),
+            ))
+        }
+        Algo::Mesh => {
+            let mut rows = Vec::with_capacity(a.height());
+            let mut iters = 0u64;
+            for (ra, rb) in a.rows().iter().zip(b.rows()) {
+                let (row, stats) =
+                    systolic_core::bus::systolic_xor_mesh(ra, rb).map_err(to_err)?;
+                iters += stats.iterations;
+                rows.push(row);
+            }
+            let diff = RleImage::from_rows(a.width(), rows).expect("widths preserved");
+            Ok((diff, format!("mesh-assisted systolic: {iters} iterations total")))
+        }
+        Algo::Sequential => {
+            let mut rows = Vec::with_capacity(a.height());
+            let mut iters = 0u64;
+            for (ra, rb) in a.rows().iter().zip(b.rows()) {
+                let (row, stats) = rle::ops::xor_raw_with_stats(ra, rb);
+                iters += stats.iterations;
+                rows.push(row.canonicalized());
+            }
+            let diff = RleImage::from_rows(a.width(), rows).expect("widths preserved");
+            Ok((diff, format!("sequential merge: {iters} iterations total")))
+        }
+        Algo::Dense => {
+            let da = convert::decode(a);
+            let db = convert::decode(b);
+            let diff = convert::encode(&bitimg::ops::xor(&da, &db));
+            Ok((diff, "dense word XOR".to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rlediff_test_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn parse_diff_with_options() {
+        let cmd = parse_args(&args(&[
+            "diff", "a.pbm", "b.pbm", "-o", "d.pbm", "--algo", "mesh", "--clean", "2",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Diff {
+                a: "a.pbm".into(),
+                b: "b.pbm".into(),
+                out: Some("d.pbm".into()),
+                algo: Algo::Mesh,
+                clean: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(parse_args(&args(&["encode", "x.pbm"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&args(&["diff", "a", "b", "--algo", "warp"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(parse_args(&args(&["frobnicate"])), Err(CliError::Usage(_))));
+        assert_eq!(parse_args(&args(&[])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn gen_info_encode_decode_round_trip() {
+        let pbm_path = tmp("board.pbm");
+        let msg = run_command(&Command::Gen {
+            kind: "pcb".into(),
+            out: pbm_path.clone(),
+            seed: 5,
+            text: String::new(),
+        })
+        .unwrap();
+        assert!(msg.contains("generated pcb"));
+
+        let info = run_command(&Command::Info { input: pbm_path.clone() }).unwrap();
+        assert!(info.contains("dimensions"));
+
+        let rle_path = tmp("board.rle");
+        run_command(&Command::Encode { input: pbm_path.clone(), out: rle_path.clone() }).unwrap();
+        let back_path = tmp("board_back.pbm");
+        run_command(&Command::Decode { input: rle_path.clone(), out: back_path.clone() }).unwrap();
+        assert_eq!(load_image(&pbm_path).unwrap(), load_image(&back_path).unwrap());
+        // RLE file is smaller than the PBM.
+        assert!(fs::metadata(&rle_path).unwrap().len() < fs::metadata(&pbm_path).unwrap().len());
+    }
+
+    #[test]
+    fn diff_algorithms_agree_end_to_end() {
+        let a_path = tmp("ga.pbm");
+        let b_path = tmp("gb.pbm");
+        run_command(&Command::Gen {
+            kind: "glyphs".into(),
+            out: a_path.clone(),
+            seed: 1,
+            text: "PCB".into(),
+        })
+        .unwrap();
+        run_command(&Command::Gen {
+            kind: "glyphs".into(),
+            out: b_path.clone(),
+            seed: 1,
+            text: "PCR".into(),
+        })
+        .unwrap();
+
+        let mut outputs = Vec::new();
+        for algo in [Algo::Systolic, Algo::Sequential, Algo::Mesh, Algo::Dense] {
+            let out = tmp(&format!("diff_{algo:?}.rle"));
+            let msg = run_command(&Command::Diff {
+                a: a_path.clone(),
+                b: b_path.clone(),
+                out: Some(out.clone()),
+                algo,
+                clean: 0,
+            })
+            .unwrap();
+            assert!(msg.contains("px differ"), "{msg}");
+            outputs.push(load_image(&out).unwrap());
+        }
+        for pair in outputs.windows(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+        assert!(outputs[0].ones() > 0, "B vs R must differ");
+    }
+
+    #[test]
+    fn diff_clean_drops_specks() {
+        // Two glyph images with 1-px noise: --clean 2 keeps only wider
+        // difference components.
+        let a = workload::glyphs::render_rle("O", 3);
+        let mut noisy_dense = convert::decode(&a);
+        noisy_dense.set(0, 0, true); // single-pixel speck
+        let b = convert::encode(&noisy_dense);
+        let a_path = tmp("ca.rle");
+        let b_path = tmp("cb.rle");
+        save_image(&a, &a_path).unwrap();
+        save_image(&b, &b_path).unwrap();
+        let out = tmp("cd.rle");
+        run_command(&Command::Diff {
+            a: a_path,
+            b: b_path,
+            out: Some(out.clone()),
+            algo: Algo::Systolic,
+            clean: 2,
+        })
+        .unwrap();
+        assert_eq!(load_image(&out).unwrap().ones(), 0, "speck must be cleaned away");
+    }
+
+    #[test]
+    fn diff_rejects_dimension_mismatch() {
+        let a = workload::glyphs::render_rle("A", 2);
+        let b = workload::glyphs::render_rle("AB", 2);
+        let a_path = tmp("ma.rle");
+        let b_path = tmp("mb.rle");
+        save_image(&a, &a_path).unwrap();
+        save_image(&b, &b_path).unwrap();
+        let err = run_command(&Command::Diff {
+            a: a_path,
+            b: b_path,
+            out: None,
+            algo: Algo::Systolic,
+            clean: 0,
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Mismatch(_)));
+    }
+
+    #[test]
+    fn components_command_reports_blobs() {
+        let img = workload::glyphs::render_rle("I I", 2);
+        let path = tmp("comp.rle");
+        save_image(&img, &path).unwrap();
+        let out =
+            run_command(&Command::Components { input: path.clone(), min_area: 1 }).unwrap();
+        assert!(out.contains("2 components"), "{out}");
+        // min-area filters the report.
+        let filtered =
+            run_command(&Command::Components { input: path, min_area: 10_000 }).unwrap();
+        assert!(filtered.contains("(0 after --min-area"), "{filtered}");
+    }
+
+    #[test]
+    fn parse_components_with_min_area() {
+        let cmd = parse_args(&args(&["components", "x.rle", "--min-area", "5"])).unwrap();
+        assert_eq!(cmd, Command::Components { input: "x.rle".into(), min_area: 5 });
+    }
+
+    #[test]
+    fn help_text() {
+        let out = run_command(&Command::Help).unwrap();
+        assert!(out.contains("rlediff"));
+        assert!(out.contains("diff"));
+    }
+}

@@ -1,0 +1,19 @@
+//! `rlediff` — see [`rlediff::USAGE`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match rlediff::parse_args(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("{e}\n\n{}", rlediff::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match rlediff::run_command(&command) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

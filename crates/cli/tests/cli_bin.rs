@@ -1,0 +1,79 @@
+//! Black-box tests of the compiled `rlediff` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn rlediff(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_rlediff"))
+        .args(args)
+        .output()
+        .expect("binary must run")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rlediff_bin_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = rlediff(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}
+
+#[test]
+fn bad_arguments_exit_nonzero_with_usage() {
+    let out = rlediff(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn missing_file_exits_one() {
+    let out = rlediff(&["info", "/nonexistent/nope.pbm"]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn full_workflow_gen_diff_info() {
+    let a = tmp("w_a.pbm");
+    let b = tmp("w_b.pbm");
+    let d = tmp("w_diff.rle");
+
+    let out = rlediff(&["gen", "glyphs", "-o", a.to_str().unwrap(), "--text", "IPPS"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = rlediff(&["gen", "glyphs", "-o", b.to_str().unwrap(), "--text", "IPPC"]);
+    assert!(out.status.success());
+
+    let out = rlediff(&[
+        "diff",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "-o",
+        d.to_str().unwrap(),
+        "--algo",
+        "systolic",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("px differ"), "{text}");
+    assert!(text.contains("systolic"), "{text}");
+
+    let out = rlediff(&["info", d.to_str().unwrap()]);
+    assert!(out.status.success());
+    let info = String::from_utf8_lossy(&out.stdout);
+    assert!(info.contains("dimensions"), "{info}");
+}
+
+#[test]
+fn diff_of_identical_inputs_is_empty() {
+    let a = tmp("i_a.pbm");
+    rlediff(&["gen", "pcb", "-o", a.to_str().unwrap(), "--seed", "3"]);
+    let out = rlediff(&["diff", a.to_str().unwrap(), a.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 px differ"));
+}

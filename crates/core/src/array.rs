@@ -1,0 +1,520 @@
+//! The systolic array simulator: state, phases, termination and extraction.
+
+use crate::cell::{step1_order, step2_xor, CellView, OrderEvent, XorEvent};
+use crate::error::SystolicError;
+use crate::invariants;
+use crate::stats::ArrayStats;
+use rle::{Pixel, RleRow, Run};
+
+/// A simulated linear systolic array loaded with two RLE rows.
+///
+/// ```
+/// use rle::RleRow;
+/// use systolic_core::SystolicArray;
+///
+/// let a = RleRow::from_pairs(64, &[(0, 8), (20, 4)]).unwrap();
+/// let b = RleRow::from_pairs(64, &[(4, 8), (20, 4)]).unwrap();
+/// let mut machine = SystolicArray::load(&a, &b).unwrap();
+/// machine.run().unwrap();
+/// assert_eq!(machine.extract().unwrap(), rle::ops::xor(&a, &b));
+/// assert!(machine.stats().within_theorem1());
+/// ```
+///
+/// Registers are stored struct-of-arrays (`small[i]`, `big[i]`) so the
+/// per-phase loops are straight-line scans and the parallel engine can chunk
+/// them without touching shared state.
+///
+/// The default capacity is `k1 + k2` cells: by the paper's Corollary 1.2 no
+/// run ever travels past cell `k1 + k2`, so this is exactly the "2k cells"
+/// sizing of §3 with `k = max(k1, k2)` tightened to the actual inputs. The
+/// simulator still *checks* this (an overflowing shift is an error) rather
+/// than assuming it.
+#[derive(Clone, Debug)]
+pub struct SystolicArray {
+    width: Pixel,
+    small: Vec<Option<Run>>,
+    big: Vec<Option<Run>>,
+    stats: ArrayStats,
+    /// Number of occupied `RegBig` registers; zero = every cell raises its
+    /// complete signal `C`, i.e. the machine has terminated.
+    occupied_big: usize,
+    /// When set, Theorem-2/Corollary-1.2 invariants are verified after every
+    /// iteration (see [`crate::invariants`]).
+    checks: bool,
+    /// Iteration budget; defaults to the Theorem-1 bound `k1 + k2`.
+    max_iterations: u64,
+}
+
+impl SystolicArray {
+    /// Loads the machine with two rows, sizing the array at `k1 + k2` cells.
+    pub fn load(a: &RleRow, b: &RleRow) -> Result<Self, SystolicError> {
+        let cells = a.run_count() + b.run_count();
+        Self::with_capacity(a, b, cells)
+    }
+
+    /// Loads the machine with an explicit cell count (must be at least
+    /// `max(k1, k2)` to hold the initial images; `k1 + k2` is always safe).
+    pub fn with_capacity(a: &RleRow, b: &RleRow, cells: usize) -> Result<Self, SystolicError> {
+        if a.width() != b.width() {
+            return Err(SystolicError::WidthMismatch { left: a.width(), right: b.width() });
+        }
+        assert!(
+            cells >= a.run_count().max(b.run_count()),
+            "capacity {cells} cannot hold the initial {} / {} runs",
+            a.run_count(),
+            b.run_count()
+        );
+        let mut small = vec![None; cells];
+        let mut big = vec![None; cells];
+        for (i, &run) in a.runs().iter().enumerate() {
+            small[i] = Some(run);
+        }
+        for (i, &run) in b.runs().iter().enumerate() {
+            big[i] = Some(run);
+        }
+        let (k1, k2) = (a.run_count(), b.run_count());
+        Ok(Self {
+            width: a.width(),
+            small,
+            big,
+            stats: ArrayStats { cells, k1, k2, ..ArrayStats::default() },
+            occupied_big: k2,
+            checks: cfg!(debug_assertions),
+            max_iterations: (k1 + k2) as u64,
+        })
+    }
+
+    /// Reloads the machine with a new row pair, reusing the register-file
+    /// allocation — the streaming mode of a physical array, where row pairs
+    /// flow through one chip. Statistics reset; the invariant-check setting
+    /// is kept.
+    pub fn reload(&mut self, a: &RleRow, b: &RleRow) -> Result<(), SystolicError> {
+        if a.width() != b.width() {
+            return Err(SystolicError::WidthMismatch { left: a.width(), right: b.width() });
+        }
+        let (k1, k2) = (a.run_count(), b.run_count());
+        let cells = k1 + k2;
+        self.small.clear();
+        self.small.resize(cells, None);
+        self.big.clear();
+        self.big.resize(cells, None);
+        for (i, &run) in a.runs().iter().enumerate() {
+            self.small[i] = Some(run);
+        }
+        for (i, &run) in b.runs().iter().enumerate() {
+            self.big[i] = Some(run);
+        }
+        self.width = a.width();
+        self.stats = ArrayStats { cells, k1, k2, ..ArrayStats::default() };
+        self.occupied_big = k2;
+        self.max_iterations = cells as u64;
+        Ok(())
+    }
+
+    /// Enables or disables per-iteration invariant checking (default: on in
+    /// debug builds, off in release).
+    pub fn enable_invariant_checks(&mut self, on: bool) {
+        self.checks = on;
+    }
+
+    /// Grants extra iterations beyond the Theorem-1 bound before
+    /// [`SystolicError::IterationBound`] is raised. Useful only for
+    /// deliberately-broken experimental variants.
+    pub fn set_iteration_slack(&mut self, extra: u64) {
+        self.max_iterations = (self.stats.k1 + self.stats.k2) as u64 + extra;
+    }
+
+    /// Row width of the loaded images.
+    #[must_use]
+    pub fn width(&self) -> Pixel {
+        self.width
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.small.len()
+    }
+
+    /// Read-only view of cell `i`.
+    #[must_use]
+    pub fn cell(&self, i: usize) -> CellView {
+        CellView { small: self.small[i], big: self.big[i] }
+    }
+
+    /// Read-only views of all cells, left to right.
+    pub fn views(&self) -> impl Iterator<Item = CellView> + '_ {
+        self.small
+            .iter()
+            .zip(&self.big)
+            .map(|(&small, &big)| CellView { small, big })
+    }
+
+    /// Whether every cell raises its complete signal (`RegBig` empty
+    /// everywhere) — the condition under which the external controller
+    /// broadcasts the finish signal `F`.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.occupied_big == 0
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &ArrayStats {
+        &self.stats
+    }
+
+    /// Internal accessors for the engines and invariant checks.
+    pub(crate) fn registers(&self) -> (&[Option<Run>], &[Option<Run>]) {
+        (&self.small, &self.big)
+    }
+
+    pub(crate) fn registers_mut(&mut self) -> (&mut [Option<Run>], &mut [Option<Run>]) {
+        (&mut self.small, &mut self.big)
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut ArrayStats {
+        &mut self.stats
+    }
+
+    pub(crate) fn set_occupied_big(&mut self, n: usize) {
+        self.occupied_big = n;
+    }
+
+    /// Step 1 for every cell. Exposed so traces can show intra-iteration
+    /// states exactly like the paper's Figure 3 (rows 1.1, 2.1, ...).
+    pub fn phase_order(&mut self) {
+        for (small, big) in self.small.iter_mut().zip(&mut self.big) {
+            match step1_order(small, big) {
+                OrderEvent::Swapped => self.stats.swaps += 1,
+                OrderEvent::Moved => {
+                    self.stats.moves += 1;
+                    self.occupied_big -= 1;
+                }
+                OrderEvent::None => {}
+            }
+        }
+    }
+
+    /// Step 2 for every cell (rows 1.2, 2.2, ... of Figure 3). Also samples
+    /// the busy-cell count for the utilization statistic.
+    pub fn phase_xor(&mut self) {
+        let mut busy = 0u64;
+        for (small, big) in self.small.iter_mut().zip(&mut self.big) {
+            let big_was_occupied = big.is_some();
+            match step2_xor(small, big) {
+                XorEvent::Idle => {}
+                XorEvent::Disjoint => self.stats.disjoint_xors += 1,
+                XorEvent::Combined => self.stats.combines += 1,
+                XorEvent::Annihilated => self.stats.annihilations += 1,
+            }
+            if big_was_occupied && big.is_none() {
+                self.occupied_big -= 1;
+            }
+            if small.is_some() || big.is_some() {
+                busy += 1;
+            }
+        }
+        self.stats.busy_cell_iterations += busy;
+    }
+
+    /// Step 3 for every cell: shift the `RegBig` chain one cell to the right
+    /// (rows 1.3, 2.3, ... of Figure 3). Fails if a run would fall off the
+    /// end of the array, which Corollary 1.2 proves impossible at the
+    /// default capacity.
+    pub fn phase_shift(&mut self) -> Result<(), SystolicError> {
+        if self.occupied_big == 0 {
+            return Ok(()); // nothing on the chain; skip the memmove
+        }
+        if self.big.last().is_some_and(Option::is_some) {
+            return Err(SystolicError::Overflow { cells: self.big.len() });
+        }
+        self.stats.run_shifts += self.occupied_big as u64;
+        self.big.rotate_right(1);
+        self.big[0] = None;
+        Ok(())
+    }
+
+    /// Executes one full iteration (steps 1–3) and updates the iteration
+    /// counter. Returns whether the machine has terminated.
+    pub fn step(&mut self) -> Result<bool, SystolicError> {
+        self.phase_order();
+        self.phase_xor();
+        self.phase_shift()?;
+        self.stats.iterations += 1;
+        if self.checks {
+            invariants::check_all(self).map_err(|what| SystolicError::InvariantViolated { what })?;
+        }
+        Ok(self.is_done())
+    }
+
+    /// Runs the machine to termination.
+    pub fn run(&mut self) -> Result<(), SystolicError> {
+        while !self.is_done() {
+            if self.stats.iterations >= self.max_iterations {
+                return Err(SystolicError::IterationBound { bound: self.max_iterations });
+            }
+            self.step()?;
+        }
+        self.stats.output_runs = self.small.iter().flatten().count();
+        Ok(())
+    }
+
+    /// Extracts the result exactly as it sits in the `RegSmall` chain:
+    /// ordered, non-overlapping, possibly with adjacent runs. Fails with
+    /// [`SystolicError::Disordered`] if the chain violates Theorem 2.
+    pub fn extract_raw(&self) -> Result<RleRow, SystolicError> {
+        let mut out = RleRow::new(self.width);
+        for (i, run) in self.small.iter().enumerate() {
+            if let Some(run) = run {
+                out.push_run(*run).map_err(|_| SystolicError::Disordered { cell: i })?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Extracts the result and coalesces adjacent runs (the paper's
+    /// "additional pass"; see also [`crate::bus`] for the hardware-assisted
+    /// version the paper leaves as future work).
+    pub fn extract(&self) -> Result<RleRow, SystolicError> {
+        Ok(self.extract_raw()?.canonicalized())
+    }
+}
+
+/// Convenience entry point: loads, runs and extracts in one call, returning
+/// the canonicalized difference and the run statistics.
+pub fn systolic_xor(a: &RleRow, b: &RleRow) -> Result<(RleRow, ArrayStats), SystolicError> {
+    let mut array = SystolicArray::load(a, b)?;
+    array.run()?;
+    let row = array.extract()?;
+    Ok((row, *array.stats()))
+}
+
+/// Like [`systolic_xor`] but returns the raw (uncoalesced) output, exactly
+/// what the hardware's `RegSmall` chain holds.
+pub fn systolic_xor_raw(a: &RleRow, b: &RleRow) -> Result<(RleRow, ArrayStats), SystolicError> {
+    let mut array = SystolicArray::load(a, b)?;
+    array.run()?;
+    let row = array.extract_raw()?;
+    Ok((row, *array.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn row(width: Pixel, pairs: &[(Pixel, Pixel)]) -> RleRow {
+        RleRow::from_pairs(width, pairs).unwrap()
+    }
+
+    fn fig1_inputs() -> (RleRow, RleRow) {
+        (
+            row(40, &[(10, 3), (16, 2), (23, 2), (27, 3)]),
+            row(40, &[(3, 4), (8, 5), (15, 5), (23, 2), (27, 4)]),
+        )
+    }
+
+    #[test]
+    fn figure1_result_and_figure3_iterations() {
+        let (a, b) = fig1_inputs();
+        let (diff, stats) = systolic_xor(&a, &b).unwrap();
+        assert_eq!(
+            diff,
+            row(40, &[(3, 4), (8, 2), (15, 1), (18, 2), (30, 1)]),
+        );
+        // Figure 3: the machine halts after iteration 3.
+        assert_eq!(stats.iterations, 3);
+        assert_eq!(stats.k1, 4);
+        assert_eq!(stats.k2, 5);
+        assert!(stats.within_theorem1());
+        assert_eq!(stats.output_runs, 5);
+    }
+
+    #[test]
+    fn figure3_intermediate_states() {
+        // Verify the published register contents after step 1 of iteration 1
+        // (row "1.1" of Figure 3).
+        let (a, b) = fig1_inputs();
+        let mut m = SystolicArray::load(&a, &b).unwrap();
+        m.phase_order();
+        let smalls: Vec<_> = m.views().map(|c| c.small).collect();
+        let bigs: Vec<_> = m.views().map(|c| c.big).collect();
+        let r = |s, l| Some(Run::new(s, l));
+        assert_eq!(
+            &smalls[..5],
+            &[r(3, 4), r(8, 5), r(15, 5), r(23, 2), r(27, 4)]
+        );
+        assert_eq!(&bigs[..4], &[r(10, 3), r(16, 2), r(23, 2), r(27, 3)]);
+        assert!(bigs[4..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn empty_inputs_terminate_immediately() {
+        let a = RleRow::new(64);
+        let b = RleRow::new(64);
+        let (diff, stats) = systolic_xor(&a, &b).unwrap();
+        assert!(diff.is_empty());
+        assert_eq!(stats.iterations, 0);
+        assert_eq!(stats.cells, 0);
+    }
+
+    #[test]
+    fn one_empty_input_is_identity() {
+        let a = row(64, &[(3, 4), (10, 2), (40, 8)]);
+        let b = RleRow::new(64);
+        let (diff, stats) = systolic_xor(&a, &b).unwrap();
+        assert_eq!(diff, a);
+        // RegBig chain is empty from the start: zero iterations.
+        assert_eq!(stats.iterations, 0);
+
+        let (diff, stats) = systolic_xor(&b, &a).unwrap();
+        assert_eq!(diff, a);
+        // Image in RegBig: one iteration moves every run into RegSmall.
+        assert_eq!(stats.iterations, 1);
+        assert_eq!(stats.moves, 3);
+    }
+
+    #[test]
+    fn identical_inputs_annihilate() {
+        let a = row(64, &[(3, 4), (10, 2), (40, 8)]);
+        let (diff, stats) = systolic_xor(&a, &a.clone()).unwrap();
+        assert!(diff.is_empty());
+        assert_eq!(stats.annihilations, 3);
+        assert_eq!(stats.iterations, 1);
+        assert_eq!(stats.output_runs, 0);
+    }
+
+    #[test]
+    fn single_run_pair_overlapping() {
+        let a = row(64, &[(0, 10)]);
+        let b = row(64, &[(5, 10)]);
+        let (diff, _) = systolic_xor(&a, &b).unwrap();
+        assert_eq!(diff, rle::ops::xor(&a, &b));
+    }
+
+    #[test]
+    fn width_mismatch_is_rejected() {
+        let a = RleRow::new(10);
+        let b = RleRow::new(12);
+        assert_eq!(
+            SystolicArray::load(&a, &b).unwrap_err(),
+            SystolicError::WidthMismatch { left: 10, right: 12 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn undersized_capacity_panics() {
+        let a = row(64, &[(0, 1), (2, 1), (4, 1)]);
+        let _ = SystolicArray::with_capacity(&a, &RleRow::new(64), 2);
+    }
+
+    #[test]
+    fn undersized_array_overflows_loudly() {
+        // With only max(k1, k2) cells the surplus runs must fall off the
+        // end: b's runs all land after a's, so the final configuration
+        // needs k1 + k2 = 6 cells but only 3 exist. Corollary 1.2 only
+        // guarantees safety at the default capacity; here the simulator
+        // must fail loudly instead of silently dropping runs.
+        let a = row(200, &[(0, 4), (10, 4), (20, 4)]);
+        let b = row(200, &[(100, 4), (110, 4), (120, 4)]);
+        let mut m = SystolicArray::with_capacity(&a, &b, 3).unwrap();
+        m.enable_invariant_checks(false);
+        let err = m.run().unwrap_err();
+        assert_eq!(err, SystolicError::Overflow { cells: 3 });
+    }
+
+    #[test]
+    fn reload_reuses_allocation_and_resets_state() {
+        let (a, b) = fig1_inputs();
+        let mut m = SystolicArray::load(&a, &b).unwrap();
+        m.run().unwrap();
+        let first = m.extract().unwrap();
+        let first_stats = *m.stats();
+
+        // Reload with swapped operands: same canonical result, fresh stats.
+        m.reload(&b, &a).unwrap();
+        assert!(!m.is_done());
+        assert_eq!(m.stats().iterations, 0);
+        m.run().unwrap();
+        assert_eq!(m.extract().unwrap(), first);
+        assert_eq!(m.stats().k1, first_stats.k2);
+
+        // Reload with a mismatched pair errors and leaves nothing corrupted.
+        assert!(m.reload(&a, &RleRow::new(99)).is_err());
+    }
+
+    #[test]
+    fn raw_output_may_be_uncoalesced() {
+        let a = row(64, &[(0, 5)]);
+        let b = row(64, &[(5, 5)]);
+        let (raw, _) = systolic_xor_raw(&a, &b).unwrap();
+        assert_eq!(raw.runs(), &[Run::new(0, 5), Run::new(5, 5)]);
+        let (canonical, _) = systolic_xor(&a, &b).unwrap();
+        assert_eq!(canonical.runs(), &[Run::new(0, 10)]);
+    }
+
+    #[test]
+    fn interleaved_disjoint_runs() {
+        // Worst-case-flavoured input: completely interleaved disjoint runs.
+        let a = RleRow::from_pairs(400, &(0..20).map(|i| (i * 16, 3)).collect::<Vec<_>>()).unwrap();
+        let b =
+            RleRow::from_pairs(400, &(0..20).map(|i| (i * 16 + 8, 3)).collect::<Vec<_>>()).unwrap();
+        let (diff, stats) = systolic_xor(&a, &b).unwrap();
+        assert_eq!(diff, rle::ops::xor(&a, &b));
+        assert!(stats.within_theorem1(), "{stats:?}");
+    }
+
+    #[test]
+    fn step_by_step_equals_run() {
+        let (a, b) = fig1_inputs();
+        let mut stepped = SystolicArray::load(&a, &b).unwrap();
+        while !stepped.step().unwrap() {}
+        let mut ran = SystolicArray::load(&a, &b).unwrap();
+        ran.run().unwrap();
+        assert_eq!(stepped.extract().unwrap(), ran.extract().unwrap());
+        assert_eq!(stepped.stats().iterations, ran.stats().iterations);
+    }
+
+    #[test]
+    fn randomized_against_sequential_reference() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_1999);
+        for case in 0..300 {
+            let width: Pixel = rng.gen_range(1..=300);
+            let gen_row = |rng: &mut StdRng| {
+                let mut row = RleRow::new(width);
+                let mut pos: Pixel = rng.gen_range(0..=4);
+                while pos < width {
+                    let len = rng.gen_range(1..=6).min(width - pos);
+                    if len == 0 {
+                        break;
+                    }
+                    row.push_run(Run::new(pos, len)).unwrap();
+                    pos += len + rng.gen_range(1..=9);
+                }
+                row
+            };
+            let a = gen_row(&mut rng);
+            let b = gen_row(&mut rng);
+            let (got, stats) = systolic_xor(&a, &b).unwrap();
+            let want = rle::ops::xor(&a, &b);
+            assert_eq!(got, want, "case {case}: {a:?} vs {b:?}");
+            assert!(stats.within_theorem1(), "case {case}: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn stats_movement_counters_are_consistent() {
+        let (a, b) = fig1_inputs();
+        let mut m = SystolicArray::load(&a, &b).unwrap();
+        m.run().unwrap();
+        let s = m.stats();
+        // Every input run is either still present (as output) or annihilated
+        // pairwise; combines conserve pixel totals but may split runs.
+        assert!(s.swaps > 0);
+        assert!(s.run_shifts > 0);
+        assert_eq!(s.bus_placements, 0, "pure machine never uses the bus");
+    }
+}

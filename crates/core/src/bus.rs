@@ -1,0 +1,480 @@
+//! The broadcast-bus extension the paper proposes as future work (§6).
+//!
+//! > "In both the case of highly similar and highly different images, the
+//! > number of iterations taken seems to be dominated by the frequent need
+//! > to push a whole set of runs to the right to make room for a new entry.
+//! > If a broadcast bus existed which could run at the same frequency as the
+//! > rest of the systolic system, it might be possible to perform these
+//! > shifts more efficiently thus significantly decreasing the running
+//! > time. Thus one area of future research should be modifying the
+//! > algorithm to run more quickly on a model with a fast broadcast bus,
+//! > such as a reconfigurable mesh."
+//!
+//! The paper gives no design, so we model the two hardware capabilities it
+//! names, as [`BusMode`]s bolted onto the unmodified steps 1–2:
+//!
+//! * **`Broadcast { per_cycle }`** — a bus that moves `per_cycle` single
+//!   runs per iteration. A pending `RegBig` run may be delivered directly
+//!   to the first free `RegSmall` slot it could reach by pure shifting
+//!   *without interacting with anything on the way* (every `RegSmall` it
+//!   passes lies strictly left of it, and the chain right of the slot lies
+//!   strictly right of it). Longest pending journeys are delivered first
+//!   (critical-path-first).
+//! * **`Mesh`** — a reconfigurable mesh (the paper cites Ben-Asher et al.),
+//!   where disjoint bus segments operate simultaneously: *any* number of
+//!   non-conflicting deliveries per iteration, plus **segment inserts** —
+//!   the "push a whole set of runs right to make room for a new entry"
+//!   completed in a single cycle by shifting the whole contiguous group at
+//!   once instead of bubbling cell by cell.
+//!
+//! Every move is a pure fast-forward of work the shift chain would do
+//! anyway, so the final register file — and therefore the result — is
+//! identical to the pure machine's (asserted by randomized tests). Only the
+//! iteration count changes; experiment E10 quantifies it.
+
+use crate::array::SystolicArray;
+use crate::error::SystolicError;
+use crate::stats::ArrayStats;
+use rle::{RleRow, Run};
+
+/// Which §6 hardware model accelerates the shift chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BusMode {
+    /// A single broadcast bus moving `per_cycle` runs per iteration.
+    Broadcast {
+        /// Deliveries per iteration (a physical bus does 1).
+        per_cycle: usize,
+    },
+    /// A reconfigurable mesh: unlimited disjoint deliveries and one-cycle
+    /// segment inserts.
+    Mesh,
+}
+
+/// A systolic array augmented with one of the §6 interconnect models.
+///
+/// ```
+/// use rle::RleRow;
+/// use systolic_core::bus::{BusArray, BusMode};
+///
+/// let a = RleRow::from_pairs(64, &[(0, 4), (10, 4), (20, 4)]).unwrap();
+/// let b = RleRow::from_pairs(64, &[(40, 4)]).unwrap();
+/// let mut mesh = BusArray::load(&a, &b).unwrap().with_mode(BusMode::Mesh);
+/// mesh.run().unwrap();
+/// assert_eq!(mesh.extract().unwrap(), rle::ops::xor(&a, &b));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BusArray {
+    array: SystolicArray,
+    mode: BusMode,
+}
+
+impl BusArray {
+    /// Loads the machine with a single-transaction broadcast bus.
+    pub fn load(a: &RleRow, b: &RleRow) -> Result<Self, SystolicError> {
+        Ok(Self {
+            array: SystolicArray::load(a, b)?,
+            mode: BusMode::Broadcast { per_cycle: 1 },
+        })
+    }
+
+    /// Selects the interconnect model.
+    #[must_use]
+    pub fn with_mode(mut self, mode: BusMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Convenience: a broadcast bus with the given per-cycle capacity.
+    #[must_use]
+    pub fn with_bus_capacity(self, capacity: usize) -> Self {
+        self.with_mode(BusMode::Broadcast { per_cycle: capacity })
+    }
+
+    /// The underlying array (for inspection).
+    #[must_use]
+    pub fn array(&self) -> &SystolicArray {
+        &self.array
+    }
+
+    /// Executes one iteration: steps 1–2, the bus phase, then the ordinary
+    /// shift for whatever the bus did not take. Returns whether the machine
+    /// has terminated.
+    pub fn step(&mut self) -> Result<bool, SystolicError> {
+        self.array.phase_order();
+        self.array.phase_xor();
+        self.phase_bus();
+        self.array.phase_shift()?;
+        self.array.stats_mut().iterations += 1;
+        Ok(self.array.is_done())
+    }
+
+    /// Runs to termination.
+    pub fn run(&mut self) -> Result<(), SystolicError> {
+        let bound = (self.array.stats().k1 + self.array.stats().k2) as u64;
+        while !self.array.is_done() {
+            if self.array.stats().iterations >= bound {
+                return Err(SystolicError::IterationBound { bound });
+            }
+            self.step()?;
+        }
+        let output_runs = self.array.views().filter(|c| c.small.is_some()).count();
+        self.array.stats_mut().output_runs = output_runs;
+        Ok(())
+    }
+
+    /// Extracts the canonicalized result.
+    pub fn extract(&self) -> Result<RleRow, SystolicError> {
+        self.array.extract()
+    }
+
+    /// Extracts the raw result.
+    pub fn extract_raw(&self) -> Result<RleRow, SystolicError> {
+        self.array.extract_raw()
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &ArrayStats {
+        self.array.stats()
+    }
+
+    fn phase_bus(&mut self) {
+        match self.mode {
+            BusMode::Broadcast { per_cycle } => {
+                for _ in 0..per_cycle {
+                    // One datum per transaction: the best single-run move,
+                    // whether it ends in a free slot or just before an
+                    // unavoidable interaction.
+                    let placement = self.best_direct_placement();
+                    let express = self.best_express_delivery(&[]);
+                    match (placement, express) {
+                        (Some((pf, pt, pr)), Some((ef, et, _)))
+                            if et.saturating_sub(ef) > pt.saturating_sub(pf) =>
+                        {
+                            self.apply_express(ef, et);
+                            let _ = pr;
+                        }
+                        (Some((pf, pt, pr)), _) => self.apply_placement(pf, pt, pr),
+                        (None, Some((ef, et, _))) => self.apply_express(ef, et),
+                        (None, None) => break,
+                    }
+                }
+            }
+            BusMode::Mesh => {
+                // Disjoint segments work simultaneously: keep applying moves
+                // until none are left this cycle. Placements and inserts
+                // each clear one RegBig register; express deliveries are
+                // limited to one per destination per cycle, so the loop is
+                // bounded.
+                let mut expressed: Vec<usize> = Vec::new();
+                loop {
+                    if let Some((from, to, run)) = self.best_direct_placement() {
+                        self.apply_placement(from, to, run);
+                        continue;
+                    }
+                    if self.apply_one_segment_insert() {
+                        continue;
+                    }
+                    if let Some((from, to, _)) = self.best_express_delivery(&expressed) {
+                        self.apply_express(from, to);
+                        expressed.push(to);
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+        self.resync_occupancy();
+    }
+
+    /// Finds the pending run with the longest *free passage* toward its
+    /// first unavoidable interaction: a run at `big[i]` whose next
+    /// interacting `RegSmall` partner sits at cell `j` may be delivered to
+    /// `big[j − 1]` (the shift then carries it into `j`, exactly as if it
+    /// had travelled cell by cell) when every `RegSmall` strictly between
+    /// lies strictly left of it and no other pending run occupies the
+    /// skipped `RegBig` cells. `skip` lists destinations already used this
+    /// cycle.
+    fn best_express_delivery(&self, skip: &[usize]) -> Option<(usize, usize, Run)> {
+        let (small, big) = self.array.registers();
+        let mut best: Option<(usize, usize, Run)> = None;
+        for (from, reg) in big.iter().enumerate() {
+            let Some(run) = *reg else { continue };
+            // Find the interaction point: the first RegSmall at or right of
+            // `from` that the run cannot freely pass.
+            let mut interaction = None;
+            for (m, s) in small.iter().enumerate().skip(from) {
+                if let Some(s) = s {
+                    if s.end() >= run.start() {
+                        interaction = Some(m);
+                        break;
+                    }
+                }
+            }
+            // Free slots are the direct-placement case; here we only
+            // accelerate runs that end in an interaction.
+            let Some(j) = interaction else { continue };
+            let dest = j - 1;
+            if dest <= from || skip.contains(&dest) {
+                continue;
+            }
+            // The skipped RegBig cells must be empty (a bus may not pass or
+            // collide with another pending run).
+            if big[from + 1..=dest].iter().any(Option::is_some) {
+                continue;
+            }
+            if best.is_none_or(|(bf, bt, _)| dest - from > bt - bf) {
+                best = Some((from, dest, run));
+            }
+        }
+        best
+    }
+
+    fn apply_express(&mut self, from: usize, to: usize) {
+        let (_, big) = self.array.registers_mut();
+        debug_assert!(big[to].is_none());
+        big[to] = big[from].take();
+        self.array.stats_mut().bus_placements += 1;
+    }
+
+    fn apply_placement(&mut self, from: usize, to: usize, run: Run) {
+        let (small, big) = self.array.registers_mut();
+        debug_assert!(small[to].is_none() && big[from] == Some(run));
+        small[to] = Some(run);
+        big[from] = None;
+        self.array.stats_mut().bus_placements += 1;
+    }
+
+    fn resync_occupancy(&mut self) {
+        let occupied = {
+            let (_, big) = self.array.registers();
+            big.iter().flatten().count()
+        };
+        self.array.set_occupied_big(occupied);
+    }
+
+    /// Finds the *longest-journey* deliverable run: the pending `RegBig` run
+    /// whose legal destination slot lies farthest from its current cell.
+    /// Cutting the critical path first is what shortens the run time.
+    fn best_direct_placement(&self) -> Option<(usize, usize, Run)> {
+        let (small, big) = self.array.registers();
+        let mut best: Option<(usize, usize, Run)> = None;
+        for (from, reg) in big.iter().enumerate() {
+            let Some(run) = *reg else { continue };
+            let mut to = None;
+            for (m, s) in small.iter().enumerate().skip(from) {
+                match s {
+                    Some(s) if s.end() < run.start() => {} // passed with identity XOR
+                    Some(_) => break, // must interact: the bus may not bypass
+                    None => {
+                        to = Some(m);
+                        break;
+                    }
+                }
+            }
+            let Some(to) = to else { continue };
+            // The chain right of the slot must stay strictly greater.
+            if let Some(next) = small[to + 1..].iter().flatten().next() {
+                if next.start() <= run.end() {
+                    continue;
+                }
+            }
+            if best.is_none_or(|(bf, bt, _)| to - from > bt - bf) {
+                best = Some((from, to, run));
+            }
+        }
+        best
+    }
+
+    /// Applies one segment insert: a pending run `r` at cell `i` that
+    /// belongs immediately before the contiguous `RegSmall` group starting
+    /// at `i + 1` (strictly disjoint, `r` smaller) is inserted there while
+    /// the whole group shifts right one cell into the free slot at its end
+    /// — in one cycle instead of a group-length cascade.
+    fn apply_one_segment_insert(&mut self) -> bool {
+        let found = {
+            let (small, big) = self.array.registers();
+            let mut found = None;
+            for (i, reg) in big.iter().enumerate() {
+                let Some(run) = *reg else { continue };
+                if i + 1 >= small.len() {
+                    continue;
+                }
+                let Some(head) = small[i + 1] else { continue };
+                // r must slot in strictly before the group head without
+                // needing to XOR it.
+                if run.key() >= head.key() || run.end() >= head.start() {
+                    continue;
+                }
+                // Find the free slot at the end of the contiguous group.
+                let mut slot = None;
+                for (m, s) in small.iter().enumerate().skip(i + 1) {
+                    if s.is_none() {
+                        slot = Some(m);
+                        break;
+                    }
+                }
+                if let Some(slot) = slot {
+                    found = Some((i, slot, run));
+                    break;
+                }
+            }
+            found
+        };
+        let Some((i, slot, run)) = found else { return false };
+        let (small, big) = self.array.registers_mut();
+        // Shift the group [i+1, slot) right by one, as the mesh does in a
+        // single cycle, then drop the run into the vacated head cell.
+        for m in (i + 1..slot).rev() {
+            small[m + 1] = small[m];
+        }
+        small[i + 1] = Some(run);
+        big[i] = None;
+        self.array.stats_mut().bus_placements += 1;
+        true
+    }
+}
+
+/// Convenience: bus-assisted systolic XOR (single broadcast bus) returning
+/// the canonical difference and statistics.
+pub fn systolic_xor_bus(a: &RleRow, b: &RleRow) -> Result<(RleRow, ArrayStats), SystolicError> {
+    let mut array = BusArray::load(a, b)?;
+    array.run()?;
+    let row = array.extract()?;
+    Ok((row, *array.stats()))
+}
+
+/// Convenience: mesh-assisted systolic XOR (segment inserts + unlimited
+/// disjoint deliveries).
+pub fn systolic_xor_mesh(a: &RleRow, b: &RleRow) -> Result<(RleRow, ArrayStats), SystolicError> {
+    let mut array = BusArray::load(a, b)?.with_mode(BusMode::Mesh);
+    array.run()?;
+    let row = array.extract()?;
+    Ok((row, *array.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::systolic_xor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn row(width: u32, pairs: &[(u32, u32)]) -> RleRow {
+        RleRow::from_pairs(width, pairs).unwrap()
+    }
+
+    fn random_row(rng: &mut StdRng, width: u32) -> RleRow {
+        let mut r = RleRow::new(width);
+        let mut pos: u32 = rng.gen_range(0..=3);
+        while pos + 6 < width {
+            let len = rng.gen_range(1..=5);
+            r.push_run(Run::new(pos, len)).unwrap();
+            pos += len + rng.gen_range(2..=8);
+        }
+        r
+    }
+
+    #[test]
+    fn figure1_result_is_unchanged() {
+        let a = row(40, &[(10, 3), (16, 2), (23, 2), (27, 3)]);
+        let b = row(40, &[(3, 4), (8, 5), (15, 5), (23, 2), (27, 4)]);
+        let expected = rle::ops::xor(&a, &b);
+        let (diff, stats) = systolic_xor_bus(&a, &b).unwrap();
+        assert_eq!(diff, expected);
+        let (mesh_diff, mesh_stats) = systolic_xor_mesh(&a, &b).unwrap();
+        assert_eq!(mesh_diff, expected);
+        let (_, pure) = systolic_xor(&a, &b).unwrap();
+        assert!(stats.iterations <= pure.iterations);
+        assert!(mesh_stats.iterations <= stats.iterations);
+    }
+
+    #[test]
+    fn bus_accelerates_the_tail_push_pattern() {
+        // The pathological pattern the paper describes: a new entry must
+        // push a whole group of settled runs right. One small run in image 2
+        // displaces everything in image 1.
+        let a = row(400, &(10..30).map(|i| (i * 10, 4)).collect::<Vec<_>>());
+        let b = row(400, &[(0, 4)]);
+        let (pure_diff, pure) = systolic_xor(&a, &b).unwrap();
+        let (bus_diff, bus) = systolic_xor_bus(&a, &b).unwrap();
+        let (mesh_diff, mesh) = systolic_xor_mesh(&a, &b).unwrap();
+        assert_eq!(bus_diff, pure_diff);
+        assert_eq!(mesh_diff, pure_diff);
+        assert!(bus.bus_placements > 0);
+        assert!(bus.iterations < pure.iterations, "bus {} vs pure {}", bus.iterations, pure.iterations);
+        assert!(
+            mesh.iterations <= bus.iterations,
+            "mesh {} vs bus {}",
+            mesh.iterations,
+            bus.iterations
+        );
+        // The mesh completes the insert-and-push in O(1) iterations.
+        assert!(mesh.iterations <= 4, "mesh took {} iterations", mesh.iterations);
+    }
+
+    #[test]
+    fn mesh_kills_insertion_cascades() {
+        // Image 2 contributes one run that must be *inserted* in front of a
+        // long settled group — the cascade case proper.
+        let a = row(600, &(5..45).map(|i| (i * 12, 4)).collect::<Vec<_>>());
+        let b = row(600, &[(0, 2)]);
+        let (pure_diff, pure) = systolic_xor(&a, &b).unwrap();
+        let (mesh_diff, mesh) = systolic_xor_mesh(&a, &b).unwrap();
+        assert_eq!(mesh_diff, pure_diff);
+        assert!(
+            mesh.iterations * 3 <= pure.iterations,
+            "mesh {} should be far below pure {}",
+            mesh.iterations,
+            pure.iterations
+        );
+    }
+
+    #[test]
+    fn randomized_equivalence_with_pure_machine() {
+        let mut rng = StdRng::seed_from_u64(0xB05);
+        for case in 0..200 {
+            let width = rng.gen_range(30..400);
+            let a = random_row(&mut rng, width);
+            let b = random_row(&mut rng, width);
+            let (pure_diff, pure) = systolic_xor(&a, &b).unwrap();
+            let (bus_diff, bus) = systolic_xor_bus(&a, &b).unwrap();
+            let (mesh_diff, mesh) = systolic_xor_mesh(&a, &b).unwrap();
+            assert_eq!(bus_diff, pure_diff, "case {case}");
+            assert_eq!(mesh_diff, pure_diff, "case {case}");
+            assert!(bus.iterations <= pure.iterations, "case {case}");
+            assert!(mesh.iterations <= pure.iterations, "case {case}");
+        }
+    }
+
+    #[test]
+    fn wider_bus_helps_on_average_and_never_changes_results() {
+        // Greedy delivery is not pointwise monotone in capacity: an extra
+        // delivery can steal the slot another run would have reached
+        // sooner. On average a wider bus still wins, and the result is
+        // always identical.
+        let mut rng = StdRng::seed_from_u64(0xB06);
+        let (mut total_one, mut total_four) = (0u64, 0u64);
+        for _ in 0..50 {
+            let a = random_row(&mut rng, 300);
+            let b = random_row(&mut rng, 300);
+            let mut one = BusArray::load(&a, &b).unwrap();
+            one.run().unwrap();
+            let mut four = BusArray::load(&a, &b).unwrap().with_bus_capacity(4);
+            four.run().unwrap();
+            assert_eq!(one.extract().unwrap(), four.extract().unwrap());
+            total_one += one.stats().iterations;
+            total_four += four.stats().iterations;
+        }
+        assert!(total_four <= total_one, "wider bus slower overall: {total_four} vs {total_one}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = RleRow::new(32);
+        let (d, stats) = systolic_xor_bus(&e, &e.clone()).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(stats.iterations, 0);
+        assert_eq!(stats.bus_placements, 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! The systolic cell: two run registers and the per-iteration steps 1 and 2.
+//!
+//! The array stores registers struct-of-arrays style (see
+//! [`crate::array::SystolicArray`]); this module gives the per-cell
+//! semantics as free functions over `(&mut Option<Run>, &mut Option<Run>)`
+//! pairs so the sequential and parallel engines share one definition.
+
+use rle::Run;
+
+/// What step 1 did in a cell — used for statistics and traces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrderEvent {
+    /// Registers already ordered (or too empty to matter): no data movement.
+    None,
+    /// `RegSmall` and `RegBig` exchanged contents.
+    Swapped,
+    /// A lone `RegBig` run moved into the empty `RegSmall`.
+    Moved,
+}
+
+/// What step 2 did in a cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum XorEvent {
+    /// Fewer than two runs present: XOR is the identity.
+    Idle,
+    /// Both runs present but disjoint: registers unchanged.
+    Disjoint,
+    /// Runs shared pixels and were combined; at least one register changed.
+    Combined,
+    /// Runs were identical and both registers became empty.
+    Annihilated,
+}
+
+/// Step 1 — *order*: "put the smaller run into RegSmall and the bigger run
+/// into RegBig". A run in `RegBig` alone moves to `RegSmall`.
+///
+/// The comparison is the paper's: swap when `RegSmall.start > RegBig.start`,
+/// or starts are equal and `RegSmall.end > RegBig.end`.
+pub fn step1_order(small: &mut Option<Run>, big: &mut Option<Run>) -> OrderEvent {
+    match (&small, &big) {
+        (Some(s), Some(b)) => {
+            if s.key() > b.key() {
+                std::mem::swap(small, big);
+                OrderEvent::Swapped
+            } else {
+                OrderEvent::None
+            }
+        }
+        (None, Some(_)) => {
+            *small = big.take();
+            OrderEvent::Moved
+        }
+        _ => OrderEvent::None,
+    }
+}
+
+/// Step 2 — *XOR*: the paper's register-transfer formulas, executed with the
+/// cell's own two runs, independently of every other cell:
+///
+/// ```text
+/// oldSmallEnd  = RegSmall.end
+/// RegSmall.end = min(RegSmall.end, RegBig.start − 1)
+/// RegBig.start = min(RegBig.end + 1, max(oldSmallEnd + 1, RegBig.start))
+/// RegBig.end   = max(oldSmallEnd, RegBig.end)
+/// ```
+///
+/// A register whose interval becomes empty (`end < start`) is cleared. The
+/// formulas assume step 1 has run (`RegSmall ≤ RegBig`); this is
+/// debug-asserted.
+pub fn step2_xor(small: &mut Option<Run>, big: &mut Option<Run>) -> XorEvent {
+    let (Some(s), Some(b)) = (*small, *big) else {
+        debug_assert!(
+            !(small.is_none() && big.is_some()),
+            "step 2 requires step 1 to have run (lone RegBig run found)"
+        );
+        return XorEvent::Idle;
+    };
+    debug_assert!(s.key() <= b.key(), "step 2 requires RegSmall <= RegBig");
+
+    if s.end() < b.start() {
+        // Disjoint (possibly adjacent): XOR leaves both runs as they are.
+        return XorEvent::Disjoint;
+    }
+
+    // Overlapping. Work in i64 so the ±1 terms cannot underflow at pixel 0.
+    let old_small_end = i64::from(s.end());
+    let new_small_end = old_small_end.min(i64::from(b.start()) - 1);
+    let new_big_start =
+        (i64::from(b.end()) + 1).min((old_small_end + 1).max(i64::from(b.start())));
+    let new_big_end = old_small_end.max(i64::from(b.end()));
+
+    *small = interval(i64::from(s.start()), new_small_end);
+    *big = interval(new_big_start, new_big_end);
+
+    if small.is_none() && big.is_none() {
+        XorEvent::Annihilated
+    } else {
+        XorEvent::Combined
+    }
+}
+
+/// Builds the run `[start, end]`, or `None` when the interval is empty.
+fn interval(start: i64, end: i64) -> Option<Run> {
+    debug_assert!(start >= 0, "register starts cannot go negative");
+    (end >= start).then(|| {
+        Run::from_bounds(
+            u32::try_from(start).expect("start fits in Pixel"),
+            u32::try_from(end).expect("end fits in Pixel"),
+        )
+    })
+}
+
+/// Read-only view of one cell, used by traces, invariant checks and state
+/// classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellView {
+    /// Contents of `RegSmall`.
+    pub small: Option<Run>,
+    /// Contents of `RegBig`.
+    pub big: Option<Run>,
+}
+
+impl CellView {
+    /// Whether the cell holds no runs at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.small.is_none() && self.big.is_none()
+    }
+
+    /// The *complete* signal `C`: raised when `RegBig` is empty.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.big.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(s: u32, l: u32) -> Option<Run> {
+        Some(Run::new(s, l))
+    }
+
+    /// Reference XOR on pixel sets, for cross-checking step 2.
+    fn reference_xor(a: Option<Run>, b: Option<Run>) -> Vec<u32> {
+        let mut pixels = std::collections::BTreeSet::new();
+        for r in [a, b].into_iter().flatten() {
+            for p in r.start()..=r.end() {
+                if !pixels.insert(p) {
+                    pixels.remove(&p);
+                }
+            }
+        }
+        pixels.into_iter().collect()
+    }
+
+    fn cell_pixels(small: Option<Run>, big: Option<Run>) -> Vec<u32> {
+        let mut v: Vec<u32> = [small, big]
+            .into_iter()
+            .flatten()
+            .flat_map(|r| r.start()..=r.end())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn order_swaps_when_small_is_larger() {
+        let (mut s, mut b) = (run(10, 3), run(3, 4));
+        assert_eq!(step1_order(&mut s, &mut b), OrderEvent::Swapped);
+        assert_eq!((s, b), (run(3, 4), run(10, 3)));
+    }
+
+    #[test]
+    fn order_ties_broken_by_end() {
+        // Same start: bigger end goes to RegBig.
+        let (mut s, mut b) = (run(27, 4), run(27, 3));
+        assert_eq!(step1_order(&mut s, &mut b), OrderEvent::Swapped);
+        assert_eq!((s, b), (run(27, 3), run(27, 4)));
+
+        let (mut s, mut b) = (run(27, 3), run(27, 4));
+        assert_eq!(step1_order(&mut s, &mut b), OrderEvent::None);
+    }
+
+    #[test]
+    fn order_moves_lone_big() {
+        let (mut s, mut b) = (None, run(5, 2));
+        assert_eq!(step1_order(&mut s, &mut b), OrderEvent::Moved);
+        assert_eq!((s, b), (run(5, 2), None));
+    }
+
+    #[test]
+    fn order_noops() {
+        let (mut s, mut b) = (run(3, 4), run(10, 3));
+        assert_eq!(step1_order(&mut s, &mut b), OrderEvent::None);
+        let (mut s, mut b) = (run(3, 4), None);
+        assert_eq!(step1_order(&mut s, &mut b), OrderEvent::None);
+        let (mut s, mut b): (Option<Run>, Option<Run>) = (None, None);
+        assert_eq!(step1_order(&mut s, &mut b), OrderEvent::None);
+        assert_eq!((s, b), (None, None));
+    }
+
+    #[test]
+    fn xor_disjoint_unchanged() {
+        let (mut s, mut b) = (run(3, 4), run(10, 3));
+        assert_eq!(step2_xor(&mut s, &mut b), XorEvent::Disjoint);
+        assert_eq!((s, b), (run(3, 4), run(10, 3)));
+    }
+
+    #[test]
+    fn xor_adjacent_unchanged() {
+        // Adjacent runs are disjoint pixel sets: XOR is both of them.
+        let (mut s, mut b) = (run(3, 4), run(7, 2));
+        assert_eq!(step2_xor(&mut s, &mut b), XorEvent::Disjoint);
+        assert_eq!((s, b), (run(3, 4), run(7, 2)));
+    }
+
+    #[test]
+    fn xor_identical_annihilates() {
+        let (mut s, mut b) = (run(23, 2), run(23, 2));
+        assert_eq!(step2_xor(&mut s, &mut b), XorEvent::Annihilated);
+        assert_eq!((s, b), (None, None));
+    }
+
+    #[test]
+    fn xor_partial_overlap() {
+        // Figure 3, cell 2, iteration 2: (15,5) xor (16,2) = (15,1)+(18,2).
+        let (mut s, mut b) = (run(15, 5), run(16, 2));
+        assert_eq!(step2_xor(&mut s, &mut b), XorEvent::Combined);
+        assert_eq!((s, b), (run(15, 1), run(18, 2)));
+    }
+
+    #[test]
+    fn xor_shared_end() {
+        // Figure 3, cell 1, iteration 2: (8,5) xor (10,3) = (8,2).
+        let (mut s, mut b) = (run(8, 5), run(10, 3));
+        assert_eq!(step2_xor(&mut s, &mut b), XorEvent::Combined);
+        assert_eq!((s, b), (run(8, 2), None));
+    }
+
+    #[test]
+    fn xor_shared_start() {
+        // Figure 3, cell 4, iteration 2: (27,3) xor (27,4) = (30,1) in RegBig.
+        let (mut s, mut b) = (run(27, 3), run(27, 4));
+        assert_eq!(step2_xor(&mut s, &mut b), XorEvent::Combined);
+        assert_eq!((s, b), (None, run(30, 1)));
+    }
+
+    #[test]
+    fn xor_nested() {
+        // [0,9] xor [2,4] = [0,1] + [5,9].
+        let (mut s, mut b) = (run(0, 10), run(2, 3));
+        assert_eq!(step2_xor(&mut s, &mut b), XorEvent::Combined);
+        assert_eq!((s, b), (run(0, 2), run(5, 5)));
+    }
+
+    #[test]
+    fn xor_at_pixel_zero_shared_start() {
+        // b.start - 1 underflows u32 here; the i64 arithmetic must cope.
+        let (mut s, mut b) = (run(0, 3), run(0, 5));
+        assert_eq!(step2_xor(&mut s, &mut b), XorEvent::Combined);
+        assert_eq!((s, b), (None, run(3, 2)));
+    }
+
+    #[test]
+    fn xor_idle_cases() {
+        let (mut s, mut b) = (run(3, 4), None);
+        assert_eq!(step2_xor(&mut s, &mut b), XorEvent::Idle);
+        assert_eq!((s, b), (run(3, 4), None));
+        let (mut s, mut b): (Option<Run>, Option<Run>) = (None, None);
+        assert_eq!(step2_xor(&mut s, &mut b), XorEvent::Idle);
+    }
+
+    #[test]
+    fn xor_exhaustive_small_geometry() {
+        // Every ordered pair of runs within a 12-pixel window, checked
+        // against a pixel-set reference. This sweeps all nine qualitative
+        // states of the paper's Figure 4.
+        for s_start in 0u32..8 {
+            for s_len in 1u32..5 {
+                for b_start in 0u32..8 {
+                    for b_len in 1u32..5 {
+                        let (mut s, mut b) = (run(s_start, s_len), run(b_start, b_len));
+                        let want = reference_xor(s, b);
+                        step1_order(&mut s, &mut b);
+                        step2_xor(&mut s, &mut b);
+                        assert_eq!(
+                            cell_pixels(s, b),
+                            want,
+                            "({s_start},{s_len}) xor ({b_start},{b_len})"
+                        );
+                        // Post-conditions: any remaining pair is ordered and
+                        // disjoint (Corollary 2.1 part 3 at the cell level).
+                        if let (Some(ns), Some(nb)) = (s, b) {
+                            assert!(ns.end() < nb.start());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cell_view_signals() {
+        assert!(CellView { small: None, big: None }.is_empty());
+        assert!(CellView { small: None, big: None }.complete());
+        assert!(CellView { small: run(1, 1), big: None }.complete());
+        assert!(!CellView { small: run(1, 1), big: run(5, 1) }.complete());
+        assert!(!CellView { small: run(1, 1), big: None }.is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! The §6 coalescing pass: merging adjacent runs after the XOR completes.
+//!
+//! > "Additionally, the task of combining the adjacent runs in different
+//! > cells at the end of the algorithm is left as future research. This
+//! > task also is not fast on a pure systolic system, but could be
+//! > performed quickly with the help of a broadcast bus."
+//!
+//! When the XOR machine halts, the `RegSmall` chain holds the difference as
+//! ordered, non-overlapping runs — but some are *adjacent* (touching with
+//! no gap), and empty cells are scattered through the chain. Producing the
+//! maximally-compressed stream requires compacting the runs leftwards and
+//! merging touching neighbours.
+//!
+//! Two hardware models, as the paper suggests:
+//!
+//! * [`CoalescePass`] — a **pure systolic** pass: every iteration each run
+//!   slides one cell left into an empty neighbour (synchronous, local), and
+//!   odd/even-paired neighbouring cells merge if their runs touch. This
+//!   needs on the order of *array length* iterations because compaction
+//!   distance is covered one cell per cycle — confirming the paper's "not
+//!   fast on a pure systolic system".
+//! * [`bus_coalesce`] — a **broadcast-bus** pass: every run is delivered
+//!   once to its final position (merging on the fly), i.e. exactly `k`
+//!   single-datum bus transactions.
+//!
+//! Both produce the identical canonical row; experiment E13 measures the
+//! gap.
+
+use crate::array::SystolicArray;
+use crate::error::SystolicError;
+use rle::{Pixel, RleRow, Run};
+use serde::{Deserialize, Serialize};
+
+/// Counters for a coalescing pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoalesceStats {
+    /// Synchronous iterations of the pure systolic pass.
+    pub iterations: u64,
+    /// Adjacent-pair merges performed.
+    pub merges: u64,
+    /// One-cell compaction moves performed.
+    pub moves: u64,
+}
+
+/// The pure-systolic coalesce/compact machine.
+#[derive(Clone, Debug)]
+pub struct CoalescePass {
+    width: Pixel,
+    cells: Vec<Option<Run>>,
+    stats: CoalesceStats,
+    /// Alternates each iteration so simultaneous merges never conflict
+    /// (odd-even transposition style).
+    parity: bool,
+}
+
+impl CoalescePass {
+    /// Builds the pass from any sparse ordered run chain.
+    #[must_use]
+    pub fn from_cells(width: Pixel, cells: Vec<Option<Run>>) -> Self {
+        Self { width, cells, stats: CoalesceStats::default(), parity: false }
+    }
+
+    /// Builds the pass from a halted XOR machine's `RegSmall` chain.
+    #[must_use]
+    pub fn from_array(array: &SystolicArray) -> Self {
+        Self::from_cells(array.width(), array.views().map(|c| c.small).collect())
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &CoalesceStats {
+        &self.stats
+    }
+
+    /// Whether the chain is compacted (no gap before a run) and merged (no
+    /// two neighbouring runs touch) — the halt condition.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        for pair in self.cells.windows(2) {
+            if pair[0].is_none() && pair[1].is_some() {
+                return false; // gap before a run: not compacted
+            }
+            if let (Some(a), Some(b)) = (pair[0], pair[1]) {
+                if a.end_exclusive() == b.start() {
+                    return false; // touching neighbours: not merged
+                }
+            }
+        }
+        true
+    }
+
+    /// One synchronous iteration: compact left by one, then merge one
+    /// odd/even family of neighbouring pairs.
+    pub fn step(&mut self) {
+        let n = self.cells.len();
+        // Phase 1 — compact: a run moves left iff its left neighbour is
+        // empty *in the current state* (synchronous; no two runs target the
+        // same cell because a mover's own cell is occupied).
+        let mut moved = Vec::new();
+        for i in 1..n {
+            if self.cells[i].is_some() && self.cells[i - 1].is_none() {
+                moved.push(i);
+            }
+        }
+        for &i in &moved {
+            self.cells[i - 1] = self.cells[i].take();
+            self.stats.moves += 1;
+        }
+        // Phase 2 — merge the (even, odd) or (odd, even) neighbour pairs.
+        let start = usize::from(self.parity);
+        self.parity = !self.parity;
+        let mut i = start;
+        while i + 1 < n {
+            if let (Some(a), Some(b)) = (self.cells[i], self.cells[i + 1]) {
+                if a.end_exclusive() == b.start() {
+                    self.cells[i] = Some(a.hull(&b));
+                    self.cells[i + 1] = None;
+                    self.stats.merges += 1;
+                }
+            }
+            i += 2;
+        }
+        self.stats.iterations += 1;
+    }
+
+    /// Runs to completion. The iteration budget is `2·(cells + 1)` — ample
+    /// for one-cell-per-cycle compaction plus alternating merges; exceeding
+    /// it means the pass is broken.
+    pub fn run(&mut self) -> Result<(), SystolicError> {
+        let bound = 2 * (self.cells.len() as u64 + 1);
+        while !self.is_done() {
+            if self.stats.iterations >= bound {
+                return Err(SystolicError::IterationBound { bound });
+            }
+            self.step();
+        }
+        Ok(())
+    }
+
+    /// Extracts the compacted, merged chain as a canonical row.
+    pub fn extract(&self) -> Result<RleRow, SystolicError> {
+        let mut out = RleRow::new(self.width);
+        for (i, run) in self.cells.iter().enumerate() {
+            if let Some(run) = run {
+                out.push_run(*run).map_err(|_| SystolicError::Disordered { cell: i })?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The broadcast-bus coalesce: one transaction per run, merging on the fly.
+/// Returns the canonical row and the number of bus transactions.
+#[must_use]
+pub fn bus_coalesce(width: Pixel, cells: &[Option<Run>]) -> (RleRow, u64) {
+    let mut out = RleRow::new(width);
+    let mut transactions = 0u64;
+    for run in cells.iter().flatten() {
+        transactions += 1;
+        out.push_run_coalescing(*run).expect("input chain is ordered");
+    }
+    (out, transactions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cells(width: Pixel, pairs: &[Option<(Pixel, Pixel)>]) -> (Pixel, Vec<Option<Run>>) {
+        (width, pairs.iter().map(|p| p.map(|(s, l)| Run::new(s, l))).collect())
+    }
+
+    fn run_pass(width: Pixel, chain: Vec<Option<Run>>) -> (RleRow, CoalesceStats) {
+        let mut pass = CoalescePass::from_cells(width, chain);
+        pass.run().unwrap();
+        (pass.extract().unwrap(), *pass.stats())
+    }
+
+    #[test]
+    fn empty_chain_is_immediately_done() {
+        let (w, chain) = cells(32, &[None, None, None]);
+        let (row, stats) = run_pass(w, chain);
+        assert!(row.is_empty());
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn merges_adjacent_runs_in_neighbouring_cells() {
+        let (w, chain) = cells(32, &[Some((0, 5)), Some((5, 5)), None]);
+        let (row, stats) = run_pass(w, chain);
+        assert_eq!(row.runs(), &[Run::new(0, 10)]);
+        assert!(stats.merges == 1);
+    }
+
+    #[test]
+    fn compacts_across_empty_cells_then_merges() {
+        // Adjacent runs separated by empty cells: must compact first.
+        let (w, chain) = cells(64, &[Some((0, 4)), None, None, Some((4, 4)), None, Some((20, 2))]);
+        let (row, stats) = run_pass(w, chain);
+        assert_eq!(row.runs(), &[Run::new(0, 8), Run::new(20, 2)]);
+        assert!(stats.moves >= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn merge_chains_collapse_fully() {
+        let (w, chain) =
+            cells(64, &[Some((0, 2)), Some((2, 2)), Some((4, 2)), Some((6, 2)), Some((8, 2))]);
+        let (row, stats) = run_pass(w, chain);
+        assert_eq!(row.runs(), &[Run::new(0, 10)]);
+        assert_eq!(stats.merges, 4);
+    }
+
+    #[test]
+    fn bus_version_matches_and_counts_runs() {
+        let (w, chain) = cells(64, &[Some((0, 4)), None, Some((4, 4)), None, Some((20, 2))]);
+        let (bus_row, tx) = bus_coalesce(w, &chain);
+        let (sys_row, _) = run_pass(w, chain);
+        assert_eq!(bus_row, sys_row);
+        assert_eq!(tx, 3);
+    }
+
+    #[test]
+    fn equals_canonicalization_on_random_chains() {
+        let mut rng = StdRng::seed_from_u64(0xC0A1);
+        for case in 0..200 {
+            let width = 2_000u32;
+            // Build a sparse chain of ordered runs with random gaps/adjacency.
+            let mut chain: Vec<Option<Run>> = Vec::new();
+            let mut pos = 0u32;
+            while pos + 10 < width && chain.len() < 60 {
+                for _ in 0..rng.gen_range(0..3) {
+                    chain.push(None); // random empty cells
+                }
+                let len = rng.gen_range(1..6);
+                chain.push(Some(Run::new(pos, len)));
+                pos += len + if rng.gen_bool(0.4) { 0 } else { rng.gen_range(1..9) };
+            }
+            let reference = {
+                let runs: Vec<Run> = chain.iter().flatten().copied().collect();
+                RleRow::from_runs(width, runs).unwrap().canonicalized()
+            };
+            let (sys_row, _) = run_pass(width, chain.clone());
+            assert_eq!(sys_row, reference, "case {case}");
+            let (bus_row, tx) = bus_coalesce(width, &chain);
+            assert_eq!(bus_row, reference, "case {case}");
+            assert_eq!(tx as usize, chain.iter().flatten().count());
+        }
+    }
+
+    #[test]
+    fn pure_pass_costs_order_of_chain_length() {
+        // A single run at the far end of a long chain of empties must walk
+        // all the way left — the paper's "not fast" prediction.
+        let n = 200usize;
+        let mut chain = vec![None; n];
+        chain[n - 1] = Some(Run::new(50, 5));
+        let mut pass = CoalescePass::from_cells(1_000, chain.clone());
+        pass.run().unwrap();
+        assert!(
+            pass.stats().iterations >= (n as u64) - 1,
+            "compaction must cost ~n iterations, took {}",
+            pass.stats().iterations
+        );
+        // ... while the bus does it in one transaction.
+        let (_, tx) = bus_coalesce(1_000, &chain);
+        assert_eq!(tx, 1);
+    }
+
+    #[test]
+    fn end_to_end_with_the_xor_machine() {
+        // XOR of adjacent inputs leaves uncoalesced output; the pass must
+        // finish the job, matching extract().
+        let a = RleRow::from_pairs(64, &[(0, 5)]).unwrap();
+        let b = RleRow::from_pairs(64, &[(5, 5)]).unwrap();
+        let mut machine = SystolicArray::load(&a, &b).unwrap();
+        machine.run().unwrap();
+        let mut pass = CoalescePass::from_array(&machine);
+        pass.run().unwrap();
+        assert_eq!(pass.extract().unwrap(), machine.extract().unwrap());
+        assert_eq!(pass.extract().unwrap().runs(), &[Run::new(0, 10)]);
+    }
+}

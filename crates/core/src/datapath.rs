@@ -1,0 +1,161 @@
+//! A transparent hardware cost model for the cell datapath.
+//!
+//! The paper proposes the machine but gives no area or timing figures.
+//! This module derives first-order estimates from the register-transfer
+//! operations of steps 1–2, so design-space discussions (cell count vs.
+//! word width vs. §6 interconnect) have concrete numbers attached. The
+//! model is deliberately simple and fully documented — gate counts are
+//! *unit-weight* (one comparator bit = one gate-equivalent unit, etc.) and
+//! should be read as relative, not absolute.
+//!
+//! Per cell, step 1 needs one `(start, end)` comparator and a swap
+//! network; step 2 needs two adders (±1), four min/max units and the
+//! result multiplexers; plus the four `w`-bit run registers (start/end ×
+//! RegSmall/RegBig) and the shift-out port. Everything scales linearly in
+//! the coordinate width `w = ceil(log2(row_width))`.
+
+use serde::{Deserialize, Serialize};
+
+/// First-order per-cell cost estimate at a given coordinate width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellCost {
+    /// Coordinate width `w` in bits.
+    pub coord_bits: u32,
+    /// Register bits per cell (4 coordinates + 2 valid flags).
+    pub register_bits: u32,
+    /// Comparator gate-equivalents (step 1's order test + step 2's
+    /// min/max tree: 5 `w`-bit compares).
+    pub comparator_ge: u32,
+    /// Adder gate-equivalents (two ±1 increments).
+    pub adder_ge: u32,
+    /// Multiplexer gate-equivalents (swap network + 4 result selects).
+    pub mux_ge: u32,
+}
+
+impl CellCost {
+    /// Total gate-equivalents, excluding registers.
+    #[must_use]
+    pub fn logic_ge(&self) -> u32 {
+        self.comparator_ge + self.adder_ge + self.mux_ge
+    }
+
+    /// Critical-path estimate in unit gate delays: the step-2 chain
+    /// (compare → select → increment → select), each `O(w)` ripple.
+    #[must_use]
+    pub fn critical_path_gates(&self) -> u32 {
+        4 * self.coord_bits
+    }
+}
+
+/// Whole-array estimate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayCost {
+    /// Per-cell figures.
+    pub cell: CellCost,
+    /// Number of cells (the paper's `2k`).
+    pub cells: usize,
+    /// Total register bits.
+    pub total_register_bits: u64,
+    /// Total logic gate-equivalents.
+    pub total_logic_ge: u64,
+}
+
+/// Smallest coordinate width that addresses rows of `row_width` pixels.
+#[must_use]
+pub fn coord_bits_for(row_width: u32) -> u32 {
+    32 - row_width.saturating_sub(1).leading_zeros()
+}
+
+/// Per-cell cost at a coordinate width.
+#[must_use]
+pub fn cell_cost(coord_bits: u32) -> CellCost {
+    CellCost {
+        coord_bits,
+        register_bits: 4 * coord_bits + 2,
+        // Step 1: one (start,end) lexicographic compare = 2 w-bit compares.
+        // Step 2: min/max over {smallEnd, bigStart−1}, {bigEnd+1,
+        // max(oldEnd+1, bigStart)}, {oldEnd, bigEnd} = 3 more.
+        comparator_ge: 5 * coord_bits,
+        // Two increments (bigStart−1 / oldEnd+1 share one ±1 unit each).
+        adder_ge: 2 * coord_bits,
+        // Swap (2 w-bit 2:1 muxes per register pair) + 4 result selects.
+        mux_ge: 8 * coord_bits,
+    }
+}
+
+/// Array-level totals for diffing rows of `row_width` px with up to
+/// `max_runs_per_image` runs per image (cells = 2 × that, the paper's
+/// sizing).
+#[must_use]
+pub fn array_cost(row_width: u32, max_runs_per_image: usize) -> ArrayCost {
+    let cell = cell_cost(coord_bits_for(row_width));
+    let cells = 2 * max_runs_per_image;
+    ArrayCost {
+        cell,
+        cells,
+        total_register_bits: u64::from(cell.register_bits) * cells as u64,
+        total_logic_ge: u64::from(cell.logic_ge()) * cells as u64,
+    }
+}
+
+/// Renders a small design-space table over typical row widths.
+#[must_use]
+pub fn design_table(max_runs_per_image: usize) -> String {
+    let mut out = String::from(
+        "row width  coord bits  cell regs  cell logic GE  cells  total logic GE\n",
+    );
+    for row_width in [2_048u32, 10_000, 65_536, 1_000_000] {
+        let a = array_cost(row_width, max_runs_per_image);
+        out.push_str(&format!(
+            "{row_width:>9}  {:>10}  {:>9}  {:>13}  {:>5}  {:>14}\n",
+            a.cell.coord_bits,
+            a.cell.register_bits,
+            a.cell.logic_ge(),
+            a.cells,
+            a.total_logic_ge
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_bits_boundaries() {
+        assert_eq!(coord_bits_for(1), 0);
+        assert_eq!(coord_bits_for(2), 1);
+        assert_eq!(coord_bits_for(1024), 10);
+        assert_eq!(coord_bits_for(1025), 11);
+        assert_eq!(coord_bits_for(10_000), 14);
+        assert_eq!(coord_bits_for(u32::MAX), 32);
+    }
+
+    #[test]
+    fn costs_scale_linearly_in_width() {
+        let c10 = cell_cost(10);
+        let c20 = cell_cost(20);
+        assert_eq!(c20.comparator_ge, 2 * c10.comparator_ge);
+        assert_eq!(c20.logic_ge(), 2 * c10.logic_ge());
+        assert_eq!(c20.critical_path_gates(), 2 * c10.critical_path_gates());
+        // Registers have the +2 valid flags offset.
+        assert_eq!(c10.register_bits, 42);
+    }
+
+    #[test]
+    fn array_totals_multiply_out() {
+        let a = array_cost(10_000, 250);
+        assert_eq!(a.cells, 500);
+        assert_eq!(a.total_register_bits, u64::from(a.cell.register_bits) * 500);
+        assert_eq!(a.total_logic_ge, u64::from(a.cell.logic_ge()) * 500);
+    }
+
+    #[test]
+    fn design_table_renders_all_rows() {
+        let t = design_table(250);
+        assert_eq!(t.lines().count(), 5);
+        assert!(t.contains("10000"));
+        assert!(t.contains("1000000"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Step engines driving the systolic register file.
+//!
+//! The machine's semantics live in [`crate::cell`] and
+//! [`crate::array::SystolicArray`]; an *engine* decides how the per-cell
+//! work of one iteration is executed on the host:
+//!
+//! * the **sequential engine** ([`run_sequential`]) is
+//!   `SystolicArray::run` — one scan per phase;
+//! * the **parallel engine** ([`parallel::run_parallel`]) splits the cell
+//!   array into contiguous chunks, one worker thread per chunk, with three
+//!   barriers per iteration (compute / shift / reset). Results are
+//!   bit-identical to the sequential engine, which the test-suite asserts.
+//!
+//! Real systolic hardware updates every cell simultaneously; the parallel
+//! engine is therefore the more faithful *execution* model, while the
+//! sequential engine is the faithful *semantic* reference.
+
+pub mod parallel;
+
+use crate::array::SystolicArray;
+use crate::error::SystolicError;
+
+/// Runs the machine to termination on the calling thread. Identical to
+/// [`SystolicArray::run`]; provided for symmetry with the parallel engine.
+pub fn run_sequential(array: &mut SystolicArray) -> Result<(), SystolicError> {
+    array.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rle::RleRow;
+
+    #[test]
+    fn sequential_engine_is_array_run() {
+        let a = RleRow::from_pairs(64, &[(0, 4), (10, 4)]).unwrap();
+        let b = RleRow::from_pairs(64, &[(2, 4), (20, 4)]).unwrap();
+        let mut m1 = SystolicArray::load(&a, &b).unwrap();
+        run_sequential(&mut m1).unwrap();
+        let mut m2 = SystolicArray::load(&a, &b).unwrap();
+        m2.run().unwrap();
+        assert_eq!(m1.extract().unwrap(), m2.extract().unwrap());
+        assert_eq!(m1.stats(), m2.stats());
+    }
+}

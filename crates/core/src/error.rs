@@ -1,0 +1,86 @@
+//! Error type for the systolic simulator.
+//!
+//! A correct implementation of the paper's algorithm never hits the
+//! `Overflow`, `IterationBound` or `Disordered` variants — they exist so the
+//! simulator *falsifies loudly* instead of silently violating Corollary 1.2,
+//! Theorem 1 or Theorem 2 if a modification introduces a bug.
+
+use std::fmt;
+
+/// Errors raised by the systolic simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SystolicError {
+    /// The two input rows have different widths.
+    WidthMismatch {
+        /// Width of the first input.
+        left: u32,
+        /// Width of the second input.
+        right: u32,
+    },
+    /// A run was shifted out of the last cell. Corollary 1.2 guarantees this
+    /// cannot happen with capacity `k1 + k2`; seeing it means the machine
+    /// (or a caller-supplied smaller capacity) is wrong.
+    Overflow {
+        /// Number of cells in the array.
+        cells: usize,
+    },
+    /// The machine failed to terminate within the Theorem-1 bound
+    /// (`k1 + k2` iterations, plus any caller-granted slack).
+    IterationBound {
+        /// The bound that was exceeded.
+        bound: u64,
+    },
+    /// Extraction found `RegSmall` runs out of order or overlapping,
+    /// violating Theorem 2.
+    Disordered {
+        /// Index of the first cell whose run violates the ordering.
+        cell: usize,
+    },
+    /// An invariant check (enabled via
+    /// [`SystolicArray::enable_invariant_checks`]) failed.
+    ///
+    /// [`SystolicArray::enable_invariant_checks`]:
+    ///     crate::array::SystolicArray::enable_invariant_checks
+    InvariantViolated {
+        /// Human-readable description of the violated invariant.
+        what: String,
+    },
+}
+
+impl fmt::Display for SystolicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystolicError::WidthMismatch { left, right } => {
+                write!(f, "input rows have different widths ({left} vs {right})")
+            }
+            SystolicError::Overflow { cells } => {
+                write!(f, "a run was shifted out of the {cells}-cell array (Corollary 1.2 violated)")
+            }
+            SystolicError::IterationBound { bound } => {
+                write!(f, "machine did not terminate within {bound} iterations (Theorem 1 violated)")
+            }
+            SystolicError::Disordered { cell } => {
+                write!(f, "RegSmall chain is disordered at cell {cell} (Theorem 2 violated)")
+            }
+            SystolicError::InvariantViolated { what } => {
+                write!(f, "invariant violated: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystolicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_theorem() {
+        assert!(SystolicError::Overflow { cells: 8 }.to_string().contains("Corollary 1.2"));
+        assert!(SystolicError::IterationBound { bound: 9 }.to_string().contains("Theorem 1"));
+        assert!(SystolicError::Disordered { cell: 2 }.to_string().contains("Theorem 2"));
+        assert!(SystolicError::WidthMismatch { left: 1, right: 2 }.to_string().contains("widths"));
+        assert!(SystolicError::InvariantViolated { what: "x".into() }.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Runtime-checkable versions of the paper's correctness properties.
+//!
+//! The paper proves (Theorems 1–3, Corollaries 1.1, 1.2, 2.1) that the
+//! machine terminates, keeps both register chains ordered and
+//! non-overlapping, and preserves the XOR of the run set at every step.
+//! This module turns those statements into executable checks:
+//!
+//! * [`check_all`] — the per-iteration invariants, run automatically after
+//!   every iteration when invariant checking is enabled on the array;
+//! * [`machine_xor_signature`] — the Theorem-3 conservation quantity: the
+//!   XOR of *all* runs currently held anywhere in the machine, which must
+//!   equal the XOR of the two original inputs at every point in time.
+
+use crate::array::SystolicArray;
+use rle::{RleRow, Run};
+
+/// Verifies the per-iteration invariants; returns a description of the
+/// first violation found.
+///
+/// Checked properties, with their source in the paper:
+///
+/// 1. the `RegSmall` chain is strictly ordered and non-overlapping
+///    (Theorem 2, part 1);
+/// 2. the `RegBig` chain is strictly ordered and non-overlapping
+///    (Theorem 2, part 2);
+/// 3. after iteration `i`, the first `i` cells have empty `RegBig`
+///    (Corollary 1.1);
+/// 4. no run sits beyond cell `k1 + k2` (Corollary 1.2 — enforced
+///    structurally by the default capacity, revalidated here for
+///    caller-supplied larger arrays).
+pub fn check_all(array: &SystolicArray) -> Result<(), String> {
+    check_chain_ordered(array, true)?;
+    check_chain_ordered(array, false)?;
+    check_corollary_1_1(array)?;
+    check_corollary_1_2(array)?;
+    Ok(())
+}
+
+/// Theorem 2 for one chain: successive occupied registers must satisfy
+/// `prev.end < next.start`.
+pub fn check_chain_ordered(array: &SystolicArray, small_chain: bool) -> Result<(), String> {
+    let name = if small_chain { "RegSmall" } else { "RegBig" };
+    let mut prev: Option<(usize, Run)> = None;
+    for (i, view) in array.views().enumerate() {
+        let reg = if small_chain { view.small } else { view.big };
+        if let Some(run) = reg {
+            if let Some((j, p)) = prev {
+                if p.end() >= run.start() {
+                    return Err(format!(
+                        "{name} chain disordered: cell {j} holds {p:?}, cell {i} holds {run:?}"
+                    ));
+                }
+            }
+            prev = Some((i, run));
+        }
+    }
+    Ok(())
+}
+
+/// Corollary 1.1: at the end of iteration `i`, the first `i` cells hold no
+/// run in `RegBig`.
+pub fn check_corollary_1_1(array: &SystolicArray) -> Result<(), String> {
+    let done_prefix = usize::try_from(array.stats().iterations)
+        .unwrap_or(usize::MAX)
+        .min(array.cells());
+    for (i, view) in array.views().take(done_prefix).enumerate() {
+        if view.big.is_some() {
+            return Err(format!(
+                "Corollary 1.1 violated: cell {i} still holds {:?} in RegBig after iteration {}",
+                view.big,
+                array.stats().iterations
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Corollary 1.2: no non-empty cell beyond position `k1 + k2`.
+pub fn check_corollary_1_2(array: &SystolicArray) -> Result<(), String> {
+    let bound = array.stats().k1 + array.stats().k2;
+    for (i, view) in array.views().enumerate().skip(bound) {
+        if !view.is_empty() {
+            return Err(format!(
+                "Corollary 1.2 violated: cell {i} is non-empty beyond k1+k2 = {bound}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The Theorem-3 conservation quantity: the XOR (as a bitstring) of every
+/// run currently held in either chain of the machine. The paper's proof of
+/// correctness rests on this being invariant across all three steps; tests
+/// compare it against `xor(img1, img2)` after every iteration.
+///
+/// Computed by a boundary sweep: each run toggles coverage parity at
+/// `start` and `end + 1`; odd-parity intervals form the canonical XOR.
+#[must_use]
+pub fn machine_xor_signature(array: &SystolicArray) -> RleRow {
+    let mut events: Vec<(u32, i32)> = Vec::new();
+    for view in array.views() {
+        for run in [view.small, view.big].into_iter().flatten() {
+            events.push((run.start(), 1));
+            events.push((run.end() + 1, -1));
+        }
+    }
+    events.sort_unstable();
+    let mut out = RleRow::new(array.width());
+    let mut parity = 0i32;
+    let mut open_at: Option<u32> = None;
+    for (pos, delta) in events {
+        let was_odd = parity % 2 != 0;
+        parity += delta;
+        let is_odd = parity % 2 != 0;
+        match (was_odd, is_odd) {
+            (false, true) => open_at = Some(pos),
+            (true, false) => {
+                let start = open_at.take().expect("odd interval must have opened");
+                if pos > start {
+                    out.push_run_coalescing(Run::from_bounds(start, pos - 1))
+                        .expect("sweep emits ordered runs");
+                }
+            }
+            _ => {}
+        }
+    }
+    debug_assert!(open_at.is_none(), "parity must return to even");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rle::RleRow;
+
+    fn fig1() -> (RleRow, RleRow) {
+        (
+            RleRow::from_pairs(40, &[(10, 3), (16, 2), (23, 2), (27, 3)]).unwrap(),
+            RleRow::from_pairs(40, &[(3, 4), (8, 5), (15, 5), (23, 2), (27, 4)]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn all_invariants_hold_throughout_figure3_run() {
+        let (a, b) = fig1();
+        let expected = rle::ops::xor(&a, &b);
+        let mut m = SystolicArray::load(&a, &b).unwrap();
+        assert_eq!(machine_xor_signature(&m), expected, "initial load");
+        let mut done = false;
+        while !done {
+            done = m.step().unwrap();
+            check_all(&m).unwrap();
+            assert_eq!(
+                machine_xor_signature(&m),
+                expected,
+                "conservation after iteration {}",
+                m.stats().iterations
+            );
+        }
+    }
+
+    #[test]
+    fn signature_of_loaded_machine_is_input_xor() {
+        let (a, b) = fig1();
+        let m = SystolicArray::load(&a, &b).unwrap();
+        assert_eq!(machine_xor_signature(&m), rle::ops::xor(&a, &b));
+    }
+
+    #[test]
+    fn signature_handles_overlapping_chains() {
+        // small and big chains overlap each other at load time by design.
+        let a = RleRow::from_pairs(20, &[(0, 10)]).unwrap();
+        let b = RleRow::from_pairs(20, &[(5, 10)]).unwrap();
+        let m = SystolicArray::load(&a, &b).unwrap();
+        let sig = machine_xor_signature(&m);
+        assert_eq!(sig, rle::ops::xor(&a, &b));
+        assert_eq!(sig.runs().len(), 2);
+    }
+
+    #[test]
+    fn signature_of_empty_machine() {
+        let e = RleRow::new(16);
+        let m = SystolicArray::load(&e, &e.clone()).unwrap();
+        assert!(machine_xor_signature(&m).is_empty());
+    }
+
+    #[test]
+    fn corollary_checks_pass_on_fresh_machine() {
+        let (a, b) = fig1();
+        let m = SystolicArray::load(&a, &b).unwrap();
+        check_all(&m).unwrap();
+    }
+
+    // --- failure injection: the checks must actually catch corruption ---
+
+    #[test]
+    fn detects_disordered_small_chain() {
+        let (a, b) = fig1();
+        let mut m = SystolicArray::load(&a, &b).unwrap();
+        {
+            let (small, _) = m.registers_mut();
+            small.swap(0, 1); // out of order
+        }
+        let err = check_chain_ordered(&m, true).unwrap_err();
+        assert!(err.contains("RegSmall"), "{err}");
+        assert!(check_all(&m).is_err());
+    }
+
+    #[test]
+    fn detects_overlapping_big_chain() {
+        let (a, b) = fig1();
+        let mut m = SystolicArray::load(&a, &b).unwrap();
+        {
+            let (_, big) = m.registers_mut();
+            big[1] = big[0]; // duplicate: overlapping neighbours
+        }
+        let err = check_chain_ordered(&m, false).unwrap_err();
+        assert!(err.contains("RegBig"), "{err}");
+    }
+
+    #[test]
+    fn detects_corollary_1_2_violation() {
+        let (a, b) = fig1();
+        // Oversized array so there is space beyond k1 + k2 to corrupt.
+        let mut m = SystolicArray::with_capacity(&a, &b, 12).unwrap();
+        {
+            let (small, _) = m.registers_mut();
+            small[11] = Some(rle::Run::new(35, 2));
+        }
+        let err = check_corollary_1_2(&m).unwrap_err();
+        assert!(err.contains("Corollary 1.2"), "{err}");
+    }
+
+    #[test]
+    fn step_surfaces_injected_corruption_as_error() {
+        let (a, b) = fig1();
+        let mut m = SystolicArray::load(&a, &b).unwrap();
+        m.enable_invariant_checks(true);
+        m.step().unwrap();
+        {
+            let (small, _) = m.registers_mut();
+            // Clobber a register so the small chain overlaps.
+            small[1] = small[0];
+        }
+        let err = loop {
+            match m.step() {
+                Ok(true) => panic!("corrupted machine must not terminate cleanly"),
+                Ok(false) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(err, crate::error::SystolicError::InvariantViolated { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn conservation_detects_lost_runs() {
+        let (a, b) = fig1();
+        let expected = rle::ops::xor(&a, &b);
+        let mut m = SystolicArray::load(&a, &b).unwrap();
+        {
+            let (small, _) = m.registers_mut();
+            small[2] = None; // drop a run: the XOR signature must change
+        }
+        assert_ne!(machine_xor_signature(&m), expected);
+    }
+}

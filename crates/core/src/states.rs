@@ -1,0 +1,220 @@
+//! The qualitatively different cell states of the paper's Figure 4.
+//!
+//! Figure 4 is purely graphical in the paper (nine run-pair geometries, each
+//! with an `a` variant — already ordered — and a `b` variant — needing the
+//! step-1 swap — plus the states that lack a mirror image). We reconstruct
+//! the equivalence classes from the geometry that drives steps 1–2: what
+//! matters to the XOR formulas is how the two intervals relate
+//! (disjoint/adjacent/overlap, shared endpoints, containment). The paper's
+//! own characterisation — "any b state will turn into the corresponding a
+//! state after step 1 ... and any a state will be unchanged by a step 1" —
+//! is property-tested here.
+
+use rle::Run;
+
+/// Geometry of the two runs in a cell, after normalising order so the first
+/// run is the smaller under the paper's (start, end) order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PairGeometry {
+    /// Runs separated by at least one background pixel. XOR: unchanged.
+    Disjoint,
+    /// Runs touching with no gap. XOR: unchanged (output stays adjacent).
+    Adjacent,
+    /// Proper overlap: shared pixels, each run also has private pixels on
+    /// its own side. XOR: prefix + suffix.
+    OverlapProper,
+    /// Equal intervals. XOR: both annihilate.
+    Equal,
+    /// Same start, different ends. XOR: suffix only (RegSmall empties).
+    SharedStart,
+    /// Same end, different starts. XOR: prefix only (RegBig empties).
+    SharedEnd,
+    /// Strict containment with neither endpoint shared. XOR: prefix +
+    /// suffix, both from the containing run.
+    Nested,
+}
+
+/// Full qualitative state of a cell: the register occupancy, the pair
+/// geometry, and whether step 1 must swap — the paper's `a`/`b` pairing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CellState {
+    /// Both registers empty (the paper's terminal "empty cell").
+    Empty,
+    /// Only `RegSmall` occupied: a settled output run.
+    SmallOnly,
+    /// Only `RegBig` occupied: step 1 will move it (a `b`-style state with
+    /// no `a` mirror other than [`CellState::SmallOnly`]).
+    BigOnly,
+    /// Both occupied.
+    Pair {
+        /// Geometry of the two runs.
+        geometry: PairGeometry,
+        /// Whether the registers are currently in the wrong order — the
+        /// `b` variant of the state, which step 1 converts to the `a`
+        /// variant.
+        needs_swap: bool,
+    },
+}
+
+/// Classifies a pair of runs (given in `RegSmall`, `RegBig` order).
+#[must_use]
+pub fn classify(small: Option<Run>, big: Option<Run>) -> CellState {
+    match (small, big) {
+        (None, None) => CellState::Empty,
+        (Some(_), None) => CellState::SmallOnly,
+        (None, Some(_)) => CellState::BigOnly,
+        (Some(s), Some(b)) => {
+            let needs_swap = s.key() > b.key();
+            let (lo, hi) = if needs_swap { (b, s) } else { (s, b) };
+            CellState::Pair { geometry: pair_geometry(lo, hi), needs_swap }
+        }
+    }
+}
+
+/// Geometry of an ordered pair `lo <= hi`.
+#[must_use]
+pub fn pair_geometry(lo: Run, hi: Run) -> PairGeometry {
+    debug_assert!(lo.key() <= hi.key());
+    if lo == hi {
+        PairGeometry::Equal
+    } else if lo.start() == hi.start() {
+        PairGeometry::SharedStart
+    } else if lo.end() == hi.end() {
+        PairGeometry::SharedEnd
+    } else if lo.end() > hi.end() {
+        PairGeometry::Nested
+    } else if lo.end() >= hi.start() {
+        PairGeometry::OverlapProper
+    } else if lo.end() + 1 == hi.start() {
+        PairGeometry::Adjacent
+    } else {
+        PairGeometry::Disjoint
+    }
+}
+
+/// The number of distinct two-run geometries; together with the `a`/`b`
+/// orientation this spans the paper's Figure-4 taxonomy (`Equal` has no
+/// meaningful `b` variant, matching the paper's unpaired states).
+pub const GEOMETRY_COUNT: usize = 7;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{step1_order, step2_xor};
+
+    fn run(s: u32, l: u32) -> Run {
+        Run::new(s, l)
+    }
+
+    #[test]
+    fn classify_occupancy_states() {
+        assert_eq!(classify(None, None), CellState::Empty);
+        assert_eq!(classify(Some(run(1, 2)), None), CellState::SmallOnly);
+        assert_eq!(classify(None, Some(run(1, 2))), CellState::BigOnly);
+    }
+
+    #[test]
+    fn classify_geometries() {
+        use PairGeometry::*;
+        let cases = [
+            (run(0, 3), run(10, 2), Disjoint),
+            (run(0, 3), run(3, 2), Adjacent),
+            (run(0, 5), run(3, 5), OverlapProper),
+            (run(0, 5), run(0, 5), Equal),
+            (run(0, 3), run(0, 5), SharedStart),
+            (run(0, 5), run(2, 3), SharedEnd),
+            (run(0, 8), run(2, 3), Nested),
+        ];
+        for (a, b, want) in cases {
+            assert_eq!(
+                classify(Some(a), Some(b)),
+                CellState::Pair { geometry: want, needs_swap: false },
+                "{a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn b_variants_need_swap_and_become_a_after_step1() {
+        // The paper: "any b state will turn into the corresponding a state
+        // after step 1 is performed, and any a state will be unchanged".
+        for s_start in 0u32..6 {
+            for s_len in 1u32..4 {
+                for b_start in 0u32..6 {
+                    for b_len in 1u32..4 {
+                        let (s0, b0) = (run(s_start, s_len), run(b_start, b_len));
+                        let before = classify(Some(s0), Some(b0));
+                        let (mut s, mut b) = (Some(s0), Some(b0));
+                        step1_order(&mut s, &mut b);
+                        let after = classify(s, b);
+                        let CellState::Pair { geometry, needs_swap } = before else {
+                            panic!("two-run cell must classify as Pair");
+                        };
+                        assert_eq!(
+                            after,
+                            CellState::Pair { geometry, needs_swap: false },
+                            "step 1 must map b-state to its a-state: {s0:?}/{b0:?}"
+                        );
+                        let _ = needs_swap;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xor_result_per_geometry() {
+        // One representative per geometry; the "Result" column of Figure 4.
+        use PairGeometry::*;
+        type Case = (Run, Run, PairGeometry, (Option<Run>, Option<Run>));
+        let cases: [Case; 7] = [
+            (run(0, 3), run(10, 2), Disjoint, (Some(run(0, 3)), Some(run(10, 2)))),
+            (run(0, 3), run(3, 2), Adjacent, (Some(run(0, 3)), Some(run(3, 2)))),
+            (run(0, 5), run(3, 5), OverlapProper, (Some(run(0, 3)), Some(run(5, 3)))),
+            (run(0, 5), run(0, 5), Equal, (None, None)),
+            (run(0, 3), run(0, 5), SharedStart, (None, Some(run(3, 2)))),
+            (run(0, 5), run(2, 3), SharedEnd, (Some(run(0, 2)), None)),
+            (run(0, 8), run(2, 3), Nested, (Some(run(0, 2)), Some(run(5, 3)))),
+        ];
+        for (a, b, geometry, want) in cases {
+            assert_eq!(pair_geometry(a, b), geometry);
+            let (mut s, mut bb) = (Some(a), Some(b));
+            step2_xor(&mut s, &mut bb);
+            assert_eq!((s, bb), want, "geometry {geometry:?}");
+        }
+    }
+
+    #[test]
+    fn geometry_is_orientation_independent() {
+        let a = run(2, 6);
+        let b = run(4, 10);
+        let CellState::Pair { geometry: g1, needs_swap: n1 } = classify(Some(a), Some(b)) else {
+            unreachable!()
+        };
+        let CellState::Pair { geometry: g2, needs_swap: n2 } = classify(Some(b), Some(a)) else {
+            unreachable!()
+        };
+        assert_eq!(g1, g2);
+        assert!(!n1);
+        assert!(n2);
+    }
+
+    #[test]
+    fn geometry_count_is_exhaustive() {
+        // Sweep all pairs in a window and make sure every pair falls into
+        // one of the seven geometries (i.e. the enum is total).
+        let mut seen = std::collections::HashSet::new();
+        for s in 0u32..7 {
+            for l in 1u32..5 {
+                for s2 in 0u32..7 {
+                    for l2 in 1u32..5 {
+                        let (a, b) = (run(s, l), run(s2, l2));
+                        let (lo, hi) = if a.key() <= b.key() { (a, b) } else { (b, a) };
+                        seen.insert(pair_geometry(lo, hi));
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), GEOMETRY_COUNT);
+    }
+}

@@ -1,0 +1,111 @@
+//! Instrumentation counters for systolic runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over a full systolic run. `iterations` is the
+/// quantity the paper reports in Figure 5 and Table 1; the rest quantify
+/// data movement and cell activity for the ablation studies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayStats {
+    /// Synchronous iterations until every cell raised its complete signal.
+    pub iterations: u64,
+    /// Step-1 register swaps.
+    pub swaps: u64,
+    /// Step-1 moves of a lone `RegBig` run into `RegSmall`.
+    pub moves: u64,
+    /// Step-2 executions where both runs were present and disjoint.
+    pub disjoint_xors: u64,
+    /// Step-2 executions that combined overlapping runs.
+    pub combines: u64,
+    /// Step-2 executions where identical runs annihilated.
+    pub annihilations: u64,
+    /// Occupied `RegBig` registers moved during step-3 shifts (total data
+    /// movement on the shift chain).
+    pub run_shifts: u64,
+    /// Runs placed directly by the broadcast bus (always 0 on the pure
+    /// systolic machine; see [`crate::bus`]).
+    pub bus_placements: u64,
+    /// Sum over all iterations of the number of cells holding at least one
+    /// run when step 2 completed — the hardware-utilization numerator.
+    pub busy_cell_iterations: u64,
+    /// Number of cells in the array.
+    pub cells: usize,
+    /// Runs in the first input (`k1`).
+    pub k1: usize,
+    /// Runs in the second input (`k2`).
+    pub k2: usize,
+    /// Runs extracted from `RegSmall` when the machine halted (the raw,
+    /// uncoalesced output size).
+    pub output_runs: usize,
+}
+
+impl ArrayStats {
+    /// Theorem 1's bound for this input: `k1 + k2`.
+    #[must_use]
+    pub fn theorem1_bound(&self) -> u64 {
+        (self.k1 + self.k2) as u64
+    }
+
+    /// Whether the run respected Theorem 1.
+    #[must_use]
+    pub fn within_theorem1(&self) -> bool {
+        self.iterations <= self.theorem1_bound()
+    }
+
+    /// Mean fraction of cells that held at least one run per iteration —
+    /// how much of the silicon the workload keeps busy. `None` when no
+    /// iterations ran.
+    #[must_use]
+    pub fn utilization(&self) -> Option<f64> {
+        if self.iterations == 0 || self.cells == 0 {
+            return None;
+        }
+        Some(self.busy_cell_iterations as f64 / (self.iterations as f64 * self.cells as f64))
+    }
+
+    /// Merges counters from another run (used when aggregating per-row runs
+    /// into whole-image totals, and per-thread partials in the parallel
+    /// engine). `cells` accumulates and `iterations` adds; callers wanting a
+    /// max-iterations view track it separately.
+    pub fn absorb(&mut self, other: &ArrayStats) {
+        self.iterations += other.iterations;
+        self.swaps += other.swaps;
+        self.moves += other.moves;
+        self.disjoint_xors += other.disjoint_xors;
+        self.combines += other.combines;
+        self.annihilations += other.annihilations;
+        self.run_shifts += other.run_shifts;
+        self.bus_placements += other.bus_placements;
+        self.busy_cell_iterations += other.busy_cell_iterations;
+        self.cells += other.cells;
+        self.k1 += other.k1;
+        self.k2 += other.k2;
+        self.output_runs += other.output_runs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_bound_and_check() {
+        let s = ArrayStats { iterations: 5, k1: 3, k2: 4, ..Default::default() };
+        assert_eq!(s.theorem1_bound(), 7);
+        assert!(s.within_theorem1());
+        let s = ArrayStats { iterations: 8, k1: 3, k2: 4, ..Default::default() };
+        assert!(!s.within_theorem1());
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = ArrayStats { iterations: 2, swaps: 1, k1: 3, ..Default::default() };
+        let b = ArrayStats { iterations: 3, swaps: 2, k2: 4, output_runs: 5, ..Default::default() };
+        a.absorb(&b);
+        assert_eq!(a.iterations, 5);
+        assert_eq!(a.swaps, 3);
+        assert_eq!(a.k1, 3);
+        assert_eq!(a.k2, 4);
+        assert_eq!(a.output_runs, 5);
+    }
+}

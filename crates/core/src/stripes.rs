@@ -1,0 +1,183 @@
+//! Striped processing: unbounded row widths on fixed-size hardware.
+//!
+//! A physical array has a fixed cell count, but scan lines can be
+//! arbitrarily wide. Because XOR is pixel-local, a row pair can be split
+//! into disjoint horizontal stripes, each diffed independently (on one
+//! array in sequence, or on several arrays in parallel), and the stripe
+//! results concatenated. Runs straddling a stripe boundary are split by
+//! the crop and re-joined by a final coalesce — the same "additional pass"
+//! the paper already needs for adjacent output runs.
+//!
+//! This module provides the decomposition and proves (by test) that it is
+//! exact: `xor_striped(a, b, w) == xor(a, b)` for every stripe width.
+
+use crate::array::SystolicArray;
+use crate::error::SystolicError;
+use crate::stats::ArrayStats;
+use rle::{Pixel, RleRow, Run};
+
+/// Result of a striped diff.
+#[derive(Clone, Debug)]
+pub struct StripedOutcome {
+    /// The canonical difference of the full row.
+    pub row: RleRow,
+    /// Per-stripe machine statistics, left to right.
+    pub stripes: Vec<ArrayStats>,
+}
+
+impl StripedOutcome {
+    /// Total iterations across stripes — the cost when stripes share one
+    /// physical array sequentially.
+    #[must_use]
+    pub fn total_iterations(&self) -> u64 {
+        self.stripes.iter().map(|s| s.iterations).sum()
+    }
+
+    /// The slowest stripe — the latency when each stripe has its own
+    /// array running in parallel.
+    #[must_use]
+    pub fn max_iterations(&self) -> u64 {
+        self.stripes.iter().map(|s| s.iterations).max().unwrap_or(0)
+    }
+
+    /// The largest per-stripe cell count — the hardware size actually
+    /// required, versus `k1 + k2` for the whole row.
+    #[must_use]
+    pub fn max_cells(&self) -> usize {
+        self.stripes.iter().map(|s| s.cells).max().unwrap_or(0)
+    }
+}
+
+/// Diffs two rows stripe by stripe on `stripe_width`-pixel windows.
+///
+/// # Panics
+///
+/// Panics if `stripe_width == 0`.
+pub fn xor_striped(
+    a: &RleRow,
+    b: &RleRow,
+    stripe_width: Pixel,
+) -> Result<StripedOutcome, SystolicError> {
+    assert!(stripe_width > 0, "stripes must be at least one pixel wide");
+    if a.width() != b.width() {
+        return Err(SystolicError::WidthMismatch { left: a.width(), right: b.width() });
+    }
+    let width = a.width();
+    let mut out = RleRow::new(width);
+    let mut stripes = Vec::new();
+
+    let mut start: Pixel = 0;
+    while start < width {
+        let len = stripe_width.min(width - start);
+        let (sa, sb) = (a.crop(start, len), b.crop(start, len));
+        let mut machine = SystolicArray::load(&sa, &sb)?;
+        machine.run()?;
+        let piece = machine.extract_raw()?;
+        for run in piece.runs() {
+            // Rebase into the full row; stripe-boundary fragments coalesce.
+            out.push_run_coalescing(Run::new(run.start() + start, run.len()))
+                .expect("stripes emit in order");
+        }
+        stripes.push(*machine.stats());
+        start += len;
+    }
+    out.canonicalize();
+    Ok(StripedOutcome { row: out, stripes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_row(rng: &mut StdRng, width: Pixel) -> RleRow {
+        let mut row = RleRow::new(width);
+        let mut pos: Pixel = rng.gen_range(0..4);
+        while pos + 8 < width {
+            let len = rng.gen_range(1..12).min(width - pos);
+            row.push_run(Run::new(pos, len)).unwrap();
+            pos += len + rng.gen_range(1..10);
+        }
+        row
+    }
+
+    #[test]
+    fn striping_is_exact_for_all_widths() {
+        let mut rng = StdRng::seed_from_u64(0x57121);
+        for case in 0..40 {
+            let width = rng.gen_range(50..600);
+            let a = random_row(&mut rng, width);
+            let b = random_row(&mut rng, width);
+            let whole = rle::ops::xor(&a, &b);
+            for stripe in [1u32, 7, 64, 100, width, width + 50] {
+                let striped = xor_striped(&a, &b, stripe).unwrap();
+                assert_eq!(striped.row, whole, "case {case}, stripe {stripe}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_straddling_runs_rejoin() {
+        // A run crossing the stripe boundary is split by the crop and must
+        // be rejoined by the coalesce.
+        let a = RleRow::from_pairs(64, &[(28, 10)]).unwrap();
+        let b = RleRow::new(64);
+        let striped = xor_striped(&a, &b, 32).unwrap();
+        assert_eq!(striped.row.runs(), &[Run::new(28, 10)]);
+        assert_eq!(striped.stripes.len(), 2);
+    }
+
+    #[test]
+    fn stripes_bound_the_hardware_size() {
+        // A wide row with many runs: striping caps the per-array cell count
+        // near the per-stripe run population instead of the whole row's.
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = random_row(&mut rng, 4_000);
+        let b = random_row(&mut rng, 4_000);
+        let whole_cells = a.run_count() + b.run_count();
+        let striped = xor_striped(&a, &b, 256).unwrap();
+        assert!(striped.max_cells() < whole_cells / 4, "{} vs {whole_cells}", striped.max_cells());
+        // Parallel stripes beat the single array on latency.
+        let (_, whole_stats) = crate::array::systolic_xor(&a, &b).unwrap();
+        assert!(striped.max_iterations() <= whole_stats.iterations);
+    }
+
+    #[test]
+    fn stats_cover_every_stripe() {
+        let a = RleRow::from_pairs(100, &[(0, 10), (50, 10), (90, 10)]).unwrap();
+        let b = RleRow::from_pairs(100, &[(5, 10), (55, 10)]).unwrap();
+        let striped = xor_striped(&a, &b, 25).unwrap();
+        assert_eq!(striped.stripes.len(), 4);
+        assert_eq!(
+            striped.total_iterations(),
+            striped.stripes.iter().map(|s| s.iterations).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let a = RleRow::new(10);
+        let b = RleRow::new(20);
+        assert!(xor_striped(&a, &b, 8).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pixel")]
+    fn zero_stripe_width_panics() {
+        let a = RleRow::new(10);
+        let _ = xor_striped(&a, &a.clone(), 0);
+    }
+
+    #[test]
+    fn empty_and_degenerate_rows() {
+        let e = RleRow::new(0);
+        let out = xor_striped(&e, &e.clone(), 16).unwrap();
+        assert!(out.row.is_empty());
+        assert!(out.stripes.is_empty());
+
+        let one = RleRow::from_pairs(1, &[(0, 1)]).unwrap();
+        let out = xor_striped(&one, &RleRow::new(1), 16).unwrap();
+        assert_eq!(out.row, one);
+    }
+}

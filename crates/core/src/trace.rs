@@ -1,0 +1,240 @@
+//! Execution traces in the style of the paper's Figure 3.
+//!
+//! A [`Trace`] records the register file after the initial load and after
+//! each of the three steps of every iteration, labelled `1.1`, `1.2`, `1.3`,
+//! `2.1`, ... exactly like the figure. [`Trace::to_figure3_table`] renders
+//! the two-line-per-step table (RegSmall above RegBig) used to validate the
+//! simulator against the published worked example.
+
+use crate::array::SystolicArray;
+use crate::cell::CellView;
+use crate::error::SystolicError;
+use rle::{RleRow, Run};
+
+/// One recorded snapshot of the whole register file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Label in Figure 3's notation: `"Initial"`, `"1.1"`, `"1.2"`, ...
+    pub label: String,
+    /// Per-cell register contents at this point.
+    pub cells: Vec<CellView>,
+}
+
+/// A full recorded execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// Snapshots in execution order.
+    pub steps: Vec<TraceStep>,
+    /// Iterations until termination.
+    pub iterations: u64,
+    /// The extracted (raw) result row.
+    pub result: RleRow,
+}
+
+/// Runs the machine to termination, recording a snapshot after the load and
+/// after every step of every iteration.
+pub fn run_traced(array: &mut SystolicArray) -> Result<Trace, SystolicError> {
+    let mut steps = vec![snapshot("Initial", array)];
+    let mut iteration = 0u64;
+    while !array.is_done() {
+        iteration += 1;
+        array.phase_order();
+        steps.push(snapshot(&format!("{iteration}.1"), array));
+        array.phase_xor();
+        steps.push(snapshot(&format!("{iteration}.2"), array));
+        array.phase_shift()?;
+        steps.push(snapshot(&format!("{iteration}.3"), array));
+        // Mirror SystolicArray::step's bookkeeping.
+        array.stats_mut().iterations += 1;
+        if iteration > (array.stats().k1 + array.stats().k2) as u64 {
+            return Err(SystolicError::IterationBound {
+                bound: (array.stats().k1 + array.stats().k2) as u64,
+            });
+        }
+    }
+    array.stats_mut().output_runs = array.views().filter(|c| c.small.is_some()).count();
+    Ok(Trace { steps, iterations: iteration, result: array.extract_raw()? })
+}
+
+fn snapshot(label: &str, array: &SystolicArray) -> TraceStep {
+    TraceStep { label: label.to_string(), cells: array.views().collect() }
+}
+
+impl Trace {
+    /// Renders the trace as a Figure-3-style table: one header row naming
+    /// the cells, then two lines per snapshot (RegSmall over RegBig).
+    #[must_use]
+    pub fn to_figure3_table(&self) -> String {
+        let cells = self.steps.first().map_or(0, |s| s.cells.len());
+        let col_width = self
+            .steps
+            .iter()
+            .flat_map(|s| &s.cells)
+            .flat_map(|c| [c.small, c.big])
+            .map(|r| fmt_reg(r).len())
+            .max()
+            .unwrap_or(2)
+            .max("Cell99".len());
+        let label_width = self.steps.iter().map(|s| s.label.len()).max().unwrap_or(7).max(7);
+
+        let mut out = String::new();
+        out.push_str(&format!("{:label_width$}", "Step"));
+        for i in 0..cells {
+            out.push_str(&format!(" {:>col_width$}", format!("Cell{i}")));
+        }
+        out.push('\n');
+        for step in &self.steps {
+            for (line, pick) in [("S", 0), ("B", 1)] {
+                let label = if pick == 0 { step.label.as_str() } else { "" };
+                out.push_str(&format!("{label:label_width$}"));
+                let _ = line;
+                for cell in &step.cells {
+                    let reg = if pick == 0 { cell.small } else { cell.big };
+                    out.push_str(&format!(" {:>col_width$}", fmt_reg(reg)));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// The register contents at a given label, if recorded.
+    #[must_use]
+    pub fn step(&self, label: &str) -> Option<&TraceStep> {
+        self.steps.iter().find(|s| s.label == label)
+    }
+}
+
+fn fmt_reg(reg: Option<Run>) -> String {
+    match reg {
+        Some(run) => format!("({},{})", run.start(), run.len()),
+        None => "·".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> (RleRow, RleRow) {
+        (
+            RleRow::from_pairs(40, &[(10, 3), (16, 2), (23, 2), (27, 3)]).unwrap(),
+            RleRow::from_pairs(40, &[(3, 4), (8, 5), (15, 5), (23, 2), (27, 4)]).unwrap(),
+        )
+    }
+
+    fn reg(cells: &[CellView], pick_small: bool) -> Vec<Option<Run>> {
+        cells
+            .iter()
+            .map(|c| if pick_small { c.small } else { c.big })
+            .collect()
+    }
+
+    fn runs(pairs: &[(u32, u32)], pad_to: usize) -> Vec<Option<Run>> {
+        let mut v: Vec<Option<Run>> = pairs.iter().map(|&(s, l)| Some(Run::new(s, l))).collect();
+        v.resize(pad_to, None);
+        v
+    }
+
+    #[test]
+    fn figure3_full_golden_trace() {
+        // The complete published execution of Figure 3, snapshot by
+        // snapshot. Cell count is k1 + k2 = 9 (the figure only draws the
+        // first six; the rest stay empty throughout).
+        let (a, b) = fig1();
+        let mut m = SystolicArray::load(&a, &b).unwrap();
+        let trace = run_traced(&mut m).unwrap();
+        assert_eq!(trace.iterations, 3);
+        let n = 9;
+
+        let initial = trace.step("Initial").unwrap();
+        assert_eq!(reg(&initial.cells, true), runs(&[(10, 3), (16, 2), (23, 2), (27, 3)], n));
+        assert_eq!(
+            reg(&initial.cells, false),
+            runs(&[(3, 4), (8, 5), (15, 5), (23, 2), (27, 4)], n)
+        );
+
+        // 1.1 — after ordering, the images have swapped chains.
+        let s11 = trace.step("1.1").unwrap();
+        assert_eq!(
+            reg(&s11.cells, true),
+            runs(&[(3, 4), (8, 5), (15, 5), (23, 2), (27, 4)], n)
+        );
+        assert_eq!(reg(&s11.cells, false), runs(&[(10, 3), (16, 2), (23, 2), (27, 3)], n));
+
+        // 1.2 — all pairs disjoint; nothing changes.
+        let s12 = trace.step("1.2").unwrap();
+        assert_eq!(s12.cells, s11.cells);
+
+        // 1.3 — RegBig chain shifted right by one.
+        let s13 = trace.step("1.3").unwrap();
+        let mut shifted = vec![None];
+        shifted.extend_from_slice(&runs(&[(10, 3), (16, 2), (23, 2), (27, 3)], n - 1));
+        assert_eq!(reg(&s13.cells, false), shifted);
+
+        // 2.1 — only cell 4 needs the swap: (27,4)/(27,3) -> (27,3)/(27,4).
+        let s21 = trace.step("2.1").unwrap();
+        assert_eq!(s21.cells[4].small, Some(Run::new(27, 3)));
+        assert_eq!(s21.cells[4].big, Some(Run::new(27, 4)));
+
+        // 2.2 — the XOR step produces the published partial results.
+        let s22 = trace.step("2.2").unwrap();
+        assert_eq!(
+            reg(&s22.cells, true),
+            runs(&[(3, 4), (8, 2), (15, 1)], n) // cells 3,4 small empty now
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| if i < 3 { r } else { None })
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(s22.cells[2].big, Some(Run::new(18, 2)));
+        assert_eq!(s22.cells[3].big, None, "(23,2) pair annihilated");
+        assert_eq!(s22.cells[4].big, Some(Run::new(30, 1)));
+
+        // 3.1 — the lone RegBig runs have moved into RegSmall.
+        let s31 = trace.step("3.1").unwrap();
+        assert_eq!(s31.cells[3].small, Some(Run::new(18, 2)));
+        assert_eq!(s31.cells[5].small, Some(Run::new(30, 1)));
+
+        // Final result matches Figure 1.
+        assert_eq!(
+            trace.result,
+            RleRow::from_pairs(40, &[(3, 4), (8, 2), (15, 1), (18, 2), (30, 1)]).unwrap()
+        );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run() {
+        let (a, b) = fig1();
+        let mut traced = SystolicArray::load(&a, &b).unwrap();
+        let trace = run_traced(&mut traced).unwrap();
+        let (row, stats) = crate::array::systolic_xor_raw(&a, &b).unwrap();
+        assert_eq!(trace.result, row);
+        assert_eq!(trace.iterations, stats.iterations);
+    }
+
+    #[test]
+    fn table_rendering_contains_labels_and_cells() {
+        let (a, b) = fig1();
+        let mut m = SystolicArray::load(&a, &b).unwrap();
+        let trace = run_traced(&mut m).unwrap();
+        let table = trace.to_figure3_table();
+        for needle in ["Step", "Cell0", "Cell8", "Initial", "1.1", "2.2", "3.3", "(3,4)", "(30,1)"]
+        {
+            assert!(table.contains(needle), "table missing {needle:?}:\n{table}");
+        }
+        // Two lines per snapshot plus the header.
+        assert_eq!(table.lines().count(), 1 + 2 * trace.steps.len());
+    }
+
+    #[test]
+    fn empty_machine_trace() {
+        let e = RleRow::new(8);
+        let mut m = SystolicArray::load(&e, &e.clone()).unwrap();
+        let trace = run_traced(&mut m).unwrap();
+        assert_eq!(trace.iterations, 0);
+        assert_eq!(trace.steps.len(), 1); // just "Initial"
+        assert!(trace.result.is_empty());
+        assert!(trace.to_figure3_table().contains("Initial"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Terminal line plots for figure reproduction.
+//!
+//! Good enough to see the *shape* the paper's Figure 5 shows — which series
+//! tracks which, and where they diverge — directly in the experiment
+//! output, without any plotting dependency.
+
+/// One named series of (x, y) points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points, not necessarily sorted.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    #[must_use]
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self { label: label.into(), points }
+    }
+}
+
+/// Renders series as an ASCII scatter/line chart of the given size.
+/// Each series is drawn with its own glyph; overlapping points show the
+/// later series' glyph.
+#[must_use]
+pub fn plot(series: &[Series], width: usize, height: usize, title: &str) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let (width, height) = (width.max(16), height.max(4));
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    y_min = y_min.min(0.0);
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out.push_str(&format!("{y_max:>10.1} ┤"));
+    out.push('\n');
+    for row in &grid {
+        out.push_str("           │");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_min:>10.1} └{}\n", "─".repeat(width)));
+    out.push_str(&format!("            {:<10.2}{:>width$.2}\n", x_min, x_max, width = width - 10));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plot() {
+        let out = plot(&[], 40, 10, "nothing");
+        assert!(out.contains("(no data)"));
+    }
+
+    #[test]
+    fn single_series_renders_points() {
+        let s = Series::new("line", (0..10).map(|i| (f64::from(i), f64::from(i))).collect());
+        let out = plot(&[s], 40, 10, "diag");
+        assert!(out.contains("diag"));
+        assert!(out.contains("* line"));
+        assert!(out.matches('*').count() >= 10, "{out}");
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_glyphs() {
+        let a = Series::new("a", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let b = Series::new("b", vec![(0.0, 1.0), (1.0, 0.0)]);
+        let out = plot(&[a, b], 30, 8, "two");
+        assert!(out.contains("* a"));
+        assert!(out.contains("o b"));
+        assert!(out.contains('o'), "{out}");
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let s = Series::new("flat", vec![(2.0, 5.0), (2.0, 5.0)]);
+        let out = plot(&[s], 20, 5, "flat");
+        assert!(out.contains('*'));
+    }
+}

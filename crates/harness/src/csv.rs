@@ -1,0 +1,129 @@
+//! Minimal CSV writing for experiment results.
+//!
+//! Hand-rolled on purpose: the offline dependency set has no CSV crate, and
+//! our needs are a header plus numeric rows.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// An in-memory CSV document.
+#[derive(Clone, Debug, Default)]
+pub struct Csv {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// Creates a document with the given column names.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row of already-formatted fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field count does not match the header.
+    pub fn push_row<S: Into<String>>(&mut self, fields: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = fields.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    /// Appends a row of floats, formatted with 6 significant digits.
+    pub fn push_floats(&mut self, fields: impl IntoIterator<Item = f64>) {
+        let row: Vec<String> = fields.into_iter().map(|f| format!("{f:.6}")).collect();
+        assert_eq!(row.len(), self.header.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the document has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the document as CSV text. Fields containing commas, quotes
+    /// or newlines are quoted per RFC 4180.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        write_line(&mut out, &self.header);
+        for row in &self.rows {
+            write_line(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the document to a file, creating parent directories.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.render())
+    }
+}
+
+fn write_line(out: &mut String, fields: &[String]) {
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if field.contains([',', '"', '\n']) {
+            let _ = write!(out, "\"{}\"", field.replace('"', "\"\""));
+        } else {
+            out.push_str(field);
+        }
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_document() {
+        let mut csv = Csv::new(["a", "b"]);
+        csv.push_row(["1", "2"]);
+        csv.push_floats([0.5, 1.0]);
+        assert_eq!(csv.len(), 2);
+        assert!(!csv.is_empty());
+        assert_eq!(csv.render(), "a,b\n1,2\n0.500000,1.000000\n");
+    }
+
+    #[test]
+    fn quoting() {
+        let mut csv = Csv::new(["x"]);
+        csv.push_row(["hello, \"world\""]);
+        assert_eq!(csv.render(), "x\n\"hello, \"\"world\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width must match header")]
+    fn mismatched_row_panics() {
+        let mut csv = Csv::new(["a", "b"]);
+        csv.push_row(["only one"]);
+    }
+
+    #[test]
+    fn write_creates_directories() {
+        let dir = std::env::temp_dir().join(format!("rle_systolic_csv_{}", std::process::id()));
+        let path = dir.join("deep/nested/out.csv");
+        let mut csv = Csv::new(["v"]);
+        csv.push_row(["1"]);
+        csv.write_to(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "v\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,237 @@
+//! Experiment E10 — the broadcast-bus ablation.
+//!
+//! §6 conjectures that a broadcast bus could perform the shift cascades
+//! "more efficiently thus significantly decreasing the running time". This
+//! experiment quantifies the claim on the Figure-5 workload: for each error
+//! percentage it measures iterations of the pure machine vs. the
+//! bus-assisted machine (bus widths 1 and 4) and the shift traffic saved.
+
+use crate::csv::Csv;
+use crate::sampling::Summary;
+use crate::table::TextTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rle::Pixel;
+use serde::{Deserialize, Serialize};
+use systolic_core::bus::BusArray;
+use workload::{ErrorModel, GenParams, RowGenerator};
+
+/// Sweep configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BusConfig {
+    /// Row width.
+    pub width: Pixel,
+    /// Foreground density.
+    pub density: f64,
+    /// Error percentages to sweep.
+    pub error_percents: Vec<f64>,
+    /// Trials per point.
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        Self {
+            width: 10_000,
+            density: 0.3,
+            error_percents: vec![1.0, 2.5, 5.0, 10.0, 20.0, 35.0, 50.0, 70.0],
+            trials: 15,
+            seed: 0xB005_1999,
+        }
+    }
+}
+
+/// One point of the ablation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BusPoint {
+    /// Error percentage.
+    pub percent: f64,
+    /// Pure systolic iterations.
+    pub pure_iters: Summary,
+    /// Bus-assisted iterations (single transaction per cycle).
+    pub bus1_iters: Summary,
+    /// Bus-assisted iterations (four transactions per cycle).
+    pub bus4_iters: Summary,
+    /// Mesh-assisted iterations (segment inserts, unlimited disjoint
+    /// deliveries).
+    pub mesh_iters: Summary,
+    /// Shift data movement of the pure machine.
+    pub pure_shifts: Summary,
+    /// Shift data movement with the single bus.
+    pub bus1_shifts: Summary,
+}
+
+/// Full ablation result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BusResult {
+    /// The configuration that produced it.
+    pub config: BusConfig,
+    /// One entry per error percentage.
+    pub points: Vec<BusPoint>,
+}
+
+/// Runs the ablation.
+#[must_use]
+pub fn run(config: &BusConfig) -> BusResult {
+    let params = GenParams::for_density(config.width, config.density);
+    let points = config
+        .error_percents
+        .iter()
+        .enumerate()
+        .map(|(pi, &percent)| {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ (pi as u64) << 17);
+            let mut pure_iters = Vec::new();
+            let mut bus1_iters = Vec::new();
+            let mut bus4_iters = Vec::new();
+            let mut mesh_iters = Vec::new();
+            let mut pure_shifts = Vec::new();
+            let mut bus1_shifts = Vec::new();
+            for _ in 0..config.trials {
+                let a = RowGenerator::new(params, rng.gen()).next_row();
+                let model = ErrorModel::fraction(percent / 100.0);
+                let b = workload::errors::apply_errors_rng(&a, &model, &mut rng);
+
+                let (pure_row, pure) = systolic_core::systolic_xor(&a, &b).expect("pure run");
+                let (bus1_row, bus1) =
+                    systolic_core::bus::systolic_xor_bus(&a, &b).expect("bus run");
+                let mut wide = BusArray::load(&a, &b).expect("bus4 load").with_bus_capacity(4);
+                wide.run().expect("bus4 run");
+                let bus4 = *wide.stats();
+                let (mesh_row, mesh) =
+                    systolic_core::bus::systolic_xor_mesh(&a, &b).expect("mesh run");
+
+                assert_eq!(pure_row, bus1_row, "bus must not change the result");
+                assert_eq!(pure_row, mesh_row, "mesh must not change the result");
+                pure_iters.push(pure.iterations as f64);
+                bus1_iters.push(bus1.iterations as f64);
+                bus4_iters.push(bus4.iterations as f64);
+                mesh_iters.push(mesh.iterations as f64);
+                pure_shifts.push(pure.run_shifts as f64);
+                bus1_shifts.push(bus1.run_shifts as f64);
+            }
+            BusPoint {
+                percent,
+                pure_iters: Summary::of(&pure_iters),
+                bus1_iters: Summary::of(&bus1_iters),
+                bus4_iters: Summary::of(&bus4_iters),
+                mesh_iters: Summary::of(&mesh_iters),
+                pure_shifts: Summary::of(&pure_shifts),
+                bus1_shifts: Summary::of(&bus1_shifts),
+            }
+        })
+        .collect();
+    BusResult { config: config.clone(), points }
+}
+
+/// Renders the ablation table.
+#[must_use]
+pub fn report(result: &BusResult) -> String {
+    let mut table = TextTable::new([
+        "err%",
+        "pure iters",
+        "bus(1) iters",
+        "bus(4) iters",
+        "mesh iters",
+        "mesh speedup",
+        "shift traffic saved",
+    ]);
+    for p in &result.points {
+        let speedup =
+            if p.mesh_iters.mean > 0.0 { p.pure_iters.mean / p.mesh_iters.mean } else { 1.0 };
+        let saved = if p.pure_shifts.mean > 0.0 {
+            100.0 * (1.0 - p.bus1_shifts.mean / p.pure_shifts.mean)
+        } else {
+            0.0
+        };
+        table.push_row([
+            format!("{:.1}", p.percent),
+            format!("{:.1}", p.pure_iters.mean),
+            format!("{:.1}", p.bus1_iters.mean),
+            format!("{:.1}", p.bus4_iters.mean),
+            format!("{:.1}", p.mesh_iters.mean),
+            format!("{speedup:.2}x"),
+            format!("{saved:.0}%"),
+        ]);
+    }
+    format!(
+        "Broadcast-bus ablation (§6 future work) — Figure-5 workload, identical results asserted\n\n{}",
+        table.render()
+    )
+}
+
+/// Exports as CSV.
+#[must_use]
+pub fn to_csv(result: &BusResult) -> Csv {
+    let mut csv = Csv::new([
+        "percent",
+        "pure_iters",
+        "bus1_iters",
+        "bus4_iters",
+        "mesh_iters",
+        "pure_shifts",
+        "bus1_shifts",
+    ]);
+    for p in &result.points {
+        csv.push_floats([
+            p.percent,
+            p.pure_iters.mean,
+            p.bus1_iters.mean,
+            p.bus4_iters.mean,
+            p.mesh_iters.mean,
+            p.pure_shifts.mean,
+            p.bus1_shifts.mean,
+        ]);
+    }
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> BusConfig {
+        BusConfig {
+            width: 2_000,
+            error_percents: vec![2.0, 20.0, 50.0],
+            trials: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mesh_delivers_the_conjectured_speedup() {
+        let r = run(&small());
+        for p in &r.points {
+            assert!(
+                p.bus1_iters.mean <= p.pure_iters.mean + 1e-9,
+                "bus slower at {}%: {} vs {}",
+                p.percent,
+                p.bus1_iters.mean,
+                p.pure_iters.mean
+            );
+            assert!(
+                p.mesh_iters.mean <= p.bus1_iters.mean + 1e-9,
+                "mesh slower than bus at {}%",
+                p.percent
+            );
+        }
+        // The mesh (segment inserts) must actually shorten the run —
+        // the paper's conjecture.
+        assert!(
+            r.points.iter().any(|p| p.mesh_iters.mean < p.pure_iters.mean * 0.7),
+            "mesh never helped substantially: {:?}",
+            r.points.iter().map(|p| (p.pure_iters.mean, p.mesh_iters.mean)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn report_and_csv() {
+        let r = run(&small());
+        let rep = report(&r);
+        assert!(rep.contains("Broadcast-bus"));
+        assert!(rep.contains("speedup"));
+        assert_eq!(to_csv(&r).len(), 3);
+    }
+}

@@ -1,0 +1,213 @@
+//! Experiment E13 — the §6 coalescing pass.
+//!
+//! "The task of combining the adjacent runs in different cells at the end
+//! of the algorithm ... is not fast on a pure systolic system, but could be
+//! performed quickly with the help of a broadcast bus." We measure both on
+//! the Figure-5 workload: after the XOR machine halts, the pure systolic
+//! compact-and-merge pass runs for ~array-length iterations, while the bus
+//! needs exactly one transaction per output run.
+
+use crate::csv::Csv;
+use crate::sampling::Summary;
+use crate::table::TextTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rle::Pixel;
+use serde::{Deserialize, Serialize};
+use systolic_core::coalesce::{bus_coalesce, CoalescePass};
+use systolic_core::SystolicArray;
+use workload::{ErrorModel, GenParams, RowGenerator};
+
+/// Sweep configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoalesceConfig {
+    /// Row width.
+    pub width: Pixel,
+    /// Foreground density.
+    pub density: f64,
+    /// Error percentages to sweep.
+    pub error_percents: Vec<f64>,
+    /// Trials per point.
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> Self {
+        Self {
+            width: 10_000,
+            density: 0.3,
+            error_percents: vec![1.0, 5.0, 20.0, 40.0],
+            trials: 15,
+            seed: 0xC0A1_E5CE,
+        }
+    }
+}
+
+/// One point of the sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoalescePoint {
+    /// Error percentage.
+    pub percent: f64,
+    /// Iterations of the XOR machine itself (context).
+    pub xor_iterations: Summary,
+    /// Runs in the raw output chain.
+    pub output_runs: Summary,
+    /// Touching neighbour pairs in the raw output (work to do).
+    pub adjacent_pairs: Summary,
+    /// Iterations of the pure systolic coalesce pass.
+    pub systolic_iterations: Summary,
+    /// Bus transactions of the bus-assisted pass.
+    pub bus_transactions: Summary,
+}
+
+/// Full sweep result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoalesceResult {
+    /// The configuration that produced it.
+    pub config: CoalesceConfig,
+    /// One entry per error percentage.
+    pub points: Vec<CoalescePoint>,
+}
+
+/// Runs the sweep.
+#[must_use]
+pub fn run(config: &CoalesceConfig) -> CoalesceResult {
+    let params = GenParams::for_density(config.width, config.density);
+    let points = config
+        .error_percents
+        .iter()
+        .enumerate()
+        .map(|(pi, &percent)| {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ ((pi as u64) << 13));
+            let mut xor_iterations = Vec::new();
+            let mut output_runs = Vec::new();
+            let mut adjacent_pairs = Vec::new();
+            let mut systolic_iterations = Vec::new();
+            let mut bus_transactions = Vec::new();
+            for _ in 0..config.trials {
+                let a = RowGenerator::new(params, rng.gen()).next_row();
+                let model = ErrorModel::fraction(percent / 100.0);
+                let b = workload::errors::apply_errors_rng(&a, &model, &mut rng);
+
+                let mut machine = SystolicArray::load(&a, &b).expect("load");
+                machine.enable_invariant_checks(false);
+                machine.run().expect("xor run");
+                let raw = machine.extract_raw().expect("extract");
+                let adjacencies = rle::canonical::count_adjacencies(raw.runs());
+
+                let chain: Vec<_> = machine.views().map(|c| c.small).collect();
+                let mut pass = CoalescePass::from_array(&machine);
+                pass.run().expect("coalesce run");
+                let (bus_row, tx) = bus_coalesce(machine.width(), &chain);
+                let systolic_row = pass.extract().expect("coalesce extract");
+                assert_eq!(systolic_row, bus_row, "passes must agree");
+                assert_eq!(systolic_row, raw.canonicalized(), "must canonicalize");
+
+                xor_iterations.push(machine.stats().iterations as f64);
+                output_runs.push(raw.run_count() as f64);
+                adjacent_pairs.push(adjacencies as f64);
+                systolic_iterations.push(pass.stats().iterations as f64);
+                bus_transactions.push(tx as f64);
+            }
+            CoalescePoint {
+                percent,
+                xor_iterations: Summary::of(&xor_iterations),
+                output_runs: Summary::of(&output_runs),
+                adjacent_pairs: Summary::of(&adjacent_pairs),
+                systolic_iterations: Summary::of(&systolic_iterations),
+                bus_transactions: Summary::of(&bus_transactions),
+            }
+        })
+        .collect();
+    CoalesceResult { config: config.clone(), points }
+}
+
+/// Renders the comparison table.
+#[must_use]
+pub fn report(result: &CoalesceResult) -> String {
+    let mut table = TextTable::new([
+        "err%",
+        "XOR iters",
+        "output runs",
+        "adjacent pairs",
+        "coalesce iters (systolic)",
+        "bus transactions",
+    ]);
+    for p in &result.points {
+        table.push_row([
+            format!("{:.1}", p.percent),
+            format!("{:.1}", p.xor_iterations.mean),
+            format!("{:.1}", p.output_runs.mean),
+            format!("{:.1}", p.adjacent_pairs.mean),
+            format!("{:.1}", p.systolic_iterations.mean),
+            format!("{:.1}", p.bus_transactions.mean),
+        ]);
+    }
+    format!(
+        "Coalescing pass (§6 future work) — merging adjacent runs after the XOR\n\n{}\nThe pure systolic pass pays ~array-length iterations for compaction;\nthe bus pays one transaction per output run — the paper's prediction.\n",
+        table.render()
+    )
+}
+
+/// Exports as CSV.
+#[must_use]
+pub fn to_csv(result: &CoalesceResult) -> Csv {
+    let mut csv = Csv::new([
+        "percent",
+        "xor_iterations",
+        "output_runs",
+        "adjacent_pairs",
+        "systolic_iterations",
+        "bus_transactions",
+    ]);
+    for p in &result.points {
+        csv.push_floats([
+            p.percent,
+            p.xor_iterations.mean,
+            p.output_runs.mean,
+            p.adjacent_pairs.mean,
+            p.systolic_iterations.mean,
+            p.bus_transactions.mean,
+        ]);
+    }
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CoalesceConfig {
+        CoalesceConfig {
+            width: 2_000,
+            error_percents: vec![2.0, 20.0],
+            trials: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn passes_agree_and_bus_is_cheaper() {
+        let r = run(&small());
+        for p in &r.points {
+            // One transaction per output run.
+            assert!((p.bus_transactions.mean - p.output_runs.mean).abs() < 1e-9);
+            // Pure systolic pays far more steps than the bus pays
+            // transactions relative to the work (compaction dominates).
+            assert!(
+                p.systolic_iterations.mean > 0.0,
+                "coalescing work must exist at {}%",
+                p.percent
+            );
+        }
+    }
+
+    #[test]
+    fn report_and_csv() {
+        let r = run(&small());
+        assert!(report(&r).contains("Coalescing pass"));
+        assert_eq!(to_csv(&r).len(), 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Experiment E1 — Figure 1: the worked image-difference example.
+//!
+//! The paper's Figure 1 gives two encoded rows and their XOR. This
+//! experiment recomputes the difference three ways — the sequential merge,
+//! the pure systolic array, and the bus-assisted array — and checks all of
+//! them against the published output.
+
+use rle::{RleRow, Run};
+use std::fmt::Write as _;
+
+/// The published inputs and output of Figure 1 (row width is not stated in
+/// the paper; 40 comfortably contains every run).
+#[must_use]
+pub fn figure1_rows() -> (RleRow, RleRow, RleRow) {
+    let a = RleRow::from_pairs(40, &[(10, 3), (16, 2), (23, 2), (27, 3)]).unwrap();
+    let b = RleRow::from_pairs(40, &[(3, 4), (8, 5), (15, 5), (23, 2), (27, 4)]).unwrap();
+    let expected =
+        RleRow::from_pairs(40, &[(3, 4), (8, 2), (15, 1), (18, 2), (30, 1)]).unwrap();
+    (a, b, expected)
+}
+
+/// Outcome of the Figure 1 reproduction.
+#[derive(Clone, Debug)]
+pub struct Fig1Result {
+    /// Difference computed by the sequential merge.
+    pub sequential: RleRow,
+    /// Difference computed by the systolic array.
+    pub systolic: RleRow,
+    /// Difference computed by the bus-assisted array.
+    pub bus: RleRow,
+    /// The published expected difference.
+    pub expected: RleRow,
+}
+
+impl Fig1Result {
+    /// Whether all three implementations match the paper.
+    #[must_use]
+    pub fn all_match(&self) -> bool {
+        self.sequential == self.expected
+            && self.systolic == self.expected
+            && self.bus == self.expected
+    }
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run() -> Fig1Result {
+    let (a, b, expected) = figure1_rows();
+    let sequential = rle::ops::xor(&a, &b);
+    let (systolic, _) = systolic_core::systolic_xor(&a, &b).unwrap();
+    let (bus, _) = systolic_core::bus::systolic_xor_bus(&a, &b).unwrap();
+    Fig1Result { sequential, systolic, bus, expected }
+}
+
+/// Renders a report in the figure's visual style: three aligned pixel rows.
+#[must_use]
+pub fn report() -> String {
+    let (a, b, expected) = figure1_rows();
+    let result = run();
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 1 — image difference (XOR) worked example");
+    let _ = writeln!(out, "  Row of image 1 : {}", runs_str(&a));
+    let _ = writeln!(out, "  Row of image 2 : {}", runs_str(&b));
+    let _ = writeln!(out, "  Published XOR  : {}", runs_str(&expected));
+    let _ = writeln!(out, "  Sequential     : {}", runs_str(&result.sequential));
+    let _ = writeln!(out, "  Systolic       : {}", runs_str(&result.systolic));
+    let _ = writeln!(out, "  Broadcast bus  : {}", runs_str(&result.bus));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "  img1: {}", bits_str(&a));
+    let _ = writeln!(out, "  img2: {}", bits_str(&b));
+    let _ = writeln!(out, "  diff: {}", bits_str(&result.systolic));
+    let _ = writeln!(
+        out,
+        "  => {}",
+        if result.all_match() { "MATCH (all three agree with the paper)" } else { "MISMATCH" }
+    );
+    out
+}
+
+fn runs_str(row: &RleRow) -> String {
+    row.runs().iter().map(|r: &Run| format!("{r} ")).collect::<String>().trim_end().to_string()
+}
+
+fn bits_str(row: &RleRow) -> String {
+    row.to_bits().iter().map(|&b| if b { '#' } else { '.' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_implementations_match_the_paper() {
+        assert!(run().all_match());
+    }
+
+    #[test]
+    fn report_declares_match() {
+        let r = report();
+        assert!(r.contains("MATCH"), "{r}");
+        assert!(r.contains("(3, 4) (8, 2) (15, 1) (18, 2) (30, 1)"), "{r}");
+    }
+}

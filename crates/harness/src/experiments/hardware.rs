@@ -1,0 +1,92 @@
+//! Experiment E15 — the hardware cost model (our extension).
+//!
+//! The paper proposes the machine without area/timing estimates. Using
+//! the transparent unit-weight model of `systolic_core::datapath`, this
+//! report tabulates the design space: coordinate width vs. per-cell cost
+//! vs. array totals for the paper's own workload sizes, plus what the §6
+//! interconnect options add qualitatively.
+
+use crate::csv::Csv;
+use systolic_core::datapath::{array_cost, coord_bits_for};
+
+/// The workload sizes the paper itself discusses: Table 1's largest row,
+/// Figure 5's row, and a megapixel-scan extrapolation.
+const SCENARIOS: [(&str, u32, usize); 3] = [
+    ("Table 1 max (2048 px, ~51 runs)", 2_048, 51),
+    ("Figure 5 (10,000 px, ~250 runs)", 10_000, 250),
+    ("Mega-scan row (1M px, ~25k runs)", 1_000_000, 25_000),
+];
+
+/// Renders the report.
+#[must_use]
+pub fn report() -> String {
+    let mut out = String::from(
+        "Hardware cost model (our extension; unit-weight gate equivalents)\n\n\
+         scenario                              w   regs/cell  logic/cell  cells   total logic GE  total reg bits\n\
+         ----------------------------------------------------------------------------------------------------\n",
+    );
+    for (label, width, runs) in SCENARIOS {
+        let a = array_cost(width, runs);
+        out.push_str(&format!(
+            "{label:<36} {:>2}  {:>9}  {:>10}  {:>5}  {:>14}  {:>14}\n",
+            a.cell.coord_bits,
+            a.cell.register_bits,
+            a.cell.logic_ge(),
+            a.cells,
+            a.total_logic_ge,
+            a.total_register_bits,
+        ));
+    }
+    out.push_str(
+        "\nNotes: logic is dominated by the 5 w-bit comparators and 8 w-bit muxes of\n\
+         steps 1-2; the critical path is ~4w gate delays (compare, select, increment,\n\
+         select), so the cycle time grows only logarithmically with row width. The §6\n\
+         broadcast bus adds one w-bit global wire pair; the mesh adds a switch per cell.\n",
+    );
+    out
+}
+
+/// Exports the scenario table as CSV.
+#[must_use]
+pub fn to_csv() -> Csv {
+    let mut csv = Csv::new([
+        "scenario",
+        "row_width",
+        "coord_bits",
+        "register_bits_per_cell",
+        "logic_ge_per_cell",
+        "cells",
+        "total_logic_ge",
+    ]);
+    for (label, width, runs) in SCENARIOS {
+        let a = array_cost(width, runs);
+        csv.push_row([
+            label.to_string(),
+            width.to_string(),
+            coord_bits_for(width).to_string(),
+            a.cell.register_bits.to_string(),
+            a.cell.logic_ge().to_string(),
+            a.cells.to_string(),
+            a.total_logic_ge.to_string(),
+        ]);
+    }
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_all_scenarios() {
+        let r = report();
+        assert!(r.contains("Figure 5"));
+        assert!(r.contains("Mega-scan"));
+        assert!(r.contains("critical path"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_scenario() {
+        assert_eq!(to_csv().len(), 3);
+    }
+}

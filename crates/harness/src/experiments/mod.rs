@@ -1,0 +1,12 @@
+//! One module per paper artefact; see the crate docs for the index.
+
+pub mod ablation_bus;
+pub mod coalesce;
+pub mod fig1;
+pub mod fig3;
+pub mod fig5;
+pub mod hardware;
+pub mod observation;
+pub mod scaling;
+pub mod table1;
+pub mod utilization;

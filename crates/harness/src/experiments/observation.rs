@@ -1,0 +1,210 @@
+//! Experiment E9 — the paper's unproven Observation (§5):
+//!
+//! > "If the runs of the two input bitstrings are encoded such that none of
+//! > the runs are adjacent ... then the systolic XOR algorithm terminates
+//! > after at most `k3 + 1` steps, where `k3` is the number of runs in the
+//! > output from the systolic algorithm."
+//!
+//! The authors state they have not proven this bound. We stress-test it
+//! empirically over both similar pairs (error-derived) and independent
+//! pairs, recording every violation and how close typical runs come to the
+//! bound. A reproducible counterexample would be a genuine research
+//! finding; EXPERIMENTS.md records the outcome.
+
+use crate::csv::Csv;
+use crate::table::TextTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rle::{Pixel, RleRow};
+use serde::{Deserialize, Serialize};
+use workload::{ErrorModel, GenParams, RowGenerator};
+
+/// Stress-test configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ObservationConfig {
+    /// Row width.
+    pub width: Pixel,
+    /// Foreground density.
+    pub density: f64,
+    /// Trials with error-derived (similar) pairs.
+    pub similar_trials: usize,
+    /// Trials with independently drawn pairs.
+    pub independent_trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ObservationConfig {
+    fn default() -> Self {
+        Self {
+            width: 4_096,
+            density: 0.3,
+            similar_trials: 2_000,
+            independent_trials: 2_000,
+            seed: 0x0B5E_51E0,
+        }
+    }
+}
+
+/// A counterexample to the Observation, if one is ever found.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Violation {
+    /// The first input row's runs as (start, len) pairs.
+    pub a: Vec<(Pixel, Pixel)>,
+    /// The second input row's runs.
+    pub b: Vec<(Pixel, Pixel)>,
+    /// Iterations taken.
+    pub iterations: u64,
+    /// Runs in the systolic output (`k3`).
+    pub k3: usize,
+}
+
+/// Aggregate outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ObservationResult {
+    /// The configuration that produced it.
+    pub config: ObservationConfig,
+    /// Total pairs tested.
+    pub trials: usize,
+    /// Counterexamples found (empty = Observation held).
+    pub violations: Vec<Violation>,
+    /// Largest observed `iterations − k3` (≤ 1 if the Observation holds).
+    pub max_slack: i64,
+    /// Pairs for which `iterations == k3 + 1` exactly (bound is tight).
+    pub tight_cases: usize,
+    /// Mean of `k3 + 1 − iterations` (how much headroom typical runs have).
+    pub mean_headroom: f64,
+}
+
+/// Runs the stress test.
+#[must_use]
+pub fn run(config: &ObservationConfig) -> ObservationResult {
+    let params = GenParams::for_density(config.width, config.density);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut violations = Vec::new();
+    let mut max_slack = i64::MIN;
+    let mut tight_cases = 0usize;
+    let mut headroom_sum = 0f64;
+    let mut trials = 0usize;
+
+    let mut check = |a: &RleRow, b: &RleRow| {
+        debug_assert!(a.is_canonical() && b.is_canonical());
+        let (_, stats) = systolic_core::systolic_xor(a, b).expect("systolic run");
+        let k3 = stats.output_runs as i64;
+        let slack = stats.iterations as i64 - k3;
+        max_slack = max_slack.max(slack);
+        if slack > 1 {
+            violations.push(Violation {
+                a: a.runs().iter().map(|r| (r.start(), r.len())).collect(),
+                b: b.runs().iter().map(|r| (r.start(), r.len())).collect(),
+                iterations: stats.iterations,
+                k3: stats.output_runs,
+            });
+        }
+        if slack == 1 {
+            tight_cases += 1;
+        }
+        headroom_sum += (k3 + 1 - stats.iterations as i64) as f64;
+        trials += 1;
+    };
+
+    for _ in 0..config.similar_trials {
+        let a = RowGenerator::new(params, rng.gen()).next_row();
+        let fraction = rng.gen_range(0.005..0.4);
+        let model = ErrorModel::fraction(fraction);
+        let b = workload::errors::apply_errors_rng(&a, &model, &mut rng);
+        check(&a, &b);
+    }
+    for _ in 0..config.independent_trials {
+        let a = RowGenerator::new(params, rng.gen()).next_row();
+        let b = RowGenerator::new(params, rng.gen()).next_row();
+        check(&a, &b);
+    }
+
+    let mean_headroom = if trials == 0 { 0.0 } else { headroom_sum / trials as f64 };
+    ObservationResult {
+        config: config.clone(),
+        trials,
+        violations,
+        max_slack: if trials == 0 { 0 } else { max_slack },
+        tight_cases,
+        mean_headroom,
+    }
+}
+
+/// Renders the verdict.
+#[must_use]
+pub fn report(result: &ObservationResult) -> String {
+    let mut table = TextTable::new(["quantity", "value"]);
+    table.push_row(["pairs tested", &result.trials.to_string()]);
+    table.push_row(["violations (iterations > k3 + 1)", &result.violations.len().to_string()]);
+    table.push_row(["max observed iterations − k3", &result.max_slack.to_string()]);
+    table.push_row(["cases exactly at the bound", &result.tight_cases.to_string()]);
+    table.push_row(["mean headroom (k3 + 1 − iterations)", &format!("{:.2}", result.mean_headroom)]);
+    let verdict = if result.violations.is_empty() {
+        "Observation HELD on every tested pair (consistent with the paper's conjecture)."
+    } else {
+        "Observation VIOLATED — counterexamples recorded below!"
+    };
+    let mut out = format!(
+        "Observation (§5) — systolic iterations ≤ k3 + 1 for fully-compressed inputs\n\n{}\n{verdict}\n",
+        table.render()
+    );
+    for v in result.violations.iter().take(5) {
+        out.push_str(&format!(
+            "  counterexample: iterations={} k3={} a={:?} b={:?}\n",
+            v.iterations, v.k3, v.a, v.b
+        ));
+    }
+    out
+}
+
+/// Exports summary numbers as CSV.
+#[must_use]
+pub fn to_csv(result: &ObservationResult) -> Csv {
+    let mut csv =
+        Csv::new(["trials", "violations", "max_slack", "tight_cases", "mean_headroom"]);
+    csv.push_row([
+        result.trials.to_string(),
+        result.violations.len().to_string(),
+        result.max_slack.to_string(),
+        result.tight_cases.to_string(),
+        format!("{:.4}", result.mean_headroom),
+    ]);
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observation_holds_on_small_stress() {
+        let r = run(&ObservationConfig {
+            width: 1_024,
+            similar_trials: 150,
+            independent_trials: 150,
+            ..Default::default()
+        });
+        assert_eq!(r.trials, 300);
+        assert!(
+            r.violations.is_empty(),
+            "found counterexamples to the paper's Observation: {:?}",
+            r.violations.first()
+        );
+        assert!(r.max_slack <= 1);
+    }
+
+    #[test]
+    fn report_mentions_verdict() {
+        let r = run(&ObservationConfig {
+            width: 512,
+            similar_trials: 20,
+            independent_trials: 20,
+            ..Default::default()
+        });
+        let rep = report(&r);
+        assert!(rep.contains("HELD") || rep.contains("VIOLATED"));
+        assert_eq!(to_csv(&r).len(), 1);
+    }
+}

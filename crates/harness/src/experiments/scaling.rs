@@ -1,0 +1,227 @@
+//! Experiment E11/E12 — wall-clock measurements on the host:
+//!
+//! * compressed-domain algorithms (sequential RLE merge, systolic
+//!   simulation) vs. the uncompressed baselines (word-wise dense XOR,
+//!   multi-threaded dense XOR) on the same images — the trade-off the
+//!   paper's conclusions discuss;
+//! * scaling of the parallel systolic engine with worker threads on a very
+//!   large row pair (our simulator substrate, not a paper artefact).
+//!
+//! Criterion benches in `crates/bench` measure the same quantities with
+//! statistical rigour; this experiment gives quick one-shot numbers inside
+//! the `repro` report.
+
+use crate::csv::Csv;
+use crate::table::TextTable;
+use bitimg::convert::decode_row;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rle::Pixel;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use workload::{ErrorModel, GenParams, RowGenerator};
+
+/// Configuration of the wall-clock comparison.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScalingConfig {
+    /// Row width for the algorithm comparison.
+    pub width: Pixel,
+    /// Foreground density.
+    pub density: f64,
+    /// Error fraction between the two rows.
+    pub error_fraction: f64,
+    /// Row width for the thread-scaling measurement.
+    pub big_width: Pixel,
+    /// Worker thread counts to measure.
+    pub threads: Vec<usize>,
+    /// Repetitions per measurement (the minimum is reported).
+    pub reps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> Self {
+        Self {
+            width: 1_000_000,
+            density: 0.3,
+            error_fraction: 0.01,
+            big_width: 8_000_000,
+            threads: vec![1, 2, 4, 8],
+            reps: 3,
+            seed: 0x5CA1_AB1E,
+        }
+    }
+}
+
+/// One named wall-clock measurement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Measurement {
+    /// What was measured.
+    pub label: String,
+    /// Best-of-`reps` wall-clock in microseconds.
+    pub micros: f64,
+}
+
+/// Full result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScalingResult {
+    /// The configuration that produced it.
+    pub config: ScalingConfig,
+    /// Algorithm comparison on the same row pair.
+    pub algorithms: Vec<Measurement>,
+    /// Parallel-engine scaling (label = thread count).
+    pub engine_scaling: Vec<Measurement>,
+}
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+/// Runs both measurements.
+#[must_use]
+pub fn run(config: &ScalingConfig) -> ScalingResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let params = GenParams::for_density(config.width, config.density);
+    let a = RowGenerator::new(params, rng.gen()).next_row();
+    let model = ErrorModel::fraction(config.error_fraction);
+    let b = workload::errors::apply_errors_rng(&a, &model, &mut rng);
+    let (dense_a, dense_b) = (decode_row(&a), decode_row(&b));
+
+    let mut algorithms = Vec::new();
+    algorithms.push(Measurement {
+        label: format!("sequential RLE merge ({} + {} runs)", a.run_count(), b.run_count()),
+        micros: best_of(config.reps, || {
+            std::hint::black_box(rle::ops::xor_raw_with_stats(&a, &b));
+        }),
+    });
+    algorithms.push(Measurement {
+        label: "systolic simulation (sequential engine)".into(),
+        micros: best_of(config.reps, || {
+            let mut m = systolic_core::SystolicArray::load(&a, &b).unwrap();
+            m.enable_invariant_checks(false);
+            m.run().unwrap();
+            std::hint::black_box(m.stats().iterations);
+        }),
+    });
+    algorithms.push(Measurement {
+        label: format!("dense word XOR ({} px)", config.width),
+        micros: best_of(config.reps, || {
+            std::hint::black_box(bitimg::ops::xor_row(&dense_a, &dense_b));
+        }),
+    });
+    algorithms.push(Measurement {
+        label: "dense XOR + re-encode to RLE".into(),
+        micros: best_of(config.reps, || {
+            let x = bitimg::ops::xor_row(&dense_a, &dense_b);
+            std::hint::black_box(bitimg::convert::encode_row(&x));
+        }),
+    });
+
+    // Thread scaling on a much larger pair.
+    let big_params = GenParams::for_density(config.big_width, config.density);
+    let big_a = RowGenerator::new(big_params, rng.gen()).next_row();
+    let big_b = workload::errors::apply_errors_rng(&big_a, &model, &mut rng);
+    let engine_scaling = config
+        .threads
+        .iter()
+        .map(|&t| Measurement {
+            label: format!("{t} threads"),
+            micros: best_of(config.reps, || {
+                let mut m = systolic_core::SystolicArray::load(&big_a, &big_b).unwrap();
+                m.enable_invariant_checks(false);
+                systolic_core::engine::parallel::run_parallel(&mut m, t).unwrap();
+                std::hint::black_box(m.stats().iterations);
+            }),
+        })
+        .collect();
+
+    ScalingResult { config: config.clone(), algorithms, engine_scaling }
+}
+
+/// Renders both tables.
+#[must_use]
+pub fn report(result: &ScalingResult) -> String {
+    let mut alg = TextTable::new(["algorithm", "best wall-clock"]);
+    for m in &result.algorithms {
+        alg.push_row([m.label.clone(), format_micros(m.micros)]);
+    }
+    let mut eng = TextTable::new(["parallel engine", "best wall-clock", "speedup vs 1 thread"]);
+    let base = result.engine_scaling.first().map_or(1.0, |m| m.micros);
+    for m in &result.engine_scaling {
+        eng.push_row([
+            m.label.clone(),
+            format_micros(m.micros),
+            format!("{:.2}x", base / m.micros),
+        ]);
+    }
+    format!(
+        "Wall-clock comparison ({} px rows, {:.1}% errors, host machine)\n\n{}\nParallel systolic engine scaling ({} px rows)\n\n{}",
+        result.config.width,
+        result.config.error_fraction * 100.0,
+        alg.render(),
+        result.config.big_width,
+        eng.render()
+    )
+}
+
+fn format_micros(us: f64) -> String {
+    if us > 10_000.0 {
+        format!("{:.2} ms", us / 1000.0)
+    } else {
+        format!("{us:.0} µs")
+    }
+}
+
+/// Exports as CSV.
+#[must_use]
+pub fn to_csv(result: &ScalingResult) -> Csv {
+    let mut csv = Csv::new(["kind", "label", "micros"]);
+    for m in &result.algorithms {
+        csv.push_row(["algorithm".to_string(), m.label.clone(), format!("{:.1}", m.micros)]);
+    }
+    for m in &result.engine_scaling {
+        csv.push_row(["engine".to_string(), m.label.clone(), format!("{:.1}", m.micros)]);
+    }
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScalingConfig {
+        ScalingConfig {
+            width: 20_000,
+            big_width: 60_000,
+            threads: vec![1, 2],
+            reps: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn produces_all_measurements() {
+        let r = run(&tiny());
+        assert_eq!(r.algorithms.len(), 4);
+        assert_eq!(r.engine_scaling.len(), 2);
+        for m in r.algorithms.iter().chain(&r.engine_scaling) {
+            assert!(m.micros > 0.0, "{}", m.label);
+        }
+    }
+
+    #[test]
+    fn report_and_csv() {
+        let r = run(&tiny());
+        let rep = report(&r);
+        assert!(rep.contains("Wall-clock"));
+        assert!(rep.contains("threads"));
+        assert_eq!(to_csv(&r).len(), 6);
+    }
+}

@@ -1,0 +1,218 @@
+//! Experiment E5 — Table 1: average iterations of the systolic vs. the
+//! sequential algorithm as the image size grows, for two error regimes:
+//!
+//! * errors ≈ 3.5 % of the image — both algorithms scale linearly with the
+//!   image size;
+//! * errors fixed at 6 runs of 4 pixels — the sequential algorithm still
+//!   scales linearly (it always walks all `k1 + k2` runs) while the
+//!   systolic algorithm stays flat at a handful of iterations ("averages
+//!   just over 5 iterations regardless of how large the image gets").
+
+use crate::csv::Csv;
+use crate::sampling::Summary;
+use crate::table::TextTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rle::Pixel;
+use serde::{Deserialize, Serialize};
+use workload::{ErrorModel, GenParams, RowGenerator};
+
+/// Sweep configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table1Config {
+    /// Image sizes (row widths); the paper sweeps 128–2048.
+    pub sizes: Vec<Pixel>,
+    /// Foreground density of the base image.
+    pub density: f64,
+    /// Fraction of pixels flipped in the percentage regime (paper: 3.5 %).
+    pub error_fraction: f64,
+    /// (count, length) of error runs in the fixed regime (paper: 6 × 4 px).
+    pub fixed_errors: (usize, Pixel),
+    /// Trials per cell.
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Table1Config {
+    fn default() -> Self {
+        Self {
+            sizes: vec![128, 256, 512, 1024, 2048],
+            density: 0.3,
+            error_fraction: 0.035,
+            fixed_errors: (6, 4),
+            trials: 200,
+            seed: 0x7AB1_E001,
+        }
+    }
+}
+
+/// Measured iteration counts for one (algorithm, regime, size) cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table1Cell {
+    /// Image size in pixels.
+    pub size: Pixel,
+    /// Systolic iterations.
+    pub systolic: Summary,
+    /// Sequential merge iterations.
+    pub sequential: Summary,
+}
+
+/// Full table: one row of cells per error regime.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// The configuration that produced it.
+    pub config: Table1Config,
+    /// Cells for the percentage regime.
+    pub percent_regime: Vec<Table1Cell>,
+    /// Cells for the fixed-run-count regime.
+    pub fixed_regime: Vec<Table1Cell>,
+}
+
+/// Runs both regimes over all sizes.
+#[must_use]
+pub fn run(config: &Table1Config) -> Table1Result {
+    let percent_model = ErrorModel::fraction(config.error_fraction);
+    let fixed_model = ErrorModel::fixed(config.fixed_errors.0, config.fixed_errors.1);
+    let percent_regime = sweep(config, &percent_model, 0x5050);
+    let fixed_regime = sweep(config, &fixed_model, 0xF1F1);
+    Table1Result { config: config.clone(), percent_regime, fixed_regime }
+}
+
+fn sweep(config: &Table1Config, model: &ErrorModel, salt: u64) -> Vec<Table1Cell> {
+    config
+        .sizes
+        .iter()
+        .map(|&size| {
+            let params = GenParams::for_density(size, config.density);
+            let mut systolic = Vec::with_capacity(config.trials);
+            let mut sequential = Vec::with_capacity(config.trials);
+            let mut rng = StdRng::seed_from_u64(config.seed ^ salt ^ u64::from(size));
+            for _ in 0..config.trials {
+                let a = RowGenerator::new(params, rng.gen()).next_row();
+                let b = workload::errors::apply_errors_rng(&a, model, &mut rng);
+                let (_, sys_stats) = systolic_core::systolic_xor(&a, &b).expect("systolic run");
+                let (_, seq_stats) = rle::ops::xor_raw_with_stats(&a, &b);
+                systolic.push(sys_stats.iterations as f64);
+                sequential.push(seq_stats.iterations as f64);
+            }
+            Table1Cell {
+                size,
+                systolic: Summary::of(&systolic),
+                sequential: Summary::of(&sequential),
+            }
+        })
+        .collect()
+}
+
+/// Renders the paper-style table: four algorithm/regime rows, one column
+/// per image size.
+#[must_use]
+pub fn report(result: &Table1Result) -> String {
+    let mut header = vec!["Algorithm".to_string(), "Errors".to_string()];
+    header.extend(result.config.sizes.iter().map(ToString::to_string));
+    let mut table = TextTable::new(header);
+
+    let percent_label = format!("{:.1}%", result.config.error_fraction * 100.0);
+    let fixed_label = format!("{} runs", result.config.fixed_errors.0);
+    type RowSpec<'a> = (&'a str, String, &'a [Table1Cell], fn(&Table1Cell) -> f64);
+    let rows: [RowSpec; 4] = [
+        ("Systolic", percent_label.clone(), &result.percent_regime, |c| c.systolic.mean),
+        ("Sequential", percent_label, &result.percent_regime, |c| c.sequential.mean),
+        ("Systolic", fixed_label.clone(), &result.fixed_regime, |c| c.systolic.mean),
+        ("Sequential", fixed_label, &result.fixed_regime, |c| c.sequential.mean),
+    ];
+    for (alg, regime, cells, pick) in rows {
+        let mut row = vec![alg.to_string(), regime];
+        row.extend(cells.iter().map(|c| format!("{:.1}", pick(c))));
+        table.push_row(row);
+    }
+    format!(
+        "Table 1 — average iterations vs image size (runs 4–20 px, error runs 2–6 px)\n\n{}",
+        table.render()
+    )
+}
+
+/// Exports all cells as CSV.
+#[must_use]
+pub fn to_csv(result: &Table1Result) -> Csv {
+    let mut csv = Csv::new([
+        "regime",
+        "size",
+        "systolic_mean",
+        "systolic_std",
+        "sequential_mean",
+        "sequential_std",
+    ]);
+    for (regime, cells) in
+        [("percent", &result.percent_regime), ("fixed", &result.fixed_regime)]
+    {
+        for c in cells {
+            csv.push_row([
+                regime.to_string(),
+                c.size.to_string(),
+                format!("{:.3}", c.systolic.mean),
+                format!("{:.3}", c.systolic.std_dev),
+                format!("{:.3}", c.sequential.mean),
+                format!("{:.3}", c.sequential.std_dev),
+            ]);
+        }
+    }
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> Table1Config {
+        Table1Config { sizes: vec![128, 512, 2048], trials: 30, ..Default::default() }
+    }
+
+    #[test]
+    fn shapes_match_the_papers_claims() {
+        let r = run(&small_config());
+
+        // Percentage regime: both algorithms grow roughly linearly.
+        let sys = &r.percent_regime;
+        assert!(
+            sys.last().unwrap().systolic.mean > sys[0].systolic.mean * 4.0,
+            "systolic at 3.5% must grow with size: {:?}",
+            sys.iter().map(|c| c.systolic.mean).collect::<Vec<_>>()
+        );
+        assert!(sys.last().unwrap().sequential.mean > sys[0].sequential.mean * 4.0);
+
+        // Fixed regime: sequential keeps growing, systolic stays flat.
+        let fixed = &r.fixed_regime;
+        assert!(fixed.last().unwrap().sequential.mean > fixed[0].sequential.mean * 4.0);
+        let flat_lo = fixed[0].systolic.mean;
+        let flat_hi = fixed.last().unwrap().systolic.mean;
+        assert!(
+            flat_hi < flat_lo * 2.0 + 4.0,
+            "systolic with fixed errors must stay nearly constant: {flat_lo} -> {flat_hi}"
+        );
+        // "averages just over 5 iterations regardless of how large the
+        // image gets" — allow a loose band around that.
+        assert!(flat_hi < 15.0, "expected a handful of iterations, got {flat_hi}");
+    }
+
+    #[test]
+    fn sequential_tracks_total_runs() {
+        // The sequential cost is Θ(k1 + k2): with ~12px mean run and 30%
+        // density, a 2048px row has ~51 runs per side.
+        let r = run(&small_config());
+        let big = r.percent_regime.last().unwrap();
+        assert!(big.sequential.mean > 50.0, "{}", big.sequential.mean);
+    }
+
+    #[test]
+    fn report_and_csv() {
+        let r = run(&Table1Config { sizes: vec![128, 256], trials: 5, ..Default::default() });
+        let rep = report(&r);
+        assert!(rep.contains("Systolic"));
+        assert!(rep.contains("3.5%"));
+        assert!(rep.contains("6 runs"));
+        assert!(rep.contains("128"));
+        assert_eq!(to_csv(&r).len(), 4);
+    }
+}

@@ -1,0 +1,162 @@
+//! Experiment E14 — hardware utilization of the array (our extension).
+//!
+//! The machine is provisioned with `k1 + k2` cells (Corollary 1.2), but on
+//! similar images most pairs annihilate within a few iterations, leaving
+//! silicon idle while the surviving runs settle. This experiment measures
+//! the mean fraction of busy cells per iteration across the error sweep —
+//! the utilization a hardware designer would weigh against the array's
+//! constant-time promise.
+
+use crate::csv::Csv;
+use crate::sampling::Summary;
+use crate::table::TextTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rle::Pixel;
+use serde::{Deserialize, Serialize};
+use workload::{ErrorModel, GenParams, RowGenerator};
+
+/// Sweep configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationConfig {
+    /// Row width.
+    pub width: Pixel,
+    /// Foreground density.
+    pub density: f64,
+    /// Error percentages to sweep.
+    pub error_percents: Vec<f64>,
+    /// Trials per point.
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UtilizationConfig {
+    fn default() -> Self {
+        Self {
+            width: 10_000,
+            density: 0.3,
+            error_percents: vec![1.0, 5.0, 10.0, 20.0, 35.0, 47.0],
+            trials: 15,
+            seed: 0x0717_1124,
+        }
+    }
+}
+
+/// One point of the sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct UtilizationPoint {
+    /// Error percentage.
+    pub percent: f64,
+    /// Cells provisioned (`k1 + k2`).
+    pub cells: Summary,
+    /// Iterations run.
+    pub iterations: Summary,
+    /// Mean busy-cell fraction per iteration.
+    pub utilization: Summary,
+}
+
+/// Full sweep result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct UtilizationResult {
+    /// The configuration that produced it.
+    pub config: UtilizationConfig,
+    /// One entry per error percentage.
+    pub points: Vec<UtilizationPoint>,
+}
+
+/// Runs the sweep.
+#[must_use]
+pub fn run(config: &UtilizationConfig) -> UtilizationResult {
+    let params = GenParams::for_density(config.width, config.density);
+    let points = config
+        .error_percents
+        .iter()
+        .enumerate()
+        .map(|(pi, &percent)| {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ ((pi as u64) << 9));
+            let mut cells = Vec::new();
+            let mut iterations = Vec::new();
+            let mut utilization = Vec::new();
+            for _ in 0..config.trials {
+                let a = RowGenerator::new(params, rng.gen()).next_row();
+                let model = ErrorModel::fraction(percent / 100.0);
+                let b = workload::errors::apply_errors_rng(&a, &model, &mut rng);
+                let (_, stats) = systolic_core::systolic_xor(&a, &b).expect("systolic run");
+                cells.push(stats.cells as f64);
+                iterations.push(stats.iterations as f64);
+                utilization.push(stats.utilization().unwrap_or(0.0));
+            }
+            UtilizationPoint {
+                percent,
+                cells: Summary::of(&cells),
+                iterations: Summary::of(&iterations),
+                utilization: Summary::of(&utilization),
+            }
+        })
+        .collect();
+    UtilizationResult { config: config.clone(), points }
+}
+
+/// Renders the utilization table.
+#[must_use]
+pub fn report(result: &UtilizationResult) -> String {
+    let mut table = TextTable::new(["err%", "cells (k1+k2)", "iterations", "busy cells / iter"]);
+    for p in &result.points {
+        table.push_row([
+            format!("{:.1}", p.percent),
+            format!("{:.0}", p.cells.mean),
+            format!("{:.1}", p.iterations.mean),
+            format!("{:.1}%", p.utilization.mean * 100.0),
+        ]);
+    }
+    format!(
+        "Array utilization (our extension) — fraction of cells holding a run per iteration\n\n{}",
+        table.render()
+    )
+}
+
+/// Exports as CSV.
+#[must_use]
+pub fn to_csv(result: &UtilizationResult) -> Csv {
+    let mut csv = Csv::new(["percent", "cells", "iterations", "utilization"]);
+    for p in &result.points {
+        csv.push_floats([p.percent, p.cells.mean, p.iterations.mean, p.utilization.mean]);
+    }
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> UtilizationConfig {
+        UtilizationConfig {
+            width: 2_000,
+            error_percents: vec![2.0, 40.0],
+            trials: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn utilization_is_a_fraction_and_grows_with_dissimilarity() {
+        let r = run(&small());
+        for p in &r.points {
+            assert!(p.utilization.mean > 0.0 && p.utilization.mean <= 1.0, "{p:?}");
+        }
+        // More errors → more surviving runs → busier array.
+        assert!(
+            r.points[1].utilization.mean > r.points[0].utilization.mean,
+            "{:?}",
+            r.points.iter().map(|p| p.utilization.mean).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn report_and_csv() {
+        let r = run(&small());
+        assert!(report(&r).contains("utilization"));
+        assert_eq!(to_csv(&r).len(), 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each experiment in [`experiments`] owns one artefact of the paper's
+//! evaluation (see `DESIGN.md` for the full index):
+//!
+//! | module | paper artefact |
+//! |---|---|
+//! | [`experiments::fig1`] | Figure 1 — the worked image-difference example |
+//! | [`experiments::fig3`] | Figure 3 — the step-by-step systolic trace |
+//! | [`experiments::fig5`] | Figure 5 — iterations vs. error percentage |
+//! | [`experiments::table1`] | Table 1 — systolic vs. sequential iterations by image size |
+//! | [`experiments::observation`] | §5's unproven `k3 + 1` bound, tested empirically |
+//! | [`experiments::ablation_bus`] | §6's broadcast-bus speedup, quantified |
+//! | [`experiments::coalesce`] | §6's run-coalescing pass, pure systolic vs. bus |
+//! | [`experiments::utilization`] | array utilization across the error sweep (our extension) |
+//! | [`experiments::hardware`] | per-cell/area cost model over the paper's workload sizes (our extension) |
+//! | [`experiments::scaling`] | wall-clock: compressed vs. dense vs. threads |
+//!
+//! The `repro` binary runs them (`repro all` or one by name), prints the
+//! paper-style tables/series, and writes CSVs under `results/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ascii_plot;
+pub mod csv;
+pub mod experiments;
+pub mod sampling;
+pub mod svg_plot;
+pub mod table;

@@ -1,0 +1,292 @@
+//! Minimal SVG line charts — publishable figure artefacts without a
+//! plotting dependency.
+//!
+//! The experiments print ASCII charts for the terminal ([`crate::ascii_plot`])
+//! and write these SVGs next to the CSVs so the reproduced Figure 5 (and
+//! friends) can be dropped straight into a report.
+
+use crate::ascii_plot::Series;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Chart geometry and labels.
+#[derive(Clone, Debug)]
+pub struct SvgChart {
+    /// Title drawn above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Pixel width of the whole image.
+    pub width: u32,
+    /// Pixel height of the whole image.
+    pub height: u32,
+}
+
+impl Default for SvgChart {
+    fn default() -> Self {
+        Self {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            width: 720,
+            height: 480,
+        }
+    }
+}
+
+/// Series stroke colours, cycled.
+const COLORS: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
+
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 48.0;
+
+impl SvgChart {
+    /// Renders the series as a complete SVG document.
+    #[must_use]
+    pub fn render(&self, series: &[Series]) -> String {
+        let (w, h) = (f64::from(self.width), f64::from(self.height));
+        let plot_w = w - MARGIN_L - MARGIN_R;
+        let plot_h = h - MARGIN_T - MARGIN_B;
+
+        let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut y_max = f64::NEG_INFINITY;
+        for &(x, y) in &all {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_max = y_max.max(y);
+        }
+        if all.is_empty() {
+            x_min = 0.0;
+            x_max = 1.0;
+            y_max = 1.0;
+        }
+        let y_min = 0.0;
+        if (x_max - x_min).abs() < f64::EPSILON {
+            x_max = x_min + 1.0;
+        }
+        if y_max <= y_min {
+            y_max = y_min + 1.0;
+        }
+
+        let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+        let sy = |y: f64| MARGIN_T + plot_h - (y - y_min) / (y_max - y_min) * plot_h;
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}" font-family="sans-serif">"#,
+            self.width, self.height, self.width, self.height
+        );
+        let _ = writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="20" text-anchor="middle" font-size="14">{}</text>"#,
+            w / 2.0,
+            escape(&self.title)
+        );
+
+        // Axes.
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{MARGIN_L}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            MARGIN_T + plot_h,
+            MARGIN_L + plot_w,
+            MARGIN_T + plot_h
+        );
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{}" stroke="black"/>"#,
+            MARGIN_T + plot_h
+        );
+
+        // Ticks and grid: 5 intervals each axis.
+        for i in 0..=5 {
+            let fx = x_min + (x_max - x_min) * f64::from(i) / 5.0;
+            let px = sx(fx);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{px}" y1="{MARGIN_T}" x2="{px}" y2="{}" stroke="#ddd"/>"##,
+                MARGIN_T + plot_h
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{px}" y="{}" text-anchor="middle" font-size="11">{}</text>"#,
+                MARGIN_T + plot_h + 16.0,
+                format_tick(fx)
+            );
+            let fy = y_min + (y_max - y_min) * f64::from(i) / 5.0;
+            let py = sy(fy);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{py}" x2="{}" y2="{py}" stroke="#ddd"/>"##,
+                MARGIN_L + plot_w
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{}" y="{}" text-anchor="end" font-size="11">{}</text>"#,
+                MARGIN_L - 6.0,
+                py + 4.0,
+                format_tick(fy)
+            );
+        }
+
+        // Axis labels.
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle" font-size="12">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            h - 10.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="14" y="{}" text-anchor="middle" font-size="12" transform="rotate(-90 14 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Series polylines + markers + legend.
+        for (si, s) in series.iter().enumerate() {
+            let color = COLORS[si % COLORS.len()];
+            let mut sorted = s.points.clone();
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+            let pts: String = sorted
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1} ", sx(x), sy(y)))
+                .collect();
+            let _ = writeln!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.5"/>"#,
+                pts.trim_end()
+            );
+            for &(x, y) in &sorted {
+                let _ = writeln!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="2.5" fill="{color}"/>"#,
+                    sx(x),
+                    sy(y)
+                );
+            }
+            let ly = MARGIN_T + 14.0 * si as f64 + 4.0;
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+                MARGIN_L + 10.0,
+                MARGIN_L + 34.0
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{}" y="{}" font-size="11">{}</text>"#,
+                MARGIN_L + 40.0,
+                ly + 4.0,
+                escape(&s.label)
+            );
+        }
+
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Renders and writes to a file, creating parent directories.
+    pub fn write_to(&self, series: &[Series], path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render(series))
+    }
+}
+
+fn format_tick(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{:.0}", v)
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> SvgChart {
+        SvgChart {
+            title: "Figure 5 <reproduced>".into(),
+            x_label: "percent different".into(),
+            y_label: "iterations".into(),
+            ..Default::default()
+        }
+    }
+
+    fn sample_series() -> Vec<Series> {
+        vec![
+            Series::new("iterations", (0..10).map(|i| (f64::from(i), f64::from(i * i))).collect()),
+            Series::new("bound", (0..10).map(|i| (f64::from(i), f64::from(i * i + 5))).collect()),
+        ]
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = chart().render(&sample_series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Balanced text/line/polyline elements: every opened tag closes.
+        for tag in ["<svg", "</svg>"] {
+            assert_eq!(svg.matches(tag).count(), 1, "{tag}");
+        }
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.matches("<circle").count() >= 20);
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let svg = chart().render(&sample_series());
+        assert!(svg.contains("Figure 5 &lt;reproduced&gt;"));
+        assert!(!svg.contains("<reproduced>"));
+    }
+
+    #[test]
+    fn legend_contains_series_labels() {
+        let svg = chart().render(&sample_series());
+        assert!(svg.contains(">iterations</text>"));
+        assert!(svg.contains(">bound</text>"));
+    }
+
+    #[test]
+    fn empty_series_render_without_panic() {
+        let svg = chart().render(&[]);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_divide_by_zero() {
+        let flat = vec![Series::new("flat", vec![(2.0, 5.0), (2.0, 5.0)])];
+        let svg = chart().render(&flat);
+        assert!(svg.contains("<polyline"));
+        assert!(!svg.contains("NaN"));
+        assert!(!svg.contains("inf"));
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let dir = std::env::temp_dir().join(format!("svg_test_{}", std::process::id()));
+        let path = dir.join("nested/fig.svg");
+        chart().write_to(&sample_series(), &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("</svg>"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,86 @@
+//! Plain-text table rendering for paper-style result tables.
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column names.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field count does not match the header.
+    pub fn push_row<S: Into<String>>(&mut self, fields: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = fields.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    /// Renders with column alignment: first column left, the rest right.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, field) in row.iter().enumerate() {
+                widths[i] = widths[i].max(field.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |row: &[String], out: &mut String| {
+            for (i, field) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    out.push_str(&format!("{field:<w$}", w = widths[i]));
+                } else {
+                    out.push_str(&format!("{field:>w$}", w = widths[i]));
+                }
+            }
+            out.push('\n');
+        };
+        emit(&self.header, &mut out);
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["Algorithm", "128", "2048"]);
+        t.push_row(["Systolic", "5.2", "5.1"]);
+        t.push_row(["Sequential", "12.0", "190.0"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Algorithm"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right alignment: the numeric columns end at the same offset.
+        assert_eq!(lines[0].len(), lines[2].len().max(lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width must match header")]
+    fn wrong_width_panics() {
+        let mut t = TextTable::new(["a"]);
+        t.push_row(["1", "2"]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Canonicalization: merging adjacent runs into the maximally-compressed
+//! encoding.
+//!
+//! The paper permits adjacent runs in both inputs and outputs, and notes that
+//! "an additional pass can be made at the end to ensure the encoding is
+//! completely compressed" (§2). The systolic algorithm's Observation
+//! (§5) about the `k3 + 1` iteration bound only holds for inputs "compressed
+//! as much as possible", so experiments canonicalize their inputs with these
+//! helpers.
+
+use crate::run::Run;
+
+/// Merges adjacent (and, defensively, overlapping) runs in place.
+///
+/// The slice must already be sorted by start. Returns the number of merges
+/// performed, i.e. `runs.len()` shrinks by exactly this amount.
+pub fn coalesce_in_place(runs: &mut Vec<Run>) -> usize {
+    let before = runs.len();
+    if before < 2 {
+        return 0;
+    }
+    let mut write = 0usize;
+    for read in 1..runs.len() {
+        let cur = runs[read];
+        let prev = runs[write];
+        debug_assert!(cur.start() >= prev.start(), "coalesce input must be sorted");
+        if cur.start() <= prev.end_exclusive() {
+            runs[write] = prev.hull(&cur);
+        } else {
+            write += 1;
+            runs[write] = cur;
+        }
+    }
+    runs.truncate(write + 1);
+    before - runs.len()
+}
+
+/// Returns a coalesced copy of a sorted run slice.
+#[must_use]
+pub fn coalesced(runs: &[Run]) -> Vec<Run> {
+    let mut out = runs.to_vec();
+    coalesce_in_place(&mut out);
+    out
+}
+
+/// Whether a sorted run slice is maximally compressed (no two runs adjacent
+/// or overlapping).
+#[must_use]
+pub fn is_coalesced(runs: &[Run]) -> bool {
+    runs.windows(2).all(|w| w[0].end_exclusive() < w[1].start())
+}
+
+/// Counts the merges a coalescing pass *would* perform, without mutating.
+/// `runs.len() - count_adjacencies(runs)` is the canonical run count `k3`
+/// used when evaluating the paper's Observation.
+#[must_use]
+pub fn count_adjacencies(runs: &[Run]) -> usize {
+    runs.windows(2)
+        .filter(|w| w[1].start() <= w[0].end_exclusive())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runs(pairs: &[(u32, u32)]) -> Vec<Run> {
+        pairs.iter().map(|&(s, l)| Run::new(s, l)).collect()
+    }
+
+    #[test]
+    fn empty_and_single_are_noops() {
+        let mut v: Vec<Run> = vec![];
+        assert_eq!(coalesce_in_place(&mut v), 0);
+        let mut v = runs(&[(3, 4)]);
+        assert_eq!(coalesce_in_place(&mut v), 0);
+        assert_eq!(v, runs(&[(3, 4)]));
+    }
+
+    #[test]
+    fn merges_adjacent_pairs() {
+        let mut v = runs(&[(0, 2), (2, 3), (10, 1)]);
+        assert_eq!(coalesce_in_place(&mut v), 1);
+        assert_eq!(v, runs(&[(0, 5), (10, 1)]));
+    }
+
+    #[test]
+    fn merges_chains() {
+        let mut v = runs(&[(0, 1), (1, 1), (2, 1), (3, 1)]);
+        assert_eq!(coalesce_in_place(&mut v), 3);
+        assert_eq!(v, runs(&[(0, 4)]));
+    }
+
+    #[test]
+    fn merges_overlaps_defensively() {
+        let mut v = runs(&[(0, 5), (3, 10)]);
+        assert_eq!(coalesce_in_place(&mut v), 1);
+        assert_eq!(v, runs(&[(0, 13)]));
+    }
+
+    #[test]
+    fn leaves_separated_runs_alone() {
+        let mut v = runs(&[(0, 2), (3, 2), (10, 1)]);
+        assert_eq!(coalesce_in_place(&mut v), 0);
+        assert_eq!(v, runs(&[(0, 2), (3, 2), (10, 1)]));
+    }
+
+    #[test]
+    fn predicates_agree_with_mutation() {
+        let cases = [
+            runs(&[(0, 2), (2, 3)]),
+            runs(&[(0, 2), (3, 3)]),
+            runs(&[(0, 1), (1, 1), (5, 1), (6, 1)]),
+            runs(&[]),
+        ];
+        for case in cases {
+            let mut v = case.clone();
+            let merges = coalesce_in_place(&mut v);
+            assert_eq!(merges, count_adjacencies(&case), "case {case:?}");
+            assert_eq!(is_coalesced(&case), merges == 0, "case {case:?}");
+            assert!(is_coalesced(&v));
+        }
+    }
+
+    #[test]
+    fn coalesced_copy_matches_in_place() {
+        let v = runs(&[(0, 2), (2, 3), (6, 1), (7, 2)]);
+        let copy = coalesced(&v);
+        let mut inplace = v.clone();
+        coalesce_in_place(&mut inplace);
+        assert_eq!(copy, inplace);
+        assert_eq!(copy, runs(&[(0, 5), (6, 3)]));
+    }
+}

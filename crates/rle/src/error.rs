@@ -1,0 +1,110 @@
+//! Error types for RLE construction and validation.
+
+use crate::run::Pixel;
+use std::fmt;
+
+/// Errors raised when constructing or validating RLE data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RleError {
+    /// A run was given a length of zero.
+    ZeroLengthRun {
+        /// Start position of the offending run.
+        start: Pixel,
+    },
+    /// `start + len` exceeds the pixel coordinate space.
+    PixelOverflow {
+        /// Start position of the offending run.
+        start: Pixel,
+        /// Length of the offending run.
+        len: Pixel,
+    },
+    /// Runs are not in strictly increasing start order, or they overlap.
+    ///
+    /// The paper requires "a strictly increasing sequence of first elements"
+    /// and that "none of the intervals ... may overlap"; adjacency is
+    /// permitted.
+    OutOfOrder {
+        /// Index (within the run list) of the run that violates ordering.
+        index: usize,
+    },
+    /// A run extends past the row width `b`.
+    RunExceedsWidth {
+        /// Index of the offending run.
+        index: usize,
+        /// Row width in pixels.
+        width: Pixel,
+    },
+    /// Two rows/images that must have equal dimensions do not.
+    DimensionMismatch {
+        /// Dimension of the left operand (row width or `(w, h)` flattened).
+        left: u64,
+        /// Dimension of the right operand.
+        right: u64,
+    },
+    /// An image row has a width different from the image width.
+    RowWidthMismatch {
+        /// Index of the offending row.
+        row: usize,
+        /// Expected width.
+        expected: Pixel,
+        /// Actual width.
+        actual: Pixel,
+    },
+}
+
+impl fmt::Display for RleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RleError::ZeroLengthRun { start } => {
+                write!(f, "run starting at {start} has zero length")
+            }
+            RleError::PixelOverflow { start, len } => {
+                write!(f, "run ({start}, {len}) overflows the pixel coordinate space")
+            }
+            RleError::OutOfOrder { index } => {
+                write!(f, "run at index {index} is out of order or overlaps its predecessor")
+            }
+            RleError::RunExceedsWidth { index, width } => {
+                write!(f, "run at index {index} extends past the row width {width}")
+            }
+            RleError::DimensionMismatch { left, right } => {
+                write!(f, "operands have mismatched dimensions ({left} vs {right})")
+            }
+            RleError::RowWidthMismatch { row, expected, actual } => {
+                write!(f, "row {row} has width {actual}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(RleError, &str)> = vec![
+            (RleError::ZeroLengthRun { start: 5 }, "zero length"),
+            (RleError::PixelOverflow { start: 1, len: 2 }, "overflows"),
+            (RleError::OutOfOrder { index: 3 }, "out of order"),
+            (RleError::RunExceedsWidth { index: 0, width: 128 }, "past the row width"),
+            (RleError::DimensionMismatch { left: 1, right: 2 }, "mismatched dimensions"),
+            (
+                RleError::RowWidthMismatch { row: 2, expected: 10, actual: 9 },
+                "row 2",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&RleError::OutOfOrder { index: 0 });
+    }
+}

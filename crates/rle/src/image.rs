@@ -1,0 +1,334 @@
+//! A full RLE-encoded binary image: a stack of equally-wide rows.
+//!
+//! The paper's systolic system diffs two images row by row (Figure 1 shows
+//! "Row of Image 1" vs "Row of Image 2"); [`RleImage`] provides the
+//! image-level bookkeeping and whole-image operations built from the row
+//! operations in [`crate::ops`].
+
+use crate::error::RleError;
+use crate::metrics::{row_similarity, RowSimilarity};
+use crate::ops;
+use crate::row::RleRow;
+use crate::run::Pixel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A binary image stored row-wise in RLE form.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RleImage {
+    width: Pixel,
+    rows: Vec<RleRow>,
+}
+
+impl RleImage {
+    /// Creates an all-background image of the given dimensions.
+    #[must_use]
+    pub fn new(width: Pixel, height: usize) -> Self {
+        Self { width, rows: vec![RleRow::new(width); height] }
+    }
+
+    /// Builds an image from rows, validating that all widths match.
+    pub fn from_rows(width: Pixel, rows: Vec<RleRow>) -> Result<Self, RleError> {
+        for (i, row) in rows.iter().enumerate() {
+            if row.width() != width {
+                return Err(RleError::RowWidthMismatch {
+                    row: i,
+                    expected: width,
+                    actual: row.width(),
+                });
+            }
+        }
+        Ok(Self { width, rows })
+    }
+
+    /// Image width in pixels.
+    #[must_use]
+    pub fn width(&self) -> Pixel {
+        self.width
+    }
+
+    /// Image height in rows.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The rows, top to bottom.
+    #[must_use]
+    pub fn rows(&self) -> &[RleRow] {
+        &self.rows
+    }
+
+    /// Mutable access to a row.
+    pub fn row_mut(&mut self, i: usize) -> &mut RleRow {
+        &mut self.rows[i]
+    }
+
+    /// Replaces a row, validating its width.
+    pub fn set_row(&mut self, i: usize, row: RleRow) -> Result<(), RleError> {
+        if row.width() != self.width {
+            return Err(RleError::RowWidthMismatch {
+                row: i,
+                expected: self.width,
+                actual: row.width(),
+            });
+        }
+        self.rows[i] = row;
+        Ok(())
+    }
+
+    /// Total number of runs across all rows (`k` for whole-image costs).
+    #[must_use]
+    pub fn total_runs(&self) -> usize {
+        self.rows.iter().map(RleRow::run_count).sum()
+    }
+
+    /// Total foreground pixels.
+    #[must_use]
+    pub fn ones(&self) -> u64 {
+        self.rows.iter().map(RleRow::ones).sum()
+    }
+
+    /// Foreground fraction over the whole image.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        let total = u64::from(self.width) * self.rows.len() as u64;
+        if total == 0 {
+            0.0
+        } else {
+            self.ones() as f64 / total as f64
+        }
+    }
+
+    /// Pixel accessor.
+    #[must_use]
+    pub fn get(&self, x: Pixel, y: usize) -> bool {
+        self.rows[y].get(x)
+    }
+
+    /// Canonicalizes every row in place; returns total merges.
+    pub fn canonicalize(&mut self) -> usize {
+        self.rows.iter_mut().map(RleRow::canonicalize).sum()
+    }
+
+    /// Whether every row is canonical.
+    #[must_use]
+    pub fn is_canonical(&self) -> bool {
+        self.rows.iter().all(RleRow::is_canonical)
+    }
+
+    /// Row-wise XOR (image difference) of two images.
+    pub fn xor(&self, other: &RleImage) -> Result<RleImage, RleError> {
+        self.zip_rows(other, ops::xor)
+    }
+
+    /// Row-wise AND.
+    pub fn and(&self, other: &RleImage) -> Result<RleImage, RleError> {
+        self.zip_rows(other, ops::and)
+    }
+
+    /// Row-wise OR.
+    pub fn or(&self, other: &RleImage) -> Result<RleImage, RleError> {
+        self.zip_rows(other, ops::or)
+    }
+
+    /// Row-wise set difference `self AND NOT other`.
+    pub fn sub(&self, other: &RleImage) -> Result<RleImage, RleError> {
+        self.zip_rows(other, ops::sub)
+    }
+
+    /// Complement of the image.
+    #[must_use]
+    pub fn complement(&self) -> RleImage {
+        RleImage { width: self.width, rows: self.rows.iter().map(ops::not).collect() }
+    }
+
+    fn zip_rows(
+        &self,
+        other: &RleImage,
+        f: impl Fn(&RleRow, &RleRow) -> RleRow,
+    ) -> Result<RleImage, RleError> {
+        if self.width != other.width || self.height() != other.height() {
+            return Err(RleError::DimensionMismatch {
+                left: u64::from(self.width) << 32 | self.height() as u64,
+                right: u64::from(other.width) << 32 | other.height() as u64,
+            });
+        }
+        Ok(RleImage {
+            width: self.width,
+            rows: self.rows.iter().zip(&other.rows).map(|(a, b)| f(a, b)).collect(),
+        })
+    }
+
+    /// Per-row similarity metrics against another image.
+    pub fn row_similarities(&self, other: &RleImage) -> Result<Vec<RowSimilarity>, RleError> {
+        if self.width != other.width || self.height() != other.height() {
+            return Err(RleError::DimensionMismatch {
+                left: u64::from(self.width) << 32 | self.height() as u64,
+                right: u64::from(other.width) << 32 | other.height() as u64,
+            });
+        }
+        Ok(self
+            .rows
+            .iter()
+            .zip(&other.rows)
+            .map(|(a, b)| row_similarity(a, b))
+            .collect())
+    }
+
+    /// Renders the image as lines of `.` / `#` characters — handy in tests
+    /// and example output.
+    #[must_use]
+    pub fn to_ascii(&self) -> String {
+        let mut s = String::with_capacity((self.width as usize + 1) * self.rows.len());
+        for row in &self.rows {
+            for p in 0..self.width {
+                s.push(if row.get(p) { '#' } else { '.' });
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parses the `.`/`#` format produced by [`RleImage::to_ascii`]. Any
+    /// non-`.` character is treated as foreground.
+    #[must_use]
+    pub fn from_ascii(art: &str) -> RleImage {
+        let lines: Vec<&str> = art.lines().filter(|l| !l.is_empty()).collect();
+        let width = lines.iter().map(|l| l.chars().count()).max().unwrap_or(0) as Pixel;
+        let rows = lines
+            .iter()
+            .map(|line| {
+                let mut bits = vec![false; width as usize];
+                for (i, c) in line.chars().enumerate() {
+                    bits[i] = c != '.' && c != ' ';
+                }
+                RleRow::from_bits(&bits)
+            })
+            .collect();
+        RleImage { width, rows }
+    }
+}
+
+impl fmt::Debug for RleImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RleImage[{}x{}, {} runs, density {:.3}]",
+            self.width,
+            self.rows.len(),
+            self.total_runs(),
+            self.density()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(art: &str) -> RleImage {
+        RleImage::from_ascii(art)
+    }
+
+    #[test]
+    fn new_is_empty() {
+        let im = RleImage::new(16, 4);
+        assert_eq!(im.width(), 16);
+        assert_eq!(im.height(), 4);
+        assert_eq!(im.total_runs(), 0);
+        assert_eq!(im.ones(), 0);
+    }
+
+    #[test]
+    fn ascii_round_trip() {
+        let art = "\
+..##..\n\
+.#..#.\n\
+......\n\
+######\n";
+        let im = img(art);
+        assert_eq!(im.width(), 6);
+        assert_eq!(im.height(), 4);
+        assert_eq!(im.to_ascii(), art);
+        assert_eq!(im.total_runs(), 4);
+    }
+
+    #[test]
+    fn from_rows_validates_widths() {
+        let rows = vec![RleRow::new(8), RleRow::new(9)];
+        assert_eq!(
+            RleImage::from_rows(8, rows),
+            Err(RleError::RowWidthMismatch { row: 1, expected: 8, actual: 9 })
+        );
+    }
+
+    #[test]
+    fn set_row_validates_width() {
+        let mut im = RleImage::new(8, 2);
+        assert!(im.set_row(0, RleRow::from_pairs(8, &[(0, 3)]).unwrap()).is_ok());
+        assert!(im.set_row(1, RleRow::new(9)).is_err());
+        assert_eq!(im.ones(), 3);
+    }
+
+    #[test]
+    fn image_xor_is_rowwise() {
+        let a = img("##..\n..##\n");
+        let b = img("#.#.\n..##\n");
+        let d = a.xor(&b).unwrap();
+        assert_eq!(d.to_ascii(), ".##.\n....\n");
+    }
+
+    #[test]
+    fn image_ops_dimension_mismatch() {
+        let a = RleImage::new(4, 2);
+        let b = RleImage::new(4, 3);
+        assert!(a.xor(&b).is_err());
+        assert!(a.and(&b).is_err());
+        assert!(a.row_similarities(&b).is_err());
+    }
+
+    #[test]
+    fn boolean_ops_and_complement() {
+        let a = img("##..\n");
+        let b = img("#.#.\n");
+        assert_eq!(a.and(&b).unwrap().to_ascii(), "#...\n");
+        assert_eq!(a.or(&b).unwrap().to_ascii(), "###.\n");
+        assert_eq!(a.sub(&b).unwrap().to_ascii(), ".#..\n");
+        assert_eq!(a.complement().to_ascii(), "..##\n");
+    }
+
+    #[test]
+    fn density_and_pixel_access() {
+        let a = img("#...\n..#.\n");
+        assert!((a.density() - 0.25).abs() < 1e-12);
+        assert!(a.get(0, 0));
+        assert!(!a.get(1, 0));
+        assert!(a.get(2, 1));
+    }
+
+    #[test]
+    fn row_similarities_per_row() {
+        let a = img("##..\n....\n");
+        let b = img("##..\n...#\n");
+        let sims = a.row_similarities(&b).unwrap();
+        assert_eq!(sims[0].differing_pixels, 0);
+        assert_eq!(sims[1].differing_pixels, 1);
+    }
+
+    #[test]
+    fn canonicalize_whole_image() {
+        let rows = vec![RleRow::from_pairs(8, &[(0, 2), (2, 2)]).unwrap()];
+        let mut im = RleImage::from_rows(8, rows).unwrap();
+        assert!(!im.is_canonical());
+        assert_eq!(im.canonicalize(), 1);
+        assert!(im.is_canonical());
+    }
+
+    #[test]
+    fn debug_summary() {
+        let im = img("##..\n");
+        let dbg = format!("{im:?}");
+        assert!(dbg.contains("4x1"), "{dbg}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Iterators over RLE rows: segments, boundaries, and gap runs.
+
+use crate::run::{Pixel, Run};
+use crate::row::RleRow;
+
+/// A maximal constant-valued segment of a row, produced by [`segments`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// First pixel of the segment.
+    pub start: Pixel,
+    /// Last pixel of the segment (inclusive).
+    pub end: Pixel,
+    /// Pixel value throughout the segment.
+    pub value: bool,
+}
+
+impl Segment {
+    /// Number of pixels covered.
+    #[must_use]
+    pub fn len(&self) -> Pixel {
+        self.end - self.start + 1
+    }
+
+    /// Segments are never empty; for API symmetry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Iterates the row as alternating background/foreground segments covering
+/// `[0, width)` exactly once. For a canonical row the segments strictly
+/// alternate; for a non-canonical row consecutive foreground runs that touch
+/// are reported as a single foreground segment.
+pub fn segments(row: &RleRow) -> impl Iterator<Item = Segment> + '_ {
+    SegmentIter { row, pos: 0, idx: 0 }
+}
+
+struct SegmentIter<'a> {
+    row: &'a RleRow,
+    pos: Pixel,
+    idx: usize,
+}
+
+impl Iterator for SegmentIter<'_> {
+    type Item = Segment;
+
+    fn next(&mut self) -> Option<Segment> {
+        let width = self.row.width();
+        if self.pos >= width {
+            return None;
+        }
+        let runs = self.row.runs();
+        match runs.get(self.idx) {
+            Some(run) if run.start() <= self.pos => {
+                // Foreground: extend across touching runs.
+                let start = self.pos;
+                let mut end = run.end();
+                self.idx += 1;
+                while let Some(next) = runs.get(self.idx) {
+                    if next.start() <= end + 1 {
+                        end = end.max(next.end());
+                        self.idx += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.pos = end + 1;
+                Some(Segment { start, end, value: true })
+            }
+            Some(run) => {
+                let seg = Segment { start: self.pos, end: run.start() - 1, value: false };
+                self.pos = run.start();
+                Some(seg)
+            }
+            None => {
+                let seg = Segment { start: self.pos, end: width - 1, value: false };
+                self.pos = width;
+                Some(seg)
+            }
+        }
+    }
+}
+
+/// Iterates the background gaps of a row (the complement's runs), including
+/// leading and trailing gaps.
+pub fn gaps(row: &RleRow) -> impl Iterator<Item = Run> + '_ {
+    segments(row).filter(|s| !s.value).map(|s| Run::from_bounds(s.start, s.end))
+}
+
+/// Positions at which the pixel value changes, i.e. the boundaries `p` such
+/// that `row[p - 1] != row[p]` (with `row[-1]` taken as background), in
+/// increasing order. An all-background row yields nothing.
+pub fn boundaries(row: &RleRow) -> impl Iterator<Item = Pixel> + '_ {
+    let width = row.width();
+    segments(row).flat_map(move |s| {
+        let mut out = Vec::with_capacity(2);
+        if s.value {
+            out.push(s.start);
+            if s.end + 1 < width {
+                out.push(s.end + 1);
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(pairs: &[(Pixel, Pixel)]) -> RleRow {
+        RleRow::from_pairs(20, pairs).unwrap()
+    }
+
+    #[test]
+    fn segments_cover_row_exactly() {
+        let r = row(&[(2, 3), (8, 2)]);
+        let segs: Vec<Segment> = segments(&r).collect();
+        assert_eq!(
+            segs,
+            vec![
+                Segment { start: 0, end: 1, value: false },
+                Segment { start: 2, end: 4, value: true },
+                Segment { start: 5, end: 7, value: false },
+                Segment { start: 8, end: 9, value: true },
+                Segment { start: 10, end: 19, value: false },
+            ]
+        );
+        let total: u64 = segs.iter().map(|s| u64::from(s.len())).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn segments_merge_touching_runs() {
+        let r = row(&[(2, 3), (5, 2)]); // adjacent, non-canonical
+        let segs: Vec<Segment> = segments(&r).filter(|s| s.value).collect();
+        assert_eq!(segs, vec![Segment { start: 2, end: 6, value: true }]);
+    }
+
+    #[test]
+    fn segments_of_empty_row() {
+        let r = RleRow::new(5);
+        let segs: Vec<Segment> = segments(&r).collect();
+        assert_eq!(segs, vec![Segment { start: 0, end: 4, value: false }]);
+    }
+
+    #[test]
+    fn segments_of_full_row() {
+        let r = RleRow::from_pairs(5, &[(0, 5)]).unwrap();
+        let segs: Vec<Segment> = segments(&r).collect();
+        assert_eq!(segs, vec![Segment { start: 0, end: 4, value: true }]);
+    }
+
+    #[test]
+    fn segments_of_zero_width_row() {
+        let r = RleRow::new(0);
+        assert_eq!(segments(&r).count(), 0);
+    }
+
+    #[test]
+    fn gaps_are_complement_runs() {
+        let r = row(&[(2, 3), (8, 2)]);
+        let gaps: Vec<Run> = gaps(&r).collect();
+        assert_eq!(gaps, crate::ops::not(&r).runs().to_vec());
+    }
+
+    #[test]
+    fn boundaries_match_bit_flips() {
+        let r = row(&[(0, 2), (5, 3), (19, 1)]);
+        let bounds: Vec<Pixel> = boundaries(&r).collect();
+        // Flips at 0→already on at 0 (counts, since row[-1]=background),
+        // off at 2, on at 5, off at 8, on at 19 (no trailing boundary at 20).
+        assert_eq!(bounds, vec![0, 2, 5, 8, 19]);
+    }
+
+    #[test]
+    fn segment_len() {
+        let s = Segment { start: 3, end: 3, value: true };
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+}

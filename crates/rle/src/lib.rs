@@ -1,0 +1,47 @@
+//! Run-length-encoded (RLE) binary image substrate.
+//!
+//! This crate provides the compressed-image representation that the systolic
+//! algorithm of Ercal, Allen & Feng ("A Systolic Algorithm to Process
+//! Compressed Binary Images", IPPS 1999) operates on, together with the
+//! *sequential* merge algorithms the paper uses as its baseline.
+//!
+//! A binary image row of width `b` is a bitstring; only the foreground (`1`)
+//! pixels are stored, as a strictly ordered sequence of [`Run`]s. Runs may be
+//! adjacent (the encoding is then non-canonical but still valid, exactly as
+//! the paper permits for both inputs and outputs); [`RleRow::canonicalize`]
+//! merges adjacent runs.
+//!
+//! # Quick example
+//!
+//! ```
+//! use rle::{Run, RleRow};
+//!
+//! // The two rows of Figure 1 in the paper.
+//! let a = RleRow::from_pairs(32, &[(10, 3), (16, 2), (23, 2), (27, 3)]).unwrap();
+//! let b = RleRow::from_pairs(32, &[(3, 4), (8, 5), (15, 5), (23, 2), (27, 4)]).unwrap();
+//! let diff = rle::ops::xor(&a, &b);
+//! assert_eq!(
+//!     diff.runs(),
+//!     &[Run::new(3, 4), Run::new(8, 2), Run::new(15, 1), Run::new(18, 2), Run::new(30, 1)]
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod canonical;
+pub mod error;
+pub mod image;
+pub mod iter;
+pub mod metrics;
+pub mod morph;
+pub mod ops;
+pub mod row;
+pub mod run;
+pub mod serialize;
+
+pub use error::RleError;
+pub use image::RleImage;
+pub use ops::OpStats;
+pub use run::{Pixel, Run, RunRelation};
+pub use row::RleRow;

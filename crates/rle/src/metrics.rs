@@ -1,0 +1,155 @@
+//! Similarity and cost metrics between RLE rows and images.
+//!
+//! The paper's performance story is driven by three quantities, all plotted
+//! in Figure 5:
+//!
+//! * the **difference in the number of runs** `|k1 - k2|` between the two
+//!   images (the dominating factor for the systolic algorithm on similar
+//!   images),
+//! * the **number of runs in the XOR** `k3` (the conjectured upper bound on
+//!   systolic iterations), and
+//! * the **percentage of pixels that differ** (the x-axis of Figure 5).
+
+use crate::ops;
+use crate::row::RleRow;
+use serde::{Deserialize, Serialize};
+
+/// A bundle of the similarity quantities the paper measures for a row pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RowSimilarity {
+    /// Runs in the first row (`k1`).
+    pub runs_a: usize,
+    /// Runs in the second row (`k2`).
+    pub runs_b: usize,
+    /// `|k1 - k2|`.
+    pub run_count_difference: usize,
+    /// Runs in the canonicalized XOR of the rows (`k3`, the paper's
+    /// similarity measure: "If we let the similarity of two images be
+    /// measured by the number of runs in the final result").
+    pub runs_in_xor: usize,
+    /// Runs in the *raw* (uncoalesced) XOR, as the systolic array and the
+    /// sequential merge actually emit it.
+    pub runs_in_raw_xor: usize,
+    /// Number of differing pixels (Hamming distance).
+    pub differing_pixels: u64,
+    /// Differing pixels as a fraction of the row width, in `[0, 1]`.
+    pub differing_fraction: f64,
+}
+
+/// Computes all similarity quantities for a pair of rows.
+///
+/// # Panics
+///
+/// Panics if the rows have different widths.
+#[must_use]
+pub fn row_similarity(a: &RleRow, b: &RleRow) -> RowSimilarity {
+    let (raw, _) = ops::xor_raw_with_stats(a, b);
+    let differing_pixels = raw.ones();
+    let runs_in_raw_xor = raw.run_count();
+    let canonical = raw.canonicalized();
+    RowSimilarity {
+        runs_a: a.run_count(),
+        runs_b: b.run_count(),
+        run_count_difference: a.run_count().abs_diff(b.run_count()),
+        runs_in_xor: canonical.run_count(),
+        runs_in_raw_xor,
+        differing_pixels,
+        differing_fraction: if a.width() == 0 {
+            0.0
+        } else {
+            differing_pixels as f64 / f64::from(a.width())
+        },
+    }
+}
+
+/// Hamming distance between two rows (number of differing pixels), computed
+/// in compressed form.
+#[must_use]
+pub fn hamming(a: &RleRow, b: &RleRow) -> u64 {
+    ops::xor_raw_with_stats(a, b).0.ones()
+}
+
+/// Jaccard similarity `|a ∧ b| / |a ∨ b|` of the foreground sets; `1.0` for
+/// two empty rows.
+#[must_use]
+pub fn jaccard(a: &RleRow, b: &RleRow) -> f64 {
+    let union = ops::or(a, b).ones();
+    if union == 0 {
+        return 1.0;
+    }
+    let inter = ops::and(a, b).ones();
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::Pixel;
+
+    fn row(pairs: &[(Pixel, Pixel)]) -> RleRow {
+        RleRow::from_pairs(40, pairs).unwrap()
+    }
+
+    #[test]
+    fn identical_rows() {
+        let a = row(&[(3, 4), (10, 2)]);
+        let s = row_similarity(&a, &a.clone());
+        assert_eq!(s.run_count_difference, 0);
+        assert_eq!(s.runs_in_xor, 0);
+        assert_eq!(s.differing_pixels, 0);
+        assert_eq!(s.differing_fraction, 0.0);
+        assert_eq!(hamming(&a, &a.clone()), 0);
+        assert_eq!(jaccard(&a, &a.clone()), 1.0);
+    }
+
+    #[test]
+    fn figure1_quantities() {
+        let a = row(&[(10, 3), (16, 2), (23, 2), (27, 3)]);
+        let b = row(&[(3, 4), (8, 5), (15, 5), (23, 2), (27, 4)]);
+        let s = row_similarity(&a, &b);
+        assert_eq!(s.runs_a, 4);
+        assert_eq!(s.runs_b, 5);
+        assert_eq!(s.run_count_difference, 1);
+        assert_eq!(s.runs_in_xor, 5);
+        assert_eq!(s.differing_pixels, 4 + 2 + 1 + 2 + 1);
+        assert!((s.differing_fraction - 10.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_rows() {
+        let a = row(&[(0, 5)]);
+        let b = row(&[(10, 5)]);
+        assert_eq!(hamming(&a, &b), 10);
+        assert_eq!(jaccard(&a, &b), 0.0);
+        let s = row_similarity(&a, &b);
+        assert_eq!(s.runs_in_xor, 2);
+    }
+
+    #[test]
+    fn raw_vs_canonical_xor_counts_can_differ() {
+        let a = row(&[(0, 5)]);
+        let b = row(&[(5, 5)]); // adjacent
+        let s = row_similarity(&a, &b);
+        assert_eq!(s.runs_in_raw_xor, 2);
+        assert_eq!(s.runs_in_xor, 1);
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        let a = row(&[(0, 10)]);
+        let b = row(&[(5, 10)]);
+        // intersection 5 px, union 15 px
+        assert!((jaccard(&a, &b) - 5.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rows_jaccard_is_one() {
+        assert_eq!(jaccard(&RleRow::new(10), &RleRow::new(10)), 1.0);
+    }
+
+    #[test]
+    fn zero_width_similarity() {
+        let s = row_similarity(&RleRow::new(0), &RleRow::new(0));
+        assert_eq!(s.differing_fraction, 0.0);
+    }
+}

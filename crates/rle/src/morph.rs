@@ -1,0 +1,241 @@
+//! 1-D morphological operations directly on RLE rows.
+//!
+//! The paper's introduction lists morphological operations among the
+//! binary-image kernels that systolic hardware targets; an inspection
+//! pipeline uses them to clean the difference mask (closing pinholes,
+//! removing single-pixel noise) before defect classification. On RLE data
+//! they are O(k): dilation widens every run by the structuring-element
+//! radius and coalesces, erosion shrinks and drops runs that vanish.
+//!
+//! The structuring element is the centred segment of `2·radius + 1` pixels.
+
+use crate::canonical::coalesce_in_place;
+use crate::row::RleRow;
+use crate::run::{Pixel, Run};
+
+/// Dilation: every foreground pixel grows `radius` pixels in each
+/// direction, clipped to the row. Output is canonical.
+///
+/// ```
+/// use rle::{morph, RleRow, Run};
+///
+/// let noisy_mask = RleRow::from_pairs(32, &[(5, 2), (9, 2)]).unwrap();
+/// // Radius 1 closes the 2-px gap between the runs.
+/// assert_eq!(morph::dilate(&noisy_mask, 1).runs(), &[Run::new(4, 8)]);
+/// ```
+#[must_use]
+pub fn dilate(row: &RleRow, radius: Pixel) -> RleRow {
+    let width = row.width();
+    if width == 0 || radius == 0 {
+        return row.canonicalized();
+    }
+    let mut runs: Vec<Run> = row
+        .runs()
+        .iter()
+        .map(|r| {
+            let start = r.start().saturating_sub(radius);
+            let end = r.end().saturating_add(radius).min(width - 1);
+            Run::from_bounds(start, end)
+        })
+        .collect();
+    coalesce_in_place(&mut runs);
+    RleRow::from_runs(width, runs).expect("dilation preserves order")
+}
+
+/// Erosion: a pixel survives only if the whole structuring element around
+/// it is foreground. Runs shorter than `2·radius + 1` disappear. Output is
+/// canonical.
+///
+/// Boundary convention: pixels outside the row are background, so runs
+/// touching the row edges erode there too (the standard definition).
+#[must_use]
+pub fn erode(row: &RleRow, radius: Pixel) -> RleRow {
+    let width = row.width();
+    if radius == 0 {
+        return row.canonicalized();
+    }
+    // Erosion must see merged foreground segments, not raw (possibly
+    // adjacent) runs.
+    let canonical = row.canonicalized();
+    let mut out = RleRow::new(width);
+    for r in canonical.runs() {
+        let start = u64::from(r.start()) + u64::from(radius);
+        let end = u64::from(r.end()).wrapping_sub(u64::from(radius));
+        if u64::from(r.len()) > 2 * u64::from(radius) {
+            out.push_run(Run::from_bounds(start as Pixel, end as Pixel))
+                .expect("erosion preserves order");
+        }
+    }
+    out
+}
+
+/// Opening: erosion followed by dilation. Removes foreground details
+/// narrower than the element while preserving larger runs' extent.
+#[must_use]
+pub fn open(row: &RleRow, radius: Pixel) -> RleRow {
+    dilate(&erode(row, radius), radius)
+}
+
+/// Closing: dilation followed by erosion. Fills background gaps narrower
+/// than the element.
+#[must_use]
+pub fn close(row: &RleRow, radius: Pixel) -> RleRow {
+    erode(&dilate(row, radius), radius)
+}
+
+/// Morphological gradient: dilation minus erosion — the run boundaries.
+#[must_use]
+pub fn gradient(row: &RleRow, radius: Pixel) -> RleRow {
+    crate::ops::sub(&dilate(row, radius), &erode(row, radius))
+}
+
+/// Removes foreground components (maximal merged segments) shorter than
+/// `min_len` pixels — the classic despeckle filter for difference masks.
+#[must_use]
+pub fn remove_small(row: &RleRow, min_len: Pixel) -> RleRow {
+    let canonical = row.canonicalized();
+    let mut out = RleRow::new(row.width());
+    for r in canonical.runs() {
+        if r.len() >= min_len {
+            out.push_run(*r).expect("filter preserves order");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(pairs: &[(Pixel, Pixel)]) -> RleRow {
+        RleRow::from_pairs(40, pairs).unwrap()
+    }
+
+    /// Per-pixel reference implementation of dilation/erosion.
+    fn reference(row: &RleRow, radius: Pixel, dilated: bool) -> RleRow {
+        let bits = row.to_bits();
+        let w = bits.len() as i64;
+        let r = i64::from(radius);
+        let out: Vec<bool> = (0..w)
+            .map(|p| {
+                let window = (p - r..=p + r).map(|q| {
+                    if q < 0 || q >= w {
+                        false
+                    } else {
+                        bits[q as usize]
+                    }
+                });
+                if dilated {
+                    window.into_iter().any(|b| b)
+                } else {
+                    window.into_iter().all(|b| b)
+                }
+            })
+            .collect();
+        RleRow::from_bits(&out)
+    }
+
+    #[test]
+    fn dilate_matches_reference() {
+        let cases =
+            [row(&[]), row(&[(0, 3)]), row(&[(5, 1), (10, 4), (38, 2)]), row(&[(0, 40)])];
+        for r in cases {
+            for radius in [0u32, 1, 2, 5] {
+                assert_eq!(dilate(&r, radius), reference(&r, radius, true), "{r:?} r={radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn erode_matches_reference() {
+        let cases = [
+            row(&[]),
+            row(&[(0, 3)]),
+            row(&[(5, 1), (10, 4), (20, 10), (38, 2)]),
+            row(&[(0, 40)]),
+            row(&[(0, 2), (2, 6)]), // adjacent runs must erode as one segment
+        ];
+        for r in cases {
+            for radius in [0u32, 1, 2, 5] {
+                assert_eq!(erode(&r, radius), reference(&r, radius, false), "{r:?} r={radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn dilation_merges_nearby_runs() {
+        let r = row(&[(5, 2), (9, 2)]); // gap of 2
+        assert_eq!(dilate(&r, 1).runs(), &[Run::new(4, 8)]);
+    }
+
+    #[test]
+    fn erosion_kills_thin_runs() {
+        let r = row(&[(5, 2), (10, 5)]);
+        let e = erode(&r, 1);
+        assert_eq!(e.runs(), &[Run::new(11, 3)]);
+        assert!(erode(&r, 3).is_empty());
+    }
+
+    #[test]
+    fn opening_removes_specks_keeps_bodies() {
+        let r = row(&[(2, 1), (10, 9)]);
+        let o = open(&r, 1);
+        assert_eq!(o.runs(), &[Run::new(10, 9)]);
+    }
+
+    #[test]
+    fn closing_fills_small_gaps() {
+        let r = row(&[(5, 4), (10, 4)]); // 1-px gap at 9
+        let c = close(&r, 1);
+        assert_eq!(c.runs(), &[Run::new(5, 9)]);
+        // ... but wide gaps survive.
+        let r2 = row(&[(5, 4), (15, 4)]);
+        assert_eq!(close(&r2, 1).run_count(), 2);
+    }
+
+    #[test]
+    fn gradient_marks_boundaries() {
+        let r = row(&[(10, 10)]);
+        let g = gradient(&r, 1);
+        // Interior erodes to 11..=18; dilation covers 9..=20.
+        assert_eq!(g.runs(), &[Run::new(9, 2), Run::new(19, 2)]);
+    }
+
+    #[test]
+    fn remove_small_despeckles() {
+        let r = row(&[(0, 1), (5, 2), (10, 6), (20, 1), (21, 2)]); // last two merge to len 3
+        let f = remove_small(&r, 3);
+        assert_eq!(f.runs(), &[Run::new(10, 6), Run::new(20, 3)]);
+    }
+
+    #[test]
+    fn duality_dilate_erode_via_complement() {
+        // dilate(x) == ¬erode(¬x) — morphological duality (the row-edge
+        // convention matches because complement flips it consistently).
+        let r = row(&[(3, 4), (12, 6), (30, 5)]);
+        for radius in [1u32, 2, 3] {
+            let lhs = dilate(&r, radius);
+            let rhs = crate::ops::not(&erode(&crate::ops::not(&r), radius));
+            // Duality holds away from the borders; compare interiors.
+            let interior =
+                |x: &RleRow| crate::ops::and(x, &row(&[(radius, 40 - 2 * radius)]));
+            assert_eq!(interior(&lhs), interior(&rhs), "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn open_close_idempotent() {
+        let r = row(&[(2, 1), (6, 5), (14, 2), (20, 10)]);
+        let o = open(&r, 1);
+        assert_eq!(open(&o, 1), o);
+        let c = close(&r, 1);
+        assert_eq!(close(&c, 1), c);
+    }
+
+    #[test]
+    fn zero_width_row() {
+        let e = RleRow::new(0);
+        assert!(dilate(&e, 3).is_empty());
+        assert!(erode(&e, 3).is_empty());
+    }
+}

@@ -1,0 +1,493 @@
+//! Sequential boolean operations on RLE rows.
+//!
+//! [`xor_raw_with_stats`] is a faithful implementation of the sequential
+//! image-difference algorithm of §2 of the paper: a single merging pass over
+//! the two run arrays that, at each iteration, XORs the two head runs, emits
+//! the smaller resulting piece and leaves the remainder in the array it came
+//! from. Its iteration count — `Θ(k1 + k2)` in the best, worst and average
+//! case, as the paper notes — is reported in [`OpStats`] and is the
+//! "sequential iterations" column of Table 1.
+//!
+//! The other boolean operations ([`and`], [`or`], [`sub`], [`not`]) are
+//! implemented with a generic two-pointer boundary sweep ([`combine`]), which
+//! also provides an independent implementation of XOR used to cross-check
+//! the paper-faithful one.
+
+use crate::error::RleError;
+use crate::run::{Pixel, Run};
+use crate::row::RleRow;
+use serde::{Deserialize, Serialize};
+
+/// Cost accounting for a sequential merge operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpStats {
+    /// Number of merge-loop iterations executed. This is the time measure
+    /// the paper reports for the sequential algorithm.
+    pub iterations: u64,
+    /// Number of runs in the (uncoalesced) output.
+    pub output_runs: usize,
+}
+
+/// XOR (image difference) of two rows, canonicalized.
+///
+/// # Panics
+///
+/// Panics if the rows have different widths.
+#[must_use]
+pub fn xor(a: &RleRow, b: &RleRow) -> RleRow {
+    let (mut row, _) = xor_raw_with_stats(a, b);
+    row.canonicalize();
+    row
+}
+
+/// XOR of two rows exactly as the paper's sequential algorithm produces it:
+/// ordered and non-overlapping, but possibly containing adjacent runs.
+/// Also returns the iteration count.
+///
+/// # Panics
+///
+/// Panics if the rows have different widths.
+#[must_use]
+pub fn xor_raw_with_stats(a: &RleRow, b: &RleRow) -> (RleRow, OpStats) {
+    assert_eq!(a.width(), b.width(), "xor operands must have equal widths");
+    let mut out = RleRow::new(a.width());
+    let mut stats = OpStats::default();
+
+    let mut sa = HeadStream::new(a.runs());
+    let mut sb = HeadStream::new(b.runs());
+
+    loop {
+        match (sa.peek(), sb.peek()) {
+            (None, None) => break,
+            (Some(x), None) => {
+                stats.iterations += 1;
+                out.push_run(x).expect("merge output is ordered");
+                sa.pop();
+            }
+            (None, Some(y)) => {
+                stats.iterations += 1;
+                out.push_run(y).expect("merge output is ordered");
+                sb.pop();
+            }
+            (Some(x), Some(y)) => {
+                stats.iterations += 1;
+                // Order the pair: `lo` is the smaller run under the paper's
+                // (start, end) order, `hi` the larger. `lo_from_a` remembers
+                // provenance so remainders return to the right array.
+                let (lo, hi, lo_from_a) =
+                    if x.key() <= y.key() { (x, y, true) } else { (y, x, false) };
+
+                if lo.end() < hi.start() {
+                    // Disjoint (possibly adjacent): the smaller run is final.
+                    out.push_run(lo).expect("merge output is ordered");
+                    if lo_from_a {
+                        sa.pop();
+                    } else {
+                        sb.pop();
+                    }
+                } else {
+                    // Overlapping (shared pixels): XOR the pair. The prefix
+                    // before the overlap is final output; the suffix after
+                    // the overlap is "left in the array it came from" — the
+                    // array whose run reached further right.
+                    if hi.start() > lo.start() {
+                        out.push_run(Run::from_bounds(lo.start(), hi.start() - 1))
+                            .expect("merge output is ordered");
+                    }
+                    let overlap_end = lo.end().min(hi.end());
+                    let far_end = lo.end().max(hi.end());
+                    let suffix = Run::from_bounds_opt(overlap_end + 1, far_end);
+                    let suffix_from_a = if lo.end() >= hi.end() { lo_from_a } else { !lo_from_a };
+                    sa.pop();
+                    sb.pop();
+                    if let Some(sfx) = suffix {
+                        if suffix_from_a {
+                            sa.push_back(sfx);
+                        } else {
+                            sb.push_back(sfx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    stats.output_runs = out.run_count();
+    (out, stats)
+}
+
+/// A run array viewed as a stream whose head can be replaced by a partially
+/// consumed remainder — the "leave the remainder in the array it came from"
+/// device of the paper's sequential algorithm.
+struct HeadStream<'a> {
+    runs: &'a [Run],
+    /// Index of the next run to pull from `runs`.
+    next: usize,
+    /// A remainder pushed back in front of `runs[next..]`, if any.
+    head: Option<Run>,
+}
+
+impl<'a> HeadStream<'a> {
+    fn new(runs: &'a [Run]) -> Self {
+        Self { runs, next: 0, head: None }
+    }
+
+    /// Current head, without consuming it.
+    fn peek(&self) -> Option<Run> {
+        self.head.or_else(|| self.runs.get(self.next).copied())
+    }
+
+    /// Consumes the current head.
+    fn pop(&mut self) {
+        if self.head.take().is_none() {
+            self.next += 1;
+        }
+    }
+
+    /// Replaces the (consumed) head with a remainder run.
+    fn push_back(&mut self, run: Run) {
+        debug_assert!(self.head.is_none(), "only one remainder can be pending");
+        self.head = Some(run);
+    }
+}
+
+/// XOR of an arbitrary set of rows in one boundary-parity sweep — the
+/// set-level difference of the paper's §4 correctness argument, where the
+/// result has a `1` wherever an odd number of rows do.
+///
+/// `O(K log K)` in the total number of runs `K`, independent of row widths.
+/// The empty set yields the all-background row. Canonical output.
+///
+/// # Panics
+///
+/// Panics if the rows have differing widths.
+#[must_use]
+pub fn xor_many<'a>(rows: impl IntoIterator<Item = &'a RleRow>, width: Pixel) -> RleRow {
+    // Each run toggles coverage parity at `start` and `end + 1`; odd-parity
+    // intervals form the XOR (Corollaries 3.1/3.2 of the paper).
+    let mut events: Vec<(Pixel, i32)> = Vec::new();
+    for row in rows {
+        assert_eq!(row.width(), width, "xor_many operands must have equal widths");
+        for run in row.runs() {
+            events.push((run.start(), 1));
+            events.push((run.end() + 1, -1));
+        }
+    }
+    events.sort_unstable();
+    let mut out = RleRow::new(width);
+    let mut parity = 0i32;
+    let mut open_at: Option<Pixel> = None;
+    for (pos, delta) in events {
+        let was_odd = parity % 2 != 0;
+        parity += delta;
+        let is_odd = parity % 2 != 0;
+        match (was_odd, is_odd) {
+            (false, true) => open_at = Some(pos),
+            (true, false) => {
+                let start = open_at.take().expect("odd interval must have opened");
+                if pos > start {
+                    out.push_run_coalescing(Run::from_bounds(start, pos - 1))
+                        .expect("sweep emits ordered runs");
+                }
+            }
+            _ => {}
+        }
+    }
+    debug_assert!(open_at.is_none(), "parity must return to even");
+    out
+}
+
+/// Bitwise AND (intersection) of two rows. Canonical output.
+#[must_use]
+pub fn and(a: &RleRow, b: &RleRow) -> RleRow {
+    combine(a, b, |x, y| x && y)
+}
+
+/// Bitwise OR (union) of two rows. Canonical output.
+#[must_use]
+pub fn or(a: &RleRow, b: &RleRow) -> RleRow {
+    combine(a, b, |x, y| x || y)
+}
+
+/// Set difference `a AND NOT b`. Canonical output.
+#[must_use]
+pub fn sub(a: &RleRow, b: &RleRow) -> RleRow {
+    combine(a, b, |x, y| x && !y)
+}
+
+/// Complement of a row within its width. Canonical output.
+#[must_use]
+pub fn not(a: &RleRow) -> RleRow {
+    let width = a.width();
+    let mut out = RleRow::new(width);
+    let mut pos: Pixel = 0;
+    for run in a.runs() {
+        if run.start() > pos {
+            out.push_run(Run::from_bounds(pos, run.start() - 1))
+                .expect("complement output is ordered");
+        }
+        pos = run.end_exclusive();
+    }
+    if pos < width {
+        out.push_run(Run::from_bounds(pos, width - 1))
+            .expect("complement output is ordered");
+    }
+    out
+}
+
+/// Generic boolean combination of two rows via a two-pointer boundary sweep.
+/// Output is canonical. `f` receives the (a, b) pixel values of a segment.
+///
+/// # Panics
+///
+/// Panics if the rows have different widths.
+#[must_use]
+pub fn combine(a: &RleRow, b: &RleRow, f: impl Fn(bool, bool) -> bool) -> RleRow {
+    try_combine(a, b, f).expect("combine operands must have equal widths")
+}
+
+/// Fallible variant of [`combine`].
+pub fn try_combine(
+    a: &RleRow,
+    b: &RleRow,
+    f: impl Fn(bool, bool) -> bool,
+) -> Result<RleRow, RleError> {
+    if a.width() != b.width() {
+        return Err(RleError::DimensionMismatch {
+            left: u64::from(a.width()),
+            right: u64::from(b.width()),
+        });
+    }
+    let width = a.width();
+    let mut out = RleRow::new(width);
+    let (ra, rb) = (a.runs(), b.runs());
+    let (mut ai, mut bi) = (0usize, 0usize);
+    let mut pos: Pixel = 0;
+
+    while pos < width {
+        // Current values and the next position where either input changes.
+        let (aval, a_next) = segment_state(ra, &mut ai, pos, width);
+        let (bval, b_next) = segment_state(rb, &mut bi, pos, width);
+        let next = a_next.min(b_next);
+        debug_assert!(next > pos);
+        if f(aval, bval) {
+            out.push_run_coalescing(Run::from_bounds(pos, next - 1))
+                .expect("sweep output is ordered");
+        }
+        pos = next;
+    }
+    Ok(out)
+}
+
+/// For the sweep: value of the row at `pos` and the first position `> pos`
+/// where the value changes (clamped to `width`). `idx` points at the first
+/// run whose end is `>= pos` and is advanced as the sweep moves right.
+fn segment_state(runs: &[Run], idx: &mut usize, pos: Pixel, width: Pixel) -> (bool, Pixel) {
+    while *idx < runs.len() && runs[*idx].end() < pos {
+        *idx += 1;
+    }
+    match runs.get(*idx) {
+        Some(run) if run.contains(pos) => (true, (run.end() + 1).min(width)),
+        Some(run) => (false, run.start().min(width)),
+        None => (false, width),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(pairs: &[(Pixel, Pixel)]) -> RleRow {
+        RleRow::from_pairs(40, pairs).unwrap()
+    }
+
+    /// Reference implementation on decoded bits.
+    fn bitwise(a: &RleRow, b: &RleRow, f: impl Fn(bool, bool) -> bool) -> RleRow {
+        let (ba, bb) = (a.to_bits(), b.to_bits());
+        let bits: Vec<bool> = ba.iter().zip(&bb).map(|(&x, &y)| f(x, y)).collect();
+        RleRow::from_bits(&bits)
+    }
+
+    #[test]
+    fn figure1_example() {
+        // The worked example of Figure 1 in the paper.
+        let a = row(&[(10, 3), (16, 2), (23, 2), (27, 3)]);
+        let b = row(&[(3, 4), (8, 5), (15, 5), (23, 2), (27, 4)]);
+        let expected = row(&[(3, 4), (8, 2), (15, 1), (18, 2), (30, 1)]);
+        assert_eq!(xor(&a, &b), expected);
+        assert_eq!(xor(&b, &a), expected, "xor is symmetric");
+    }
+
+    #[test]
+    fn xor_identities() {
+        let a = row(&[(3, 4), (10, 2)]);
+        let empty = RleRow::new(40);
+        assert_eq!(xor(&a, &empty), a.clone());
+        assert_eq!(xor(&empty, &a), a.clone());
+        assert!(xor(&a, &a).is_empty(), "x ^ x = 0");
+        assert!(xor(&empty, &empty).is_empty());
+    }
+
+    #[test]
+    fn xor_matches_bitwise_reference_on_fixed_cases() {
+        let cases = [
+            (row(&[(0, 5)]), row(&[(2, 8)])),
+            (row(&[(0, 5)]), row(&[(5, 5)])),   // adjacent
+            (row(&[(0, 10)]), row(&[(3, 4)])),  // nested
+            (row(&[(0, 10)]), row(&[(0, 4)])),  // shared start
+            (row(&[(4, 6)]), row(&[(0, 10)])),  // shared end
+            (row(&[(0, 3), (5, 3), (10, 3)]), row(&[(1, 10)])),
+            (row(&[(0, 1), (2, 1), (4, 1)]), row(&[(1, 1), (3, 1), (5, 1)])),
+        ];
+        for (a, b) in cases {
+            assert_eq!(xor(&a, &b), bitwise(&a, &b, |x, y| x ^ y), "{a:?} ^ {b:?}");
+        }
+    }
+
+    #[test]
+    fn raw_xor_may_contain_adjacent_runs() {
+        // Two disjoint adjacent inputs pass through: output (0,5)(5,5) is
+        // ordered and non-overlapping but not canonical.
+        let a = row(&[(0, 5)]);
+        let b = row(&[(5, 5)]);
+        let (raw, stats) = xor_raw_with_stats(&a, &b);
+        assert_eq!(raw.runs(), &[Run::new(0, 5), Run::new(5, 5)]);
+        assert!(!raw.is_canonical());
+        assert_eq!(stats.output_runs, 2);
+        assert_eq!(xor(&a, &b).runs(), &[Run::new(0, 10)]);
+    }
+
+    #[test]
+    fn sequential_iterations_scale_with_total_runs() {
+        // Time for the sequential algorithm is proportional to the total
+        // number of runs in the two images together (paper §1, §5). For
+        // fully disjoint interleaved runs each iteration emits one run.
+        let a = RleRow::from_pairs(400, &(0..50).map(|i| (i * 8, 2)).collect::<Vec<_>>()).unwrap();
+        let b =
+            RleRow::from_pairs(400, &(0..50).map(|i| (i * 8 + 4, 2)).collect::<Vec<_>>()).unwrap();
+        let (_, stats) = xor_raw_with_stats(&a, &b);
+        assert_eq!(stats.iterations, 100);
+    }
+
+    #[test]
+    fn identical_inputs_still_cost_k_iterations() {
+        // Best case is still Θ(k1 + k2): every pair must be examined.
+        let a = RleRow::from_pairs(400, &(0..50).map(|i| (i * 8, 3)).collect::<Vec<_>>()).unwrap();
+        let (out, stats) = xor_raw_with_stats(&a, &a.clone());
+        assert!(out.is_empty());
+        assert_eq!(stats.iterations, 50);
+    }
+
+    #[test]
+    fn and_or_sub_match_bitwise_reference() {
+        let a = row(&[(0, 6), (10, 4), (20, 1)]);
+        let b = row(&[(3, 10), (19, 3)]);
+        assert_eq!(and(&a, &b), bitwise(&a, &b, |x, y| x && y));
+        assert_eq!(or(&a, &b), bitwise(&a, &b, |x, y| x || y));
+        assert_eq!(sub(&a, &b), bitwise(&a, &b, |x, y| x && !y));
+        assert_eq!(sub(&b, &a), bitwise(&b, &a, |x, y| x && !y));
+    }
+
+    #[test]
+    fn not_complements() {
+        let a = row(&[(0, 3), (10, 5), (39, 1)]);
+        assert_eq!(not(&a), bitwise(&a, &a, |x, _| !x));
+        let empty = RleRow::new(40);
+        assert_eq!(not(&empty).runs(), &[Run::new(0, 40)]);
+        assert!(not(&not(&a)) == a, "double complement");
+        // Full row complements to empty.
+        let full = RleRow::from_pairs(40, &[(0, 40)]).unwrap();
+        assert!(not(&full).is_empty());
+    }
+
+    #[test]
+    fn not_on_zero_width_row() {
+        let empty = RleRow::new(0);
+        assert!(not(&empty).is_empty());
+    }
+
+    #[test]
+    fn combine_xor_agrees_with_paper_algorithm() {
+        let a = row(&[(10, 3), (16, 2), (23, 2), (27, 3)]);
+        let b = row(&[(3, 4), (8, 5), (15, 5), (23, 2), (27, 4)]);
+        assert_eq!(combine(&a, &b, |x, y| x ^ y), xor(&a, &b));
+    }
+
+    #[test]
+    fn try_combine_rejects_width_mismatch() {
+        let a = RleRow::new(10);
+        let b = RleRow::new(12);
+        assert_eq!(
+            try_combine(&a, &b, |x, y| x ^ y),
+            Err(RleError::DimensionMismatch { left: 10, right: 12 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal widths")]
+    fn xor_panics_on_width_mismatch() {
+        let _ = xor(&RleRow::new(10), &RleRow::new(12));
+    }
+
+    #[test]
+    fn xor_many_edge_cases() {
+        // Empty set and singleton.
+        assert!(xor_many([], 40).is_empty());
+        let a = row(&[(3, 4), (10, 2)]);
+        assert_eq!(xor_many([&a], 40), a);
+        // Pair agrees with binary xor.
+        let b = row(&[(0, 5), (11, 3)]);
+        assert_eq!(xor_many([&a, &b], 40), xor(&a, &b));
+        // x ^ x ^ x = x; x ^ x = 0.
+        assert_eq!(xor_many([&a, &a, &a], 40), a);
+        assert!(xor_many([&a, &a], 40).is_empty());
+    }
+
+    #[test]
+    fn xor_many_equals_binary_fold() {
+        let rows = [
+            row(&[(0, 6), (10, 4), (20, 1)]),
+            row(&[(3, 10), (19, 3)]),
+            row(&[(1, 1), (5, 20)]),
+            row(&[(0, 40)]),
+            RleRow::new(40),
+        ];
+        let fold = rows.iter().fold(RleRow::new(40), |acc, r| xor(&acc, r));
+        assert_eq!(xor_many(rows.iter(), 40), fold);
+    }
+
+    #[test]
+    fn xor_many_splits_a_row_into_its_runs() {
+        // Corollary 3.1: the XOR of a row's runs, viewed as singleton rows,
+        // is the row itself.
+        let a = row(&[(3, 4), (10, 2), (20, 5)]);
+        let singletons: Vec<RleRow> = a
+            .runs()
+            .iter()
+            .map(|r| RleRow::from_runs(40, vec![*r]).unwrap())
+            .collect();
+        assert_eq!(xor_many(singletons.iter(), 40), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal widths")]
+    fn xor_many_checks_widths() {
+        let a = RleRow::new(10);
+        let _ = xor_many([&a], 12);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let a = row(&[(0, 6), (10, 4)]);
+        let b = row(&[(3, 10)]);
+        assert_eq!(not(&and(&a, &b)), or(&not(&a), &not(&b)));
+        assert_eq!(not(&or(&a, &b)), and(&not(&a), &not(&b)));
+    }
+
+    #[test]
+    fn xor_via_or_minus_and() {
+        let a = row(&[(0, 6), (10, 4), (21, 7)]);
+        let b = row(&[(3, 10), (25, 5)]);
+        assert_eq!(xor(&a, &b), sub(&or(&a, &b), &and(&a, &b)));
+    }
+}

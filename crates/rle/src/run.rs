@@ -1,0 +1,358 @@
+//! A single run of consecutive foreground pixels.
+
+use crate::error::RleError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Pixel coordinate within a row. `u32` comfortably covers the row widths the
+/// paper considers (128–2048 px, 10 000 px for Figure 5) and keeps
+/// [`Run`] at 8 bytes so register files and cell arrays stay cache-friendly.
+pub type Pixel = u32;
+
+/// A run of `len >= 1` consecutive foreground pixels starting at `start`.
+///
+/// The paper stores runs as `(start, length)` 2-tuples but reasons about them
+/// via their inclusive `[start, end]` interval; both views are provided.
+/// A `Run` is always non-empty — transient empty intervals that arise inside
+/// the systolic XOR step are represented as `Option<Run>` by callers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Run {
+    start: Pixel,
+    len: Pixel,
+}
+
+/// Qualitative geometric relation between two runs `a.relation(&b)`.
+///
+/// These are the distinctions that drive the case analysis behind the paper's
+/// Figure 4 (the nine qualitatively different cell states) and the sequential
+/// merge in [`crate::ops`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RunRelation {
+    /// `a` ends strictly before `b` starts, with at least one background
+    /// pixel between them: `a.end + 1 < b.start`.
+    DisjointBefore,
+    /// `a` ends immediately before `b` starts: `a.end + 1 == b.start`.
+    AdjacentBefore,
+    /// `a` and `b` overlap in at least one pixel (includes containment and
+    /// equality).
+    Overlapping,
+    /// Mirror of [`RunRelation::AdjacentBefore`].
+    AdjacentAfter,
+    /// Mirror of [`RunRelation::DisjointBefore`].
+    DisjointAfter,
+}
+
+impl Run {
+    /// Creates a run from its start position and length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or if `start + len` overflows [`Pixel`]. Use
+    /// [`Run::try_new`] for fallible construction.
+    #[must_use]
+    pub fn new(start: Pixel, len: Pixel) -> Self {
+        Self::try_new(start, len).expect("invalid run")
+    }
+
+    /// Fallible counterpart of [`Run::new`].
+    pub fn try_new(start: Pixel, len: Pixel) -> Result<Self, RleError> {
+        if len == 0 {
+            return Err(RleError::ZeroLengthRun { start });
+        }
+        if start.checked_add(len).is_none() {
+            return Err(RleError::PixelOverflow { start, len });
+        }
+        Ok(Self { start, len })
+    }
+
+    /// Creates a run from an inclusive `[start, end]` interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    #[must_use]
+    pub fn from_bounds(start: Pixel, end: Pixel) -> Self {
+        assert!(end >= start, "empty interval [{start}, {end}]");
+        Self::new(start, end - start + 1)
+    }
+
+    /// Creates a run from an inclusive interval, returning `None` when the
+    /// interval is empty (`end < start`). This is the natural constructor for
+    /// the systolic XOR step, whose intermediate intervals may vanish.
+    #[must_use]
+    pub fn from_bounds_opt(start: Pixel, end: Pixel) -> Option<Self> {
+        (end >= start).then(|| Self::from_bounds(start, end))
+    }
+
+    /// First pixel of the run.
+    #[must_use]
+    pub fn start(&self) -> Pixel {
+        self.start
+    }
+
+    /// Number of pixels in the run (always ≥ 1).
+    #[must_use]
+    pub fn len(&self) -> Pixel {
+        self.len
+    }
+
+    /// A run is never empty; provided for API symmetry with collections.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Last pixel of the run (inclusive).
+    #[must_use]
+    pub fn end(&self) -> Pixel {
+        self.start + self.len - 1
+    }
+
+    /// One past the last pixel of the run.
+    #[must_use]
+    pub fn end_exclusive(&self) -> Pixel {
+        self.start + self.len
+    }
+
+    /// Whether `pixel` lies inside the run.
+    #[must_use]
+    pub fn contains(&self, pixel: Pixel) -> bool {
+        pixel >= self.start && pixel <= self.end()
+    }
+
+    /// Whether the two runs share at least one pixel.
+    #[must_use]
+    pub fn overlaps(&self, other: &Run) -> bool {
+        self.start <= other.end() && other.start <= self.end()
+    }
+
+    /// Whether the two runs are disjoint but with no gap between them, i.e.
+    /// their union would be a single run.
+    #[must_use]
+    pub fn is_adjacent_to(&self, other: &Run) -> bool {
+        self.end_exclusive() == other.start || other.end_exclusive() == self.start
+    }
+
+    /// Qualitative relation of `self` to `other`; see [`RunRelation`].
+    #[must_use]
+    pub fn relation(&self, other: &Run) -> RunRelation {
+        if self.overlaps(other) {
+            RunRelation::Overlapping
+        } else if self.end_exclusive() == other.start {
+            RunRelation::AdjacentBefore
+        } else if other.end_exclusive() == self.start {
+            RunRelation::AdjacentAfter
+        } else if self.end() < other.start {
+            RunRelation::DisjointBefore
+        } else {
+            RunRelation::DisjointAfter
+        }
+    }
+
+    /// Intersection of the two runs, if any.
+    #[must_use]
+    pub fn intersection(&self, other: &Run) -> Option<Run> {
+        let start = self.start.max(other.start);
+        let end = self.end().min(other.end());
+        Run::from_bounds_opt(start, end)
+    }
+
+    /// Smallest run covering both runs (their convex hull), regardless of
+    /// whether they touch.
+    #[must_use]
+    pub fn hull(&self, other: &Run) -> Run {
+        Run::from_bounds(self.start.min(other.start), self.end().max(other.end()))
+    }
+
+    /// Union as a single run, when the two runs overlap or are adjacent.
+    #[must_use]
+    pub fn union(&self, other: &Run) -> Option<Run> {
+        (self.overlaps(other) || self.is_adjacent_to(other)).then(|| self.hull(other))
+    }
+
+    /// The paper's register ordering: by start, ties broken by end. Step 1 of
+    /// the systolic cell swaps registers exactly when `RegSmall > RegBig`
+    /// under this order, so we expose it as the natural `Ord`.
+    #[must_use]
+    pub fn key(&self) -> (Pixel, Pixel) {
+        (self.start, self.end())
+    }
+
+    /// Translates the run right by `delta` pixels.
+    #[must_use]
+    pub fn shifted(&self, delta: Pixel) -> Run {
+        Run::new(self.start + delta, self.len)
+    }
+}
+
+impl PartialOrd for Run {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Run {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl fmt::Debug for Run {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Matches the paper's `(start, length)` tuple notation.
+        write!(f, "({}, {})", self.start, self.len)
+    }
+}
+
+impl fmt::Display for Run {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.start, self.len)
+    }
+}
+
+impl From<(Pixel, Pixel)> for Run {
+    /// Converts from the paper's `(start, length)` tuple form.
+    fn from((start, len): (Pixel, Pixel)) -> Self {
+        Run::new(start, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_views() {
+        let r = Run::new(10, 5);
+        assert_eq!(r.start(), 10);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.end(), 14);
+        assert_eq!(r.end_exclusive(), 15);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn paper_notation_example() {
+        // From Section 3: "if cell i contains two runs where the first one
+        // starts at location 10 and has length 5 ... start = 10, end = 14".
+        let big = Run::new(10, 5);
+        assert_eq!((big.start(), big.end()), (10, 14));
+        let small = Run::new(12, 8);
+        assert_eq!((small.start(), small.end()), (12, 19));
+    }
+
+    #[test]
+    fn try_new_rejects_zero_length() {
+        assert!(matches!(
+            Run::try_new(3, 0),
+            Err(RleError::ZeroLengthRun { start: 3 })
+        ));
+    }
+
+    #[test]
+    fn try_new_rejects_overflow() {
+        assert!(matches!(
+            Run::try_new(Pixel::MAX, 1),
+            Err(RleError::PixelOverflow { .. })
+        ));
+        // Largest representable run is fine.
+        assert!(Run::try_new(Pixel::MAX - 1, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid run")]
+    fn new_panics_on_zero_length() {
+        let _ = Run::new(0, 0);
+    }
+
+    #[test]
+    fn from_bounds_round_trips() {
+        let r = Run::from_bounds(7, 7);
+        assert_eq!(r, Run::new(7, 1));
+        let r = Run::from_bounds(3, 9);
+        assert_eq!(r, Run::new(3, 7));
+    }
+
+    #[test]
+    fn from_bounds_opt_empty_interval() {
+        assert_eq!(Run::from_bounds_opt(5, 4), None);
+        assert_eq!(Run::from_bounds_opt(5, 5), Some(Run::new(5, 1)));
+    }
+
+    #[test]
+    fn contains_checks_inclusive_bounds() {
+        let r = Run::new(4, 3); // pixels 4,5,6
+        assert!(!r.contains(3));
+        assert!(r.contains(4));
+        assert!(r.contains(6));
+        assert!(!r.contains(7));
+    }
+
+    #[test]
+    fn overlap_and_adjacency() {
+        let a = Run::new(0, 4); // 0..=3
+        let b = Run::new(4, 2); // 4..=5
+        let c = Run::new(6, 1); // 6..=6
+        assert!(!a.overlaps(&b));
+        assert!(a.is_adjacent_to(&b));
+        assert!(b.is_adjacent_to(&a));
+        assert!(!a.is_adjacent_to(&c));
+        assert!(a.overlaps(&Run::new(3, 10)));
+        assert!(Run::new(3, 10).overlaps(&a));
+    }
+
+    #[test]
+    fn relations_cover_all_cases() {
+        let a = Run::new(10, 3); // 10..=12
+        assert_eq!(a.relation(&Run::new(20, 1)), RunRelation::DisjointBefore);
+        assert_eq!(a.relation(&Run::new(13, 1)), RunRelation::AdjacentBefore);
+        assert_eq!(a.relation(&Run::new(12, 5)), RunRelation::Overlapping);
+        assert_eq!(a.relation(&Run::new(10, 3)), RunRelation::Overlapping);
+        assert_eq!(a.relation(&Run::new(5, 5)), RunRelation::AdjacentAfter);
+        assert_eq!(a.relation(&Run::new(2, 5)), RunRelation::DisjointAfter);
+    }
+
+    #[test]
+    fn intersection_hull_union() {
+        let a = Run::new(5, 10); // 5..=14
+        let b = Run::new(12, 6); // 12..=17
+        assert_eq!(a.intersection(&b), Some(Run::from_bounds(12, 14)));
+        assert_eq!(a.hull(&b), Run::from_bounds(5, 17));
+        assert_eq!(a.union(&b), Some(Run::from_bounds(5, 17)));
+
+        let c = Run::new(30, 2);
+        assert_eq!(a.intersection(&c), None);
+        assert_eq!(a.union(&c), None);
+        assert_eq!(a.hull(&c), Run::from_bounds(5, 31));
+
+        let adj = Run::new(15, 1);
+        assert_eq!(a.union(&adj), Some(Run::from_bounds(5, 15)));
+    }
+
+    #[test]
+    fn ordering_matches_paper_step1() {
+        // Step 1 swaps when start is larger, or starts tie and end is larger.
+        assert!(Run::new(3, 5) < Run::new(4, 1));
+        assert!(Run::new(3, 5) < Run::new(3, 6));
+        assert_eq!(Run::new(3, 5).cmp(&Run::new(3, 5)), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn debug_uses_paper_tuple_notation() {
+        assert_eq!(format!("{:?}", Run::new(10, 3)), "(10, 3)");
+        assert_eq!(format!("{}", Run::new(10, 3)), "(10, 3)");
+    }
+
+    #[test]
+    fn shifted_translates() {
+        assert_eq!(Run::new(4, 2).shifted(6), Run::new(10, 2));
+    }
+
+    #[test]
+    fn run_is_eight_bytes() {
+        // Cells hold two registers of one run each; keeping Run small keeps
+        // the simulated register file dense.
+        assert_eq!(std::mem::size_of::<Run>(), 8);
+        assert_eq!(std::mem::size_of::<Option<Run>>(), 12);
+    }
+}

@@ -1,0 +1,536 @@
+//! Compact binary serialization for RLE rows and images.
+//!
+//! The PCB-inspection pipeline the paper targets stores gigabytes of binary
+//! image data in RLE form; this module provides the storage format:
+//! delta-encoded LEB128 varints (gap to the previous run, then length − 1),
+//! which typically takes 2–3 bytes per run regardless of image width.
+//!
+//! Format:
+//!
+//! ```text
+//! row   := "RLR1" width:u32le  count:varint  (gap:varint len1:varint)*
+//! image := "RLI1" width:u32le  height:varint row_body*      (no per-row magic)
+//! ```
+//!
+//! `gap` is the distance from the previous run's end-exclusive position (or
+//! from 0 for the first run); `len1` is `len − 1`. Decoding validates the
+//! same invariants as [`RleRow::from_runs`].
+//!
+//! ```
+//! use rle::{serialize, RleRow};
+//!
+//! let row = RleRow::from_pairs(10_000, &[(100, 50), (9_000, 20)]).unwrap();
+//! let bytes = serialize::encode_row(&row);
+//! assert!(bytes.len() < 20, "two runs cost a handful of bytes");
+//! assert_eq!(serialize::decode_row(&bytes).unwrap(), row);
+//! ```
+
+use crate::error::RleError;
+use crate::image::RleImage;
+use crate::row::RleRow;
+use crate::run::{Pixel, Run};
+
+const ROW_MAGIC: &[u8; 4] = b"RLR1";
+const IMAGE_MAGIC: &[u8; 4] = b"RLI1";
+
+/// Errors arising while decoding the binary format.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The magic number did not match.
+    BadMagic,
+    /// The byte stream ended mid-value.
+    Truncated,
+    /// A varint exceeded 32 bits.
+    VarintOverflow,
+    /// The decoded runs violate RLE invariants.
+    Invalid(RleError),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad magic number"),
+            DecodeError::Truncated => write!(f, "byte stream truncated"),
+            DecodeError::VarintOverflow => write!(f, "varint exceeds 32 bits"),
+            DecodeError::Invalid(e) => write!(f, "decoded runs invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<RleError> for DecodeError {
+    fn from(e: RleError) -> Self {
+        DecodeError::Invalid(e)
+    }
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(data: &[u8], pos: &mut usize) -> Result<u32, DecodeError> {
+    let mut value: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = data.get(*pos).ok_or(DecodeError::Truncated)?;
+        *pos += 1;
+        // A u32 holds 4 full 7-bit groups plus 4 bits of a fifth group.
+        if shift > 28 || (shift == 28 && byte & 0x70 != 0) {
+            return Err(DecodeError::VarintOverflow);
+        }
+        value |= u32::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+fn encode_row_body(row: &RleRow, out: &mut Vec<u8>) {
+    put_varint(out, row.run_count() as u32);
+    let mut prev_end: Pixel = 0;
+    for run in row.runs() {
+        put_varint(out, run.start() - prev_end);
+        put_varint(out, run.len() - 1);
+        prev_end = run.end_exclusive();
+    }
+}
+
+fn decode_row_body(
+    data: &[u8],
+    pos: &mut usize,
+    width: Pixel,
+) -> Result<RleRow, DecodeError> {
+    let count = get_varint(data, pos)? as usize;
+    let mut row = RleRow::new(width);
+    let mut prev_end: u64 = 0;
+    for _ in 0..count {
+        let gap = u64::from(get_varint(data, pos)?);
+        let len = u64::from(get_varint(data, pos)?) + 1;
+        let start = prev_end + gap;
+        if start + len > u64::from(width) {
+            return Err(RleError::RunExceedsWidth { index: row.run_count(), width }.into());
+        }
+        row.push_run(Run::new(start as Pixel, len as Pixel))?;
+        prev_end = start + len;
+    }
+    Ok(row)
+}
+
+/// Serializes a row into the compact binary format.
+#[must_use]
+pub fn encode_row(row: &RleRow) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + row.run_count() * 3);
+    out.extend_from_slice(ROW_MAGIC);
+    out.extend_from_slice(&row.width().to_le_bytes());
+    encode_row_body(row, &mut out);
+    out
+}
+
+/// Deserializes a row.
+pub fn decode_row(data: &[u8]) -> Result<RleRow, DecodeError> {
+    let mut pos = 0usize;
+    expect_magic(data, &mut pos, ROW_MAGIC)?;
+    let width = read_u32(data, &mut pos)?;
+    let row = decode_row_body(data, &mut pos, width)?;
+    Ok(row)
+}
+
+/// Serializes an image.
+#[must_use]
+pub fn encode_image(img: &RleImage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + img.total_runs() * 3);
+    out.extend_from_slice(IMAGE_MAGIC);
+    out.extend_from_slice(&img.width().to_le_bytes());
+    put_varint(&mut out, img.height() as u32);
+    for row in img.rows() {
+        encode_row_body(row, &mut out);
+    }
+    out
+}
+
+/// Deserializes an image.
+pub fn decode_image(data: &[u8]) -> Result<RleImage, DecodeError> {
+    let mut pos = 0usize;
+    expect_magic(data, &mut pos, IMAGE_MAGIC)?;
+    let width = read_u32(data, &mut pos)?;
+    let height = get_varint(data, &mut pos)? as usize;
+    // Cap the pre-allocation: a corrupt header must not trigger a huge
+    // reservation before row decoding fails.
+    let mut rows = Vec::with_capacity(height.min(64 * 1024));
+    for _ in 0..height {
+        rows.push(decode_row_body(data, &mut pos, width)?);
+    }
+    Ok(RleImage::from_rows(width, rows)?)
+}
+
+fn expect_magic(data: &[u8], pos: &mut usize, magic: &[u8; 4]) -> Result<(), DecodeError> {
+    if data.len() < *pos + 4 {
+        return Err(DecodeError::Truncated);
+    }
+    if &data[*pos..*pos + 4] != magic {
+        return Err(DecodeError::BadMagic);
+    }
+    *pos += 4;
+    Ok(())
+}
+
+fn read_u32(data: &[u8], pos: &mut usize) -> Result<u32, DecodeError> {
+    let bytes: [u8; 4] =
+        data.get(*pos..*pos + 4).ok_or(DecodeError::Truncated)?.try_into().unwrap();
+    *pos += 4;
+    Ok(u32::from_le_bytes(bytes))
+}
+
+/// Size of the dense (1 bit/pixel) representation, for compression-ratio
+/// reporting.
+#[must_use]
+pub fn dense_size_bytes(width: Pixel, height: usize) -> usize {
+    (width as usize).div_ceil(8) * height
+}
+
+// ---------------------------------------------------------------------
+// Streaming I/O — the "gigabytes of binary image data" regime the paper's
+// introduction describes never materialises a whole image in memory; rows
+// are produced, processed and consumed one at a time. The byte stream is
+// identical to [`encode_image`] / [`decode_image`], which tests assert.
+// ---------------------------------------------------------------------
+
+use std::io::{self, Read, Write};
+
+/// Writes an image row by row without holding it in memory.
+pub struct ImageWriter<W: Write> {
+    out: W,
+    width: Pixel,
+    remaining: usize,
+    buf: Vec<u8>,
+}
+
+impl<W: Write> ImageWriter<W> {
+    /// Starts a stream of exactly `height` rows of the given width.
+    pub fn new(mut out: W, width: Pixel, height: usize) -> io::Result<Self> {
+        let mut header = Vec::with_capacity(16);
+        header.extend_from_slice(IMAGE_MAGIC);
+        header.extend_from_slice(&width.to_le_bytes());
+        put_varint(&mut header, u32::try_from(height).expect("height fits in u32"));
+        out.write_all(&header)?;
+        Ok(Self { out, width, remaining: height, buf: Vec::new() })
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the stream's, or if more rows
+    /// are pushed than the declared height.
+    pub fn write_row(&mut self, row: &RleRow) -> io::Result<()> {
+        assert_eq!(row.width(), self.width, "row width must match the stream");
+        assert!(self.remaining > 0, "stream already holds its declared height");
+        self.remaining -= 1;
+        self.buf.clear();
+        encode_row_body(row, &mut self.buf);
+        self.out.write_all(&self.buf)
+    }
+
+    /// Finishes the stream, verifying the declared height was met, and
+    /// returns the underlying writer.
+    pub fn finish(self) -> io::Result<W> {
+        if self.remaining != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("{} rows still owed to the stream", self.remaining),
+            ));
+        }
+        Ok(self.out)
+    }
+}
+
+/// Reads an image row by row. Wrap files in a `BufReader`; the decoder
+/// reads a byte at a time.
+pub struct ImageReader<R: Read> {
+    input: R,
+    width: Pixel,
+    remaining: usize,
+}
+
+impl<R: Read> ImageReader<R> {
+    /// Opens a stream, reading and validating the header.
+    pub fn new(mut input: R) -> Result<Self, DecodeError> {
+        let mut magic = [0u8; 4];
+        input.read_exact(&mut magic).map_err(|_| DecodeError::Truncated)?;
+        if &magic != IMAGE_MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let mut w = [0u8; 4];
+        input.read_exact(&mut w).map_err(|_| DecodeError::Truncated)?;
+        let width = u32::from_le_bytes(w);
+        let height = read_varint_io(&mut input)? as usize;
+        Ok(Self { input, width, remaining: height })
+    }
+
+    /// Declared row width.
+    #[must_use]
+    pub fn width(&self) -> Pixel {
+        self.width
+    }
+
+    /// Rows not yet read.
+    #[must_use]
+    pub fn rows_remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Reads the next row; `None` once the declared height is exhausted.
+    pub fn next_row(&mut self) -> Option<Result<RleRow, DecodeError>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.read_one())
+    }
+
+    fn read_one(&mut self) -> Result<RleRow, DecodeError> {
+        let count = read_varint_io(&mut self.input)? as usize;
+        let mut row = RleRow::new(self.width);
+        let mut prev_end: u64 = 0;
+        for _ in 0..count {
+            let gap = u64::from(read_varint_io(&mut self.input)?);
+            let len = u64::from(read_varint_io(&mut self.input)?) + 1;
+            let start = prev_end + gap;
+            if start + len > u64::from(self.width) {
+                return Err(
+                    RleError::RunExceedsWidth { index: row.run_count(), width: self.width }.into()
+                );
+            }
+            row.push_run(Run::new(start as Pixel, len as Pixel))?;
+            prev_end = start + len;
+        }
+        Ok(row)
+    }
+}
+
+fn read_varint_io(input: &mut impl Read) -> Result<u32, DecodeError> {
+    let mut value: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        input.read_exact(&mut byte).map_err(|_| DecodeError::Truncated)?;
+        let byte = byte[0];
+        if shift > 28 || (shift == 28 && byte & 0x70 != 0) {
+            return Err(DecodeError::VarintOverflow);
+        }
+        value |= u32::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(pairs: &[(Pixel, Pixel)]) -> RleRow {
+        RleRow::from_pairs(10_000, pairs).unwrap()
+    }
+
+    #[test]
+    fn row_round_trip() {
+        let cases = [
+            RleRow::new(0),
+            RleRow::new(10_000),
+            row(&[(0, 1)]),
+            row(&[(0, 10_000)]),
+            row(&[(3, 4), (8, 5), (15, 5), (23, 2), (9_990, 10)]),
+            row(&[(0, 2), (2, 2), (4, 2)]), // adjacent (non-canonical) runs
+        ];
+        for original in cases {
+            let bytes = encode_row(&original);
+            let back = decode_row(&bytes).unwrap();
+            assert_eq!(back, original);
+        }
+    }
+
+    #[test]
+    fn image_round_trip() {
+        let rows =
+            vec![row(&[(0, 5)]), RleRow::new(10_000), row(&[(100, 50), (9_000, 1_000)])];
+        let img = RleImage::from_rows(10_000, rows).unwrap();
+        let bytes = encode_image(&img);
+        assert_eq!(decode_image(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn format_is_compact() {
+        // Small gaps and lengths: ~2 bytes per run plus the header.
+        let pairs: Vec<(Pixel, Pixel)> = (0..500).map(|i| (i * 20, 10)).collect();
+        let r = RleRow::from_pairs(10_000, &pairs).unwrap();
+        let bytes = encode_row(&r);
+        assert!(bytes.len() < 9 + 500 * 3, "{} bytes for 500 runs", bytes.len());
+        // ... and far below the dense bitmap.
+        assert!(bytes.len() < dense_size_bytes(10_000, 1));
+    }
+
+    #[test]
+    fn varint_round_trips_across_sizes() {
+        for v in [0u32, 1, 127, 128, 300, 16_383, 16_384, u32::MAX / 2, u32::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode_row(&row(&[(1, 2)]));
+        bytes[0] = b'X';
+        assert_eq!(decode_row(&bytes), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = encode_row(&row(&[(3, 4), (100, 5)]));
+        for cut in 0..bytes.len() {
+            let err = decode_row(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::Truncated | DecodeError::BadMagic),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_runs_past_width() {
+        // Hand-craft a row whose run exceeds the declared width.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(ROW_MAGIC);
+        bytes.extend_from_slice(&8u32.to_le_bytes());
+        put_varint(&mut bytes, 1); // one run
+        put_varint(&mut bytes, 5); // gap 5
+        put_varint(&mut bytes, 9); // len 10 -> exceeds width 8
+        assert!(matches!(decode_row(&bytes), Err(DecodeError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_varint_overflow() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(ROW_MAGIC);
+        bytes.extend_from_slice(&100u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F]); // 6-byte varint
+        assert_eq!(decode_row(&bytes), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(DecodeError::BadMagic.to_string().contains("magic"));
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+        assert!(
+            DecodeError::Invalid(RleError::OutOfOrder { index: 1 }).to_string().contains("invalid")
+        );
+    }
+
+    #[test]
+    fn streaming_writer_matches_batch_encoder() {
+        let rows = vec![row(&[(0, 5)]), RleRow::new(10_000), row(&[(100, 50), (9_000, 1_000)])];
+        let img = RleImage::from_rows(10_000, rows.clone()).unwrap();
+        let mut w = ImageWriter::new(Vec::new(), 10_000, 3).unwrap();
+        for r in &rows {
+            w.write_row(r).unwrap();
+        }
+        let streamed = w.finish().unwrap();
+        assert_eq!(streamed, encode_image(&img), "byte-identical to the batch format");
+    }
+
+    #[test]
+    fn streaming_reader_round_trips() {
+        let rows = vec![row(&[(3, 4), (8, 5)]), row(&[(0, 10_000)]), RleRow::new(10_000)];
+        let img = RleImage::from_rows(10_000, rows.clone()).unwrap();
+        let bytes = encode_image(&img);
+        let mut reader = ImageReader::new(&bytes[..]).unwrap();
+        assert_eq!(reader.width(), 10_000);
+        assert_eq!(reader.rows_remaining(), 3);
+        for want in &rows {
+            assert_eq!(&reader.next_row().unwrap().unwrap(), want);
+        }
+        assert!(reader.next_row().is_none());
+        assert_eq!(reader.rows_remaining(), 0);
+    }
+
+    #[test]
+    fn streaming_writer_enforces_height() {
+        let w = ImageWriter::new(Vec::new(), 100, 2).unwrap();
+        assert!(w.finish().is_err(), "finishing short must fail");
+
+        let mut w = ImageWriter::new(Vec::new(), 100, 1).unwrap();
+        w.write_row(&RleRow::new(100)).unwrap();
+        assert!(w.finish().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "declared height")]
+    fn streaming_writer_rejects_extra_rows() {
+        let mut w = ImageWriter::new(Vec::new(), 100, 1).unwrap();
+        w.write_row(&RleRow::new(100)).unwrap();
+        let _ = w.write_row(&RleRow::new(100));
+    }
+
+    #[test]
+    fn streaming_reader_rejects_garbage() {
+        assert!(matches!(ImageReader::new(&b"XXXX"[..]), Err(DecodeError::BadMagic)));
+        assert!(matches!(ImageReader::new(&b"RL"[..]), Err(DecodeError::Truncated)));
+        // Truncated mid-row.
+        let img = RleImage::from_rows(100, vec![row(&[(3, 4)]).crop(0, 100)]).unwrap();
+        let bytes = encode_image(&img);
+        let mut reader = ImageReader::new(&bytes[..bytes.len() - 1]).unwrap();
+        assert!(matches!(reader.next_row().unwrap(), Err(DecodeError::Truncated)));
+    }
+
+    #[test]
+    fn streaming_pipeline_diff_without_materializing() {
+        // Two "gigabyte-scale" streams (shrunk): diff row by row, write the
+        // mask stream, never holding an image.
+        let width = 5_000u32;
+        let mut base_rows = Vec::new();
+        for i in 0..20u32 {
+            base_rows.push(row(&[(i * 7 % 4_000, 30), (4_500, 100)]).crop(0, width));
+        }
+        let img_a = RleImage::from_rows(width, base_rows.clone()).unwrap();
+        let img_b = {
+            let mut rows = base_rows.clone();
+            rows[7] = rows[7].crop(0, width); // identical
+            rows[13] = row(&[(1, 2)]).crop(0, width); // changed
+            RleImage::from_rows(width, rows).unwrap()
+        };
+        let (bytes_a, bytes_b) = (encode_image(&img_a), encode_image(&img_b));
+
+        let mut ra = ImageReader::new(&bytes_a[..]).unwrap();
+        let mut rb = ImageReader::new(&bytes_b[..]).unwrap();
+        let mut out = ImageWriter::new(Vec::new(), width, 20).unwrap();
+        while let (Some(a), Some(b)) = (ra.next_row(), rb.next_row()) {
+            let diff = crate::ops::xor(&a.unwrap(), &b.unwrap());
+            out.write_row(&diff).unwrap();
+        }
+        let mask_bytes = out.finish().unwrap();
+        let mask = decode_image(&mask_bytes).unwrap();
+        assert_eq!(mask, img_a.xor(&img_b).unwrap());
+    }
+
+    #[test]
+    fn dense_size() {
+        assert_eq!(dense_size_bytes(8, 10), 10);
+        assert_eq!(dense_size_bytes(9, 10), 20);
+        assert_eq!(dense_size_bytes(0, 10), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Named, reproducible workload suites.
+//!
+//! Experiments, benches and examples that want "the paper's workload" or
+//! "a PCB inspection scenario" without re-stating parameters pull named
+//! cases from here. Every case is a pure function of its name and seed.
+
+use crate::errors::{apply_errors_rng, ErrorModel};
+use crate::gen::{GenParams, RowGenerator};
+use crate::motion::{Scene, SceneParams};
+use crate::pcb::{inspection_pair, typical_defects, PcbParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rle::{RleImage, RleRow};
+
+/// A row pair plus provenance, ready to feed to any differencing algorithm.
+#[derive(Clone, Debug)]
+pub struct RowCase {
+    /// Case name (stable across versions).
+    pub name: &'static str,
+    /// First row.
+    pub a: RleRow,
+    /// Second row.
+    pub b: RleRow,
+}
+
+/// An image pair plus provenance.
+#[derive(Clone, Debug)]
+pub struct ImageCase {
+    /// Case name (stable across versions).
+    pub name: &'static str,
+    /// First image.
+    pub a: RleImage,
+    /// Second image.
+    pub b: RleImage,
+}
+
+/// The Figure-1 worked example from the paper.
+#[must_use]
+pub fn figure1() -> RowCase {
+    RowCase {
+        name: "figure1",
+        a: RleRow::from_pairs(40, &[(10, 3), (16, 2), (23, 2), (27, 3)]).unwrap(),
+        b: RleRow::from_pairs(40, &[(3, 4), (8, 5), (15, 5), (23, 2), (27, 4)]).unwrap(),
+    }
+}
+
+/// The paper's §5 workload at a given width and realized error fraction.
+#[must_use]
+pub fn paper_rows(width: u32, error_fraction: f64, seed: u64) -> RowCase {
+    let params = GenParams::for_density(width, 0.3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = RowGenerator::new(params, rng.gen()).next_row();
+    let b = apply_errors_rng(&a, &ErrorModel::fraction(error_fraction), &mut rng);
+    RowCase { name: "paper_rows", a, b }
+}
+
+/// Table 1's fixed-error regime: `count` error runs of `len` px.
+#[must_use]
+pub fn fixed_error_rows(width: u32, count: usize, len: u32, seed: u64) -> RowCase {
+    let params = GenParams::for_density(width, 0.3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = RowGenerator::new(params, rng.gen()).next_row();
+    let b = apply_errors_rng(&a, &ErrorModel::fixed(count, len), &mut rng);
+    RowCase { name: "fixed_error_rows", a, b }
+}
+
+/// A PCB reference/scan pair with the typical defect set.
+#[must_use]
+pub fn pcb_inspection(seed: u64) -> ImageCase {
+    let (a, b) = inspection_pair(&PcbParams::default(), &typical_defects(), seed);
+    ImageCase { name: "pcb_inspection", a, b }
+}
+
+/// Two consecutive frames of a default motion scene.
+#[must_use]
+pub fn motion_frames(seed: u64) -> ImageCase {
+    let scene = Scene::new(SceneParams::default(), seed);
+    ImageCase { name: "motion_frames", a: scene.frame_rle(0), b: scene.frame_rle(1) }
+}
+
+/// The standard regression suite: a spread of row cases covering the
+/// regimes the paper discusses (identical, similar, dissimilar, dense,
+/// sparse, adversarial interleavings).
+#[must_use]
+pub fn regression_rows(seed: u64) -> Vec<RowCase> {
+    let mut cases = vec![figure1()];
+    cases.push(paper_rows(10_000, 0.02, seed));
+    cases.push(paper_rows(10_000, 0.35, seed ^ 1));
+    cases.push(fixed_error_rows(2_048, 6, 4, seed ^ 2));
+    // Identical pair.
+    let base = paper_rows(4_096, 0.0, seed ^ 3);
+    cases.push(RowCase { name: "identical", a: base.a.clone(), b: base.a.clone() });
+    // Fully interleaved disjoint runs (the k1 + k2 stressor).
+    let inter_a =
+        RleRow::from_pairs(4_096, &(0..250).map(|i| (i * 16, 4)).collect::<Vec<_>>()).unwrap();
+    let inter_b =
+        RleRow::from_pairs(4_096, &(0..250).map(|i| (i * 16 + 8, 4)).collect::<Vec<_>>()).unwrap();
+    cases.push(RowCase { name: "interleaved", a: inter_a, b: inter_b });
+    // One side empty.
+    let one = paper_rows(4_096, 0.1, seed ^ 4);
+    cases.push(RowCase { name: "vs_empty", a: one.a, b: RleRow::new(4_096) });
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_matches_the_paper() {
+        let c = figure1();
+        assert_eq!(rle::ops::xor(&c.a, &c.b).run_count(), 5);
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let x = paper_rows(2_000, 0.05, 42);
+        let y = paper_rows(2_000, 0.05, 42);
+        assert_eq!(x.a, y.a);
+        assert_eq!(x.b, y.b);
+        let p1 = pcb_inspection(7);
+        let p2 = pcb_inspection(7);
+        assert_eq!(p1.a, p2.a);
+        assert_eq!(p1.b, p2.b);
+    }
+
+    #[test]
+    fn regression_suite_covers_regimes() {
+        let cases = regression_rows(1);
+        assert!(cases.len() >= 7);
+        let names: Vec<_> = cases.iter().map(|c| c.name).collect();
+        for needle in ["figure1", "identical", "interleaved", "vs_empty"] {
+            assert!(names.contains(&needle), "{names:?}");
+        }
+        // Every case must be diffable and agree with the sequential merge.
+        for case in &cases {
+            let (diff, stats) = systolic_core_check(&case.a, &case.b);
+            assert_eq!(diff, rle::ops::xor(&case.a, &case.b), "{}", case.name);
+            assert!(stats.iterations <= (case.a.run_count() + case.b.run_count()) as u64);
+        }
+    }
+
+    // Tiny local shim: workload cannot depend on systolic-core (dependency
+    // direction), so the dev-dependency is used inside tests only.
+    fn systolic_core_check(a: &RleRow, b: &RleRow) -> (RleRow, systolic_core::ArrayStats) {
+        systolic_core::systolic_xor(a, b).unwrap()
+    }
+
+    #[test]
+    fn motion_case_is_similar_pair() {
+        let c = motion_frames(3);
+        let sims = c.a.row_similarities(&c.b).unwrap();
+        let total: u64 = sims.iter().map(|s| s.differing_pixels).sum();
+        assert!(total > 0);
+        let area = u64::from(c.a.width()) * c.a.height() as u64;
+        assert!(total < area / 10);
+    }
+}

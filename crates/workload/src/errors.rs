@@ -1,0 +1,246 @@
+//! The paper's error injector.
+//!
+//! §5: "the second image was obtained by flipping some of the bits of the
+//! first image in either direction (1 to 0, and 0 to 1). Here these changes
+//! are called errors and they were created in runs of length 2 to 6."
+//!
+//! Two targeting modes match the two experiments:
+//!
+//! * [`ErrorModel::ByFraction`] — keep flipping error runs until roughly a
+//!   requested fraction of the pixels differ (Figure 5's x-axis, Table 1's
+//!   "3.5 %" rows);
+//! * [`ErrorModel::ByCount`] — exactly `count` error runs of a fixed length
+//!   (Table 1's "6 runs" of "size 4 pixels" rows).
+
+use bitimg::convert::{decode_row, encode_row};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rle::{Pixel, RleImage, RleRow};
+use serde::{Deserialize, Serialize};
+
+/// How many errors to inject.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ErrorModel {
+    /// Flip runs of length `run_len.0 ..= run_len.1` until at least
+    /// `fraction` of the row's pixels have been flipped. The paper's
+    /// default run-length range is `(2, 6)`.
+    ByFraction {
+        /// Target fraction of flipped pixels, in `[0, 1]`.
+        fraction: f64,
+        /// Inclusive error-run length range.
+        run_len: (Pixel, Pixel),
+    },
+    /// Flip exactly `count` error runs of exactly `len` pixels each
+    /// (distinct, non-overlapping positions).
+    ByCount {
+        /// Number of error runs.
+        count: usize,
+        /// Length of every error run.
+        len: Pixel,
+    },
+}
+
+impl ErrorModel {
+    /// The paper's error-run length range.
+    pub const PAPER_ERROR_LEN: (Pixel, Pixel) = (2, 6);
+
+    /// Figure-5-style model: flip ~`fraction` of the pixels in runs of 2–6.
+    #[must_use]
+    pub fn fraction(fraction: f64) -> Self {
+        ErrorModel::ByFraction { fraction, run_len: Self::PAPER_ERROR_LEN }
+    }
+
+    /// Table-1-style fixed model: `count` runs of `len` pixels.
+    #[must_use]
+    pub fn fixed(count: usize, len: Pixel) -> Self {
+        ErrorModel::ByCount { count, len }
+    }
+}
+
+/// Applies the error model to a row, returning the perturbed row.
+///
+/// Flipping happens in the dense domain (decode → flip → re-encode), which
+/// is exactly "flipping some of the bits ... in either direction": an error
+/// run landing on foreground erases, on background paints, and straddling
+/// both does some of each.
+#[must_use]
+pub fn apply_errors(row: &RleRow, model: &ErrorModel, seed: u64) -> RleRow {
+    let mut rng = StdRng::seed_from_u64(seed);
+    apply_errors_rng(row, model, &mut rng)
+}
+
+/// Like [`apply_errors`] with a caller-managed RNG (for trial loops).
+#[must_use]
+pub fn apply_errors_rng(row: &RleRow, model: &ErrorModel, rng: &mut StdRng) -> RleRow {
+    let width = row.width();
+    if width == 0 {
+        return row.clone();
+    }
+    let mut dense = decode_row(row);
+    match *model {
+        ErrorModel::ByFraction { fraction, run_len } => {
+            assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+            // Target the *realized* number of differing pixels (the
+            // quantity on Figure 5's x-axis): flips that land on already
+            // flipped pixels cancel, so we track the live Hamming distance
+            // against the original row. Random flipping saturates towards
+            // 50 % difference, so an attempt budget bounds the loop when an
+            // unreachable fraction is requested.
+            let original = dense.clone();
+            let target = (f64::from(width) * fraction).round() as u64;
+            let mut differing = 0u64;
+            let mut attempts = 0u64;
+            let max_attempts = 40 * (target / u64::from(run_len.0.max(1)) + 1);
+            while differing < target && attempts < max_attempts {
+                attempts += 1;
+                let len = rng.gen_range(run_len.0..=run_len.1).min(width);
+                let start = rng.gen_range(0..=width - len);
+                for p in start..start + len {
+                    let flipped_value = !dense.get(p);
+                    dense.set(p, flipped_value);
+                    if flipped_value == original.get(p) {
+                        differing -= 1;
+                    } else {
+                        differing += 1;
+                    }
+                }
+            }
+        }
+        ErrorModel::ByCount { count, len } => {
+            let len = len.min(width);
+            if len == 0 {
+                return row.clone();
+            }
+            // Choose non-overlapping starts so the runs stay distinct.
+            let mut starts: Vec<Pixel> = Vec::with_capacity(count);
+            let mut attempts = 0usize;
+            while starts.len() < count && attempts < count * 1000 {
+                attempts += 1;
+                let s = rng.gen_range(0..=width - len);
+                if starts.iter().all(|&t| s + len <= t || t + len <= s) {
+                    starts.push(s);
+                }
+            }
+            for s in starts {
+                for p in s..s + len {
+                    dense.set(p, !dense.get(p));
+                }
+            }
+        }
+    }
+    encode_row(&dense)
+}
+
+/// Applies the model independently to every row of an image (each row gets
+/// its own RNG stream derived from `seed`).
+#[must_use]
+pub fn apply_errors_image(img: &RleImage, model: &ErrorModel, seed: u64) -> RleImage {
+    let rows = img
+        .rows()
+        .iter()
+        .enumerate()
+        .map(|(y, row)| apply_errors(row, model, seed.wrapping_add(y as u64)))
+        .collect();
+    RleImage::from_rows(img.width(), rows).expect("error injection preserves width")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GenParams, RowGenerator};
+    use rle::metrics::hamming;
+
+    fn base_row(width: u32, seed: u64) -> RleRow {
+        RowGenerator::new(GenParams::for_density(width, 0.3), seed).next_row()
+    }
+
+    #[test]
+    fn fraction_model_hits_target_approximately() {
+        let row = base_row(10_000, 1);
+        for fraction in [0.01, 0.05, 0.2, 0.4] {
+            let noisy = apply_errors(&row, &ErrorModel::fraction(fraction), 42);
+            let diff = hamming(&row, &noisy) as f64 / 10_000.0;
+            // Realized-difference targeting: lands at the target, give or
+            // take the last error run.
+            assert!(diff >= fraction, "fraction {fraction}: diff {diff}");
+            assert!(diff < fraction + 0.001, "fraction {fraction}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let row = base_row(2048, 2);
+        assert_eq!(apply_errors(&row, &ErrorModel::fraction(0.0), 3), row);
+    }
+
+    #[test]
+    fn fixed_model_flips_exactly_count_times_len_pixels() {
+        let row = base_row(2048, 3);
+        // Non-overlapping runs, each flipping len pixels: the Hamming
+        // distance is exactly count * len.
+        let noisy = apply_errors(&row, &ErrorModel::fixed(6, 4), 9);
+        assert_eq!(hamming(&row, &noisy), 24);
+    }
+
+    #[test]
+    fn errors_flip_in_both_directions() {
+        // A half-full row must see both 1→0 and 0→1 flips eventually.
+        let row = base_row(4096, 4);
+        let noisy = apply_errors(&row, &ErrorModel::fraction(0.3), 5);
+        let lost = rle::ops::sub(&row, &noisy).ones();
+        let gained = rle::ops::sub(&noisy, &row).ones();
+        assert!(lost > 0, "some foreground must be erased");
+        assert!(gained > 0, "some background must be painted");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let row = base_row(2048, 5);
+        let m = ErrorModel::fraction(0.1);
+        assert_eq!(apply_errors(&row, &m, 7), apply_errors(&row, &m, 7));
+        assert_ne!(apply_errors(&row, &m, 7), apply_errors(&row, &m, 8));
+    }
+
+    #[test]
+    fn error_run_lengths_respect_range() {
+        // With run range (2,2) and a sparse base row, every difference
+        // segment has length ≤ 2 unless two error runs merge — statistically
+        // verify most are exactly 2 on an empty base.
+        let empty = RleRow::new(10_000);
+        let noisy = apply_errors(
+            &empty,
+            &ErrorModel::ByFraction { fraction: 0.01, run_len: (2, 2) },
+            11,
+        );
+        for run in noisy.runs() {
+            assert!(run.len() >= 2, "{run:?}"); // merges only grow runs
+        }
+    }
+
+    #[test]
+    fn image_level_injection() {
+        let mut g = RowGenerator::new(GenParams::for_density(512, 0.3), 6);
+        let img = g.next_image(8);
+        let noisy = apply_errors_image(&img, &ErrorModel::fixed(2, 3), 1);
+        assert_eq!(noisy.height(), 8);
+        let sims = img.row_similarities(&noisy).unwrap();
+        for s in &sims {
+            assert_eq!(s.differing_pixels, 6, "each row gets its own 2×3 flips");
+        }
+    }
+
+    #[test]
+    fn zero_width_row_is_noop() {
+        let empty = RleRow::new(0);
+        assert_eq!(apply_errors(&empty, &ErrorModel::fraction(0.5), 1), empty);
+    }
+
+    #[test]
+    fn fixed_count_larger_than_row_degrades_gracefully() {
+        let row = RleRow::new(8);
+        // Only a few non-overlapping length-4 runs fit in 8 pixels.
+        let noisy = apply_errors(&row, &ErrorModel::fixed(10, 4), 2);
+        assert_eq!(noisy.ones() % 4, 0);
+        assert!(noisy.ones() <= 8);
+    }
+}

@@ -1,0 +1,214 @@
+//! The paper's random-image generator.
+//!
+//! §5: "The on pixels in the first image were chosen in runs of length 4 to
+//! 20 ... The percentage of on pixels in the first image ... was varied by
+//! changing the average distance between the runs."
+//!
+//! A row is produced by alternating gaps and runs: run lengths uniform in
+//! `run_len`, gap lengths uniform in `[1, 2·mean_gap − 1]` (mean exactly
+//! `mean_gap`). [`GenParams::for_density`] solves for the mean gap that
+//! yields a requested foreground density.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rle::{Pixel, RleImage, RleRow, Run};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the paper's row generator.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GenParams {
+    /// Row width `b` in pixels.
+    pub width: Pixel,
+    /// Inclusive range of run lengths; the paper uses `(4, 20)`.
+    pub run_len: (Pixel, Pixel),
+    /// Mean background gap between runs (≥ 1).
+    pub mean_gap: f64,
+}
+
+impl GenParams {
+    /// The paper's run-length range.
+    pub const PAPER_RUN_LEN: (Pixel, Pixel) = (4, 20);
+
+    /// Parameters matching the paper's §5 setup at a given density:
+    /// run lengths 4–20, mean gap solved so the expected foreground
+    /// fraction equals `density`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < density < 1`.
+    #[must_use]
+    pub fn for_density(width: Pixel, density: f64) -> Self {
+        Self::with_runs(width, Self::PAPER_RUN_LEN, density)
+    }
+
+    /// Like [`GenParams::for_density`] with an explicit run-length range.
+    #[must_use]
+    pub fn with_runs(width: Pixel, run_len: (Pixel, Pixel), density: f64) -> Self {
+        assert!(density > 0.0 && density < 1.0, "density must be in (0, 1)");
+        assert!(run_len.0 >= 1 && run_len.0 <= run_len.1, "bad run length range");
+        let mean_run = f64::from(run_len.0 + run_len.1) / 2.0;
+        // density = mean_run / (mean_run + mean_gap)  ⇒
+        let mean_gap = (mean_run * (1.0 - density) / density).max(1.0);
+        Self { width, run_len, mean_gap }
+    }
+
+    /// Expected foreground density of rows drawn from these parameters.
+    #[must_use]
+    pub fn expected_density(&self) -> f64 {
+        let mean_run = f64::from(self.run_len.0 + self.run_len.1) / 2.0;
+        mean_run / (mean_run + self.mean_gap)
+    }
+
+    /// Expected number of runs per row.
+    #[must_use]
+    pub fn expected_runs(&self) -> f64 {
+        let mean_run = f64::from(self.run_len.0 + self.run_len.1) / 2.0;
+        f64::from(self.width) / (mean_run + self.mean_gap)
+    }
+}
+
+/// A seeded stream of random rows with fixed parameters.
+#[derive(Clone, Debug)]
+pub struct RowGenerator {
+    params: GenParams,
+    rng: StdRng,
+}
+
+impl RowGenerator {
+    /// Creates a generator with a fixed seed.
+    #[must_use]
+    pub fn new(params: GenParams, seed: u64) -> Self {
+        Self { params, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The generator's parameters.
+    #[must_use]
+    pub fn params(&self) -> &GenParams {
+        &self.params
+    }
+
+    /// Draws the next random row. Rows are canonical (gaps ≥ 1).
+    pub fn next_row(&mut self) -> RleRow {
+        let p = &self.params;
+        let mut row = RleRow::new(p.width);
+        // Uniform gap in [1, 2·mean_gap − 1] has mean mean_gap; clamp the
+        // top so tiny means still work.
+        let gap_hi = ((2.0 * p.mean_gap - 1.0).round() as Pixel).max(1);
+        let mut pos: Pixel = self.rng.gen_range(0..=gap_hi.min(p.width.saturating_sub(1)).max(1));
+        loop {
+            let len = self.rng.gen_range(p.run_len.0..=p.run_len.1);
+            if u64::from(pos) + u64::from(len) > u64::from(p.width) {
+                break;
+            }
+            row.push_run(Run::new(pos, len)).expect("generator emits ordered runs");
+            let gap = self.rng.gen_range(1..=gap_hi);
+            let Some(next) = pos.checked_add(len).and_then(|p| p.checked_add(gap)) else {
+                break;
+            };
+            if next >= p.width {
+                break;
+            }
+            pos = next;
+        }
+        row
+    }
+
+    /// Draws an image of `height` rows.
+    pub fn next_image(&mut self, height: usize) -> RleImage {
+        let rows = (0..height).map(|_| self.next_row()).collect();
+        RleImage::from_rows(self.params.width, rows).expect("generator preserves width")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_valid_and_canonical() {
+        let mut g = RowGenerator::new(GenParams::for_density(2048, 0.3), 1);
+        for _ in 0..50 {
+            let row = g.next_row();
+            assert!(row.is_canonical());
+            assert!(row.run_count() > 0);
+            for run in row.runs() {
+                assert!(run.len() >= 4 && run.len() <= 20, "{run:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn density_is_approximately_requested() {
+        for target in [0.1, 0.3, 0.5, 0.7] {
+            let mut g = RowGenerator::new(GenParams::for_density(100_000, target), 7);
+            let row = g.next_row();
+            let got = row.density();
+            assert!(
+                (got - target).abs() < 0.05,
+                "target {target}, got {got:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure5_setup_run_count() {
+        // "the image size is 10,000 pixels with approximately 250 runs in
+        // the original image, which translates to a density of 30%".
+        let params = GenParams::for_density(10_000, 0.3);
+        assert!((params.expected_runs() - 250.0).abs() < 15.0, "{}", params.expected_runs());
+        let mut g = RowGenerator::new(params, 3);
+        let mut total = 0usize;
+        let trials = 30;
+        for _ in 0..trials {
+            total += g.next_row().run_count();
+        }
+        let mean = total as f64 / f64::from(trials);
+        assert!((mean - 250.0).abs() < 25.0, "mean runs {mean}");
+    }
+
+    #[test]
+    fn same_seed_same_rows() {
+        let params = GenParams::for_density(4096, 0.25);
+        let mut g1 = RowGenerator::new(params, 99);
+        let mut g2 = RowGenerator::new(params, 99);
+        for _ in 0..10 {
+            assert_eq!(g1.next_row(), g2.next_row());
+        }
+        let mut g3 = RowGenerator::new(params, 100);
+        assert_ne!(g1.next_row(), g3.next_row());
+    }
+
+    #[test]
+    fn image_generation() {
+        let mut g = RowGenerator::new(GenParams::for_density(512, 0.3), 5);
+        let img = g.next_image(20);
+        assert_eq!(img.height(), 20);
+        assert_eq!(img.width(), 512);
+        assert!(img.total_runs() > 100);
+    }
+
+    #[test]
+    fn tiny_widths_do_not_panic() {
+        for width in [1u32, 3, 4, 5, 21] {
+            let mut g = RowGenerator::new(
+                GenParams { width, run_len: (4, 20), mean_gap: 2.0 },
+                11,
+            );
+            for _ in 0..20 {
+                let _ = g.next_row(); // may be empty; must not panic
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be in")]
+    fn bad_density_rejected() {
+        let _ = GenParams::for_density(100, 1.5);
+    }
+
+    #[test]
+    fn expected_density_matches_solver() {
+        let p = GenParams::for_density(1000, 0.42);
+        assert!((p.expected_density() - 0.42).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,199 @@
+//! Rasterised text — the character-recognition workload.
+//!
+//! The paper's introduction lists character recognition among the
+//! applications of binary image differencing: comparing a scanned glyph to
+//! each template glyph, the smallest difference wins. This module provides
+//! a classic 5×7 bitmap font, rendering at integer scale, and perturbation
+//! so that template-matching scenarios can be generated deterministically.
+
+use bitimg::convert::encode;
+use bitimg::Bitmap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rle::RleImage;
+
+/// Glyph cell width in the base font.
+pub const GLYPH_W: u32 = 5;
+/// Glyph cell height in the base font.
+pub const GLYPH_H: usize = 7;
+
+/// Returns the 7 rows (5 LSBs used, MSB-first within the 5) of a glyph, or
+/// `None` for unsupported characters. Supported: `A`–`Z`, `0`–`9`, space,
+/// `.`, `-`.
+#[must_use]
+#[rustfmt::skip]
+pub fn glyph(c: char) -> Option<[u8; 7]> {
+    Some(match c.to_ascii_uppercase() {
+        'A' => [0b01110, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001],
+        'B' => [0b11110, 0b10001, 0b10001, 0b11110, 0b10001, 0b10001, 0b11110],
+        'C' => [0b01110, 0b10001, 0b10000, 0b10000, 0b10000, 0b10001, 0b01110],
+        'D' => [0b11110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b11110],
+        'E' => [0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b11111],
+        'F' => [0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b10000],
+        'G' => [0b01110, 0b10001, 0b10000, 0b10111, 0b10001, 0b10001, 0b01111],
+        'H' => [0b10001, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001],
+        'I' => [0b01110, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110],
+        'J' => [0b00111, 0b00010, 0b00010, 0b00010, 0b00010, 0b10010, 0b01100],
+        'K' => [0b10001, 0b10010, 0b10100, 0b11000, 0b10100, 0b10010, 0b10001],
+        'L' => [0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b11111],
+        'M' => [0b10001, 0b11011, 0b10101, 0b10101, 0b10001, 0b10001, 0b10001],
+        'N' => [0b10001, 0b11001, 0b10101, 0b10011, 0b10001, 0b10001, 0b10001],
+        'O' => [0b01110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110],
+        'P' => [0b11110, 0b10001, 0b10001, 0b11110, 0b10000, 0b10000, 0b10000],
+        'Q' => [0b01110, 0b10001, 0b10001, 0b10001, 0b10101, 0b10010, 0b01101],
+        'R' => [0b11110, 0b10001, 0b10001, 0b11110, 0b10100, 0b10010, 0b10001],
+        'S' => [0b01111, 0b10000, 0b10000, 0b01110, 0b00001, 0b00001, 0b11110],
+        'T' => [0b11111, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100],
+        'U' => [0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110],
+        'V' => [0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01010, 0b00100],
+        'W' => [0b10001, 0b10001, 0b10001, 0b10101, 0b10101, 0b10101, 0b01010],
+        'X' => [0b10001, 0b10001, 0b01010, 0b00100, 0b01010, 0b10001, 0b10001],
+        'Y' => [0b10001, 0b10001, 0b01010, 0b00100, 0b00100, 0b00100, 0b00100],
+        'Z' => [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b10000, 0b11111],
+        '0' => [0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110],
+        '1' => [0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110],
+        '2' => [0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111],
+        '3' => [0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110],
+        '4' => [0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010],
+        '5' => [0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110],
+        '6' => [0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110],
+        '7' => [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000],
+        '8' => [0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110],
+        '9' => [0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100],
+        ' ' => [0; 7],
+        '.' => [0, 0, 0, 0, 0, 0b00100, 0b00100],
+        '-' => [0, 0, 0, 0b11111, 0, 0, 0],
+        _ => return None,
+    })
+}
+
+/// Renders a string at integer `scale` with one scaled column of spacing
+/// between glyphs and a one-cell margin around the text. Unsupported
+/// characters render as blanks.
+#[must_use]
+pub fn render(text: &str, scale: u32) -> Bitmap {
+    assert!(scale >= 1, "scale must be at least 1");
+    let chars: Vec<char> = text.chars().collect();
+    let cell_w = (GLYPH_W + 1) * scale;
+    let margin = scale;
+    let width = margin * 2 + cell_w * chars.len() as u32;
+    let height = (margin as usize) * 2 + GLYPH_H * scale as usize;
+    let mut bm = Bitmap::new(width.max(1), height);
+    for (ci, &c) in chars.iter().enumerate() {
+        let Some(rows) = glyph(c) else { continue };
+        let ox = margin + cell_w * ci as u32;
+        for (ry, bits) in rows.iter().enumerate() {
+            for rx in 0..GLYPH_W {
+                if bits & (1 << (GLYPH_W - 1 - rx)) != 0 {
+                    bm.fill_rect(
+                        ox + rx * scale,
+                        margin as usize + ry * scale as usize,
+                        scale,
+                        scale as usize,
+                        true,
+                    );
+                }
+            }
+        }
+    }
+    bm
+}
+
+/// Renders a string RLE-encoded.
+#[must_use]
+pub fn render_rle(text: &str, scale: u32) -> RleImage {
+    encode(&render(text, scale))
+}
+
+/// Flips `count` random pixels — scanner noise for template-matching
+/// scenarios.
+#[must_use]
+pub fn perturb(bm: &Bitmap, count: usize, seed: u64) -> Bitmap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = bm.clone();
+    if bm.width() == 0 || bm.height() == 0 {
+        return out;
+    }
+    for _ in 0..count {
+        let x = rng.gen_range(0..bm.width());
+        let y = rng.gen_range(0..bm.height());
+        out.set(x, y, !out.get(x, y));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_advertised_char_has_a_glyph() {
+        for c in ('A'..='Z').chain('0'..='9').chain([' ', '.', '-']) {
+            assert!(glyph(c).is_some(), "missing glyph {c:?}");
+        }
+        assert!(glyph('@').is_none());
+        assert_eq!(glyph('a'), glyph('A'), "case-insensitive");
+    }
+
+    #[test]
+    fn glyphs_fit_in_five_columns() {
+        for c in ('A'..='Z').chain('0'..='9') {
+            for row in glyph(c).unwrap() {
+                assert_eq!(row & !0b11111, 0, "glyph {c:?} exceeds 5 columns");
+            }
+        }
+    }
+
+    #[test]
+    fn render_dimensions() {
+        let bm = render("AB", 2);
+        assert_eq!(bm.width(), 2 * 2 + (5 + 1) * 2 * 2);
+        assert_eq!(bm.height(), 2 * 2 + 7 * 2);
+        assert!(bm.count_ones() > 0);
+    }
+
+    #[test]
+    fn scaling_multiplies_ink() {
+        let s1 = render("E", 1).count_ones();
+        let s3 = render("E", 3).count_ones();
+        assert_eq!(s3, s1 * 9);
+    }
+
+    #[test]
+    fn different_letters_differ() {
+        assert_ne!(render("O", 2), render("Q", 2));
+        // ... but only slightly: O and Q share most ink.
+        let diff = bitimg::ops::hamming(&render("O", 2), &render("Q", 2));
+        let ink = render("O", 2).count_ones();
+        assert!(diff < ink, "O vs Q differ by {diff}, ink {ink}");
+    }
+
+    #[test]
+    fn perturb_flips_at_most_count() {
+        let bm = render("HELLO", 2);
+        let noisy = perturb(&bm, 10, 3);
+        let diff = bitimg::ops::hamming(&bm, &noisy);
+        assert!(diff > 0 && diff <= 10, "diff {diff}");
+    }
+
+    #[test]
+    fn perturb_is_deterministic() {
+        let bm = render("HI", 1);
+        assert_eq!(perturb(&bm, 5, 9), perturb(&bm, 5, 9));
+    }
+
+    #[test]
+    fn render_rle_round_trips() {
+        let text = "PCB-99";
+        let dense = render(text, 2);
+        let rle = render_rle(text, 2);
+        assert_eq!(bitimg::convert::decode(&rle), dense);
+    }
+
+    #[test]
+    fn unsupported_chars_render_blank() {
+        let with = render("A@B", 1);
+        let without = render("A B", 1);
+        assert_eq!(with, without);
+    }
+}

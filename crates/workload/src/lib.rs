@@ -1,0 +1,32 @@
+//! Synthetic workload generators for the systolic RLE experiments.
+//!
+//! The paper evaluates with "a simulation program ... on a large number of
+//! randomly generated input cases" (§5): first images built from runs of
+//! 4–20 pixels with density controlled by the gap length, second images
+//! derived by flipping error runs of 2–6 pixels in either direction. This
+//! crate reproduces that generator ([`gen`], [`errors`]) plus synthetic
+//! versions of the application domains the paper's introduction motivates:
+//!
+//! * [`pcb`] — printed-circuit-board layers vs. a CAD reference with
+//!   injected manufacturing defects (the paper's own driving application);
+//! * [`motion`] — frame sequences with moving objects (motion detection);
+//! * [`glyphs`] — rasterised text (character recognition).
+//!
+//! Everything is seeded and deterministic: the same seed always yields the
+//! same images, so every experiment in the harness is reproducible.
+//! [`corpus`] bundles the standard named cases (the Figure-1 example, the
+//! §5 workloads, inspection and motion scenarios) used across the
+//! experiments, benches and integration tests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+pub mod errors;
+pub mod gen;
+pub mod glyphs;
+pub mod motion;
+pub mod pcb;
+
+pub use errors::{apply_errors, ErrorModel};
+pub use gen::{GenParams, RowGenerator};

@@ -1,0 +1,164 @@
+//! Moving-object frame sequences — the motion-detection workload.
+//!
+//! The paper's introduction cites "motion detection for safety and
+//! security" as a binary-image application; frame differencing (XOR of
+//! consecutive thresholded frames) is its classic kernel. This generator
+//! produces a sequence of frames with rectangular objects drifting at
+//! constant velocity, so consecutive frames are highly similar — again the
+//! regime where the systolic algorithm shines.
+
+use bitimg::convert::encode;
+use bitimg::Bitmap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rle::RleImage;
+use serde::{Deserialize, Serialize};
+
+/// One moving object.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MovingObject {
+    /// Left edge at frame 0 (may be fractional for slow drifts).
+    pub x: f64,
+    /// Top edge at frame 0.
+    pub y: f64,
+    /// Horizontal velocity in pixels/frame.
+    pub vx: f64,
+    /// Vertical velocity in pixels/frame.
+    pub vy: f64,
+    /// Object width.
+    pub w: u32,
+    /// Object height.
+    pub h: usize,
+}
+
+/// Scene parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SceneParams {
+    /// Frame width.
+    pub width: u32,
+    /// Frame height.
+    pub height: usize,
+    /// Number of moving objects.
+    pub objects: usize,
+    /// Maximum speed component in pixels/frame.
+    pub max_speed: f64,
+}
+
+impl Default for SceneParams {
+    fn default() -> Self {
+        Self { width: 640, height: 200, objects: 5, max_speed: 3.0 }
+    }
+}
+
+/// A deterministic scene of moving objects.
+#[derive(Clone, Debug)]
+pub struct Scene {
+    params: SceneParams,
+    objects: Vec<MovingObject>,
+}
+
+impl Scene {
+    /// Creates a random scene.
+    #[must_use]
+    pub fn new(params: SceneParams, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let objects = (0..params.objects)
+            .map(|_| MovingObject {
+                x: rng.gen_range(0.0..f64::from(params.width) * 0.8),
+                y: rng.gen_range(0.0..params.height as f64 * 0.8),
+                vx: rng.gen_range(-params.max_speed..=params.max_speed),
+                vy: rng.gen_range(-params.max_speed..=params.max_speed),
+                w: rng.gen_range(8..40),
+                h: rng.gen_range(8..40),
+            })
+            .collect();
+        Self { params, objects }
+    }
+
+    /// The scene's objects.
+    #[must_use]
+    pub fn objects(&self) -> &[MovingObject] {
+        &self.objects
+    }
+
+    /// Renders frame `t` (objects wrap around the frame edges).
+    #[must_use]
+    pub fn frame(&self, t: usize) -> Bitmap {
+        let mut bm = Bitmap::new(self.params.width, self.params.height);
+        let (w, h) = (f64::from(self.params.width), self.params.height as f64);
+        for obj in &self.objects {
+            let x = (obj.x + obj.vx * t as f64).rem_euclid(w);
+            let y = (obj.y + obj.vy * t as f64).rem_euclid(h);
+            bm.fill_rect(x as u32, y as usize, obj.w, obj.h, true);
+        }
+        bm
+    }
+
+    /// Renders frame `t` RLE-encoded.
+    #[must_use]
+    pub fn frame_rle(&self, t: usize) -> RleImage {
+        encode(&self.frame(t))
+    }
+
+    /// Renders a whole sequence of frames RLE-encoded.
+    #[must_use]
+    pub fn sequence(&self, frames: usize) -> Vec<RleImage> {
+        (0..frames).map(|t| self.frame_rle(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_deterministic() {
+        let s1 = Scene::new(SceneParams::default(), 1);
+        let s2 = Scene::new(SceneParams::default(), 1);
+        assert_eq!(s1.frame(3), s2.frame(3));
+    }
+
+    #[test]
+    fn objects_actually_move() {
+        let scene = Scene::new(SceneParams::default(), 2);
+        let f0 = scene.frame(0);
+        let f5 = scene.frame(5);
+        assert_ne!(f0, f5);
+    }
+
+    #[test]
+    fn consecutive_frames_are_similar() {
+        let scene = Scene::new(SceneParams::default(), 3);
+        let f0 = scene.frame(0);
+        let f1 = scene.frame(1);
+        let diff = bitimg::ops::hamming(&f0, &f1);
+        let area = u64::from(f0.width()) * f0.height() as u64;
+        assert!(diff > 0);
+        assert!((diff as f64) < area as f64 * 0.05, "diff {diff} of {area}");
+    }
+
+    #[test]
+    fn static_scene_when_speed_zero() {
+        let scene = Scene::new(SceneParams { max_speed: 0.0, ..Default::default() }, 4);
+        assert_eq!(scene.frame(0), scene.frame(10));
+    }
+
+    #[test]
+    fn sequence_has_requested_length_and_dims() {
+        let scene = Scene::new(SceneParams::default(), 5);
+        let seq = scene.sequence(4);
+        assert_eq!(seq.len(), 4);
+        for frame in &seq {
+            assert_eq!(frame.width(), 640);
+            assert_eq!(frame.height(), 200);
+        }
+    }
+
+    #[test]
+    fn objects_wrap_around_edges() {
+        let scene = Scene::new(SceneParams { objects: 1, max_speed: 3.0, ..Default::default() }, 6);
+        // Far-future frames stay in-bounds and non-empty thanks to wrap.
+        let f = scene.frame(10_000);
+        assert!(f.count_ones() > 0);
+    }
+}

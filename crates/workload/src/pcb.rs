@@ -1,0 +1,366 @@
+//! Synthetic printed-circuit-board layers — the paper's driving application.
+//!
+//! Real PCB scans and CAD data are proprietary, so we substitute a
+//! generator that preserves the property the paper's speedup depends on:
+//! a *reference* layer (the CAD design) and a *scan* layer that is nearly
+//! identical except for a handful of small manufacturing defects. The
+//! reference-based inspection step is then `scan XOR reference`, whose
+//! result is small and localised exactly as in the paper's "highly similar
+//! images" regime.
+//!
+//! Layers are Manhattan-style: horizontal/vertical traces, rectangular
+//! pads, and via dots. Defects follow the classic inspection taxonomy:
+//! opens (missing copper), shorts (bridges between nets), and spurious
+//! copper blobs.
+
+use bitimg::convert::encode;
+use bitimg::Bitmap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rle::RleImage;
+use serde::{Deserialize, Serialize};
+
+/// Parameters for the synthetic board generator.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PcbParams {
+    /// Board width in pixels.
+    pub width: u32,
+    /// Board height in pixels.
+    pub height: usize,
+    /// Number of horizontal routing traces.
+    pub h_traces: usize,
+    /// Number of vertical routing traces.
+    pub v_traces: usize,
+    /// Trace width in pixels.
+    pub trace_width: u32,
+    /// Number of pads (larger rectangles).
+    pub pads: usize,
+    /// Number of vias (small squares).
+    pub vias: usize,
+}
+
+impl Default for PcbParams {
+    fn default() -> Self {
+        Self {
+            width: 1024,
+            height: 256,
+            h_traces: 24,
+            v_traces: 24,
+            trace_width: 3,
+            pads: 16,
+            vias: 40,
+        }
+    }
+}
+
+/// A defect to inject into a scan of the reference layer — the classic
+/// inspection taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Defect {
+    /// Missing copper: a gap cut out of the artwork.
+    Open {
+        /// Gap size in pixels (square).
+        size: u32,
+    },
+    /// A copper bridge: a small filled rectangle added.
+    Short {
+        /// Bridge size in pixels (square).
+        size: u32,
+    },
+    /// A spurious copper blob away from the artwork.
+    Spur {
+        /// Blob size in pixels (square).
+        size: u32,
+    },
+    /// A tiny void strictly inside copper (etching bubble).
+    Pinhole {
+        /// Hole size in pixels (square).
+        size: u32,
+    },
+    /// A notch bitten out of a copper edge.
+    Mousebite {
+        /// Notch size in pixels (square).
+        size: u32,
+    },
+}
+
+/// Draws the reference (CAD) layer: a grid of pads, Manhattan (L-shaped)
+/// routes connecting random pad pairs with vias at the bends, plus some
+/// free-running traces — the visual grammar of a real single-layer board.
+#[must_use]
+pub fn reference_layer(params: &PcbParams, seed: u64) -> Bitmap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bm = Bitmap::new(params.width, params.height);
+    if params.width < 24 || params.height < 24 {
+        return bm;
+    }
+    let tw = params.trace_width.max(1);
+
+    // Pad grid: place pads on a jittered lattice so routes have anchors.
+    let mut pad_centers: Vec<(u32, usize)> = Vec::new();
+    for _ in 0..params.pads {
+        let x = rng.gen_range(6..params.width.saturating_sub(16));
+        let y = rng.gen_range(6..params.height.saturating_sub(16));
+        bm.fill_rect(x, y, 10, 10, true);
+        pad_centers.push((x + 5, y + 5));
+    }
+
+    // Nets: L-shaped routes between random pad pairs, via dot at the bend.
+    let routes = (params.h_traces + params.v_traces) / 2;
+    for _ in 0..routes {
+        if pad_centers.len() < 2 {
+            break;
+        }
+        let a = pad_centers[rng.gen_range(0..pad_centers.len())];
+        let b = pad_centers[rng.gen_range(0..pad_centers.len())];
+        let (x0, x1) = (a.0.min(b.0), a.0.max(b.0));
+        let (y0, y1) = (a.1.min(b.1), a.1.max(b.1));
+        // Horizontal leg at a's row, vertical leg at b's column.
+        bm.fill_rect(x0, a.1, x1 - x0 + tw, tw as usize, true);
+        bm.fill_rect(b.0, y0, tw, y1 - y0 + tw as usize, true);
+        // Via at the corner.
+        bm.fill_rect(b.0.saturating_sub(1), a.1.saturating_sub(1), tw + 2, tw as usize + 2, true);
+    }
+
+    // Free traces (bus lines) for texture.
+    for _ in 0..params.h_traces / 2 {
+        let y = rng.gen_range(0..params.height.saturating_sub(tw as usize));
+        let x0 = rng.gen_range(0..params.width / 2);
+        let len = rng.gen_range(params.width / 4..params.width - x0);
+        bm.fill_rect(x0, y, len, tw as usize, true);
+    }
+    for _ in 0..params.v_traces / 2 {
+        let x = rng.gen_range(0..params.width.saturating_sub(tw));
+        let y0 = rng.gen_range(0..params.height / 2);
+        let len = rng.gen_range(params.height / 4..params.height - y0);
+        bm.fill_rect(x, y0, tw, len, true);
+    }
+    for _ in 0..params.vias {
+        let x = rng.gen_range(0..params.width.saturating_sub(4));
+        let y = rng.gen_range(0..params.height.saturating_sub(4));
+        bm.fill_rect(x, y, 3, 3, true);
+    }
+    bm
+}
+
+/// Produces a scan: the reference plus the given defects at random
+/// positions. Returns the scan and the number of defects applied.
+#[must_use]
+pub fn scan_with_defects(reference: &Bitmap, defects: &[Defect], seed: u64) -> Bitmap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scan = reference.clone();
+    for defect in defects {
+        match *defect {
+            Defect::Open { size } => {
+                // Cut copper where copper exists: search a few times for a
+                // foreground spot so opens actually remove material.
+                if let Some((x, y)) = find_pixel(&scan, &mut rng, true) {
+                    scan.fill_rect(x, y, size, size as usize, false);
+                }
+            }
+            Defect::Short { size } | Defect::Spur { size } => {
+                if let Some((x, y)) = find_pixel(&scan, &mut rng, false) {
+                    scan.fill_rect(x, y, size, size as usize, true);
+                }
+            }
+            Defect::Pinhole { size } => {
+                // A void strictly inside copper: find a foreground pixel
+                // whose neighbourhood is solid, then clear a smaller hole.
+                if let Some((x, y)) = find_interior(&scan, &mut rng, size) {
+                    scan.fill_rect(x, y, size, size as usize, false);
+                }
+            }
+            Defect::Mousebite { size } => {
+                // A notch at a copper edge: a foreground pixel with a
+                // background neighbour.
+                if let Some((x, y)) = find_edge(&scan, &mut rng) {
+                    scan.fill_rect(x.saturating_sub(size / 2), y.saturating_sub(size as usize / 2), size, size as usize, false);
+                }
+            }
+        }
+    }
+    scan
+}
+
+/// A foreground pixel whose `size`-square neighbourhood is solid copper.
+fn find_interior(bm: &Bitmap, rng: &mut StdRng, size: u32) -> Option<(u32, usize)> {
+    if bm.width() <= size || bm.height() <= size as usize {
+        return None;
+    }
+    'outer: for _ in 0..512 {
+        let x = rng.gen_range(0..bm.width() - size);
+        let y = rng.gen_range(0..bm.height() - size as usize);
+        for dy in 0..size as usize {
+            for dx in 0..size {
+                if !bm.get(x + dx, y + dy) {
+                    continue 'outer;
+                }
+            }
+        }
+        return Some((x, y));
+    }
+    None
+}
+
+/// A foreground pixel with at least one background 4-neighbour.
+fn find_edge(bm: &Bitmap, rng: &mut StdRng) -> Option<(u32, usize)> {
+    if bm.width() < 3 || bm.height() < 3 {
+        return None;
+    }
+    for _ in 0..512 {
+        let x = rng.gen_range(1..bm.width() - 1);
+        let y = rng.gen_range(1..bm.height() - 1);
+        if bm.get(x, y)
+            && (!bm.get(x - 1, y) || !bm.get(x + 1, y) || !bm.get(x, y - 1) || !bm.get(x, y + 1))
+        {
+            return Some((x, y));
+        }
+    }
+    None
+}
+
+fn find_pixel(bm: &Bitmap, rng: &mut StdRng, foreground: bool) -> Option<(u32, usize)> {
+    if bm.width() == 0 || bm.height() == 0 {
+        return None;
+    }
+    for _ in 0..256 {
+        let x = rng.gen_range(0..bm.width());
+        let y = rng.gen_range(0..bm.height());
+        if bm.get(x, y) == foreground {
+            return Some((x, y));
+        }
+    }
+    None
+}
+
+/// A complete inspection scenario: reference and scan, RLE-encoded.
+#[must_use]
+pub fn inspection_pair(
+    params: &PcbParams,
+    defects: &[Defect],
+    seed: u64,
+) -> (RleImage, RleImage) {
+    let reference = reference_layer(params, seed);
+    let scan = scan_with_defects(&reference, defects, seed ^ 0x9E37_79B9_7F4A_7C15);
+    (encode(&reference), encode(&scan))
+}
+
+/// A typical small defect set: two opens, one short, one spur.
+#[must_use]
+pub fn typical_defects() -> Vec<Defect> {
+    vec![
+        Defect::Open { size: 4 },
+        Defect::Open { size: 3 },
+        Defect::Short { size: 5 },
+        Defect::Spur { size: 3 },
+    ]
+}
+
+/// The full defect taxonomy, one of each kind — for exercising every
+/// classifier branch.
+#[must_use]
+pub fn all_defect_kinds() -> Vec<Defect> {
+    vec![
+        Defect::Open { size: 4 },
+        Defect::Short { size: 4 },
+        Defect::Spur { size: 3 },
+        Defect::Pinhole { size: 2 },
+        Defect::Mousebite { size: 3 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_layer_is_plausible() {
+        let bm = reference_layer(&PcbParams::default(), 1);
+        let d = bm.density();
+        assert!(d > 0.02 && d < 0.6, "density {d}");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let p = PcbParams::default();
+        assert_eq!(reference_layer(&p, 7), reference_layer(&p, 7));
+        assert_ne!(reference_layer(&p, 7), reference_layer(&p, 8));
+    }
+
+    #[test]
+    fn defects_change_little() {
+        let p = PcbParams::default();
+        let reference = reference_layer(&p, 2);
+        let scan = scan_with_defects(&reference, &typical_defects(), 3);
+        let diff = bitimg::ops::hamming(&reference, &scan);
+        assert!(diff > 0, "defects must change something");
+        let total = u64::from(p.width) * p.height as u64;
+        assert!(
+            (diff as f64) < total as f64 * 0.001,
+            "defects must stay tiny: {diff} of {total}"
+        );
+    }
+
+    #[test]
+    fn opens_remove_and_shorts_add() {
+        let p = PcbParams::default();
+        let reference = reference_layer(&p, 4);
+        let opened = scan_with_defects(&reference, &[Defect::Open { size: 4 }], 5);
+        assert!(opened.count_ones() < reference.count_ones());
+        let shorted = scan_with_defects(&reference, &[Defect::Short { size: 4 }], 5);
+        assert!(shorted.count_ones() > reference.count_ones());
+    }
+
+    #[test]
+    fn inspection_pair_is_rle_and_similar() {
+        let (reference, scan) = inspection_pair(&PcbParams::default(), &typical_defects(), 6);
+        assert_eq!(reference.width(), scan.width());
+        assert_eq!(reference.height(), scan.height());
+        let sims = reference.row_similarities(&scan).unwrap();
+        let differing_rows = sims.iter().filter(|s| s.differing_pixels > 0).count();
+        // Defects are local: only a handful of rows differ.
+        assert!(differing_rows > 0);
+        assert!(differing_rows < reference.height() / 4, "{differing_rows} rows differ");
+    }
+
+    #[test]
+    fn pinhole_and_mousebite_remove_copper() {
+        let p = PcbParams::default();
+        let reference = reference_layer(&p, 11);
+        let pinholed = scan_with_defects(&reference, &[Defect::Pinhole { size: 2 }], 12);
+        assert!(pinholed.count_ones() < reference.count_ones());
+        // A pinhole's void sits strictly inside copper: the removed pixels'
+        // bounding neighbourhood in the reference is solid.
+        let bitten = scan_with_defects(&reference, &[Defect::Mousebite { size: 3 }], 13);
+        assert!(bitten.count_ones() < reference.count_ones());
+    }
+
+    #[test]
+    fn all_defect_kinds_apply() {
+        let p = PcbParams::default();
+        let reference = reference_layer(&p, 14);
+        let scan = scan_with_defects(&reference, &all_defect_kinds(), 15);
+        let diff = bitimg::ops::hamming(&reference, &scan);
+        assert!(diff > 0);
+        assert!(diff < 300, "all five defects stay local: {diff}");
+    }
+
+    #[test]
+    fn routes_connect_pads() {
+        // With routing on, the reference must contain long horizontal and
+        // vertical straight segments (the legs), not just pads.
+        let p = PcbParams::default();
+        let bm = reference_layer(&p, 16);
+        let img = encode(&bm);
+        let longest = img.rows().iter().flat_map(|r| r.runs()).map(|r| r.len()).max().unwrap();
+        assert!(longest > 40, "expected long route legs, longest run {longest}");
+    }
+
+    #[test]
+    fn no_defects_means_identical_scan() {
+        let p = PcbParams::default();
+        let reference = reference_layer(&p, 9);
+        let scan = scan_with_defects(&reference, &[], 10);
+        assert_eq!(scan, reference);
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: encode two binary rows, diff them three ways, inspect the
+//! machine.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rle_systolic::rle::{ops, RleRow};
+use rle_systolic::systolic_core::trace::run_traced;
+use rle_systolic::systolic_core::{systolic_xor, SystolicArray};
+
+fn main() {
+    // The worked example from Figure 1 of the paper: two rows of a binary
+    // image in run-length-encoded (start, length) form.
+    let img1 = RleRow::from_pairs(40, &[(10, 3), (16, 2), (23, 2), (27, 3)]).unwrap();
+    let img2 = RleRow::from_pairs(40, &[(3, 4), (8, 5), (15, 5), (23, 2), (27, 4)]).unwrap();
+
+    println!("row 1: {}", ascii(&img1));
+    println!("row 2: {}", ascii(&img2));
+
+    // 1. The sequential merge (the paper's baseline, O(k1 + k2)).
+    let (seq, seq_stats) = ops::xor_raw_with_stats(&img1, &img2);
+    println!("\nsequential XOR  : {:?}  ({} merge iterations)", seq.runs(), seq_stats.iterations);
+
+    // 2. The systolic array (the paper's contribution).
+    let (sys, sys_stats) = systolic_xor(&img1, &img2).unwrap();
+    println!(
+        "systolic XOR    : {:?}  ({} systolic iterations, Theorem-1 bound {})",
+        sys.runs(),
+        sys_stats.iterations,
+        sys_stats.theorem1_bound()
+    );
+    println!("diff  : {}", ascii(&sys));
+
+    // 3. Watch the machine run, exactly like the paper's Figure 3.
+    let mut machine = SystolicArray::load(&img1, &img2).unwrap();
+    let trace = run_traced(&mut machine).unwrap();
+    println!("\nFigure-3-style execution trace:\n{}", trace.to_figure3_table());
+
+    // Similarity metrics that drive the performance story.
+    let sim = rle_systolic::rle::metrics::row_similarity(&img1, &img2);
+    println!(
+        "k1 = {}, k2 = {}, |k1 - k2| = {}, runs in XOR = {}, differing pixels = {}",
+        sim.runs_a, sim.runs_b, sim.run_count_difference, sim.runs_in_xor, sim.differing_pixels
+    );
+}
+
+fn ascii(row: &RleRow) -> String {
+    row.to_bits().iter().map(|&b| if b { '#' } else { '.' }).collect()
+}

@@ -1,0 +1,143 @@
+//! Property tests of the analysis stages (components, features, matching,
+//! 2-D morphology) against dense references, plus the full inspection
+//! pipeline: systolic difference → clean-up → labelling → classification.
+
+mod common;
+
+use common::rle_row;
+use proptest::prelude::*;
+use rle_systolic::rle::RleImage;
+use rle_systolic::rle_analysis::components::{label_components, Connectivity};
+use rle_systolic::rle_analysis::{features, matching, morph2d};
+
+fn image_strategy(width: u32, height: usize) -> impl Strategy<Value = RleImage> {
+    prop::collection::vec(rle_row(width, 10, true), height..=height)
+        .prop_map(move |rows| RleImage::from_rows(width, rows).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Labelling invariants: labels dense, areas sum to foreground, every
+    /// run labelled, bounding boxes contain their runs.
+    #[test]
+    fn labeling_invariants(img in image_strategy(60, 12)) {
+        for conn in [Connectivity::Four, Connectivity::Eight] {
+            let l = label_components(&img, conn);
+            let total_runs: usize = img.rows().iter().map(|r| r.run_count()).sum();
+            prop_assert_eq!(l.runs.len(), total_runs);
+            let area: u64 = l.components.iter().map(|c| c.area).sum();
+            prop_assert_eq!(area, img.ones());
+            for (i, c) in l.components.iter().enumerate() {
+                prop_assert_eq!(c.label as usize, i, "labels must be dense");
+                prop_assert!(c.x0 <= c.x1 && c.y0 <= c.y1);
+                prop_assert!(c.cx >= f64::from(c.x0) && c.cx <= f64::from(c.x1));
+                prop_assert!(c.cy >= c.y0 as f64 && c.cy <= c.y1 as f64);
+            }
+            for lr in &l.runs {
+                let c = &l.components[lr.label as usize];
+                prop_assert!(lr.run.start() >= c.x0 && lr.run.end() <= c.x1);
+                prop_assert!(lr.row >= c.y0 && lr.row <= c.y1);
+            }
+        }
+    }
+
+    /// Eight-connectivity can only merge components, never split them.
+    #[test]
+    fn eight_connectivity_merges(img in image_strategy(60, 12)) {
+        let four = label_components(&img, Connectivity::Four).count();
+        let eight = label_components(&img, Connectivity::Eight).count();
+        prop_assert!(eight <= four, "8-conn {eight} vs 4-conn {four}");
+    }
+
+    /// A template always matches itself perfectly somewhere in any image
+    /// that embeds it.
+    #[test]
+    fn embedded_template_is_found(img in image_strategy(40, 8)) {
+        // Carve a window out of the image and search for it.
+        let template = RleImage::from_rows(
+            10,
+            img.rows()[2..6].iter().map(|r| r.crop(5, 10)).collect(),
+        ).unwrap();
+        let best = matching::best_match(&img, &template).unwrap();
+        prop_assert_eq!(best.score, 0, "the source window must score 0");
+        // The found placement genuinely scores zero.
+        prop_assert_eq!(matching::score_at(&img, &template, best.x, best.y), 0);
+    }
+
+    /// Morphological ordering: erosion ⊆ original ⊆ dilation, and
+    /// opening ⊆ original ⊆ closing (2-D, rectangular SE).
+    #[test]
+    fn morph2d_orderings(img in image_strategy(40, 8), rx in 0u32..3, ry in 0u32..3) {
+        let dil = morph2d::dilate_rect(&img, rx, ry);
+        let ero = morph2d::erode_rect(&img, rx, ry);
+        let opened = morph2d::open_rect(&img, rx, ry);
+        let closed = morph2d::close_rect(&img, rx, ry);
+        // X ⊆ Y ⇔ X AND Y == X (on canonical forms — the generated image
+        // may contain adjacent runs, while `and` emits canonical rows).
+        let subset = |x: &RleImage, y: &RleImage| {
+            let mut xc = x.clone();
+            xc.canonicalize();
+            xc.and(y).unwrap() == xc
+        };
+        prop_assert!(subset(&ero, &img), "erosion shrinks");
+        prop_assert!(subset(&img, &dil), "dilation grows");
+        prop_assert!(subset(&opened, &img), "opening is anti-extensive");
+        // Closing is extensive only away from the image border under the
+        // background-outside convention (a border pixel's dilated halo is
+        // clipped, so the erosion step can eat it back). Restrict the claim
+        // to the interior.
+        let interior = {
+            let mut m = rle_systolic::bitimg::Bitmap::new(img.width(), img.height());
+            let (w, h) = (img.width(), img.height());
+            if w > 2 * rx && h > 2 * ry as usize {
+                m.fill_rect(rx, ry as usize, w - 2 * rx, h - 2 * ry as usize, true);
+            }
+            rle_systolic::bitimg::convert::encode(&m)
+        };
+        prop_assert!(
+            subset(&img.and(&interior).unwrap(), &closed),
+            "closing is extensive on the interior"
+        );
+    }
+
+    /// Defect classification is total and consistent with area.
+    #[test]
+    fn classification_total(img in image_strategy(60, 12)) {
+        let l = label_components(&img, Connectivity::Eight);
+        for c in &l.components {
+            let class = features::classify_defect(c);
+            if c.area <= 2 {
+                prop_assert_eq!(class, features::DefectClass::Speck);
+            }
+        }
+        // filter + sort helpers agree with raw data.
+        let sorted = features::by_area_desc(&l);
+        prop_assert!(sorted.windows(2).all(|w| w[0].area >= w[1].area));
+        let min_area = 3;
+        let filtered = features::filter_by_area(&l, min_area);
+        prop_assert_eq!(
+            filtered.len(),
+            l.components.iter().filter(|c| c.area >= min_area).count()
+        );
+    }
+}
+
+#[test]
+fn inspection_pipeline_end_to_end() {
+    use rle_systolic::workload::pcb::{inspection_pair, typical_defects, PcbParams};
+
+    let params = PcbParams { width: 1024, height: 256, ..Default::default() };
+    let (reference, scan) = inspection_pair(&params, &typical_defects(), 77);
+    let (diff, _) = rle_systolic::systolic_core::image::xor_image(&reference, &scan).unwrap();
+
+    // Clean single-pixel noise, then group into defects.
+    let cleaned = morph2d::open_rect(&diff, 0, 0); // no-op radius: keep all
+    let labeling = label_components(&cleaned, Connectivity::Eight);
+    assert!(labeling.count() >= 1, "injected defects must be detected");
+    assert!(labeling.count() <= 8, "defects must not shatter: {}", labeling.count());
+    // Every defect is tiny relative to the board.
+    for c in &labeling.components {
+        assert!(c.area < 200, "defect {c:?} implausibly large");
+    }
+}

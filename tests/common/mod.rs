@@ -1,0 +1,57 @@
+//! Shared proptest strategies and helpers for the integration suites.
+//!
+//! Each integration binary compiles this module independently and uses a
+//! different subset of the helpers, so unused-by-this-binary items are
+//! expected.
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+use rle_systolic::rle::{Pixel, RleRow, Run};
+
+/// Strategy: a valid RLE row of the given width built from (gap, len)
+/// pieces. Gaps of ≥ 1 keep the row canonical; `allow_adjacent` permits
+/// zero gaps after the first run, producing valid but non-canonical rows
+/// (which the paper explicitly allows as input).
+pub fn rle_row(width: Pixel, max_runs: usize, allow_adjacent: bool) -> impl Strategy<Value = RleRow> {
+    let min_gap = usize::from(!allow_adjacent);
+    prop::collection::vec((min_gap..=9usize, 1usize..=8usize), 0..=max_runs).prop_map(
+        move |pieces| {
+            let mut row = RleRow::new(width);
+            let mut pos = 0u64;
+            let mut first = true;
+            for (gap, len) in pieces {
+                // The first gap may be 0 (a run starting at pixel 0);
+                // between runs a gap of 0 means adjacency, which is only
+                // legal input when allowed — bump to 1 otherwise.
+                let gap = if first { gap } else { gap.max(min_gap) } as u64;
+                first = false;
+                let start = pos + gap;
+                let end = start + len as u64;
+                if end > u64::from(width) {
+                    break;
+                }
+                row.push_run(Run::new(start as Pixel, len as Pixel)).unwrap();
+                pos = end;
+            }
+            row
+        },
+    )
+}
+
+/// Strategy: a pair of equally-wide rows.
+pub fn row_pair(width: Pixel, max_runs: usize) -> impl Strategy<Value = (RleRow, RleRow)> {
+    (rle_row(width, max_runs, true), rle_row(width, max_runs, true))
+}
+
+/// Strategy: a pair of *canonical* equally-wide rows (the Observation's
+/// precondition).
+pub fn canonical_pair(width: Pixel, max_runs: usize) -> impl Strategy<Value = (RleRow, RleRow)> {
+    (rle_row(width, max_runs, false), rle_row(width, max_runs, false))
+}
+
+/// Reference XOR through the dense bitmap domain.
+pub fn dense_xor(a: &RleRow, b: &RleRow) -> RleRow {
+    let da = rle_systolic::bitimg::convert::decode_row(a);
+    let db = rle_systolic::bitimg::convert::decode_row(b);
+    rle_systolic::bitimg::convert::encode_row(&rle_systolic::bitimg::ops::xor_row(&da, &db))
+}

@@ -1,0 +1,118 @@
+//! Cross-crate property tests of the paper's theorems: every implementation
+//! of the image difference must agree with the dense ground truth, the
+//! systolic machine must respect its proven bounds, and the invariants of
+//! the correctness proof must hold at every iteration.
+
+mod common;
+
+use common::{canonical_pair, dense_xor, row_pair};
+use proptest::prelude::*;
+use rle_systolic::rle::{metrics, ops};
+use rle_systolic::systolic_core::bus::{systolic_xor_bus, systolic_xor_mesh};
+use rle_systolic::systolic_core::engine::parallel::systolic_xor_parallel;
+use rle_systolic::systolic_core::invariants::{check_all, machine_xor_signature};
+use rle_systolic::systolic_core::{systolic_xor, SystolicArray};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Theorem 3 for every implementation: sequential merge, boundary
+    /// sweep, pure systolic, broadcast bus, and mesh all equal the dense
+    /// ground truth.
+    #[test]
+    fn all_implementations_agree_with_dense_reference((a, b) in row_pair(600, 40)) {
+        let truth = dense_xor(&a, &b);
+        prop_assert_eq!(&ops::xor(&a, &b), &truth, "sequential merge");
+        prop_assert_eq!(&ops::combine(&a, &b, |x, y| x ^ y), &truth, "boundary sweep");
+        let (sys, _) = systolic_xor(&a, &b).unwrap();
+        prop_assert_eq!(&sys, &truth, "systolic");
+        let (bus, _) = systolic_xor_bus(&a, &b).unwrap();
+        prop_assert_eq!(&bus, &truth, "broadcast bus");
+        let (mesh, _) = systolic_xor_mesh(&a, &b).unwrap();
+        prop_assert_eq!(&mesh, &truth, "mesh");
+    }
+
+    /// Theorem 1: the systolic machine terminates within k1 + k2
+    /// iterations (`run` errors out otherwise, so reaching the assert at
+    /// all means the bound held; we re-check explicitly).
+    #[test]
+    fn theorem1_iteration_bound((a, b) in row_pair(600, 40)) {
+        let (_, stats) = systolic_xor(&a, &b).unwrap();
+        prop_assert!(stats.within_theorem1(),
+            "took {} iterations for k1={} k2={}", stats.iterations, stats.k1, stats.k2);
+    }
+
+    /// Theorem 2 + Corollaries 1.1/1.2 + the Theorem-3 conservation
+    /// quantity, checked after *every* iteration of a stepped run.
+    #[test]
+    fn per_iteration_invariants((a, b) in row_pair(400, 24)) {
+        let expected = ops::xor(&a, &b);
+        let mut machine = SystolicArray::load(&a, &b).unwrap();
+        machine.enable_invariant_checks(false); // we check manually below
+        prop_assert_eq!(machine_xor_signature(&machine), expected.clone());
+        let mut done = machine.is_done();
+        while !done {
+            done = machine.step().unwrap();
+            check_all(&machine).map_err(TestCaseError::fail)?;
+            prop_assert_eq!(machine_xor_signature(&machine), expected.clone());
+        }
+    }
+
+    /// The parallel engine is bit-equivalent to the sequential engine.
+    /// (Small arrays fall back internally; force chunking with many runs.)
+    #[test]
+    fn parallel_engine_equivalence((a, b) in row_pair(30_000, 600), threads in 2usize..5) {
+        let (seq, seq_stats) = systolic_xor(&a, &b).unwrap();
+        let (par, par_stats) = systolic_xor_parallel(&a, &b, threads).unwrap();
+        prop_assert_eq!(par, seq);
+        prop_assert_eq!(par_stats.iterations, seq_stats.iterations);
+        prop_assert_eq!(par_stats.output_runs, seq_stats.output_runs);
+    }
+
+    /// XOR algebra in the compressed domain: commutativity, involution,
+    /// identity — computed entirely via the systolic machine.
+    #[test]
+    fn systolic_xor_algebra((a, b) in row_pair(500, 30)) {
+        let (ab, _) = systolic_xor(&a, &b).unwrap();
+        let (ba, _) = systolic_xor(&b, &a).unwrap();
+        prop_assert_eq!(&ab, &ba, "commutativity");
+        // (a ^ b) ^ b == a (canonicalized)
+        let (back, _) = systolic_xor(&ab, &b).unwrap();
+        prop_assert_eq!(&back, &a.canonicalized(), "involution");
+        let empty = rle_systolic::rle::RleRow::new(a.width());
+        let (same, _) = systolic_xor(&a, &empty).unwrap();
+        prop_assert_eq!(&same, &a.canonicalized(), "identity");
+    }
+
+    /// The similarity metrics agree with the machine: differing pixels
+    /// equals the Hamming distance, and the raw output run count matches
+    /// the metric used for Figure 5's upper-bound series.
+    #[test]
+    fn metrics_match_machine((a, b) in row_pair(500, 30)) {
+        let sim = metrics::row_similarity(&a, &b);
+        let (diff, stats) = systolic_xor(&a, &b).unwrap();
+        prop_assert_eq!(sim.differing_pixels, diff.ones());
+        prop_assert_eq!(sim.runs_in_xor, diff.run_count());
+        prop_assert_eq!(sim.runs_in_raw_xor, stats.output_runs,
+            "raw systolic output must match the sequential raw output size");
+    }
+}
+
+proptest! {
+    // The Observation is unproven in the paper, so give it a heavier hammer.
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// §5's Observation: with fully-compressed (canonical) inputs the
+    /// machine stops within k3 + 1 iterations, where k3 is the number of
+    /// runs in its own (raw) output. The paper could not prove this; a
+    /// failure here would be a counterexample worth reporting.
+    #[test]
+    fn observation_k3_plus_one((a, b) in canonical_pair(800, 48)) {
+        let (_, stats) = systolic_xor(&a, &b).unwrap();
+        prop_assert!(
+            stats.iterations <= stats.output_runs as u64 + 1,
+            "counterexample to the paper's Observation: {} iterations, k3 = {} (a = {:?}, b = {:?})",
+            stats.iterations, stats.output_runs, a, b
+        );
+    }
+}

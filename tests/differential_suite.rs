@@ -1,0 +1,119 @@
+//! Differential testing across every workload family: rows drawn from all
+//! four generators (the paper's random model, PCB layers, motion frames,
+//! glyph rasterisations) are pushed through every differencing
+//! implementation and both post-passes, which must all agree.
+//!
+//! The proptest suites cover synthetic run soups; this suite covers the
+//! *structured* geometry real workloads produce (long traces, axis-aligned
+//! rectangles, font strokes), which exercises different merge patterns.
+
+use rle_systolic::prelude::*;
+use rle_systolic::rle::ops;
+use rle_systolic::systolic_core::coalesce::{bus_coalesce, CoalescePass};
+use rle_systolic::systolic_core::engine::parallel::systolic_xor_parallel;
+use rle_systolic::workload::motion::{Scene, SceneParams};
+use rle_systolic::workload::pcb::{inspection_pair, typical_defects, PcbParams};
+use rle_systolic::workload::glyphs;
+
+/// Every row pair a workload family produces.
+fn workload_row_pairs() -> Vec<(String, RleRow, RleRow)> {
+    let mut pairs = Vec::new();
+
+    // Paper rows at several similarity levels.
+    for (i, fraction) in [0.0, 0.01, 0.2, 0.45].into_iter().enumerate() {
+        let case = rle_systolic::workload::corpus::paper_rows(6_000, fraction, 900 + i as u64);
+        pairs.push((format!("paper_{fraction}"), case.a, case.b));
+    }
+
+    // PCB reference vs scan, every row that differs plus a sample of rows
+    // that do not.
+    let (reference, scan) =
+        inspection_pair(&PcbParams { width: 512, height: 96, ..Default::default() }, &typical_defects(), 5);
+    for (y, (ra, rb)) in reference.rows().iter().zip(scan.rows()).enumerate() {
+        if ra != rb || y % 17 == 0 {
+            pairs.push((format!("pcb_row_{y}"), ra.clone(), rb.clone()));
+        }
+    }
+
+    // Motion frames: consecutive rows from two frames.
+    let scene = Scene::new(SceneParams { width: 400, height: 40, objects: 3, max_speed: 2.0 }, 8);
+    let (f0, f1) = (scene.frame_rle(0), scene.frame_rle(1));
+    for (y, (ra, rb)) in f0.rows().iter().zip(f1.rows()).enumerate().step_by(5) {
+        pairs.push((format!("motion_row_{y}"), ra.clone(), rb.clone()));
+    }
+
+    // Glyph rows: same text rendered, one with noise.
+    let clean = glyphs::render_rle("SYSTOLIC", 2);
+    let noisy = rle_systolic::bitimg::convert::encode(&glyphs::perturb(
+        &glyphs::render("SYSTOLIC", 2),
+        25,
+        77,
+    ));
+    for (y, (ra, rb)) in clean.rows().iter().zip(noisy.rows()).enumerate().step_by(3) {
+        pairs.push((format!("glyph_row_{y}"), ra.clone(), rb.clone()));
+    }
+
+    // Degenerate extras.
+    let w = 6_000;
+    pairs.push(("both_empty".into(), RleRow::new(w), RleRow::new(w)));
+    let full = RleRow::from_pairs(w, &[(0, w)]).unwrap();
+    pairs.push(("empty_vs_full".into(), RleRow::new(w), full.clone()));
+    pairs.push(("full_vs_full".into(), full.clone(), full));
+
+    pairs
+}
+
+#[test]
+fn all_algorithms_agree_on_all_workload_families() {
+    let pairs = workload_row_pairs();
+    assert!(pairs.len() > 30, "suite should be broad, got {}", pairs.len());
+    for (name, a, b) in &pairs {
+        let truth = {
+            let da = rle_systolic::bitimg::convert::decode_row(a);
+            let db = rle_systolic::bitimg::convert::decode_row(b);
+            rle_systolic::bitimg::convert::encode_row(&rle_systolic::bitimg::ops::xor_row(
+                &da, &db,
+            ))
+        };
+        assert_eq!(&ops::xor(a, b), &truth, "{name}: sequential");
+        let (sys, stats) = systolic_xor(a, b).unwrap();
+        assert_eq!(&sys, &truth, "{name}: systolic");
+        assert!(stats.within_theorem1(), "{name}: Theorem 1");
+        let (bus, _) = systolic_xor_bus(a, b).unwrap();
+        assert_eq!(&bus, &truth, "{name}: bus");
+        let (mesh, _) = systolic_xor_mesh(a, b).unwrap();
+        assert_eq!(&mesh, &truth, "{name}: mesh");
+        let (par, _) = systolic_xor_parallel(a, b, 3).unwrap();
+        assert_eq!(&par, &truth, "{name}: parallel engine");
+    }
+}
+
+#[test]
+fn coalescing_passes_agree_on_all_workload_families() {
+    for (name, a, b) in workload_row_pairs() {
+        let mut machine = SystolicArray::load(&a, &b).unwrap();
+        machine.run().unwrap();
+        let chain: Vec<_> = machine.views().map(|c| c.small).collect();
+        let mut pass = CoalescePass::from_array(&machine);
+        pass.run().unwrap();
+        let (bus_row, tx) = bus_coalesce(machine.width(), &chain);
+        assert_eq!(pass.extract().unwrap(), bus_row, "{name}");
+        assert_eq!(bus_row, machine.extract().unwrap(), "{name}: canonical");
+        assert_eq!(tx as usize, machine.stats().output_runs, "{name}: one tx per run");
+    }
+}
+
+#[test]
+fn observation_holds_on_all_workload_families() {
+    for (name, a, b) in workload_row_pairs() {
+        // All generators emit canonical rows — the Observation's premise.
+        assert!(a.is_canonical() && b.is_canonical(), "{name}");
+        let (_, stats) = systolic_xor(&a, &b).unwrap();
+        assert!(
+            stats.iterations <= stats.output_runs as u64 + 1,
+            "{name}: counterexample to the Observation ({} iters, k3 {})",
+            stats.iterations,
+            stats.output_runs
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests of the substrates: representation round-trips, encoder
+//! equivalence, boolean algebra, and PBM I/O.
+
+mod common;
+
+use common::rle_row;
+use proptest::prelude::*;
+use rle_systolic::bitimg::{convert, ops as dops, pbm, BitRow, Bitmap};
+use rle_systolic::rle::{iter, ops, RleRow};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// RLE → bits → RLE is the canonical form of the original row.
+    #[test]
+    fn bits_round_trip(row in rle_row(300, 24, true)) {
+        let back = RleRow::from_bits(&row.to_bits());
+        prop_assert_eq!(back, row.canonicalized());
+    }
+
+    /// Word-scanning encoder ≡ naive bit encoder, via dense rows.
+    #[test]
+    fn fast_encoder_equivalence(row in rle_row(300, 24, true)) {
+        let dense = convert::decode_row(&row);
+        prop_assert_eq!(convert::encode_row(&dense), RleRow::from_bits(&dense.to_bits()));
+        // And decode inverts encode.
+        prop_assert_eq!(convert::decode_row(&convert::encode_row(&dense)), dense);
+    }
+
+    /// Dense and compressed boolean operations agree for all four ops.
+    #[test]
+    fn dense_vs_compressed_ops((a, b) in (rle_row(300, 24, true), rle_row(300, 24, true))) {
+        let (da, db) = (convert::decode_row(&a), convert::decode_row(&b));
+        let check = |rle_out: RleRow, dense_out: BitRow, name: &str| {
+            prop_assert_eq!(convert::decode_row(&rle_out), dense_out, "{}", name);
+            Ok(())
+        };
+        check(ops::xor(&a, &b), dops::xor_row(&da, &db), "xor")?;
+        check(ops::and(&a, &b), dops::and_row(&da, &db), "and")?;
+        check(ops::or(&a, &b), dops::or_row(&da, &db), "or")?;
+        check(ops::sub(&a, &b), dops::sub_row(&da, &db), "sub")?;
+        check(ops::not(&a), dops::not_row(&da), "not")?;
+    }
+
+    /// Boolean algebra laws in the compressed domain.
+    #[test]
+    fn boolean_algebra((a, b, c) in (rle_row(240, 16, true), rle_row(240, 16, true), rle_row(240, 16, true))) {
+        // Distributivity: a ∧ (b ∨ c) = (a ∧ b) ∨ (a ∧ c)
+        prop_assert_eq!(
+            ops::and(&a, &ops::or(&b, &c)),
+            ops::or(&ops::and(&a, &b), &ops::and(&a, &c))
+        );
+        // XOR associativity.
+        prop_assert_eq!(
+            ops::xor(&ops::xor(&a, &b), &c),
+            ops::xor(&a, &ops::xor(&b, &c))
+        );
+        // De Morgan.
+        prop_assert_eq!(ops::not(&ops::and(&a, &b)), ops::or(&ops::not(&a), &ops::not(&b)));
+        // a \ b = a ∧ ¬b
+        prop_assert_eq!(ops::sub(&a, &b), ops::and(&a, &ops::not(&b)));
+    }
+
+    /// Segments partition the row; gaps are the complement's runs.
+    #[test]
+    fn segments_partition(row in rle_row(300, 24, true)) {
+        let segs: Vec<iter::Segment> = iter::segments(&row).collect();
+        let mut pos = 0u32;
+        for s in &segs {
+            prop_assert_eq!(s.start, pos, "segments must be contiguous");
+            pos = s.end + 1;
+        }
+        prop_assert_eq!(pos, row.width());
+        let fg: u64 = segs.iter().filter(|s| s.value).map(|s| u64::from(s.len())).sum();
+        prop_assert_eq!(fg, row.ones());
+        let gap_runs: Vec<_> = iter::gaps(&row).collect();
+        prop_assert_eq!(gap_runs, ops::not(&row).runs().to_vec());
+    }
+
+    /// Canonicalization is idempotent and preserves the pixel set.
+    #[test]
+    fn canonicalization(row in rle_row(300, 24, true)) {
+        let canon = row.canonicalized();
+        prop_assert!(canon.is_canonical());
+        prop_assert_eq!(canon.to_bits(), row.to_bits());
+        prop_assert_eq!(canon.canonicalized(), canon.clone());
+        prop_assert!(canon.run_count() <= row.run_count());
+    }
+
+    /// PBM P1 and P4 round-trip arbitrary bitmaps.
+    #[test]
+    fn pbm_round_trips(rows in prop::collection::vec(rle_row(77, 8, true), 1..6)) {
+        let mut bm = Bitmap::new(77, rows.len());
+        for (y, row) in rows.iter().enumerate() {
+            bm.set_row(y, &convert::decode_row(row));
+        }
+        let mut p1 = Vec::new();
+        pbm::write_p1(&bm, &mut p1).unwrap();
+        prop_assert_eq!(pbm::read(&mut &p1[..]).unwrap(), bm.clone());
+        let mut p4 = Vec::new();
+        pbm::write_p4(&bm, &mut p4).unwrap();
+        prop_assert_eq!(pbm::read(&mut &p4[..]).unwrap(), bm);
+    }
+
+    /// The compact serialization round-trips any row and image, and the
+    /// decoder never panics or mis-accepts on arbitrary byte soup.
+    #[test]
+    fn serialize_round_trip_and_fuzz(
+        rows in prop::collection::vec(rle_row(5_000, 30, true), 1..5),
+        garbage in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        use rle_systolic::rle::serialize;
+        // Round trips.
+        for row in &rows {
+            prop_assert_eq!(&serialize::decode_row(&serialize::encode_row(row)).unwrap(), row);
+        }
+        let img = rle_systolic::rle::RleImage::from_rows(5_000, rows.clone()).unwrap();
+        let bytes = serialize::encode_image(&img);
+        prop_assert_eq!(&serialize::decode_image(&bytes).unwrap(), &img);
+        // Every truncation fails cleanly (no panic, no silent success).
+        for cut in [0, 1, 4, 8, bytes.len().saturating_sub(1)] {
+            prop_assert!(serialize::decode_image(&bytes[..cut.min(bytes.len() - 1)]).is_err());
+        }
+        // Arbitrary bytes must never panic (errors are fine; the rare
+        // accidentally-valid stream is fine too).
+        let _ = serialize::decode_row(&garbage);
+        let _ = serialize::decode_image(&garbage);
+        // Prepending a valid magic must still not panic.
+        let mut with_magic = b"RLI1".to_vec();
+        with_magic.extend_from_slice(&garbage);
+        let _ = serialize::decode_image(&with_magic);
+    }
+
+    /// Cropping matches bit-level slicing for arbitrary windows, and
+    /// concatenating adjacent crops loses nothing.
+    #[test]
+    fn crop_matches_bit_slices(row in rle_row(300, 24, true), start in 0u32..320, len in 0u32..340) {
+        let cropped = row.crop(start, len);
+        prop_assert_eq!(cropped.width(), len);
+        let bits = row.to_bits();
+        let want: Vec<bool> = (0..len)
+            .map(|i| {
+                let p = u64::from(start) + u64::from(i);
+                p < 300 && bits[p as usize]
+            })
+            .collect();
+        prop_assert_eq!(cropped.to_bits(), want);
+        // Two adjacent windows cover the same pixels as one double window.
+        if len > 0 && start + 2 * len <= 300 {
+            let left = row.crop(start, len);
+            let right = row.crop(start + len, len);
+            let both = row.crop(start, 2 * len);
+            let mut rebuilt = left.to_bits();
+            rebuilt.extend(right.to_bits());
+            prop_assert_eq!(rebuilt, both.to_bits());
+        }
+    }
+
+    /// Parallel dense XOR is identical to the word loop for any geometry.
+    #[test]
+    fn parallel_dense_xor(rows in prop::collection::vec(rle_row(200, 12, true), 1..5), threads in 1usize..5) {
+        let mut a = Bitmap::new(200, rows.len());
+        let mut b = Bitmap::new(200, rows.len());
+        for (y, row) in rows.iter().enumerate() {
+            a.set_row(y, &convert::decode_row(row));
+            b.set_row(rows.len() - 1 - y, &convert::decode_row(row));
+        }
+        prop_assert_eq!(
+            rle_systolic::bitimg::par::xor(&a, &b, threads),
+            dops::xor(&a, &b)
+        );
+        prop_assert_eq!(
+            rle_systolic::bitimg::par::hamming(&a, &b, threads),
+            dops::hamming(&a, &b)
+        );
+    }
+}
