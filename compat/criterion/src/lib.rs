@@ -1,0 +1,297 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's `benches/` targets use —
+//! groups, `bench_with_input`, `BenchmarkId`, the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple warm-up + N-sample
+//! wall-clock loop. No statistical analysis, HTML reports or comparison
+//! against saved baselines; each sample's mean/min/max is printed in a
+//! stable one-line format that downstream scripts can grep.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target total measurement duration.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let config = self.clone();
+        run_one(&config, &id.into(), None, &mut f);
+    }
+}
+
+/// Declares how much data one benchmark iteration processes; when set on a
+/// group, each benchmark line also reports the mean per-second rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Declares the per-iteration data volume for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f`, which receives `input` alongside the [`Bencher`].
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let config = self.config();
+        run_one(
+            &config,
+            &format!("{}/{}", self.name, id.0),
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Benchmarks a closure with no extra input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let config = self.config();
+        run_one(
+            &config,
+            &format!("{}/{}", self.name, id.into()),
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush here).
+    pub fn finish(self) {}
+
+    fn config(&self) -> Criterion {
+        let mut c = self.parent.clone();
+        if let Some(n) = self.sample_size {
+            c.sample_size = n;
+        }
+        c
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{}/{parameter}", function.into()))
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] measures the routine.
+pub struct Bencher {
+    config: Criterion,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`: warm-up, then `sample_size` timed samples with
+    /// the per-sample iteration count chosen so a sample is long enough to
+    /// time reliably.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, also estimating the per-call cost.
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        let mut calls: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_until {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = warm_start
+            .elapsed()
+            .checked_div(calls as u32)
+            .unwrap_or_default();
+
+        // Pick iterations per sample so samples fill measurement_time.
+        let budget = self.config.measurement_time.as_nanos() / self.config.sample_size as u128;
+        let iters = if per_call.as_nanos() == 0 {
+            1_000
+        } else {
+            (budget / per_call.as_nanos()).clamp(1, 1_000_000) as u32
+        };
+
+        self.samples.clear();
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+}
+
+fn run_one(
+    config: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        config: config.clone(),
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        println!("bench {label:<40} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(t) if mean.as_secs_f64() > 0.0 => {
+            let (count, unit) = match t {
+                Throughput::Bytes(n) => (n, "B/s"),
+                Throughput::Elements(n) => (n, "elem/s"),
+            };
+            format!(" {:.3e} {unit}", count as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {label:<40} mean {:>12.3?} min {:>12.3?} max {:>12.3?} ({} samples){rate}",
+        mean,
+        min,
+        max,
+        samples.len()
+    );
+}
+
+/// Builds the group-runner function `criterion_main!` invokes.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_produces_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("t");
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 1), &4u64, |b, &n| {
+            b.iter(|| n * 2);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -8,10 +8,9 @@
 //! of pixel counts, like everything else in the compressed domain.
 
 use rle::{Pixel, RleImage, Run};
-use serde::{Deserialize, Serialize};
 
 /// Pixel adjacency rule.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Connectivity {
     /// Orthogonal neighbours only.
     Four,
@@ -31,7 +30,7 @@ pub struct LabeledRun {
 }
 
 /// A connected component's aggregate description.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Component {
     /// Dense component id.
     pub label: u32,
@@ -92,7 +91,10 @@ struct UnionFind {
 
 impl UnionFind {
     fn new() -> Self {
-        Self { parent: Vec::new(), size: Vec::new() }
+        Self {
+            parent: Vec::new(),
+            size: Vec::new(),
+        }
     }
 
     fn make(&mut self) -> u32 {
@@ -116,8 +118,11 @@ impl UnionFind {
         if ra == rb {
             return;
         }
-        let (big, small) =
-            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small as usize] = big;
         self.size[big as usize] += self.size[small as usize];
     }
@@ -221,7 +226,11 @@ pub fn label_components(img: &RleImage, connectivity: Connectivity) -> Labeling 
             // Sum of x over the run is an arithmetic series.
             c.cx += (f64::from(run.start()) + f64::from(run.end())) / 2.0 * len as f64;
             c.cy += y as f64 * len as f64;
-            labeled_runs.push(LabeledRun { row: y, run: *run, label });
+            labeled_runs.push(LabeledRun {
+                row: y,
+                run: *run,
+                label,
+            });
         }
     }
     for c in &mut components {
@@ -230,7 +239,10 @@ pub fn label_components(img: &RleImage, connectivity: Connectivity) -> Labeling 
             c.cy /= c.area as f64;
         }
     }
-    Labeling { runs: labeled_runs, components }
+    Labeling {
+        runs: labeled_runs,
+        components,
+    }
 }
 
 #[cfg(test)]
@@ -368,9 +380,16 @@ mod tests {
         let mut count = 0;
         let neighbours: &[(i64, i64)] = match conn {
             Connectivity::Four => &[(1, 0), (-1, 0), (0, 1), (0, -1)],
-            Connectivity::Eight => {
-                &[(1, 0), (-1, 0), (0, 1), (0, -1), (1, 1), (1, -1), (-1, 1), (-1, -1)]
-            }
+            Connectivity::Eight => &[
+                (1, 0),
+                (-1, 0),
+                (0, 1),
+                (0, -1),
+                (1, 1),
+                (1, -1),
+                (-1, 1),
+                (-1, -1),
+            ],
         };
         for y in 0..h {
             for x in 0..w {

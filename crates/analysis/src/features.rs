@@ -8,10 +8,9 @@
 //! stage uses.
 
 use crate::components::{Component, Labeling};
-use serde::{Deserialize, Serialize};
 
 /// Derived shape descriptors of a component.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ShapeFeatures {
     /// The component's dense label.
     pub label: u32,
@@ -49,26 +48,27 @@ pub fn by_area_desc(labeling: &Labeling) -> Vec<Component> {
 /// Components with at least `min_area` pixels — the blob-level despeckle.
 #[must_use]
 pub fn filter_by_area(labeling: &Labeling, min_area: u64) -> Vec<Component> {
-    labeling.components.iter().copied().filter(|c| c.area >= min_area).collect()
+    labeling
+        .components
+        .iter()
+        .copied()
+        .filter(|c| c.area >= min_area)
+        .collect()
 }
 
 /// The component whose centroid is nearest to `(x, y)`, if any.
 #[must_use]
 pub fn nearest_to(labeling: &Labeling, x: f64, y: f64) -> Option<Component> {
-    labeling
-        .components
-        .iter()
-        .copied()
-        .min_by(|a, b| {
-            let da = (a.cx - x).powi(2) + (a.cy - y).powi(2);
-            let db = (b.cx - x).powi(2) + (b.cy - y).powi(2);
-            da.partial_cmp(&db).expect("distances are finite")
-        })
+    labeling.components.iter().copied().min_by(|a, b| {
+        let da = (a.cx - x).powi(2) + (a.cy - y).powi(2);
+        let db = (b.cx - x).powi(2) + (b.cy - y).powi(2);
+        da.partial_cmp(&db).expect("distances are finite")
+    })
 }
 
 /// A coarse defect taxonomy for the PCB-inspection story: classify a
 /// difference-mask component by size and shape.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DefectClass {
     /// Single pixels / tiny specks — usually sensor noise.
     Speck,

@@ -10,10 +10,9 @@
 //! window) and XORed against the template row with the sequential merge.
 
 use rle::{ops, Pixel, RleImage};
-use serde::{Deserialize, Serialize};
 
 /// One scored template placement.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Placement {
     /// Window left edge.
     pub x: Pixel,
@@ -59,7 +58,11 @@ pub fn score_all(image: &RleImage, template: &RleImage) -> Vec<Placement> {
     let mut out = Vec::new();
     for y in 0..=(ih - th) {
         for x in 0..=(iw - tw) {
-            out.push(Placement { x, y, score: score_at(image, template, x, y) });
+            out.push(Placement {
+                x,
+                y,
+                score: score_at(image, template, x, y),
+            });
         }
     }
     out
@@ -69,7 +72,9 @@ pub fn score_all(image: &RleImage, template: &RleImage) -> Vec<Placement> {
 /// if the template does not fit in the image.
 #[must_use]
 pub fn best_match(image: &RleImage, template: &RleImage) -> Option<Placement> {
-    score_all(image, template).into_iter().min_by_key(|p| (p.score, p.y, p.x))
+    score_all(image, template)
+        .into_iter()
+        .min_by_key(|p| (p.score, p.y, p.x))
 }
 
 /// Classifies a glyph-sized probe image against a set of labelled
@@ -161,10 +166,10 @@ mod tests {
         use workload::glyphs;
         let probe_dense = glyphs::perturb(&glyphs::render("K", 2), 5, 99);
         let probe = bitimg::convert::encode(&probe_dense);
-        let alphabet: Vec<(char, RleImage)> =
-            ('A'..='Z').map(|c| (c, glyphs::render_rle(&c.to_string(), 2))).collect();
-        let (label, score) =
-            classify(&probe, alphabet.iter().map(|(c, t)| (*c, t))).unwrap();
+        let alphabet: Vec<(char, RleImage)> = ('A'..='Z')
+            .map(|c| (c, glyphs::render_rle(&c.to_string(), 2)))
+            .collect();
+        let (label, score) = classify(&probe, alphabet.iter().map(|(c, t)| (*c, t))).unwrap();
         assert_eq!(label, 'K');
         assert!(score <= 5, "noise bound: {score}");
     }

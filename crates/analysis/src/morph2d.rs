@@ -11,7 +11,11 @@ use rle::morph;
 use rle::{Pixel, RleImage};
 
 /// Applies a horizontal-only pass of `f` to every row.
-fn horizontal(img: &RleImage, radius: Pixel, f: fn(&rle::RleRow, Pixel) -> rle::RleRow) -> RleImage {
+fn horizontal(
+    img: &RleImage,
+    radius: Pixel,
+    f: fn(&rle::RleRow, Pixel) -> rle::RleRow,
+) -> RleImage {
     let rows = img.rows().iter().map(|r| f(r, radius)).collect();
     RleImage::from_rows(img.width(), rows).expect("row widths preserved")
 }
@@ -122,14 +126,22 @@ mod tests {
     fn closing_bridges_vertical_gaps() {
         let im = img("..#..\n.....\n..#..\n");
         let closed = close_rect(&im, 0, 1);
-        assert!(closed.get(2, 1), "vertical 1-px gap must close:\n{}", closed.to_ascii());
+        assert!(
+            closed.get(2, 1),
+            "vertical 1-px gap must close:\n{}",
+            closed.to_ascii()
+        );
     }
 
     #[test]
     fn opening_removes_thin_vertical_lines() {
         let im = img("..#..\n..#..\n..#..\n");
         let opened = open_rect(&im, 1, 0);
-        assert_eq!(opened.ones(), 0, "1-px-wide line dies under horizontal opening");
+        assert_eq!(
+            opened.ones(),
+            0,
+            "1-px-wide line dies under horizontal opening"
+        );
         // But survives a vertical-only opening.
         let opened_v = open_rect(&im, 0, 1);
         assert_eq!(opened_v.ones(), 3);

@@ -4,9 +4,9 @@
 //! time across error rates, while the pure machine's time grows.
 
 use bench::paper_pair;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 use systolic_core::bus::{BusArray, BusMode};
 
 fn ablation(c: &mut Criterion) {

@@ -3,9 +3,9 @@
 //! real hardware is parallel by construction).
 
 use bench::paper_pair;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 use systolic_core::engine::parallel::run_parallel;
 
 fn scaling(c: &mut Criterion) {
@@ -17,14 +17,18 @@ fn scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_scaling");
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bench, &t| {
-            bench.iter(|| {
-                let mut m = systolic_core::SystolicArray::load(&a, &b).unwrap();
-                m.enable_invariant_checks(false);
-                run_parallel(&mut m, t).unwrap();
-                black_box(m.stats().iterations)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, &t| {
+                bench.iter(|| {
+                    let mut m = systolic_core::SystolicArray::load(&a, &b).unwrap();
+                    m.enable_invariant_checks(false);
+                    run_parallel(&mut m, t).unwrap();
+                    black_box(m.stats().iterations)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -5,9 +5,9 @@
 //! independent of similarity).
 
 use bench::paper_pair;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn fig5(c: &mut Criterion) {
     let percents: [u32; 6] = [1, 5, 10, 20, 40, 60];

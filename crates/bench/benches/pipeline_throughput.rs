@@ -1,0 +1,114 @@
+//! Experiment E13: image throughput of the persistent worker-pool pipeline
+//! vs. per-row `run_parallel` spawning.
+//!
+//! The baseline diffs a tall image by calling the barrier-synchronised
+//! parallel engine once per row — paying thread-spawn and three barriers
+//! per iteration for every single row, exactly the pattern the pipeline
+//! was built to eliminate. The pipeline spawns its workers once and
+//! streams rows through them.
+//!
+//! Results are appended to `BENCH_pipeline.json` at the workspace root so
+//! CI history can track the speedup. Hand-rolled timing loop (not
+//! criterion): the comparison needs raw sample access for the JSON report.
+
+use rle::RleImage;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use systolic_core::engine::parallel::systolic_xor_parallel;
+use systolic_core::DiffPipeline;
+use workload::{errors, ErrorModel, GenParams, RowGenerator};
+
+/// Rows in the benchmark image; the acceptance floor is 1024.
+const HEIGHT: usize = 1024;
+/// Row width; with 2–4 px runs at 30 % density this yields ~1600 runs per
+/// side, enough cells for `run_parallel` to engage multiple workers.
+const WIDTH: u32 = 16_384;
+const SAMPLES: usize = 3;
+
+fn build_pair() -> (RleImage, RleImage) {
+    let params = GenParams::with_runs(WIDTH, (2, 4), 0.3);
+    let a = RowGenerator::new(params, 0xE13).next_image(HEIGHT);
+    let b = errors::apply_errors_image(&a, &ErrorModel::fraction(0.01), 0xE13 + 1);
+    (a, b)
+}
+
+/// Wall-clock of `f`, best (min) and mean over `SAMPLES` runs after one
+/// warm-up run.
+fn time<R>(mut f: impl FnMut() -> R) -> (Duration, Duration) {
+    let _ = f(); // warm-up
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        let _ = std::hint::black_box(f());
+        let took = start.elapsed();
+        total += took;
+        best = best.min(took);
+    }
+    (best, total / SAMPLES as u32)
+}
+
+fn per_row_spawning(a: &RleImage, b: &RleImage, threads: usize) -> u64 {
+    let mut iterations = 0;
+    for (ra, rb) in a.rows().iter().zip(b.rows()) {
+        let (_, stats) = systolic_xor_parallel(ra, rb, threads).expect("row diff");
+        iterations += stats.iterations;
+    }
+    iterations
+}
+
+fn main() {
+    let (a, b) = build_pair();
+    println!(
+        "pipeline_throughput: {}x{} image, {} runs total per side",
+        WIDTH,
+        HEIGHT,
+        a.total_runs()
+    );
+
+    let mut json_rows = String::new();
+    for threads in [4usize, 8] {
+        let (base_best, base_mean) = time(|| per_row_spawning(&a, &b, threads));
+
+        let mut pipeline = DiffPipeline::new(threads);
+        let (pipe_best, pipe_mean) = time(|| {
+            let (diff, stats) = pipeline.diff_images(&a, &b).expect("image diff");
+            (diff.total_runs(), stats.totals.iterations)
+        });
+        drop(pipeline);
+
+        let speedup = base_best.as_secs_f64() / pipe_best.as_secs_f64();
+        let beats = pipe_best < base_best;
+        println!(
+            "  threads={threads}: per-row spawning {:.1} ms, pipeline {:.1} ms  ({speedup:.2}x, {})",
+            base_best.as_secs_f64() * 1e3,
+            pipe_best.as_secs_f64() * 1e3,
+            if beats { "pipeline wins" } else { "pipeline LOSES" },
+        );
+
+        let _ = write!(
+            json_rows,
+            "{}    {{\"threads\": {threads}, \
+             \"per_row_spawn_best_ms\": {:.3}, \"per_row_spawn_mean_ms\": {:.3}, \
+             \"pipeline_best_ms\": {:.3}, \"pipeline_mean_ms\": {:.3}, \
+             \"speedup\": {speedup:.3}, \"pipeline_beats_per_row_spawning\": {beats}}}",
+            if json_rows.is_empty() { "" } else { ",\n" },
+            base_best.as_secs_f64() * 1e3,
+            base_mean.as_secs_f64() * 1e3,
+            pipe_best.as_secs_f64() * 1e3,
+            pipe_mean.as_secs_f64() * 1e3,
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline_throughput\",\n  \"image\": {{\"width\": {WIDTH}, \
+         \"height\": {HEIGHT}, \"runs_per_side\": {}}},\n  \"samples\": {SAMPLES},\n  \
+         \"results\": [\n{json_rows}\n  ]\n}}\n",
+        a.total_runs()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -49,7 +49,11 @@ fn substrate(c: &mut Criterion) {
 
     // Analysis stages on an inspection-scale difference mask.
     let (reference, scan) = {
-        let params = workload::pcb::PcbParams { width: 2048, height: 512, ..Default::default() };
+        let params = workload::pcb::PcbParams {
+            width: 2048,
+            height: 512,
+            ..Default::default()
+        };
         workload::pcb::inspection_pair(&params, &workload::pcb::typical_defects(), 0xB0A2D)
     };
     let (mask, _) = systolic_core::image::xor_image(&reference, &scan).unwrap();

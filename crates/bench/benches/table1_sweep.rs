@@ -5,9 +5,9 @@
 //! cost at 6 fixed error runs — shows up directly in the timings.
 
 use bench::{fixed_error_pair, paper_pair};
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn table1(c: &mut Criterion) {
     let sizes: [u32; 5] = [128, 256, 512, 1024, 2048];

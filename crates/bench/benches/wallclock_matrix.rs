@@ -11,9 +11,9 @@
 
 use bench::paper_pair;
 use bitimg::convert::{decode_row, encode_row};
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn matrix(c: &mut Criterion) {
     let width: u32 = 1_000_000;

@@ -22,7 +22,12 @@ impl Bitmap {
     #[must_use]
     pub fn new(width: u32, height: usize) -> Self {
         let words_per_row = words_for(width);
-        Self { width, height, words_per_row, words: vec![0; words_per_row * height] }
+        Self {
+            width,
+            height,
+            words_per_row,
+            words: vec![0; words_per_row * height],
+        }
     }
 
     /// Image width in pixels.
@@ -124,8 +129,10 @@ impl Bitmap {
     /// morphology — through the row-oriented machinery.
     #[must_use]
     pub fn transpose(&self) -> Bitmap {
-        let mut out =
-            Bitmap::new(u32::try_from(self.height).expect("height fits in u32"), self.width as usize);
+        let mut out = Bitmap::new(
+            u32::try_from(self.height).expect("height fits in u32"),
+            self.width as usize,
+        );
         // Word-blocked loop: walk source words and scatter set bits, so
         // sparse images cost ~ones, not width × height.
         for y in 0..self.height {

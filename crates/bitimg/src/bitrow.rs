@@ -27,7 +27,10 @@ impl BitRow {
     /// All-background row of the given width.
     #[must_use]
     pub fn new(width: u32) -> Self {
-        Self { width, words: vec![0; words_for(width)] }
+        Self {
+            width,
+            words: vec![0; words_for(width)],
+        }
     }
 
     /// Builds a row from a bit slice.
@@ -120,7 +123,11 @@ impl BitRow {
         let (ws, we) = ((start / WORD_BITS) as usize, (end / WORD_BITS) as usize);
         for w in ws..=we {
             let lo = if w == ws { start % WORD_BITS } else { 0 };
-            let hi = if w == we { end % WORD_BITS } else { WORD_BITS - 1 };
+            let hi = if w == we {
+                end % WORD_BITS
+            } else {
+                WORD_BITS - 1
+            };
             // Mask covering bits lo..=hi of the word.
             let mask = (u64::MAX >> (WORD_BITS - 1 - hi)) & (u64::MAX << lo);
             if value {

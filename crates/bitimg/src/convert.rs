@@ -23,7 +23,8 @@ pub fn encode_row(row: &BitRow) -> RleRow {
             if ones == WORD_BITS {
                 continue; // run spans this entire word
             }
-            out.push_run(Run::new(start, base + ones - start)).expect("encoder emits in order");
+            out.push_run(Run::new(start, base + ones - start))
+                .expect("encoder emits in order");
             run_start = None;
             w &= !((1u64 << ones) - 1);
         }
@@ -35,13 +36,15 @@ pub fn encode_row(row: &BitRow) -> RleRow {
                 run_start = Some(base + start_bit);
                 break;
             }
-            out.push_run(Run::new(base + start_bit, len)).expect("encoder emits in order");
+            out.push_run(Run::new(base + start_bit, len))
+                .expect("encoder emits in order");
             // Clear the bits of the emitted run.
             w &= !(((1u64 << len) - 1) << start_bit);
         }
     }
     if let Some(start) = run_start {
-        out.push_run(Run::new(start, row.width() - start)).expect("encoder emits in order");
+        out.push_run(Run::new(start, row.width() - start))
+            .expect("encoder emits in order");
     }
     out
 }
@@ -59,7 +62,9 @@ pub fn decode_row(row: &RleRow) -> BitRow {
 /// Run-length encodes a whole bitmap, row by row.
 #[must_use]
 pub fn encode(bm: &Bitmap) -> RleImage {
-    let rows = (0..bm.height()).map(|y| encode_row(&bm.extract_row(y))).collect();
+    let rows = (0..bm.height())
+        .map(|y| encode_row(&bm.extract_row(y)))
+        .collect();
     RleImage::from_rows(bm.width(), rows).expect("encoder preserves widths")
 }
 
@@ -146,7 +151,9 @@ mod tests {
         for width in [1u32, 17, 64, 65, 127, 128, 129, 1000] {
             let mut d = BitRow::new(width);
             for p in 0..width {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 if state >> 40 & 1 == 1 {
                     d.set(p, true);
                 }

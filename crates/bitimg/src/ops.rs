@@ -69,7 +69,12 @@ pub fn hamming_row(a: &BitRow, b: &BitRow) -> u64 {
 
 fn zip_row(a: &BitRow, b: &BitRow, f: impl Fn(u64, u64) -> u64) -> BitRow {
     assert_eq!(a.width(), b.width(), "row width mismatch");
-    let words = a.words().iter().zip(b.words()).map(|(&x, &y)| f(x, y)).collect();
+    let words = a
+        .words()
+        .iter()
+        .zip(b.words())
+        .map(|(&x, &y)| f(x, y))
+        .collect();
     // Inputs keep tail bits clear; all four f's preserve 0 op 0 == 0 except
     // complement, which is handled separately — still mask defensively.
     let mut out = BitRow::from_words(a.width(), words);
@@ -84,7 +89,11 @@ fn zip_row(a: &BitRow, b: &BitRow, f: impl Fn(u64, u64) -> u64) -> BitRow {
 /// Panics if dimensions differ.
 #[must_use]
 pub fn xor(a: &Bitmap, b: &Bitmap) -> Bitmap {
-    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "bitmap dimension mismatch");
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "bitmap dimension mismatch"
+    );
     let mut out = Bitmap::new(a.width(), a.height());
     for ((o, x), y) in out.words_mut().iter_mut().zip(a.words()).zip(b.words()) {
         *o = x ^ y;
@@ -94,7 +103,11 @@ pub fn xor(a: &Bitmap, b: &Bitmap) -> Bitmap {
 
 /// In-place bitmap XOR: `a ^= b`.
 pub fn xor_assign(a: &mut Bitmap, b: &Bitmap) {
-    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "bitmap dimension mismatch");
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "bitmap dimension mismatch"
+    );
     for (x, y) in a.words_mut().iter_mut().zip(b.words()) {
         *x ^= y;
     }
@@ -103,7 +116,11 @@ pub fn xor_assign(a: &mut Bitmap, b: &Bitmap) {
 /// Number of differing pixels between two bitmaps.
 #[must_use]
 pub fn hamming(a: &Bitmap, b: &Bitmap) -> u64 {
-    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "bitmap dimension mismatch");
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "bitmap dimension mismatch"
+    );
     a.words()
         .iter()
         .zip(b.words())

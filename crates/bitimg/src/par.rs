@@ -24,7 +24,11 @@ const MIN_WORDS_PER_THREAD: usize = 4096;
 /// Panics if dimensions differ or `threads == 0`.
 #[must_use]
 pub fn xor(a: &Bitmap, b: &Bitmap, threads: usize) -> Bitmap {
-    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "bitmap dimension mismatch");
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "bitmap dimension mismatch"
+    );
     let mut out = Bitmap::new(a.width(), a.height());
     xor_into(a, b, &mut out, threads);
     out
@@ -38,8 +42,16 @@ pub fn xor(a: &Bitmap, b: &Bitmap, threads: usize) -> Bitmap {
 /// Panics if dimensions differ or `threads == 0`.
 pub fn xor_into(a: &Bitmap, b: &Bitmap, out: &mut Bitmap, threads: usize) {
     assert!(threads > 0, "need at least one thread");
-    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "bitmap dimension mismatch");
-    assert_eq!((a.width(), a.height()), (out.width(), out.height()), "output dimension mismatch");
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "bitmap dimension mismatch"
+    );
+    assert_eq!(
+        (a.width(), a.height()),
+        (out.width(), out.height()),
+        "output dimension mismatch"
+    );
 
     let total = out.words().len();
     let workers = effective_workers(total, threads);
@@ -75,7 +87,11 @@ pub fn xor_into(a: &Bitmap, b: &Bitmap, out: &mut Bitmap, threads: usize) {
 #[must_use]
 pub fn hamming(a: &Bitmap, b: &Bitmap, threads: usize) -> u64 {
     assert!(threads > 0, "need at least one thread");
-    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "bitmap dimension mismatch");
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "bitmap dimension mismatch"
+    );
 
     let total = a.words().len();
     let workers = effective_workers(total, threads);
@@ -99,13 +115,18 @@ pub fn hamming(a: &Bitmap, b: &Bitmap, threads: usize) -> u64 {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("hamming worker panicked")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("hamming worker panicked"))
+            .sum()
     })
     .expect("hamming scope panicked")
 }
 
 fn effective_workers(total_words: usize, threads: usize) -> usize {
-    threads.min(total_words.div_ceil(MIN_WORDS_PER_THREAD)).max(1)
+    threads
+        .min(total_words.div_ceil(MIN_WORDS_PER_THREAD))
+        .max(1)
 }
 
 #[cfg(test)]

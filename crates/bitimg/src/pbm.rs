@@ -95,7 +95,9 @@ pub fn read(input: &mut impl Read) -> Result<Bitmap, PbmError> {
 
     let magic = read_token(&data, &mut pos).ok_or(PbmError::BadHeader)?;
     if magic != b"P1" && magic != b"P4" {
-        return Err(PbmError::BadMagic(String::from_utf8_lossy(&magic).into_owned()));
+        return Err(PbmError::BadMagic(
+            String::from_utf8_lossy(&magic).into_owned(),
+        ));
     }
     let width: u32 = parse_dim(&data, &mut pos)?;
     let height: usize = parse_dim(&data, &mut pos)? as usize;
@@ -249,12 +251,18 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        assert!(matches!(read(&mut "P5\n1 1\n0".as_bytes()), Err(PbmError::BadMagic(_))));
+        assert!(matches!(
+            read(&mut "P5\n1 1\n0".as_bytes()),
+            Err(PbmError::BadMagic(_))
+        ));
     }
 
     #[test]
     fn rejects_truncated_p1() {
-        assert!(matches!(read(&mut "P1\n3 2\n1 0".as_bytes()), Err(PbmError::Truncated)));
+        assert!(matches!(
+            read(&mut "P1\n3 2\n1 0".as_bytes()),
+            Err(PbmError::Truncated)
+        ));
     }
 
     #[test]
@@ -265,13 +273,22 @@ mod tests {
 
     #[test]
     fn rejects_bad_digit() {
-        assert!(matches!(read(&mut "P1\n2 1\n1 2".as_bytes()), Err(PbmError::BadDigit('2'))));
+        assert!(matches!(
+            read(&mut "P1\n2 1\n1 2".as_bytes()),
+            Err(PbmError::BadDigit('2'))
+        ));
     }
 
     #[test]
     fn rejects_malformed_header() {
-        assert!(matches!(read(&mut "P1\nxyz 2\n".as_bytes()), Err(PbmError::BadHeader)));
-        assert!(matches!(read(&mut "P1".as_bytes()), Err(PbmError::BadHeader)));
+        assert!(matches!(
+            read(&mut "P1\nxyz 2\n".as_bytes()),
+            Err(PbmError::BadHeader)
+        ));
+        assert!(matches!(
+            read(&mut "P1".as_bytes()),
+            Err(PbmError::BadHeader)
+        ));
     }
 
     #[test]

@@ -63,6 +63,19 @@ pub enum Command {
         /// Despeckle radius: drop difference components shorter than this.
         clean: u32,
     },
+    /// Diff two images through the persistent worker-pool pipeline.
+    DiffImage {
+        /// First input path.
+        a: PathBuf,
+        /// Second input path.
+        b: PathBuf,
+        /// Output path (PBM or `.rle`); `None` prints stats only.
+        out: Option<PathBuf>,
+        /// Worker threads in the pool (`0` = all available cores).
+        threads: usize,
+        /// Despeckle radius: drop difference components shorter than this.
+        clean: u32,
+    },
     /// Convert a PBM file to the compact RLE format.
     Encode {
         /// Input PBM path.
@@ -142,6 +155,7 @@ rlediff — binary image differencing in the compressed domain
 
 usage:
   rlediff diff <a> <b> [-o OUT] [--algo systolic|sequential|mesh|dense] [--clean N]
+  rlediff diff-image <a> <b> [-o OUT] [--threads N] [--clean N]
   rlediff encode <in.pbm> -o <out.rle>
   rlediff decode <in.rle> -o <out.pbm>
   rlediff info <file>
@@ -159,35 +173,60 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut clean = 0u32;
     let mut seed = 1u64;
     let mut min_area = 1u64;
+    let mut threads = 0usize;
     let mut text = String::from("RLE SYSTOLIC 1999");
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "-o" | "--out" => {
-                let v = it.next().ok_or_else(|| CliError::Usage("-o needs a path".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("-o needs a path".into()))?;
                 out = Some(PathBuf::from(v));
             }
             "--algo" => {
-                let v = it.next().ok_or_else(|| CliError::Usage("--algo needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--algo needs a value".into()))?;
                 algo = Algo::parse(v)?;
             }
             "--clean" => {
-                let v = it.next().ok_or_else(|| CliError::Usage("--clean needs a value".into()))?;
-                clean = v.parse().map_err(|_| CliError::Usage("--clean needs a number".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--clean needs a value".into()))?;
+                clean = v
+                    .parse()
+                    .map_err(|_| CliError::Usage("--clean needs a number".into()))?;
             }
             "--min-area" => {
-                let v =
-                    it.next().ok_or_else(|| CliError::Usage("--min-area needs a value".into()))?;
-                min_area =
-                    v.parse().map_err(|_| CliError::Usage("--min-area needs a number".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--min-area needs a value".into()))?;
+                min_area = v
+                    .parse()
+                    .map_err(|_| CliError::Usage("--min-area needs a number".into()))?;
+            }
+            "--threads" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--threads needs a value".into()))?;
+                threads = v
+                    .parse()
+                    .map_err(|_| CliError::Usage("--threads needs a number".into()))?;
             }
             "--seed" => {
-                let v = it.next().ok_or_else(|| CliError::Usage("--seed needs a value".into()))?;
-                seed = v.parse().map_err(|_| CliError::Usage("--seed needs a number".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--seed needs a value".into()))?;
+                seed = v
+                    .parse()
+                    .map_err(|_| CliError::Usage("--seed needs a number".into()))?;
             }
             "--text" => {
-                let v = it.next().ok_or_else(|| CliError::Usage("--text needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--text needs a value".into()))?;
                 text = v.clone();
             }
             "-h" | "--help" => return Ok(Command::Help),
@@ -203,6 +242,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             algo,
             clean,
         }),
+        ["diff-image", a, b] => Ok(Command::DiffImage {
+            a: PathBuf::from(a),
+            b: PathBuf::from(b),
+            out,
+            threads,
+            clean,
+        }),
         ["encode", input] => Ok(Command::Encode {
             input: PathBuf::from(input),
             out: out.ok_or_else(|| CliError::Usage("encode needs -o".into()))?,
@@ -211,10 +257,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             input: PathBuf::from(input),
             out: out.ok_or_else(|| CliError::Usage("decode needs -o".into()))?,
         }),
-        ["info", input] => Ok(Command::Info { input: PathBuf::from(input) }),
-        ["components", input] => {
-            Ok(Command::Components { input: PathBuf::from(input), min_area })
-        }
+        ["info", input] => Ok(Command::Info {
+            input: PathBuf::from(input),
+        }),
+        ["components", input] => Ok(Command::Components {
+            input: PathBuf::from(input),
+            min_area,
+        }),
         ["gen", kind] => Ok(Command::Gen {
             kind: (*kind).to_string(),
             out: out.ok_or_else(|| CliError::Usage("gen needs -o".into()))?,
@@ -222,12 +271,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             text,
         }),
         [] => Ok(Command::Help),
-        other => Err(CliError::Usage(format!("unrecognised arguments: {other:?}"))),
+        other => Err(CliError::Usage(format!(
+            "unrecognised arguments: {other:?}"
+        ))),
     }
 }
 
 fn is_pbm(path: &Path) -> bool {
-    path.extension().is_some_and(|e| e.eq_ignore_ascii_case("pbm"))
+    path.extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("pbm"))
 }
 
 /// Loads an image from PBM or the compact RLE format, by extension.
@@ -278,7 +330,11 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
         Command::Decode { input, out } => {
             let img = load_image(input)?;
             save_image(&img, out)?;
-            Ok(format!("decoded {} -> {}\n", input.display(), out.display()))
+            Ok(format!(
+                "decoded {} -> {}\n",
+                input.display(),
+                out.display()
+            ))
         }
         Command::Info { input } => {
             let img = load_image(input)?;
@@ -288,7 +344,12 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             let _ = writeln!(s, "{}", input.display());
             let _ = writeln!(s, "  dimensions : {} x {}", img.width(), img.height());
             let _ = writeln!(s, "  runs       : {}", img.total_runs());
-            let _ = writeln!(s, "  foreground : {} px ({:.2}%)", img.ones(), img.density() * 100.0);
+            let _ = writeln!(
+                s,
+                "  foreground : {} px ({:.2}%)",
+                img.ones(),
+                img.density() * 100.0
+            );
             let _ = writeln!(s, "  canonical  : {}", img.is_canonical());
             let _ = writeln!(
                 s,
@@ -302,8 +363,7 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
         Command::Components { input, min_area } => {
             use rle_analysis::features::{classify_defect, shape_features};
             let img = load_image(input)?;
-            let labeling =
-                rle_analysis::label_components(&img, rle_analysis::Connectivity::Eight);
+            let labeling = rle_analysis::label_components(&img, rle_analysis::Connectivity::Eight);
             let kept = rle_analysis::features::filter_by_area(&labeling, *min_area);
             let mut s = String::new();
             let _ = writeln!(
@@ -336,7 +396,13 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             }
             Ok(s)
         }
-        Command::Diff { a, b, out, algo, clean } => {
+        Command::Diff {
+            a,
+            b,
+            out,
+            algo,
+            clean,
+        } => {
             let ia = load_image(a)?;
             let ib = load_image(b)?;
             if ia.width() != ib.width() || ia.height() != ib.height() {
@@ -356,7 +422,12 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
                 }
             }
             let mut s = String::new();
-            let _ = writeln!(s, "diff: {} px differ in {} runs", diff.ones(), diff.total_runs());
+            let _ = writeln!(
+                s,
+                "diff: {} px differ in {} runs",
+                diff.ones(),
+                diff.total_runs()
+            );
             let _ = writeln!(s, "{detail}");
             if let Some(out) = out {
                 save_image(&diff, out)?;
@@ -364,10 +435,72 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             }
             Ok(s)
         }
-        Command::Gen { kind, out, seed, text } => {
+        Command::DiffImage {
+            a,
+            b,
+            out,
+            threads,
+            clean,
+        } => {
+            let ia = load_image(a)?;
+            let ib = load_image(b)?;
+            let threads = if *threads == 0 {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            } else {
+                *threads
+            };
+            let mut pipeline = systolic_core::DiffPipeline::new(threads);
+            let (mut diff, stats) = pipeline
+                .diff_images(&ia, &ib)
+                .map_err(|e| CliError::Mismatch(e.to_string()))?;
+            if *clean > 0 {
+                for y in 0..diff.height() {
+                    let cleaned = rle::morph::remove_small(&diff.rows()[y], *clean);
+                    diff.set_row(y, cleaned).expect("widths preserved");
+                }
+            }
+            let mut s = String::new();
+            let _ = writeln!(
+                s,
+                "diff: {} px differ in {} runs",
+                diff.ones(),
+                diff.total_runs()
+            );
+            let _ = writeln!(
+                s,
+                "pipeline: {} rows in {:.3} ms",
+                stats.rows,
+                stats.wall.as_secs_f64() * 1e3
+            );
+            let _ = writeln!(
+                s,
+                "  iterations : {} total, slowest row {}",
+                stats.totals.iterations, stats.max_row_iterations
+            );
+            let _ = writeln!(
+                s,
+                "  workers    : {} effective of {} in pool",
+                stats.effective_workers, stats.workers
+            );
+            if let Some(rps) = stats.rows_per_second() {
+                let _ = writeln!(s, "  throughput : {rps:.0} rows/s");
+            }
+            if let Some(out) = out {
+                save_image(&diff, out)?;
+                let _ = writeln!(s, "wrote {}", out.display());
+            }
+            Ok(s)
+        }
+        Command::Gen {
+            kind,
+            out,
+            seed,
+            text,
+        } => {
             let img = match kind.as_str() {
                 "pcb" => {
-                    let bm = workload::pcb::reference_layer(&workload::pcb::PcbParams::default(), *seed);
+                    let bm =
+                        workload::pcb::reference_layer(&workload::pcb::PcbParams::default(), *seed);
                     convert::encode(&bm)
                 }
                 "paper" => {
@@ -393,8 +526,7 @@ fn run_diff(a: &RleImage, b: &RleImage, algo: Algo) -> Result<(RleImage, String)
     let to_err = |e: systolic_core::SystolicError| CliError::Mismatch(e.to_string());
     match algo {
         Algo::Systolic => {
-            let (diff, stats) =
-                systolic_core::image::xor_image(a, b).map_err(to_err)?;
+            let (diff, stats) = systolic_core::image::xor_image(a, b).map_err(to_err)?;
             Ok((
                 diff,
                 format!(
@@ -407,13 +539,15 @@ fn run_diff(a: &RleImage, b: &RleImage, algo: Algo) -> Result<(RleImage, String)
             let mut rows = Vec::with_capacity(a.height());
             let mut iters = 0u64;
             for (ra, rb) in a.rows().iter().zip(b.rows()) {
-                let (row, stats) =
-                    systolic_core::bus::systolic_xor_mesh(ra, rb).map_err(to_err)?;
+                let (row, stats) = systolic_core::bus::systolic_xor_mesh(ra, rb).map_err(to_err)?;
                 iters += stats.iterations;
                 rows.push(row);
             }
             let diff = RleImage::from_rows(a.width(), rows).expect("widths preserved");
-            Ok((diff, format!("mesh-assisted systolic: {iters} iterations total")))
+            Ok((
+                diff,
+                format!("mesh-assisted systolic: {iters} iterations total"),
+            ))
         }
         Algo::Sequential => {
             let mut rows = Vec::with_capacity(a.height());
@@ -469,12 +603,18 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert!(matches!(parse_args(&args(&["encode", "x.pbm"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&args(&["encode", "x.pbm"])),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(
             parse_args(&args(&["diff", "a", "b", "--algo", "warp"])),
             Err(CliError::Usage(_))
         ));
-        assert!(matches!(parse_args(&args(&["frobnicate"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&args(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
         assert_eq!(parse_args(&args(&[])).unwrap(), Command::Help);
         assert_eq!(parse_args(&args(&["--help"])).unwrap(), Command::Help);
     }
@@ -491,14 +631,28 @@ mod tests {
         .unwrap();
         assert!(msg.contains("generated pcb"));
 
-        let info = run_command(&Command::Info { input: pbm_path.clone() }).unwrap();
+        let info = run_command(&Command::Info {
+            input: pbm_path.clone(),
+        })
+        .unwrap();
         assert!(info.contains("dimensions"));
 
         let rle_path = tmp("board.rle");
-        run_command(&Command::Encode { input: pbm_path.clone(), out: rle_path.clone() }).unwrap();
+        run_command(&Command::Encode {
+            input: pbm_path.clone(),
+            out: rle_path.clone(),
+        })
+        .unwrap();
         let back_path = tmp("board_back.pbm");
-        run_command(&Command::Decode { input: rle_path.clone(), out: back_path.clone() }).unwrap();
-        assert_eq!(load_image(&pbm_path).unwrap(), load_image(&back_path).unwrap());
+        run_command(&Command::Decode {
+            input: rle_path.clone(),
+            out: back_path.clone(),
+        })
+        .unwrap();
+        assert_eq!(
+            load_image(&pbm_path).unwrap(),
+            load_image(&back_path).unwrap()
+        );
         // RLE file is smaller than the PBM.
         assert!(fs::metadata(&rle_path).unwrap().len() < fs::metadata(&pbm_path).unwrap().len());
     }
@@ -563,7 +717,11 @@ mod tests {
             clean: 2,
         })
         .unwrap();
-        assert_eq!(load_image(&out).unwrap().ones(), 0, "speck must be cleaned away");
+        assert_eq!(
+            load_image(&out).unwrap().ones(),
+            0,
+            "speck must be cleaned away"
+        );
     }
 
     #[test]
@@ -590,19 +748,112 @@ mod tests {
         let img = workload::glyphs::render_rle("I I", 2);
         let path = tmp("comp.rle");
         save_image(&img, &path).unwrap();
-        let out =
-            run_command(&Command::Components { input: path.clone(), min_area: 1 }).unwrap();
+        let out = run_command(&Command::Components {
+            input: path.clone(),
+            min_area: 1,
+        })
+        .unwrap();
         assert!(out.contains("2 components"), "{out}");
         // min-area filters the report.
-        let filtered =
-            run_command(&Command::Components { input: path, min_area: 10_000 }).unwrap();
+        let filtered = run_command(&Command::Components {
+            input: path,
+            min_area: 10_000,
+        })
+        .unwrap();
         assert!(filtered.contains("(0 after --min-area"), "{filtered}");
+    }
+
+    #[test]
+    fn parse_diff_image_with_threads() {
+        let cmd = parse_args(&args(&[
+            "diff-image",
+            "a.pbm",
+            "b.pbm",
+            "-o",
+            "d.rle",
+            "--threads",
+            "3",
+            "--clean",
+            "1",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::DiffImage {
+                a: "a.pbm".into(),
+                b: "b.pbm".into(),
+                out: Some("d.rle".into()),
+                threads: 3,
+                clean: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn diff_image_matches_diff_and_prints_stats() {
+        let a = workload::glyphs::render_rle("PCB", 2);
+        let b = workload::glyphs::render_rle("PCR", 2);
+        let a_path = tmp("pa.rle");
+        let b_path = tmp("pb.rle");
+        save_image(&a, &a_path).unwrap();
+        save_image(&b, &b_path).unwrap();
+
+        let via_diff = tmp("pd1.rle");
+        run_command(&Command::Diff {
+            a: a_path.clone(),
+            b: b_path.clone(),
+            out: Some(via_diff.clone()),
+            algo: Algo::Systolic,
+            clean: 0,
+        })
+        .unwrap();
+
+        let via_pipeline = tmp("pd2.rle");
+        let msg = run_command(&Command::DiffImage {
+            a: a_path,
+            b: b_path,
+            out: Some(via_pipeline.clone()),
+            threads: 2,
+            clean: 0,
+        })
+        .unwrap();
+        assert!(msg.contains("pipeline:"), "{msg}");
+        assert!(msg.contains("workers"), "{msg}");
+        assert_eq!(
+            load_image(&via_diff).unwrap(),
+            load_image(&via_pipeline).unwrap()
+        );
+    }
+
+    #[test]
+    fn diff_image_rejects_dimension_mismatch() {
+        let a = workload::glyphs::render_rle("A", 2);
+        let b = workload::glyphs::render_rle("AB", 2);
+        let a_path = tmp("pma.rle");
+        let b_path = tmp("pmb.rle");
+        save_image(&a, &a_path).unwrap();
+        save_image(&b, &b_path).unwrap();
+        let err = run_command(&Command::DiffImage {
+            a: a_path,
+            b: b_path,
+            out: None,
+            threads: 2,
+            clean: 0,
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Mismatch(_)));
     }
 
     #[test]
     fn parse_components_with_min_area() {
         let cmd = parse_args(&args(&["components", "x.rle", "--min-area", "5"])).unwrap();
-        assert_eq!(cmd, Command::Components { input: "x.rle".into(), min_area: 5 });
+        assert_eq!(
+            cmd,
+            Command::Components {
+                input: "x.rle".into(),
+                min_area: 5
+            }
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ fn full_workflow_gen_diff_info() {
     let d = tmp("w_diff.rle");
 
     let out = rlediff(&["gen", "glyphs", "-o", a.to_str().unwrap(), "--text", "IPPS"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = rlediff(&["gen", "glyphs", "-o", b.to_str().unwrap(), "--text", "IPPC"]);
     assert!(out.status.success());
 

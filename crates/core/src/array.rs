@@ -56,7 +56,10 @@ impl SystolicArray {
     /// `max(k1, k2)` to hold the initial images; `k1 + k2` is always safe).
     pub fn with_capacity(a: &RleRow, b: &RleRow, cells: usize) -> Result<Self, SystolicError> {
         if a.width() != b.width() {
-            return Err(SystolicError::WidthMismatch { left: a.width(), right: b.width() });
+            return Err(SystolicError::WidthMismatch {
+                left: a.width(),
+                right: b.width(),
+            });
         }
         assert!(
             cells >= a.run_count().max(b.run_count()),
@@ -77,7 +80,12 @@ impl SystolicArray {
             width: a.width(),
             small,
             big,
-            stats: ArrayStats { cells, k1, k2, ..ArrayStats::default() },
+            stats: ArrayStats {
+                cells,
+                k1,
+                k2,
+                ..ArrayStats::default()
+            },
             occupied_big: k2,
             checks: cfg!(debug_assertions),
             max_iterations: (k1 + k2) as u64,
@@ -90,7 +98,10 @@ impl SystolicArray {
     /// is kept.
     pub fn reload(&mut self, a: &RleRow, b: &RleRow) -> Result<(), SystolicError> {
         if a.width() != b.width() {
-            return Err(SystolicError::WidthMismatch { left: a.width(), right: b.width() });
+            return Err(SystolicError::WidthMismatch {
+                left: a.width(),
+                right: b.width(),
+            });
         }
         let (k1, k2) = (a.run_count(), b.run_count());
         let cells = k1 + k2;
@@ -105,7 +116,12 @@ impl SystolicArray {
             self.big[i] = Some(run);
         }
         self.width = a.width();
-        self.stats = ArrayStats { cells, k1, k2, ..ArrayStats::default() };
+        self.stats = ArrayStats {
+            cells,
+            k1,
+            k2,
+            ..ArrayStats::default()
+        };
         self.occupied_big = k2;
         self.max_iterations = cells as u64;
         Ok(())
@@ -139,7 +155,10 @@ impl SystolicArray {
     /// Read-only view of cell `i`.
     #[must_use]
     pub fn cell(&self, i: usize) -> CellView {
-        CellView { small: self.small[i], big: self.big[i] }
+        CellView {
+            small: self.small[i],
+            big: self.big[i],
+        }
     }
 
     /// Read-only views of all cells, left to right.
@@ -227,7 +246,9 @@ impl SystolicArray {
             return Ok(()); // nothing on the chain; skip the memmove
         }
         if self.big.last().is_some_and(Option::is_some) {
-            return Err(SystolicError::Overflow { cells: self.big.len() });
+            return Err(SystolicError::Overflow {
+                cells: self.big.len(),
+            });
         }
         self.stats.run_shifts += self.occupied_big as u64;
         self.big.rotate_right(1);
@@ -243,7 +264,8 @@ impl SystolicArray {
         self.phase_shift()?;
         self.stats.iterations += 1;
         if self.checks {
-            invariants::check_all(self).map_err(|what| SystolicError::InvariantViolated { what })?;
+            invariants::check_all(self)
+                .map_err(|what| SystolicError::InvariantViolated { what })?;
         }
         Ok(self.is_done())
     }
@@ -252,7 +274,9 @@ impl SystolicArray {
     pub fn run(&mut self) -> Result<(), SystolicError> {
         while !self.is_done() {
             if self.stats.iterations >= self.max_iterations {
-                return Err(SystolicError::IterationBound { bound: self.max_iterations });
+                return Err(SystolicError::IterationBound {
+                    bound: self.max_iterations,
+                });
             }
             self.step()?;
         }
@@ -267,7 +291,8 @@ impl SystolicArray {
         let mut out = RleRow::new(self.width);
         for (i, run) in self.small.iter().enumerate() {
             if let Some(run) = run {
-                out.push_run(*run).map_err(|_| SystolicError::Disordered { cell: i })?;
+                out.push_run(*run)
+                    .map_err(|_| SystolicError::Disordered { cell: i })?;
             }
         }
         Ok(out)
@@ -320,10 +345,7 @@ mod tests {
     fn figure1_result_and_figure3_iterations() {
         let (a, b) = fig1_inputs();
         let (diff, stats) = systolic_xor(&a, &b).unwrap();
-        assert_eq!(
-            diff,
-            row(40, &[(3, 4), (8, 2), (15, 1), (18, 2), (30, 1)]),
-        );
+        assert_eq!(diff, row(40, &[(3, 4), (8, 2), (15, 1), (18, 2), (30, 1)]),);
         // Figure 3: the machine halts after iteration 3.
         assert_eq!(stats.iterations, 3);
         assert_eq!(stats.k1, 4);
@@ -400,7 +422,10 @@ mod tests {
         let b = RleRow::new(12);
         assert_eq!(
             SystolicArray::load(&a, &b).unwrap_err(),
-            SystolicError::WidthMismatch { left: 10, right: 12 }
+            SystolicError::WidthMismatch {
+                left: 10,
+                right: 12
+            }
         );
     }
 

@@ -87,7 +87,9 @@ impl BusArray {
     /// Convenience: a broadcast bus with the given per-cycle capacity.
     #[must_use]
     pub fn with_bus_capacity(self, capacity: usize) -> Self {
-        self.with_mode(BusMode::Broadcast { per_cycle: capacity })
+        self.with_mode(BusMode::Broadcast {
+            per_cycle: capacity,
+        })
     }
 
     /// The underlying array (for inspection).
@@ -265,7 +267,7 @@ impl BusArray {
             for (m, s) in small.iter().enumerate().skip(from) {
                 match s {
                     Some(s) if s.end() < run.start() => {} // passed with identity XOR
-                    Some(_) => break, // must interact: the bus may not bypass
+                    Some(_) => break,                      // must interact: the bus may not bypass
                     None => {
                         to = Some(m);
                         break;
@@ -321,7 +323,9 @@ impl BusArray {
             }
             found
         };
-        let Some((i, slot, run)) = found else { return false };
+        let Some((i, slot, run)) = found else {
+            return false;
+        };
         let (small, big) = self.array.registers_mut();
         // Shift the group [i+1, slot) right by one, as the mesh does in a
         // single cycle, then drop the run into the vacated head cell.
@@ -402,7 +406,12 @@ mod tests {
         assert_eq!(bus_diff, pure_diff);
         assert_eq!(mesh_diff, pure_diff);
         assert!(bus.bus_placements > 0);
-        assert!(bus.iterations < pure.iterations, "bus {} vs pure {}", bus.iterations, pure.iterations);
+        assert!(
+            bus.iterations < pure.iterations,
+            "bus {} vs pure {}",
+            bus.iterations,
+            pure.iterations
+        );
         assert!(
             mesh.iterations <= bus.iterations,
             "mesh {} vs bus {}",
@@ -410,7 +419,11 @@ mod tests {
             bus.iterations
         );
         // The mesh completes the insert-and-push in O(1) iterations.
-        assert!(mesh.iterations <= 4, "mesh took {} iterations", mesh.iterations);
+        assert!(
+            mesh.iterations <= 4,
+            "mesh took {} iterations",
+            mesh.iterations
+        );
     }
 
     #[test]
@@ -466,7 +479,10 @@ mod tests {
             total_one += one.stats().iterations;
             total_four += four.stats().iterations;
         }
-        assert!(total_four <= total_one, "wider bus slower overall: {total_four} vs {total_one}");
+        assert!(
+            total_four <= total_one,
+            "wider bus slower overall: {total_four} vs {total_one}"
+        );
     }
 
     #[test]

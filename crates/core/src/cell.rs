@@ -85,8 +85,7 @@ pub fn step2_xor(small: &mut Option<Run>, big: &mut Option<Run>) -> XorEvent {
     // Overlapping. Work in i64 so the ±1 terms cannot underflow at pixel 0.
     let old_small_end = i64::from(s.end());
     let new_small_end = old_small_end.min(i64::from(b.start()) - 1);
-    let new_big_start =
-        (i64::from(b.end()) + 1).min((old_small_end + 1).max(i64::from(b.start())));
+    let new_big_start = (i64::from(b.end()) + 1).min((old_small_end + 1).max(i64::from(b.start())));
     let new_big_end = old_small_end.max(i64::from(b.end()));
 
     *small = interval(i64::from(s.start()), new_small_end);
@@ -303,10 +302,30 @@ mod tests {
 
     #[test]
     fn cell_view_signals() {
-        assert!(CellView { small: None, big: None }.is_empty());
-        assert!(CellView { small: None, big: None }.complete());
-        assert!(CellView { small: run(1, 1), big: None }.complete());
-        assert!(!CellView { small: run(1, 1), big: run(5, 1) }.complete());
-        assert!(!CellView { small: run(1, 1), big: None }.is_empty());
+        assert!(CellView {
+            small: None,
+            big: None
+        }
+        .is_empty());
+        assert!(CellView {
+            small: None,
+            big: None
+        }
+        .complete());
+        assert!(CellView {
+            small: run(1, 1),
+            big: None
+        }
+        .complete());
+        assert!(!CellView {
+            small: run(1, 1),
+            big: run(5, 1)
+        }
+        .complete());
+        assert!(!CellView {
+            small: run(1, 1),
+            big: None
+        }
+        .is_empty());
     }
 }

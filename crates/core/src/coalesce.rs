@@ -29,10 +29,9 @@
 use crate::array::SystolicArray;
 use crate::error::SystolicError;
 use rle::{Pixel, RleRow, Run};
-use serde::{Deserialize, Serialize};
 
 /// Counters for a coalescing pass.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CoalesceStats {
     /// Synchronous iterations of the pure systolic pass.
     pub iterations: u64,
@@ -57,7 +56,12 @@ impl CoalescePass {
     /// Builds the pass from any sparse ordered run chain.
     #[must_use]
     pub fn from_cells(width: Pixel, cells: Vec<Option<Run>>) -> Self {
-        Self { width, cells, stats: CoalesceStats::default(), parity: false }
+        Self {
+            width,
+            cells,
+            stats: CoalesceStats::default(),
+            parity: false,
+        }
     }
 
     /// Builds the pass from a halted XOR machine's `RegSmall` chain.
@@ -142,7 +146,8 @@ impl CoalescePass {
         let mut out = RleRow::new(self.width);
         for (i, run) in self.cells.iter().enumerate() {
             if let Some(run) = run {
-                out.push_run(*run).map_err(|_| SystolicError::Disordered { cell: i })?;
+                out.push_run(*run)
+                    .map_err(|_| SystolicError::Disordered { cell: i })?;
             }
         }
         Ok(out)
@@ -157,7 +162,8 @@ pub fn bus_coalesce(width: Pixel, cells: &[Option<Run>]) -> (RleRow, u64) {
     let mut transactions = 0u64;
     for run in cells.iter().flatten() {
         transactions += 1;
-        out.push_run_coalescing(*run).expect("input chain is ordered");
+        out.push_run_coalescing(*run)
+            .expect("input chain is ordered");
     }
     (out, transactions)
 }
@@ -169,7 +175,13 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn cells(width: Pixel, pairs: &[Option<(Pixel, Pixel)>]) -> (Pixel, Vec<Option<Run>>) {
-        (width, pairs.iter().map(|p| p.map(|(s, l)| Run::new(s, l))).collect())
+        (
+            width,
+            pairs
+                .iter()
+                .map(|p| p.map(|(s, l)| Run::new(s, l)))
+                .collect(),
+        )
     }
 
     fn run_pass(width: Pixel, chain: Vec<Option<Run>>) -> (RleRow, CoalesceStats) {
@@ -197,7 +209,10 @@ mod tests {
     #[test]
     fn compacts_across_empty_cells_then_merges() {
         // Adjacent runs separated by empty cells: must compact first.
-        let (w, chain) = cells(64, &[Some((0, 4)), None, None, Some((4, 4)), None, Some((20, 2))]);
+        let (w, chain) = cells(
+            64,
+            &[Some((0, 4)), None, None, Some((4, 4)), None, Some((20, 2))],
+        );
         let (row, stats) = run_pass(w, chain);
         assert_eq!(row.runs(), &[Run::new(0, 8), Run::new(20, 2)]);
         assert!(stats.moves >= 2, "{stats:?}");
@@ -205,8 +220,16 @@ mod tests {
 
     #[test]
     fn merge_chains_collapse_fully() {
-        let (w, chain) =
-            cells(64, &[Some((0, 2)), Some((2, 2)), Some((4, 2)), Some((6, 2)), Some((8, 2))]);
+        let (w, chain) = cells(
+            64,
+            &[
+                Some((0, 2)),
+                Some((2, 2)),
+                Some((4, 2)),
+                Some((6, 2)),
+                Some((8, 2)),
+            ],
+        );
         let (row, stats) = run_pass(w, chain);
         assert_eq!(row.runs(), &[Run::new(0, 10)]);
         assert_eq!(stats.merges, 4);
@@ -235,7 +258,12 @@ mod tests {
                 }
                 let len = rng.gen_range(1..6);
                 chain.push(Some(Run::new(pos, len)));
-                pos += len + if rng.gen_bool(0.4) { 0 } else { rng.gen_range(1..9) };
+                pos += len
+                    + if rng.gen_bool(0.4) {
+                        0
+                    } else {
+                        rng.gen_range(1..9)
+                    };
             }
             let reference = {
                 let runs: Vec<Run> = chain.iter().flatten().copied().collect();

@@ -14,10 +14,8 @@
 //! RegSmall/RegBig) and the shift-out port. Everything scales linearly in
 //! the coordinate width `w = ceil(log2(row_width))`.
 
-use serde::{Deserialize, Serialize};
-
 /// First-order per-cell cost estimate at a given coordinate width.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CellCost {
     /// Coordinate width `w` in bits.
     pub coord_bits: u32,
@@ -48,7 +46,7 @@ impl CellCost {
 }
 
 /// Whole-array estimate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ArrayCost {
     /// Per-cell figures.
     pub cell: CellCost,
@@ -101,9 +99,8 @@ pub fn array_cost(row_width: u32, max_runs_per_image: usize) -> ArrayCost {
 /// Renders a small design-space table over typical row widths.
 #[must_use]
 pub fn design_table(max_runs_per_image: usize) -> String {
-    let mut out = String::from(
-        "row width  coord bits  cell regs  cell logic GE  cells  total logic GE\n",
-    );
+    let mut out =
+        String::from("row width  coord bits  cell regs  cell logic GE  cells  total logic GE\n");
     for row_width in [2_048u32, 10_000, 65_536, 1_000_000] {
         let a = array_cost(row_width, max_runs_per_image);
         out.push_str(&format!(

@@ -9,13 +9,19 @@
 //! * the **parallel engine** ([`parallel::run_parallel`]) splits the cell
 //!   array into contiguous chunks, one worker thread per chunk, with three
 //!   barriers per iteration (compute / shift / reset). Results are
-//!   bit-identical to the sequential engine, which the test-suite asserts.
+//!   bit-identical to the sequential engine, which the test-suite asserts;
+//! * the **image pipeline** ([`pipeline::DiffPipeline`]) moves the
+//!   parallelism up a level: a persistent worker pool schedules whole
+//!   images row by row, each worker running the sequential machine on a
+//!   reusable array.
 //!
 //! Real systolic hardware updates every cell simultaneously; the parallel
 //! engine is therefore the more faithful *execution* model, while the
-//! sequential engine is the faithful *semantic* reference.
+//! sequential engine is the faithful *semantic* reference. The pipeline
+//! models a rack of independent chips fed from one queue.
 
 pub mod parallel;
+pub mod pipeline;
 
 use crate::array::SystolicArray;
 use crate::error::SystolicError;

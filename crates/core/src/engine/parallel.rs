@@ -50,17 +50,13 @@ struct LocalStats {
 /// Panics if `threads == 0`.
 pub fn run_parallel(array: &mut SystolicArray, threads: usize) -> Result<(), SystolicError> {
     assert!(threads > 0, "need at least one thread");
-    if array.is_done() {
-        // Nothing on the RegBig chain (e.g. an empty second image): the
-        // machine is already terminated; match the sequential engine's
-        // zero-iteration behaviour exactly.
-        let output_runs = array.views().filter(|c| c.small.is_some()).count();
-        array.stats_mut().output_runs = output_runs;
-        return Ok(());
-    }
     let n = array.cells();
     let workers = threads.min(n.div_ceil(MIN_CELLS_PER_THREAD)).max(1);
-    if workers == 1 {
+    if workers == 1 || array.is_done() {
+        // Tiny arrays, and machines that are already terminated (e.g. an
+        // empty second image — nothing on the RegBig chain): the sequential
+        // engine's loop is a no-op in the latter case and finalises
+        // `output_runs` itself, so both paths share one write site.
         return array.run();
     }
 
@@ -97,6 +93,7 @@ pub fn run_parallel(array: &mut SystolicArray, threads: usize) -> Result<(), Sys
                     worker(
                         t,
                         num_chunks,
+                        n,
                         bound,
                         small_chunk,
                         big_chunk,
@@ -120,6 +117,10 @@ pub fn run_parallel(array: &mut SystolicArray, threads: usize) -> Result<(), Sys
         return Err(err);
     }
 
+    // Merge audit: on this path the array's own phase methods never ran, so
+    // every per-iteration counter below is accumulated by workers *only*;
+    // nothing is counted by both a worker and the array. `output_runs` is a
+    // final snapshot (not a counter) and is written exactly once, here.
     let stats = array.stats_mut();
     stats.iterations += iterations;
     for l in &locals {
@@ -141,6 +142,7 @@ pub fn run_parallel(array: &mut SystolicArray, threads: usize) -> Result<(), Sys
 fn worker(
     t: usize,
     num_chunks: usize,
+    total_cells: usize,
     bound: u64,
     small: &mut [Option<Run>],
     big: &mut [Option<Run>],
@@ -191,16 +193,20 @@ fn worker(
             break;
         }
         if iterations >= bound {
-            failure.lock().get_or_insert(SystolicError::IterationBound { bound });
+            failure
+                .lock()
+                .get_or_insert(SystolicError::IterationBound { bound });
             break;
         }
         if carries[num_chunks - 1].lock().is_some() {
             // The run at the array's end would fall off — Corollary 1.2
-            // says this cannot happen at default capacity.
+            // says this cannot happen at default capacity. (The last chunk
+            // may be shorter than the others, so the array's size must be
+            // reported from the shared total, not `t * small.len()`.)
             if last_chunk {
                 failure
                     .lock()
-                    .get_or_insert(SystolicError::Overflow { cells: t * small.len() + small.len() });
+                    .get_or_insert(SystolicError::Overflow { cells: total_cells });
             }
             break;
         }
@@ -287,17 +293,29 @@ mod tests {
         for threads in [2, 3, 4, 7] {
             let (par_row, par_stats) = systolic_xor_parallel(&a, &b, threads).unwrap();
             assert_eq!(par_row, seq_row, "threads={threads}");
-            assert_eq!(par_stats.iterations, seq_stats.iterations, "threads={threads}");
+            assert_eq!(
+                par_stats.iterations, seq_stats.iterations,
+                "threads={threads}"
+            );
             assert_eq!(par_stats.swaps, seq_stats.swaps, "threads={threads}");
             assert_eq!(par_stats.moves, seq_stats.moves, "threads={threads}");
             assert_eq!(par_stats.combines, seq_stats.combines, "threads={threads}");
-            assert_eq!(par_stats.annihilations, seq_stats.annihilations, "threads={threads}");
-            assert_eq!(par_stats.run_shifts, seq_stats.run_shifts, "threads={threads}");
+            assert_eq!(
+                par_stats.annihilations, seq_stats.annihilations,
+                "threads={threads}"
+            );
+            assert_eq!(
+                par_stats.run_shifts, seq_stats.run_shifts,
+                "threads={threads}"
+            );
             assert_eq!(
                 par_stats.busy_cell_iterations, seq_stats.busy_cell_iterations,
                 "threads={threads}"
             );
-            assert_eq!(par_stats.output_runs, seq_stats.output_runs, "threads={threads}");
+            assert_eq!(
+                par_stats.output_runs, seq_stats.output_runs,
+                "threads={threads}"
+            );
         }
     }
 

@@ -1,0 +1,402 @@
+//! Image-level diff pipeline: a persistent worker pool over whole images.
+//!
+//! [`crate::engine::parallel`] parallelises *within* one row by splitting
+//! the cell array across threads, paying thread-spawn and three barriers
+//! per row. For whole images the natural unit of parallelism is the row
+//! pair itself — rows are independent, so a pool of workers can each
+//! simulate its own array, exactly like a rack of systolic chips scanning
+//! different board regions.
+//!
+//! [`DiffPipeline`] spawns its workers **once** and reuses them across
+//! calls. Each worker owns one [`SystolicArray`] that is `reload`ed per
+//! row, so steady-state row processing allocates nothing. Two front-ends
+//! are provided:
+//!
+//! * [`DiffPipeline::diff_images`] — batch: submit every row pair of an
+//!   image, collect and reassemble in order, and report aggregated
+//!   [`PipelineStats`];
+//! * [`DiffPipeline::submit`] / [`DiffPipeline::collect`] — streaming: feed
+//!   row pairs as they arrive (e.g. from a scanner head) and drain results
+//!   as they complete, matching each to its [`Ticket`].
+//!
+//! Results are bit-identical to the sequential reference ([`crate::image::
+//! xor_image`]) because every row still runs the unmodified machine; only
+//! the scheduling changes. The test-suite asserts this across all three
+//! engines.
+
+use crate::array::SystolicArray;
+use crate::error::SystolicError;
+use crate::image::check_dims;
+use crate::stats::{ArrayStats, PipelineStats};
+use rle::{RleImage, RleRow};
+use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Identifies one submitted row pair; returned by [`DiffPipeline::submit`]
+/// and echoed by [`DiffPipeline::collect`] so streaming callers can match
+/// results (which complete out of order) to submissions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(u64);
+
+impl Ticket {
+    /// The submission sequence number (0 for the first row ever submitted).
+    #[must_use]
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+/// One completed row diff, as handed back by [`DiffPipeline::collect`].
+#[derive(Debug)]
+pub struct RowOutcome {
+    /// Which submission this result answers.
+    pub ticket: Ticket,
+    /// Index of the pool worker that processed the row (for utilization
+    /// accounting; see [`PipelineStats::effective_workers`]).
+    pub worker: usize,
+    /// The diff row and its per-row machine statistics, or the machine
+    /// error for this row pair.
+    pub result: Result<(RleRow, ArrayStats), SystolicError>,
+}
+
+struct Job {
+    ticket: u64,
+    a: RleRow,
+    b: RleRow,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_ready: Condvar,
+}
+
+/// A persistent pool of row-diff workers (see the module docs).
+///
+/// Dropping the pipeline drains the remaining queue and joins every worker.
+pub struct DiffPipeline {
+    shared: Arc<Shared>,
+    results: Receiver<RowOutcome>,
+    handles: Vec<JoinHandle<()>>,
+    next_ticket: u64,
+    in_flight: usize,
+}
+
+impl std::fmt::Debug for DiffPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiffPipeline")
+            .field("workers", &self.handles.len())
+            .field("in_flight", &self.in_flight)
+            .finish()
+    }
+}
+
+impl DiffPipeline {
+    /// Spawns a pool of `threads` persistent workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let (tx, results) = std::sync::mpsc::channel();
+        let handles = (0..threads)
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                std::thread::spawn(move || worker_loop(&shared, &tx, worker))
+            })
+            .collect();
+        Self {
+            shared,
+            results,
+            handles,
+            next_ticket: 0,
+            in_flight: 0,
+        }
+    }
+
+    /// Number of workers in the pool.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Rows submitted but not yet collected.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Enqueues one row pair for differencing; returns the [`Ticket`] its
+    /// [`RowOutcome`] will carry. Never blocks.
+    pub fn submit(&mut self, a: RleRow, b: RleRow) -> Ticket {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        {
+            let mut state = self.shared.state.lock().expect("pipeline state poisoned");
+            state.queue.push_back(Job { ticket, a, b });
+        }
+        self.shared.work_ready.notify_one();
+        self.in_flight += 1;
+        Ticket(ticket)
+    }
+
+    /// Blocks for the next completed row, in completion (not submission)
+    /// order. Returns `None` when nothing is in flight.
+    pub fn collect(&mut self) -> Option<RowOutcome> {
+        if self.in_flight == 0 {
+            return None;
+        }
+        let outcome = self
+            .results
+            .recv()
+            .expect("pipeline worker lost with rows in flight");
+        self.in_flight -= 1;
+        Some(outcome)
+    }
+
+    /// Diffs two images row by row across the pool, reassembling the rows
+    /// in order and aggregating per-row machine statistics.
+    ///
+    /// Bit-identical to [`crate::image::xor_image`]; only host wall-clock
+    /// changes. If any row fails, the remaining rows are still drained and
+    /// the first error is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if streaming submissions are still in flight (collect them
+    /// first; the batch front-end needs an idle pipeline).
+    pub fn diff_images(
+        &mut self,
+        a: &RleImage,
+        b: &RleImage,
+    ) -> Result<(RleImage, PipelineStats), SystolicError> {
+        assert!(self.in_flight == 0, "diff_images needs an idle pipeline");
+        check_dims(a, b)?;
+        let start = Instant::now();
+        let height = a.height();
+        let base = self.next_ticket;
+        for (ra, rb) in a.rows().iter().zip(b.rows()) {
+            self.submit(ra.clone(), rb.clone());
+        }
+
+        let mut rows: Vec<Option<RleRow>> = vec![None; height];
+        let mut stats = PipelineStats {
+            workers: self.handles.len(),
+            ..Default::default()
+        };
+        let mut seen = vec![false; self.handles.len()];
+        let mut first_err: Option<SystolicError> = None;
+        while let Some(done) = self.collect() {
+            match done.result {
+                Ok((row, row_stats)) => {
+                    stats.totals.absorb(&row_stats);
+                    stats.max_row_iterations = stats.max_row_iterations.max(row_stats.iterations);
+                    stats.rows += 1;
+                    seen[done.worker] = true;
+                    rows[usize::try_from(done.ticket.id() - base).expect("ticket fits")] =
+                        Some(row);
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        stats.effective_workers = seen.iter().filter(|s| **s).count();
+        stats.wall = start.elapsed();
+        let rows: Vec<RleRow> = rows
+            .into_iter()
+            .map(|r| r.expect("every row collected"))
+            .collect();
+        let image = RleImage::from_rows(a.width(), rows).expect("row widths preserved");
+        Ok((image, stats))
+    }
+}
+
+impl Drop for DiffPipeline {
+    fn drop(&mut self) {
+        {
+            let mut state = match self.shared.state.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A worker: pop jobs until shutdown, reusing one array across all of them.
+fn worker_loop(shared: &Shared, results: &Sender<RowOutcome>, worker: usize) {
+    // The persistent register buffer: allocated on the first row, then
+    // `reload`ed in place for every subsequent one.
+    let mut array: Option<SystolicArray> = None;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pipeline state poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .expect("pipeline state poisoned");
+            }
+        };
+        let result = diff_reusing(&mut array, &job.a, &job.b);
+        // The receiver disappearing mid-job means the pipeline is being
+        // dropped; the queue will hand us the shutdown flag next round.
+        let _ = results.send(RowOutcome {
+            ticket: Ticket(job.ticket),
+            worker,
+            result,
+        });
+    }
+}
+
+/// Diffs one row pair on a reusable array (the [`crate::image::RowPipeline`]
+/// pattern, per worker).
+fn diff_reusing(
+    array: &mut Option<SystolicArray>,
+    a: &RleRow,
+    b: &RleRow,
+) -> Result<(RleRow, ArrayStats), SystolicError> {
+    let machine = match array.as_mut() {
+        Some(machine) => {
+            machine.reload(a, b)?;
+            machine
+        }
+        None => array.insert(SystolicArray::load(a, b)?),
+    };
+    machine.run()?;
+    Ok((machine.extract()?, *machine.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::xor_image;
+
+    fn img(art: &str) -> RleImage {
+        RleImage::from_ascii(art)
+    }
+
+    #[test]
+    fn batch_matches_sequential_reference() {
+        let a = img("####....\n..##..##\n........\n#.#.#.#.\n");
+        let b = img("####....\n..##..#.\n...##...\n.#.#.#.#\n");
+        let (seq, seq_stats) = xor_image(&a, &b).unwrap();
+        let mut pipeline = DiffPipeline::new(3);
+        let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+        assert_eq!(got, seq);
+        assert_eq!(stats.rows, 4);
+        assert_eq!(stats.totals.iterations, seq_stats.totals.iterations);
+        assert_eq!(stats.max_row_iterations, seq_stats.max_row_iterations);
+        assert_eq!(stats.workers, 3);
+        assert!(stats.effective_workers >= 1 && stats.effective_workers <= 3);
+    }
+
+    #[test]
+    fn pool_is_reused_across_calls() {
+        let a = img("##..##..\n.######.\n");
+        let b = img("##.###..\n.#....#.\n");
+        let mut pipeline = DiffPipeline::new(2);
+        let (first, _) = pipeline.diff_images(&a, &b).unwrap();
+        let (second, _) = pipeline.diff_images(&a, &b).unwrap();
+        assert_eq!(first, second);
+        let (identity, stats) = pipeline.diff_images(&a, &a.clone()).unwrap();
+        assert_eq!(identity.ones(), 0);
+        assert_eq!(stats.rows, 2);
+    }
+
+    #[test]
+    fn streaming_submit_collect_round_trip() {
+        let a = img("####....\n..##..##\n#.#.#.#.\n");
+        let b = img("###.....\n..##..#.\n.#.#.#.#\n");
+        let mut pipeline = DiffPipeline::new(2);
+        let tickets: Vec<Ticket> = a
+            .rows()
+            .iter()
+            .zip(b.rows())
+            .map(|(ra, rb)| pipeline.submit(ra.clone(), rb.clone()))
+            .collect();
+        assert_eq!(pipeline.in_flight(), 3);
+
+        let mut rows: Vec<Option<RleRow>> = vec![None; 3];
+        while let Some(done) = pipeline.collect() {
+            let slot = tickets.iter().position(|t| *t == done.ticket).unwrap();
+            rows[slot] = Some(done.result.unwrap().0);
+        }
+        assert_eq!(pipeline.in_flight(), 0);
+        let (expected, _) = xor_image(&a, &b).unwrap();
+        for (slot, row) in rows.into_iter().enumerate() {
+            assert_eq!(row.unwrap(), expected.rows()[slot]);
+        }
+    }
+
+    #[test]
+    fn row_error_is_reported_and_pipeline_survives() {
+        let mut pipeline = DiffPipeline::new(2);
+        let good = RleRow::from_pairs(16, &[(0, 4)]).unwrap();
+        let bad = RleRow::new(8); // width mismatch against `good`
+        pipeline.submit(good.clone(), bad);
+        let outcome = pipeline.collect().unwrap();
+        assert!(outcome.result.is_err());
+        // The pool still works after the failure.
+        pipeline.submit(good.clone(), good.clone());
+        let ok = pipeline.collect().unwrap();
+        assert!(ok.result.unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn empty_image_batch() {
+        let a = RleImage::new(32, 0);
+        let mut pipeline = DiffPipeline::new(2);
+        let (d, stats) = pipeline.diff_images(&a, &a.clone()).unwrap();
+        assert_eq!(d.height(), 0);
+        assert_eq!(stats.rows, 0);
+        assert_eq!(stats.effective_workers, 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut pipeline = DiffPipeline::new(2);
+        let a = RleImage::new(8, 2);
+        assert!(pipeline.diff_images(&a, &RleImage::new(9, 2)).is_err());
+        assert!(pipeline.diff_images(&a, &RleImage::new(8, 3)).is_err());
+        // Failed dimension checks leave nothing in flight.
+        assert_eq!(pipeline.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_workers_panics() {
+        let _ = DiffPipeline::new(0);
+    }
+}

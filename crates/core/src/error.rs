@@ -17,6 +17,13 @@ pub enum SystolicError {
         /// Width of the second input.
         right: u32,
     },
+    /// The two input images have different heights.
+    HeightMismatch {
+        /// Height of the first input.
+        left: usize,
+        /// Height of the second input.
+        right: usize,
+    },
     /// A run was shifted out of the last cell. Corollary 1.2 guarantees this
     /// cannot happen with capacity `k1 + k2`; seeing it means the machine
     /// (or a caller-supplied smaller capacity) is wrong.
@@ -53,14 +60,26 @@ impl fmt::Display for SystolicError {
             SystolicError::WidthMismatch { left, right } => {
                 write!(f, "input rows have different widths ({left} vs {right})")
             }
+            SystolicError::HeightMismatch { left, right } => {
+                write!(f, "input images have different heights ({left} vs {right})")
+            }
             SystolicError::Overflow { cells } => {
-                write!(f, "a run was shifted out of the {cells}-cell array (Corollary 1.2 violated)")
+                write!(
+                    f,
+                    "a run was shifted out of the {cells}-cell array (Corollary 1.2 violated)"
+                )
             }
             SystolicError::IterationBound { bound } => {
-                write!(f, "machine did not terminate within {bound} iterations (Theorem 1 violated)")
+                write!(
+                    f,
+                    "machine did not terminate within {bound} iterations (Theorem 1 violated)"
+                )
             }
             SystolicError::Disordered { cell } => {
-                write!(f, "RegSmall chain is disordered at cell {cell} (Theorem 2 violated)")
+                write!(
+                    f,
+                    "RegSmall chain is disordered at cell {cell} (Theorem 2 violated)"
+                )
             }
             SystolicError::InvariantViolated { what } => {
                 write!(f, "invariant violated: {what}")
@@ -77,10 +96,23 @@ mod tests {
 
     #[test]
     fn display_names_the_theorem() {
-        assert!(SystolicError::Overflow { cells: 8 }.to_string().contains("Corollary 1.2"));
-        assert!(SystolicError::IterationBound { bound: 9 }.to_string().contains("Theorem 1"));
-        assert!(SystolicError::Disordered { cell: 2 }.to_string().contains("Theorem 2"));
-        assert!(SystolicError::WidthMismatch { left: 1, right: 2 }.to_string().contains("widths"));
-        assert!(SystolicError::InvariantViolated { what: "x".into() }.to_string().contains("x"));
+        assert!(SystolicError::Overflow { cells: 8 }
+            .to_string()
+            .contains("Corollary 1.2"));
+        assert!(SystolicError::IterationBound { bound: 9 }
+            .to_string()
+            .contains("Theorem 1"));
+        assert!(SystolicError::Disordered { cell: 2 }
+            .to_string()
+            .contains("Theorem 2"));
+        assert!(SystolicError::WidthMismatch { left: 1, right: 2 }
+            .to_string()
+            .contains("widths"));
+        assert!(SystolicError::HeightMismatch { left: 1, right: 2 }
+            .to_string()
+            .contains("heights"));
+        assert!(SystolicError::InvariantViolated { what: "x".into() }
+            .to_string()
+            .contains("x"));
     }
 }

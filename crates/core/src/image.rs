@@ -6,6 +6,11 @@
 //! distributed across host threads (each worker simulating its own array —
 //! the natural parallelism of an inspection pipeline where several systolic
 //! chips scan different board regions).
+//!
+//! [`xor_image_parallel`] spawns a fresh thread scope per call; for
+//! long-lived services diffing many images, prefer the persistent pool in
+//! [`crate::engine::pipeline::DiffPipeline`], which keeps its workers (and
+//! their register buffers) alive across calls.
 
 use crate::array::SystolicArray;
 use crate::error::SystolicError;
@@ -34,14 +39,17 @@ impl ImageDiffStats {
     }
 }
 
-fn check_dims(a: &RleImage, b: &RleImage) -> Result<(), SystolicError> {
+pub(crate) fn check_dims(a: &RleImage, b: &RleImage) -> Result<(), SystolicError> {
     if a.width() != b.width() {
-        return Err(SystolicError::WidthMismatch { left: a.width(), right: b.width() });
+        return Err(SystolicError::WidthMismatch {
+            left: a.width(),
+            right: b.width(),
+        });
     }
     if a.height() != b.height() {
-        return Err(SystolicError::WidthMismatch {
-            left: a.height() as u32,
-            right: b.height() as u32,
+        return Err(SystolicError::HeightMismatch {
+            left: a.height(),
+            right: b.height(),
         });
     }
     Ok(())
@@ -122,7 +130,10 @@ pub fn xor_image_parallel(
     let results = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|t| {
-                let lo = t * chunk;
+                // Both bounds clamp: with an uneven height the last chunks
+                // may be short or empty (e.g. 5 rows on 4 workers chunks as
+                // 2+2+1+0), and `t * chunk` alone can pass the end.
+                let lo = (t * chunk).min(height);
                 let hi = ((t + 1) * chunk).min(height);
                 let (ra, rb) = (&a.rows()[lo..hi], &b.rows()[lo..hi]);
                 scope.spawn(move |_| {
@@ -206,6 +217,20 @@ mod tests {
     }
 
     #[test]
+    fn parallel_handles_uneven_heights() {
+        // Regression: 5 rows on 4 workers chunks as ceil(5/4)=2 → worker 3
+        // used to slice rows[6..5] and panic.
+        let a = img("##......\n..##....\n....##..\n......##\n########\n");
+        let b = img("##..##..\n..##..##\n##..##..\n..##..##\n........\n");
+        let (seq, seq_stats) = xor_image(&a, &b).unwrap();
+        for threads in [2, 3, 4, 5, 7] {
+            let (par, par_stats) = xor_image_parallel(&a, &b, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+            assert_eq!(par_stats, seq_stats, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn dimension_mismatches_rejected() {
         let a = RleImage::new(8, 2);
         assert!(xor_image(&a, &RleImage::new(9, 2)).is_err());
@@ -235,8 +260,8 @@ mod tests {
         // Rows with wildly different run counts force reload to regrow and
         // shrink the register file.
         let mut pipeline = RowPipeline::new();
-        let wide = rle::RleRow::from_pairs(64, &(0..16).map(|i| (i * 4, 2)).collect::<Vec<_>>())
-            .unwrap();
+        let wide =
+            rle::RleRow::from_pairs(64, &(0..16).map(|i| (i * 4, 2)).collect::<Vec<_>>()).unwrap();
         let empty = rle::RleRow::new(64);
         assert_eq!(pipeline.diff(&wide, &empty).unwrap(), wide);
         assert!(pipeline.diff(&empty, &empty.clone()).unwrap().is_empty());

@@ -30,6 +30,8 @@
 //! * [`engine::parallel`] — a barrier-synchronised multi-threaded engine
 //!   that executes the very same machine (bit-identical results, asserted in
 //!   tests) for large arrays.
+//! * [`engine::pipeline`] — a persistent worker pool diffing whole images
+//!   row by row (the service-shaped front-end).
 //! * [`image`] — whole-image differencing, optionally parallel across rows.
 //! * [`bus`] — the broadcast-bus extension the paper sketches as future
 //!   work, quantifying how many shift iterations a bus would save.
@@ -67,5 +69,6 @@ pub mod stripes;
 pub mod trace;
 
 pub use array::{systolic_xor, SystolicArray};
+pub use engine::pipeline::DiffPipeline;
 pub use error::SystolicError;
-pub use stats::ArrayStats;
+pub use stats::{ArrayStats, PipelineStats};

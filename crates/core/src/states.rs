@@ -66,7 +66,10 @@ pub fn classify(small: Option<Run>, big: Option<Run>) -> CellState {
         (Some(s), Some(b)) => {
             let needs_swap = s.key() > b.key();
             let (lo, hi) = if needs_swap { (b, s) } else { (s, b) };
-            CellState::Pair { geometry: pair_geometry(lo, hi), needs_swap }
+            CellState::Pair {
+                geometry: pair_geometry(lo, hi),
+                needs_swap,
+            }
         }
     }
 }
@@ -128,7 +131,10 @@ mod tests {
         for (a, b, want) in cases {
             assert_eq!(
                 classify(Some(a), Some(b)),
-                CellState::Pair { geometry: want, needs_swap: false },
+                CellState::Pair {
+                    geometry: want,
+                    needs_swap: false
+                },
                 "{a:?} vs {b:?}"
             );
         }
@@ -147,12 +153,19 @@ mod tests {
                         let (mut s, mut b) = (Some(s0), Some(b0));
                         step1_order(&mut s, &mut b);
                         let after = classify(s, b);
-                        let CellState::Pair { geometry, needs_swap } = before else {
+                        let CellState::Pair {
+                            geometry,
+                            needs_swap,
+                        } = before
+                        else {
                             panic!("two-run cell must classify as Pair");
                         };
                         assert_eq!(
                             after,
-                            CellState::Pair { geometry, needs_swap: false },
+                            CellState::Pair {
+                                geometry,
+                                needs_swap: false
+                            },
                             "step 1 must map b-state to its a-state: {s0:?}/{b0:?}"
                         );
                         let _ = needs_swap;
@@ -168,13 +181,33 @@ mod tests {
         use PairGeometry::*;
         type Case = (Run, Run, PairGeometry, (Option<Run>, Option<Run>));
         let cases: [Case; 7] = [
-            (run(0, 3), run(10, 2), Disjoint, (Some(run(0, 3)), Some(run(10, 2)))),
-            (run(0, 3), run(3, 2), Adjacent, (Some(run(0, 3)), Some(run(3, 2)))),
-            (run(0, 5), run(3, 5), OverlapProper, (Some(run(0, 3)), Some(run(5, 3)))),
+            (
+                run(0, 3),
+                run(10, 2),
+                Disjoint,
+                (Some(run(0, 3)), Some(run(10, 2))),
+            ),
+            (
+                run(0, 3),
+                run(3, 2),
+                Adjacent,
+                (Some(run(0, 3)), Some(run(3, 2))),
+            ),
+            (
+                run(0, 5),
+                run(3, 5),
+                OverlapProper,
+                (Some(run(0, 3)), Some(run(5, 3))),
+            ),
             (run(0, 5), run(0, 5), Equal, (None, None)),
             (run(0, 3), run(0, 5), SharedStart, (None, Some(run(3, 2)))),
             (run(0, 5), run(2, 3), SharedEnd, (Some(run(0, 2)), None)),
-            (run(0, 8), run(2, 3), Nested, (Some(run(0, 2)), Some(run(5, 3)))),
+            (
+                run(0, 8),
+                run(2, 3),
+                Nested,
+                (Some(run(0, 2)), Some(run(5, 3))),
+            ),
         ];
         for (a, b, geometry, want) in cases {
             assert_eq!(pair_geometry(a, b), geometry);
@@ -188,10 +221,18 @@ mod tests {
     fn geometry_is_orientation_independent() {
         let a = run(2, 6);
         let b = run(4, 10);
-        let CellState::Pair { geometry: g1, needs_swap: n1 } = classify(Some(a), Some(b)) else {
+        let CellState::Pair {
+            geometry: g1,
+            needs_swap: n1,
+        } = classify(Some(a), Some(b))
+        else {
             unreachable!()
         };
-        let CellState::Pair { geometry: g2, needs_swap: n2 } = classify(Some(b), Some(a)) else {
+        let CellState::Pair {
+            geometry: g2,
+            needs_swap: n2,
+        } = classify(Some(b), Some(a))
+        else {
             unreachable!()
         };
         assert_eq!(g1, g2);

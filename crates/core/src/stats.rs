@@ -1,11 +1,9 @@
 //! Instrumentation counters for systolic runs.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated over a full systolic run. `iterations` is the
 /// quantity the paper reports in Figure 5 and Table 1; the rest quantify
 /// data movement and cell activity for the ablation studies.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ArrayStats {
     /// Synchronous iterations until every cell raised its complete signal.
     pub iterations: u64,
@@ -84,28 +82,97 @@ impl ArrayStats {
     }
 }
 
+/// Aggregate statistics for one [`crate::engine::pipeline::DiffPipeline`]
+/// batch: what the pool did to an image, and how the work spread over the
+/// workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Row pairs processed.
+    pub rows: usize,
+    /// Sum of every per-row counter; `totals.iterations` is the work a
+    /// single physical array would spend streaming all rows through.
+    pub totals: ArrayStats,
+    /// The slowest row's iteration count — the latency bound with one
+    /// array per row (fully parallel hardware).
+    pub max_row_iterations: u64,
+    /// Host wall-clock for the whole batch (submission through reassembly).
+    pub wall: std::time::Duration,
+    /// Workers in the pool.
+    pub workers: usize,
+    /// Workers that processed at least one row of this batch — how much of
+    /// the pool the workload actually kept busy.
+    pub effective_workers: usize,
+}
+
+impl PipelineStats {
+    /// Rows per second over the batch wall-clock; `None` for an instant or
+    /// empty batch.
+    #[must_use]
+    pub fn rows_per_second(&self) -> Option<f64> {
+        let secs = self.wall.as_secs_f64();
+        if self.rows == 0 || secs <= 0.0 {
+            return None;
+        }
+        Some(self.rows as f64 / secs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn theorem1_bound_and_check() {
-        let s = ArrayStats { iterations: 5, k1: 3, k2: 4, ..Default::default() };
+        let s = ArrayStats {
+            iterations: 5,
+            k1: 3,
+            k2: 4,
+            ..Default::default()
+        };
         assert_eq!(s.theorem1_bound(), 7);
         assert!(s.within_theorem1());
-        let s = ArrayStats { iterations: 8, k1: 3, k2: 4, ..Default::default() };
+        let s = ArrayStats {
+            iterations: 8,
+            k1: 3,
+            k2: 4,
+            ..Default::default()
+        };
         assert!(!s.within_theorem1());
     }
 
     #[test]
     fn absorb_accumulates() {
-        let mut a = ArrayStats { iterations: 2, swaps: 1, k1: 3, ..Default::default() };
-        let b = ArrayStats { iterations: 3, swaps: 2, k2: 4, output_runs: 5, ..Default::default() };
+        let mut a = ArrayStats {
+            iterations: 2,
+            swaps: 1,
+            k1: 3,
+            ..Default::default()
+        };
+        let b = ArrayStats {
+            iterations: 3,
+            swaps: 2,
+            k2: 4,
+            output_runs: 5,
+            ..Default::default()
+        };
         a.absorb(&b);
         assert_eq!(a.iterations, 5);
         assert_eq!(a.swaps, 3);
         assert_eq!(a.k1, 3);
         assert_eq!(a.k2, 4);
         assert_eq!(a.output_runs, 5);
+    }
+
+    #[test]
+    fn pipeline_throughput_math() {
+        let mut s = PipelineStats {
+            rows: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.rows_per_second(), None, "zero wall-clock");
+        s.wall = std::time::Duration::from_secs(2);
+        assert_eq!(s.rows_per_second(), Some(50.0));
+        s.rows = 0;
+        assert_eq!(s.rows_per_second(), None, "empty batch");
     }
 }

@@ -60,7 +60,10 @@ pub fn xor_striped(
 ) -> Result<StripedOutcome, SystolicError> {
     assert!(stripe_width > 0, "stripes must be at least one pixel wide");
     if a.width() != b.width() {
-        return Err(SystolicError::WidthMismatch { left: a.width(), right: b.width() });
+        return Err(SystolicError::WidthMismatch {
+            left: a.width(),
+            right: b.width(),
+        });
     }
     let width = a.width();
     let mut out = RleRow::new(width);
@@ -137,7 +140,11 @@ mod tests {
         let b = random_row(&mut rng, 4_000);
         let whole_cells = a.run_count() + b.run_count();
         let striped = xor_striped(&a, &b, 256).unwrap();
-        assert!(striped.max_cells() < whole_cells / 4, "{} vs {whole_cells}", striped.max_cells());
+        assert!(
+            striped.max_cells() < whole_cells / 4,
+            "{} vs {whole_cells}",
+            striped.max_cells()
+        );
         // Parallel stripes beat the single array on latency.
         let (_, whole_stats) = crate::array::systolic_xor(&a, &b).unwrap();
         assert!(striped.max_iterations() <= whole_stats.iterations);

@@ -53,11 +53,18 @@ pub fn run_traced(array: &mut SystolicArray) -> Result<Trace, SystolicError> {
         }
     }
     array.stats_mut().output_runs = array.views().filter(|c| c.small.is_some()).count();
-    Ok(Trace { steps, iterations: iteration, result: array.extract_raw()? })
+    Ok(Trace {
+        steps,
+        iterations: iteration,
+        result: array.extract_raw()?,
+    })
 }
 
 fn snapshot(label: &str, array: &SystolicArray) -> TraceStep {
-    TraceStep { label: label.to_string(), cells: array.views().collect() }
+    TraceStep {
+        label: label.to_string(),
+        cells: array.views().collect(),
+    }
 }
 
 impl Trace {
@@ -75,7 +82,13 @@ impl Trace {
             .max()
             .unwrap_or(2)
             .max("Cell99".len());
-        let label_width = self.steps.iter().map(|s| s.label.len()).max().unwrap_or(7).max(7);
+        let label_width = self
+            .steps
+            .iter()
+            .map(|s| s.label.len())
+            .max()
+            .unwrap_or(7)
+            .max(7);
 
         let mut out = String::new();
         out.push_str(&format!("{:label_width$}", "Step"));
@@ -148,7 +161,10 @@ mod tests {
         let n = 9;
 
         let initial = trace.step("Initial").unwrap();
-        assert_eq!(reg(&initial.cells, true), runs(&[(10, 3), (16, 2), (23, 2), (27, 3)], n));
+        assert_eq!(
+            reg(&initial.cells, true),
+            runs(&[(10, 3), (16, 2), (23, 2), (27, 3)], n)
+        );
         assert_eq!(
             reg(&initial.cells, false),
             runs(&[(3, 4), (8, 5), (15, 5), (23, 2), (27, 4)], n)
@@ -160,7 +176,10 @@ mod tests {
             reg(&s11.cells, true),
             runs(&[(3, 4), (8, 5), (15, 5), (23, 2), (27, 4)], n)
         );
-        assert_eq!(reg(&s11.cells, false), runs(&[(10, 3), (16, 2), (23, 2), (27, 3)], n));
+        assert_eq!(
+            reg(&s11.cells, false),
+            runs(&[(10, 3), (16, 2), (23, 2), (27, 3)], n)
+        );
 
         // 1.2 — all pairs disjoint; nothing changes.
         let s12 = trace.step("1.2").unwrap();
@@ -219,8 +238,9 @@ mod tests {
         let mut m = SystolicArray::load(&a, &b).unwrap();
         let trace = run_traced(&mut m).unwrap();
         let table = trace.to_figure3_table();
-        for needle in ["Step", "Cell0", "Cell8", "Initial", "1.1", "2.2", "3.3", "(3,4)", "(30,1)"]
-        {
+        for needle in [
+            "Step", "Cell0", "Cell8", "Initial", "1.1", "2.2", "3.3", "(3,4)", "(30,1)",
+        ] {
             assert!(table.contains(needle), "table missing {needle:?}:\n{table}");
         }
         // Two lines per snapshot plus the header.

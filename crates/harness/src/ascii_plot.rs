@@ -17,7 +17,10 @@ impl Series {
     /// Creates a series.
     #[must_use]
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Self { label: label.into(), points }
+        Self {
+            label: label.into(),
+            points,
+        }
     }
 }
 
@@ -28,7 +31,10 @@ impl Series {
 pub fn plot(series: &[Series], width: usize, height: usize, title: &str) -> String {
     const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
     let (width, height) = (width.max(16), height.max(4));
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         return format!("{title}\n(no data)\n");
     }
@@ -72,7 +78,12 @@ pub fn plot(series: &[Series], width: usize, height: usize, title: &str) -> Stri
         out.push('\n');
     }
     out.push_str(&format!("{y_min:>10.1} └{}\n", "─".repeat(width)));
-    out.push_str(&format!("            {:<10.2}{:>width$.2}\n", x_min, x_max, width = width - 10));
+    out.push_str(&format!(
+        "            {:<10.2}{:>width$.2}\n",
+        x_min,
+        x_max,
+        width = width - 10
+    ));
     out
 }
 
@@ -88,7 +99,10 @@ mod tests {
 
     #[test]
     fn single_series_renders_points() {
-        let s = Series::new("line", (0..10).map(|i| (f64::from(i), f64::from(i))).collect());
+        let s = Series::new(
+            "line",
+            (0..10).map(|i| (f64::from(i), f64::from(i))).collect(),
+        );
         let out = plot(&[s], 40, 10, "diag");
         assert!(out.contains("diag"));
         assert!(out.contains("* line"));

@@ -8,7 +8,9 @@
 //! --out DIR   where CSVs are written (default: results/)
 //! ```
 
-use harness::experiments::{ablation_bus, coalesce, fig1, fig3, fig5, hardware, observation, scaling, table1, utilization};
+use harness::experiments::{
+    ablation_bus, coalesce, fig1, fig3, fig5, hardware, observation, scaling, table1, utilization,
+};
 use std::path::PathBuf;
 
 struct Options {
@@ -41,12 +43,26 @@ fn parse_args() -> Options {
         }
     }
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
-        experiments =
-            ["fig1", "fig3", "fig5", "table1", "observation", "bus", "coalesce", "utilization", "hardware", "scaling"]
-            .map(String::from)
-            .to_vec();
+        experiments = [
+            "fig1",
+            "fig3",
+            "fig5",
+            "table1",
+            "observation",
+            "bus",
+            "coalesce",
+            "utilization",
+            "hardware",
+            "scaling",
+        ]
+        .map(String::from)
+        .to_vec();
     }
-    Options { experiments, quick, out }
+    Options {
+        experiments,
+        quick,
+        out,
+    }
 }
 
 fn main() {
@@ -54,7 +70,10 @@ fn main() {
     let mut unknown = Vec::new();
 
     for name in &opts.experiments {
-        let banner = format!("══ {name} {}", "═".repeat(66_usize.saturating_sub(name.len())));
+        let banner = format!(
+            "══ {name} {}",
+            "═".repeat(66_usize.saturating_sub(name.len()))
+        );
         match name.as_str() {
             "fig1" => {
                 println!("{banner}");
@@ -90,7 +109,10 @@ fn main() {
             "table1" => {
                 println!("{banner}");
                 let config = if opts.quick {
-                    table1::Table1Config { trials: 40, ..Default::default() }
+                    table1::Table1Config {
+                        trials: 40,
+                        ..Default::default()
+                    }
                 } else {
                     table1::Table1Config::default()
                 };
@@ -117,7 +139,11 @@ fn main() {
             "bus" => {
                 println!("{banner}");
                 let config = if opts.quick {
-                    ablation_bus::BusConfig { width: 3_000, trials: 5, ..Default::default() }
+                    ablation_bus::BusConfig {
+                        width: 3_000,
+                        trials: 5,
+                        ..Default::default()
+                    }
                 } else {
                     ablation_bus::BusConfig::default()
                 };
@@ -128,7 +154,11 @@ fn main() {
             "coalesce" => {
                 println!("{banner}");
                 let config = if opts.quick {
-                    coalesce::CoalesceConfig { width: 3_000, trials: 5, ..Default::default() }
+                    coalesce::CoalesceConfig {
+                        width: 3_000,
+                        trials: 5,
+                        ..Default::default()
+                    }
                 } else {
                     coalesce::CoalesceConfig::default()
                 };
@@ -139,7 +169,11 @@ fn main() {
             "utilization" => {
                 println!("{banner}");
                 let config = if opts.quick {
-                    utilization::UtilizationConfig { width: 3_000, trials: 5, ..Default::default() }
+                    utilization::UtilizationConfig {
+                        width: 3_000,
+                        trials: 5,
+                        ..Default::default()
+                    }
                 } else {
                     utilization::UtilizationConfig::default()
                 };

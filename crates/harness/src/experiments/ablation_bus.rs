@@ -12,12 +12,11 @@ use crate::table::TextTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rle::Pixel;
-use serde::{Deserialize, Serialize};
 use systolic_core::bus::BusArray;
 use workload::{ErrorModel, GenParams, RowGenerator};
 
 /// Sweep configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BusConfig {
     /// Row width.
     pub width: Pixel,
@@ -44,7 +43,7 @@ impl Default for BusConfig {
 }
 
 /// One point of the ablation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BusPoint {
     /// Error percentage.
     pub percent: f64,
@@ -64,7 +63,7 @@ pub struct BusPoint {
 }
 
 /// Full ablation result.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BusResult {
     /// The configuration that produced it.
     pub config: BusConfig,
@@ -96,7 +95,9 @@ pub fn run(config: &BusConfig) -> BusResult {
                 let (pure_row, pure) = systolic_core::systolic_xor(&a, &b).expect("pure run");
                 let (bus1_row, bus1) =
                     systolic_core::bus::systolic_xor_bus(&a, &b).expect("bus run");
-                let mut wide = BusArray::load(&a, &b).expect("bus4 load").with_bus_capacity(4);
+                let mut wide = BusArray::load(&a, &b)
+                    .expect("bus4 load")
+                    .with_bus_capacity(4);
                 wide.run().expect("bus4 run");
                 let bus4 = *wide.stats();
                 let (mesh_row, mesh) =
@@ -122,7 +123,10 @@ pub fn run(config: &BusConfig) -> BusResult {
             }
         })
         .collect();
-    BusResult { config: config.clone(), points }
+    BusResult {
+        config: config.clone(),
+        points,
+    }
 }
 
 /// Renders the ablation table.
@@ -138,8 +142,11 @@ pub fn report(result: &BusResult) -> String {
         "shift traffic saved",
     ]);
     for p in &result.points {
-        let speedup =
-            if p.mesh_iters.mean > 0.0 { p.pure_iters.mean / p.mesh_iters.mean } else { 1.0 };
+        let speedup = if p.mesh_iters.mean > 0.0 {
+            p.pure_iters.mean / p.mesh_iters.mean
+        } else {
+            1.0
+        };
         let saved = if p.pure_shifts.mean > 0.0 {
             100.0 * (1.0 - p.bus1_shifts.mean / p.pure_shifts.mean)
         } else {
@@ -220,9 +227,14 @@ mod tests {
         // The mesh (segment inserts) must actually shorten the run —
         // the paper's conjecture.
         assert!(
-            r.points.iter().any(|p| p.mesh_iters.mean < p.pure_iters.mean * 0.7),
+            r.points
+                .iter()
+                .any(|p| p.mesh_iters.mean < p.pure_iters.mean * 0.7),
             "mesh never helped substantially: {:?}",
-            r.points.iter().map(|p| (p.pure_iters.mean, p.mesh_iters.mean)).collect::<Vec<_>>()
+            r.points
+                .iter()
+                .map(|p| (p.pure_iters.mean, p.mesh_iters.mean))
+                .collect::<Vec<_>>()
         );
     }
 

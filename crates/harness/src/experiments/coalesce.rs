@@ -13,13 +13,12 @@ use crate::table::TextTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rle::Pixel;
-use serde::{Deserialize, Serialize};
 use systolic_core::coalesce::{bus_coalesce, CoalescePass};
 use systolic_core::SystolicArray;
 use workload::{ErrorModel, GenParams, RowGenerator};
 
 /// Sweep configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CoalesceConfig {
     /// Row width.
     pub width: Pixel,
@@ -46,7 +45,7 @@ impl Default for CoalesceConfig {
 }
 
 /// One point of the sweep.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CoalescePoint {
     /// Error percentage.
     pub percent: f64,
@@ -63,7 +62,7 @@ pub struct CoalescePoint {
 }
 
 /// Full sweep result.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CoalesceResult {
     /// The configuration that produced it.
     pub config: CoalesceConfig,
@@ -121,7 +120,10 @@ pub fn run(config: &CoalesceConfig) -> CoalesceResult {
             }
         })
         .collect();
-    CoalesceResult { config: config.clone(), points }
+    CoalesceResult {
+        config: config.clone(),
+        points,
+    }
 }
 
 /// Renders the comparison table.

@@ -14,8 +14,7 @@ use std::fmt::Write as _;
 pub fn figure1_rows() -> (RleRow, RleRow, RleRow) {
     let a = RleRow::from_pairs(40, &[(10, 3), (16, 2), (23, 2), (27, 3)]).unwrap();
     let b = RleRow::from_pairs(40, &[(3, 4), (8, 5), (15, 5), (23, 2), (27, 4)]).unwrap();
-    let expected =
-        RleRow::from_pairs(40, &[(3, 4), (8, 2), (15, 1), (18, 2), (30, 1)]).unwrap();
+    let expected = RleRow::from_pairs(40, &[(3, 4), (8, 2), (15, 1), (18, 2), (30, 1)]).unwrap();
     (a, b, expected)
 }
 
@@ -49,7 +48,12 @@ pub fn run() -> Fig1Result {
     let sequential = rle::ops::xor(&a, &b);
     let (systolic, _) = systolic_core::systolic_xor(&a, &b).unwrap();
     let (bus, _) = systolic_core::bus::systolic_xor_bus(&a, &b).unwrap();
-    Fig1Result { sequential, systolic, bus, expected }
+    Fig1Result {
+        sequential,
+        systolic,
+        bus,
+        expected,
+    }
 }
 
 /// Renders a report in the figure's visual style: three aligned pixel rows.
@@ -72,17 +76,29 @@ pub fn report() -> String {
     let _ = writeln!(
         out,
         "  => {}",
-        if result.all_match() { "MATCH (all three agree with the paper)" } else { "MISMATCH" }
+        if result.all_match() {
+            "MATCH (all three agree with the paper)"
+        } else {
+            "MISMATCH"
+        }
     );
     out
 }
 
 fn runs_str(row: &RleRow) -> String {
-    row.runs().iter().map(|r: &Run| format!("{r} ")).collect::<String>().trim_end().to_string()
+    row.runs()
+        .iter()
+        .map(|r: &Run| format!("{r} "))
+        .collect::<String>()
+        .trim_end()
+        .to_string()
 }
 
 fn bits_str(row: &RleRow) -> String {
-    row.to_bits().iter().map(|&b| if b { '#' } else { '.' }).collect()
+    row.to_bits()
+        .iter()
+        .map(|&b| if b { '#' } else { '.' })
+        .collect()
 }
 
 #[cfg(test)]

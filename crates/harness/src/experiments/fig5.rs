@@ -18,11 +18,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rle::metrics::row_similarity;
 use rle::Pixel;
-use serde::{Deserialize, Serialize};
 use workload::{GenParams, RowGenerator};
 
 /// Sweep configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Fig5Config {
     /// Row width; the paper uses 10 000.
     pub width: Pixel,
@@ -49,7 +48,7 @@ impl Default for Fig5Config {
 }
 
 /// One point of the sweep.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Fig5Point {
     /// Requested error percentage.
     pub target_percent: f64,
@@ -64,7 +63,7 @@ pub struct Fig5Point {
 }
 
 /// Full sweep result.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Fig5Result {
     /// The configuration that produced it.
     pub config: Fig5Config,
@@ -104,7 +103,10 @@ pub fn run(config: &Fig5Config) -> Fig5Result {
             xor_runs: Summary::of(&xor_runs),
         });
     }
-    Fig5Result { config: config.clone(), points }
+    Fig5Result {
+        config: config.clone(),
+        points,
+    }
 }
 
 /// The figure's three series, shared by the ASCII and SVG renderers.
@@ -113,15 +115,27 @@ pub fn series(result: &Fig5Result) -> Vec<Series> {
     vec![
         Series::new(
             "Number of iterations",
-            result.points.iter().map(|p| (p.realized_percent, p.iterations.mean)).collect(),
+            result
+                .points
+                .iter()
+                .map(|p| (p.realized_percent, p.iterations.mean))
+                .collect(),
         ),
         Series::new(
             "Difference in number of runs in the two images",
-            result.points.iter().map(|p| (p.realized_percent, p.diff_runs.mean)).collect(),
+            result
+                .points
+                .iter()
+                .map(|p| (p.realized_percent, p.diff_runs.mean))
+                .collect(),
         ),
         Series::new(
             "Number of runs in the XOR",
-            result.points.iter().map(|p| (p.realized_percent, p.xor_runs.mean)).collect(),
+            result
+                .points
+                .iter()
+                .map(|p| (p.realized_percent, p.xor_runs.mean))
+                .collect(),
         ),
     ]
 }
@@ -218,11 +232,13 @@ mod tests {
         // The paper's headline correlation: below ~30 % error the iteration
         // count follows |k1 - k2| closely (and is upper-bounded by the XOR
         // run count).
-        let r = run(&Fig5Config { trials: 12, ..small_config() });
+        let r = run(&Fig5Config {
+            trials: 12,
+            ..small_config()
+        });
         let low = &r.points[0]; // 2 % errors
         assert!(
-            (low.iterations.mean - low.diff_runs.mean).abs()
-                <= (3.0 + 0.3 * low.diff_runs.mean),
+            (low.iterations.mean - low.diff_runs.mean).abs() <= (3.0 + 0.3 * low.diff_runs.mean),
             "iterations {} should track diff_runs {}",
             low.iterations.mean,
             low.diff_runs.mean

@@ -16,11 +16,10 @@ use crate::table::TextTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rle::{Pixel, RleRow};
-use serde::{Deserialize, Serialize};
 use workload::{ErrorModel, GenParams, RowGenerator};
 
 /// Stress-test configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ObservationConfig {
     /// Row width.
     pub width: Pixel,
@@ -47,7 +46,7 @@ impl Default for ObservationConfig {
 }
 
 /// A counterexample to the Observation, if one is ever found.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Violation {
     /// The first input row's runs as (start, len) pairs.
     pub a: Vec<(Pixel, Pixel)>,
@@ -60,7 +59,7 @@ pub struct Violation {
 }
 
 /// Aggregate outcome.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ObservationResult {
     /// The configuration that produced it.
     pub config: ObservationConfig,
@@ -121,7 +120,11 @@ pub fn run(config: &ObservationConfig) -> ObservationResult {
         check(&a, &b);
     }
 
-    let mean_headroom = if trials == 0 { 0.0 } else { headroom_sum / trials as f64 };
+    let mean_headroom = if trials == 0 {
+        0.0
+    } else {
+        headroom_sum / trials as f64
+    };
     ObservationResult {
         config: config.clone(),
         trials,
@@ -137,10 +140,22 @@ pub fn run(config: &ObservationConfig) -> ObservationResult {
 pub fn report(result: &ObservationResult) -> String {
     let mut table = TextTable::new(["quantity", "value"]);
     table.push_row(["pairs tested", &result.trials.to_string()]);
-    table.push_row(["violations (iterations > k3 + 1)", &result.violations.len().to_string()]);
-    table.push_row(["max observed iterations − k3", &result.max_slack.to_string()]);
-    table.push_row(["cases exactly at the bound", &result.tight_cases.to_string()]);
-    table.push_row(["mean headroom (k3 + 1 − iterations)", &format!("{:.2}", result.mean_headroom)]);
+    table.push_row([
+        "violations (iterations > k3 + 1)",
+        &result.violations.len().to_string(),
+    ]);
+    table.push_row([
+        "max observed iterations − k3",
+        &result.max_slack.to_string(),
+    ]);
+    table.push_row([
+        "cases exactly at the bound",
+        &result.tight_cases.to_string(),
+    ]);
+    table.push_row([
+        "mean headroom (k3 + 1 − iterations)",
+        &format!("{:.2}", result.mean_headroom),
+    ]);
     let verdict = if result.violations.is_empty() {
         "Observation HELD on every tested pair (consistent with the paper's conjecture)."
     } else {
@@ -162,8 +177,13 @@ pub fn report(result: &ObservationResult) -> String {
 /// Exports summary numbers as CSV.
 #[must_use]
 pub fn to_csv(result: &ObservationResult) -> Csv {
-    let mut csv =
-        Csv::new(["trials", "violations", "max_slack", "tight_cases", "mean_headroom"]);
+    let mut csv = Csv::new([
+        "trials",
+        "violations",
+        "max_slack",
+        "tight_cases",
+        "mean_headroom",
+    ]);
     csv.push_row([
         result.trials.to_string(),
         result.violations.len().to_string(),

@@ -17,12 +17,11 @@ use bitimg::convert::decode_row;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rle::Pixel;
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use workload::{ErrorModel, GenParams, RowGenerator};
 
 /// Configuration of the wall-clock comparison.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScalingConfig {
     /// Row width for the algorithm comparison.
     pub width: Pixel,
@@ -55,7 +54,7 @@ impl Default for ScalingConfig {
 }
 
 /// One named wall-clock measurement.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Measurement {
     /// What was measured.
     pub label: String,
@@ -64,7 +63,7 @@ pub struct Measurement {
 }
 
 /// Full result.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ScalingResult {
     /// The configuration that produced it.
     pub config: ScalingConfig,
@@ -96,7 +95,11 @@ pub fn run(config: &ScalingConfig) -> ScalingResult {
 
     let mut algorithms = Vec::new();
     algorithms.push(Measurement {
-        label: format!("sequential RLE merge ({} + {} runs)", a.run_count(), b.run_count()),
+        label: format!(
+            "sequential RLE merge ({} + {} runs)",
+            a.run_count(),
+            b.run_count()
+        ),
         micros: best_of(config.reps, || {
             std::hint::black_box(rle::ops::xor_raw_with_stats(&a, &b));
         }),
@@ -142,7 +145,11 @@ pub fn run(config: &ScalingConfig) -> ScalingResult {
         })
         .collect();
 
-    ScalingResult { config: config.clone(), algorithms, engine_scaling }
+    ScalingResult {
+        config: config.clone(),
+        algorithms,
+        engine_scaling,
+    }
 }
 
 /// Renders both tables.
@@ -184,10 +191,18 @@ fn format_micros(us: f64) -> String {
 pub fn to_csv(result: &ScalingResult) -> Csv {
     let mut csv = Csv::new(["kind", "label", "micros"]);
     for m in &result.algorithms {
-        csv.push_row(["algorithm".to_string(), m.label.clone(), format!("{:.1}", m.micros)]);
+        csv.push_row([
+            "algorithm".to_string(),
+            m.label.clone(),
+            format!("{:.1}", m.micros),
+        ]);
     }
     for m in &result.engine_scaling {
-        csv.push_row(["engine".to_string(), m.label.clone(), format!("{:.1}", m.micros)]);
+        csv.push_row([
+            "engine".to_string(),
+            m.label.clone(),
+            format!("{:.1}", m.micros),
+        ]);
     }
     csv
 }

@@ -14,11 +14,10 @@ use crate::table::TextTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rle::Pixel;
-use serde::{Deserialize, Serialize};
 use workload::{ErrorModel, GenParams, RowGenerator};
 
 /// Sweep configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Table1Config {
     /// Image sizes (row widths); the paper sweeps 128–2048.
     pub sizes: Vec<Pixel>,
@@ -48,7 +47,7 @@ impl Default for Table1Config {
 }
 
 /// Measured iteration counts for one (algorithm, regime, size) cell.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table1Cell {
     /// Image size in pixels.
     pub size: Pixel,
@@ -59,7 +58,7 @@ pub struct Table1Cell {
 }
 
 /// Full table: one row of cells per error regime.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table1Result {
     /// The configuration that produced it.
     pub config: Table1Config,
@@ -76,7 +75,11 @@ pub fn run(config: &Table1Config) -> Table1Result {
     let fixed_model = ErrorModel::fixed(config.fixed_errors.0, config.fixed_errors.1);
     let percent_regime = sweep(config, &percent_model, 0x5050);
     let fixed_regime = sweep(config, &fixed_model, 0xF1F1);
-    Table1Result { config: config.clone(), percent_regime, fixed_regime }
+    Table1Result {
+        config: config.clone(),
+        percent_regime,
+        fixed_regime,
+    }
 }
 
 fn sweep(config: &Table1Config, model: &ErrorModel, salt: u64) -> Vec<Table1Cell> {
@@ -117,10 +120,21 @@ pub fn report(result: &Table1Result) -> String {
     let fixed_label = format!("{} runs", result.config.fixed_errors.0);
     type RowSpec<'a> = (&'a str, String, &'a [Table1Cell], fn(&Table1Cell) -> f64);
     let rows: [RowSpec; 4] = [
-        ("Systolic", percent_label.clone(), &result.percent_regime, |c| c.systolic.mean),
-        ("Sequential", percent_label, &result.percent_regime, |c| c.sequential.mean),
-        ("Systolic", fixed_label.clone(), &result.fixed_regime, |c| c.systolic.mean),
-        ("Sequential", fixed_label, &result.fixed_regime, |c| c.sequential.mean),
+        (
+            "Systolic",
+            percent_label.clone(),
+            &result.percent_regime,
+            |c| c.systolic.mean,
+        ),
+        ("Sequential", percent_label, &result.percent_regime, |c| {
+            c.sequential.mean
+        }),
+        ("Systolic", fixed_label.clone(), &result.fixed_regime, |c| {
+            c.systolic.mean
+        }),
+        ("Sequential", fixed_label, &result.fixed_regime, |c| {
+            c.sequential.mean
+        }),
     ];
     for (alg, regime, cells, pick) in rows {
         let mut row = vec![alg.to_string(), regime];
@@ -144,9 +158,10 @@ pub fn to_csv(result: &Table1Result) -> Csv {
         "sequential_mean",
         "sequential_std",
     ]);
-    for (regime, cells) in
-        [("percent", &result.percent_regime), ("fixed", &result.fixed_regime)]
-    {
+    for (regime, cells) in [
+        ("percent", &result.percent_regime),
+        ("fixed", &result.fixed_regime),
+    ] {
         for c in cells {
             csv.push_row([
                 regime.to_string(),
@@ -166,7 +181,11 @@ mod tests {
     use super::*;
 
     fn small_config() -> Table1Config {
-        Table1Config { sizes: vec![128, 512, 2048], trials: 30, ..Default::default() }
+        Table1Config {
+            sizes: vec![128, 512, 2048],
+            trials: 30,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -193,7 +212,10 @@ mod tests {
         );
         // "averages just over 5 iterations regardless of how large the
         // image gets" — allow a loose band around that.
-        assert!(flat_hi < 15.0, "expected a handful of iterations, got {flat_hi}");
+        assert!(
+            flat_hi < 15.0,
+            "expected a handful of iterations, got {flat_hi}"
+        );
     }
 
     #[test]
@@ -207,7 +229,11 @@ mod tests {
 
     #[test]
     fn report_and_csv() {
-        let r = run(&Table1Config { sizes: vec![128, 256], trials: 5, ..Default::default() });
+        let r = run(&Table1Config {
+            sizes: vec![128, 256],
+            trials: 5,
+            ..Default::default()
+        });
         let rep = report(&r);
         assert!(rep.contains("Systolic"));
         assert!(rep.contains("3.5%"));

@@ -13,11 +13,10 @@ use crate::table::TextTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rle::Pixel;
-use serde::{Deserialize, Serialize};
 use workload::{ErrorModel, GenParams, RowGenerator};
 
 /// Sweep configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct UtilizationConfig {
     /// Row width.
     pub width: Pixel,
@@ -44,7 +43,7 @@ impl Default for UtilizationConfig {
 }
 
 /// One point of the sweep.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct UtilizationPoint {
     /// Error percentage.
     pub percent: f64,
@@ -57,7 +56,7 @@ pub struct UtilizationPoint {
 }
 
 /// Full sweep result.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct UtilizationResult {
     /// The configuration that produced it.
     pub config: UtilizationConfig,
@@ -95,7 +94,10 @@ pub fn run(config: &UtilizationConfig) -> UtilizationResult {
             }
         })
         .collect();
-    UtilizationResult { config: config.clone(), points }
+    UtilizationResult {
+        config: config.clone(),
+        points,
+    }
 }
 
 /// Renders the utilization table.
@@ -121,7 +123,12 @@ pub fn report(result: &UtilizationResult) -> String {
 pub fn to_csv(result: &UtilizationResult) -> Csv {
     let mut csv = Csv::new(["percent", "cells", "iterations", "utilization"]);
     for p in &result.points {
-        csv.push_floats([p.percent, p.cells.mean, p.iterations.mean, p.utilization.mean]);
+        csv.push_floats([
+            p.percent,
+            p.cells.mean,
+            p.iterations.mean,
+            p.utilization.mean,
+        ]);
     }
     csv
 }
@@ -143,13 +150,19 @@ mod tests {
     fn utilization_is_a_fraction_and_grows_with_dissimilarity() {
         let r = run(&small());
         for p in &r.points {
-            assert!(p.utilization.mean > 0.0 && p.utilization.mean <= 1.0, "{p:?}");
+            assert!(
+                p.utilization.mean > 0.0 && p.utilization.mean <= 1.0,
+                "{p:?}"
+            );
         }
         // More errors → more surviving runs → busier array.
         assert!(
             r.points[1].utilization.mean > r.points[0].utilization.mean,
             "{:?}",
-            r.points.iter().map(|p| p.utilization.mean).collect::<Vec<_>>()
+            r.points
+                .iter()
+                .map(|p| p.utilization.mean)
+                .collect::<Vec<_>>()
         );
     }
 

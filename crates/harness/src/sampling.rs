@@ -1,9 +1,7 @@
 //! Summary statistics over repeated trials.
 
-use serde::{Deserialize, Serialize};
-
 /// Mean/deviation summary of a sample of measurements.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub n: usize,
@@ -34,7 +32,13 @@ impl Summary {
         };
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Self { n, mean, std_dev: var.sqrt(), min, max }
+        Self {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
     }
 
     /// Summarises integer samples.

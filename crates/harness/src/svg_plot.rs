@@ -38,7 +38,9 @@ impl Default for SvgChart {
 }
 
 /// Series stroke colours, cycled.
-const COLORS: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
+const COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
 
 const MARGIN_L: f64 = 64.0;
 const MARGIN_R: f64 = 16.0;
@@ -53,7 +55,10 @@ impl SvgChart {
         let plot_w = w - MARGIN_L - MARGIN_R;
         let plot_h = h - MARGIN_T - MARGIN_B;
 
-        let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        let all: Vec<(f64, f64)> = series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
         let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
         let mut y_max = f64::NEG_INFINITY;
         for &(x, y) in &all {
@@ -215,7 +220,9 @@ fn format_tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -233,8 +240,16 @@ mod tests {
 
     fn sample_series() -> Vec<Series> {
         vec![
-            Series::new("iterations", (0..10).map(|i| (f64::from(i), f64::from(i * i))).collect()),
-            Series::new("bound", (0..10).map(|i| (f64::from(i), f64::from(i * i + 5))).collect()),
+            Series::new(
+                "iterations",
+                (0..10).map(|i| (f64::from(i), f64::from(i * i))).collect(),
+            ),
+            Series::new(
+                "bound",
+                (0..10)
+                    .map(|i| (f64::from(i), f64::from(i * i + 5)))
+                    .collect(),
+            ),
         ]
     }
 

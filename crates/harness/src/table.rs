@@ -11,7 +11,10 @@ impl TextTable {
     /// Creates a table with the given column names.
     #[must_use]
     pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
-        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

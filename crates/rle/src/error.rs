@@ -59,10 +59,16 @@ impl fmt::Display for RleError {
                 write!(f, "run starting at {start} has zero length")
             }
             RleError::PixelOverflow { start, len } => {
-                write!(f, "run ({start}, {len}) overflows the pixel coordinate space")
+                write!(
+                    f,
+                    "run ({start}, {len}) overflows the pixel coordinate space"
+                )
             }
             RleError::OutOfOrder { index } => {
-                write!(f, "run at index {index} is out of order or overlaps its predecessor")
+                write!(
+                    f,
+                    "run at index {index} is out of order or overlaps its predecessor"
+                )
             }
             RleError::RunExceedsWidth { index, width } => {
                 write!(f, "run at index {index} extends past the row width {width}")
@@ -70,7 +76,11 @@ impl fmt::Display for RleError {
             RleError::DimensionMismatch { left, right } => {
                 write!(f, "operands have mismatched dimensions ({left} vs {right})")
             }
-            RleError::RowWidthMismatch { row, expected, actual } => {
+            RleError::RowWidthMismatch {
+                row,
+                expected,
+                actual,
+            } => {
                 write!(f, "row {row} has width {actual}, expected {expected}")
             }
         }
@@ -89,10 +99,23 @@ mod tests {
             (RleError::ZeroLengthRun { start: 5 }, "zero length"),
             (RleError::PixelOverflow { start: 1, len: 2 }, "overflows"),
             (RleError::OutOfOrder { index: 3 }, "out of order"),
-            (RleError::RunExceedsWidth { index: 0, width: 128 }, "past the row width"),
-            (RleError::DimensionMismatch { left: 1, right: 2 }, "mismatched dimensions"),
             (
-                RleError::RowWidthMismatch { row: 2, expected: 10, actual: 9 },
+                RleError::RunExceedsWidth {
+                    index: 0,
+                    width: 128,
+                },
+                "past the row width",
+            ),
+            (
+                RleError::DimensionMismatch { left: 1, right: 2 },
+                "mismatched dimensions",
+            ),
+            (
+                RleError::RowWidthMismatch {
+                    row: 2,
+                    expected: 10,
+                    actual: 9,
+                },
                 "row 2",
             ),
         ];

@@ -10,11 +10,10 @@ use crate::metrics::{row_similarity, RowSimilarity};
 use crate::ops;
 use crate::row::RleRow;
 use crate::run::Pixel;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A binary image stored row-wise in RLE form.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct RleImage {
     width: Pixel,
     rows: Vec<RleRow>,
@@ -24,7 +23,10 @@ impl RleImage {
     /// Creates an all-background image of the given dimensions.
     #[must_use]
     pub fn new(width: Pixel, height: usize) -> Self {
-        Self { width, rows: vec![RleRow::new(width); height] }
+        Self {
+            width,
+            rows: vec![RleRow::new(width); height],
+        }
     }
 
     /// Builds an image from rows, validating that all widths match.
@@ -57,6 +59,14 @@ impl RleImage {
     #[must_use]
     pub fn rows(&self) -> &[RleRow] {
         &self.rows
+    }
+
+    /// Consumes the image into its rows, top to bottom. The inverse of
+    /// [`RleImage::from_rows`]; lets row-streaming consumers (e.g. a diff
+    /// pipeline's submit queue) take ownership without cloning.
+    #[must_use]
+    pub fn into_rows(self) -> Vec<RleRow> {
+        self.rows
     }
 
     /// Mutable access to a row.
@@ -140,7 +150,10 @@ impl RleImage {
     /// Complement of the image.
     #[must_use]
     pub fn complement(&self) -> RleImage {
-        RleImage { width: self.width, rows: self.rows.iter().map(ops::not).collect() }
+        RleImage {
+            width: self.width,
+            rows: self.rows.iter().map(ops::not).collect(),
+        }
     }
 
     fn zip_rows(
@@ -156,7 +169,12 @@ impl RleImage {
         }
         Ok(RleImage {
             width: self.width,
-            rows: self.rows.iter().zip(&other.rows).map(|(a, b)| f(a, b)).collect(),
+            rows: self
+                .rows
+                .iter()
+                .zip(&other.rows)
+                .map(|(a, b)| f(a, b))
+                .collect(),
         })
     }
 
@@ -259,14 +277,20 @@ mod tests {
         let rows = vec![RleRow::new(8), RleRow::new(9)];
         assert_eq!(
             RleImage::from_rows(8, rows),
-            Err(RleError::RowWidthMismatch { row: 1, expected: 8, actual: 9 })
+            Err(RleError::RowWidthMismatch {
+                row: 1,
+                expected: 8,
+                actual: 9
+            })
         );
     }
 
     #[test]
     fn set_row_validates_width() {
         let mut im = RleImage::new(8, 2);
-        assert!(im.set_row(0, RleRow::from_pairs(8, &[(0, 3)]).unwrap()).is_ok());
+        assert!(im
+            .set_row(0, RleRow::from_pairs(8, &[(0, 3)]).unwrap())
+            .is_ok());
         assert!(im.set_row(1, RleRow::new(9)).is_err());
         assert_eq!(im.ones(), 3);
     }
@@ -330,5 +354,14 @@ mod tests {
         let im = img("##..\n");
         let dbg = format!("{im:?}");
         assert!(dbg.contains("4x1"), "{dbg}");
+    }
+
+    #[test]
+    fn into_rows_round_trips() {
+        let im = img("##..\n.##.\n..##\n");
+        let rows = im.clone().into_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.as_slice(), im.rows());
+        assert_eq!(RleImage::from_rows(4, rows).unwrap(), im);
     }
 }

@@ -1,7 +1,7 @@
 //! Iterators over RLE rows: segments, boundaries, and gap runs.
 
-use crate::run::{Pixel, Run};
 use crate::row::RleRow;
+use crate::run::{Pixel, Run};
 
 /// A maximal constant-valued segment of a row, produced by [`segments`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,7 +33,11 @@ impl Segment {
 /// alternate; for a non-canonical row consecutive foreground runs that touch
 /// are reported as a single foreground segment.
 pub fn segments(row: &RleRow) -> impl Iterator<Item = Segment> + '_ {
-    SegmentIter { row, pos: 0, idx: 0 }
+    SegmentIter {
+        row,
+        pos: 0,
+        idx: 0,
+    }
 }
 
 struct SegmentIter<'a> {
@@ -66,15 +70,27 @@ impl Iterator for SegmentIter<'_> {
                     }
                 }
                 self.pos = end + 1;
-                Some(Segment { start, end, value: true })
+                Some(Segment {
+                    start,
+                    end,
+                    value: true,
+                })
             }
             Some(run) => {
-                let seg = Segment { start: self.pos, end: run.start() - 1, value: false };
+                let seg = Segment {
+                    start: self.pos,
+                    end: run.start() - 1,
+                    value: false,
+                };
                 self.pos = run.start();
                 Some(seg)
             }
             None => {
-                let seg = Segment { start: self.pos, end: width - 1, value: false };
+                let seg = Segment {
+                    start: self.pos,
+                    end: width - 1,
+                    value: false,
+                };
                 self.pos = width;
                 Some(seg)
             }
@@ -85,7 +101,9 @@ impl Iterator for SegmentIter<'_> {
 /// Iterates the background gaps of a row (the complement's runs), including
 /// leading and trailing gaps.
 pub fn gaps(row: &RleRow) -> impl Iterator<Item = Run> + '_ {
-    segments(row).filter(|s| !s.value).map(|s| Run::from_bounds(s.start, s.end))
+    segments(row)
+        .filter(|s| !s.value)
+        .map(|s| Run::from_bounds(s.start, s.end))
 }
 
 /// Positions at which the pixel value changes, i.e. the boundaries `p` such
@@ -120,11 +138,31 @@ mod tests {
         assert_eq!(
             segs,
             vec![
-                Segment { start: 0, end: 1, value: false },
-                Segment { start: 2, end: 4, value: true },
-                Segment { start: 5, end: 7, value: false },
-                Segment { start: 8, end: 9, value: true },
-                Segment { start: 10, end: 19, value: false },
+                Segment {
+                    start: 0,
+                    end: 1,
+                    value: false
+                },
+                Segment {
+                    start: 2,
+                    end: 4,
+                    value: true
+                },
+                Segment {
+                    start: 5,
+                    end: 7,
+                    value: false
+                },
+                Segment {
+                    start: 8,
+                    end: 9,
+                    value: true
+                },
+                Segment {
+                    start: 10,
+                    end: 19,
+                    value: false
+                },
             ]
         );
         let total: u64 = segs.iter().map(|s| u64::from(s.len())).sum();
@@ -135,21 +173,42 @@ mod tests {
     fn segments_merge_touching_runs() {
         let r = row(&[(2, 3), (5, 2)]); // adjacent, non-canonical
         let segs: Vec<Segment> = segments(&r).filter(|s| s.value).collect();
-        assert_eq!(segs, vec![Segment { start: 2, end: 6, value: true }]);
+        assert_eq!(
+            segs,
+            vec![Segment {
+                start: 2,
+                end: 6,
+                value: true
+            }]
+        );
     }
 
     #[test]
     fn segments_of_empty_row() {
         let r = RleRow::new(5);
         let segs: Vec<Segment> = segments(&r).collect();
-        assert_eq!(segs, vec![Segment { start: 0, end: 4, value: false }]);
+        assert_eq!(
+            segs,
+            vec![Segment {
+                start: 0,
+                end: 4,
+                value: false
+            }]
+        );
     }
 
     #[test]
     fn segments_of_full_row() {
         let r = RleRow::from_pairs(5, &[(0, 5)]).unwrap();
         let segs: Vec<Segment> = segments(&r).collect();
-        assert_eq!(segs, vec![Segment { start: 0, end: 4, value: true }]);
+        assert_eq!(
+            segs,
+            vec![Segment {
+                start: 0,
+                end: 4,
+                value: true
+            }]
+        );
     }
 
     #[test]
@@ -176,7 +235,11 @@ mod tests {
 
     #[test]
     fn segment_len() {
-        let s = Segment { start: 3, end: 3, value: true };
+        let s = Segment {
+            start: 3,
+            end: 3,
+            value: true,
+        };
         assert_eq!(s.len(), 1);
         assert!(!s.is_empty());
     }

@@ -43,5 +43,5 @@ pub mod serialize;
 pub use error::RleError;
 pub use image::RleImage;
 pub use ops::OpStats;
-pub use run::{Pixel, Run, RunRelation};
 pub use row::RleRow;
+pub use run::{Pixel, Run, RunRelation};

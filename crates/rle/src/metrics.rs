@@ -12,10 +12,9 @@
 
 use crate::ops;
 use crate::row::RleRow;
-use serde::{Deserialize, Serialize};
 
 /// A bundle of the similarity quantities the paper measures for a row pair.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct RowSimilarity {
     /// Runs in the first row (`k1`).
     pub runs_a: usize,

@@ -137,11 +137,19 @@ mod tests {
 
     #[test]
     fn dilate_matches_reference() {
-        let cases =
-            [row(&[]), row(&[(0, 3)]), row(&[(5, 1), (10, 4), (38, 2)]), row(&[(0, 40)])];
+        let cases = [
+            row(&[]),
+            row(&[(0, 3)]),
+            row(&[(5, 1), (10, 4), (38, 2)]),
+            row(&[(0, 40)]),
+        ];
         for r in cases {
             for radius in [0u32, 1, 2, 5] {
-                assert_eq!(dilate(&r, radius), reference(&r, radius, true), "{r:?} r={radius}");
+                assert_eq!(
+                    dilate(&r, radius),
+                    reference(&r, radius, true),
+                    "{r:?} r={radius}"
+                );
             }
         }
     }
@@ -157,7 +165,11 @@ mod tests {
         ];
         for r in cases {
             for radius in [0u32, 1, 2, 5] {
-                assert_eq!(erode(&r, radius), reference(&r, radius, false), "{r:?} r={radius}");
+                assert_eq!(
+                    erode(&r, radius),
+                    reference(&r, radius, false),
+                    "{r:?} r={radius}"
+                );
             }
         }
     }
@@ -217,8 +229,7 @@ mod tests {
             let lhs = dilate(&r, radius);
             let rhs = crate::ops::not(&erode(&crate::ops::not(&r), radius));
             // Duality holds away from the borders; compare interiors.
-            let interior =
-                |x: &RleRow| crate::ops::and(x, &row(&[(radius, 40 - 2 * radius)]));
+            let interior = |x: &RleRow| crate::ops::and(x, &row(&[(radius, 40 - 2 * radius)]));
             assert_eq!(interior(&lhs), interior(&rhs), "radius {radius}");
         }
     }

@@ -14,12 +14,11 @@
 //! the paper-faithful one.
 
 use crate::error::RleError;
-use crate::run::{Pixel, Run};
 use crate::row::RleRow;
-use serde::{Deserialize, Serialize};
+use crate::run::{Pixel, Run};
 
 /// Cost accounting for a sequential merge operation.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OpStats {
     /// Number of merge-loop iterations executed. This is the time measure
     /// the paper reports for the sequential algorithm.
@@ -74,8 +73,11 @@ pub fn xor_raw_with_stats(a: &RleRow, b: &RleRow) -> (RleRow, OpStats) {
                 // Order the pair: `lo` is the smaller run under the paper's
                 // (start, end) order, `hi` the larger. `lo_from_a` remembers
                 // provenance so remainders return to the right array.
-                let (lo, hi, lo_from_a) =
-                    if x.key() <= y.key() { (x, y, true) } else { (y, x, false) };
+                let (lo, hi, lo_from_a) = if x.key() <= y.key() {
+                    (x, y, true)
+                } else {
+                    (y, x, false)
+                };
 
                 if lo.end() < hi.start() {
                     // Disjoint (possibly adjacent): the smaller run is final.
@@ -97,7 +99,11 @@ pub fn xor_raw_with_stats(a: &RleRow, b: &RleRow) -> (RleRow, OpStats) {
                     let overlap_end = lo.end().min(hi.end());
                     let far_end = lo.end().max(hi.end());
                     let suffix = Run::from_bounds_opt(overlap_end + 1, far_end);
-                    let suffix_from_a = if lo.end() >= hi.end() { lo_from_a } else { !lo_from_a };
+                    let suffix_from_a = if lo.end() >= hi.end() {
+                        lo_from_a
+                    } else {
+                        !lo_from_a
+                    };
                     sa.pop();
                     sb.pop();
                     if let Some(sfx) = suffix {
@@ -129,7 +135,11 @@ struct HeadStream<'a> {
 
 impl<'a> HeadStream<'a> {
     fn new(runs: &'a [Run]) -> Self {
-        Self { runs, next: 0, head: None }
+        Self {
+            runs,
+            next: 0,
+            head: None,
+        }
     }
 
     /// Current head, without consuming it.
@@ -167,7 +177,11 @@ pub fn xor_many<'a>(rows: impl IntoIterator<Item = &'a RleRow>, width: Pixel) ->
     // intervals form the XOR (Corollaries 3.1/3.2 of the paper).
     let mut events: Vec<(Pixel, i32)> = Vec::new();
     for row in rows {
-        assert_eq!(row.width(), width, "xor_many operands must have equal widths");
+        assert_eq!(
+            row.width(),
+            width,
+            "xor_many operands must have equal widths"
+        );
         for run in row.runs() {
             events.push((run.start(), 1));
             events.push((run.end() + 1, -1));
@@ -332,12 +346,15 @@ mod tests {
     fn xor_matches_bitwise_reference_on_fixed_cases() {
         let cases = [
             (row(&[(0, 5)]), row(&[(2, 8)])),
-            (row(&[(0, 5)]), row(&[(5, 5)])),   // adjacent
-            (row(&[(0, 10)]), row(&[(3, 4)])),  // nested
-            (row(&[(0, 10)]), row(&[(0, 4)])),  // shared start
-            (row(&[(4, 6)]), row(&[(0, 10)])),  // shared end
+            (row(&[(0, 5)]), row(&[(5, 5)])),  // adjacent
+            (row(&[(0, 10)]), row(&[(3, 4)])), // nested
+            (row(&[(0, 10)]), row(&[(0, 4)])), // shared start
+            (row(&[(4, 6)]), row(&[(0, 10)])), // shared end
             (row(&[(0, 3), (5, 3), (10, 3)]), row(&[(1, 10)])),
-            (row(&[(0, 1), (2, 1), (4, 1)]), row(&[(1, 1), (3, 1), (5, 1)])),
+            (
+                row(&[(0, 1), (2, 1), (4, 1)]),
+                row(&[(1, 1), (3, 1), (5, 1)]),
+            ),
         ];
         for (a, b) in cases {
             assert_eq!(xor(&a, &b), bitwise(&a, &b, |x, y| x ^ y), "{a:?} ^ {b:?}");
@@ -419,7 +436,10 @@ mod tests {
         let b = RleRow::new(12);
         assert_eq!(
             try_combine(&a, &b, |x, y| x ^ y),
-            Err(RleError::DimensionMismatch { left: 10, right: 12 })
+            Err(RleError::DimensionMismatch {
+                left: 10,
+                right: 12
+            })
         );
     }
 

@@ -2,7 +2,6 @@
 
 use crate::error::RleError;
 use crate::run::{Pixel, Run};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One run-length-encoded row of a binary image.
@@ -16,7 +15,7 @@ use std::fmt;
 ///
 /// A row where no two runs are adjacent is *canonical* (maximally
 /// compressed); see [`RleRow::is_canonical`] and [`RleRow::canonicalize`].
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct RleRow {
     width: Pixel,
     runs: Vec<Run>,
@@ -26,7 +25,10 @@ impl RleRow {
     /// Creates an empty (all-background) row of the given width.
     #[must_use]
     pub fn new(width: Pixel) -> Self {
-        Self { width, runs: Vec::new() }
+        Self {
+            width,
+            runs: Vec::new(),
+        }
     }
 
     /// Creates a row from a validated run list.
@@ -145,7 +147,11 @@ impl RleRow {
     /// Binary-searches the run list, so `O(log k)`.
     #[must_use]
     pub fn get(&self, p: Pixel) -> bool {
-        debug_assert!(p < self.width, "pixel {p} out of row of width {}", self.width);
+        debug_assert!(
+            p < self.width,
+            "pixel {p} out of row of width {}",
+            self.width
+        );
         match self.runs.binary_search_by(|r| r.start().cmp(&p)) {
             Ok(_) => true,
             Err(0) => false,
@@ -158,7 +164,10 @@ impl RleRow {
     pub fn push_run(&mut self, run: Run) -> Result<(), RleError> {
         let index = self.runs.len();
         if u64::from(run.start()) + u64::from(run.len()) > u64::from(self.width) {
-            return Err(RleError::RunExceedsWidth { index, width: self.width });
+            return Err(RleError::RunExceedsWidth {
+                index,
+                width: self.width,
+            });
         }
         if let Some(prev) = self.runs.last() {
             if run.start() <= prev.end() {
@@ -175,7 +184,9 @@ impl RleRow {
     pub fn push_run_coalescing(&mut self, run: Run) -> Result<(), RleError> {
         if let Some(prev) = self.runs.last_mut() {
             if run.start() < prev.start() {
-                return Err(RleError::OutOfOrder { index: self.runs.len() });
+                return Err(RleError::OutOfOrder {
+                    index: self.runs.len(),
+                });
             }
             if let Some(merged) = prev.union(&run) {
                 if u64::from(merged.start()) + u64::from(merged.len()) > u64::from(self.width) {
@@ -357,7 +368,10 @@ mod tests {
     fn run_past_width_rejected() {
         assert_eq!(
             RleRow::from_pairs(16, &[(14, 3)]),
-            Err(RleError::RunExceedsWidth { index: 0, width: 16 })
+            Err(RleError::RunExceedsWidth {
+                index: 0,
+                width: 16
+            })
         );
         // Run ending exactly at width-1 is fine.
         assert!(RleRow::from_pairs(16, &[(14, 2)]).is_ok());
@@ -403,7 +417,10 @@ mod tests {
         r.push_run(Run::new(4, 2)).unwrap(); // adjacency ok
         assert_eq!(
             r.push_run(Run::new(30, 4)),
-            Err(RleError::RunExceedsWidth { index: 2, width: 32 })
+            Err(RleError::RunExceedsWidth {
+                index: 2,
+                width: 32
+            })
         );
     }
 
@@ -425,7 +442,12 @@ mod tests {
 
     #[test]
     fn from_sorted_merging_handles_overlaps() {
-        let runs = vec![Run::new(0, 5), Run::new(3, 4), Run::new(7, 1), Run::new(20, 2)];
+        let runs = vec![
+            Run::new(0, 5),
+            Run::new(3, 4),
+            Run::new(7, 1),
+            Run::new(20, 2),
+        ];
         let r = RleRow::from_sorted_merging(32, runs).unwrap();
         assert_eq!(r.runs(), &[Run::new(0, 8), Run::new(20, 2)]);
     }
@@ -433,7 +455,7 @@ mod tests {
     #[test]
     fn crop_windows() {
         let r = row(&[(3, 4), (10, 5), (30, 10)]); // 3..6, 10..14, 30..39
-        // Window fully containing a run.
+                                                   // Window fully containing a run.
         assert_eq!(r.crop(2, 8).runs(), &[Run::new(1, 4)]);
         // Window clipping both sides of a run.
         assert_eq!(r.crop(11, 2).runs(), &[Run::new(0, 2)]);
@@ -451,8 +473,7 @@ mod tests {
         // Crop matches bit-level slicing.
         let bits = r.to_bits();
         for (start, len) in [(0u32, 64u32), (3, 7), (9, 6), (13, 1)] {
-            let want: Vec<bool> =
-                bits[start as usize..(start + len) as usize].to_vec();
+            let want: Vec<bool> = bits[start as usize..(start + len) as usize].to_vec();
             assert_eq!(r.crop(start, len).to_bits(), want, "window ({start},{len})");
         }
     }

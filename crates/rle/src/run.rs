@@ -1,7 +1,6 @@
 //! A single run of consecutive foreground pixels.
 
 use crate::error::RleError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Pixel coordinate within a row. `u32` comfortably covers the row widths the
@@ -15,7 +14,7 @@ pub type Pixel = u32;
 /// via their inclusive `[start, end]` interval; both views are provided.
 /// A `Run` is always non-empty — transient empty intervals that arise inside
 /// the systolic XOR step are represented as `Option<Run>` by callers.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Run {
     start: Pixel,
     len: Pixel,
@@ -334,7 +333,10 @@ mod tests {
         // Step 1 swaps when start is larger, or starts tie and end is larger.
         assert!(Run::new(3, 5) < Run::new(4, 1));
         assert!(Run::new(3, 5) < Run::new(3, 6));
-        assert_eq!(Run::new(3, 5).cmp(&Run::new(3, 5)), std::cmp::Ordering::Equal);
+        assert_eq!(
+            Run::new(3, 5).cmp(&Run::new(3, 5)),
+            std::cmp::Ordering::Equal
+        );
     }
 
     #[test]

@@ -105,11 +105,7 @@ fn encode_row_body(row: &RleRow, out: &mut Vec<u8>) {
     }
 }
 
-fn decode_row_body(
-    data: &[u8],
-    pos: &mut usize,
-    width: Pixel,
-) -> Result<RleRow, DecodeError> {
+fn decode_row_body(data: &[u8], pos: &mut usize, width: Pixel) -> Result<RleRow, DecodeError> {
     let count = get_varint(data, pos)? as usize;
     let mut row = RleRow::new(width);
     let mut prev_end: u64 = 0;
@@ -118,7 +114,11 @@ fn decode_row_body(
         let len = u64::from(get_varint(data, pos)?) + 1;
         let start = prev_end + gap;
         if start + len > u64::from(width) {
-            return Err(RleError::RunExceedsWidth { index: row.run_count(), width }.into());
+            return Err(RleError::RunExceedsWidth {
+                index: row.run_count(),
+                width,
+            }
+            .into());
         }
         row.push_run(Run::new(start as Pixel, len as Pixel))?;
         prev_end = start + len;
@@ -185,8 +185,11 @@ fn expect_magic(data: &[u8], pos: &mut usize, magic: &[u8; 4]) -> Result<(), Dec
 }
 
 fn read_u32(data: &[u8], pos: &mut usize) -> Result<u32, DecodeError> {
-    let bytes: [u8; 4] =
-        data.get(*pos..*pos + 4).ok_or(DecodeError::Truncated)?.try_into().unwrap();
+    let bytes: [u8; 4] = data
+        .get(*pos..*pos + 4)
+        .ok_or(DecodeError::Truncated)?
+        .try_into()
+        .unwrap();
     *pos += 4;
     Ok(u32::from_le_bytes(bytes))
 }
@@ -221,9 +224,17 @@ impl<W: Write> ImageWriter<W> {
         let mut header = Vec::with_capacity(16);
         header.extend_from_slice(IMAGE_MAGIC);
         header.extend_from_slice(&width.to_le_bytes());
-        put_varint(&mut header, u32::try_from(height).expect("height fits in u32"));
+        put_varint(
+            &mut header,
+            u32::try_from(height).expect("height fits in u32"),
+        );
         out.write_all(&header)?;
-        Ok(Self { out, width, remaining: height, buf: Vec::new() })
+        Ok(Self {
+            out,
+            width,
+            remaining: height,
+            buf: Vec::new(),
+        })
     }
 
     /// Appends one row.
@@ -234,7 +245,10 @@ impl<W: Write> ImageWriter<W> {
     /// are pushed than the declared height.
     pub fn write_row(&mut self, row: &RleRow) -> io::Result<()> {
         assert_eq!(row.width(), self.width, "row width must match the stream");
-        assert!(self.remaining > 0, "stream already holds its declared height");
+        assert!(
+            self.remaining > 0,
+            "stream already holds its declared height"
+        );
         self.remaining -= 1;
         self.buf.clear();
         encode_row_body(row, &mut self.buf);
@@ -266,15 +280,23 @@ impl<R: Read> ImageReader<R> {
     /// Opens a stream, reading and validating the header.
     pub fn new(mut input: R) -> Result<Self, DecodeError> {
         let mut magic = [0u8; 4];
-        input.read_exact(&mut magic).map_err(|_| DecodeError::Truncated)?;
+        input
+            .read_exact(&mut magic)
+            .map_err(|_| DecodeError::Truncated)?;
         if &magic != IMAGE_MAGIC {
             return Err(DecodeError::BadMagic);
         }
         let mut w = [0u8; 4];
-        input.read_exact(&mut w).map_err(|_| DecodeError::Truncated)?;
+        input
+            .read_exact(&mut w)
+            .map_err(|_| DecodeError::Truncated)?;
         let width = u32::from_le_bytes(w);
         let height = read_varint_io(&mut input)? as usize;
-        Ok(Self { input, width, remaining: height })
+        Ok(Self {
+            input,
+            width,
+            remaining: height,
+        })
     }
 
     /// Declared row width.
@@ -307,9 +329,11 @@ impl<R: Read> ImageReader<R> {
             let len = u64::from(read_varint_io(&mut self.input)?) + 1;
             let start = prev_end + gap;
             if start + len > u64::from(self.width) {
-                return Err(
-                    RleError::RunExceedsWidth { index: row.run_count(), width: self.width }.into()
-                );
+                return Err(RleError::RunExceedsWidth {
+                    index: row.run_count(),
+                    width: self.width,
+                }
+                .into());
             }
             row.push_run(Run::new(start as Pixel, len as Pixel))?;
             prev_end = start + len;
@@ -323,7 +347,9 @@ fn read_varint_io(input: &mut impl Read) -> Result<u32, DecodeError> {
     let mut shift = 0u32;
     loop {
         let mut byte = [0u8; 1];
-        input.read_exact(&mut byte).map_err(|_| DecodeError::Truncated)?;
+        input
+            .read_exact(&mut byte)
+            .map_err(|_| DecodeError::Truncated)?;
         let byte = byte[0];
         if shift > 28 || (shift == 28 && byte & 0x70 != 0) {
             return Err(DecodeError::VarintOverflow);
@@ -363,8 +389,11 @@ mod tests {
 
     #[test]
     fn image_round_trip() {
-        let rows =
-            vec![row(&[(0, 5)]), RleRow::new(10_000), row(&[(100, 50), (9_000, 1_000)])];
+        let rows = vec![
+            row(&[(0, 5)]),
+            RleRow::new(10_000),
+            row(&[(100, 50), (9_000, 1_000)]),
+        ];
         let img = RleImage::from_rows(10_000, rows).unwrap();
         let bytes = encode_image(&img);
         assert_eq!(decode_image(&bytes).unwrap(), img);
@@ -376,14 +405,28 @@ mod tests {
         let pairs: Vec<(Pixel, Pixel)> = (0..500).map(|i| (i * 20, 10)).collect();
         let r = RleRow::from_pairs(10_000, &pairs).unwrap();
         let bytes = encode_row(&r);
-        assert!(bytes.len() < 9 + 500 * 3, "{} bytes for 500 runs", bytes.len());
+        assert!(
+            bytes.len() < 9 + 500 * 3,
+            "{} bytes for 500 runs",
+            bytes.len()
+        );
         // ... and far below the dense bitmap.
         assert!(bytes.len() < dense_size_bytes(10_000, 1));
     }
 
     #[test]
     fn varint_round_trips_across_sizes() {
-        for v in [0u32, 1, 127, 128, 300, 16_383, 16_384, u32::MAX / 2, u32::MAX] {
+        for v in [
+            0u32,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX / 2,
+            u32::MAX,
+        ] {
             let mut buf = Vec::new();
             put_varint(&mut buf, v);
             let mut pos = 0;
@@ -436,26 +479,38 @@ mod tests {
     fn display_messages() {
         assert!(DecodeError::BadMagic.to_string().contains("magic"));
         assert!(DecodeError::Truncated.to_string().contains("truncated"));
-        assert!(
-            DecodeError::Invalid(RleError::OutOfOrder { index: 1 }).to_string().contains("invalid")
-        );
+        assert!(DecodeError::Invalid(RleError::OutOfOrder { index: 1 })
+            .to_string()
+            .contains("invalid"));
     }
 
     #[test]
     fn streaming_writer_matches_batch_encoder() {
-        let rows = vec![row(&[(0, 5)]), RleRow::new(10_000), row(&[(100, 50), (9_000, 1_000)])];
+        let rows = vec![
+            row(&[(0, 5)]),
+            RleRow::new(10_000),
+            row(&[(100, 50), (9_000, 1_000)]),
+        ];
         let img = RleImage::from_rows(10_000, rows.clone()).unwrap();
         let mut w = ImageWriter::new(Vec::new(), 10_000, 3).unwrap();
         for r in &rows {
             w.write_row(r).unwrap();
         }
         let streamed = w.finish().unwrap();
-        assert_eq!(streamed, encode_image(&img), "byte-identical to the batch format");
+        assert_eq!(
+            streamed,
+            encode_image(&img),
+            "byte-identical to the batch format"
+        );
     }
 
     #[test]
     fn streaming_reader_round_trips() {
-        let rows = vec![row(&[(3, 4), (8, 5)]), row(&[(0, 10_000)]), RleRow::new(10_000)];
+        let rows = vec![
+            row(&[(3, 4), (8, 5)]),
+            row(&[(0, 10_000)]),
+            RleRow::new(10_000),
+        ];
         let img = RleImage::from_rows(10_000, rows.clone()).unwrap();
         let bytes = encode_image(&img);
         let mut reader = ImageReader::new(&bytes[..]).unwrap();
@@ -488,13 +543,22 @@ mod tests {
 
     #[test]
     fn streaming_reader_rejects_garbage() {
-        assert!(matches!(ImageReader::new(&b"XXXX"[..]), Err(DecodeError::BadMagic)));
-        assert!(matches!(ImageReader::new(&b"RL"[..]), Err(DecodeError::Truncated)));
+        assert!(matches!(
+            ImageReader::new(&b"XXXX"[..]),
+            Err(DecodeError::BadMagic)
+        ));
+        assert!(matches!(
+            ImageReader::new(&b"RL"[..]),
+            Err(DecodeError::Truncated)
+        ));
         // Truncated mid-row.
         let img = RleImage::from_rows(100, vec![row(&[(3, 4)]).crop(0, 100)]).unwrap();
         let bytes = encode_image(&img);
         let mut reader = ImageReader::new(&bytes[..bytes.len() - 1]).unwrap();
-        assert!(matches!(reader.next_row().unwrap(), Err(DecodeError::Truncated)));
+        assert!(matches!(
+            reader.next_row().unwrap(),
+            Err(DecodeError::Truncated)
+        ));
     }
 
     #[test]

@@ -51,7 +51,11 @@ pub fn paper_rows(width: u32, error_fraction: f64, seed: u64) -> RowCase {
     let mut rng = StdRng::seed_from_u64(seed);
     let a = RowGenerator::new(params, rng.gen()).next_row();
     let b = apply_errors_rng(&a, &ErrorModel::fraction(error_fraction), &mut rng);
-    RowCase { name: "paper_rows", a, b }
+    RowCase {
+        name: "paper_rows",
+        a,
+        b,
+    }
 }
 
 /// Table 1's fixed-error regime: `count` error runs of `len` px.
@@ -61,21 +65,33 @@ pub fn fixed_error_rows(width: u32, count: usize, len: u32, seed: u64) -> RowCas
     let mut rng = StdRng::seed_from_u64(seed);
     let a = RowGenerator::new(params, rng.gen()).next_row();
     let b = apply_errors_rng(&a, &ErrorModel::fixed(count, len), &mut rng);
-    RowCase { name: "fixed_error_rows", a, b }
+    RowCase {
+        name: "fixed_error_rows",
+        a,
+        b,
+    }
 }
 
 /// A PCB reference/scan pair with the typical defect set.
 #[must_use]
 pub fn pcb_inspection(seed: u64) -> ImageCase {
     let (a, b) = inspection_pair(&PcbParams::default(), &typical_defects(), seed);
-    ImageCase { name: "pcb_inspection", a, b }
+    ImageCase {
+        name: "pcb_inspection",
+        a,
+        b,
+    }
 }
 
 /// Two consecutive frames of a default motion scene.
 #[must_use]
 pub fn motion_frames(seed: u64) -> ImageCase {
     let scene = Scene::new(SceneParams::default(), seed);
-    ImageCase { name: "motion_frames", a: scene.frame_rle(0), b: scene.frame_rle(1) }
+    ImageCase {
+        name: "motion_frames",
+        a: scene.frame_rle(0),
+        b: scene.frame_rle(1),
+    }
 }
 
 /// The standard regression suite: a spread of row cases covering the
@@ -89,16 +105,31 @@ pub fn regression_rows(seed: u64) -> Vec<RowCase> {
     cases.push(fixed_error_rows(2_048, 6, 4, seed ^ 2));
     // Identical pair.
     let base = paper_rows(4_096, 0.0, seed ^ 3);
-    cases.push(RowCase { name: "identical", a: base.a.clone(), b: base.a.clone() });
+    cases.push(RowCase {
+        name: "identical",
+        a: base.a.clone(),
+        b: base.a.clone(),
+    });
     // Fully interleaved disjoint runs (the k1 + k2 stressor).
     let inter_a =
         RleRow::from_pairs(4_096, &(0..250).map(|i| (i * 16, 4)).collect::<Vec<_>>()).unwrap();
-    let inter_b =
-        RleRow::from_pairs(4_096, &(0..250).map(|i| (i * 16 + 8, 4)).collect::<Vec<_>>()).unwrap();
-    cases.push(RowCase { name: "interleaved", a: inter_a, b: inter_b });
+    let inter_b = RleRow::from_pairs(
+        4_096,
+        &(0..250).map(|i| (i * 16 + 8, 4)).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    cases.push(RowCase {
+        name: "interleaved",
+        a: inter_a,
+        b: inter_b,
+    });
     // One side empty.
     let one = paper_rows(4_096, 0.1, seed ^ 4);
-    cases.push(RowCase { name: "vs_empty", a: one.a, b: RleRow::new(4_096) });
+    cases.push(RowCase {
+        name: "vs_empty",
+        a: one.a,
+        b: RleRow::new(4_096),
+    });
     cases
 }
 

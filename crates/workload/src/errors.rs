@@ -16,10 +16,9 @@ use bitimg::convert::{decode_row, encode_row};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rle::{Pixel, RleImage, RleRow};
-use serde::{Deserialize, Serialize};
 
 /// How many errors to inject.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ErrorModel {
     /// Flip runs of length `run_len.0 ..= run_len.1` until at least
     /// `fraction` of the row's pixels have been flipped. The paper's
@@ -47,7 +46,10 @@ impl ErrorModel {
     /// Figure-5-style model: flip ~`fraction` of the pixels in runs of 2–6.
     #[must_use]
     pub fn fraction(fraction: f64) -> Self {
-        ErrorModel::ByFraction { fraction, run_len: Self::PAPER_ERROR_LEN }
+        ErrorModel::ByFraction {
+            fraction,
+            run_len: Self::PAPER_ERROR_LEN,
+        }
     }
 
     /// Table-1-style fixed model: `count` runs of `len` pixels.
@@ -79,7 +81,10 @@ pub fn apply_errors_rng(row: &RleRow, model: &ErrorModel, rng: &mut StdRng) -> R
     let mut dense = decode_row(row);
     match *model {
         ErrorModel::ByFraction { fraction, run_len } => {
-            assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+            assert!(
+                (0.0..=1.0).contains(&fraction),
+                "fraction must be in [0, 1]"
+            );
             // Target the *realized* number of differing pixels (the
             // quantity on Figure 5's x-axis): flips that land on already
             // flipped pixels cancel, so we track the live Hamming distance
@@ -95,15 +100,18 @@ pub fn apply_errors_rng(row: &RleRow, model: &ErrorModel, rng: &mut StdRng) -> R
                 attempts += 1;
                 let len = rng.gen_range(run_len.0..=run_len.1).min(width);
                 let start = rng.gen_range(0..=width - len);
-                for p in start..start + len {
-                    let flipped_value = !dense.get(p);
-                    dense.set(p, flipped_value);
-                    if flipped_value == original.get(p) {
-                        differing -= 1;
-                    } else {
-                        differing += 1;
-                    }
+                // The paper's errors are whole flipped runs of length 2–6.
+                // A placement that partially overlaps an earlier error run
+                // would cancel some of its pixels and leave a difference
+                // segment shorter than run_len.0, so such placements are
+                // rejected; runs may still land adjacent and merge.
+                if (start..start + len).any(|p| dense.get(p) != original.get(p)) {
+                    continue;
                 }
+                for p in start..start + len {
+                    dense.set(p, !original.get(p));
+                }
+                differing += u64::from(len);
             }
         }
         ErrorModel::ByCount { count, len } => {
@@ -209,7 +217,10 @@ mod tests {
         let empty = RleRow::new(10_000);
         let noisy = apply_errors(
             &empty,
-            &ErrorModel::ByFraction { fraction: 0.01, run_len: (2, 2) },
+            &ErrorModel::ByFraction {
+                fraction: 0.01,
+                run_len: (2, 2),
+            },
             11,
         );
         for run in noisy.runs() {

@@ -12,10 +12,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rle::{Pixel, RleImage, RleRow, Run};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the paper's row generator.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GenParams {
     /// Row width `b` in pixels.
     pub width: Pixel,
@@ -45,11 +44,18 @@ impl GenParams {
     #[must_use]
     pub fn with_runs(width: Pixel, run_len: (Pixel, Pixel), density: f64) -> Self {
         assert!(density > 0.0 && density < 1.0, "density must be in (0, 1)");
-        assert!(run_len.0 >= 1 && run_len.0 <= run_len.1, "bad run length range");
+        assert!(
+            run_len.0 >= 1 && run_len.0 <= run_len.1,
+            "bad run length range"
+        );
         let mean_run = f64::from(run_len.0 + run_len.1) / 2.0;
         // density = mean_run / (mean_run + mean_gap)  ⇒
         let mean_gap = (mean_run * (1.0 - density) / density).max(1.0);
-        Self { width, run_len, mean_gap }
+        Self {
+            width,
+            run_len,
+            mean_gap,
+        }
     }
 
     /// Expected foreground density of rows drawn from these parameters.
@@ -78,7 +84,10 @@ impl RowGenerator {
     /// Creates a generator with a fixed seed.
     #[must_use]
     pub fn new(params: GenParams, seed: u64) -> Self {
-        Self { params, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The generator's parameters.
@@ -94,13 +103,16 @@ impl RowGenerator {
         // Uniform gap in [1, 2·mean_gap − 1] has mean mean_gap; clamp the
         // top so tiny means still work.
         let gap_hi = ((2.0 * p.mean_gap - 1.0).round() as Pixel).max(1);
-        let mut pos: Pixel = self.rng.gen_range(0..=gap_hi.min(p.width.saturating_sub(1)).max(1));
+        let mut pos: Pixel = self
+            .rng
+            .gen_range(0..=gap_hi.min(p.width.saturating_sub(1)).max(1));
         loop {
             let len = self.rng.gen_range(p.run_len.0..=p.run_len.1);
             if u64::from(pos) + u64::from(len) > u64::from(p.width) {
                 break;
             }
-            row.push_run(Run::new(pos, len)).expect("generator emits ordered runs");
+            row.push_run(Run::new(pos, len))
+                .expect("generator emits ordered runs");
             let gap = self.rng.gen_range(1..=gap_hi);
             let Some(next) = pos.checked_add(len).and_then(|p| p.checked_add(gap)) else {
                 break;
@@ -143,10 +155,7 @@ mod tests {
             let mut g = RowGenerator::new(GenParams::for_density(100_000, target), 7);
             let row = g.next_row();
             let got = row.density();
-            assert!(
-                (got - target).abs() < 0.05,
-                "target {target}, got {got:.3}"
-            );
+            assert!((got - target).abs() < 0.05, "target {target}, got {got:.3}");
         }
     }
 
@@ -155,7 +164,11 @@ mod tests {
         // "the image size is 10,000 pixels with approximately 250 runs in
         // the original image, which translates to a density of 30%".
         let params = GenParams::for_density(10_000, 0.3);
-        assert!((params.expected_runs() - 250.0).abs() < 15.0, "{}", params.expected_runs());
+        assert!(
+            (params.expected_runs() - 250.0).abs() < 15.0,
+            "{}",
+            params.expected_runs()
+        );
         let mut g = RowGenerator::new(params, 3);
         let mut total = 0usize;
         let trials = 30;
@@ -191,7 +204,11 @@ mod tests {
     fn tiny_widths_do_not_panic() {
         for width in [1u32, 3, 4, 5, 21] {
             let mut g = RowGenerator::new(
-                GenParams { width, run_len: (4, 20), mean_gap: 2.0 },
+                GenParams {
+                    width,
+                    run_len: (4, 20),
+                    mean_gap: 2.0,
+                },
                 11,
             );
             for _ in 0..20 {

@@ -12,10 +12,9 @@ use bitimg::Bitmap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rle::RleImage;
-use serde::{Deserialize, Serialize};
 
 /// One moving object.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MovingObject {
     /// Left edge at frame 0 (may be fractional for slow drifts).
     pub x: f64,
@@ -32,7 +31,7 @@ pub struct MovingObject {
 }
 
 /// Scene parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SceneParams {
     /// Frame width.
     pub width: u32,
@@ -46,7 +45,12 @@ pub struct SceneParams {
 
 impl Default for SceneParams {
     fn default() -> Self {
-        Self { width: 640, height: 200, objects: 5, max_speed: 3.0 }
+        Self {
+            width: 640,
+            height: 200,
+            objects: 5,
+            max_speed: 3.0,
+        }
     }
 }
 
@@ -139,7 +143,13 @@ mod tests {
 
     #[test]
     fn static_scene_when_speed_zero() {
-        let scene = Scene::new(SceneParams { max_speed: 0.0, ..Default::default() }, 4);
+        let scene = Scene::new(
+            SceneParams {
+                max_speed: 0.0,
+                ..Default::default()
+            },
+            4,
+        );
         assert_eq!(scene.frame(0), scene.frame(10));
     }
 
@@ -156,7 +166,14 @@ mod tests {
 
     #[test]
     fn objects_wrap_around_edges() {
-        let scene = Scene::new(SceneParams { objects: 1, max_speed: 3.0, ..Default::default() }, 6);
+        let scene = Scene::new(
+            SceneParams {
+                objects: 1,
+                max_speed: 3.0,
+                ..Default::default()
+            },
+            6,
+        );
         // Far-future frames stay in-bounds and non-empty thanks to wrap.
         let f = scene.frame(10_000);
         assert!(f.count_ones() > 0);

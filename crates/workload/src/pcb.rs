@@ -18,10 +18,9 @@ use bitimg::Bitmap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rle::RleImage;
-use serde::{Deserialize, Serialize};
 
 /// Parameters for the synthetic board generator.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PcbParams {
     /// Board width in pixels.
     pub width: u32,
@@ -55,7 +54,7 @@ impl Default for PcbParams {
 
 /// A defect to inject into a scan of the reference layer — the classic
 /// inspection taxonomy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Defect {
     /// Missing copper: a gap cut out of the artwork.
     Open {
@@ -119,7 +118,13 @@ pub fn reference_layer(params: &PcbParams, seed: u64) -> Bitmap {
         bm.fill_rect(x0, a.1, x1 - x0 + tw, tw as usize, true);
         bm.fill_rect(b.0, y0, tw, y1 - y0 + tw as usize, true);
         // Via at the corner.
-        bm.fill_rect(b.0.saturating_sub(1), a.1.saturating_sub(1), tw + 2, tw as usize + 2, true);
+        bm.fill_rect(
+            b.0.saturating_sub(1),
+            a.1.saturating_sub(1),
+            tw + 2,
+            tw as usize + 2,
+            true,
+        );
     }
 
     // Free traces (bus lines) for texture.
@@ -174,7 +179,13 @@ pub fn scan_with_defects(reference: &Bitmap, defects: &[Defect], seed: u64) -> B
                 // A notch at a copper edge: a foreground pixel with a
                 // background neighbour.
                 if let Some((x, y)) = find_edge(&scan, &mut rng) {
-                    scan.fill_rect(x.saturating_sub(size / 2), y.saturating_sub(size as usize / 2), size, size as usize, false);
+                    scan.fill_rect(
+                        x.saturating_sub(size / 2),
+                        y.saturating_sub(size as usize / 2),
+                        size,
+                        size as usize,
+                        false,
+                    );
                 }
             }
         }
@@ -235,11 +246,7 @@ fn find_pixel(bm: &Bitmap, rng: &mut StdRng, foreground: bool) -> Option<(u32, u
 
 /// A complete inspection scenario: reference and scan, RLE-encoded.
 #[must_use]
-pub fn inspection_pair(
-    params: &PcbParams,
-    defects: &[Defect],
-    seed: u64,
-) -> (RleImage, RleImage) {
+pub fn inspection_pair(params: &PcbParams, defects: &[Defect], seed: u64) -> (RleImage, RleImage) {
     let reference = reference_layer(params, seed);
     let scan = scan_with_defects(&reference, defects, seed ^ 0x9E37_79B9_7F4A_7C15);
     (encode(&reference), encode(&scan))
@@ -320,7 +327,10 @@ mod tests {
         let differing_rows = sims.iter().filter(|s| s.differing_pixels > 0).count();
         // Defects are local: only a handful of rows differ.
         assert!(differing_rows > 0);
-        assert!(differing_rows < reference.height() / 4, "{differing_rows} rows differ");
+        assert!(
+            differing_rows < reference.height() / 4,
+            "{differing_rows} rows differ"
+        );
     }
 
     #[test]
@@ -352,8 +362,17 @@ mod tests {
         let p = PcbParams::default();
         let bm = reference_layer(&p, 16);
         let img = encode(&bm);
-        let longest = img.rows().iter().flat_map(|r| r.runs()).map(|r| r.len()).max().unwrap();
-        assert!(longest > 40, "expected long route legs, longest run {longest}");
+        let longest = img
+            .rows()
+            .iter()
+            .flat_map(|r| r.runs())
+            .map(|r| r.len())
+            .max()
+            .unwrap();
+        assert!(
+            longest > 40,
+            "expected long route legs, longest run {longest}"
+        );
     }
 
     #[test]

@@ -18,13 +18,22 @@ use rle_systolic::systolic_core::SystolicArray;
 use rle_systolic::workload::pcb::{inspection_pair, typical_defects, PcbParams};
 
 fn main() {
-    let params = PcbParams { width: 4096, height: 1024, ..Default::default() };
+    let params = PcbParams {
+        width: 4096,
+        height: 1024,
+        ..Default::default()
+    };
     let (reference, scan) = inspection_pair(&params, &typical_defects(), 31337);
 
     // --- storage -----------------------------------------------------
     let rle_bytes = serialize::encode_image(&reference);
     let dense_bytes = serialize::dense_size_bytes(reference.width(), reference.height());
-    println!("board layer {}x{} px, {} runs", reference.width(), reference.height(), reference.total_runs());
+    println!(
+        "board layer {}x{} px, {} runs",
+        reference.width(),
+        reference.height(),
+        reference.total_runs()
+    );
     println!("  dense bitmap (P4-equivalent): {:>9} bytes", dense_bytes);
     println!(
         "  compact RLE stream:            {:>9} bytes  ({:.1}x smaller)",
@@ -66,7 +75,10 @@ fn main() {
     println!("\ninspection summary:");
     println!("  rows flagged          : {flagged_rows}");
     println!("  defect pixels (clean) : {defect_pixels}");
-    println!("  XOR iterations        : {total_xor_iterations} across {} rows", reference.height());
+    println!(
+        "  XOR iterations        : {total_xor_iterations} across {} rows",
+        reference.height()
+    );
     println!(
         "  coalescing            : {} systolic iterations vs {} bus transactions (§6)",
         total_coalesce_iterations, total_bus_transactions

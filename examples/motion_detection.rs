@@ -13,10 +13,23 @@ use rle_systolic::systolic_core::image::xor_image;
 use rle_systolic::workload::motion::{Scene, SceneParams};
 
 fn main() {
-    let scene = Scene::new(SceneParams { width: 480, height: 96, objects: 4, max_speed: 2.5 }, 77);
+    let scene = Scene::new(
+        SceneParams {
+            width: 480,
+            height: 96,
+            objects: 4,
+            max_speed: 2.5,
+        },
+        77,
+    );
     let frames = scene.sequence(6);
 
-    println!("frame-differencing a {}-frame sequence ({}x{} px)\n", frames.len(), 480, 96);
+    println!(
+        "frame-differencing a {}-frame sequence ({}x{} px)\n",
+        frames.len(),
+        480,
+        96
+    );
 
     let mut total_iterations = 0u64;
     let mut total_seq_iterations = 0u64;
@@ -29,7 +42,11 @@ fn main() {
             .rows()
             .iter()
             .zip(cur.rows())
-            .map(|(a, b)| rle_systolic::rle::ops::xor_raw_with_stats(a, b).1.iterations)
+            .map(|(a, b)| {
+                rle_systolic::rle::ops::xor_raw_with_stats(a, b)
+                    .1
+                    .iterations
+            })
             .sum();
 
         total_iterations += stats.totals.iterations;

@@ -15,7 +15,11 @@ use rle_systolic::systolic_core::image::xor_image_parallel;
 use rle_systolic::workload::pcb::{inspection_pair, typical_defects, PcbParams};
 
 fn main() {
-    let params = PcbParams { width: 2048, height: 512, ..Default::default() };
+    let params = PcbParams {
+        width: 2048,
+        height: 512,
+        ..Default::default()
+    };
     let defects = typical_defects();
     let (reference, scan) = inspection_pair(&params, &defects, 2024);
 

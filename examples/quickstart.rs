@@ -20,7 +20,11 @@ fn main() {
 
     // 1. The sequential merge (the paper's baseline, O(k1 + k2)).
     let (seq, seq_stats) = ops::xor_raw_with_stats(&img1, &img2);
-    println!("\nsequential XOR  : {:?}  ({} merge iterations)", seq.runs(), seq_stats.iterations);
+    println!(
+        "\nsequential XOR  : {:?}  ({} merge iterations)",
+        seq.runs(),
+        seq_stats.iterations
+    );
 
     // 2. The systolic array (the paper's contribution).
     let (sys, sys_stats) = systolic_xor(&img1, &img2).unwrap();
@@ -35,7 +39,10 @@ fn main() {
     // 3. Watch the machine run, exactly like the paper's Figure 3.
     let mut machine = SystolicArray::load(&img1, &img2).unwrap();
     let trace = run_traced(&mut machine).unwrap();
-    println!("\nFigure-3-style execution trace:\n{}", trace.to_figure3_table());
+    println!(
+        "\nFigure-3-style execution trace:\n{}",
+        trace.to_figure3_table()
+    );
 
     // Similarity metrics that drive the performance story.
     let sim = rle_systolic::rle::metrics::row_similarity(&img1, &img2);
@@ -46,5 +53,8 @@ fn main() {
 }
 
 fn ascii(row: &RleRow) -> String {
-    row.to_bits().iter().map(|&b| if b { '#' } else { '.' }).collect()
+    row.to_bits()
+        .iter()
+        .map(|&b| if b { '#' } else { '.' })
+        .collect()
 }

@@ -62,6 +62,11 @@ mod tests {
         let row = RleRow::from_pairs(16, &[(0, 4)]).unwrap();
         let (diff, _) = systolic_xor(&row, &row.clone()).unwrap();
         assert!(diff.is_empty());
-        let _ = (Bitmap::new(4, 4), BitRow::new(4), Connectivity::Four, BusMode::Mesh);
+        let _ = (
+            Bitmap::new(4, 4),
+            BitRow::new(4),
+            Connectivity::Four,
+            BusMode::Mesh,
+        );
     }
 }

@@ -127,7 +127,11 @@ proptest! {
 fn inspection_pipeline_end_to_end() {
     use rle_systolic::workload::pcb::{inspection_pair, typical_defects, PcbParams};
 
-    let params = PcbParams { width: 1024, height: 256, ..Default::default() };
+    let params = PcbParams {
+        width: 1024,
+        height: 256,
+        ..Default::default()
+    };
     let (reference, scan) = inspection_pair(&params, &typical_defects(), 77);
     let (diff, _) = rle_systolic::systolic_core::image::xor_image(&reference, &scan).unwrap();
 
@@ -135,7 +139,11 @@ fn inspection_pipeline_end_to_end() {
     let cleaned = morph2d::open_rect(&diff, 0, 0); // no-op radius: keep all
     let labeling = label_components(&cleaned, Connectivity::Eight);
     assert!(labeling.count() >= 1, "injected defects must be detected");
-    assert!(labeling.count() <= 8, "defects must not shatter: {}", labeling.count());
+    assert!(
+        labeling.count() <= 8,
+        "defects must not shatter: {}",
+        labeling.count()
+    );
     // Every defect is tiny relative to the board.
     for c in &labeling.components {
         assert!(c.area < 200, "defect {c:?} implausibly large");

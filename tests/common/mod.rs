@@ -12,7 +12,11 @@ use rle_systolic::rle::{Pixel, RleRow, Run};
 /// pieces. Gaps of ≥ 1 keep the row canonical; `allow_adjacent` permits
 /// zero gaps after the first run, producing valid but non-canonical rows
 /// (which the paper explicitly allows as input).
-pub fn rle_row(width: Pixel, max_runs: usize, allow_adjacent: bool) -> impl Strategy<Value = RleRow> {
+pub fn rle_row(
+    width: Pixel,
+    max_runs: usize,
+    allow_adjacent: bool,
+) -> impl Strategy<Value = RleRow> {
     let min_gap = usize::from(!allow_adjacent);
     prop::collection::vec((min_gap..=9usize, 1usize..=8usize), 0..=max_runs).prop_map(
         move |pieces| {
@@ -30,7 +34,8 @@ pub fn rle_row(width: Pixel, max_runs: usize, allow_adjacent: bool) -> impl Stra
                 if end > u64::from(width) {
                     break;
                 }
-                row.push_run(Run::new(start as Pixel, len as Pixel)).unwrap();
+                row.push_run(Run::new(start as Pixel, len as Pixel))
+                    .unwrap();
                 pos = end;
             }
             row
@@ -40,13 +45,19 @@ pub fn rle_row(width: Pixel, max_runs: usize, allow_adjacent: bool) -> impl Stra
 
 /// Strategy: a pair of equally-wide rows.
 pub fn row_pair(width: Pixel, max_runs: usize) -> impl Strategy<Value = (RleRow, RleRow)> {
-    (rle_row(width, max_runs, true), rle_row(width, max_runs, true))
+    (
+        rle_row(width, max_runs, true),
+        rle_row(width, max_runs, true),
+    )
 }
 
 /// Strategy: a pair of *canonical* equally-wide rows (the Observation's
 /// precondition).
 pub fn canonical_pair(width: Pixel, max_runs: usize) -> impl Strategy<Value = (RleRow, RleRow)> {
-    (rle_row(width, max_runs, false), rle_row(width, max_runs, false))
+    (
+        rle_row(width, max_runs, false),
+        rle_row(width, max_runs, false),
+    )
 }
 
 /// Reference XOR through the dense bitmap domain.

@@ -11,9 +11,9 @@ use rle_systolic::prelude::*;
 use rle_systolic::rle::ops;
 use rle_systolic::systolic_core::coalesce::{bus_coalesce, CoalescePass};
 use rle_systolic::systolic_core::engine::parallel::systolic_xor_parallel;
+use rle_systolic::workload::glyphs;
 use rle_systolic::workload::motion::{Scene, SceneParams};
 use rle_systolic::workload::pcb::{inspection_pair, typical_defects, PcbParams};
-use rle_systolic::workload::glyphs;
 
 /// Every row pair a workload family produces.
 fn workload_row_pairs() -> Vec<(String, RleRow, RleRow)> {
@@ -27,8 +27,15 @@ fn workload_row_pairs() -> Vec<(String, RleRow, RleRow)> {
 
     // PCB reference vs scan, every row that differs plus a sample of rows
     // that do not.
-    let (reference, scan) =
-        inspection_pair(&PcbParams { width: 512, height: 96, ..Default::default() }, &typical_defects(), 5);
+    let (reference, scan) = inspection_pair(
+        &PcbParams {
+            width: 512,
+            height: 96,
+            ..Default::default()
+        },
+        &typical_defects(),
+        5,
+    );
     for (y, (ra, rb)) in reference.rows().iter().zip(scan.rows()).enumerate() {
         if ra != rb || y % 17 == 0 {
             pairs.push((format!("pcb_row_{y}"), ra.clone(), rb.clone()));
@@ -36,7 +43,15 @@ fn workload_row_pairs() -> Vec<(String, RleRow, RleRow)> {
     }
 
     // Motion frames: consecutive rows from two frames.
-    let scene = Scene::new(SceneParams { width: 400, height: 40, objects: 3, max_speed: 2.0 }, 8);
+    let scene = Scene::new(
+        SceneParams {
+            width: 400,
+            height: 40,
+            objects: 3,
+            max_speed: 2.0,
+        },
+        8,
+    );
     let (f0, f1) = (scene.frame_rle(0), scene.frame_rle(1));
     for (y, (ra, rb)) in f0.rows().iter().zip(f1.rows()).enumerate().step_by(5) {
         pairs.push((format!("motion_row_{y}"), ra.clone(), rb.clone()));
@@ -66,14 +81,16 @@ fn workload_row_pairs() -> Vec<(String, RleRow, RleRow)> {
 #[test]
 fn all_algorithms_agree_on_all_workload_families() {
     let pairs = workload_row_pairs();
-    assert!(pairs.len() > 30, "suite should be broad, got {}", pairs.len());
+    assert!(
+        pairs.len() > 30,
+        "suite should be broad, got {}",
+        pairs.len()
+    );
     for (name, a, b) in &pairs {
         let truth = {
             let da = rle_systolic::bitimg::convert::decode_row(a);
             let db = rle_systolic::bitimg::convert::decode_row(b);
-            rle_systolic::bitimg::convert::encode_row(&rle_systolic::bitimg::ops::xor_row(
-                &da, &db,
-            ))
+            rle_systolic::bitimg::convert::encode_row(&rle_systolic::bitimg::ops::xor_row(&da, &db))
         };
         assert_eq!(&ops::xor(a, b), &truth, "{name}: sequential");
         let (sys, stats) = systolic_xor(a, b).unwrap();
@@ -99,7 +116,11 @@ fn coalescing_passes_agree_on_all_workload_families() {
         let (bus_row, tx) = bus_coalesce(machine.width(), &chain);
         assert_eq!(pass.extract().unwrap(), bus_row, "{name}");
         assert_eq!(bus_row, machine.extract().unwrap(), "{name}: canonical");
-        assert_eq!(tx as usize, machine.stats().output_runs, "{name}: one tx per run");
+        assert_eq!(
+            tx as usize,
+            machine.stats().output_runs,
+            "{name}: one tx per run"
+        );
     }
 }
 

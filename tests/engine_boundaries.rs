@@ -1,0 +1,114 @@
+//! Boundary behaviour of the execution engines: Theorem 1's iteration
+//! bound hit exactly, and uneven cell-chunking in the parallel engine.
+
+use proptest::prelude::*;
+use rle_systolic::rle::{self, Pixel, RleRow, Run};
+use rle_systolic::systolic_core::engine::parallel::systolic_xor_parallel;
+use rle_systolic::systolic_core::systolic_xor;
+
+/// A row of `count` disjoint, non-adjacent 2-px runs starting at `base`.
+fn comb_row(width: Pixel, base: Pixel, count: usize) -> RleRow {
+    let mut row = RleRow::new(width);
+    for i in 0..count {
+        let start = base + u32::try_from(i).unwrap() * 4;
+        row.push_run(Run::new(start, 2)).unwrap();
+    }
+    row
+}
+
+/// An input pair needing *exactly* `k1 + k2` iterations: `a` holds `k1`
+/// runs and `b` one run to the right of all of them. The lone `RegBig` run
+/// must shift through all `k1` occupied cells (`k1` iterations) before
+/// step 1 can move it into the empty `RegSmall` at cell `k1` (one more) —
+/// `k1 + 1 = k1 + k2` total, meeting Theorem 1's `≤` with equality.
+fn exact_bound_pair(k1: usize) -> (RleRow, RleRow) {
+    let width = u32::try_from(k1 * 4 + 64).unwrap();
+    let a = comb_row(width, 0, k1);
+    let mut b = RleRow::new(width);
+    b.push_run(Run::new(width - 8, 3)).unwrap();
+    (a, b)
+}
+
+#[test]
+fn exact_bound_terminates_sequentially() {
+    let (a, b) = exact_bound_pair(40);
+    let (diff, stats) = systolic_xor(&a, &b).expect("exact-bound run must terminate");
+    assert_eq!(
+        stats.iterations,
+        stats.theorem1_bound(),
+        "bound must be hit exactly"
+    );
+    assert_eq!(diff, rle::ops::xor(&a, &b));
+}
+
+#[test]
+fn exact_bound_terminates_on_parallel_engine() {
+    // Large enough (k1 + k2 + 1 cells > 2 * MIN_CELLS_PER_THREAD) that the
+    // parallel engine really runs multi-worker instead of falling back.
+    let (a, b) = exact_bound_pair(2_000);
+    let (seq_diff, seq_stats) = systolic_xor(&a, &b).expect("sequential");
+    assert_eq!(seq_stats.iterations, seq_stats.theorem1_bound());
+
+    for threads in [2usize, 4] {
+        let (par_diff, par_stats) = systolic_xor_parallel(&a, &b, threads)
+            .unwrap_or_else(|e| panic!("threads={threads}: legal final iteration rejected: {e}"));
+        assert_eq!(par_diff, seq_diff, "threads={threads}");
+        assert_eq!(
+            par_stats.iterations, seq_stats.iterations,
+            "threads={threads}"
+        );
+        assert!(par_stats.within_theorem1(), "threads={threads}");
+    }
+}
+
+#[test]
+fn uneven_chunks_deterministic_cases() {
+    // Cell counts that do not divide evenly by the chunk size, so the last
+    // chunk is short and the right-edge carry check runs on a chunk whose
+    // length differs from the others.
+    for (k1, k2, threads) in [(700, 325, 2), (1025, 512, 3), (769, 768, 4), (1200, 337, 5)] {
+        let width = u32::try_from((k1 + k2) * 4 + 64).unwrap();
+        let a = comb_row(width, 0, k1);
+        let b = comb_row(width, 1, k2);
+        let (seq_diff, seq_stats) = systolic_xor(&a, &b).unwrap();
+        let (par_diff, par_stats) = systolic_xor_parallel(&a, &b, threads).unwrap();
+        assert_eq!(par_diff, seq_diff, "k1={k1} k2={k2} threads={threads}");
+        assert_eq!(par_stats, seq_stats, "k1={k1} k2={k2} threads={threads}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Random large similar pairs across worker counts: every uneven
+    // `n % chunk != 0` split must reproduce the sequential machine
+    // bit-for-bit, including the statistics.
+    #[test]
+    fn uneven_chunking_matches_sequential(
+        k1 in 550usize..900,
+        drops in prop::collection::vec(0usize..500, 1..6),
+        extra in 0u32..3,
+        threads in 2usize..6,
+    ) {
+        let width = u32::try_from(k1 * 4 + 64).unwrap();
+        let a = comb_row(width, 0, k1);
+        // b: a with a few runs dropped and an optional tail run appended —
+        // similar inputs, so iteration counts stay small while the cell
+        // count (k1 + k2) rarely divides evenly.
+        let mut runs: Vec<Run> = a.runs().to_vec();
+        for d in drops {
+            let idx = d % runs.len();
+            runs.remove(idx);
+        }
+        if extra > 0 {
+            runs.push(Run::new(width - 8, extra));
+        }
+        let b = RleRow::from_runs(width, runs).unwrap();
+
+        let (seq_diff, seq_stats) = systolic_xor(&a, &b).unwrap();
+        let (par_diff, par_stats) = systolic_xor_parallel(&a, &b, threads).unwrap();
+        prop_assert_eq!(par_diff, seq_diff);
+        prop_assert_eq!(par_stats, seq_stats);
+        prop_assert!(par_stats.within_theorem1());
+    }
+}

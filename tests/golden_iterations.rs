@@ -66,7 +66,10 @@ fn corpus_iteration_counts_are_stable() {
     // Interleaved disjoint runs: every b-run must travel to its slot past
     // the a-runs; cost is near the Theorem-1 bound's order.
     let inter = by_name("interleaved");
-    assert!(inter >= 250, "interleaved should be expensive, took {inter}");
+    assert!(
+        inter >= 250,
+        "interleaved should be expensive, took {inter}"
+    );
 }
 
 #[test]
@@ -79,11 +82,22 @@ fn figure1_stats_fingerprint() {
     m.run().unwrap();
     let s = m.stats();
     assert_eq!(
-        (s.iterations, s.swaps, s.moves, s.disjoint_xors, s.combines, s.annihilations),
+        (
+            s.iterations,
+            s.swaps,
+            s.moves,
+            s.disjoint_xors,
+            s.combines,
+            s.annihilations
+        ),
         (3, 5, 3, 4, 3, 1),
         "full counter fingerprint changed: {s:?}"
     );
     assert_eq!(s.run_shifts, 6);
     assert_eq!(s.cells, 9);
-    assert!((s.utilization().unwrap() - 0.55).abs() < 0.2, "{:?}", s.utilization());
+    assert!(
+        (s.utilization().unwrap() - 0.55).abs() < 0.2,
+        "{:?}",
+        s.utilization()
+    );
 }

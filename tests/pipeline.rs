@@ -11,7 +11,11 @@ use rle_systolic::workload::{glyphs, ErrorModel, GenParams, RowGenerator};
 
 #[test]
 fn pcb_inspection_end_to_end() {
-    let params = PcbParams { width: 1024, height: 128, ..Default::default() };
+    let params = PcbParams {
+        width: 1024,
+        height: 128,
+        ..Default::default()
+    };
     let (reference, scan) = inspection_pair(&params, &typical_defects(), 7);
 
     // Ship the scan through PBM, as a real acquisition pipeline would.
@@ -31,7 +35,11 @@ fn pcb_inspection_end_to_end() {
 
     // Defects exist and are sparse.
     assert!(diff.ones() > 0, "injected defects must be visible");
-    assert!(diff.density() < 0.01, "defects must be sparse: {}", diff.density());
+    assert!(
+        diff.density() < 0.01,
+        "defects must be sparse: {}",
+        diff.density()
+    );
 
     // Parallel row processing changes nothing.
     let (par_diff, par_stats) = xor_image_parallel(&reference, &received_rle, 4).unwrap();
@@ -41,19 +49,37 @@ fn pcb_inspection_end_to_end() {
 
 #[test]
 fn motion_pipeline_systolic_matches_dense() {
-    let scene = Scene::new(SceneParams { width: 320, height: 64, objects: 3, max_speed: 2.0 }, 9);
+    let scene = Scene::new(
+        SceneParams {
+            width: 320,
+            height: 64,
+            objects: 3,
+            max_speed: 2.0,
+        },
+        9,
+    );
     let frames = scene.sequence(4);
     for t in 1..frames.len() {
         let (diff, _) = xor_image(&frames[t - 1], &frames[t]).unwrap();
-        let truth =
-            dops::xor(&convert::decode(&frames[t - 1]), &convert::decode(&frames[t]));
+        let truth = dops::xor(
+            &convert::decode(&frames[t - 1]),
+            &convert::decode(&frames[t]),
+        );
         assert_eq!(convert::decode(&diff), truth, "frame {t}");
     }
 }
 
 #[test]
 fn motion_frames_are_cheap_for_the_systolic_machine() {
-    let scene = Scene::new(SceneParams { width: 640, height: 128, objects: 4, max_speed: 2.0 }, 3);
+    let scene = Scene::new(
+        SceneParams {
+            width: 640,
+            height: 128,
+            objects: 4,
+            max_speed: 2.0,
+        },
+        3,
+    );
     let (f0, f1) = (scene.frame_rle(0), scene.frame_rle(1));
     let (_, stats) = xor_image(&f0, &f1).unwrap();
     // Consecutive frames are similar: the worst row needs only a few
@@ -88,7 +114,11 @@ fn paper_workload_statistics_are_sane() {
     let mut gen = RowGenerator::new(params, 123);
     let a = gen.next_row();
     assert!((a.density() - 0.3).abs() < 0.06);
-    assert!((a.run_count() as f64 - 250.0).abs() < 60.0, "{} runs", a.run_count());
+    assert!(
+        (a.run_count() as f64 - 250.0).abs() < 60.0,
+        "{} runs",
+        a.run_count()
+    );
 
     let b = rle_systolic::workload::apply_errors(&a, &ErrorModel::fraction(0.05), 5);
     let (diff, stats) = rle_systolic::systolic_core::systolic_xor(&a, &b).unwrap();
