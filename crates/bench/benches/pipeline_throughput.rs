@@ -15,7 +15,7 @@ use rle::RleImage;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use systolic_core::engine::parallel::systolic_xor_parallel;
-use systolic_core::DiffPipeline;
+use systolic_core::{DiffPipeline, DiffPipelineConfig};
 use workload::{errors, ErrorModel, GenParams, RowGenerator};
 
 /// Rows in the benchmark image; the acceptance floor is 1024.
@@ -77,6 +77,18 @@ fn main() {
         });
         drop(pipeline);
 
+        // Same pool with the supervision knobs exercised (a generous batch
+        // deadline forces the deadline-arithmetic path on every collect):
+        // quantifies what fault tolerance costs on the happy path.
+        let mut supervised = DiffPipelineConfig::new(threads)
+            .row_deadline(Duration::from_secs(60))
+            .build();
+        let (sup_best, sup_mean) = time(|| {
+            let (diff, stats) = supervised.diff_images(&a, &b).expect("image diff");
+            (diff.total_runs(), stats.totals.iterations)
+        });
+        drop(supervised);
+
         let speedup = base_best.as_secs_f64() / pipe_best.as_secs_f64();
         let beats = pipe_best < base_best;
         println!(
@@ -85,18 +97,26 @@ fn main() {
             pipe_best.as_secs_f64() * 1e3,
             if beats { "pipeline wins" } else { "pipeline LOSES" },
         );
+        println!(
+            "    with deadline supervision: {:.1} ms  ({:+.1}% vs plain pipeline)",
+            sup_best.as_secs_f64() * 1e3,
+            (sup_best.as_secs_f64() / pipe_best.as_secs_f64() - 1.0) * 100.0,
+        );
 
         let _ = write!(
             json_rows,
             "{}    {{\"threads\": {threads}, \
              \"per_row_spawn_best_ms\": {:.3}, \"per_row_spawn_mean_ms\": {:.3}, \
              \"pipeline_best_ms\": {:.3}, \"pipeline_mean_ms\": {:.3}, \
+             \"supervised_best_ms\": {:.3}, \"supervised_mean_ms\": {:.3}, \
              \"speedup\": {speedup:.3}, \"pipeline_beats_per_row_spawning\": {beats}}}",
             if json_rows.is_empty() { "" } else { ",\n" },
             base_best.as_secs_f64() * 1e3,
             base_mean.as_secs_f64() * 1e3,
             pipe_best.as_secs_f64() * 1e3,
             pipe_mean.as_secs_f64() * 1e3,
+            sup_best.as_secs_f64() * 1e3,
+            sup_mean.as_secs_f64() * 1e3,
         );
     }
 

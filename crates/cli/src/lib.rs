@@ -75,6 +75,10 @@ pub enum Command {
         threads: usize,
         /// Despeckle radius: drop difference components shorter than this.
         clean: u32,
+        /// Per-row pipeline deadline in milliseconds (`None` = wait
+        /// indefinitely); wired to
+        /// [`systolic_core::DiffPipelineConfig::row_deadline`].
+        timeout_ms: Option<u64>,
     },
     /// Convert a PBM file to the compact RLE format.
     Encode {
@@ -128,6 +132,9 @@ pub enum CliError {
     Parse(String),
     /// The two diff inputs are incompatible.
     Mismatch(String),
+    /// The diff pipeline failed (row failure past its retry budget, or a
+    /// deadline expiry).
+    Pipeline(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -137,6 +144,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Parse(m) => write!(f, "parse error: {m}"),
             CliError::Mismatch(m) => write!(f, "input mismatch: {m}"),
+            CliError::Pipeline(m) => write!(f, "pipeline error: {m}"),
         }
     }
 }
@@ -155,7 +163,7 @@ rlediff — binary image differencing in the compressed domain
 
 usage:
   rlediff diff <a> <b> [-o OUT] [--algo systolic|sequential|mesh|dense] [--clean N]
-  rlediff diff-image <a> <b> [-o OUT] [--threads N] [--clean N]
+  rlediff diff-image <a> <b> [-o OUT] [--threads N] [--clean N] [--timeout-ms N]
   rlediff encode <in.pbm> -o <out.rle>
   rlediff decode <in.rle> -o <out.pbm>
   rlediff info <file>
@@ -174,6 +182,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut seed = 1u64;
     let mut min_area = 1u64;
     let mut threads = 0usize;
+    let mut timeout_ms: Option<u64> = None;
     let mut text = String::from("RLE SYSTOLIC 1999");
 
     let mut it = args.iter();
@@ -215,6 +224,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .parse()
                     .map_err(|_| CliError::Usage("--threads needs a number".into()))?;
             }
+            "--timeout-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--timeout-ms needs a value".into()))?;
+                timeout_ms = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage("--timeout-ms needs a number".into()))?,
+                );
+            }
             "--seed" => {
                 let v = it
                     .next()
@@ -248,6 +266,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             out,
             threads,
             clean,
+            timeout_ms,
         }),
         ["encode", input] => Ok(Command::Encode {
             input: PathBuf::from(input),
@@ -441,6 +460,7 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             out,
             threads,
             clean,
+            timeout_ms,
         } => {
             let ia = load_image(a)?;
             let ib = load_image(b)?;
@@ -449,10 +469,18 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             } else {
                 *threads
             };
-            let mut pipeline = systolic_core::DiffPipeline::new(threads);
-            let (mut diff, stats) = pipeline
-                .diff_images(&ia, &ib)
-                .map_err(|e| CliError::Mismatch(e.to_string()))?;
+            let mut config = systolic_core::DiffPipelineConfig::new(threads);
+            if let Some(ms) = timeout_ms {
+                config = config.row_deadline(std::time::Duration::from_millis(*ms));
+            }
+            let mut pipeline = config.build();
+            let (mut diff, stats) = pipeline.diff_images(&ia, &ib).map_err(|e| match e {
+                systolic_core::SystolicError::WidthMismatch { .. }
+                | systolic_core::SystolicError::HeightMismatch { .. } => {
+                    CliError::Mismatch(e.to_string())
+                }
+                other => CliError::Pipeline(other.to_string()),
+            })?;
             if *clean > 0 {
                 for y in 0..diff.height() {
                     let cleaned = rle::morph::remove_small(&diff.rows()[y], *clean);
@@ -482,6 +510,13 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
                 "  workers    : {} effective of {} in pool",
                 stats.effective_workers, stats.workers
             );
+            if stats.retries + stats.respawns + stats.timeouts > 0 {
+                let _ = writeln!(
+                    s,
+                    "  supervision: {} retries, {} respawns, {} timeouts",
+                    stats.retries, stats.respawns, stats.timeouts
+                );
+            }
             if let Some(rps) = stats.rows_per_second() {
                 let _ = writeln!(s, "  throughput : {rps:.0} rows/s");
             }
@@ -785,8 +820,79 @@ mod tests {
                 out: Some("d.rle".into()),
                 threads: 3,
                 clean: 1,
+                timeout_ms: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_diff_image_timeout() {
+        let cmd = parse_args(&args(&[
+            "diff-image",
+            "a.pbm",
+            "b.pbm",
+            "--timeout-ms",
+            "1500",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::DiffImage {
+                a: "a.pbm".into(),
+                b: "b.pbm".into(),
+                out: None,
+                threads: 0,
+                clean: 0,
+                timeout_ms: Some(1500),
+            }
+        );
+        assert!(matches!(
+            parse_args(&args(&["diff-image", "a", "b", "--timeout-ms", "soon"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["diff-image", "a", "b", "--timeout-ms"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn diff_image_with_generous_timeout_succeeds() {
+        let a = workload::glyphs::render_rle("OK", 2);
+        let b = workload::glyphs::render_rle("OX", 2);
+        let a_path = tmp("ta.rle");
+        let b_path = tmp("tb.rle");
+        save_image(&a, &a_path).unwrap();
+        save_image(&b, &b_path).unwrap();
+        let msg = run_command(&Command::DiffImage {
+            a: a_path,
+            b: b_path,
+            out: None,
+            threads: 2,
+            clean: 0,
+            timeout_ms: Some(60_000),
+        })
+        .unwrap();
+        assert!(msg.contains("pipeline:"), "{msg}");
+    }
+
+    #[test]
+    fn corrupt_rle_input_is_a_clean_parse_error() {
+        // An adversarial header declaring a huge image must fail fast with
+        // a parse error, not a panic or a giant allocation.
+        let path = tmp("evil.rle");
+        let mut bytes = b"RLI1".to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0xFF, 0xFF, 0xFF, 0x7F]); // huge height varint
+        fs::write(&path, &bytes).unwrap();
+        let err = run_command(&Command::Info {
+            input: path.clone(),
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Parse(_)), "{err:?}");
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        let display = CliError::Pipeline("row 3 failed".into()).to_string();
+        assert!(display.contains("pipeline error"));
     }
 
     #[test]
@@ -815,6 +921,7 @@ mod tests {
             out: Some(via_pipeline.clone()),
             threads: 2,
             clean: 0,
+            timeout_ms: None,
         })
         .unwrap();
         assert!(msg.contains("pipeline:"), "{msg}");
@@ -839,6 +946,7 @@ mod tests {
             out: None,
             threads: 2,
             clean: 0,
+            timeout_ms: None,
         })
         .unwrap_err();
         assert!(matches!(err, CliError::Mismatch(_)));

@@ -74,6 +74,71 @@ fn full_workflow_gen_diff_info() {
 }
 
 #[test]
+fn corrupt_rle_exits_one_without_panic() {
+    // An adversarial 13-byte header declaring a gigantic image: the binary
+    // must exit 1 quickly with a parse error on stderr — no panic
+    // backtrace, no multi-gigabyte allocation.
+    let evil = tmp("evil.rle");
+    let mut bytes = b"RLI1".to_vec();
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    bytes.extend_from_slice(&[0xFF, 0xFF, 0xFF, 0x7F]);
+    std::fs::write(&evil, &bytes).unwrap();
+
+    for cmd in ["info", "decode"] {
+        let out = tmp("evil_out.pbm");
+        let args: Vec<&str> = match cmd {
+            "decode" => vec![cmd, evil.to_str().unwrap(), "-o", out.to_str().unwrap()],
+            _ => vec![cmd, evil.to_str().unwrap()],
+        };
+        let out = rlediff(&args);
+        assert_eq!(out.status.code(), Some(1), "{cmd} must exit 1");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("parse error"), "{cmd}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{cmd}: {stderr}");
+    }
+
+    // Truncated and bit-flipped streams get the same treatment.
+    let garbage = tmp("garbage.rle");
+    std::fs::write(&garbage, b"RLR1\x10\x00").unwrap();
+    let out = rlediff(&["info", garbage.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("panicked"));
+}
+
+#[test]
+fn diff_image_timeout_flag_round_trips() {
+    let a = tmp("t_a.pbm");
+    let b = tmp("t_b.pbm");
+    rlediff(&["gen", "glyphs", "-o", a.to_str().unwrap(), "--text", "AB"]);
+    rlediff(&["gen", "glyphs", "-o", b.to_str().unwrap(), "--text", "AC"]);
+    // A generous deadline on healthy workers changes nothing.
+    let out = rlediff(&[
+        "diff-image",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--timeout-ms",
+        "60000",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("pipeline:"));
+    // A malformed value is a usage error (exit 2).
+    let out = rlediff(&[
+        "diff-image",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--timeout-ms",
+        "never",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn diff_of_identical_inputs_is_empty() {
     let a = tmp("i_a.pbm");
     rlediff(&["gen", "pcb", "-o", a.to_str().unwrap(), "--seed", "3"]);

@@ -20,6 +20,8 @@
 //! sequential engine is the faithful *semantic* reference. The pipeline
 //! models a rack of independent chips fed from one queue.
 
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod parallel;
 pub mod pipeline;
 

@@ -1,4 +1,5 @@
-//! Image-level diff pipeline: a persistent worker pool over whole images.
+//! Image-level diff pipeline: a supervised, persistent worker pool over
+//! whole images.
 //!
 //! [`crate::engine::parallel`] parallelises *within* one row by splitting
 //! the cell array across threads, paying thread-spawn and three barriers
@@ -19,21 +20,62 @@
 //!   row pairs as they arrive (e.g. from a scanner head) and drain results
 //!   as they complete, matching each to its [`Ticket`].
 //!
+//! # Supervision
+//!
+//! The pool is built for the continuous-inspection service the paper
+//! targets, where one crashed row must not take down the line. Faults are
+//! contained at three levels:
+//!
+//! * **Caught panics.** Each row runs inside `catch_unwind`; a panicking
+//!   row discards the worker's (possibly corrupt) array and the row is
+//!   re-enqueued, up to [`DiffPipelineConfig::retry_limit`] extra attempts.
+//!   A row that keeps crashing surfaces as a structured
+//!   [`SystolicError::RowFailed`] instead of a panic.
+//! * **Dead workers.** Every job is *checked out* in shared state while a
+//!   worker holds it. The collector doubles as a supervisor: it wakes on a
+//!   short tick, notices worker threads that exited without being asked to
+//!   shut down, respawns them, and re-enqueues the rows they had checked
+//!   out onto the surviving workers.
+//! * **Stalls and deadlines.** [`DiffPipeline::collect_timeout`] (and the
+//!   per-row deadline of [`DiffPipelineConfig::row_deadline`], honoured by
+//!   `diff_images`) bounds how long a wedged worker can hold the caller,
+//!   returning [`SystolicError::DeadlineExceeded`] instead of hanging.
+//!   Dropping the pipeline never deadlocks: workers get
+//!   [`DiffPipelineConfig::shutdown_grace`] to exit, after which wedged
+//!   threads are detached instead of joined.
+//!
+//! All lock handling is poison-tolerant (`PoisonError::into_inner`): a
+//! panic while a lock is held degrades into a recovered guard, not a
+//! cascading crash. Retries, respawns and deadline expiries are counted in
+//! [`PipelineStats`] (per batch) and [`DiffPipeline::supervision_counters`]
+//! (pipeline lifetime). Every failure path is driven deterministically in
+//! tests by [`crate::engine::fault::FaultPlan`] (the `fault-injection`
+//! feature).
+//!
 //! Results are bit-identical to the sequential reference ([`crate::image::
 //! xor_image`]) because every row still runs the unmodified machine; only
-//! the scheduling changes. The test-suite asserts this across all three
-//! engines.
+//! the scheduling (and, after a fault, the re-execution) changes. The
+//! test-suite asserts this across all three engines and across injected
+//! faults.
 
 use crate::array::SystolicArray;
 use crate::error::SystolicError;
 use crate::image::check_dims;
 use crate::stats::{ArrayStats, PipelineStats};
 use rle::{RleImage, RleRow};
-use std::collections::VecDeque;
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+#[cfg(feature = "fault-injection")]
+use crate::engine::fault::{Fault, FaultPlan};
+
+/// How often a blocked collector wakes to check worker liveness.
+const SUPERVISION_TICK: Duration = Duration::from_millis(20);
 
 /// Identifies one submitted row pair; returned by [`DiffPipeline::submit`]
 /// and echoed by [`DiffPipeline::collect`] so streaming callers can match
@@ -62,29 +104,166 @@ pub struct RowOutcome {
     pub result: Result<(RleRow, ArrayStats), SystolicError>,
 }
 
+/// Configuration for a supervised [`DiffPipeline`].
+#[derive(Clone, Debug)]
+pub struct DiffPipelineConfig {
+    /// Worker threads in the pool (must be > 0).
+    pub threads: usize,
+    /// Extra attempts the supervisor grants a row whose worker panicked or
+    /// died. A row is attempted at most `retry_limit + 1` times before
+    /// surfacing as [`SystolicError::RowFailed`].
+    pub retry_limit: u32,
+    /// Per-row collection deadline honoured by
+    /// [`DiffPipeline::diff_images`]: the longest the batch front-end waits
+    /// for the *next* completed row before giving up with
+    /// [`SystolicError::DeadlineExceeded`]. `None` (the default) waits
+    /// indefinitely (supervision still recovers dead workers; only genuine
+    /// stalls can block).
+    pub row_deadline: Option<Duration>,
+    /// How long [`Drop`] waits for workers to exit before detaching wedged
+    /// threads instead of joining them (the never-deadlock guarantee).
+    pub shutdown_grace: Duration,
+    /// Deterministic fault schedule for tests (see
+    /// [`crate::engine::fault`]).
+    #[cfg(feature = "fault-injection")]
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for DiffPipelineConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            retry_limit: 2,
+            row_deadline: None,
+            shutdown_grace: Duration::from_millis(500),
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
+        }
+    }
+}
+
+impl DiffPipelineConfig {
+    /// A default configuration over `threads` workers.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the retry budget (see [`Self::retry_limit`]).
+    #[must_use]
+    pub fn retry_limit(mut self, retries: u32) -> Self {
+        self.retry_limit = retries;
+        self
+    }
+
+    /// Sets the per-row deadline (see [`Self::row_deadline`]).
+    #[must_use]
+    pub fn row_deadline(mut self, deadline: Duration) -> Self {
+        self.row_deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the shutdown grace period (see [`Self::shutdown_grace`]).
+    #[must_use]
+    pub fn shutdown_grace(mut self, grace: Duration) -> Self {
+        self.shutdown_grace = grace;
+        self
+    }
+
+    /// Installs a deterministic fault schedule (test builds only).
+    #[cfg(feature = "fault-injection")]
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Builds the pipeline described by this configuration.
+    #[must_use]
+    pub fn build(self) -> DiffPipeline {
+        DiffPipeline::with_config(self)
+    }
+}
+
+/// Lifetime totals of the supervisor's interventions (never reset; the
+/// per-batch view lives in [`PipelineStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SupervisionCounters {
+    /// Rows re-enqueued after a worker panic or death.
+    pub retries: u64,
+    /// Worker threads replaced after dying unexpectedly.
+    pub respawns: u64,
+    /// Deadline expiries observed by collectors.
+    pub timeouts: u64,
+}
+
+#[derive(Clone)]
 struct Job {
     ticket: u64,
+    attempts: u32,
     a: RleRow,
     b: RleRow,
 }
 
+/// A job a worker currently holds, kept in shared state so the supervisor
+/// can recover it if the worker dies mid-row.
+struct CheckedOut {
+    worker: usize,
+    job: Job,
+}
+
 struct State {
     queue: VecDeque<Job>,
+    running: HashMap<u64, CheckedOut>,
     shutdown: bool,
 }
 
 struct Shared {
     state: Mutex<State>,
     work_ready: Condvar,
+    retries: AtomicU64,
+    respawns: AtomicU64,
+    timeouts: AtomicU64,
+    #[cfg(feature = "fault-injection")]
+    faults: Option<FaultPlan>,
 }
 
-/// A persistent pool of row-diff workers (see the module docs).
+impl Shared {
+    /// Poison-tolerant state lock: a worker that panicked while holding the
+    /// guard leaves consistent-enough data (queue/running entries are only
+    /// mutated through single push/insert/remove calls), so supervision
+    /// proceeds on the recovered guard instead of propagating the poison.
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn counters(&self) -> SupervisionCounters {
+        SupervisionCounters {
+            retries: self.retries.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A persistent, supervised pool of row-diff workers (see the module docs).
 ///
-/// Dropping the pipeline drains the remaining queue and joins every worker.
+/// Dropping the pipeline drains the remaining queue and joins every worker
+/// that exits within [`DiffPipelineConfig::shutdown_grace`]; wedged workers
+/// are detached so `Drop` never deadlocks.
 pub struct DiffPipeline {
     shared: Arc<Shared>,
     results: Receiver<RowOutcome>,
+    /// Kept for two supervisor duties: handing a sender to respawned
+    /// workers, and synthesizing [`SystolicError::RowFailed`] outcomes for
+    /// rows orphaned past their retry budget. Holding it also means the
+    /// channel can never disconnect under a blocked collector.
+    result_tx: Sender<RowOutcome>,
     handles: Vec<JoinHandle<()>>,
+    config: DiffPipelineConfig,
     next_ticket: u64,
     in_flight: usize,
 }
@@ -94,41 +273,65 @@ impl std::fmt::Debug for DiffPipeline {
         f.debug_struct("DiffPipeline")
             .field("workers", &self.handles.len())
             .field("in_flight", &self.in_flight)
+            .field("counters", &self.shared.counters())
             .finish()
     }
 }
 
 impl DiffPipeline {
-    /// Spawns a pool of `threads` persistent workers.
+    /// Spawns a pool of `threads` persistent workers with the default
+    /// supervision settings.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     #[must_use]
     pub fn new(threads: usize) -> Self {
-        assert!(threads > 0, "need at least one thread");
+        Self::with_config(DiffPipelineConfig::new(threads))
+    }
+
+    /// Spawns a pool described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.threads == 0`.
+    #[must_use]
+    pub fn with_config(config: DiffPipelineConfig) -> Self {
+        assert!(config.threads > 0, "need at least one thread");
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
+                running: HashMap::new(),
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
+            retries: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            #[cfg(feature = "fault-injection")]
+            faults: config.fault_plan.clone(),
         });
-        let (tx, results) = std::sync::mpsc::channel();
-        let handles = (0..threads)
-            .map(|worker| {
-                let shared = Arc::clone(&shared);
-                let tx = tx.clone();
-                std::thread::spawn(move || worker_loop(&shared, &tx, worker))
-            })
-            .collect();
-        Self {
+        let (result_tx, results) = std::sync::mpsc::channel();
+        let mut pipeline = Self {
             shared,
             results,
-            handles,
+            result_tx,
+            handles: Vec::new(),
+            config,
             next_ticket: 0,
             in_flight: 0,
-        }
+        };
+        pipeline.handles = (0..pipeline.config.threads)
+            .map(|worker| pipeline.spawn_worker(worker))
+            .collect();
+        pipeline
+    }
+
+    fn spawn_worker(&self, worker: usize) -> JoinHandle<()> {
+        let shared = Arc::clone(&self.shared);
+        let tx = self.result_tx.clone();
+        let retry_limit = self.config.retry_limit;
+        std::thread::spawn(move || worker_loop(&shared, &tx, worker, retry_limit))
     }
 
     /// Number of workers in the pool.
@@ -143,14 +346,25 @@ impl DiffPipeline {
         self.in_flight
     }
 
+    /// Lifetime supervision totals (see [`SupervisionCounters`]).
+    #[must_use]
+    pub fn supervision_counters(&self) -> SupervisionCounters {
+        self.shared.counters()
+    }
+
     /// Enqueues one row pair for differencing; returns the [`Ticket`] its
     /// [`RowOutcome`] will carry. Never blocks.
     pub fn submit(&mut self, a: RleRow, b: RleRow) -> Ticket {
         let ticket = self.next_ticket;
         self.next_ticket += 1;
         {
-            let mut state = self.shared.state.lock().expect("pipeline state poisoned");
-            state.queue.push_back(Job { ticket, a, b });
+            let mut state = self.shared.lock_state();
+            state.queue.push_back(Job {
+                ticket,
+                attempts: 0,
+                a,
+                b,
+            });
         }
         self.shared.work_ready.notify_one();
         self.in_flight += 1;
@@ -159,16 +373,143 @@ impl DiffPipeline {
 
     /// Blocks for the next completed row, in completion (not submission)
     /// order. Returns `None` when nothing is in flight.
+    ///
+    /// While blocked, the collector supervises the pool: dead workers are
+    /// respawned and their checked-out rows re-enqueued, so a crashed
+    /// thread delays a row rather than hanging the collector. Only a
+    /// genuinely wedged worker can block indefinitely — use
+    /// [`Self::collect_timeout`] to bound that.
     pub fn collect(&mut self) -> Option<RowOutcome> {
+        self.collect_inner(None)
+            .expect("collect without a deadline cannot time out")
+    }
+
+    /// Like [`Self::collect`], but gives up with
+    /// [`SystolicError::DeadlineExceeded`] if no row completes within
+    /// `timeout`. The timed-out row stays in flight (its worker may still
+    /// deliver it later); callers can keep collecting, [`Self::drain`] the
+    /// pipeline, or drop it.
+    pub fn collect_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<RowOutcome>, SystolicError> {
+        self.collect_inner(Some(timeout))
+    }
+
+    fn collect_inner(
+        &mut self,
+        timeout: Option<Duration>,
+    ) -> Result<Option<RowOutcome>, SystolicError> {
         if self.in_flight == 0 {
-            return None;
+            return Ok(None);
         }
-        let outcome = self
-            .results
-            .recv()
-            .expect("pipeline worker lost with rows in flight");
-        self.in_flight -= 1;
-        Some(outcome)
+        let start = Instant::now();
+        let deadline = timeout.map(|t| start + t);
+        loop {
+            let wait = match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        self.shared.timeouts.fetch_add(1, Ordering::Relaxed);
+                        return Err(SystolicError::DeadlineExceeded {
+                            waited: start.elapsed(),
+                            in_flight: self.in_flight,
+                        });
+                    }
+                    SUPERVISION_TICK.min(d - now)
+                }
+                None => SUPERVISION_TICK,
+            };
+            match self.results.recv_timeout(wait) {
+                Ok(outcome) => {
+                    self.in_flight -= 1;
+                    return Ok(Some(outcome));
+                }
+                // The tick elapsed with no result: check on the workers.
+                // Disconnection is impossible (`result_tx` lives on self),
+                // but treat it like a tick defensively.
+                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                    self.supervise();
+                }
+            }
+        }
+    }
+
+    /// Replaces dead worker threads and recovers the rows they held.
+    ///
+    /// Workers only exit voluntarily once `shutdown` is set (which happens
+    /// in `Drop`, after which no collector runs), so any finished handle
+    /// seen here is a casualty: join it to reap the thread, spawn a
+    /// replacement on the same slot, and re-enqueue — or fail, past the
+    /// retry budget — every row the casualty had checked out.
+    fn supervise(&mut self) {
+        for worker in 0..self.handles.len() {
+            if !self.handles[worker].is_finished() {
+                continue;
+            }
+            let replacement = self.spawn_worker(worker);
+            let dead = std::mem::replace(&mut self.handles[worker], replacement);
+            let _ = dead.join();
+            self.shared.respawns.fetch_add(1, Ordering::Relaxed);
+
+            let orphans: Vec<Job> = {
+                let mut state = self.shared.lock_state();
+                let tickets: Vec<u64> = state
+                    .running
+                    .iter()
+                    .filter(|(_, held)| held.worker == worker)
+                    .map(|(ticket, _)| *ticket)
+                    .collect();
+                tickets
+                    .into_iter()
+                    .map(|t| state.running.remove(&t).expect("listed above").job)
+                    .collect()
+            };
+            for mut job in orphans {
+                job.attempts += 1;
+                if job.attempts > self.config.retry_limit {
+                    let _ = self.result_tx.send(RowOutcome {
+                        ticket: Ticket(job.ticket),
+                        worker,
+                        result: Err(SystolicError::RowFailed {
+                            row: job.ticket,
+                            attempts: job.attempts,
+                            cause: "worker thread died while processing the row".into(),
+                        }),
+                    });
+                } else {
+                    self.shared.retries.fetch_add(1, Ordering::Relaxed);
+                    self.shared.lock_state().queue.push_back(job);
+                    self.shared.work_ready.notify_one();
+                }
+            }
+        }
+    }
+
+    /// Collects every in-flight outcome (blocking, with supervision) and
+    /// returns them, leaving the pipeline idle.
+    pub fn drain(&mut self) -> Vec<RowOutcome> {
+        let mut out = Vec::new();
+        while let Some(done) = self.collect() {
+            out.push(done);
+        }
+        out
+    }
+
+    /// Abandons a failed batch: queued-but-unstarted jobs are dropped and
+    /// already-delivered results discarded. Rows checked out by (possibly
+    /// wedged) workers remain in flight.
+    fn abandon_queued(&mut self) {
+        let dropped = {
+            let mut state = self.shared.lock_state();
+            let n = state.queue.len();
+            state.queue.clear();
+            n
+        };
+        self.in_flight -= dropped;
+        while self.results.try_recv().is_ok() {
+            self.in_flight -= 1;
+        }
     }
 
     /// Diffs two images row by row across the pool, reassembling the rows
@@ -176,7 +517,11 @@ impl DiffPipeline {
     ///
     /// Bit-identical to [`crate::image::xor_image`]; only host wall-clock
     /// changes. If any row fails, the remaining rows are still drained and
-    /// the first error is returned.
+    /// the first error is returned. With a
+    /// [`DiffPipelineConfig::row_deadline`] configured, a stall longer than
+    /// the deadline aborts the batch with
+    /// [`SystolicError::DeadlineExceeded`]; queued rows are abandoned but a
+    /// wedged worker's row stays in flight (see [`Self::in_flight`]).
     ///
     /// # Panics
     ///
@@ -190,6 +535,7 @@ impl DiffPipeline {
         assert!(self.in_flight == 0, "diff_images needs an idle pipeline");
         check_dims(a, b)?;
         let start = Instant::now();
+        let counters_before = self.shared.counters();
         let height = a.height();
         let base = self.next_ticket;
         for (ra, rb) in a.rows().iter().zip(b.rows()) {
@@ -203,7 +549,19 @@ impl DiffPipeline {
         };
         let mut seen = vec![false; self.handles.len()];
         let mut first_err: Option<SystolicError> = None;
-        while let Some(done) = self.collect() {
+        loop {
+            let collected = match self.config.row_deadline {
+                Some(deadline) => self.collect_timeout(deadline),
+                None => Ok(self.collect()),
+            };
+            let done = match collected {
+                Ok(Some(done)) => done,
+                Ok(None) => break,
+                Err(e) => {
+                    self.abandon_queued();
+                    return Err(e);
+                }
+            };
             match done.result {
                 Ok((row, row_stats)) => {
                     stats.totals.absorb(&row_stats);
@@ -223,6 +581,10 @@ impl DiffPipeline {
         }
         stats.effective_workers = seen.iter().filter(|s| **s).count();
         stats.wall = start.elapsed();
+        let counters = self.shared.counters();
+        stats.retries = counters.retries - counters_before.retries;
+        stats.respawns = counters.respawns - counters_before.respawns;
+        stats.timeouts = counters.timeouts - counters_before.timeouts;
         let rows: Vec<RleRow> = rows
             .into_iter()
             .map(|r| r.expect("every row collected"))
@@ -234,28 +596,42 @@ impl DiffPipeline {
 
 impl Drop for DiffPipeline {
     fn drop(&mut self) {
-        {
-            let mut state = match self.shared.state.lock() {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            state.shutdown = true;
-        }
+        self.shared.lock_state().shutdown = true;
         self.shared.work_ready.notify_all();
+        // Join workers that exit within the grace period; detach the rest
+        // (e.g. a wedged worker mid-stall) so Drop can never deadlock. A
+        // detached worker sees the shutdown flag and exits as soon as it
+        // unwedges; the Arc keeps its shared state alive until then.
+        let deadline = Instant::now() + self.config.shutdown_grace;
         for handle in self.handles.drain(..) {
-            let _ = handle.join();
+            while !handle.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if handle.is_finished() {
+                let _ = handle.join();
+            }
         }
     }
 }
 
 /// A worker: pop jobs until shutdown, reusing one array across all of them.
-fn worker_loop(shared: &Shared, results: &Sender<RowOutcome>, worker: usize) {
+///
+/// Each job is checked out in shared state before processing (so the
+/// supervisor can recover it if this thread dies) and every row runs under
+/// `catch_unwind` (so a panicking row costs one retry, not the worker).
+fn worker_loop(
+    shared: &Arc<Shared>,
+    results: &Sender<RowOutcome>,
+    worker: usize,
+    retry_limit: u32,
+) {
     // The persistent register buffer: allocated on the first row, then
-    // `reload`ed in place for every subsequent one.
+    // `reload`ed in place for every subsequent one. Dropped after a caught
+    // panic, since the machine may have been mid-mutation.
     let mut array: Option<SystolicArray> = None;
     loop {
         let job = {
-            let mut state = shared.state.lock().expect("pipeline state poisoned");
+            let mut state = shared.lock_state();
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     break job;
@@ -266,17 +642,94 @@ fn worker_loop(shared: &Shared, results: &Sender<RowOutcome>, worker: usize) {
                 state = shared
                     .work_ready
                     .wait(state)
-                    .expect("pipeline state poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        let result = diff_reusing(&mut array, &job.a, &job.b);
-        // The receiver disappearing mid-job means the pipeline is being
-        // dropped; the queue will hand us the shutdown flag next round.
-        let _ = results.send(RowOutcome {
-            ticket: Ticket(job.ticket),
-            worker,
-            result,
-        });
+        shared.lock_state().running.insert(
+            job.ticket,
+            CheckedOut {
+                worker,
+                job: job.clone(),
+            },
+        );
+
+        #[cfg(feature = "fault-injection")]
+        let mut injected_panic = false;
+        #[cfg(feature = "fault-injection")]
+        if let Some(fault) = shared
+            .faults
+            .as_ref()
+            .and_then(|plan| plan.take(job.ticket))
+        {
+            match fault {
+                Fault::Panic => injected_panic = true,
+                Fault::Stall(duration) => std::thread::sleep(duration),
+                // Exit with the job still checked out: the supervisor must
+                // notice the dead thread and recover the orphan.
+                Fault::Die => return,
+                Fault::PoisonLock => {
+                    let shared = Arc::clone(shared);
+                    let _ = catch_unwind(AssertUnwindSafe(move || {
+                        let _guard = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+                        panic!("injected fault: poisoning the pipeline state lock");
+                    }));
+                }
+            }
+        }
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(feature = "fault-injection")]
+            if injected_panic {
+                panic!("injected fault: panic on row {}", job.ticket);
+            }
+            diff_reusing(&mut array, &job.a, &job.b)
+        }));
+
+        match outcome {
+            Ok(result) => {
+                shared.lock_state().running.remove(&job.ticket);
+                // The receiver disappearing mid-job means the pipeline is
+                // being dropped; the queue will hand us the shutdown flag
+                // next round.
+                let _ = results.send(RowOutcome {
+                    ticket: Ticket(job.ticket),
+                    worker,
+                    result,
+                });
+            }
+            Err(payload) => {
+                array = None;
+                let mut job = job;
+                shared.lock_state().running.remove(&job.ticket);
+                job.attempts += 1;
+                if job.attempts > retry_limit {
+                    let _ = results.send(RowOutcome {
+                        ticket: Ticket(job.ticket),
+                        worker,
+                        result: Err(SystolicError::RowFailed {
+                            row: job.ticket,
+                            attempts: job.attempts,
+                            cause: panic_message(payload.as_ref()),
+                        }),
+                    });
+                } else {
+                    shared.retries.fetch_add(1, Ordering::Relaxed);
+                    shared.lock_state().queue.push_back(job);
+                    shared.work_ready.notify_one();
+                }
+            }
+        }
+    }
+}
+
+/// Best-effort rendering of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
     }
 }
 
@@ -320,6 +773,12 @@ mod tests {
         assert_eq!(stats.max_row_iterations, seq_stats.max_row_iterations);
         assert_eq!(stats.workers, 3);
         assert!(stats.effective_workers >= 1 && stats.effective_workers <= 3);
+        // A healthy run needs no supervisor interventions.
+        assert_eq!((stats.retries, stats.respawns, stats.timeouts), (0, 0, 0));
+        assert_eq!(
+            pipeline.supervision_counters(),
+            SupervisionCounters::default()
+        );
     }
 
     #[test]
@@ -398,5 +857,64 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_workers_panics() {
         let _ = DiffPipeline::new(0);
+    }
+
+    #[test]
+    fn config_defaults_and_builders() {
+        let config = DiffPipelineConfig::default();
+        assert!(config.threads >= 1);
+        assert_eq!(config.retry_limit, 2);
+        assert!(config.row_deadline.is_none());
+        let config = DiffPipelineConfig::new(2)
+            .retry_limit(5)
+            .row_deadline(Duration::from_millis(250))
+            .shutdown_grace(Duration::from_millis(100));
+        assert_eq!(config.threads, 2);
+        assert_eq!(config.retry_limit, 5);
+        assert_eq!(config.row_deadline, Some(Duration::from_millis(250)));
+        assert_eq!(config.shutdown_grace, Duration::from_millis(100));
+        let pipeline = config.build();
+        assert_eq!(pipeline.workers(), 2);
+    }
+
+    #[test]
+    fn collect_timeout_on_healthy_pipeline_returns_rows() {
+        let mut pipeline = DiffPipeline::new(2);
+        assert!(matches!(
+            pipeline.collect_timeout(Duration::from_millis(10)),
+            Ok(None),
+        ));
+        let row = RleRow::from_pairs(16, &[(0, 4)]).unwrap();
+        pipeline.submit(row.clone(), row);
+        let got = pipeline
+            .collect_timeout(Duration::from_secs(10))
+            .expect("healthy worker beats a generous deadline")
+            .expect("one row in flight");
+        assert!(got.result.unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn drain_empties_the_pipeline() {
+        let mut pipeline = DiffPipeline::new(2);
+        let row = RleRow::from_pairs(16, &[(0, 4)]).unwrap();
+        for _ in 0..5 {
+            pipeline.submit(row.clone(), row.clone());
+        }
+        let outcomes = pipeline.drain();
+        assert_eq!(outcomes.len(), 5);
+        assert_eq!(pipeline.in_flight(), 0);
+        assert!(pipeline.drain().is_empty());
+    }
+
+    #[test]
+    fn batch_deadline_passes_when_workers_are_healthy() {
+        let a = img("####....\n..##..##\n#.#.#.#.\n");
+        let b = img("###.....\n..##..#.\n.#.#.#.#\n");
+        let mut pipeline = DiffPipelineConfig::new(2)
+            .row_deadline(Duration::from_secs(10))
+            .build();
+        let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+        assert_eq!(got, xor_image(&a, &b).unwrap().0);
+        assert_eq!(stats.timeouts, 0);
     }
 }

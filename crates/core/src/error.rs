@@ -52,6 +52,35 @@ pub enum SystolicError {
         /// Human-readable description of the violated invariant.
         what: String,
     },
+    /// A pipeline row crashed its worker on every attempt the supervisor was
+    /// willing to grant (see
+    /// [`DiffPipelineConfig::retry_limit`]). Raised instead of propagating
+    /// the worker's panic to the caller.
+    ///
+    /// [`DiffPipelineConfig::retry_limit`]:
+    ///     crate::engine::pipeline::DiffPipelineConfig::retry_limit
+    RowFailed {
+        /// Ticket id of the failed row.
+        row: u64,
+        /// How many times the row was attempted before giving up.
+        attempts: u32,
+        /// The panic message of the last attempt.
+        cause: String,
+    },
+    /// A deadline given to [`DiffPipeline::collect_timeout`] (or configured
+    /// via [`DiffPipelineConfig::row_deadline`]) expired with rows still in
+    /// flight — typically a stalled worker.
+    ///
+    /// [`DiffPipeline::collect_timeout`]:
+    ///     crate::engine::pipeline::DiffPipeline::collect_timeout
+    /// [`DiffPipelineConfig::row_deadline`]:
+    ///     crate::engine::pipeline::DiffPipelineConfig::row_deadline
+    DeadlineExceeded {
+        /// How long the collector waited before giving up.
+        waited: std::time::Duration,
+        /// Rows submitted but not yet collected when the deadline fired.
+        in_flight: usize,
+    },
 }
 
 impl fmt::Display for SystolicError {
@@ -84,6 +113,23 @@ impl fmt::Display for SystolicError {
             SystolicError::InvariantViolated { what } => {
                 write!(f, "invariant violated: {what}")
             }
+            SystolicError::RowFailed {
+                row,
+                attempts,
+                cause,
+            } => {
+                write!(
+                    f,
+                    "row {row} failed after {attempts} attempts (last cause: {cause})"
+                )
+            }
+            SystolicError::DeadlineExceeded { waited, in_flight } => {
+                write!(
+                    f,
+                    "pipeline deadline exceeded after {:.1} ms with {in_flight} rows in flight",
+                    waited.as_secs_f64() * 1e3
+                )
+            }
         }
     }
 }
@@ -114,5 +160,20 @@ mod tests {
         assert!(SystolicError::InvariantViolated { what: "x".into() }
             .to_string()
             .contains("x"));
+        let failed = SystolicError::RowFailed {
+            row: 7,
+            attempts: 3,
+            cause: "boom".into(),
+        }
+        .to_string();
+        assert!(
+            failed.contains("row 7") && failed.contains("3 attempts") && failed.contains("boom")
+        );
+        let late = SystolicError::DeadlineExceeded {
+            waited: std::time::Duration::from_millis(250),
+            in_flight: 2,
+        }
+        .to_string();
+        assert!(late.contains("deadline") && late.contains("2 rows"));
     }
 }

@@ -69,6 +69,8 @@ pub mod stripes;
 pub mod trace;
 
 pub use array::{systolic_xor, SystolicArray};
-pub use engine::pipeline::DiffPipeline;
+#[cfg(feature = "fault-injection")]
+pub use engine::fault::{Fault, FaultPlan};
+pub use engine::pipeline::{DiffPipeline, DiffPipelineConfig, SupervisionCounters};
 pub use error::SystolicError;
 pub use stats::{ArrayStats, PipelineStats};

@@ -102,6 +102,15 @@ pub struct PipelineStats {
     /// Workers that processed at least one row of this batch — how much of
     /// the pool the workload actually kept busy.
     pub effective_workers: usize,
+    /// Rows re-enqueued after a worker panic or death during this batch
+    /// (each retry re-runs the row from scratch on a healthy array).
+    pub retries: u64,
+    /// Worker threads the supervisor replaced during this batch because
+    /// they exited without being asked to shut down.
+    pub respawns: u64,
+    /// Deadline expiries ([`crate::error::SystolicError::DeadlineExceeded`])
+    /// observed during this batch.
+    pub timeouts: u64,
 }
 
 impl PipelineStats {

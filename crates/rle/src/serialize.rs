@@ -42,6 +42,17 @@ pub enum DecodeError {
     Truncated,
     /// A varint exceeded 32 bits.
     VarintOverflow,
+    /// A declared run/row count exceeds what the remaining input could
+    /// possibly encode (every run costs ≥ 2 bytes and ≥ 1 pixel; every row
+    /// body costs ≥ 1 byte). Rejecting up front means a truncated or
+    /// adversarial header can never trigger allocations or decode work
+    /// beyond input-proportional bounds.
+    ImplausibleCount {
+        /// The count the header declared.
+        declared: u64,
+        /// The most the remaining input could plausibly hold.
+        max_plausible: u64,
+    },
     /// The decoded runs violate RLE invariants.
     Invalid(RleError),
 }
@@ -52,6 +63,13 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadMagic => write!(f, "bad magic number"),
             DecodeError::Truncated => write!(f, "byte stream truncated"),
             DecodeError::VarintOverflow => write!(f, "varint exceeds 32 bits"),
+            DecodeError::ImplausibleCount {
+                declared,
+                max_plausible,
+            } => write!(
+                f,
+                "declared count {declared} exceeds what the input can hold (≤ {max_plausible})"
+            ),
             DecodeError::Invalid(e) => write!(f, "decoded runs invalid: {e}"),
         }
     }
@@ -105,8 +123,22 @@ fn encode_row_body(row: &RleRow, out: &mut Vec<u8>) {
     }
 }
 
+/// The tightest cheap upper bound on a row's run count: each run costs at
+/// least two bytes on the wire (one gap varint, one length varint) and
+/// covers at least one pixel of the row.
+fn plausible_run_count(remaining_bytes: usize, width: Pixel) -> u64 {
+    (remaining_bytes as u64 / 2).min(u64::from(width))
+}
+
 fn decode_row_body(data: &[u8], pos: &mut usize, width: Pixel) -> Result<RleRow, DecodeError> {
     let count = get_varint(data, pos)? as usize;
+    let max_plausible = plausible_run_count(data.len() - *pos, width);
+    if count as u64 > max_plausible {
+        return Err(DecodeError::ImplausibleCount {
+            declared: count as u64,
+            max_plausible,
+        });
+    }
     let mut row = RleRow::new(width);
     let mut prev_end: u64 = 0;
     for _ in 0..count {
@@ -164,9 +196,17 @@ pub fn decode_image(data: &[u8]) -> Result<RleImage, DecodeError> {
     expect_magic(data, &mut pos, IMAGE_MAGIC)?;
     let width = read_u32(data, &mut pos)?;
     let height = get_varint(data, &mut pos)? as usize;
-    // Cap the pre-allocation: a corrupt header must not trigger a huge
-    // reservation before row decoding fails.
-    let mut rows = Vec::with_capacity(height.min(64 * 1024));
+    // Every row body costs at least one byte (its count varint), so a
+    // height the remaining input cannot hold is rejected before any
+    // allocation — a 5-byte crafted header cannot reserve gigabytes.
+    let remaining = data.len() - pos;
+    if height > remaining {
+        return Err(DecodeError::ImplausibleCount {
+            declared: height as u64,
+            max_plausible: remaining as u64,
+        });
+    }
+    let mut rows = Vec::with_capacity(height);
     for _ in 0..height {
         rows.push(decode_row_body(data, &mut pos, width)?);
     }
@@ -322,6 +362,14 @@ impl<R: Read> ImageReader<R> {
 
     fn read_one(&mut self) -> Result<RleRow, DecodeError> {
         let count = read_varint_io(&mut self.input)? as usize;
+        // The stream's remaining length is unknown, but runs cover at least
+        // one pixel each, so a count beyond the row width is corrupt.
+        if count as u64 > u64::from(self.width) {
+            return Err(DecodeError::ImplausibleCount {
+                declared: count as u64,
+                max_plausible: u64::from(self.width),
+            });
+        }
         let mut row = RleRow::new(self.width);
         let mut prev_end: u64 = 0;
         for _ in 0..count {
@@ -447,11 +495,87 @@ mod tests {
         let bytes = encode_row(&row(&[(3, 4), (100, 5)]));
         for cut in 0..bytes.len() {
             let err = decode_row(&bytes[..cut]).unwrap_err();
+            // A cut right after the count varint leaves too few bytes for
+            // the declared runs, which the plausibility cap reports.
             assert!(
-                matches!(err, DecodeError::Truncated | DecodeError::BadMagic),
+                matches!(
+                    err,
+                    DecodeError::Truncated
+                        | DecodeError::BadMagic
+                        | DecodeError::ImplausibleCount { .. }
+                ),
                 "cut at {cut}: {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn rejects_implausible_run_count() {
+        // Header declares u32::MAX runs backed by two bytes of payload.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(ROW_MAGIC);
+        bytes.extend_from_slice(&10_000u32.to_le_bytes());
+        put_varint(&mut bytes, u32::MAX);
+        bytes.extend_from_slice(&[0, 0]);
+        assert!(matches!(
+            decode_row(&bytes),
+            Err(DecodeError::ImplausibleCount {
+                declared,
+                max_plausible: 1,
+            }) if declared == u64::from(u32::MAX)
+        ));
+    }
+
+    #[test]
+    fn rejects_run_count_beyond_width() {
+        // Plenty of bytes, but more runs than the row has pixels.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(ROW_MAGIC);
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        put_varint(&mut bytes, 5); // 5 runs in a 4-pixel row
+        bytes.extend_from_slice(&[0; 16]);
+        assert!(matches!(
+            decode_row(&bytes),
+            Err(DecodeError::ImplausibleCount {
+                declared: 5,
+                max_plausible: 4,
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_implausible_image_height() {
+        // A 13-byte "image" declaring ~256M rows must be rejected before
+        // any allocation happens.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(IMAGE_MAGIC);
+        bytes.extend_from_slice(&100u32.to_le_bytes());
+        put_varint(&mut bytes, u32::MAX / 16);
+        assert!(bytes.len() < 16, "the crafted header stays tiny");
+        assert!(matches!(
+            decode_image(&bytes),
+            Err(DecodeError::ImplausibleCount {
+                max_plausible: 0,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn streaming_reader_rejects_implausible_count() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(IMAGE_MAGIC);
+        bytes.extend_from_slice(&8u32.to_le_bytes());
+        put_varint(&mut bytes, 1); // one row...
+        put_varint(&mut bytes, 200); // ...claiming 200 runs in 8 pixels
+        let mut reader = ImageReader::new(&bytes[..]).unwrap();
+        assert!(matches!(
+            reader.next_row().unwrap(),
+            Err(DecodeError::ImplausibleCount {
+                declared: 200,
+                max_plausible: 8,
+            })
+        ));
     }
 
     #[test]
@@ -479,6 +603,12 @@ mod tests {
     fn display_messages() {
         assert!(DecodeError::BadMagic.to_string().contains("magic"));
         assert!(DecodeError::Truncated.to_string().contains("truncated"));
+        let implausible = DecodeError::ImplausibleCount {
+            declared: 1_000,
+            max_plausible: 3,
+        }
+        .to_string();
+        assert!(implausible.contains("1000") && implausible.contains("3"));
         assert!(DecodeError::Invalid(RleError::OutOfOrder { index: 1 })
             .to_string()
             .contains("invalid"));

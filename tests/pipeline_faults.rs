@@ -1,0 +1,230 @@
+//! Supervised-pipeline fault drills (requires `--features fault-injection`).
+//!
+//! Every failure mode the supervisor claims to tolerate is driven here by a
+//! deterministic [`FaultPlan`] and checked against the one acceptance bar
+//! that matters: after recovery, `diff_images` is **bit-identical** to the
+//! sequential reference `xor_image`, and the intervention is visible in
+//! [`PipelineStats`] / [`SupervisionCounters`].
+#![cfg(feature = "fault-injection")]
+
+use rle_systolic::rle::RleImage;
+use rle_systolic::systolic_core::image::xor_image;
+use rle_systolic::systolic_core::{
+    DiffPipelineConfig, FaultPlan, SupervisionCounters, SystolicError,
+};
+use rle_systolic::workload::{errors, ErrorModel, GenParams, RowGenerator};
+use std::time::Duration;
+
+/// Silence the default panic hook for the *injected* panics these drills
+/// fire on worker threads (they are caught by the supervisor, but the hook
+/// would still spray backtraces over the test output). Real panics keep
+/// the default reporting.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.contains("injected fault"))
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.contains("injected fault"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+fn image_pair(height: usize) -> (RleImage, RleImage) {
+    let params = GenParams::for_density(512, 0.3);
+    let a = RowGenerator::new(params, 0xFA17).next_image(height);
+    let b = errors::apply_errors_image(&a, &ErrorModel::fraction(0.05), 0xFA18);
+    (a, b)
+}
+
+#[test]
+fn panicked_row_is_retried_and_result_is_bit_identical() {
+    quiet_injected_panics();
+    let (a, b) = image_pair(16);
+    let (expected, _) = xor_image(&a, &b).unwrap();
+    // Fresh pipeline: ticket n == row n. Row 5's first attempt panics.
+    let mut pipeline = DiffPipelineConfig::new(3)
+        .fault_plan(FaultPlan::new().panic_on_row(5))
+        .build();
+    let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+    assert_eq!(got, expected, "retried row must reproduce the exact diff");
+    assert_eq!(stats.rows, 16);
+    assert_eq!(stats.retries, 1, "the panic must cost exactly one retry");
+    assert_eq!(stats.respawns, 0, "caught panics must not kill the worker");
+    assert_eq!(stats.timeouts, 0);
+    assert_eq!(
+        pipeline.supervision_counters(),
+        SupervisionCounters {
+            retries: 1,
+            ..Default::default()
+        }
+    );
+    // The pool is healthy afterwards: a clean re-run needs no interventions.
+    let (again, stats) = pipeline.diff_images(&a, &b).unwrap();
+    assert_eq!(again, expected);
+    assert_eq!((stats.retries, stats.respawns), (0, 0));
+}
+
+#[test]
+fn dead_worker_is_respawned_and_its_row_recovered() {
+    quiet_injected_panics();
+    let (a, b) = image_pair(12);
+    let (expected, _) = xor_image(&a, &b).unwrap();
+    let mut pipeline = DiffPipelineConfig::new(2)
+        .fault_plan(FaultPlan::new().die_on_row(3))
+        .build();
+    let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+    assert_eq!(got, expected, "recovered row must reproduce the exact diff");
+    assert_eq!(stats.respawns, 1, "the dead thread must be replaced");
+    assert_eq!(stats.retries, 1, "its orphaned row must be re-enqueued");
+    assert_eq!(pipeline.workers(), 2, "pool size is restored");
+}
+
+#[test]
+fn dead_sole_worker_still_recovers() {
+    quiet_injected_panics();
+    let (a, b) = image_pair(6);
+    let (expected, _) = xor_image(&a, &b).unwrap();
+    // threads = 1: the only worker dies; nothing can make progress until
+    // the supervisor respawns it.
+    let mut pipeline = DiffPipelineConfig::new(1)
+        .fault_plan(FaultPlan::new().die_on_row(2))
+        .build();
+    let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+    assert_eq!(got, expected);
+    assert_eq!(stats.respawns, 1);
+}
+
+#[test]
+fn row_that_keeps_crashing_surfaces_as_row_failed() {
+    quiet_injected_panics();
+    let (a, b) = image_pair(8);
+    let mut pipeline = DiffPipelineConfig::new(2)
+        .retry_limit(1)
+        .fault_plan(FaultPlan::new().panic_on_row_times(4, 10))
+        .build();
+    let err = pipeline.diff_images(&a, &b).unwrap_err();
+    match err {
+        SystolicError::RowFailed {
+            row,
+            attempts,
+            cause,
+        } => {
+            assert_eq!(row, 4);
+            assert_eq!(attempts, 2, "initial attempt + retry_limit retries");
+            assert!(cause.contains("injected fault"), "{cause}");
+        }
+        other => panic!("expected RowFailed, got {other:?}"),
+    }
+    // The failed batch was fully drained; the pool survives and recovers.
+    assert_eq!(pipeline.in_flight(), 0);
+    let (got, _) = pipeline.diff_images(&a, &b).unwrap();
+    assert_eq!(got, xor_image(&a, &b).unwrap().0);
+}
+
+#[test]
+fn stalled_worker_trips_the_batch_deadline_instead_of_hanging() {
+    quiet_injected_panics();
+    let (a, b) = image_pair(8);
+    let mut pipeline = DiffPipelineConfig::new(2)
+        .row_deadline(Duration::from_millis(100))
+        .shutdown_grace(Duration::from_millis(50))
+        .fault_plan(FaultPlan::new().stall_on_row(1, Duration::from_secs(30)))
+        .build();
+    let start = std::time::Instant::now();
+    let err = pipeline.diff_images(&a, &b).unwrap_err();
+    assert!(
+        matches!(err, SystolicError::DeadlineExceeded { .. }),
+        "{err:?}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "deadline must fire long before the 30 s stall ends"
+    );
+    assert_eq!(pipeline.supervision_counters().timeouts, 1);
+    // The wedged worker's row is still checked out; the abandoned batch
+    // reports it honestly.
+    assert!(pipeline.in_flight() >= 1);
+    drop(pipeline); // must not deadlock: wedged worker is detached after grace
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "drop must not wait out the stall"
+    );
+}
+
+#[test]
+fn streaming_collect_timeout_trips_on_a_stall_then_recovers() {
+    quiet_injected_panics();
+    let (a, b) = image_pair(1);
+    let mut pipeline = DiffPipelineConfig::new(1)
+        .fault_plan(FaultPlan::new().stall_on_row(0, Duration::from_millis(400)))
+        .build();
+    let ticket = pipeline.submit(a.rows()[0].clone(), b.rows()[0].clone());
+    let err = pipeline
+        .collect_timeout(Duration::from_millis(50))
+        .unwrap_err();
+    assert!(
+        matches!(err, SystolicError::DeadlineExceeded { in_flight: 1, .. }),
+        "{err:?}"
+    );
+    // The row was only delayed, not lost: a patient collect still gets it.
+    let outcome = pipeline.collect().expect("row still in flight");
+    assert_eq!(outcome.ticket, ticket);
+    let (row, _) = outcome.result.unwrap();
+    assert_eq!(
+        row,
+        xor_image(&a, &b).unwrap().0.rows()[0],
+        "stalled row must still produce the exact diff"
+    );
+    assert_eq!(pipeline.in_flight(), 0);
+}
+
+#[test]
+fn poisoned_lock_is_tolerated() {
+    quiet_injected_panics();
+    let (a, b) = image_pair(10);
+    let (expected, _) = xor_image(&a, &b).unwrap();
+    let mut pipeline = DiffPipelineConfig::new(2)
+        .fault_plan(FaultPlan::new().poison_on_row(2))
+        .build();
+    let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+    assert_eq!(
+        got, expected,
+        "poisoned state lock must not corrupt results"
+    );
+    assert_eq!(stats.rows, 10);
+    // Submissions and further batches keep working on the poisoned mutex.
+    let (again, _) = pipeline.diff_images(&a, &b).unwrap();
+    assert_eq!(again, expected);
+}
+
+#[test]
+fn combined_faults_in_one_batch_all_recover() {
+    quiet_injected_panics();
+    let (a, b) = image_pair(24);
+    let (expected, _) = xor_image(&a, &b).unwrap();
+    let plan = FaultPlan::new()
+        .panic_on_row(2)
+        .die_on_row(9)
+        .poison_on_row(14)
+        .panic_on_row(21);
+    let mut pipeline = DiffPipelineConfig::new(4).fault_plan(plan).build();
+    let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+    assert_eq!(got, expected);
+    assert_eq!(stats.rows, 24);
+    assert_eq!(stats.retries, 3, "two panics + one orphaned row");
+    assert_eq!(stats.respawns, 1);
+    // Aggregated machine work matches the sequential reference: retries
+    // re-run rows but only the successful attempt is absorbed.
+    let (_, seq_stats) = xor_image(&a, &b).unwrap();
+    assert_eq!(stats.totals.iterations, seq_stats.totals.iterations);
+}
