@@ -70,6 +70,15 @@ impl BitRow {
         Self { width, words }
     }
 
+    /// Reconfigures this row to an all-background row of `width`, reusing
+    /// the word buffer (no allocation when the new width needs no more
+    /// words than the row has ever held).
+    pub fn reset(&mut self, width: u32) {
+        self.width = width;
+        self.words.clear();
+        self.words.resize(words_for(width), 0);
+    }
+
     /// Row width in pixels.
     #[must_use]
     pub fn width(&self) -> u32 {
@@ -216,6 +225,20 @@ mod tests {
         }
         let r = BitRow::from_bits(&bits);
         assert_eq!(r.to_bits(), bits);
+    }
+
+    #[test]
+    fn reset_clears_and_resizes() {
+        let mut r = BitRow::new(130);
+        r.set_range(0, 129, true);
+        r.reset(65);
+        assert_eq!(r.width(), 65);
+        assert_eq!(r.words().len(), 2);
+        assert!(r.is_empty(), "reset must clear old bits");
+        r.set(64, true);
+        r.reset(200);
+        assert_eq!(r.words().len(), 4);
+        assert!(r.is_empty());
     }
 
     #[test]

@@ -12,6 +12,14 @@ use rle::{RleImage, RleRow, Run};
 #[must_use]
 pub fn encode_row(row: &BitRow) -> RleRow {
     let mut out = RleRow::new(row.width());
+    encode_row_into(row, &mut out);
+    out
+}
+
+/// [`encode_row`] into a reusable output row (reset to the dense row's
+/// width first), so repeated encodes reuse one run allocation.
+pub fn encode_row_into(row: &BitRow, out: &mut RleRow) {
+    out.reset(row.width());
     let words = row.words();
     let mut run_start: Option<u32> = None;
     for (wi, &word) in words.iter().enumerate() {
@@ -46,17 +54,27 @@ pub fn encode_row(row: &BitRow) -> RleRow {
         out.push_run(Run::new(start, row.width() - start))
             .expect("encoder emits in order");
     }
-    out
 }
 
 /// Decodes an RLE row into a dense row.
 #[must_use]
 pub fn decode_row(row: &RleRow) -> BitRow {
     let mut out = BitRow::new(row.width());
+    fill_dense(row, &mut out);
+    out
+}
+
+/// [`decode_row`] into a reusable dense row (reset to the RLE row's width
+/// first), so repeated decodes reuse one word buffer.
+pub fn decode_row_into(row: &RleRow, out: &mut BitRow) {
+    out.reset(row.width());
+    fill_dense(row, out);
+}
+
+fn fill_dense(row: &RleRow, out: &mut BitRow) {
     for run in row.runs() {
         out.set_range(run.start(), run.end(), true);
     }
-    out
 }
 
 /// Run-length encodes a whole bitmap, row by row.
@@ -161,6 +179,23 @@ mod tests {
             let fast = encode_row(&d);
             let naive = RleRow::from_bits(&d.to_bits());
             assert_eq!(fast, naive, "width={width}");
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_across_widths() {
+        let mut dense = BitRow::new(0);
+        let mut rle_out = RleRow::new(0);
+        for width in [1u32, 64, 65, 127, 300, 40] {
+            let mut d = BitRow::new(width);
+            for p in (0..width).step_by(3) {
+                d.set(p, true);
+            }
+            let reference = encode_row(&d);
+            encode_row_into(&d, &mut rle_out);
+            assert_eq!(rle_out, reference, "width={width}");
+            decode_row_into(&reference, &mut dense);
+            assert_eq!(dense, d, "width={width}");
         }
     }
 

@@ -79,6 +79,13 @@ pub enum Command {
         /// indefinitely); wired to
         /// [`systolic_core::DiffPipelineConfig::row_deadline`].
         timeout_ms: Option<u64>,
+        /// Per-row kernel policy; wired to
+        /// [`systolic_core::DiffPipelineConfig::kernel`].
+        kernel: systolic_core::Kernel,
+        /// Scheduling weight per chunk in input runs (`None` = derive from
+        /// the batch); wired to
+        /// [`systolic_core::DiffPipelineConfig::chunk_target`].
+        chunk_target: Option<usize>,
     },
     /// Convert a PBM file to the compact RLE format.
     Encode {
@@ -164,6 +171,7 @@ rlediff — binary image differencing in the compressed domain
 usage:
   rlediff diff <a> <b> [-o OUT] [--algo systolic|sequential|mesh|dense] [--clean N]
   rlediff diff-image <a> <b> [-o OUT] [--threads N] [--clean N] [--timeout-ms N]
+                     [--kernel auto|rle|packed|systolic] [--chunk-target N]
   rlediff encode <in.pbm> -o <out.rle>
   rlediff decode <in.rle> -o <out.pbm>
   rlediff info <file>
@@ -183,6 +191,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut min_area = 1u64;
     let mut threads = 0usize;
     let mut timeout_ms: Option<u64> = None;
+    let mut kernel = systolic_core::Kernel::Auto;
+    let mut chunk_target: Option<usize> = None;
     let mut text = String::from("RLE SYSTOLIC 1999");
 
     let mut it = args.iter();
@@ -233,6 +243,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .map_err(|_| CliError::Usage("--timeout-ms needs a number".into()))?,
                 );
             }
+            "--kernel" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--kernel needs a value".into()))?;
+                kernel = v.parse().map_err(CliError::Usage)?;
+            }
+            "--chunk-target" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--chunk-target needs a value".into()))?;
+                chunk_target = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage("--chunk-target needs a number".into()))?,
+                );
+            }
             "--seed" => {
                 let v = it
                     .next()
@@ -267,6 +292,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             threads,
             clean,
             timeout_ms,
+            kernel,
+            chunk_target,
         }),
         ["encode", input] => Ok(Command::Encode {
             input: PathBuf::from(input),
@@ -461,20 +488,25 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             threads,
             clean,
             timeout_ms,
+            kernel,
+            chunk_target,
         } => {
-            let ia = load_image(a)?;
-            let ib = load_image(b)?;
+            let ia = std::sync::Arc::new(load_image(a)?);
+            let ib = std::sync::Arc::new(load_image(b)?);
             let threads = if *threads == 0 {
                 std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
             } else {
                 *threads
             };
-            let mut config = systolic_core::DiffPipelineConfig::new(threads);
+            let mut config = systolic_core::DiffPipelineConfig::new(threads).kernel(*kernel);
             if let Some(ms) = timeout_ms {
                 config = config.row_deadline(std::time::Duration::from_millis(*ms));
             }
+            if let Some(target) = chunk_target {
+                config = config.chunk_target(*target);
+            }
             let mut pipeline = config.build();
-            let (mut diff, stats) = pipeline.diff_images(&ia, &ib).map_err(|e| match e {
+            let (mut diff, stats) = pipeline.diff_images_shared(&ia, &ib).map_err(|e| match e {
                 systolic_core::SystolicError::WidthMismatch { .. }
                 | systolic_core::SystolicError::HeightMismatch { .. } => {
                     CliError::Mismatch(e.to_string())
@@ -509,6 +541,20 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
                 s,
                 "  workers    : {} effective of {} in pool",
                 stats.effective_workers, stats.workers
+            );
+            let _ = writeln!(
+                s,
+                "  kernels    : {} fast-path, {} rle, {} packed, {} systolic over {} chunks",
+                stats.rows_fast_path,
+                stats.rows_rle_kernel,
+                stats.rows_packed_kernel,
+                stats.rows_systolic_kernel,
+                stats.chunks
+            );
+            let _ = writeln!(
+                s,
+                "  allocations: {} row clones avoided, {} buffers reused",
+                stats.row_clones_avoided, stats.buffers_reused
             );
             if stats.retries + stats.respawns + stats.timeouts > 0 {
                 let _ = writeln!(
@@ -821,8 +867,53 @@ mod tests {
                 threads: 3,
                 clean: 1,
                 timeout_ms: None,
+                kernel: systolic_core::Kernel::Auto,
+                chunk_target: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_diff_image_kernel_and_chunk_target() {
+        let cmd = parse_args(&args(&[
+            "diff-image",
+            "a.pbm",
+            "b.pbm",
+            "--kernel",
+            "packed",
+            "--chunk-target",
+            "256",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::DiffImage {
+                a: "a.pbm".into(),
+                b: "b.pbm".into(),
+                out: None,
+                threads: 0,
+                clean: 0,
+                timeout_ms: None,
+                kernel: systolic_core::Kernel::Packed,
+                chunk_target: Some(256),
+            }
+        );
+        for kernel in ["auto", "rle", "systolic"] {
+            assert!(
+                parse_args(&args(&["diff-image", "a", "b", "--kernel", kernel])).is_ok(),
+                "{kernel}"
+            );
+        }
+        let err = parse_args(&args(&["diff-image", "a", "b", "--kernel", "quantum"]));
+        assert!(matches!(err, Err(CliError::Usage(m)) if m.contains("quantum")));
+        assert!(matches!(
+            parse_args(&args(&["diff-image", "a", "b", "--chunk-target", "many"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["diff-image", "a", "b", "--kernel"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -844,6 +935,8 @@ mod tests {
                 threads: 0,
                 clean: 0,
                 timeout_ms: Some(1500),
+                kernel: systolic_core::Kernel::Auto,
+                chunk_target: None,
             }
         );
         assert!(matches!(
@@ -871,6 +964,8 @@ mod tests {
             threads: 2,
             clean: 0,
             timeout_ms: Some(60_000),
+            kernel: systolic_core::Kernel::Auto,
+            chunk_target: None,
         })
         .unwrap();
         assert!(msg.contains("pipeline:"), "{msg}");
@@ -922,10 +1017,14 @@ mod tests {
             threads: 2,
             clean: 0,
             timeout_ms: None,
+            kernel: systolic_core::Kernel::Auto,
+            chunk_target: None,
         })
         .unwrap();
         assert!(msg.contains("pipeline:"), "{msg}");
         assert!(msg.contains("workers"), "{msg}");
+        assert!(msg.contains("kernels"), "{msg}");
+        assert!(msg.contains("row clones avoided"), "{msg}");
         assert_eq!(
             load_image(&via_diff).unwrap(),
             load_image(&via_pipeline).unwrap()
@@ -947,6 +1046,8 @@ mod tests {
             threads: 2,
             clean: 0,
             timeout_ms: None,
+            kernel: systolic_core::Kernel::Auto,
+            chunk_target: None,
         })
         .unwrap_err();
         assert!(matches!(err, CliError::Mismatch(_)));

@@ -139,6 +139,66 @@ fn diff_image_timeout_flag_round_trips() {
 }
 
 #[test]
+fn diff_image_kernel_and_chunk_target_flags() {
+    let a = tmp("k_a.pbm");
+    let b = tmp("k_b.pbm");
+    rlediff(&["gen", "glyphs", "-o", a.to_str().unwrap(), "--text", "XOR"]);
+    rlediff(&["gen", "glyphs", "-o", b.to_str().unwrap(), "--text", "XOS"]);
+
+    // Every kernel policy produces the same pixel diff; the stats block
+    // reports the per-kernel row counts and avoided allocations.
+    let mut diffs = Vec::new();
+    for kernel in ["auto", "rle", "packed", "systolic"] {
+        let out_path = tmp(&format!("k_d_{kernel}.rle"));
+        let out = rlediff(&[
+            "diff-image",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "-o",
+            out_path.to_str().unwrap(),
+            "--kernel",
+            kernel,
+            "--chunk-target",
+            "64",
+        ]);
+        assert!(
+            out.status.success(),
+            "{kernel}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        assert!(text.contains("kernels    :"), "{kernel}: {text}");
+        assert!(text.contains("row clones avoided"), "{kernel}: {text}");
+        let first_line = text.lines().next().unwrap_or("").to_string();
+        diffs.push((std::fs::read(&out_path).unwrap(), first_line));
+    }
+    for (bytes, summary) in &diffs[1..] {
+        assert_eq!(bytes, &diffs[0].0, "kernels must agree byte-for-byte");
+        assert_eq!(summary, &diffs[0].1);
+    }
+
+    // An unknown kernel is a usage error (exit 2) that names the options.
+    let out = rlediff(&[
+        "diff-image",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--kernel",
+        "quantum",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("packed"));
+    // So is a malformed chunk target.
+    let out = rlediff(&[
+        "diff-image",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--chunk-target",
+        "lots",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn diff_of_identical_inputs_is_empty() {
     let a = tmp("i_a.pbm");
     rlediff(&["gen", "pcb", "-o", a.to_str().unwrap(), "--seed", "3"]);

@@ -12,8 +12,9 @@
 //!   bit-identical to the sequential engine, which the test-suite asserts;
 //! * the **image pipeline** ([`pipeline::DiffPipeline`]) moves the
 //!   parallelism up a level: a persistent worker pool schedules whole
-//!   images row by row, each worker running the sequential machine on a
-//!   reusable array.
+//!   images in contiguous row chunks, each worker diffing rows through an
+//!   adaptive [`kernel`] (RLE merge vs. packed words vs. the systolic
+//!   simulation) on reusable scratch buffers.
 //!
 //! Real systolic hardware updates every cell simultaneously; the parallel
 //! engine is therefore the more faithful *execution* model, while the
@@ -22,6 +23,7 @@
 
 #[cfg(feature = "fault-injection")]
 pub mod fault;
+pub mod kernel;
 pub mod parallel;
 pub mod pipeline;
 

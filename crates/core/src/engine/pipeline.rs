@@ -1,46 +1,64 @@
 //! Image-level diff pipeline: a supervised, persistent worker pool over
-//! whole images.
+//! whole images, scheduling zero-copy row chunks through an adaptive
+//! kernel.
 //!
 //! [`crate::engine::parallel`] parallelises *within* one row by splitting
 //! the cell array across threads, paying thread-spawn and three barriers
 //! per row. For whole images the natural unit of parallelism is the row
-//! pair itself — rows are independent, so a pool of workers can each
-//! simulate its own array, exactly like a rack of systolic chips scanning
-//! different board regions.
+//! pair itself — rows are independent, so a pool of workers can each diff
+//! its own rows, exactly like a rack of systolic chips scanning different
+//! board regions.
 //!
 //! [`DiffPipeline`] spawns its workers **once** and reuses them across
-//! calls. Each worker owns one [`SystolicArray`] that is `reload`ed per
-//! row, so steady-state row processing allocates nothing. Two front-ends
-//! are provided:
+//! calls. Three layers keep the hot path lean:
 //!
-//! * [`DiffPipeline::diff_images`] — batch: submit every row pair of an
-//!   image, collect and reassemble in order, and report aggregated
-//!   [`PipelineStats`];
-//! * [`DiffPipeline::submit`] / [`DiffPipeline::collect`] — streaming: feed
-//!   row pairs as they arrive (e.g. from a scanner head) and drain results
-//!   as they complete, matching each to its [`Ticket`].
+//! * **Zero-copy submission.** Batch jobs reference the input images
+//!   through `Arc`s ([`DiffPipeline::diff_images_shared`] shares the
+//!   caller's images outright; [`DiffPipeline::diff_images`] clones each
+//!   row once into per-chunk storage, instead of the old twice-per-submit
+//!   plus twice-per-checkout). Checking a job out for supervision clones an
+//!   `Arc`, never row data.
+//! * **Batched, cost-aware scheduling.** The scheduler splits the image
+//!   into contiguous row chunks weighted by per-row run counts (target
+//!   `~total_runs / (threads * 4)` runs per chunk, overridable via
+//!   [`DiffPipelineConfig::chunk_target`]), so channel traffic and
+//!   checkout-map churn are amortised over many rows while the tail still
+//!   load-balances. Chunk result vectors are recycled through a pool.
+//! * **Adaptive kernels.** Each worker diffs rows through
+//!   [`crate::engine::kernel::diff_row`] on per-worker reusable scratch
+//!   ([`KernelScratch`]): trivial rows short-circuit, sparse rows take the
+//!   `Θ(k1 + k2)` RLE merge, dense rows the word-packed XOR, and
+//!   [`Kernel::Systolic`] forces the paper's cycle-accurate machine.
+//!
+//! Two front-ends are provided: the batch API above, and streaming
+//! [`DiffPipeline::submit`] / [`DiffPipeline::collect`] that feed row pairs
+//! as they arrive (e.g. from a scanner head), matching each result to its
+//! [`Ticket`].
 //!
 //! # Supervision
 //!
 //! The pool is built for the continuous-inspection service the paper
-//! targets, where one crashed row must not take down the line. Faults are
-//! contained at three levels:
+//! targets, where one crashed row must not take down the line. The *chunk*
+//! is the checkout and retry unit; every row inside it keeps its own
+//! ticket, so per-row fault accounting (and the deterministic
+//! [`FaultPlan`]) is unchanged from PR 2:
 //!
 //! * **Caught panics.** Each row runs inside `catch_unwind`; a panicking
-//!   row discards the worker's (possibly corrupt) array and the row is
-//!   re-enqueued, up to [`DiffPipelineConfig::retry_limit`] extra attempts.
-//!   A row that keeps crashing surfaces as a structured
-//!   [`SystolicError::RowFailed`] instead of a panic.
-//! * **Dead workers.** Every job is *checked out* in shared state while a
+//!   row discards the worker's (possibly corrupt) kernel state and its
+//!   whole chunk is re-enqueued, up to [`DiffPipelineConfig::retry_limit`]
+//!   extra attempts. A chunk that keeps crashing fails only the culprit row
+//!   (as a structured [`SystolicError::RowFailed`]); the sibling rows are
+//!   re-queued as smaller chunks.
+//! * **Dead workers.** Every chunk is *checked out* in shared state while a
 //!   worker holds it. The collector doubles as a supervisor: it wakes on a
 //!   short tick, notices worker threads that exited without being asked to
-//!   shut down, respawns them, and re-enqueues the rows they had checked
+//!   shut down, respawns them, and re-enqueues the chunks they had checked
 //!   out onto the surviving workers.
 //! * **Stalls and deadlines.** [`DiffPipeline::collect_timeout`] (and the
 //!   per-row deadline of [`DiffPipelineConfig::row_deadline`], honoured by
-//!   `diff_images`) bounds how long a wedged worker can hold the caller,
-//!   returning [`SystolicError::DeadlineExceeded`] instead of hanging.
-//!   Dropping the pipeline never deadlocks: workers get
+//!   the batch front-ends) bounds how long a wedged worker can hold the
+//!   caller, returning [`SystolicError::DeadlineExceeded`] instead of
+//!   hanging. Dropping the pipeline never deadlocks: workers get
 //!   [`DiffPipelineConfig::shutdown_grace`] to exit, after which wedged
 //!   threads are detached instead of joined.
 //!
@@ -48,17 +66,15 @@
 //! panic while a lock is held degrades into a recovered guard, not a
 //! cascading crash. Retries, respawns and deadline expiries are counted in
 //! [`PipelineStats`] (per batch) and [`DiffPipeline::supervision_counters`]
-//! (pipeline lifetime). Every failure path is driven deterministically in
-//! tests by [`crate::engine::fault::FaultPlan`] (the `fault-injection`
-//! feature).
+//! (pipeline lifetime), alongside per-kernel row counts and the
+//! allocations the zero-copy path avoided.
 //!
-//! Results are bit-identical to the sequential reference ([`crate::image::
-//! xor_image`]) because every row still runs the unmodified machine; only
-//! the scheduling (and, after a fault, the re-execution) changes. The
-//! test-suite asserts this across all three engines and across injected
-//! faults.
+//! Results are bit-identical to the sequential reference
+//! ([`crate::image::xor_image`]) for every kernel policy; only scheduling
+//! and the per-row algorithm change. The test-suite asserts this across
+//! all engines, all kernels and across injected faults.
 
-use crate::array::SystolicArray;
+use crate::engine::kernel::{self, Kernel, KernelChoice, KernelScratch};
 use crate::error::SystolicError;
 use crate::image::check_dims;
 use crate::stats::{ArrayStats, PipelineStats};
@@ -76,6 +92,13 @@ use crate::engine::fault::{Fault, FaultPlan};
 
 /// How often a blocked collector wakes to check worker liveness.
 const SUPERVISION_TICK: Duration = Duration::from_millis(20);
+
+/// The scheduler aims for this many chunks per worker, so stragglers can
+/// steal the tail of the image without per-row channel traffic.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// At most this many spare chunk-result vectors are kept for reuse.
+const SPARE_POOL_CAP: usize = 64;
 
 /// Identifies one submitted row pair; returned by [`DiffPipeline::submit`]
 /// and echoed by [`DiffPipeline::collect`] so streaming callers can match
@@ -99,8 +122,11 @@ pub struct RowOutcome {
     /// Index of the pool worker that processed the row (for utilization
     /// accounting; see [`PipelineStats::effective_workers`]).
     pub worker: usize,
-    /// The diff row and its per-row machine statistics, or the machine
-    /// error for this row pair.
+    /// Which kernel diffed the row; `None` when the row errored before a
+    /// kernel could run (or was failed by the supervisor).
+    pub kernel: Option<KernelChoice>,
+    /// The diff row and its per-row statistics, or the error for this row
+    /// pair.
     pub result: Result<(RleRow, ArrayStats), SystolicError>,
 }
 
@@ -109,20 +135,25 @@ pub struct RowOutcome {
 pub struct DiffPipelineConfig {
     /// Worker threads in the pool (must be > 0).
     pub threads: usize,
-    /// Extra attempts the supervisor grants a row whose worker panicked or
-    /// died. A row is attempted at most `retry_limit + 1` times before
-    /// surfacing as [`SystolicError::RowFailed`].
+    /// Extra attempts the supervisor grants a chunk whose worker panicked
+    /// or died. A chunk is attempted at most `retry_limit + 1` times before
+    /// its culprit row surfaces as [`SystolicError::RowFailed`].
     pub retry_limit: u32,
-    /// Per-row collection deadline honoured by
-    /// [`DiffPipeline::diff_images`]: the longest the batch front-end waits
-    /// for the *next* completed row before giving up with
-    /// [`SystolicError::DeadlineExceeded`]. `None` (the default) waits
+    /// Per-row collection deadline honoured by the batch front-ends: the
+    /// longest they wait for the *next* completed chunk before giving up
+    /// with [`SystolicError::DeadlineExceeded`]. `None` (the default) waits
     /// indefinitely (supervision still recovers dead workers; only genuine
     /// stalls can block).
     pub row_deadline: Option<Duration>,
     /// How long [`Drop`] waits for workers to exit before detaching wedged
     /// threads instead of joining them (the never-deadlock guarantee).
     pub shutdown_grace: Duration,
+    /// Kernel policy workers diff rows with (default [`Kernel::Auto`]).
+    pub kernel: Kernel,
+    /// Target scheduling weight per chunk, measured in input runs (each row
+    /// weighs `k1 + k2 + 1`). `None` (the default) derives it from the
+    /// batch: `total_weight / (threads * 4)`, clamped to at least one row.
+    pub chunk_target: Option<usize>,
     /// Deterministic fault schedule for tests (see
     /// [`crate::engine::fault`]).
     #[cfg(feature = "fault-injection")]
@@ -136,6 +167,8 @@ impl Default for DiffPipelineConfig {
             retry_limit: 2,
             row_deadline: None,
             shutdown_grace: Duration::from_millis(500),
+            kernel: Kernel::Auto,
+            chunk_target: None,
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
         }
@@ -173,6 +206,20 @@ impl DiffPipelineConfig {
         self
     }
 
+    /// Sets the kernel policy (see [`Self::kernel`]).
+    #[must_use]
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sets the chunk scheduling weight (see [`Self::chunk_target`]).
+    #[must_use]
+    pub fn chunk_target(mut self, runs_per_chunk: usize) -> Self {
+        self.chunk_target = Some(runs_per_chunk);
+        self
+    }
+
     /// Installs a deterministic fault schedule (test builds only).
     #[cfg(feature = "fault-injection")]
     #[must_use]
@@ -192,7 +239,7 @@ impl DiffPipelineConfig {
 /// per-batch view lives in [`PipelineStats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SupervisionCounters {
-    /// Rows re-enqueued after a worker panic or death.
+    /// Chunks re-enqueued after a worker panic or death.
     pub retries: u64,
     /// Worker threads replaced after dying unexpectedly.
     pub respawns: u64,
@@ -200,16 +247,84 @@ pub struct SupervisionCounters {
     pub timeouts: u64,
 }
 
+/// Where a chunk's row pairs live. Cloning is `Arc`-cheap in both cases,
+/// which is what makes chunk checkout (and retry re-enqueue) free of row
+/// copies.
 #[derive(Clone)]
-struct Job {
-    ticket: u64,
-    attempts: u32,
-    a: RleRow,
-    b: RleRow,
+enum RowsSource {
+    /// Rows owned by this chunk (streaming submits and the borrowing batch
+    /// API). `first` is the image row the slice starts at, so sub-chunks
+    /// can keep absolute indices.
+    Owned {
+        rows: Arc<[(RleRow, RleRow)]>,
+        first: usize,
+    },
+    /// Rows shared with the caller's images (the zero-copy batch API).
+    /// Indexed by absolute image row.
+    Shared { a: Arc<RleImage>, b: Arc<RleImage> },
 }
 
-/// A job a worker currently holds, kept in shared state so the supervisor
-/// can recover it if the worker dies mid-row.
+/// A contiguous chunk of row pairs: the scheduling, checkout and retry
+/// unit. Row `i` (for `lo <= i < hi`) carries ticket `base + (i - lo)`, so
+/// per-row identity survives chunking.
+#[derive(Clone)]
+struct Job {
+    /// Ticket of row `lo`.
+    base: u64,
+    lo: usize,
+    hi: usize,
+    attempts: u32,
+    source: RowsSource,
+}
+
+impl Job {
+    fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    fn ticket_of(&self, i: usize) -> u64 {
+        self.base + (i - self.lo) as u64
+    }
+
+    fn row(&self, i: usize) -> (&RleRow, &RleRow) {
+        match &self.source {
+            RowsSource::Owned { rows, first } => {
+                let pair = &rows[i - first];
+                (&pair.0, &pair.1)
+            }
+            RowsSource::Shared { a, b } => (&a.rows()[i], &b.rows()[i]),
+        }
+    }
+
+    /// A sub-chunk over `[lo, hi)` keeping this chunk's attempt count and
+    /// per-row tickets.
+    fn slice(&self, lo: usize, hi: usize) -> Job {
+        Job {
+            base: self.base + (lo - self.lo) as u64,
+            lo,
+            hi,
+            attempts: self.attempts,
+            source: self.source.clone(),
+        }
+    }
+}
+
+/// One row's result inside a chunk message.
+struct RowResult {
+    ticket: u64,
+    kernel: Option<KernelChoice>,
+    result: Result<(RleRow, ArrayStats), SystolicError>,
+}
+
+/// What a worker sends per finished chunk: one message for many rows.
+struct ChunkDone {
+    worker: usize,
+    results: Vec<RowResult>,
+}
+
+/// A chunk a worker currently holds, kept in shared state so the
+/// supervisor can recover it if the worker dies mid-chunk. Keyed by the
+/// chunk's base ticket (unique among live chunks).
 struct CheckedOut {
     worker: usize,
     job: Job,
@@ -227,6 +342,11 @@ struct Shared {
     retries: AtomicU64,
     respawns: AtomicU64,
     timeouts: AtomicU64,
+    /// Chunk-result vectors recycled from the collector back to workers.
+    spare: Mutex<Vec<Vec<RowResult>>>,
+    /// How many times a worker got a recycled vector instead of allocating.
+    buffer_hits: AtomicU64,
+    kernel: Kernel,
     #[cfg(feature = "fault-injection")]
     faults: Option<FaultPlan>,
 }
@@ -247,6 +367,32 @@ impl Shared {
             timeouts: self.timeouts.load(Ordering::Relaxed),
         }
     }
+
+    fn take_spare(&self) -> Vec<RowResult> {
+        let recycled = self
+            .spare
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop();
+        match recycled {
+            Some(vec) => {
+                self.buffer_hits.fetch_add(1, Ordering::Relaxed);
+                vec
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn return_spare(&self, mut vec: Vec<RowResult>) {
+        vec.clear();
+        if vec.capacity() == 0 {
+            return;
+        }
+        let mut pool = self.spare.lock().unwrap_or_else(PoisonError::into_inner);
+        if pool.len() < SPARE_POOL_CAP {
+            pool.push(vec);
+        }
+    }
 }
 
 /// A persistent, supervised pool of row-diff workers (see the module docs).
@@ -256,16 +402,18 @@ impl Shared {
 /// are detached so `Drop` never deadlocks.
 pub struct DiffPipeline {
     shared: Arc<Shared>,
-    results: Receiver<RowOutcome>,
+    results: Receiver<ChunkDone>,
     /// Kept for two supervisor duties: handing a sender to respawned
     /// workers, and synthesizing [`SystolicError::RowFailed`] outcomes for
-    /// rows orphaned past their retry budget. Holding it also means the
+    /// chunks orphaned past their retry budget. Holding it also means the
     /// channel can never disconnect under a blocked collector.
-    result_tx: Sender<RowOutcome>,
+    result_tx: Sender<ChunkDone>,
     handles: Vec<JoinHandle<()>>,
     config: DiffPipelineConfig,
     next_ticket: u64,
     in_flight: usize,
+    /// Rows unpacked from received chunks but not yet handed to the caller.
+    pending: VecDeque<RowOutcome>,
 }
 
 impl std::fmt::Debug for DiffPipeline {
@@ -308,6 +456,9 @@ impl DiffPipeline {
             retries: AtomicU64::new(0),
             respawns: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            spare: Mutex::new(Vec::new()),
+            buffer_hits: AtomicU64::new(0),
+            kernel: config.kernel,
             #[cfg(feature = "fault-injection")]
             faults: config.fault_plan.clone(),
         });
@@ -320,6 +471,7 @@ impl DiffPipeline {
             config,
             next_ticket: 0,
             in_flight: 0,
+            pending: VecDeque::new(),
         };
         pipeline.handles = (0..pipeline.config.threads)
             .map(|worker| pipeline.spawn_worker(worker))
@@ -357,15 +509,17 @@ impl DiffPipeline {
     pub fn submit(&mut self, a: RleRow, b: RleRow) -> Ticket {
         let ticket = self.next_ticket;
         self.next_ticket += 1;
-        {
-            let mut state = self.shared.lock_state();
-            state.queue.push_back(Job {
-                ticket,
-                attempts: 0,
-                a,
-                b,
-            });
-        }
+        let job = Job {
+            base: ticket,
+            lo: 0,
+            hi: 1,
+            attempts: 0,
+            source: RowsSource::Owned {
+                rows: Arc::from(vec![(a, b)]),
+                first: 0,
+            },
+        };
+        self.shared.lock_state().queue.push_back(job);
         self.shared.work_ready.notify_one();
         self.in_flight += 1;
         Ticket(ticket)
@@ -375,8 +529,8 @@ impl DiffPipeline {
     /// order. Returns `None` when nothing is in flight.
     ///
     /// While blocked, the collector supervises the pool: dead workers are
-    /// respawned and their checked-out rows re-enqueued, so a crashed
-    /// thread delays a row rather than hanging the collector. Only a
+    /// respawned and their checked-out chunks re-enqueued, so a crashed
+    /// thread delays rows rather than hanging the collector. Only a
     /// genuinely wedged worker can block indefinitely — use
     /// [`Self::collect_timeout`] to bound that.
     pub fn collect(&mut self) -> Option<RowOutcome> {
@@ -386,9 +540,9 @@ impl DiffPipeline {
 
     /// Like [`Self::collect`], but gives up with
     /// [`SystolicError::DeadlineExceeded`] if no row completes within
-    /// `timeout`. The timed-out row stays in flight (its worker may still
-    /// deliver it later); callers can keep collecting, [`Self::drain`] the
-    /// pipeline, or drop it.
+    /// `timeout`. The timed-out rows stay in flight (their worker may still
+    /// deliver them later); callers can keep collecting, [`Self::drain`]
+    /// the pipeline, or drop it.
     pub fn collect_timeout(
         &mut self,
         timeout: Duration,
@@ -402,6 +556,10 @@ impl DiffPipeline {
     ) -> Result<Option<RowOutcome>, SystolicError> {
         if self.in_flight == 0 {
             return Ok(None);
+        }
+        if let Some(outcome) = self.pending.pop_front() {
+            self.in_flight -= 1;
+            return Ok(Some(outcome));
         }
         let start = Instant::now();
         let deadline = timeout.map(|t| start + t);
@@ -421,9 +579,12 @@ impl DiffPipeline {
                 None => SUPERVISION_TICK,
             };
             match self.results.recv_timeout(wait) {
-                Ok(outcome) => {
-                    self.in_flight -= 1;
-                    return Ok(Some(outcome));
+                Ok(done) => {
+                    self.absorb_chunk(done);
+                    if let Some(outcome) = self.pending.pop_front() {
+                        self.in_flight -= 1;
+                        return Ok(Some(outcome));
+                    }
                 }
                 // The tick elapsed with no result: check on the workers.
                 // Disconnection is impossible (`result_tx` lives on self),
@@ -435,13 +596,27 @@ impl DiffPipeline {
         }
     }
 
-    /// Replaces dead worker threads and recovers the rows they held.
+    /// Unpacks a chunk message into per-row outcomes and recycles its
+    /// vector back to the workers.
+    fn absorb_chunk(&mut self, mut done: ChunkDone) {
+        for row in done.results.drain(..) {
+            self.pending.push_back(RowOutcome {
+                ticket: Ticket(row.ticket),
+                worker: done.worker,
+                kernel: row.kernel,
+                result: row.result,
+            });
+        }
+        self.shared.return_spare(done.results);
+    }
+
+    /// Replaces dead worker threads and recovers the chunks they held.
     ///
     /// Workers only exit voluntarily once `shutdown` is set (which happens
     /// in `Drop`, after which no collector runs), so any finished handle
     /// seen here is a casualty: join it to reap the thread, spawn a
     /// replacement on the same slot, and re-enqueue — or fail, past the
-    /// retry budget — every row the casualty had checked out.
+    /// retry budget — every chunk the casualty had checked out.
     fn supervise(&mut self) {
         for worker in 0..self.handles.len() {
             if !self.handles[worker].is_finished() {
@@ -454,29 +629,32 @@ impl DiffPipeline {
 
             let orphans: Vec<Job> = {
                 let mut state = self.shared.lock_state();
-                let tickets: Vec<u64> = state
+                let bases: Vec<u64> = state
                     .running
                     .iter()
                     .filter(|(_, held)| held.worker == worker)
-                    .map(|(ticket, _)| *ticket)
+                    .map(|(base, _)| *base)
                     .collect();
-                tickets
+                bases
                     .into_iter()
-                    .map(|t| state.running.remove(&t).expect("listed above").job)
+                    .map(|b| state.running.remove(&b).expect("listed above").job)
                     .collect()
             };
             for mut job in orphans {
                 job.attempts += 1;
                 if job.attempts > self.config.retry_limit {
-                    let _ = self.result_tx.send(RowOutcome {
-                        ticket: Ticket(job.ticket),
-                        worker,
-                        result: Err(SystolicError::RowFailed {
-                            row: job.ticket,
-                            attempts: job.attempts,
-                            cause: "worker thread died while processing the row".into(),
-                        }),
-                    });
+                    let results = (job.lo..job.hi)
+                        .map(|i| RowResult {
+                            ticket: job.ticket_of(i),
+                            kernel: None,
+                            result: Err(SystolicError::RowFailed {
+                                row: job.ticket_of(i),
+                                attempts: job.attempts,
+                                cause: "worker thread died while processing the row".into(),
+                            }),
+                        })
+                        .collect();
+                    let _ = self.result_tx.send(ChunkDone { worker, results });
                 } else {
                     self.shared.retries.fetch_add(1, Ordering::Relaxed);
                     self.shared.lock_state().queue.push_back(job);
@@ -496,32 +674,76 @@ impl DiffPipeline {
         out
     }
 
-    /// Abandons a failed batch: queued-but-unstarted jobs are dropped and
+    /// Abandons a failed batch: queued-but-unstarted chunks are dropped and
     /// already-delivered results discarded. Rows checked out by (possibly
     /// wedged) workers remain in flight.
     fn abandon_queued(&mut self) {
-        let dropped = {
+        let dropped: usize = {
             let mut state = self.shared.lock_state();
-            let n = state.queue.len();
+            let rows = state.queue.iter().map(Job::len).sum();
             state.queue.clear();
-            n
+            rows
         };
         self.in_flight -= dropped;
-        while self.results.try_recv().is_ok() {
-            self.in_flight -= 1;
+        while let Ok(done) = self.results.try_recv() {
+            self.in_flight -= done.results.len();
+            self.shared.return_spare(done.results);
         }
+        self.in_flight -= self.pending.len();
+        self.pending.clear();
+    }
+
+    /// Splits `[0, height)` into contiguous chunks whose summed row weight
+    /// (`k1 + k2 + 1`, so empty rows still make progress) reaches the
+    /// configured or derived target, and allocates one ticket per row.
+    fn plan_chunks(
+        &mut self,
+        a: &RleImage,
+        b: &RleImage,
+        make_source: impl Fn(usize, usize) -> RowsSource,
+    ) -> Vec<Job> {
+        let height = a.height();
+        let weight = |i: usize| a.rows()[i].run_count() + b.rows()[i].run_count() + 1;
+        let target = self.config.chunk_target.unwrap_or_else(|| {
+            let total: usize = (0..height).map(weight).sum();
+            total / (self.handles.len() * CHUNKS_PER_WORKER).max(1)
+        });
+        let target = target.max(1);
+
+        let mut jobs = Vec::new();
+        let mut lo = 0usize;
+        let mut acc = 0usize;
+        for i in 0..height {
+            acc += weight(i);
+            if acc >= target || i + 1 == height {
+                let job = Job {
+                    base: self.next_ticket,
+                    lo,
+                    hi: i + 1,
+                    attempts: 0,
+                    source: make_source(lo, i + 1),
+                };
+                self.next_ticket += job.len() as u64;
+                jobs.push(job);
+                lo = i + 1;
+                acc = 0;
+            }
+        }
+        jobs
     }
 
     /// Diffs two images row by row across the pool, reassembling the rows
-    /// in order and aggregating per-row machine statistics.
+    /// in order and aggregating per-row statistics. Each input row is
+    /// cloned **once** into per-chunk storage (use
+    /// [`Self::diff_images_shared`] to avoid even that).
     ///
-    /// Bit-identical to [`crate::image::xor_image`]; only host wall-clock
-    /// changes. If any row fails, the remaining rows are still drained and
+    /// Bit-identical to [`crate::image::xor_image`] for every kernel
+    /// policy. If any row fails, the remaining rows are still drained and
     /// the first error is returned. With a
     /// [`DiffPipelineConfig::row_deadline`] configured, a stall longer than
     /// the deadline aborts the batch with
-    /// [`SystolicError::DeadlineExceeded`]; queued rows are abandoned but a
-    /// wedged worker's row stays in flight (see [`Self::in_flight`]).
+    /// [`SystolicError::DeadlineExceeded`]; queued chunks are abandoned but
+    /// a wedged worker's chunk stays in flight (see [`Self::in_flight`]).
     ///
     /// # Panics
     ///
@@ -534,19 +756,72 @@ impl DiffPipeline {
     ) -> Result<(RleImage, PipelineStats), SystolicError> {
         assert!(self.in_flight == 0, "diff_images needs an idle pipeline");
         check_dims(a, b)?;
+        let jobs = self.plan_chunks(a, b, |lo, hi| {
+            let rows: Vec<(RleRow, RleRow)> = (lo..hi)
+                .map(|i| (a.rows()[i].clone(), b.rows()[i].clone()))
+                .collect();
+            RowsSource::Owned {
+                rows: Arc::from(rows),
+                first: lo,
+            }
+        });
+        // The old scheduler cloned each row at submit AND at checkout; the
+        // per-chunk copy keeps only the submit-time clone.
+        let clones_avoided = 2 * a.height() as u64;
+        self.run_batch(a.width(), a.height(), jobs, clones_avoided)
+    }
+
+    /// Zero-copy batch: like [`Self::diff_images`], but the chunks borrow
+    /// the caller's images through the `Arc`s, so no row data is cloned at
+    /// all — submission cost is independent of image content.
+    ///
+    /// # Panics
+    ///
+    /// Panics if streaming submissions are still in flight.
+    pub fn diff_images_shared(
+        &mut self,
+        a: &Arc<RleImage>,
+        b: &Arc<RleImage>,
+    ) -> Result<(RleImage, PipelineStats), SystolicError> {
+        assert!(self.in_flight == 0, "diff_images needs an idle pipeline");
+        check_dims(a, b)?;
+        let jobs = self.plan_chunks(a, b, |_, _| RowsSource::Shared {
+            a: Arc::clone(a),
+            b: Arc::clone(b),
+        });
+        let clones_avoided = 4 * a.height() as u64;
+        self.run_batch(a.width(), a.height(), jobs, clones_avoided)
+    }
+
+    /// Common batch engine: enqueue the planned chunks, collect every row,
+    /// reassemble in ticket order and aggregate statistics.
+    fn run_batch(
+        &mut self,
+        width: u32,
+        height: usize,
+        jobs: Vec<Job>,
+        clones_avoided: u64,
+    ) -> Result<(RleImage, PipelineStats), SystolicError> {
         let start = Instant::now();
         let counters_before = self.shared.counters();
-        let height = a.height();
-        let base = self.next_ticket;
-        for (ra, rb) in a.rows().iter().zip(b.rows()) {
-            self.submit(ra.clone(), rb.clone());
-        }
-
-        let mut rows: Vec<Option<RleRow>> = vec![None; height];
+        let hits_before = self.shared.buffer_hits.load(Ordering::Relaxed);
+        let base = jobs.first().map_or(self.next_ticket, |j| j.base);
         let mut stats = PipelineStats {
             workers: self.handles.len(),
+            chunks: jobs.len(),
+            row_clones_avoided: clones_avoided,
             ..Default::default()
         };
+        {
+            let mut state = self.shared.lock_state();
+            for job in jobs {
+                state.queue.push_back(job);
+            }
+        }
+        self.shared.work_ready.notify_all();
+        self.in_flight += height;
+
+        let mut rows: Vec<Option<RleRow>> = vec![None; height];
         let mut seen = vec![false; self.handles.len()];
         let mut first_err: Option<SystolicError> = None;
         loop {
@@ -567,6 +842,13 @@ impl DiffPipeline {
                     stats.totals.absorb(&row_stats);
                     stats.max_row_iterations = stats.max_row_iterations.max(row_stats.iterations);
                     stats.rows += 1;
+                    match done.kernel {
+                        Some(KernelChoice::FastPath) => stats.rows_fast_path += 1,
+                        Some(KernelChoice::Rle) => stats.rows_rle_kernel += 1,
+                        Some(KernelChoice::Packed) => stats.rows_packed_kernel += 1,
+                        Some(KernelChoice::Systolic) => stats.rows_systolic_kernel += 1,
+                        None => {}
+                    }
                     seen[done.worker] = true;
                     rows[usize::try_from(done.ticket.id() - base).expect("ticket fits")] =
                         Some(row);
@@ -585,11 +867,12 @@ impl DiffPipeline {
         stats.retries = counters.retries - counters_before.retries;
         stats.respawns = counters.respawns - counters_before.respawns;
         stats.timeouts = counters.timeouts - counters_before.timeouts;
+        stats.buffers_reused = self.shared.buffer_hits.load(Ordering::Relaxed) - hits_before;
         let rows: Vec<RleRow> = rows
             .into_iter()
             .map(|r| r.expect("every row collected"))
             .collect();
-        let image = RleImage::from_rows(a.width(), rows).expect("row widths preserved");
+        let image = RleImage::from_rows(width, rows).expect("row widths preserved");
         Ok((image, stats))
     }
 }
@@ -614,21 +897,15 @@ impl Drop for DiffPipeline {
     }
 }
 
-/// A worker: pop jobs until shutdown, reusing one array across all of them.
+/// A worker: pop chunks until shutdown, diffing each row through the
+/// configured kernel on persistent per-worker scratch.
 ///
-/// Each job is checked out in shared state before processing (so the
+/// Each chunk is checked out in shared state before processing (so the
 /// supervisor can recover it if this thread dies) and every row runs under
-/// `catch_unwind` (so a panicking row costs one retry, not the worker).
-fn worker_loop(
-    shared: &Arc<Shared>,
-    results: &Sender<RowOutcome>,
-    worker: usize,
-    retry_limit: u32,
-) {
-    // The persistent register buffer: allocated on the first row, then
-    // `reload`ed in place for every subsequent one. Dropped after a caught
-    // panic, since the machine may have been mid-mutation.
-    let mut array: Option<SystolicArray> = None;
+/// `catch_unwind` (so a panicking row costs its chunk one retry, not the
+/// worker).
+fn worker_loop(shared: &Arc<Shared>, results: &Sender<ChunkDone>, worker: usize, retry_limit: u32) {
+    let mut scratch = KernelScratch::new();
     loop {
         let job = {
             let mut state = shared.lock_state();
@@ -646,72 +923,108 @@ fn worker_loop(
             }
         };
         shared.lock_state().running.insert(
-            job.ticket,
+            job.base,
             CheckedOut {
                 worker,
                 job: job.clone(),
             },
         );
 
-        #[cfg(feature = "fault-injection")]
-        let mut injected_panic = false;
-        #[cfg(feature = "fault-injection")]
-        if let Some(fault) = shared
-            .faults
-            .as_ref()
-            .and_then(|plan| plan.take(job.ticket))
-        {
-            match fault {
-                Fault::Panic => injected_panic = true,
-                Fault::Stall(duration) => std::thread::sleep(duration),
-                // Exit with the job still checked out: the supervisor must
-                // notice the dead thread and recover the orphan.
-                Fault::Die => return,
-                Fault::PoisonLock => {
-                    let shared = Arc::clone(shared);
-                    let _ = catch_unwind(AssertUnwindSafe(move || {
-                        let _guard = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
-                        panic!("injected fault: poisoning the pipeline state lock");
-                    }));
+        let mut out = shared.take_spare();
+        out.reserve(job.len());
+        // Index and panic message of the row that crashed this chunk, if
+        // any; rows before it are discarded and recomputed on retry so a
+        // chunk's results are all-or-nothing (keeps stats totals exact).
+        let mut crashed: Option<(usize, String)> = None;
+        for i in job.lo..job.hi {
+            let ticket = job.ticket_of(i);
+
+            #[cfg(feature = "fault-injection")]
+            let mut injected_panic = false;
+            #[cfg(feature = "fault-injection")]
+            if let Some(fault) = shared.faults.as_ref().and_then(|plan| plan.take(ticket)) {
+                match fault {
+                    Fault::Panic => injected_panic = true,
+                    Fault::Stall(duration) => std::thread::sleep(duration),
+                    // Exit with the chunk still checked out: the supervisor
+                    // must notice the dead thread and recover the orphan.
+                    Fault::Die => return,
+                    Fault::PoisonLock => {
+                        let shared = Arc::clone(shared);
+                        let _ = catch_unwind(AssertUnwindSafe(move || {
+                            let _guard =
+                                shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+                            panic!("injected fault: poisoning the pipeline state lock");
+                        }));
+                    }
+                }
+            }
+
+            let (ra, rb) = job.row(i);
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-injection")]
+                if injected_panic {
+                    panic!("injected fault: panic on row {ticket}");
+                }
+                kernel::diff_row(shared.kernel, &mut scratch, ra, rb)
+            }));
+            match attempt {
+                // Kernel errors (e.g. a width mismatch) are per-row
+                // outcomes; the rest of the chunk proceeds.
+                Ok(result) => out.push(RowResult {
+                    ticket,
+                    kernel: result.as_ref().ok().map(|(_, _, choice)| *choice),
+                    result: result.map(|(row, stats, _)| (row, stats)),
+                }),
+                Err(payload) => {
+                    scratch.discard_poisoned();
+                    crashed = Some((i, panic_message(payload)));
+                    break;
                 }
             }
         }
 
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            #[cfg(feature = "fault-injection")]
-            if injected_panic {
-                panic!("injected fault: panic on row {}", job.ticket);
-            }
-            diff_reusing(&mut array, &job.a, &job.b)
-        }));
-
-        match outcome {
-            Ok(result) => {
-                shared.lock_state().running.remove(&job.ticket);
-                // The receiver disappearing mid-job means the pipeline is
+        match crashed {
+            None => {
+                shared.lock_state().running.remove(&job.base);
+                // The receiver disappearing mid-chunk means the pipeline is
                 // being dropped; the queue will hand us the shutdown flag
                 // next round.
-                let _ = results.send(RowOutcome {
-                    ticket: Ticket(job.ticket),
+                let _ = results.send(ChunkDone {
                     worker,
-                    result,
+                    results: out,
                 });
             }
-            Err(payload) => {
-                array = None;
+            Some((culprit, cause)) => {
+                shared.return_spare(out);
+                shared.lock_state().running.remove(&job.base);
                 let mut job = job;
-                shared.lock_state().running.remove(&job.ticket);
                 job.attempts += 1;
                 if job.attempts > retry_limit {
-                    let _ = results.send(RowOutcome {
-                        ticket: Ticket(job.ticket),
+                    // Only the culprit row fails; its siblings go back to
+                    // the queue as sub-chunks that keep the attempt count.
+                    let ticket = job.ticket_of(culprit);
+                    let _ = results.send(ChunkDone {
                         worker,
-                        result: Err(SystolicError::RowFailed {
-                            row: job.ticket,
-                            attempts: job.attempts,
-                            cause: panic_message(payload.as_ref()),
-                        }),
+                        results: vec![RowResult {
+                            ticket,
+                            kernel: None,
+                            result: Err(SystolicError::RowFailed {
+                                row: ticket,
+                                attempts: job.attempts,
+                                cause,
+                            }),
+                        }],
                     });
+                    let mut state = shared.lock_state();
+                    if culprit > job.lo {
+                        state.queue.push_back(job.slice(job.lo, culprit));
+                    }
+                    if culprit + 1 < job.hi {
+                        state.queue.push_back(job.slice(culprit + 1, job.hi));
+                    }
+                    drop(state);
+                    shared.work_ready.notify_all();
                 } else {
                     shared.retries.fetch_add(1, Ordering::Relaxed);
                     shared.lock_state().queue.push_back(job);
@@ -722,33 +1035,16 @@ fn worker_loop(
     }
 }
 
-/// Best-effort rendering of a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "worker panicked with a non-string payload".to_string()
+/// Best-effort rendering of a caught panic payload, taking ownership so a
+/// `String` payload moves out instead of being copied.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "worker panicked with a non-string payload".to_string(),
+        },
     }
-}
-
-/// Diffs one row pair on a reusable array (the [`crate::image::RowPipeline`]
-/// pattern, per worker).
-fn diff_reusing(
-    array: &mut Option<SystolicArray>,
-    a: &RleRow,
-    b: &RleRow,
-) -> Result<(RleRow, ArrayStats), SystolicError> {
-    let machine = match array.as_mut() {
-        Some(machine) => {
-            machine.reload(a, b)?;
-            machine
-        }
-        None => array.insert(SystolicArray::load(a, b)?),
-    };
-    machine.run()?;
-    Ok((machine.extract()?, *machine.stats()))
 }
 
 #[cfg(test)]
@@ -765,19 +1061,93 @@ mod tests {
         let a = img("####....\n..##..##\n........\n#.#.#.#.\n");
         let b = img("####....\n..##..#.\n...##...\n.#.#.#.#\n");
         let (seq, seq_stats) = xor_image(&a, &b).unwrap();
-        let mut pipeline = DiffPipeline::new(3);
-        let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+
+        // The systolic kernel reproduces the reference machine's stats
+        // exactly — same per-row iteration counts, same totals.
+        let mut exact = DiffPipelineConfig::new(3).kernel(Kernel::Systolic).build();
+        let (got, stats) = exact.diff_images(&a, &b).unwrap();
         assert_eq!(got, seq);
         assert_eq!(stats.rows, 4);
         assert_eq!(stats.totals.iterations, seq_stats.totals.iterations);
         assert_eq!(stats.max_row_iterations, seq_stats.max_row_iterations);
+        assert_eq!(stats.rows_systolic_kernel, 4);
         assert_eq!(stats.workers, 3);
         assert!(stats.effective_workers >= 1 && stats.effective_workers <= 3);
         // A healthy run needs no supervisor interventions.
         assert_eq!((stats.retries, stats.respawns, stats.timeouts), (0, 0, 0));
+        assert_eq!(exact.supervision_counters(), SupervisionCounters::default());
+
+        // The default hybrid kernel is bit-identical with cheaper stats.
+        let mut pipeline = DiffPipeline::new(3);
+        let (hybrid, stats) = pipeline.diff_images(&a, &b).unwrap();
+        assert_eq!(hybrid, seq);
+        assert_eq!(stats.rows, 4);
         assert_eq!(
-            pipeline.supervision_counters(),
-            SupervisionCounters::default()
+            stats.rows_fast_path
+                + stats.rows_rle_kernel
+                + stats.rows_packed_kernel
+                + stats.rows_systolic_kernel,
+            4,
+            "every row's kernel choice is recorded"
+        );
+        assert!(stats.totals.within_theorem1());
+        assert!(stats.chunks >= 1);
+        assert_eq!(stats.row_clones_avoided, 8);
+    }
+
+    #[test]
+    fn shared_batch_is_zero_copy_and_identical() {
+        let a = Arc::new(img("####....\n..##..##\n........\n#.#.#.#.\n"));
+        let b = Arc::new(img("####....\n..##..#.\n...##...\n.#.#.#.#\n"));
+        let mut pipeline = DiffPipeline::new(2);
+        let (owned, _) = pipeline.diff_images(&a, &b).unwrap();
+        let (shared, stats) = pipeline.diff_images_shared(&a, &b).unwrap();
+        assert_eq!(owned, shared);
+        assert_eq!(stats.row_clones_avoided, 16, "4 clones avoided per row");
+        assert_eq!(stats.rows, 4);
+    }
+
+    #[test]
+    fn forced_kernels_are_bit_identical() {
+        let a = img("####....\n..##..##\n........\n#.#.#.#.\n");
+        let b = img("####....\n..##..#.\n...##...\n.#.#.#.#\n");
+        let (seq, _) = xor_image(&a, &b).unwrap();
+        for kernel in [Kernel::Rle, Kernel::Packed] {
+            let mut pipeline = DiffPipelineConfig::new(2).kernel(kernel).build();
+            let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+            assert_eq!(got, seq, "{kernel:?}");
+            match kernel {
+                Kernel::Rle => assert_eq!(stats.rows_rle_kernel, 4),
+                Kernel::Packed => assert_eq!(stats.rows_packed_kernel, 4),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_target_controls_scheduling_granularity() {
+        let a = img("####....\n..##..##\n........\n#.#.#.#.\n");
+        let b = img("####....\n..##..#.\n...##...\n.#.#.#.#\n");
+        // A huge target packs the whole image into one chunk...
+        let mut coarse = DiffPipelineConfig::new(2).chunk_target(1_000_000).build();
+        let (_, stats) = coarse.diff_images(&a, &b).unwrap();
+        assert_eq!(stats.chunks, 1);
+        // ...a target of one run forces per-row chunks.
+        let mut fine = DiffPipelineConfig::new(2).chunk_target(1).build();
+        let (_, stats) = fine.diff_images(&a, &b).unwrap();
+        assert_eq!(stats.chunks, 4);
+    }
+
+    #[test]
+    fn result_buffers_are_recycled_across_batches() {
+        let a = img("####....\n..##..##\n........\n#.#.#.#.\n");
+        let b = img("####....\n..##..#.\n...##...\n.#.#.#.#\n");
+        let mut pipeline = DiffPipelineConfig::new(1).chunk_target(1).build();
+        let (_, _first) = pipeline.diff_images(&a, &b).unwrap();
+        let (_, stats) = pipeline.diff_images(&a, &b).unwrap();
+        assert!(
+            stats.buffers_reused > 0,
+            "second batch must hit the recycling pool: {stats:?}"
         );
     }
 
@@ -792,6 +1162,7 @@ mod tests {
         let (identity, stats) = pipeline.diff_images(&a, &a.clone()).unwrap();
         assert_eq!(identity.ones(), 0);
         assert_eq!(stats.rows, 2);
+        assert_eq!(stats.rows_fast_path, 2, "equal rows take the fast path");
     }
 
     #[test]
@@ -827,6 +1198,7 @@ mod tests {
         pipeline.submit(good.clone(), bad);
         let outcome = pipeline.collect().unwrap();
         assert!(outcome.result.is_err());
+        assert_eq!(outcome.kernel, None, "no kernel ran for the bad row");
         // The pool still works after the failure.
         pipeline.submit(good.clone(), good.clone());
         let ok = pipeline.collect().unwrap();
@@ -840,6 +1212,7 @@ mod tests {
         let (d, stats) = pipeline.diff_images(&a, &a.clone()).unwrap();
         assert_eq!(d.height(), 0);
         assert_eq!(stats.rows, 0);
+        assert_eq!(stats.chunks, 0);
         assert_eq!(stats.effective_workers, 0);
     }
 
@@ -865,14 +1238,20 @@ mod tests {
         assert!(config.threads >= 1);
         assert_eq!(config.retry_limit, 2);
         assert!(config.row_deadline.is_none());
+        assert_eq!(config.kernel, Kernel::Auto);
+        assert_eq!(config.chunk_target, None);
         let config = DiffPipelineConfig::new(2)
             .retry_limit(5)
             .row_deadline(Duration::from_millis(250))
-            .shutdown_grace(Duration::from_millis(100));
+            .shutdown_grace(Duration::from_millis(100))
+            .kernel(Kernel::Packed)
+            .chunk_target(64);
         assert_eq!(config.threads, 2);
         assert_eq!(config.retry_limit, 5);
         assert_eq!(config.row_deadline, Some(Duration::from_millis(250)));
         assert_eq!(config.shutdown_grace, Duration::from_millis(100));
+        assert_eq!(config.kernel, Kernel::Packed);
+        assert_eq!(config.chunk_target, Some(64));
         let pipeline = config.build();
         assert_eq!(pipeline.workers(), 2);
     }

@@ -71,6 +71,7 @@ pub mod trace;
 pub use array::{systolic_xor, SystolicArray};
 #[cfg(feature = "fault-injection")]
 pub use engine::fault::{Fault, FaultPlan};
+pub use engine::kernel::{Kernel, KernelChoice};
 pub use engine::pipeline::{DiffPipeline, DiffPipelineConfig, SupervisionCounters};
 pub use error::SystolicError;
 pub use stats::{ArrayStats, PipelineStats};

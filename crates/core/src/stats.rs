@@ -111,6 +111,25 @@ pub struct PipelineStats {
     /// Deadline expiries ([`crate::error::SystolicError::DeadlineExceeded`])
     /// observed during this batch.
     pub timeouts: u64,
+    /// Contiguous row chunks the scheduler dispatched (the checkout and
+    /// retry granularity; see `DiffPipelineConfig::chunk_target`).
+    pub chunks: usize,
+    /// Rows short-circuited without running any kernel (equal inputs or an
+    /// empty side; see [`crate::engine::kernel::KernelChoice::FastPath`]).
+    pub rows_fast_path: usize,
+    /// Rows diffed by the sequential RLE merge kernel.
+    pub rows_rle_kernel: usize,
+    /// Rows diffed by the decode → word-XOR → re-encode kernel.
+    pub rows_packed_kernel: usize,
+    /// Rows diffed by the cycle-accurate systolic simulation.
+    pub rows_systolic_kernel: usize,
+    /// Chunk result buffers taken from the recycling pool instead of
+    /// freshly allocated during this batch.
+    pub buffers_reused: u64,
+    /// Per-row input clones the zero-copy scheduler skipped, relative to
+    /// the previous clone-per-submit + clone-per-checkout design (2 per row
+    /// for the borrowing batch API, 4 per row for the `Arc`-shared one).
+    pub row_clones_avoided: u64,
 }
 
 impl PipelineStats {

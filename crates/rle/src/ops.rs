@@ -39,6 +39,40 @@ pub fn xor(a: &RleRow, b: &RleRow) -> RleRow {
     row
 }
 
+/// Canonical XOR written into a reusable output row, so steady-state
+/// callers (the pipeline workers) never touch the allocator: `out` is
+/// [`RleRow::reset`] and refilled in place, growing its run vector at most
+/// up to the largest diff it has ever held.
+///
+/// Fast paths skip the merge entirely: equal run lists yield the empty
+/// diff, and an empty side yields a canonicalized copy of the other.
+/// Returns the merge cost ([`OpStats::iterations`] is `0` on a fast path,
+/// and [`OpStats::output_runs`] counts the runs left in `out`).
+///
+/// # Panics
+///
+/// Panics if the rows have different widths.
+pub fn xor_into(a: &RleRow, b: &RleRow, out: &mut RleRow) -> OpStats {
+    assert_eq!(a.width(), b.width(), "xor operands must have equal widths");
+    if a.runs() == b.runs() {
+        // x ^ x = 0. Catches ptr-equal rows and identical encodings.
+        out.reset(a.width());
+        return OpStats::default();
+    }
+    if a.is_empty() || b.is_empty() {
+        out.copy_from(if a.is_empty() { b } else { a });
+        out.canonicalize();
+        return OpStats {
+            iterations: 0,
+            output_runs: out.run_count(),
+        };
+    }
+    let mut stats = xor_raw_into(a, b, out);
+    out.canonicalize();
+    stats.output_runs = out.run_count();
+    stats
+}
+
 /// XOR of two rows exactly as the paper's sequential algorithm produces it:
 /// ordered and non-overlapping, but possibly containing adjacent runs.
 /// Also returns the iteration count.
@@ -48,8 +82,20 @@ pub fn xor(a: &RleRow, b: &RleRow) -> RleRow {
 /// Panics if the rows have different widths.
 #[must_use]
 pub fn xor_raw_with_stats(a: &RleRow, b: &RleRow) -> (RleRow, OpStats) {
-    assert_eq!(a.width(), b.width(), "xor operands must have equal widths");
     let mut out = RleRow::new(a.width());
+    let stats = xor_raw_into(a, b, &mut out);
+    (out, stats)
+}
+
+/// [`xor_raw_with_stats`], but writing into a reusable output row (which is
+/// reset to `a`'s width first).
+///
+/// # Panics
+///
+/// Panics if the rows have different widths.
+pub fn xor_raw_into(a: &RleRow, b: &RleRow, out: &mut RleRow) -> OpStats {
+    assert_eq!(a.width(), b.width(), "xor operands must have equal widths");
+    out.reset(a.width());
     let mut stats = OpStats::default();
 
     let mut sa = HeadStream::new(a.runs());
@@ -119,7 +165,7 @@ pub fn xor_raw_with_stats(a: &RleRow, b: &RleRow) -> (RleRow, OpStats) {
     }
 
     stats.output_runs = out.run_count();
-    (out, stats)
+    stats
 }
 
 /// A run array viewed as a stream whose head can be replaced by a partially
@@ -372,6 +418,52 @@ mod tests {
         assert!(!raw.is_canonical());
         assert_eq!(stats.output_runs, 2);
         assert_eq!(xor(&a, &b).runs(), &[Run::new(0, 10)]);
+    }
+
+    #[test]
+    fn xor_into_matches_xor_and_reuses_the_buffer() {
+        let cases = [
+            (row(&[(10, 3), (16, 2)]), row(&[(3, 4), (15, 5)])),
+            (row(&[(0, 5)]), row(&[(5, 5)])), // adjacent → coalesced
+            (row(&[(0, 10)]), row(&[(3, 4)])),
+            (row(&[(2, 3)]), RleRow::new(40)), // empty side → copy
+            (RleRow::new(40), row(&[(2, 3)])),
+            (row(&[(1, 4)]), row(&[(1, 4)])), // equal → empty
+            (RleRow::new(40), RleRow::new(40)),
+        ];
+        let mut out = RleRow::new(0);
+        for (a, b) in cases {
+            let stats = xor_into(&a, &b, &mut out);
+            assert_eq!(out, xor(&a, &b), "{a:?} ^ {b:?}");
+            assert!(out.is_canonical());
+            assert_eq!(stats.output_runs, out.run_count());
+            assert!(
+                stats.iterations <= (a.run_count() + b.run_count()) as u64,
+                "merge cost bounded by k1 + k2"
+            );
+        }
+    }
+
+    #[test]
+    fn xor_into_fast_paths_report_zero_iterations() {
+        let a = row(&[(3, 4), (10, 2)]);
+        let mut out = RleRow::new(0);
+        assert_eq!(xor_into(&a, &a.clone(), &mut out).iterations, 0);
+        assert!(out.is_empty());
+        let empty = RleRow::new(40);
+        assert_eq!(xor_into(&a, &empty, &mut out).iterations, 0);
+        assert_eq!(out, a);
+        // A non-canonical survivor is canonicalized on the copy fast path.
+        let adjacent = RleRow::from_runs(40, vec![Run::new(0, 5), Run::new(5, 5)]).unwrap();
+        xor_into(&adjacent, &empty, &mut out);
+        assert_eq!(out.runs(), &[Run::new(0, 10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal widths")]
+    fn xor_into_panics_on_width_mismatch() {
+        let mut out = RleRow::new(0);
+        let _ = xor_into(&RleRow::new(10), &RleRow::new(12), &mut out);
     }
 
     #[test]

@@ -31,6 +31,31 @@ impl RleRow {
         }
     }
 
+    /// Creates an empty row whose run vector can hold `capacity` runs
+    /// without reallocating — the seed for a reusable output buffer.
+    #[must_use]
+    pub fn with_capacity(width: Pixel, capacity: usize) -> Self {
+        Self {
+            width,
+            runs: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Clears the row and gives it a new width, keeping the run allocation
+    /// so the row can be refilled without touching the allocator.
+    pub fn reset(&mut self, width: Pixel) {
+        self.width = width;
+        self.runs.clear();
+    }
+
+    /// Makes this row a copy of `src`, reusing the existing run allocation
+    /// where possible (the buffer-reuse counterpart of `Clone`).
+    pub fn copy_from(&mut self, src: &RleRow) {
+        self.width = src.width;
+        self.runs.clear();
+        self.runs.extend_from_slice(&src.runs);
+    }
+
     /// Creates a row from a validated run list.
     pub fn from_runs(width: Pixel, runs: Vec<Run>) -> Result<Self, RleError> {
         Self::validate(width, &runs)?;
@@ -476,6 +501,24 @@ mod tests {
             let want: Vec<bool> = bits[start as usize..(start + len) as usize].to_vec();
             assert_eq!(r.crop(start, len).to_bits(), want, "window ({start},{len})");
         }
+    }
+
+    #[test]
+    fn reset_and_copy_from_reuse_the_allocation() {
+        let mut r = RleRow::with_capacity(64, 8);
+        assert_eq!(r.width(), 64);
+        assert!(r.runs.capacity() >= 8);
+        r.push_run(Run::new(3, 4)).unwrap();
+        let cap = r.runs.capacity();
+        r.reset(32);
+        assert_eq!(r.width(), 32);
+        assert!(r.is_empty());
+        assert_eq!(r.runs.capacity(), cap);
+
+        let src = RleRow::from_pairs(48, &[(0, 2), (10, 5)]).unwrap();
+        r.copy_from(&src);
+        assert_eq!(r, src);
+        assert_eq!(r.runs.capacity(), cap, "copy within capacity reuses it");
     }
 
     #[test]

@@ -9,7 +9,7 @@ use common::rle_row;
 use proptest::prelude::*;
 use rle_systolic::rle::{RleImage, RleRow};
 use rle_systolic::systolic_core::image::{xor_image, xor_image_parallel};
-use rle_systolic::systolic_core::DiffPipeline;
+use rle_systolic::systolic_core::{DiffPipeline, DiffPipelineConfig, Kernel};
 
 const WIDTH: u32 = 512;
 
@@ -32,7 +32,11 @@ proptest! {
     fn three_engines_are_bit_identical((a, b) in image_pair(), threads in 1usize..5) {
         let (seq, seq_stats) = xor_image(&a, &b).unwrap();
         let (par, par_stats) = xor_image_parallel(&a, &b, threads).unwrap();
-        let mut pool = DiffPipeline::new(threads);
+        // The systolic-kernel pool runs the same cycle-accurate machine as
+        // the reference engines, so its stats must agree exactly.
+        let mut pool = DiffPipelineConfig::new(threads)
+            .kernel(Kernel::Systolic)
+            .build();
         let (pipe, pipe_stats) = pool.diff_images(&a, &b).unwrap();
 
         // Bit-identical output rows across all three engines.
@@ -47,6 +51,7 @@ proptest! {
         prop_assert_eq!(pipe_stats.totals, seq_stats.totals);
         prop_assert_eq!(pipe_stats.max_row_iterations, seq_stats.max_row_iterations);
         prop_assert_eq!(pipe_stats.rows, a.height());
+        prop_assert_eq!(pipe_stats.rows_systolic_kernel, a.height());
         prop_assert_eq!(pipe_stats.workers, threads);
         prop_assert!(pipe_stats.effective_workers <= threads);
         if a.height() > 0 {
@@ -55,6 +60,23 @@ proptest! {
         // Theorem 1 holds in aggregate: total iterations never exceed the
         // summed per-row bounds.
         prop_assert!(pipe_stats.totals.within_theorem1());
+
+        // Every kernel policy — hybrid, forced-RLE, forced-packed — is
+        // bit-identical to the reference; only scheduling and per-row
+        // algorithm differ.
+        for kernel in [Kernel::Auto, Kernel::Rle, Kernel::Packed] {
+            let mut pool = DiffPipelineConfig::new(threads).kernel(kernel).build();
+            let (img, stats) = pool.diff_images(&a, &b).unwrap();
+            prop_assert_eq!(&img, &seq, "kernel {:?}", kernel);
+            prop_assert_eq!(stats.rows, a.height());
+            // The adaptive policy only picks the packed kernel when it is
+            // cheaper than the merge, so its host iteration totals stay
+            // within the machine's Theorem-1 budget. (Forcing Packed on
+            // sparse rows legitimately exceeds it.)
+            if kernel != Kernel::Packed {
+                prop_assert!(stats.totals.within_theorem1(), "kernel {:?}", kernel);
+            }
+        }
     }
 }
 

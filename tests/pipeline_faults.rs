@@ -10,7 +10,7 @@
 use rle_systolic::rle::RleImage;
 use rle_systolic::systolic_core::image::xor_image;
 use rle_systolic::systolic_core::{
-    DiffPipelineConfig, FaultPlan, SupervisionCounters, SystolicError,
+    DiffPipelineConfig, FaultPlan, Kernel, SupervisionCounters, SystolicError,
 };
 use rle_systolic::workload::{errors, ErrorModel, GenParams, RowGenerator};
 use std::time::Duration;
@@ -217,14 +217,19 @@ fn combined_faults_in_one_batch_all_recover() {
         .die_on_row(9)
         .poison_on_row(14)
         .panic_on_row(21);
-    let mut pipeline = DiffPipelineConfig::new(4).fault_plan(plan).build();
+    // Force the systolic kernel so machine-work totals are comparable
+    // against the sequential reference below.
+    let mut pipeline = DiffPipelineConfig::new(4)
+        .kernel(Kernel::Systolic)
+        .fault_plan(plan)
+        .build();
     let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
     assert_eq!(got, expected);
     assert_eq!(stats.rows, 24);
-    assert_eq!(stats.retries, 3, "two panics + one orphaned row");
+    assert_eq!(stats.retries, 3, "two panics + one orphaned chunk");
     assert_eq!(stats.respawns, 1);
     // Aggregated machine work matches the sequential reference: retries
-    // re-run rows but only the successful attempt is absorbed.
+    // re-run whole chunks but only the successful attempt is absorbed.
     let (_, seq_stats) = xor_image(&a, &b).unwrap();
     assert_eq!(stats.totals.iterations, seq_stats.totals.iterations);
 }

@@ -1,0 +1,145 @@
+//! Kernel-equivalence suite: the adaptive hybrid kernel and both forced
+//! kernels must be bit-identical to the canonical RLE XOR
+//! ([`rle::ops::xor`]) on every input — across the full density sweep
+//! (empty → sparse → the calibrated crossover → dense → full), at odd and
+//! word-unaligned widths, and on the valid-but-non-canonical rows the
+//! paper admits as input.
+
+mod common;
+
+use common::row_pair;
+use proptest::prelude::*;
+use rle_systolic::rle;
+use rle_systolic::rle::{RleRow, Run};
+use rle_systolic::systolic_core::engine::kernel::{diff_row, KernelScratch, PACKED_RUNS_PER_WORD};
+use rle_systolic::systolic_core::{Kernel, KernelChoice};
+use rle_systolic::workload::{errors, ErrorModel, GenParams, RowGenerator};
+
+/// Runs one row pair through every kernel policy and checks each against
+/// the canonical reference. Returns the choice the adaptive policy made.
+fn assert_kernels_agree(a: &RleRow, b: &RleRow) -> KernelChoice {
+    let expected = rle::ops::xor(a, b);
+    let mut scratch = KernelScratch::new();
+    let mut auto_choice = KernelChoice::FastPath;
+    for kernel in [Kernel::Auto, Kernel::Rle, Kernel::Packed, Kernel::Systolic] {
+        let (got, stats, choice) = diff_row(kernel, &mut scratch, a, b)
+            .unwrap_or_else(|e| panic!("{kernel:?} failed: {e}"));
+        assert_eq!(
+            got, expected,
+            "{kernel:?} (chose {choice:?}) disagrees with rle::ops::xor on\n  a={a:?}\n  b={b:?}"
+        );
+        assert_eq!(stats.k1, a.run_count());
+        assert_eq!(stats.k2, b.run_count());
+        // The systolic machine reports the raw (uncoalesced) extraction
+        // size; the host kernels report the canonical count.
+        assert!(stats.output_runs >= got.run_count());
+        if kernel == Kernel::Auto {
+            auto_choice = choice;
+        }
+    }
+    auto_choice
+}
+
+/// A row of the given width with `runs` unit runs spread evenly, shifted
+/// by `offset` pixels — deterministic density control for the crossover
+/// sweep (distinct offsets keep the pair from hitting the equal-rows fast
+/// path).
+fn evenly_spread(width: u32, runs: usize, offset: u32) -> RleRow {
+    let mut row = RleRow::new(width);
+    if runs == 0 {
+        return row;
+    }
+    let stride = (width as usize / runs).max(2);
+    for i in 0..runs {
+        let start = (i * stride) as u32 + offset;
+        if start >= width {
+            break;
+        }
+        row.push_run(Run::new(start, 1)).unwrap();
+    }
+    row
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn xor_kernels_agree_on_random_rows(
+        // The shimmed proptest has no flat_map, so vary the width by
+        // cropping a max-width pair down to the sampled width.
+        (a, b) in ((0usize..7), row_pair(1000, 16)).prop_map(|(i, (a, b))| {
+            const WIDTHS: [u32; 7] = [64, 65, 127, 128, 300, 511, 1000];
+            (a.crop(0, WIDTHS[i]), b.crop(0, WIDTHS[i]))
+        }),
+    ) {
+        assert_kernels_agree(&a, &b);
+    }
+}
+
+#[test]
+fn xor_kernels_agree_across_the_density_sweep() {
+    // 0.02 ≈ near-empty, 0.5 = balanced, 0.95 ≈ near-full (truly empty
+    // rows are covered by the degenerate test); widths include
+    // word-aligned and ragged tails.
+    for width in [64u32, 65, 127, 512, 1000] {
+        for density in [0.02, 0.1, 0.3, 0.5, 0.8, 0.95] {
+            let params = GenParams::for_density(width, density);
+            let a = RowGenerator::new(params, 0xD00D + width as u64).next_row();
+            let b = errors::apply_errors(&a, &ErrorModel::fraction(0.1), 0xBEEF);
+            assert_kernels_agree(&a, &b);
+        }
+    }
+}
+
+#[test]
+fn xor_kernels_agree_around_the_calibrated_threshold() {
+    // The adaptive policy flips to the packed kernel when
+    // `k1 + k2 > PACKED_RUNS_PER_WORD * words`; probe the boundary
+    // run-count for ±2 on both word-aligned and ragged widths.
+    for width in [256u32, 300, 1000] {
+        let words = (width as usize).div_ceil(64);
+        let crossover = PACKED_RUNS_PER_WORD * words;
+        for total in crossover.saturating_sub(2)..=crossover + 2 {
+            let a = evenly_spread(width, total / 2, 0);
+            let b = evenly_spread(width, total - total / 2, 1);
+            let choice = assert_kernels_agree(&a, &b);
+            let runs = a.run_count() + b.run_count();
+            if runs > crossover {
+                assert_eq!(choice, KernelChoice::Packed, "width {width}, {runs} runs");
+            } else if runs > 0 && a.runs() != b.runs() {
+                assert_eq!(choice, KernelChoice::Rle, "width {width}, {runs} runs");
+            }
+        }
+    }
+}
+
+#[test]
+fn xor_kernels_agree_on_degenerate_rows() {
+    for width in [1u32, 2, 63, 64, 65] {
+        let empty = RleRow::new(width);
+        let full = RleRow::from_pairs(width, &[(0, width)]).unwrap();
+        for (a, b) in [
+            (empty.clone(), empty.clone()), // both empty → fast path
+            (empty.clone(), full.clone()),  // one side empty → copy
+            (full.clone(), empty.clone()),
+            (full.clone(), full.clone()), // equal → annihilates
+        ] {
+            let choice = assert_kernels_agree(&a, &b);
+            assert_eq!(choice, KernelChoice::FastPath, "width {width}");
+        }
+    }
+}
+
+#[test]
+fn xor_kernels_agree_on_non_canonical_input() {
+    // Adjacent runs are valid input; every kernel must canonicalize its
+    // output regardless.
+    let a = RleRow::from_runs(16, vec![Run::new(0, 3), Run::new(3, 2), Run::new(8, 1)]).unwrap();
+    let b = RleRow::from_runs(16, vec![Run::new(2, 4), Run::new(6, 2), Run::new(10, 6)]).unwrap();
+    assert_kernels_agree(&a, &b);
+    // One side empty with a non-canonical other side: the fast-path copy
+    // must still coalesce.
+    let empty = RleRow::new(16);
+    assert_kernels_agree(&a, &empty);
+    assert_kernels_agree(&empty, &b);
+}
