@@ -99,6 +99,32 @@ fn time_pipeline(
     })
 }
 
+/// Observed-mode overhead: the same zero-copy batch through a plain and an
+/// observed pool, best-of-`samples` each. Returns the relative overhead in
+/// percent. Under `BENCH_SMOKE=1` this is a hard CI guard: the observability
+/// budget is < 5 % (ISSUE 5 acceptance criterion), and the smoke job fails
+/// the build if instrumentation creeps past it.
+fn observed_overhead_percent(
+    a: &Arc<RleImage>,
+    b: &Arc<RleImage>,
+    threads: usize,
+    samples: usize,
+) -> f64 {
+    let mut plain = DiffPipelineConfig::new(threads).build();
+    let (plain_best, _) = time(samples, || {
+        plain.diff_images_shared(a, b).expect("image diff").1.rows
+    });
+    let mut observed = DiffPipelineConfig::new(threads).observe().build();
+    let (observed_best, _) = time(samples, || {
+        observed
+            .diff_images_shared(a, b)
+            .expect("image diff")
+            .1
+            .rows
+    });
+    (observed_best.as_secs_f64() / plain_best.as_secs_f64() - 1.0) * 100.0
+}
+
 fn main() {
     let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0");
     let (height, samples, thread_counts): (usize, usize, &[usize]) = if smoke {
@@ -234,8 +260,21 @@ fn main() {
         );
     }
 
+    // Observability budget: metrics + tracing must stay cheap enough to
+    // leave on in production pools. Best-of-5 stabilises the min-timing
+    // comparison even on the one-sample smoke configuration.
+    let guard_threads = *thread_counts.last().expect("non-empty");
+    let overhead = observed_overhead_percent(&a, &b, guard_threads, samples.max(5));
+    println!(
+        "  observed-mode overhead at threads={guard_threads}: {overhead:+.2}% \
+         (budget < 5%)"
+    );
     if smoke {
-        println!("smoke run: BENCH_pipeline.json left untouched");
+        assert!(
+            overhead < 5.0,
+            "observed-mode overhead {overhead:+.2}% blew the < 5% budget"
+        );
+        println!("smoke run: overhead guard passed; BENCH_pipeline.json left untouched");
         return;
     }
 

@@ -86,6 +86,13 @@ pub enum Command {
         /// the batch); wired to
         /// [`systolic_core::DiffPipelineConfig::chunk_target`].
         chunk_target: Option<usize>,
+        /// Write a metrics snapshot here after the batch (`.json` gets the
+        /// JSON exposition, anything else Prometheus text). Enables
+        /// observation.
+        metrics_out: Option<PathBuf>,
+        /// Write the structured trace here as JSON lines. Enables
+        /// observation.
+        trace_out: Option<PathBuf>,
     },
     /// Convert a PBM file to the compact RLE format.
     Encode {
@@ -172,6 +179,7 @@ usage:
   rlediff diff <a> <b> [-o OUT] [--algo systolic|sequential|mesh|dense] [--clean N]
   rlediff diff-image <a> <b> [-o OUT] [--threads N] [--clean N] [--timeout-ms N]
                      [--kernel auto|rle|packed|systolic] [--chunk-target N]
+                     [--metrics-out PATH] [--trace-out PATH]
   rlediff encode <in.pbm> -o <out.rle>
   rlediff decode <in.rle> -o <out.pbm>
   rlediff info <file>
@@ -193,6 +201,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut timeout_ms: Option<u64> = None;
     let mut kernel = systolic_core::Kernel::Auto;
     let mut chunk_target: Option<usize> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut text = String::from("RLE SYSTOLIC 1999");
 
     let mut it = args.iter();
@@ -258,6 +268,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .map_err(|_| CliError::Usage("--chunk-target needs a number".into()))?,
                 );
             }
+            "--metrics-out" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--metrics-out needs a path".into()))?;
+                metrics_out = Some(PathBuf::from(v));
+            }
+            "--trace-out" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--trace-out needs a path".into()))?;
+                trace_out = Some(PathBuf::from(v));
+            }
             "--seed" => {
                 let v = it
                     .next()
@@ -294,6 +316,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             timeout_ms,
             kernel,
             chunk_target,
+            metrics_out,
+            trace_out,
         }),
         ["encode", input] => Ok(Command::Encode {
             input: PathBuf::from(input),
@@ -490,6 +514,8 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             timeout_ms,
             kernel,
             chunk_target,
+            metrics_out,
+            trace_out,
         } => {
             let ia = std::sync::Arc::new(load_image(a)?);
             let ib = std::sync::Arc::new(load_image(b)?);
@@ -504,6 +530,9 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             }
             if let Some(target) = chunk_target {
                 config = config.chunk_target(*target);
+            }
+            if metrics_out.is_some() || trace_out.is_some() {
+                config = config.observe();
             }
             let mut pipeline = config.build();
             let (mut diff, stats) = pipeline.diff_images_shared(&ia, &ib).map_err(|e| match e {
@@ -565,6 +594,36 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             }
             if let Some(rps) = stats.rows_per_second() {
                 let _ = writeln!(s, "  throughput : {rps:.0} rows/s");
+            }
+            if let Some(obs) = pipeline.observer() {
+                let snapshot = obs.metrics_snapshot();
+                if let Some(path) = metrics_out {
+                    let json = path
+                        .extension()
+                        .is_some_and(|e| e.eq_ignore_ascii_case("json"));
+                    let body = if json {
+                        snapshot.to_json()
+                    } else {
+                        snapshot.to_prometheus()
+                    };
+                    fs::write(path, body)?;
+                    let _ = writeln!(s, "wrote {} (metrics)", path.display());
+                }
+                if let Some(path) = trace_out {
+                    let mut body = String::new();
+                    for event in obs.trace_snapshot() {
+                        body.push_str(&event.to_json_line());
+                        body.push('\n');
+                    }
+                    fs::write(path, body)?;
+                    let _ = writeln!(
+                        s,
+                        "wrote {} (trace, {} events, {} dropped)",
+                        path.display(),
+                        snapshot.trace_recorded - snapshot.trace_dropped,
+                        snapshot.trace_dropped
+                    );
+                }
             }
             if let Some(out) = out {
                 save_image(&diff, out)?;
@@ -869,8 +928,47 @@ mod tests {
                 timeout_ms: None,
                 kernel: systolic_core::Kernel::Auto,
                 chunk_target: None,
+                metrics_out: None,
+                trace_out: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_diff_image_metrics_and_trace_out() {
+        let cmd = parse_args(&args(&[
+            "diff-image",
+            "a.pbm",
+            "b.pbm",
+            "--metrics-out",
+            "m.prom",
+            "--trace-out",
+            "t.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::DiffImage {
+                a: "a.pbm".into(),
+                b: "b.pbm".into(),
+                out: None,
+                threads: 0,
+                clean: 0,
+                timeout_ms: None,
+                kernel: systolic_core::Kernel::Auto,
+                chunk_target: None,
+                metrics_out: Some("m.prom".into()),
+                trace_out: Some("t.jsonl".into()),
+            }
+        );
+        assert!(matches!(
+            parse_args(&args(&["diff-image", "a", "b", "--metrics-out"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["diff-image", "a", "b", "--trace-out"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -896,6 +994,8 @@ mod tests {
                 timeout_ms: None,
                 kernel: systolic_core::Kernel::Packed,
                 chunk_target: Some(256),
+                metrics_out: None,
+                trace_out: None,
             }
         );
         for kernel in ["auto", "rle", "systolic"] {
@@ -937,6 +1037,8 @@ mod tests {
                 timeout_ms: Some(1500),
                 kernel: systolic_core::Kernel::Auto,
                 chunk_target: None,
+                metrics_out: None,
+                trace_out: None,
             }
         );
         assert!(matches!(
@@ -966,6 +1068,8 @@ mod tests {
             timeout_ms: Some(60_000),
             kernel: systolic_core::Kernel::Auto,
             chunk_target: None,
+            metrics_out: None,
+            trace_out: None,
         })
         .unwrap();
         assert!(msg.contains("pipeline:"), "{msg}");
@@ -1019,6 +1123,8 @@ mod tests {
             timeout_ms: None,
             kernel: systolic_core::Kernel::Auto,
             chunk_target: None,
+            metrics_out: None,
+            trace_out: None,
         })
         .unwrap();
         assert!(msg.contains("pipeline:"), "{msg}");
@@ -1048,6 +1154,8 @@ mod tests {
             timeout_ms: None,
             kernel: systolic_core::Kernel::Auto,
             chunk_target: None,
+            metrics_out: None,
+            trace_out: None,
         })
         .unwrap_err();
         assert!(matches!(err, CliError::Mismatch(_)));

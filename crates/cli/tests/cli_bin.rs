@@ -198,6 +198,117 @@ fn diff_image_kernel_and_chunk_target_flags() {
     assert_eq!(out.status.code(), Some(2));
 }
 
+/// Pulls `name value` out of Prometheus text exposition.
+fn prom_value(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("metric {name} missing:\n{text}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("metric {name} is not an integer"))
+}
+
+/// Pulls `"key": value` out of the flat JSON exposition.
+fn json_value(text: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\": ");
+    let at = text
+        .find(&pat)
+        .unwrap_or_else(|| panic!("key {key} missing:\n{text}"));
+    text[at + pat.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("key {key} is not an integer"))
+}
+
+#[test]
+fn diff_image_metrics_out_emits_a_parsable_consistent_snapshot() {
+    let a = tmp("m_a.pbm");
+    let b = tmp("m_b.pbm");
+    rlediff(&["gen", "pcb", "-o", a.to_str().unwrap(), "--seed", "7"]);
+    rlediff(&["gen", "pcb", "-o", b.to_str().unwrap(), "--seed", "8"]);
+    let prom = tmp("m.prom");
+    let json = tmp("m.json");
+    let trace = tmp("m.jsonl");
+
+    let out = rlediff(&[
+        "diff-image",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--metrics-out",
+        prom.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(metrics)"), "{stdout}");
+    assert!(stdout.contains("(trace"), "{stdout}");
+
+    // Prometheus text: the ledger identities must reconcile.
+    let text = std::fs::read_to_string(&prom).unwrap();
+    let rows = prom_value(&text, "diffpipeline_rows_submitted_total");
+    assert!(rows > 0, "pcb images are not empty");
+    assert_eq!(prom_value(&text, "diffpipeline_rows_completed_total"), rows);
+    assert_eq!(prom_value(&text, "diffpipeline_rows_errored_total"), 0);
+    assert_eq!(prom_value(&text, "diffpipeline_rows_diffed_total"), rows);
+    let by_kernel = prom_value(&text, "diffpipeline_rows_fast_path_total")
+        + prom_value(&text, "diffpipeline_rows_rle_kernel_total")
+        + prom_value(&text, "diffpipeline_rows_packed_kernel_total")
+        + prom_value(&text, "diffpipeline_rows_systolic_kernel_total");
+    assert_eq!(by_kernel, rows, "kernel counters partition the rows");
+    assert_eq!(prom_value(&text, "diffpipeline_row_latency_ns_count"), rows);
+    assert_eq!(prom_value(&text, "diffpipeline_row_runs_count"), rows);
+    assert_eq!(prom_value(&text, "diffpipeline_queue_depth"), 0);
+    assert_eq!(prom_value(&text, "diffpipeline_in_flight"), 0);
+    assert_eq!(
+        prom_value(&text, "diffpipeline_chunks_completed_total"),
+        prom_value(&text, "diffpipeline_chunks_dispatched_total"),
+    );
+
+    // A .json extension switches to the JSON exposition with the same
+    // numbers.
+    let out = rlediff(&[
+        "diff-image",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--metrics-out",
+        json.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let jtext = std::fs::read_to_string(&json).unwrap();
+    assert!(jtext.trim_start().starts_with('{'), "{jtext}");
+    assert_eq!(json_value(&jtext, "rows_submitted"), rows);
+    assert_eq!(json_value(&jtext, "rows_completed"), rows);
+    assert_eq!(json_value(&jtext, "batches"), 1);
+
+    // The trace is one JSON object per line, with submits and kernels for
+    // every row (ring capacity far exceeds this workload).
+    let ttext = std::fs::read_to_string(&trace).unwrap();
+    let mut submits = 0u64;
+    let mut kernels = 0u64;
+    for line in ttext.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"event\": \""), "{line}");
+        if line.contains("\"event\": \"submit\"") {
+            submits += 1;
+        }
+        if line.contains("\"event\": \"kernel\"") {
+            kernels += 1;
+        }
+    }
+    assert_eq!(submits, rows);
+    assert_eq!(kernels, rows);
+}
+
 #[test]
 fn diff_of_identical_inputs_is_empty() {
     let a = tmp("i_a.pbm");

@@ -77,6 +77,7 @@
 use crate::engine::kernel::{self, Kernel, KernelChoice, KernelScratch};
 use crate::error::SystolicError;
 use crate::image::check_dims;
+use crate::obs::{ObsConfig, Observer, TraceKind};
 use crate::stats::{ArrayStats, PipelineStats};
 use rle::{RleImage, RleRow};
 use std::collections::{HashMap, VecDeque};
@@ -154,6 +155,11 @@ pub struct DiffPipelineConfig {
     /// weighs `k1 + k2 + 1`). `None` (the default) derives it from the
     /// batch: `total_weight / (threads * 4)`, clamped to at least one row.
     pub chunk_target: Option<usize>,
+    /// Observability: `Some` attaches an [`Observer`] (metrics registry +
+    /// trace ring) to the pipeline. `None` (the default) compiles every
+    /// recording site down to one predictable `if let` branch — no
+    /// timestamps are taken and nothing is recorded.
+    pub observe: Option<ObsConfig>,
     /// Deterministic fault schedule for tests (see
     /// [`crate::engine::fault`]).
     #[cfg(feature = "fault-injection")]
@@ -169,6 +175,7 @@ impl Default for DiffPipelineConfig {
             shutdown_grace: Duration::from_millis(500),
             kernel: Kernel::Auto,
             chunk_target: None,
+            observe: None,
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
         }
@@ -217,6 +224,21 @@ impl DiffPipelineConfig {
     #[must_use]
     pub fn chunk_target(mut self, runs_per_chunk: usize) -> Self {
         self.chunk_target = Some(runs_per_chunk);
+        self
+    }
+
+    /// Enables observability with the default settings (see
+    /// [`Self::observe`]).
+    #[must_use]
+    pub fn observe(mut self) -> Self {
+        self.observe = Some(ObsConfig::default());
+        self
+    }
+
+    /// Enables observability with explicit settings (see [`Self::observe`]).
+    #[must_use]
+    pub fn observe_with(mut self, obs: ObsConfig) -> Self {
+        self.observe = Some(obs);
         self
     }
 
@@ -347,6 +369,9 @@ struct Shared {
     /// How many times a worker got a recycled vector instead of allocating.
     buffer_hits: AtomicU64,
     kernel: Kernel,
+    /// Observability sink, shared by workers, supervisor and collectors.
+    /// `None` keeps every recording site to a single predictable branch.
+    obs: Option<Arc<Observer>>,
     #[cfg(feature = "fault-injection")]
     faults: Option<FaultPlan>,
 }
@@ -358,6 +383,14 @@ impl Shared {
     /// proceeds on the recovered guard instead of propagating the poison.
     fn lock_state(&self) -> MutexGuard<'_, State> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mirrors the queue depth into the metrics gauge; called under the
+    /// state lock after every queue mutation so the gauge never drifts.
+    fn sync_queue_gauge(&self, state: &State) {
+        if let Some(obs) = &self.obs {
+            obs.metrics.queue_depth.set(state.queue.len() as i64);
+        }
     }
 
     fn counters(&self) -> SupervisionCounters {
@@ -446,6 +479,7 @@ impl DiffPipeline {
     #[must_use]
     pub fn with_config(config: DiffPipelineConfig) -> Self {
         assert!(config.threads > 0, "need at least one thread");
+        let obs = config.observe.map(|cfg| Arc::new(Observer::new(cfg)));
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -459,6 +493,7 @@ impl DiffPipeline {
             spare: Mutex::new(Vec::new()),
             buffer_hits: AtomicU64::new(0),
             kernel: config.kernel,
+            obs,
             #[cfg(feature = "fault-injection")]
             faults: config.fault_plan.clone(),
         });
@@ -504,6 +539,21 @@ impl DiffPipeline {
         self.shared.counters()
     }
 
+    /// The pipeline's [`Observer`], if observability was enabled via
+    /// [`DiffPipelineConfig::observe`]. The `Arc` stays valid after the
+    /// pipeline is dropped, so snapshots can outlive the pool.
+    #[must_use]
+    pub fn observer(&self) -> Option<Arc<Observer>> {
+        self.shared.obs.clone()
+    }
+
+    /// Mirrors `self.in_flight` into the metrics gauge.
+    fn sync_flight_gauge(&self) {
+        if let Some(obs) = &self.shared.obs {
+            obs.metrics.in_flight.set(self.in_flight as i64);
+        }
+    }
+
     /// Enqueues one row pair for differencing; returns the [`Ticket`] its
     /// [`RowOutcome`] will carry. Never blocks.
     pub fn submit(&mut self, a: RleRow, b: RleRow) -> Ticket {
@@ -519,9 +569,19 @@ impl DiffPipeline {
                 first: 0,
             },
         };
-        self.shared.lock_state().queue.push_back(job);
+        if let Some(obs) = &self.shared.obs {
+            obs.metrics.rows_submitted.inc();
+            obs.metrics.chunks_dispatched.inc();
+            obs.record(TraceKind::Submit { ticket });
+        }
+        {
+            let mut state = self.shared.lock_state();
+            state.queue.push_back(job);
+            self.shared.sync_queue_gauge(&state);
+        }
         self.shared.work_ready.notify_one();
         self.in_flight += 1;
+        self.sync_flight_gauge();
         Ticket(ticket)
     }
 
@@ -559,6 +619,7 @@ impl DiffPipeline {
         }
         if let Some(outcome) = self.pending.pop_front() {
             self.in_flight -= 1;
+            self.sync_flight_gauge();
             return Ok(Some(outcome));
         }
         let start = Instant::now();
@@ -569,6 +630,12 @@ impl DiffPipeline {
                     let now = Instant::now();
                     if now >= d {
                         self.shared.timeouts.fetch_add(1, Ordering::Relaxed);
+                        if let Some(obs) = &self.shared.obs {
+                            obs.metrics.timeouts.inc();
+                            obs.record(TraceKind::Timeout {
+                                in_flight: self.in_flight as u64,
+                            });
+                        }
                         return Err(SystolicError::DeadlineExceeded {
                             waited: start.elapsed(),
                             in_flight: self.in_flight,
@@ -583,6 +650,7 @@ impl DiffPipeline {
                     self.absorb_chunk(done);
                     if let Some(outcome) = self.pending.pop_front() {
                         self.in_flight -= 1;
+                        self.sync_flight_gauge();
                         return Ok(Some(outcome));
                     }
                 }
@@ -600,6 +668,13 @@ impl DiffPipeline {
     /// vector back to the workers.
     fn absorb_chunk(&mut self, mut done: ChunkDone) {
         for row in done.results.drain(..) {
+            if let Some(obs) = &self.shared.obs {
+                if row.result.is_ok() {
+                    obs.metrics.rows_completed.inc();
+                } else {
+                    obs.metrics.rows_errored.inc();
+                }
+            }
             self.pending.push_back(RowOutcome {
                 ticket: Ticket(row.ticket),
                 worker: done.worker,
@@ -626,6 +701,12 @@ impl DiffPipeline {
             let dead = std::mem::replace(&mut self.handles[worker], replacement);
             let _ = dead.join();
             self.shared.respawns.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = &self.shared.obs {
+                obs.metrics.respawns.inc();
+                obs.record(TraceKind::Respawn {
+                    worker: worker as u32,
+                });
+            }
 
             let orphans: Vec<Job> = {
                 let mut state = self.shared.lock_state();
@@ -643,6 +724,14 @@ impl DiffPipeline {
             for mut job in orphans {
                 job.attempts += 1;
                 if job.attempts > self.config.retry_limit {
+                    if let Some(obs) = &self.shared.obs {
+                        for i in job.lo..job.hi {
+                            obs.record(TraceKind::RowFailed {
+                                ticket: job.ticket_of(i),
+                                attempts: job.attempts,
+                            });
+                        }
+                    }
                     let results = (job.lo..job.hi)
                         .map(|i| RowResult {
                             ticket: job.ticket_of(i),
@@ -657,7 +746,18 @@ impl DiffPipeline {
                     let _ = self.result_tx.send(ChunkDone { worker, results });
                 } else {
                     self.shared.retries.fetch_add(1, Ordering::Relaxed);
-                    self.shared.lock_state().queue.push_back(job);
+                    if let Some(obs) = &self.shared.obs {
+                        obs.metrics.retries.inc();
+                        obs.record(TraceKind::Retry {
+                            chunk: job.base,
+                            rows: job.len() as u32,
+                            attempt: job.attempts,
+                        });
+                    }
+                    let mut state = self.shared.lock_state();
+                    state.queue.push_back(job);
+                    self.shared.sync_queue_gauge(&state);
+                    drop(state);
                     self.shared.work_ready.notify_one();
                 }
             }
@@ -671,6 +771,11 @@ impl DiffPipeline {
         while let Some(done) = self.collect() {
             out.push(done);
         }
+        if let Some(obs) = &self.shared.obs {
+            obs.record(TraceKind::Drain {
+                collected: out.len() as u64,
+            });
+        }
         out
     }
 
@@ -682,6 +787,7 @@ impl DiffPipeline {
             let mut state = self.shared.lock_state();
             let rows = state.queue.iter().map(Job::len).sum();
             state.queue.clear();
+            self.shared.sync_queue_gauge(&state);
             rows
         };
         self.in_flight -= dropped;
@@ -691,6 +797,7 @@ impl DiffPipeline {
         }
         self.in_flight -= self.pending.len();
         self.pending.clear();
+        self.sync_flight_gauge();
     }
 
     /// Splits `[0, height)` into contiguous chunks whose summed row weight
@@ -812,14 +919,30 @@ impl DiffPipeline {
             row_clones_avoided: clones_avoided,
             ..Default::default()
         };
+        if let Some(obs) = &self.shared.obs {
+            obs.metrics.batches.inc();
+            obs.metrics.rows_submitted.add(height as u64);
+            obs.metrics.chunks_dispatched.add(jobs.len() as u64);
+            // Submit events precede the enqueue so every row's causal chain
+            // starts before any worker can check its chunk out.
+            for job in &jobs {
+                for i in job.lo..job.hi {
+                    obs.record(TraceKind::Submit {
+                        ticket: job.ticket_of(i),
+                    });
+                }
+            }
+        }
         {
             let mut state = self.shared.lock_state();
             for job in jobs {
                 state.queue.push_back(job);
             }
+            self.shared.sync_queue_gauge(&state);
         }
         self.shared.work_ready.notify_all();
         self.in_flight += height;
+        self.sync_flight_gauge();
 
         let mut rows: Vec<Option<RleRow>> = vec![None; height];
         let mut seen = vec![false; self.handles.len()];
@@ -911,6 +1034,7 @@ fn worker_loop(shared: &Arc<Shared>, results: &Sender<ChunkDone>, worker: usize,
             let mut state = shared.lock_state();
             loop {
                 if let Some(job) = state.queue.pop_front() {
+                    shared.sync_queue_gauge(&state);
                     break job;
                 }
                 if state.shutdown {
@@ -929,6 +1053,17 @@ fn worker_loop(shared: &Arc<Shared>, results: &Sender<ChunkDone>, worker: usize,
                 job: job.clone(),
             },
         );
+        // Timestamps exist only under observation; the unobserved hot path
+        // takes no clock readings at all.
+        let chunk_start = shared.obs.as_ref().map(|obs| {
+            obs.record(TraceKind::Checkout {
+                chunk: job.base,
+                rows: job.len() as u32,
+                worker: worker as u32,
+                attempt: job.attempts,
+            });
+            Instant::now()
+        });
 
         let mut out = shared.take_spare();
         out.reserve(job.len());
@@ -948,7 +1083,16 @@ fn worker_loop(shared: &Arc<Shared>, results: &Sender<ChunkDone>, worker: usize,
                     Fault::Stall(duration) => std::thread::sleep(duration),
                     // Exit with the chunk still checked out: the supervisor
                     // must notice the dead thread and recover the orphan.
-                    Fault::Die => return,
+                    // Injected death is cooperative, so the rows already
+                    // diffed into `out` can be booked as discarded (a real
+                    // crash can't do this; `rows_discarded` is a lower
+                    // bound there).
+                    Fault::Die => {
+                        if let Some(obs) = &shared.obs {
+                            obs.metrics.rows_discarded.add(out.len() as u64);
+                        }
+                        return;
+                    }
                     Fault::PoisonLock => {
                         let shared = Arc::clone(shared);
                         let _ = catch_unwind(AssertUnwindSafe(move || {
@@ -961,6 +1105,7 @@ fn worker_loop(shared: &Arc<Shared>, results: &Sender<ChunkDone>, worker: usize,
             }
 
             let (ra, rb) = job.row(i);
+            let row_start = shared.obs.as_ref().map(|_| Instant::now());
             let attempt = catch_unwind(AssertUnwindSafe(|| {
                 #[cfg(feature = "fault-injection")]
                 if injected_panic {
@@ -971,11 +1116,44 @@ fn worker_loop(shared: &Arc<Shared>, results: &Sender<ChunkDone>, worker: usize,
             match attempt {
                 // Kernel errors (e.g. a width mismatch) are per-row
                 // outcomes; the rest of the chunk proceeds.
-                Ok(result) => out.push(RowResult {
-                    ticket,
-                    kernel: result.as_ref().ok().map(|(_, _, choice)| *choice),
-                    result: result.map(|(row, stats, _)| (row, stats)),
-                }),
+                Ok(result) => {
+                    if let Some(obs) = &shared.obs {
+                        match &result {
+                            Ok((_, stats, choice)) => {
+                                let latency_ns =
+                                    row_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                                let runs = (stats.k1 + stats.k2) as u64;
+                                obs.metrics.rows_diffed.inc();
+                                match choice {
+                                    KernelChoice::FastPath => obs.metrics.rows_fast_path.inc(),
+                                    KernelChoice::Rle => obs.metrics.rows_rle_kernel.inc(),
+                                    KernelChoice::Packed => obs.metrics.rows_packed_kernel.inc(),
+                                    KernelChoice::Systolic => {
+                                        obs.metrics.rows_systolic_kernel.inc();
+                                    }
+                                }
+                                obs.metrics.row_latency_ns.record(latency_ns);
+                                obs.metrics.row_runs.record(runs);
+                                obs.record(TraceKind::Kernel {
+                                    ticket,
+                                    worker: worker as u32,
+                                    choice: *choice,
+                                    runs,
+                                    latency_ns,
+                                });
+                            }
+                            Err(_) => {
+                                obs.metrics.rows_kernel_errors.inc();
+                                obs.record(TraceKind::RowError { ticket });
+                            }
+                        }
+                    }
+                    out.push(RowResult {
+                        ticket,
+                        kernel: result.as_ref().ok().map(|(_, _, choice)| *choice),
+                        result: result.map(|(row, stats, _)| (row, stats)),
+                    });
+                }
                 Err(payload) => {
                     scratch.discard_poisoned();
                     crashed = Some((i, panic_message(payload)));
@@ -987,6 +1165,17 @@ fn worker_loop(shared: &Arc<Shared>, results: &Sender<ChunkDone>, worker: usize,
         match crashed {
             None => {
                 shared.lock_state().running.remove(&job.base);
+                if let Some(obs) = &shared.obs {
+                    let latency_ns = chunk_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    obs.metrics.chunks_completed.inc();
+                    obs.metrics.chunk_latency_ns.record(latency_ns);
+                    obs.record(TraceKind::ChunkDone {
+                        chunk: job.base,
+                        rows: out.len() as u32,
+                        worker: worker as u32,
+                        latency_ns,
+                    });
+                }
                 // The receiver disappearing mid-chunk means the pipeline is
                 // being dropped; the queue will hand us the shutdown flag
                 // next round.
@@ -996,6 +1185,11 @@ fn worker_loop(shared: &Arc<Shared>, results: &Sender<ChunkDone>, worker: usize,
                 });
             }
             Some((culprit, cause)) => {
+                // The partial results are all-or-nothing casualties: their
+                // rows were diffed (and counted) but will be diffed again.
+                if let Some(obs) = &shared.obs {
+                    obs.metrics.rows_discarded.add(out.len() as u64);
+                }
                 shared.return_spare(out);
                 shared.lock_state().running.remove(&job.base);
                 let mut job = job;
@@ -1004,6 +1198,12 @@ fn worker_loop(shared: &Arc<Shared>, results: &Sender<ChunkDone>, worker: usize,
                     // Only the culprit row fails; its siblings go back to
                     // the queue as sub-chunks that keep the attempt count.
                     let ticket = job.ticket_of(culprit);
+                    if let Some(obs) = &shared.obs {
+                        obs.record(TraceKind::RowFailed {
+                            ticket,
+                            attempts: job.attempts,
+                        });
+                    }
                     let _ = results.send(ChunkDone {
                         worker,
                         results: vec![RowResult {
@@ -1023,11 +1223,23 @@ fn worker_loop(shared: &Arc<Shared>, results: &Sender<ChunkDone>, worker: usize,
                     if culprit + 1 < job.hi {
                         state.queue.push_back(job.slice(culprit + 1, job.hi));
                     }
+                    shared.sync_queue_gauge(&state);
                     drop(state);
                     shared.work_ready.notify_all();
                 } else {
                     shared.retries.fetch_add(1, Ordering::Relaxed);
-                    shared.lock_state().queue.push_back(job);
+                    if let Some(obs) = &shared.obs {
+                        obs.metrics.retries.inc();
+                        obs.record(TraceKind::Retry {
+                            chunk: job.base,
+                            rows: job.len() as u32,
+                            attempt: job.attempts,
+                        });
+                    }
+                    let mut state = shared.lock_state();
+                    state.queue.push_back(job);
+                    shared.sync_queue_gauge(&state);
+                    drop(state);
                     shared.work_ready.notify_one();
                 }
             }
@@ -1240,6 +1452,7 @@ mod tests {
         assert!(config.row_deadline.is_none());
         assert_eq!(config.kernel, Kernel::Auto);
         assert_eq!(config.chunk_target, None);
+        assert_eq!(config.observe, None, "observability is opt-in");
         let config = DiffPipelineConfig::new(2)
             .retry_limit(5)
             .row_deadline(Duration::from_millis(250))
@@ -1254,6 +1467,46 @@ mod tests {
         assert_eq!(config.chunk_target, Some(64));
         let pipeline = config.build();
         assert_eq!(pipeline.workers(), 2);
+    }
+
+    #[test]
+    fn observed_pipeline_records_a_consistent_snapshot() {
+        let a = img("####....\n..##..##\n........\n#.#.#.#.\n");
+        let b = img("####....\n..##..#.\n...##...\n.#.#.#.#\n");
+        let unobserved = DiffPipeline::new(2);
+        assert!(unobserved.observer().is_none(), "off by default");
+
+        let mut pipeline = DiffPipelineConfig::new(2).observe().build();
+        let obs = pipeline.observer().expect("observer attached");
+        let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+        assert_eq!(got, xor_image(&a, &b).unwrap().0);
+
+        let snapshot = obs.metrics_snapshot();
+        assert_eq!(snapshot.batches, 1);
+        assert_eq!(snapshot.rows_submitted, 4);
+        assert_eq!(snapshot.rows_completed, 4);
+        assert_eq!(snapshot.rows_diffed, 4, "no faults: one diff per row");
+        assert_eq!(snapshot.kernel_rows(), 4);
+        assert_eq!(snapshot.rows_fast_path, stats.rows_fast_path as u64);
+        assert_eq!(snapshot.chunks_dispatched, stats.chunks as u64);
+        assert_eq!(snapshot.chunks_completed, stats.chunks as u64);
+        assert_eq!(snapshot.row_latency_ns.count, 4);
+        assert_eq!(snapshot.row_runs.count, 4);
+        assert_eq!((snapshot.queue_depth, snapshot.in_flight), (0, 0));
+        // Trace carries the full causal story: 4 submits, a checkout and a
+        // chunk-done per chunk, one kernel event per row.
+        let events = obs.trace_snapshot();
+        let count = |pred: fn(&TraceKind) -> bool| events.iter().filter(|e| pred(&e.kind)).count();
+        assert_eq!(count(|k| matches!(k, TraceKind::Submit { .. })), 4);
+        assert_eq!(count(|k| matches!(k, TraceKind::Kernel { .. })), 4);
+        assert_eq!(
+            count(|k| matches!(k, TraceKind::Checkout { .. })),
+            stats.chunks
+        );
+        assert_eq!(
+            count(|k| matches!(k, TraceKind::ChunkDone { .. })),
+            stats.chunks
+        );
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod engine;
 pub mod error;
 pub mod image;
 pub mod invariants;
+pub mod obs;
 pub mod states;
 pub mod stats;
 pub mod stripes;
@@ -74,4 +75,5 @@ pub use engine::fault::{Fault, FaultPlan};
 pub use engine::kernel::{Kernel, KernelChoice};
 pub use engine::pipeline::{DiffPipeline, DiffPipelineConfig, SupervisionCounters};
 pub use error::SystolicError;
+pub use obs::{MetricsSnapshot, ObsConfig, Observer, TraceEvent, TraceKind};
 pub use stats::{ArrayStats, PipelineStats};

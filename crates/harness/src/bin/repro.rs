@@ -95,7 +95,10 @@ fn main() {
                 } else {
                     fig5::Fig5Config::default()
                 };
-                let result = fig5::run(&config);
+                // The sweep runs through an observed DiffPipeline (stats are
+                // bit-identical to the bare array) so the iteration figure
+                // ships with a machine-readable metrics snapshot.
+                let (result, metrics) = fig5::run_observed(&config);
                 print!("{}", fig5::report(&result));
                 write_csv(&opts, "fig5.csv", &fig5::to_csv(&result));
                 let svg_path = opts.out.join("fig5.svg");
@@ -104,6 +107,16 @@ fn main() {
                 {
                     Ok(()) => println!("[svg] wrote {}", svg_path.display()),
                     Err(e) => eprintln!("[svg] failed to write {}: {e}", svg_path.display()),
+                }
+                for (file, body) in [
+                    ("fig5_metrics.prom", metrics.to_prometheus()),
+                    ("fig5_metrics.json", metrics.to_json()),
+                ] {
+                    let path = opts.out.join(file);
+                    match std::fs::write(&path, body) {
+                        Ok(()) => println!("[metrics] wrote {}", path.display()),
+                        Err(e) => eprintln!("[metrics] failed to write {}: {e}", path.display()),
+                    }
                 }
             }
             "table1" => {

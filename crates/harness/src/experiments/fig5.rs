@@ -17,7 +17,8 @@ use crate::table::TextTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rle::metrics::row_similarity;
-use rle::Pixel;
+use rle::{Pixel, RleRow};
+use systolic_core::{ArrayStats, DiffPipelineConfig, Kernel, MetricsSnapshot};
 use workload::{GenParams, RowGenerator};
 
 /// Sweep configuration.
@@ -71,9 +72,39 @@ pub struct Fig5Result {
     pub points: Vec<Fig5Point>,
 }
 
-/// Runs the sweep.
+/// Runs the sweep on the bare systolic array.
 #[must_use]
 pub fn run(config: &Fig5Config) -> Fig5Result {
+    sweep(config, &mut |a, b| {
+        systolic_core::systolic_xor(a, b).expect("systolic run").1
+    })
+}
+
+/// Runs the sweep through an *observed* [`systolic_core::DiffPipeline`]
+/// (forced systolic kernel, so the per-row statistics are bit-identical to
+/// [`run`]'s) and returns the figure data together with the pipeline's
+/// [`MetricsSnapshot`], so the iteration sweep emits machine-readable
+/// metrics alongside its CSV. The snapshot's `row_runs` histogram is the
+/// `k1 + k2` distribution of the whole sweep.
+#[must_use]
+pub fn run_observed(config: &Fig5Config) -> (Fig5Result, MetricsSnapshot) {
+    let mut pipeline = DiffPipelineConfig::new(2)
+        .kernel(Kernel::Systolic)
+        .observe()
+        .build();
+    let obs = pipeline.observer().expect("observer enabled above");
+    let result = sweep(config, &mut |a, b| {
+        pipeline.submit(a.clone(), b.clone());
+        let outcome = pipeline.collect().expect("one row in flight");
+        outcome.result.expect("systolic run").1
+    });
+    (result, obs.metrics_snapshot())
+}
+
+/// The shared sweep skeleton: generation, error injection and summary
+/// statistics are identical for every engine; `diff` supplies the per-row
+/// [`ArrayStats`].
+fn sweep(config: &Fig5Config, diff: &mut impl FnMut(&RleRow, &RleRow) -> ArrayStats) -> Fig5Result {
     let params = GenParams::for_density(config.width, config.density);
     let mut points = Vec::with_capacity(config.error_percents.len());
     for (pi, &percent) in config.error_percents.iter().enumerate() {
@@ -88,7 +119,7 @@ pub fn run(config: &Fig5Config) -> Fig5Result {
             let a = generator.next_row();
             let model = workload::ErrorModel::fraction(percent / 100.0);
             let b = workload::errors::apply_errors_rng(&a, &model, &mut rng);
-            let (_, stats) = systolic_core::systolic_xor(&a, &b).expect("systolic run");
+            let stats = diff(&a, &b);
             let sim = row_similarity(&a, &b);
             iterations.push(stats.iterations as f64);
             diff_runs.push(sim.run_count_difference as f64);
@@ -260,6 +291,29 @@ mod tests {
             r.points.last().unwrap().iterations.mean > r.points[0].iterations.mean * 2.0,
             "more errors must cost more iterations"
         );
+    }
+
+    #[test]
+    fn observed_sweep_matches_bare_array_and_reconciles_metrics() {
+        let config = small_config();
+        let bare = run(&config);
+        let (piped, metrics) = run_observed(&config);
+        for (a, b) in bare.points.iter().zip(&piped.points) {
+            assert_eq!(
+                a.iterations.mean, b.iterations.mean,
+                "same machine, same stats"
+            );
+            assert_eq!(a.xor_runs.mean, b.xor_runs.mean);
+            assert_eq!(a.realized_percent, b.realized_percent);
+        }
+        let rows = (config.error_percents.len() * config.trials) as u64;
+        assert_eq!(metrics.rows_completed, rows);
+        assert_eq!(metrics.rows_diffed, rows);
+        assert_eq!(metrics.row_runs.count, rows, "one k1+k2 sample per trial");
+        assert_eq!(metrics.row_runs.bucket_total(), rows);
+        assert!(metrics
+            .to_prometheus()
+            .contains("diffpipeline_rows_completed_total"));
     }
 
     #[test]

@@ -1,0 +1,672 @@
+//! Invariant audit of the observability layer: the metrics ledger and the
+//! structured trace are *verified against each other* and against the
+//! pipeline's own accounting, not just emitted.
+//!
+//! The identities exercised here (all on quiescent pipelines — drained,
+//! nothing in flight):
+//!
+//! * every histogram's bucket total equals its count;
+//! * `row_latency_ns.count == row_runs.count == rows_diffed`;
+//! * the four kernel counters partition `rows_diffed`;
+//! * `rows_diffed == rows_completed + rows_discarded` (the all-or-nothing
+//!   chunk-retry ledger closes exactly, even under injected faults);
+//! * `rows_completed + rows_errored == rows_submitted` after a full drain;
+//! * `chunk_latency_ns.count == chunks_completed`;
+//! * retry/respawn/timeout counters equal both the matching trace-event
+//!   counts and [`SupervisionCounters`];
+//! * per row, the trace is causally ordered:
+//!   `Submit < Checkout < Kernel < ChunkDone` by sequence number.
+//!
+//! Plus the PR's satellite audits: the paper's §5 Observation re-checked
+//! through the observed pipeline (per-row `iterations ≤ k3 + 1`), the
+//! `PipelineStats` kernel-accounting identity across kernels × threads ×
+//! uneven heights, and a deterministic multi-submitter stress drill.
+
+mod common;
+
+use common::canonical_pair;
+use proptest::prelude::*;
+use rle_systolic::rle::RleImage;
+use rle_systolic::systolic_core::image::xor_image;
+use rle_systolic::systolic_core::obs::ObsConfig;
+use rle_systolic::systolic_core::{
+    DiffPipelineConfig, Kernel, MetricsSnapshot, TraceEvent, TraceKind,
+};
+use rle_systolic::workload::{errors, ErrorModel, GenParams, RowGenerator};
+use std::sync::{Arc, Mutex};
+
+fn image_pair(width: u32, height: usize, seed: u64) -> (RleImage, RleImage) {
+    let params = GenParams::for_density(width, 0.3);
+    let a = RowGenerator::new(params, seed).next_image(height);
+    let b = errors::apply_errors_image(&a, &ErrorModel::fraction(0.05), seed ^ 0xBEEF);
+    (a, b)
+}
+
+/// The histogram/counter identities every quiescent snapshot must satisfy,
+/// regardless of workload or fault history.
+fn assert_ledger_closed(s: &MetricsSnapshot) {
+    for (name, h) in [
+        ("row_latency_ns", &s.row_latency_ns),
+        ("chunk_latency_ns", &s.chunk_latency_ns),
+        ("row_runs", &s.row_runs),
+    ] {
+        assert_eq!(
+            h.bucket_total(),
+            h.count,
+            "{name}: buckets must sum to count"
+        );
+    }
+    assert_eq!(
+        s.row_latency_ns.count, s.rows_diffed,
+        "one latency sample per successful diff"
+    );
+    assert_eq!(
+        s.row_runs.count, s.rows_diffed,
+        "one run-count sample per successful diff"
+    );
+    assert_eq!(
+        s.kernel_rows(),
+        s.rows_diffed,
+        "kernel counters must partition the diffed rows"
+    );
+    assert_eq!(
+        s.rows_diffed,
+        s.rows_completed + s.rows_discarded,
+        "every diffed row is either delivered or discarded by a chunk crash"
+    );
+    assert_eq!(
+        s.chunk_latency_ns.count, s.chunks_completed,
+        "one chunk latency sample per completed chunk"
+    );
+    assert_eq!(s.queue_depth, 0, "quiescent: empty queue");
+    assert_eq!(s.in_flight, 0, "quiescent: nothing in flight");
+}
+
+/// Counts trace events matching `pred`.
+fn count(events: &[TraceEvent], pred: impl Fn(&TraceKind) -> bool) -> u64 {
+    events.iter().filter(|e| pred(&e.kind)).count() as u64
+}
+
+#[test]
+fn clean_batches_reconcile_across_kernels() {
+    let (a, b) = image_pair(768, 24, 0x0B5E);
+    let expected = xor_image(&a, &b).unwrap().0;
+    for kernel in [Kernel::Auto, Kernel::Rle, Kernel::Packed, Kernel::Systolic] {
+        let mut pipeline = DiffPipelineConfig::new(3).kernel(kernel).observe().build();
+        let obs = pipeline.observer().expect("observer attached");
+        let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+        assert_eq!(got, expected, "{kernel:?}");
+
+        let s = obs.metrics_snapshot();
+        assert_ledger_closed(&s);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.rows_submitted, 24);
+        assert_eq!(s.rows_completed, 24);
+        assert_eq!(s.rows_errored, 0);
+        assert_eq!(s.rows_discarded, 0, "no faults, no discards");
+        assert_eq!(s.retries + s.respawns + s.timeouts, 0);
+        // The metrics agree with the pipeline's own per-batch accounting.
+        assert_eq!(s.rows_fast_path, stats.rows_fast_path as u64, "{kernel:?}");
+        assert_eq!(s.rows_rle_kernel, stats.rows_rle_kernel as u64);
+        assert_eq!(s.rows_packed_kernel, stats.rows_packed_kernel as u64);
+        assert_eq!(s.rows_systolic_kernel, stats.rows_systolic_kernel as u64);
+        assert_eq!(s.chunks_dispatched, stats.chunks as u64);
+        assert_eq!(s.chunks_completed, stats.chunks as u64);
+
+        // Exposition round-trips the same numbers.
+        let prom = s.to_prometheus();
+        assert!(
+            prom.contains("diffpipeline_rows_completed_total 24"),
+            "{prom}"
+        );
+        let json = s.to_json();
+        assert!(json.contains("\"rows_completed\": 24"), "{json}");
+    }
+}
+
+#[test]
+fn metrics_accumulate_across_batches_and_streaming() {
+    let (a, b) = image_pair(512, 10, 0xACC0);
+    let a_arc = Arc::new(a.clone());
+    let b_arc = Arc::new(b.clone());
+    let mut pipeline = DiffPipelineConfig::new(2).observe().build();
+    let obs = pipeline.observer().unwrap();
+
+    pipeline.diff_images(&a, &b).unwrap();
+    pipeline.diff_images_shared(&a_arc, &b_arc).unwrap();
+    for (ra, rb) in a.rows().iter().zip(b.rows()) {
+        pipeline.submit(ra.clone(), rb.clone());
+    }
+    let outcomes = pipeline.drain();
+    assert_eq!(outcomes.len(), 10);
+
+    let s = obs.metrics_snapshot();
+    assert_ledger_closed(&s);
+    assert_eq!(s.batches, 2, "streaming submits are not batches");
+    assert_eq!(s.rows_submitted, 30);
+    assert_eq!(s.rows_completed, 30);
+    // Each streaming submit is its own single-row chunk.
+    let events = obs.trace_snapshot();
+    assert_eq!(
+        count(&events, |k| matches!(k, TraceKind::Submit { .. })),
+        30
+    );
+    let drains: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceKind::Drain { collected } => Some(collected),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(drains, vec![10], "one drain, reporting its row count");
+}
+
+#[test]
+fn trace_is_causally_ordered_per_row() {
+    let (a, b) = image_pair(640, 16, 0xCA5A);
+    let mut pipeline = DiffPipelineConfig::new(4).observe().build();
+    let obs = pipeline.observer().unwrap();
+    pipeline.diff_images(&a, &b).unwrap();
+    let events = obs.trace_snapshot();
+
+    // Sequence numbers are unique and timestamps non-decreasing along them.
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "events sorted by seq");
+        assert!(pair[0].at_ns <= pair[1].at_ns, "clock is monotonic");
+    }
+
+    // Per ticket: Submit < covering Checkout < Kernel < covering ChunkDone.
+    // A clean run has exactly one of each per row/chunk.
+    for ticket in 0..16u64 {
+        let submit = events
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::Submit { ticket: t } if t == ticket))
+            .unwrap_or_else(|| panic!("row {ticket}: no submit event"));
+        let checkout = events
+            .iter()
+            .find(|e| {
+                matches!(e.kind, TraceKind::Checkout { chunk, rows, .. }
+                    if chunk <= ticket && ticket < chunk + u64::from(rows))
+            })
+            .unwrap_or_else(|| panic!("row {ticket}: no covering checkout"));
+        let kernel = events
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::Kernel { ticket: t, .. } if t == ticket))
+            .unwrap_or_else(|| panic!("row {ticket}: no kernel event"));
+        let done = events
+            .iter()
+            .find(|e| {
+                matches!(e.kind, TraceKind::ChunkDone { chunk, rows, .. }
+                    if chunk <= ticket && ticket < chunk + u64::from(rows))
+            })
+            .unwrap_or_else(|| panic!("row {ticket}: no covering chunk-done"));
+        assert!(
+            submit.seq < checkout.seq && checkout.seq < kernel.seq && kernel.seq < done.seq,
+            "row {ticket}: causal chain violated \
+             (submit {} checkout {} kernel {} done {})",
+            submit.seq,
+            checkout.seq,
+            kernel.seq,
+            done.seq
+        );
+        // The kernel event's worker matches its checkout's worker.
+        let (TraceKind::Checkout { worker: cw, .. }, TraceKind::Kernel { worker: kw, .. }) =
+            (checkout.kind, kernel.kind)
+        else {
+            unreachable!("matched above");
+        };
+        assert_eq!(cw, kw, "row {ticket}: kernel ran on the checked-out worker");
+    }
+}
+
+#[test]
+fn trace_ring_wraps_without_corrupting_accounting() {
+    let (a, b) = image_pair(512, 32, 0x0F10);
+    let mut pipeline = DiffPipelineConfig::new(2)
+        .observe_with(ObsConfig { trace_capacity: 16 })
+        .build();
+    let obs = pipeline.observer().unwrap();
+    pipeline.diff_images(&a, &b).unwrap();
+
+    let s = obs.metrics_snapshot();
+    assert_ledger_closed(&s);
+    let events = obs.trace_snapshot();
+    assert_eq!(events.len(), 16, "ring retains exactly its capacity");
+    assert_eq!(
+        s.trace_recorded,
+        s.trace_dropped + events.len() as u64,
+        "recorded = retained + overwritten"
+    );
+    assert!(s.trace_dropped > 0, "32 rows must overflow 16 slots");
+    // The retained window is the most recent events, still in order.
+    for pair in events.windows(2) {
+        assert_eq!(
+            pair[1].seq,
+            pair[0].seq + 1,
+            "retained window is contiguous"
+        );
+    }
+    assert_eq!(events.last().unwrap().seq, s.trace_recorded - 1);
+}
+
+#[test]
+fn row_errors_are_ledgered_not_lost() {
+    let mut pipeline = DiffPipelineConfig::new(2).observe().build();
+    let obs = pipeline.observer().unwrap();
+    let good = rle_systolic::rle::RleRow::from_pairs(64, &[(0, 9)]).unwrap();
+    let bad = rle_systolic::rle::RleRow::new(32); // width mismatch
+    pipeline.submit(good.clone(), bad);
+    pipeline.submit(good.clone(), good.clone());
+    let outcomes = pipeline.drain();
+    assert_eq!(outcomes.len(), 2);
+    assert_eq!(outcomes.iter().filter(|o| o.result.is_err()).count(), 1);
+
+    let s = obs.metrics_snapshot();
+    assert_ledger_closed(&s);
+    assert_eq!(s.rows_submitted, 2);
+    assert_eq!(s.rows_completed, 1);
+    assert_eq!(s.rows_errored, 1);
+    assert_eq!(s.rows_kernel_errors, 1);
+    assert_eq!(s.rows_diffed, 1, "the bad row never produced a diff");
+    let events = obs.trace_snapshot();
+    assert_eq!(
+        count(&events, |k| matches!(k, TraceKind::RowError { .. })),
+        1
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: the §5 Observation through the observed pipeline.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The paper's Observation, replayed through the *pipeline* rather
+    /// than the bare array: canonical (fully-compressed) random rows on
+    /// the systolic kernel halt within `k3 + 1` iterations, where `k3` is
+    /// the raw output run count carried by each [`RowOutcome`]'s stats.
+    /// (The bare-array version with 512 cases lives in
+    /// `correctness_props.rs`; EXPERIMENTS.md §E9 records the measured
+    /// rates.)
+    #[test]
+    fn observation_k3_plus_one_via_pipeline((a, b) in canonical_pair(800, 48)) {
+        let mut pipeline = DiffPipelineConfig::new(1)
+            .kernel(Kernel::Systolic)
+            .build();
+        pipeline.submit(a.clone(), b.clone());
+        let outcome = pipeline.collect().expect("one row in flight");
+        let (_, stats) = outcome.result.expect("systolic kernel succeeds");
+        prop_assert!(
+            stats.iterations <= stats.output_runs as u64 + 1,
+            "counterexample to the Observation: {} iterations, k3 = {} (a = {:?}, b = {:?})",
+            stats.iterations, stats.output_runs, a, b
+        );
+    }
+}
+
+/// Deterministic tally behind the EXPERIMENTS.md §E9 numbers: 1 000
+/// seeded canonical pairs from the §5 generator, zero violations
+/// tolerated. Prints the pass/fail tally so a `--nocapture` run shows the
+/// measured rate being recorded.
+#[test]
+fn observation_tally_on_generated_workloads() {
+    let params = GenParams::for_density(2_000, 0.25);
+    let mut violations = 0u64;
+    let mut at_bound = 0u64;
+    let total = 1_000u64;
+    let mut pipeline = DiffPipelineConfig::new(2).kernel(Kernel::Systolic).build();
+    for seed in 0..total {
+        let mut gen = RowGenerator::new(params, 0x0B5E + seed);
+        let a = gen.next_image(1);
+        let b = errors::apply_errors_image(&a, &ErrorModel::fraction(0.08), seed);
+        pipeline.submit(a.rows()[0].clone(), b.rows()[0].clone());
+        let outcome = pipeline.collect().expect("one row in flight");
+        let (_, stats) = outcome.result.expect("systolic kernel succeeds");
+        let bound = stats.output_runs as u64 + 1;
+        if stats.iterations > bound {
+            violations += 1;
+        } else if stats.iterations == bound {
+            at_bound += 1;
+        }
+    }
+    println!(
+        "observation tally: {total} pairs, {violations} violations, \
+         {at_bound} exactly at the k3+1 bound"
+    );
+    assert_eq!(violations, 0, "counterexample to the paper's Observation");
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: PipelineStats kernel accounting across kernels × threads ×
+// uneven heights.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `rows_fast_path + rows_rle_kernel + rows_packed_kernel +
+    /// rows_systolic_kernel == rows` for every batch, and the observed
+    /// metrics agree with the per-batch stats.
+    #[test]
+    fn pipeline_stats_kernel_counters_partition_rows(
+        kernel_ix in 0usize..4,
+        threads in 1usize..=4,
+        height in 1usize..=13,
+        seed in 0u64..1024,
+    ) {
+        let kernel = [Kernel::Auto, Kernel::Rle, Kernel::Packed, Kernel::Systolic][kernel_ix];
+        let (a, b) = image_pair(320, height, seed);
+        let mut pipeline = DiffPipelineConfig::new(threads)
+            .kernel(kernel)
+            .observe()
+            .build();
+        let obs = pipeline.observer().unwrap();
+        let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+        prop_assert_eq!(&got, &xor_image(&a, &b).unwrap().0);
+        prop_assert_eq!(stats.rows, height);
+        prop_assert_eq!(
+            stats.rows_fast_path
+                + stats.rows_rle_kernel
+                + stats.rows_packed_kernel
+                + stats.rows_systolic_kernel,
+            stats.rows,
+            "kernel counters must partition the batch ({:?}, {} threads)",
+            kernel,
+            threads
+        );
+        let s = obs.metrics_snapshot();
+        assert_ledger_closed(&s);
+        prop_assert_eq!(s.rows_completed, height as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: deterministic multi-submitter stress drill.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shared_pipeline_stress_from_four_submitters() {
+    let pipeline = Arc::new(Mutex::new(DiffPipelineConfig::new(3).observe().build()));
+    let obs = pipeline.lock().unwrap().observer().unwrap();
+    let mut expected_rows = 0u64;
+
+    std::thread::scope(|scope| {
+        for submitter in 0u64..4 {
+            let pipeline = Arc::clone(&pipeline);
+            scope.spawn(move || {
+                for round in 0u64..3 {
+                    let seed = 0x57E5 + submitter * 100 + round;
+                    let (a, b) = image_pair(384, 6, seed);
+                    let expected = xor_image(&a, &b).unwrap().0;
+                    let mut p = pipeline.lock().unwrap();
+                    match (submitter + round) % 3 {
+                        0 => {
+                            let (got, stats) = p.diff_images(&a, &b).unwrap();
+                            assert_eq!(got, expected, "submitter {submitter} round {round}");
+                            assert_eq!(stats.rows, 6);
+                        }
+                        1 => {
+                            let (aa, bb) = (Arc::new(a), Arc::new(b));
+                            let (got, _) = p.diff_images_shared(&aa, &bb).unwrap();
+                            assert_eq!(got, expected, "submitter {submitter} round {round}");
+                        }
+                        _ => {
+                            let tickets: Vec<_> = a
+                                .rows()
+                                .iter()
+                                .zip(b.rows())
+                                .map(|(ra, rb)| p.submit(ra.clone(), rb.clone()))
+                                .collect();
+                            let mut got = vec![None; tickets.len()];
+                            while let Some(outcome) = p.collect() {
+                                let slot = tickets
+                                    .iter()
+                                    .position(|t| *t == outcome.ticket)
+                                    .expect("own ticket");
+                                got[slot] = Some(outcome.result.unwrap().0);
+                            }
+                            for (slot, row) in got.into_iter().enumerate() {
+                                assert_eq!(
+                                    row.unwrap(),
+                                    expected.rows()[slot],
+                                    "submitter {submitter} round {round} row {slot}"
+                                );
+                            }
+                        }
+                    }
+                }
+            });
+            expected_rows += 3 * 6;
+        }
+    });
+
+    // Clean drain: nothing leaked, the ledger closes over all 12 calls.
+    let mut p = pipeline.lock().unwrap();
+    assert_eq!(p.in_flight(), 0, "no leaked checkouts");
+    assert!(p.drain().is_empty());
+    let s = obs.metrics_snapshot();
+    assert_ledger_closed(&s);
+    assert_eq!(s.rows_submitted, expected_rows);
+    assert_eq!(s.rows_completed, expected_rows);
+    assert_eq!(s.rows_errored, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injected audits: trace and metrics reconcile with
+// SupervisionCounters under panics, deaths and stalls.
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "fault-injection")]
+mod faults {
+    use super::*;
+    use rle_systolic::systolic_core::FaultPlan;
+    use std::time::Duration;
+
+    /// Silence the default panic hook for injected panics (same helper as
+    /// `pipeline_faults.rs`; real panics keep full reporting).
+    fn quiet_injected_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let default_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.contains("injected fault"))
+                    || info
+                        .payload()
+                        .downcast_ref::<String>()
+                        .is_some_and(|s| s.contains("injected fault"));
+                if !injected {
+                    default_hook(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn panicked_chunk_ledger_closes_and_retry_is_traced() {
+        quiet_injected_panics();
+        let (a, b) = image_pair(512, 16, 0xFA11);
+        let mut pipeline = DiffPipelineConfig::new(3)
+            .fault_plan(FaultPlan::new().panic_on_row(5))
+            .observe()
+            .build();
+        let obs = pipeline.observer().unwrap();
+        let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+        assert_eq!(got, xor_image(&a, &b).unwrap().0);
+        assert_eq!(stats.retries, 1);
+
+        let s = obs.metrics_snapshot();
+        assert_ledger_closed(&s);
+        let counters = pipeline.supervision_counters();
+        assert_eq!(s.retries, counters.retries);
+        assert_eq!(s.respawns, counters.respawns);
+        assert_eq!(s.timeouts, counters.timeouts);
+        // The crashed chunk's partial work is visible: rows diffed before
+        // the panic were discarded and re-diffed.
+        assert_eq!(s.rows_completed, 16);
+        assert_eq!(s.rows_diffed, 16 + s.rows_discarded);
+        let events = obs.trace_snapshot();
+        assert_eq!(
+            count(&events, |k| matches!(k, TraceKind::Retry { .. })),
+            counters.retries,
+            "every supervision retry appears in the trace"
+        );
+        // The retried chunk was checked out once more than the clean ones.
+        assert_eq!(
+            count(&events, |k| matches!(k, TraceKind::Checkout { .. })),
+            s.chunks_completed + counters.retries
+        );
+    }
+
+    #[test]
+    fn dead_worker_ledger_closes_and_respawn_is_traced() {
+        quiet_injected_panics();
+        let (a, b) = image_pair(512, 12, 0xDEAD);
+        let mut pipeline = DiffPipelineConfig::new(2)
+            .fault_plan(FaultPlan::new().die_on_row(3))
+            .observe()
+            .build();
+        let obs = pipeline.observer().unwrap();
+        let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+        assert_eq!(got, xor_image(&a, &b).unwrap().0);
+        assert_eq!(stats.respawns, 1);
+
+        let s = obs.metrics_snapshot();
+        assert_ledger_closed(&s);
+        let counters = pipeline.supervision_counters();
+        assert_eq!(
+            (s.retries, s.respawns),
+            (counters.retries, counters.respawns)
+        );
+        let events = obs.trace_snapshot();
+        assert_eq!(
+            count(&events, |k| matches!(k, TraceKind::Respawn { .. })),
+            counters.respawns
+        );
+        assert_eq!(
+            count(&events, |k| matches!(k, TraceKind::Retry { .. })),
+            counters.retries
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_trace_the_failed_row() {
+        quiet_injected_panics();
+        let (a, b) = image_pair(512, 8, 0xFA12);
+        let mut pipeline = DiffPipelineConfig::new(2)
+            .retry_limit(1)
+            .fault_plan(FaultPlan::new().panic_on_row_times(4, 10))
+            .observe()
+            .build();
+        let obs = pipeline.observer().unwrap();
+        let err = pipeline.diff_images(&a, &b).unwrap_err();
+        assert!(matches!(
+            err,
+            rle_systolic::systolic_core::SystolicError::RowFailed { row: 4, .. }
+        ));
+        assert_eq!(pipeline.in_flight(), 0, "failed batch fully drained");
+
+        let s = obs.metrics_snapshot();
+        assert_ledger_closed(&s);
+        assert_eq!(s.rows_errored, 1, "exactly the culprit row errored");
+        assert_eq!(s.rows_completed + s.rows_errored, s.rows_submitted);
+        let events = obs.trace_snapshot();
+        let failed: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::RowFailed { ticket, attempts } => {
+                    assert_eq!(ticket, 4);
+                    Some(attempts)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(failed, vec![2], "initial attempt + one retry");
+        assert_eq!(
+            count(&events, |k| matches!(k, TraceKind::Retry { .. })),
+            pipeline.supervision_counters().retries
+        );
+    }
+
+    #[test]
+    fn stall_timeout_is_counted_and_traced_consistently() {
+        quiet_injected_panics();
+        let (a, b) = image_pair(512, 1, 0x57A1);
+        let mut pipeline = DiffPipelineConfig::new(1)
+            .fault_plan(FaultPlan::new().stall_on_row(0, Duration::from_millis(300)))
+            .observe()
+            .build();
+        let obs = pipeline.observer().unwrap();
+        pipeline.submit(a.rows()[0].clone(), b.rows()[0].clone());
+        let err = pipeline
+            .collect_timeout(Duration::from_millis(40))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            rle_systolic::systolic_core::SystolicError::DeadlineExceeded { .. }
+        ));
+        // The stalled row eventually lands; the pipeline goes quiescent.
+        let outcome = pipeline.collect().expect("row still in flight");
+        assert!(outcome.result.is_ok());
+
+        let s = obs.metrics_snapshot();
+        assert_ledger_closed(&s);
+        let counters = pipeline.supervision_counters();
+        assert_eq!(counters.timeouts, 1);
+        assert_eq!(s.timeouts, counters.timeouts);
+        let events = obs.trace_snapshot();
+        let timeouts: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::Timeout { in_flight } => Some(in_flight),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(timeouts, vec![1], "one timeout with one row in flight");
+    }
+
+    #[test]
+    fn combined_fault_storm_keeps_every_identity() {
+        quiet_injected_panics();
+        let (a, b) = image_pair(640, 24, 0x5702);
+        let plan = FaultPlan::new()
+            .panic_on_row(2)
+            .die_on_row(9)
+            .poison_on_row(14)
+            .panic_on_row(21);
+        let mut pipeline = DiffPipelineConfig::new(4)
+            .kernel(Kernel::Systolic)
+            .fault_plan(plan)
+            .observe()
+            .build();
+        let obs = pipeline.observer().unwrap();
+        let (got, _) = pipeline.diff_images(&a, &b).unwrap();
+        assert_eq!(got, xor_image(&a, &b).unwrap().0);
+
+        let s = obs.metrics_snapshot();
+        assert_ledger_closed(&s);
+        let counters = pipeline.supervision_counters();
+        assert_eq!(s.retries, counters.retries);
+        assert_eq!(s.respawns, counters.respawns);
+        assert_eq!(s.rows_completed, 24);
+        assert_eq!(
+            s.rows_diffed,
+            24 + s.rows_discarded,
+            "all-or-nothing chunk retries close the diff ledger exactly"
+        );
+        let events = obs.trace_snapshot();
+        assert_eq!(
+            count(&events, |k| matches!(k, TraceKind::Retry { .. })),
+            counters.retries
+        );
+        assert_eq!(
+            count(&events, |k| matches!(k, TraceKind::Respawn { .. })),
+            counters.respawns
+        );
+        // Only the systolic kernel ran.
+        assert_eq!(s.rows_systolic_kernel, s.rows_diffed);
+    }
+}
