@@ -147,6 +147,25 @@ impl BitRow {
         }
     }
 
+    /// Toggles every pixel in the inclusive range `[start, end]`. Two
+    /// toggles of the same range cancel, so XOR-accumulating disjoint run
+    /// sets into a zeroed row is equivalent to setting them; the run-
+    /// cancellation diff kernel relies on exactly that.
+    pub fn toggle_range(&mut self, start: u32, end: u32) {
+        debug_assert!(start <= end && end < self.width);
+        let (ws, we) = ((start / WORD_BITS) as usize, (end / WORD_BITS) as usize);
+        for w in ws..=we {
+            let lo = if w == ws { start % WORD_BITS } else { 0 };
+            let hi = if w == we {
+                end % WORD_BITS
+            } else {
+                WORD_BITS - 1
+            };
+            let mask = (u64::MAX >> (WORD_BITS - 1 - hi)) & (u64::MAX << lo);
+            self.words[w] ^= mask;
+        }
+    }
+
     /// Number of foreground pixels.
     #[must_use]
     pub fn count_ones(&self) -> u64 {
@@ -193,6 +212,24 @@ mod tests {
         assert_eq!(r.words().len(), 2);
         assert!(r.is_empty());
         assert_eq!(r.count_ones(), 0);
+    }
+
+    #[test]
+    fn toggle_range_flips_and_cancels() {
+        let mut r = BitRow::new(130);
+        r.toggle_range(3, 70);
+        let mut expected = BitRow::new(130);
+        expected.set_range(3, 70, true);
+        assert_eq!(r.words(), expected.words());
+        // An overlapping toggle flips the intersection back off.
+        r.toggle_range(60, 129);
+        for p in 0..130u32 {
+            let want = (3..=59).contains(&p) || (71..=129).contains(&p);
+            assert_eq!(r.get(p), want, "pixel {p}");
+        }
+        // Toggling the same range again restores the previous state.
+        r.toggle_range(60, 129);
+        assert_eq!(r.words(), expected.words());
     }
 
     #[test]

@@ -86,6 +86,10 @@ pub enum Command {
         /// the batch); wired to
         /// [`systolic_core::DiffPipelineConfig::chunk_target`].
         chunk_target: Option<usize>,
+        /// SIMD level for the packed kernel (`None` = env / auto-detect,
+        /// clamped to the hardware); wired to
+        /// [`systolic_core::DiffPipelineConfig::simd`].
+        simd: Option<systolic_core::SimdLevel>,
         /// Write a metrics snapshot here after the batch (`.json` gets the
         /// JSON exposition, anything else Prometheus text). Enables
         /// observation.
@@ -179,6 +183,7 @@ usage:
   rlediff diff <a> <b> [-o OUT] [--algo systolic|sequential|mesh|dense] [--clean N]
   rlediff diff-image <a> <b> [-o OUT] [--threads N] [--clean N] [--timeout-ms N]
                      [--kernel auto|rle|packed|systolic] [--chunk-target N]
+                     [--simd auto|scalar|sse2|avx2]
                      [--metrics-out PATH] [--trace-out PATH]
   rlediff encode <in.pbm> -o <out.rle>
   rlediff decode <in.rle> -o <out.pbm>
@@ -201,6 +206,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut timeout_ms: Option<u64> = None;
     let mut kernel = systolic_core::Kernel::Auto;
     let mut chunk_target: Option<usize> = None;
+    let mut simd: Option<systolic_core::SimdLevel> = None;
     let mut metrics_out: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut text = String::from("RLE SYSTOLIC 1999");
@@ -268,6 +274,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .map_err(|_| CliError::Usage("--chunk-target needs a number".into()))?,
                 );
             }
+            "--simd" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--simd needs a value".into()))?;
+                simd = systolic_core::SimdLevel::parse_override(v).map_err(CliError::Usage)?;
+            }
             "--metrics-out" => {
                 let v = it
                     .next()
@@ -316,6 +328,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             timeout_ms,
             kernel,
             chunk_target,
+            simd,
             metrics_out,
             trace_out,
         }),
@@ -514,6 +527,7 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             timeout_ms,
             kernel,
             chunk_target,
+            simd,
             metrics_out,
             trace_out,
         } => {
@@ -530,6 +544,9 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             }
             if let Some(target) = chunk_target {
                 config = config.chunk_target(*target);
+            }
+            if let Some(level) = simd {
+                config = config.simd(*level);
             }
             if metrics_out.is_some() || trace_out.is_some() {
                 config = config.observe();
@@ -928,6 +945,7 @@ mod tests {
                 timeout_ms: None,
                 kernel: systolic_core::Kernel::Auto,
                 chunk_target: None,
+                simd: None,
                 metrics_out: None,
                 trace_out: None,
             }
@@ -957,6 +975,7 @@ mod tests {
                 timeout_ms: None,
                 kernel: systolic_core::Kernel::Auto,
                 chunk_target: None,
+                simd: None,
                 metrics_out: Some("m.prom".into()),
                 trace_out: Some("t.jsonl".into()),
             }
@@ -994,6 +1013,7 @@ mod tests {
                 timeout_ms: None,
                 kernel: systolic_core::Kernel::Packed,
                 chunk_target: Some(256),
+                simd: None,
                 metrics_out: None,
                 trace_out: None,
             }
@@ -1012,6 +1032,28 @@ mod tests {
         ));
         assert!(matches!(
             parse_args(&args(&["diff-image", "a", "b", "--kernel"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parse_diff_image_simd_level() {
+        for (value, expected) in [
+            ("auto", None),
+            ("scalar", Some(systolic_core::SimdLevel::Scalar)),
+            ("sse2", Some(systolic_core::SimdLevel::Sse2)),
+            ("avx2", Some(systolic_core::SimdLevel::Avx2)),
+        ] {
+            let cmd = parse_args(&args(&["diff-image", "a", "b", "--simd", value])).unwrap();
+            let Command::DiffImage { simd, .. } = cmd else {
+                panic!("expected diff-image, got {cmd:?}");
+            };
+            assert_eq!(simd, expected, "{value}");
+        }
+        let err = parse_args(&args(&["diff-image", "a", "b", "--simd", "avx512"]));
+        assert!(matches!(err, Err(CliError::Usage(m)) if m.contains("avx512")));
+        assert!(matches!(
+            parse_args(&args(&["diff-image", "a", "b", "--simd"])),
             Err(CliError::Usage(_))
         ));
     }
@@ -1037,6 +1079,7 @@ mod tests {
                 timeout_ms: Some(1500),
                 kernel: systolic_core::Kernel::Auto,
                 chunk_target: None,
+                simd: None,
                 metrics_out: None,
                 trace_out: None,
             }
@@ -1068,6 +1111,7 @@ mod tests {
             timeout_ms: Some(60_000),
             kernel: systolic_core::Kernel::Auto,
             chunk_target: None,
+            simd: None,
             metrics_out: None,
             trace_out: None,
         })
@@ -1123,6 +1167,7 @@ mod tests {
             timeout_ms: None,
             kernel: systolic_core::Kernel::Auto,
             chunk_target: None,
+            simd: None,
             metrics_out: None,
             trace_out: None,
         })
@@ -1154,6 +1199,7 @@ mod tests {
             timeout_ms: None,
             kernel: systolic_core::Kernel::Auto,
             chunk_target: None,
+            simd: None,
             metrics_out: None,
             trace_out: None,
         })

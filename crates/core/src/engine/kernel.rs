@@ -10,8 +10,13 @@
 //!
 //! * **RLE merge** ([`rle::ops::xor_into`]): `Θ(k1 + k2)` merge iterations,
 //!   allocation-free against a per-worker output buffer;
-//! * **packed words**: decode both rows into reusable [`BitRow`] scratch,
-//!   XOR word-wise, re-encode (`Θ(width/64 + k_out)`);
+//! * **packed run-cancellation**: XOR is symmetric difference, so runs that
+//!   appear identically in both rows annihilate without touching pixel
+//!   data. A SIMD common-prefix scan ([`crate::engine::simd`]) cancels the
+//!   long identical stretches that dominate real scan pairs; only the
+//!   leftover runs are toggled into one reusable [`BitRow`] scratch, which
+//!   is then re-encoded (`Θ(width/64 + k_cancelled/V + k_leftover)` for
+//!   vector width `V`);
 //! * **systolic simulation** ([`SystolicArray`]): the paper's cycle-accurate
 //!   machine, kept for stats-exact experiments (cost ~ iterations × cells);
 //!
@@ -21,6 +26,7 @@
 //! without running any kernel at all.
 
 use crate::array::SystolicArray;
+use crate::engine::simd::{common_prefix_runs, SimdLevel};
 use crate::error::SystolicError;
 use crate::stats::ArrayStats;
 use bitimg::bitrow::words_for;
@@ -79,25 +85,30 @@ pub enum KernelChoice {
 /// `k1 + k2 > PACKED_RUNS_PER_WORD * ceil(width / 64)`.
 ///
 /// Calibration (see DESIGN.md "Hot path & kernel selection"): the merge
-/// costs ~`k1 + k2` branchy iterations, the packed kernel ~`width/64` word
-/// XORs plus decode/encode passes that also scan `width/64` words and touch
-/// each input/output run once. Measured on 16 384-px rows, the packed
-/// kernel's fixed cost equals the merge at roughly two runs per word;
-/// beyond that the merge loses linearly. The factor also guarantees that an
-/// auto-chosen packed kernel reports `iterations < (k1 + k2) / 2`, keeping
-/// every auto row within the paper's Theorem-1 budget of `k1 + k2`.
+/// costs ~`k1 + k2` branchy iterations; the run-cancellation packed kernel
+/// costs `Θ(width/64 + k_cancelled/V + k_leftover)`, where the cancelled
+/// fraction is unknowable from `k1 + k2` alone. Re-measured on 16 384-px
+/// rows with the SIMD cancellation kernel: on realistic pairs (similar
+/// scans, ~1 % row errors — the paper's workload) packed wins from roughly
+/// one run per word upward and by 3–4× in dense territory; on adversarial
+/// pairs where nothing cancels, the merge wins at every density. At two
+/// runs per word those risks are symmetric (~2× either way), so the factor
+/// stays the balanced middle. It also guarantees that an auto-chosen
+/// packed kernel reports `iterations < (k1 + k2) / 2`, keeping every auto
+/// row within the paper's Theorem-1 budget of `k1 + k2`.
 pub const PACKED_RUNS_PER_WORD: usize = 2;
 
-/// Per-worker reusable buffers: two dense scratch rows for the packed
-/// kernel, one output row shared by all kernels, and the lazily-built
-/// systolic array. In steady state a worker's row diffs allocate only the
-/// compact clone of each result row.
+/// Per-worker reusable buffers: one dense scratch row for the packed
+/// kernel, one output row shared by all kernels, the lazily-built systolic
+/// array, and the SIMD dispatch level the packed kernel's prefix scan runs
+/// at. In steady state a worker's row diffs allocate only the compact
+/// clone of each result row.
 #[derive(Debug)]
 pub struct KernelScratch {
-    dense_a: BitRow,
-    dense_b: BitRow,
+    dense: BitRow,
     out: RleRow,
     array: Option<SystolicArray>,
+    simd: SimdLevel,
 }
 
 impl Default for KernelScratch {
@@ -107,15 +118,30 @@ impl Default for KernelScratch {
 }
 
 impl KernelScratch {
-    /// Empty scratch; buffers grow on first use and are then reused.
+    /// Empty scratch; buffers grow on first use and are then reused. The
+    /// SIMD level comes from [`SimdLevel::default_level`] (runtime
+    /// detection, overridable via `SYSTOLIC_SIMD`).
     #[must_use]
     pub fn new() -> Self {
+        Self::with_simd(SimdLevel::default_level())
+    }
+
+    /// Empty scratch pinned to an explicit SIMD level (clamped to what the
+    /// CPU supports, so a forced level is always executable).
+    #[must_use]
+    pub fn with_simd(level: SimdLevel) -> Self {
         Self {
-            dense_a: BitRow::new(0),
-            dense_b: BitRow::new(0),
+            dense: BitRow::new(0),
             out: RleRow::new(0),
             array: None,
+            simd: SimdLevel::resolve(Some(level)),
         }
+    }
+
+    /// The SIMD level the packed kernel's prefix scan dispatches at.
+    #[must_use]
+    pub fn simd(&self) -> SimdLevel {
+        self.simd
     }
 
     /// Discards state that may be mid-mutation after a caught panic. The
@@ -200,17 +226,59 @@ fn rle_kernel(
     (scratch.out.clone(), stats, KernelChoice::Rle)
 }
 
+/// The packed kernel: run-cancellation with a SIMD prefix scan.
+///
+/// XOR is symmetric difference, so a run that appears byte-identically in
+/// both rows contributes nothing — it would be toggled twice. The scan
+/// walks both sorted run lists, cancelling common prefixes at vector
+/// width ([`common_prefix_runs`]); each leftover run is toggled into the
+/// zeroed dense scratch with [`BitRow::toggle_range`]. Toggling is exact
+/// because each side's runs are disjoint within that side (the `RleRow`
+/// invariant), so a pixel is flipped once per side that covers it —
+/// twice (back to 0) exactly where both rows agree. The scratch is then
+/// re-encoded into canonical runs.
+///
+/// On near-identical dense rows (the continuous-inspection workload) this
+/// replaces two full decodes — millions of branchy `set_range` calls per
+/// image — with a memcmp-speed scan plus a handful of toggles around the
+/// actual defects.
 fn packed_kernel(
     scratch: &mut KernelScratch,
     a: &RleRow,
     b: &RleRow,
 ) -> (RleRow, ArrayStats, KernelChoice) {
-    convert::decode_row_into(a, &mut scratch.dense_a);
-    convert::decode_row_into(b, &mut scratch.dense_b);
-    bitimg::ops::xor_row_assign(&mut scratch.dense_a, &scratch.dense_b);
-    convert::encode_row_into(&scratch.dense_a, &mut scratch.out);
-    // One "iteration" per word XORed: the dense kernel's inner-loop count,
-    // directly comparable against the merge's k1 + k2.
+    scratch.dense.reset(a.width());
+    let (ar, br) = (a.runs(), b.runs());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ar.len() || j < br.len() {
+        let p = common_prefix_runs(scratch.simd, &ar[i..], &br[j..]);
+        i += p;
+        j += p;
+        // After cancellation either one list is exhausted or the heads
+        // differ; toggle the earlier-starting head and rescan (error sites
+        // desynchronise the lists only locally — absolute positions mean
+        // the tails match again, which the next prefix scan exploits).
+        let take_a = match (ar.get(i), br.get(j)) {
+            (Some(ra), Some(rb)) => ra.start() <= rb.start(),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let run = if take_a {
+            let r = ar[i];
+            i += 1;
+            r
+        } else {
+            let r = br[j];
+            j += 1;
+            r
+        };
+        scratch.dense.toggle_range(run.start(), run.end());
+    }
+    convert::encode_row_into(&scratch.dense, &mut scratch.out);
+    // One "iteration" per word of the dense scratch: the packed kernel's
+    // fixed re-encode cost, directly comparable against the merge's
+    // k1 + k2 (and, via the Auto crossover, always below it).
     let stats = host_stats(a, b, words_for(a.width()) as u64, scratch.out.run_count());
     (scratch.out.clone(), stats, KernelChoice::Packed)
 }

@@ -26,6 +26,7 @@ pub mod fault;
 pub mod kernel;
 pub mod parallel;
 pub mod pipeline;
+pub mod simd;
 
 use crate::array::SystolicArray;
 use crate::error::SystolicError;

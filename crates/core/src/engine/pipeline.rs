@@ -10,7 +10,7 @@
 //! board regions.
 //!
 //! [`DiffPipeline`] spawns its workers **once** and reuses them across
-//! calls. Three layers keep the hot path lean:
+//! calls. Four layers keep the hot path lean:
 //!
 //! * **Zero-copy submission.** Batch jobs reference the input images
 //!   through `Arc`s ([`DiffPipeline::diff_images_shared`] shares the
@@ -18,17 +18,31 @@
 //!   row once into per-chunk storage, instead of the old twice-per-submit
 //!   plus twice-per-checkout). Checking a job out for supervision clones an
 //!   `Arc`, never row data.
-//! * **Batched, cost-aware scheduling.** The scheduler splits the image
-//!   into contiguous row chunks weighted by per-row run counts (target
+//! * **Sharded scheduling.** Every worker owns a *shard*: its own input
+//!   deque, its own checkout slot, and its own output buffer, each behind
+//!   its own short-lived lock. The batch front-end deals chunks round-robin
+//!   across the shards; a worker pops from the front of its own deque and,
+//!   only when that is empty, steals from the *back* of a sibling's — so
+//!   the common case touches one uncontended lock and the image tail still
+//!   load-balances ([`PipelineStats::chunks_stolen`] counts the steals).
+//!   The old design funnelled every pop, checkout and result through one
+//!   global mutex plus an mpsc channel, which stopped scaling past a few
+//!   threads; nothing here is shared between workers on the hot path
+//!   except two counters.
+//! * **Batched, cost-aware chunking.** The scheduler splits the image into
+//!   contiguous row chunks weighted by per-row run counts (target
 //!   `~total_runs / (threads * 4)` runs per chunk, overridable via
-//!   [`DiffPipelineConfig::chunk_target`]), so channel traffic and
-//!   checkout-map churn are amortised over many rows while the tail still
-//!   load-balances. Chunk result vectors are recycled through a pool.
+//!   [`DiffPipelineConfig::chunk_target`]). Derived plans are additionally
+//!   split until every worker has at least one chunk, so a skewed image
+//!   can never idle most of the pool. Chunk result vectors are recycled
+//!   through a pool.
 //! * **Adaptive kernels.** Each worker diffs rows through
 //!   [`crate::engine::kernel::diff_row`] on per-worker reusable scratch
 //!   ([`KernelScratch`]): trivial rows short-circuit, sparse rows take the
-//!   `Θ(k1 + k2)` RLE merge, dense rows the word-packed XOR, and
-//!   [`Kernel::Systolic`] forces the paper's cycle-accurate machine.
+//!   `Θ(k1 + k2)` RLE merge, dense rows the SIMD-accelerated
+//!   run-cancellation kernel (see [`crate::engine::simd`] and
+//!   [`DiffPipelineConfig::simd`]), and [`Kernel::Systolic`] forces the
+//!   paper's cycle-accurate machine.
 //!
 //! Two front-ends are provided: the batch API above, and streaming
 //! [`DiffPipeline::submit`] / [`DiffPipeline::collect`] that feed row pairs
@@ -49,25 +63,36 @@
 //!   extra attempts. A chunk that keeps crashing fails only the culprit row
 //!   (as a structured [`SystolicError::RowFailed`]); the sibling rows are
 //!   re-queued as smaller chunks.
-//! * **Dead workers.** Every chunk is *checked out* in shared state while a
-//!   worker holds it. The collector doubles as a supervisor: it wakes on a
-//!   short tick, notices worker threads that exited without being asked to
-//!   shut down, respawns them, and re-enqueues the chunks they had checked
-//!   out onto the surviving workers.
+//! * **Dead workers.** A worker parks the chunk it is processing in its
+//!   shard's *checkout slot*. The collector doubles as a supervisor: it
+//!   wakes on a short tick, notices worker threads that exited without
+//!   being asked to shut down, respawns them, and recovers the chunk from
+//!   the dead worker's slot — re-enqueued, or failed past the retry
+//!   budget.
 //! * **Stalls and deadlines.** [`DiffPipeline::collect_timeout`] (and the
 //!   per-row deadline of [`DiffPipelineConfig::row_deadline`], honoured by
 //!   the batch front-ends) bounds how long a wedged worker can hold the
 //!   caller, returning [`SystolicError::DeadlineExceeded`] instead of
-//!   hanging. Dropping the pipeline never deadlocks: workers get
+//!   hanging. An aborted batch *abandons* its remaining rows behind a
+//!   ticket watermark: the pipeline reports idle again immediately
+//!   ([`DiffPipeline::in_flight`] drops to 0, [`DiffPipeline::abandoned`]
+//!   tracks the wedged remainder), and any stale delivery that the wedged
+//!   worker eventually produces is discarded on arrival — counted as
+//!   `rows_discarded`, never handed to a later batch. Dropping the
+//!   pipeline never deadlocks: workers get
 //!   [`DiffPipelineConfig::shutdown_grace`] to exit, after which wedged
 //!   threads are detached instead of joined.
 //!
-//! All lock handling is poison-tolerant (`PoisonError::into_inner`): a
-//! panic while a lock is held degrades into a recovered guard, not a
-//! cascading crash. Retries, respawns and deadline expiries are counted in
-//! [`PipelineStats`] (per batch) and [`DiffPipeline::supervision_counters`]
-//! (pipeline lifetime), alongside per-kernel row counts and the
-//! allocations the zero-copy path avoided.
+//! Wakeups go through a *doorbell* protocol: a producer bumps the shared
+//! count, then notifies while holding the bell mutex; a sleeper re-checks
+//! the count under the bell before waiting (with a supervision-tick
+//! timeout as a backstop), so a notification can never slip between the
+//! check and the wait. All lock handling is poison-tolerant
+//! (`PoisonError::into_inner`): a panic while a lock is held degrades into
+//! a recovered guard, not a cascading crash. Retries, respawns and
+//! deadline expiries are counted in [`PipelineStats`] (per batch) and
+//! [`DiffPipeline::supervision_counters`] (pipeline lifetime), alongside
+//! per-kernel row counts and the allocations the zero-copy path avoided.
 //!
 //! Results are bit-identical to the sequential reference
 //! ([`crate::image::xor_image`]) for every kernel policy; only scheduling
@@ -75,15 +100,15 @@
 //! all engines, all kernels and across injected faults.
 
 use crate::engine::kernel::{self, Kernel, KernelChoice, KernelScratch};
+use crate::engine::simd::SimdLevel;
 use crate::error::SystolicError;
 use crate::image::check_dims;
 use crate::obs::{ObsConfig, Observer, TraceKind};
 use crate::stats::{ArrayStats, PipelineStats};
 use rle::{RleImage, RleRow};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -91,15 +116,23 @@ use std::time::{Duration, Instant};
 #[cfg(feature = "fault-injection")]
 use crate::engine::fault::{Fault, FaultPlan};
 
-/// How often a blocked collector wakes to check worker liveness.
+/// How often a blocked collector wakes to check worker liveness (and a
+/// blocked worker re-polls the shards — the doorbell backstop).
 const SUPERVISION_TICK: Duration = Duration::from_millis(20);
 
 /// The scheduler aims for this many chunks per worker, so stragglers can
-/// steal the tail of the image without per-row channel traffic.
+/// steal the tail of the image without per-row traffic.
 const CHUNKS_PER_WORKER: usize = 4;
 
 /// At most this many spare chunk-result vectors are kept for reuse.
 const SPARE_POOL_CAP: usize = 64;
+
+/// Poison-tolerant lock: a holder that panicked leaves consistent-enough
+/// data (every critical section is a single push/pop/take), so callers
+/// proceed on the recovered guard instead of propagating the poison.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Identifies one submitted row pair; returned by [`DiffPipeline::submit`]
 /// and echoed by [`DiffPipeline::collect`] so streaming callers can match
@@ -151,9 +184,17 @@ pub struct DiffPipelineConfig {
     pub shutdown_grace: Duration,
     /// Kernel policy workers diff rows with (default [`Kernel::Auto`]).
     pub kernel: Kernel,
+    /// SIMD level for the packed kernel's run-comparison scan. `None` (the
+    /// default) resolves from the `SYSTOLIC_SIMD` environment variable,
+    /// falling back to runtime CPU detection. `Some` requests an explicit
+    /// level, clamped down to what the host actually supports — a forced
+    /// level can narrow the choice, never exceed the hardware.
+    pub simd: Option<SimdLevel>,
     /// Target scheduling weight per chunk, measured in input runs (each row
     /// weighs `k1 + k2 + 1`). `None` (the default) derives it from the
-    /// batch: `total_weight / (threads * 4)`, clamped to at least one row.
+    /// batch: `total_weight / (threads * 4)`, clamped to at least one row —
+    /// and the derived plan is further split until it has at least one
+    /// chunk per worker (an explicit target is honoured exactly).
     pub chunk_target: Option<usize>,
     /// Observability: `Some` attaches an [`Observer`] (metrics registry +
     /// trace ring) to the pipeline. `None` (the default) compiles every
@@ -174,6 +215,7 @@ impl Default for DiffPipelineConfig {
             row_deadline: None,
             shutdown_grace: Duration::from_millis(500),
             kernel: Kernel::Auto,
+            simd: None,
             chunk_target: None,
             observe: None,
             #[cfg(feature = "fault-injection")]
@@ -217,6 +259,13 @@ impl DiffPipelineConfig {
     #[must_use]
     pub fn kernel(mut self, kernel: Kernel) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// Requests an explicit SIMD level (see [`Self::simd`]).
+    #[must_use]
+    pub fn simd(mut self, level: SimdLevel) -> Self {
+        self.simd = Some(level);
         self
     }
 
@@ -338,37 +387,55 @@ struct RowResult {
     result: Result<(RleRow, ArrayStats), SystolicError>,
 }
 
-/// What a worker sends per finished chunk: one message for many rows.
+/// What a worker delivers per finished chunk: one message for many rows.
 struct ChunkDone {
     worker: usize,
     results: Vec<RowResult>,
 }
 
-/// A chunk a worker currently holds, kept in shared state so the
-/// supervisor can recover it if the worker dies mid-chunk. Keyed by the
-/// chunk's base ticket (unique among live chunks).
-struct CheckedOut {
-    worker: usize,
-    job: Job,
-}
-
-struct State {
-    queue: VecDeque<Job>,
-    running: HashMap<u64, CheckedOut>,
-    shutdown: bool,
+/// One worker's slice of the scheduler: its own input deque, checkout slot
+/// and output buffer, each behind its own short-lived lock. Workers touch
+/// other shards only to steal; the collector sweeps every shard's output.
+#[derive(Default)]
+struct Shard {
+    /// Chunks waiting for this worker (stealable from the back).
+    queue: Mutex<VecDeque<Job>>,
+    /// The chunk this worker is currently processing, parked here so the
+    /// supervisor can recover it if the thread dies mid-chunk.
+    running: Mutex<Option<Job>>,
+    /// Finished chunks awaiting the collector's sweep.
+    out: Mutex<Vec<ChunkDone>>,
 }
 
 struct Shared {
-    state: Mutex<State>,
+    shards: Vec<Shard>,
+    /// Chunks sitting in shard queues (fast-path emptiness check for
+    /// workers; mutated inside the owning shard's queue lock).
+    queued: AtomicUsize,
+    /// Delivered chunks not yet swept by the collector (mutated inside the
+    /// owning shard's out lock).
+    ready: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Doorbell for workers: producers notify while holding the bell, and
+    /// sleepers re-check `queued` under it, so a push can never slip
+    /// between a worker's check and its wait.
+    work_bell: Mutex<()>,
     work_ready: Condvar,
+    /// Doorbell for the collector, same protocol over `ready`.
+    results_bell: Mutex<()>,
+    results_ready: Condvar,
     retries: AtomicU64,
     respawns: AtomicU64,
     timeouts: AtomicU64,
+    /// Chunks popped from a sibling shard's queue (tail rebalancing).
+    steals: AtomicU64,
     /// Chunk-result vectors recycled from the collector back to workers.
     spare: Mutex<Vec<Vec<RowResult>>>,
     /// How many times a worker got a recycled vector instead of allocating.
     buffer_hits: AtomicU64,
     kernel: Kernel,
+    /// Resolved SIMD level every worker's kernel scratch is built with.
+    simd: SimdLevel,
     /// Observability sink, shared by workers, supervisor and collectors.
     /// `None` keeps every recording site to a single predictable branch.
     obs: Option<Arc<Observer>>,
@@ -377,20 +444,106 @@ struct Shared {
 }
 
 impl Shared {
-    /// Poison-tolerant state lock: a worker that panicked while holding the
-    /// guard leaves consistent-enough data (queue/running entries are only
-    /// mutated through single push/insert/remove calls), so supervision
-    /// proceeds on the recovered guard instead of propagating the poison.
-    fn lock_state(&self) -> MutexGuard<'_, State> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Enqueues a chunk onto `shard`'s deque. The queue count and depth
+    /// gauge move inside the same critical section as the push, so neither
+    /// can drift from the queues' true contents (or go negative).
+    fn push_job(&self, shard: usize, job: Job) {
+        let mut queue = lock(&self.shards[shard].queue);
+        queue.push_back(job);
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.metrics.queue_depth.add(1);
+        }
     }
 
-    /// Mirrors the queue depth into the metrics gauge; called under the
-    /// state lock after every queue mutation so the gauge never drifts.
-    fn sync_queue_gauge(&self, state: &State) {
-        if let Some(obs) = &self.obs {
-            obs.metrics.queue_depth.set(state.queue.len() as i64);
+    /// Pops from one shard's deque: the owner takes the front, a thief the
+    /// back (so steals grab the work the owner would reach last). Count and
+    /// gauge move under the same lock as the pop.
+    fn pop_shard(&self, shard: usize, own: bool) -> Option<Job> {
+        let mut queue = lock(&self.shards[shard].queue);
+        let job = if own {
+            queue.pop_front()
+        } else {
+            queue.pop_back()
+        };
+        if job.is_some() {
+            self.queued.fetch_sub(1, Ordering::Relaxed);
+            if let Some(obs) = &self.obs {
+                obs.metrics.queue_depth.sub(1);
+            }
         }
+        job
+    }
+
+    /// One non-blocking attempt to find work for `worker`: its own shard
+    /// first, then each sibling in ring order.
+    fn try_pop(&self, worker: usize) -> Option<Job> {
+        if self.queued.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        if let Some(job) = self.pop_shard(worker, true) {
+            return Some(job);
+        }
+        let n = self.shards.len();
+        for d in 1..n {
+            if let Some(job) = self.pop_shard((worker + d) % n, false) {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = &self.obs {
+                    obs.metrics.chunks_stolen.inc();
+                }
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Blocks until a chunk is available for `worker` or shutdown is
+    /// requested. The doorbell re-check plus tick timeout make a lost
+    /// wakeup impossible to get stuck on.
+    fn next_job(&self, worker: usize) -> Option<Job> {
+        loop {
+            if let Some(job) = self.try_pop(worker) {
+                return Some(job);
+            }
+            if self.shutdown.load(Ordering::Relaxed) {
+                return None;
+            }
+            let bell = lock(&self.work_bell);
+            if self.queued.load(Ordering::Relaxed) > 0 {
+                continue; // work arrived between the pop and the bell
+            }
+            if self.shutdown.load(Ordering::Relaxed) {
+                return None;
+            }
+            let _unused = self
+                .work_ready
+                .wait_timeout(bell, SUPERVISION_TICK)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn notify_work_all(&self) {
+        let _bell = lock(&self.work_bell);
+        self.work_ready.notify_all();
+    }
+
+    fn notify_work_one(&self) {
+        let _bell = lock(&self.work_bell);
+        self.work_ready.notify_one();
+    }
+
+    /// Parks a finished chunk in `worker`'s output shard and rings the
+    /// collector's doorbell. `ready` moves inside the out lock so the
+    /// collector's sweep (which decrements under the same lock) can never
+    /// observe a chunk before its count.
+    fn deliver(&self, worker: usize, done: ChunkDone) {
+        {
+            let mut out = lock(&self.shards[worker].out);
+            out.push(done);
+            self.ready.fetch_add(1, Ordering::Relaxed);
+        }
+        let _bell = lock(&self.results_bell);
+        self.results_ready.notify_all();
     }
 
     fn counters(&self) -> SupervisionCounters {
@@ -402,11 +555,7 @@ impl Shared {
     }
 
     fn take_spare(&self) -> Vec<RowResult> {
-        let recycled = self
-            .spare
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .pop();
+        let recycled = lock(&self.spare).pop();
         match recycled {
             Some(vec) => {
                 self.buffer_hits.fetch_add(1, Ordering::Relaxed);
@@ -421,7 +570,7 @@ impl Shared {
         if vec.capacity() == 0 {
             return;
         }
-        let mut pool = self.spare.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut pool = lock(&self.spare);
         if pool.len() < SPARE_POOL_CAP {
             pool.push(vec);
         }
@@ -435,17 +584,20 @@ impl Shared {
 /// are detached so `Drop` never deadlocks.
 pub struct DiffPipeline {
     shared: Arc<Shared>,
-    results: Receiver<ChunkDone>,
-    /// Kept for two supervisor duties: handing a sender to respawned
-    /// workers, and synthesizing [`SystolicError::RowFailed`] outcomes for
-    /// chunks orphaned past their retry budget. Holding it also means the
-    /// channel can never disconnect under a blocked collector.
-    result_tx: Sender<ChunkDone>,
     handles: Vec<JoinHandle<()>>,
     config: DiffPipelineConfig,
     next_ticket: u64,
     in_flight: usize,
-    /// Rows unpacked from received chunks but not yet handed to the caller.
+    /// Round-robin cursor for streaming submits across the shards.
+    submit_cursor: usize,
+    /// Tickets below this watermark belong to abandoned batches: their
+    /// results are discarded on arrival instead of delivered.
+    abandoned_below: u64,
+    /// Abandoned rows whose results have not yet arrived (or been
+    /// recovered from a dead worker). Purely diagnostic; see
+    /// [`Self::abandoned`].
+    abandoned: usize,
+    /// Rows unpacked from swept chunks but not yet handed to the caller.
     pending: VecDeque<RowOutcome>,
 }
 
@@ -454,6 +606,7 @@ impl std::fmt::Debug for DiffPipeline {
         f.debug_struct("DiffPipeline")
             .field("workers", &self.handles.len())
             .field("in_flight", &self.in_flight)
+            .field("abandoned", &self.abandoned)
             .field("counters", &self.shared.counters())
             .finish()
     }
@@ -480,32 +633,39 @@ impl DiffPipeline {
     pub fn with_config(config: DiffPipelineConfig) -> Self {
         assert!(config.threads > 0, "need at least one thread");
         let obs = config.observe.map(|cfg| Arc::new(Observer::new(cfg)));
+        let simd = config.simd.map_or_else(SimdLevel::default_level, |level| {
+            SimdLevel::resolve(Some(level))
+        });
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                queue: VecDeque::new(),
-                running: HashMap::new(),
-                shutdown: false,
-            }),
+            shards: (0..config.threads).map(|_| Shard::default()).collect(),
+            queued: AtomicUsize::new(0),
+            ready: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            work_bell: Mutex::new(()),
             work_ready: Condvar::new(),
+            results_bell: Mutex::new(()),
+            results_ready: Condvar::new(),
             retries: AtomicU64::new(0),
             respawns: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
             spare: Mutex::new(Vec::new()),
             buffer_hits: AtomicU64::new(0),
             kernel: config.kernel,
+            simd,
             obs,
             #[cfg(feature = "fault-injection")]
             faults: config.fault_plan.clone(),
         });
-        let (result_tx, results) = std::sync::mpsc::channel();
         let mut pipeline = Self {
             shared,
-            results,
-            result_tx,
             handles: Vec::new(),
             config,
             next_ticket: 0,
             in_flight: 0,
+            submit_cursor: 0,
+            abandoned_below: 0,
+            abandoned: 0,
             pending: VecDeque::new(),
         };
         pipeline.handles = (0..pipeline.config.threads)
@@ -516,9 +676,8 @@ impl DiffPipeline {
 
     fn spawn_worker(&self, worker: usize) -> JoinHandle<()> {
         let shared = Arc::clone(&self.shared);
-        let tx = self.result_tx.clone();
         let retry_limit = self.config.retry_limit;
-        std::thread::spawn(move || worker_loop(&shared, &tx, worker, retry_limit))
+        std::thread::spawn(move || worker_loop(&shared, worker, retry_limit))
     }
 
     /// Number of workers in the pool.
@@ -531,6 +690,16 @@ impl DiffPipeline {
     #[must_use]
     pub fn in_flight(&self) -> usize {
         self.in_flight
+    }
+
+    /// Rows written off by an aborted batch whose results are still
+    /// outstanding — held by a wedged worker, or delivered but not yet
+    /// swept. Each one is discarded (and this count decremented) when its
+    /// stale result finally arrives or its dead worker is reaped, so a
+    /// healed pipeline drains back to 0.
+    #[must_use]
+    pub fn abandoned(&self) -> usize {
+        self.abandoned
     }
 
     /// Lifetime supervision totals (see [`SupervisionCounters`]).
@@ -547,7 +716,16 @@ impl DiffPipeline {
         self.shared.obs.clone()
     }
 
-    /// Mirrors `self.in_flight` into the metrics gauge.
+    /// The SIMD level the pool's kernels resolved to (after the env /
+    /// config override and the hardware clamp).
+    #[must_use]
+    pub fn simd_level(&self) -> SimdLevel {
+        self.shared.simd
+    }
+
+    /// Mirrors `self.in_flight` into the metrics gauge. `in_flight` is
+    /// collector-owned state, so `set` under the single collector is
+    /// race-free.
     fn sync_flight_gauge(&self) {
         if let Some(obs) = &self.shared.obs {
             obs.metrics.in_flight.set(self.in_flight as i64);
@@ -574,12 +752,10 @@ impl DiffPipeline {
             obs.metrics.chunks_dispatched.inc();
             obs.record(TraceKind::Submit { ticket });
         }
-        {
-            let mut state = self.shared.lock_state();
-            state.queue.push_back(job);
-            self.shared.sync_queue_gauge(&state);
-        }
-        self.shared.work_ready.notify_one();
+        let shard = self.submit_cursor % self.shared.shards.len();
+        self.submit_cursor = self.submit_cursor.wrapping_add(1);
+        self.shared.push_job(shard, job);
+        self.shared.notify_work_one();
         self.in_flight += 1;
         self.sync_flight_gauge();
         Ticket(ticket)
@@ -589,10 +765,10 @@ impl DiffPipeline {
     /// order. Returns `None` when nothing is in flight.
     ///
     /// While blocked, the collector supervises the pool: dead workers are
-    /// respawned and their checked-out chunks re-enqueued, so a crashed
-    /// thread delays rows rather than hanging the collector. Only a
-    /// genuinely wedged worker can block indefinitely — use
-    /// [`Self::collect_timeout`] to bound that.
+    /// respawned and the chunks they held recovered, so a crashed thread
+    /// delays rows rather than hanging the collector. Only a genuinely
+    /// wedged worker can block indefinitely — use [`Self::collect_timeout`]
+    /// to bound that.
     pub fn collect(&mut self) -> Option<RowOutcome> {
         self.collect_inner(None)
             .expect("collect without a deadline cannot time out")
@@ -617,57 +793,93 @@ impl DiffPipeline {
         if self.in_flight == 0 {
             return Ok(None);
         }
-        if let Some(outcome) = self.pending.pop_front() {
-            self.in_flight -= 1;
-            self.sync_flight_gauge();
-            return Ok(Some(outcome));
-        }
         let start = Instant::now();
         let deadline = timeout.map(|t| start + t);
         loop {
-            let wait = match deadline {
-                Some(d) => {
-                    let now = Instant::now();
-                    if now >= d {
-                        self.shared.timeouts.fetch_add(1, Ordering::Relaxed);
-                        if let Some(obs) = &self.shared.obs {
-                            obs.metrics.timeouts.inc();
-                            obs.record(TraceKind::Timeout {
-                                in_flight: self.in_flight as u64,
-                            });
-                        }
-                        return Err(SystolicError::DeadlineExceeded {
-                            waited: start.elapsed(),
-                            in_flight: self.in_flight,
+            self.sweep();
+            if let Some(outcome) = self.pending.pop_front() {
+                self.in_flight -= 1;
+                self.sync_flight_gauge();
+                return Ok(Some(outcome));
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    self.shared.timeouts.fetch_add(1, Ordering::Relaxed);
+                    if let Some(obs) = &self.shared.obs {
+                        obs.metrics.timeouts.inc();
+                        obs.record(TraceKind::Timeout {
+                            in_flight: self.in_flight as u64,
                         });
                     }
-                    SUPERVISION_TICK.min(d - now)
-                }
-                None => SUPERVISION_TICK,
-            };
-            match self.results.recv_timeout(wait) {
-                Ok(done) => {
-                    self.absorb_chunk(done);
-                    if let Some(outcome) = self.pending.pop_front() {
-                        self.in_flight -= 1;
-                        self.sync_flight_gauge();
-                        return Ok(Some(outcome));
-                    }
-                }
-                // The tick elapsed with no result: check on the workers.
-                // Disconnection is impossible (`result_tx` lives on self),
-                // but treat it like a tick defensively.
-                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
-                    self.supervise();
+                    return Err(SystolicError::DeadlineExceeded {
+                        waited: start.elapsed(),
+                        in_flight: self.in_flight,
+                    });
                 }
             }
+            let wait = match deadline {
+                Some(d) => SUPERVISION_TICK.min(d.saturating_duration_since(Instant::now())),
+                None => SUPERVISION_TICK,
+            };
+            {
+                let bell = lock(&self.shared.results_bell);
+                if self.shared.ready.load(Ordering::Relaxed) == 0 {
+                    let _unused = self
+                        .shared
+                        .results_ready
+                        .wait_timeout(bell, wait)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            self.supervise();
         }
     }
 
+    /// Sweeps every shard's output buffer into `pending`. Returns whether
+    /// anything was absorbed.
+    fn sweep(&mut self) -> bool {
+        if self.shared.ready.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        let mut any = false;
+        for shard in 0..self.shared.shards.len() {
+            let taken: Vec<ChunkDone> = {
+                let mut out = lock(&self.shared.shards[shard].out);
+                if out.is_empty() {
+                    Vec::new()
+                } else {
+                    self.shared.ready.fetch_sub(out.len(), Ordering::Relaxed);
+                    std::mem::take(&mut *out)
+                }
+            };
+            for done in taken {
+                any = true;
+                self.absorb_chunk(done);
+            }
+        }
+        any
+    }
+
     /// Unpacks a chunk message into per-row outcomes and recycles its
-    /// vector back to the workers.
+    /// vector back to the workers. Rows below the abandon watermark are
+    /// stale — their batch already failed — and are discarded here, never
+    /// delivered; a chunk is only recycled once its delivery moved it out
+    /// of the worker, so a wedged worker can never scribble on a pooled
+    /// buffer.
     fn absorb_chunk(&mut self, mut done: ChunkDone) {
         for row in done.results.drain(..) {
+            if row.ticket < self.abandoned_below {
+                self.abandoned = self.abandoned.saturating_sub(1);
+                // Only successfully diffed rows entered `rows_diffed`;
+                // booking errored rows as discarded would unbalance the
+                // `rows_diffed == rows_completed + rows_discarded` ledger.
+                if row.result.is_ok() {
+                    if let Some(obs) = &self.shared.obs {
+                        obs.metrics.rows_discarded.inc();
+                    }
+                }
+                continue;
+            }
             if let Some(obs) = &self.shared.obs {
                 if row.result.is_ok() {
                     obs.metrics.rows_completed.inc();
@@ -689,14 +901,19 @@ impl DiffPipeline {
     ///
     /// Workers only exit voluntarily once `shutdown` is set (which happens
     /// in `Drop`, after which no collector runs), so any finished handle
-    /// seen here is a casualty: join it to reap the thread, spawn a
-    /// replacement on the same slot, and re-enqueue — or fail, past the
-    /// retry budget — every chunk the casualty had checked out.
+    /// seen here is a casualty: recover the chunk parked in its checkout
+    /// slot, join it to reap the thread, and spawn a replacement on the
+    /// same slot. The orphan is re-enqueued — or failed, past the retry
+    /// budget — unless its batch was already abandoned, in which case it is
+    /// simply written off.
     fn supervise(&mut self) {
         for worker in 0..self.handles.len() {
             if !self.handles[worker].is_finished() {
                 continue;
             }
+            // Take the orphan before the replacement starts so the new
+            // thread can never race us for the slot.
+            let orphan = lock(&self.shared.shards[worker].running).take();
             let replacement = self.spawn_worker(worker);
             let dead = std::mem::replace(&mut self.handles[worker], replacement);
             let _ = dead.join();
@@ -707,70 +924,61 @@ impl DiffPipeline {
                     worker: worker as u32,
                 });
             }
-
-            let orphans: Vec<Job> = {
-                let mut state = self.shared.lock_state();
-                let bases: Vec<u64> = state
-                    .running
-                    .iter()
-                    .filter(|(_, held)| held.worker == worker)
-                    .map(|(base, _)| *base)
-                    .collect();
-                bases
-                    .into_iter()
-                    .map(|b| state.running.remove(&b).expect("listed above").job)
-                    .collect()
+            let Some(mut job) = orphan else {
+                continue;
             };
-            for mut job in orphans {
-                job.attempts += 1;
-                if job.attempts > self.config.retry_limit {
-                    if let Some(obs) = &self.shared.obs {
-                        for i in job.lo..job.hi {
-                            obs.record(TraceKind::RowFailed {
-                                ticket: job.ticket_of(i),
-                                attempts: job.attempts,
-                            });
-                        }
-                    }
-                    let results = (job.lo..job.hi)
-                        .map(|i| RowResult {
+            if job.base < self.abandoned_below {
+                self.abandoned = self.abandoned.saturating_sub(job.len());
+                continue;
+            }
+            job.attempts += 1;
+            if job.attempts > self.config.retry_limit {
+                if let Some(obs) = &self.shared.obs {
+                    for i in job.lo..job.hi {
+                        obs.record(TraceKind::RowFailed {
                             ticket: job.ticket_of(i),
-                            kernel: None,
-                            result: Err(SystolicError::RowFailed {
-                                row: job.ticket_of(i),
-                                attempts: job.attempts,
-                                cause: "worker thread died while processing the row".into(),
-                            }),
-                        })
-                        .collect();
-                    let _ = self.result_tx.send(ChunkDone { worker, results });
-                } else {
-                    self.shared.retries.fetch_add(1, Ordering::Relaxed);
-                    if let Some(obs) = &self.shared.obs {
-                        obs.metrics.retries.inc();
-                        obs.record(TraceKind::Retry {
-                            chunk: job.base,
-                            rows: job.len() as u32,
-                            attempt: job.attempts,
+                            attempts: job.attempts,
                         });
                     }
-                    let mut state = self.shared.lock_state();
-                    state.queue.push_back(job);
-                    self.shared.sync_queue_gauge(&state);
-                    drop(state);
-                    self.shared.work_ready.notify_one();
                 }
+                let results = (job.lo..job.hi)
+                    .map(|i| RowResult {
+                        ticket: job.ticket_of(i),
+                        kernel: None,
+                        result: Err(SystolicError::RowFailed {
+                            row: job.ticket_of(i),
+                            attempts: job.attempts,
+                            cause: "worker thread died while processing the row".into(),
+                        }),
+                    })
+                    .collect();
+                self.absorb_chunk(ChunkDone { worker, results });
+            } else {
+                self.shared.retries.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = &self.shared.obs {
+                    obs.metrics.retries.inc();
+                    obs.record(TraceKind::Retry {
+                        chunk: job.base,
+                        rows: job.len() as u32,
+                        attempt: job.attempts,
+                    });
+                }
+                self.shared.push_job(worker, job);
+                self.shared.notify_work_all();
             }
         }
     }
 
     /// Collects every in-flight outcome (blocking, with supervision) and
-    /// returns them, leaving the pipeline idle.
+    /// returns them, leaving the pipeline idle. Also reaps any stale
+    /// deliveries from previously abandoned batches that have arrived in
+    /// the meantime (see [`Self::abandoned`]).
     pub fn drain(&mut self) -> Vec<RowOutcome> {
         let mut out = Vec::new();
         while let Some(done) = self.collect() {
             out.push(done);
         }
+        self.sweep();
         if let Some(obs) = &self.shared.obs {
             obs.record(TraceKind::Drain {
                 collected: out.len() as u64,
@@ -779,30 +987,42 @@ impl DiffPipeline {
         out
     }
 
-    /// Abandons a failed batch: queued-but-unstarted chunks are dropped and
-    /// already-delivered results discarded. Rows checked out by (possibly
-    /// wedged) workers remain in flight.
+    /// Abandons a failed batch. Queued-but-unstarted chunks are dropped;
+    /// already-delivered results are absorbed (so their metrics stay
+    /// consistent) and then discarded; rows still held by a (possibly
+    /// wedged) worker move from `in_flight` to `abandoned` behind the
+    /// ticket watermark, so the pipeline is immediately idle again and the
+    /// wedged worker's eventual output is discarded on arrival.
     fn abandon_queued(&mut self) {
-        let dropped: usize = {
-            let mut state = self.shared.lock_state();
-            let rows = state.queue.iter().map(Job::len).sum();
-            state.queue.clear();
-            self.shared.sync_queue_gauge(&state);
-            rows
-        };
-        self.in_flight -= dropped;
-        while let Ok(done) = self.results.try_recv() {
-            self.in_flight -= done.results.len();
-            self.shared.return_spare(done.results);
+        let mut dropped_rows = 0usize;
+        for shard in &self.shared.shards {
+            let mut queue = lock(&shard.queue);
+            let jobs = queue.len();
+            dropped_rows += queue.iter().map(Job::len).sum::<usize>();
+            queue.clear();
+            self.shared.queued.fetch_sub(jobs, Ordering::Relaxed);
+            if let Some(obs) = &self.shared.obs {
+                obs.metrics.queue_depth.sub(jobs as i64);
+            }
         }
+        self.in_flight -= dropped_rows;
+        self.sweep();
         self.in_flight -= self.pending.len();
         self.pending.clear();
+        self.abandoned_below = self.next_ticket;
+        self.abandoned += self.in_flight;
+        self.in_flight = 0;
         self.sync_flight_gauge();
     }
 
     /// Splits `[0, height)` into contiguous chunks whose summed row weight
     /// (`k1 + k2 + 1`, so empty rows still make progress) reaches the
     /// configured or derived target, and allocates one ticket per row.
+    ///
+    /// A *derived* plan (no explicit [`DiffPipelineConfig::chunk_target`])
+    /// is then split further until it holds at least one chunk per worker:
+    /// a single heavy row used to produce fewer chunks than threads and
+    /// idle the rest of the pool for the whole batch.
     fn plan_chunks(
         &mut self,
         a: &RleImage,
@@ -836,6 +1056,26 @@ impl DiffPipeline {
                 acc = 0;
             }
         }
+        if self.config.chunk_target.is_none() {
+            let want = self.handles.len().min(height);
+            while jobs.len() < want {
+                let Some(idx) = jobs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, job)| job.len() >= 2)
+                    .max_by_key(|(_, job)| job.len())
+                    .map(|(idx, _)| idx)
+                else {
+                    break;
+                };
+                let job = jobs.remove(idx);
+                let mid = job.lo + job.len() / 2;
+                let tail = job.slice(mid, job.hi);
+                let head = job.slice(job.lo, mid);
+                jobs.insert(idx, tail);
+                jobs.insert(idx, head);
+            }
+        }
         jobs
     }
 
@@ -849,8 +1089,9 @@ impl DiffPipeline {
     /// the first error is returned. With a
     /// [`DiffPipelineConfig::row_deadline`] configured, a stall longer than
     /// the deadline aborts the batch with
-    /// [`SystolicError::DeadlineExceeded`]; queued chunks are abandoned but
-    /// a wedged worker's chunk stays in flight (see [`Self::in_flight`]).
+    /// [`SystolicError::DeadlineExceeded`]; the batch's remaining rows are
+    /// abandoned (see [`Self::abandoned`]) and the pipeline is immediately
+    /// reusable.
     ///
     /// # Panics
     ///
@@ -900,8 +1141,9 @@ impl DiffPipeline {
         self.run_batch(a.width(), a.height(), jobs, clones_avoided)
     }
 
-    /// Common batch engine: enqueue the planned chunks, collect every row,
-    /// reassemble in ticket order and aggregate statistics.
+    /// Common batch engine: deal the planned chunks across the shards,
+    /// collect every row, reassemble in ticket order and aggregate
+    /// statistics.
     fn run_batch(
         &mut self,
         width: u32,
@@ -912,6 +1154,7 @@ impl DiffPipeline {
         let start = Instant::now();
         let counters_before = self.shared.counters();
         let hits_before = self.shared.buffer_hits.load(Ordering::Relaxed);
+        let steals_before = self.shared.steals.load(Ordering::Relaxed);
         let base = jobs.first().map_or(self.next_ticket, |j| j.base);
         let mut stats = PipelineStats {
             workers: self.handles.len(),
@@ -933,14 +1176,11 @@ impl DiffPipeline {
                 }
             }
         }
-        {
-            let mut state = self.shared.lock_state();
-            for job in jobs {
-                state.queue.push_back(job);
-            }
-            self.shared.sync_queue_gauge(&state);
+        let shards = self.shared.shards.len();
+        for (i, job) in jobs.into_iter().enumerate() {
+            self.shared.push_job(i % shards, job);
         }
-        self.shared.work_ready.notify_all();
+        self.shared.notify_work_all();
         self.in_flight += height;
         self.sync_flight_gauge();
 
@@ -991,6 +1231,7 @@ impl DiffPipeline {
         stats.respawns = counters.respawns - counters_before.respawns;
         stats.timeouts = counters.timeouts - counters_before.timeouts;
         stats.buffers_reused = self.shared.buffer_hits.load(Ordering::Relaxed) - hits_before;
+        stats.chunks_stolen = self.shared.steals.load(Ordering::Relaxed) - steals_before;
         let rows: Vec<RleRow> = rows
             .into_iter()
             .map(|r| r.expect("every row collected"))
@@ -1002,8 +1243,8 @@ impl DiffPipeline {
 
 impl Drop for DiffPipeline {
     fn drop(&mut self) {
-        self.shared.lock_state().shutdown = true;
-        self.shared.work_ready.notify_all();
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.notify_work_all();
         // Join workers that exit within the grace period; detach the rest
         // (e.g. a wedged worker mid-stall) so Drop can never deadlock. A
         // detached worker sees the shutdown flag and exits as soon as it
@@ -1020,39 +1261,18 @@ impl Drop for DiffPipeline {
     }
 }
 
-/// A worker: pop chunks until shutdown, diffing each row through the
+/// A worker: pop chunks from its shard (stealing the tail of siblings'
+/// when its own runs dry) until shutdown, diffing each row through the
 /// configured kernel on persistent per-worker scratch.
 ///
-/// Each chunk is checked out in shared state before processing (so the
-/// supervisor can recover it if this thread dies) and every row runs under
-/// `catch_unwind` (so a panicking row costs its chunk one retry, not the
-/// worker).
-fn worker_loop(shared: &Arc<Shared>, results: &Sender<ChunkDone>, worker: usize, retry_limit: u32) {
-    let mut scratch = KernelScratch::new();
-    loop {
-        let job = {
-            let mut state = shared.lock_state();
-            loop {
-                if let Some(job) = state.queue.pop_front() {
-                    shared.sync_queue_gauge(&state);
-                    break job;
-                }
-                if state.shutdown {
-                    return;
-                }
-                state = shared
-                    .work_ready
-                    .wait(state)
-                    .unwrap_or_else(PoisonError::into_inner);
-            }
-        };
-        shared.lock_state().running.insert(
-            job.base,
-            CheckedOut {
-                worker,
-                job: job.clone(),
-            },
-        );
+/// Each chunk is parked in the shard's checkout slot before processing (so
+/// the supervisor can recover it if this thread dies) and every row runs
+/// under `catch_unwind` (so a panicking row costs its chunk one retry, not
+/// the worker).
+fn worker_loop(shared: &Arc<Shared>, worker: usize, retry_limit: u32) {
+    let mut scratch = KernelScratch::with_simd(shared.simd);
+    while let Some(job) = shared.next_job(worker) {
+        *lock(&shared.shards[worker].running) = Some(job.clone());
         // Timestamps exist only under observation; the unobserved hot path
         // takes no clock readings at all.
         let chunk_start = shared.obs.as_ref().map(|obs| {
@@ -1081,12 +1301,12 @@ fn worker_loop(shared: &Arc<Shared>, results: &Sender<ChunkDone>, worker: usize,
                 match fault {
                     Fault::Panic => injected_panic = true,
                     Fault::Stall(duration) => std::thread::sleep(duration),
-                    // Exit with the chunk still checked out: the supervisor
-                    // must notice the dead thread and recover the orphan.
-                    // Injected death is cooperative, so the rows already
-                    // diffed into `out` can be booked as discarded (a real
-                    // crash can't do this; `rows_discarded` is a lower
-                    // bound there).
+                    // Exit with the chunk still parked in the checkout
+                    // slot: the supervisor must notice the dead thread and
+                    // recover the orphan. Injected death is cooperative, so
+                    // the rows already diffed into `out` can be booked as
+                    // discarded (a real crash can't do this;
+                    // `rows_discarded` is a lower bound there).
                     Fault::Die => {
                         if let Some(obs) = &shared.obs {
                             obs.metrics.rows_discarded.add(out.len() as u64);
@@ -1096,9 +1316,8 @@ fn worker_loop(shared: &Arc<Shared>, results: &Sender<ChunkDone>, worker: usize,
                     Fault::PoisonLock => {
                         let shared = Arc::clone(shared);
                         let _ = catch_unwind(AssertUnwindSafe(move || {
-                            let _guard =
-                                shared.state.lock().unwrap_or_else(PoisonError::into_inner);
-                            panic!("injected fault: poisoning the pipeline state lock");
+                            let _guard = lock(&shared.shards[worker].queue);
+                            panic!("injected fault: poisoning a shard queue lock");
                         }));
                     }
                 }
@@ -1164,7 +1383,7 @@ fn worker_loop(shared: &Arc<Shared>, results: &Sender<ChunkDone>, worker: usize,
 
         match crashed {
             None => {
-                shared.lock_state().running.remove(&job.base);
+                *lock(&shared.shards[worker].running) = None;
                 if let Some(obs) = &shared.obs {
                     let latency_ns = chunk_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
                     obs.metrics.chunks_completed.inc();
@@ -1176,13 +1395,13 @@ fn worker_loop(shared: &Arc<Shared>, results: &Sender<ChunkDone>, worker: usize,
                         latency_ns,
                     });
                 }
-                // The receiver disappearing mid-chunk means the pipeline is
-                // being dropped; the queue will hand us the shutdown flag
-                // next round.
-                let _ = results.send(ChunkDone {
+                shared.deliver(
                     worker,
-                    results: out,
-                });
+                    ChunkDone {
+                        worker,
+                        results: out,
+                    },
+                );
             }
             Some((culprit, cause)) => {
                 // The partial results are all-or-nothing casualties: their
@@ -1191,7 +1410,7 @@ fn worker_loop(shared: &Arc<Shared>, results: &Sender<ChunkDone>, worker: usize,
                     obs.metrics.rows_discarded.add(out.len() as u64);
                 }
                 shared.return_spare(out);
-                shared.lock_state().running.remove(&job.base);
+                *lock(&shared.shards[worker].running) = None;
                 let mut job = job;
                 job.attempts += 1;
                 if job.attempts > retry_limit {
@@ -1204,28 +1423,28 @@ fn worker_loop(shared: &Arc<Shared>, results: &Sender<ChunkDone>, worker: usize,
                             attempts: job.attempts,
                         });
                     }
-                    let _ = results.send(ChunkDone {
+                    shared.deliver(
                         worker,
-                        results: vec![RowResult {
-                            ticket,
-                            kernel: None,
-                            result: Err(SystolicError::RowFailed {
-                                row: ticket,
-                                attempts: job.attempts,
-                                cause,
-                            }),
-                        }],
-                    });
-                    let mut state = shared.lock_state();
+                        ChunkDone {
+                            worker,
+                            results: vec![RowResult {
+                                ticket,
+                                kernel: None,
+                                result: Err(SystolicError::RowFailed {
+                                    row: ticket,
+                                    attempts: job.attempts,
+                                    cause,
+                                }),
+                            }],
+                        },
+                    );
                     if culprit > job.lo {
-                        state.queue.push_back(job.slice(job.lo, culprit));
+                        shared.push_job(worker, job.slice(job.lo, culprit));
                     }
                     if culprit + 1 < job.hi {
-                        state.queue.push_back(job.slice(culprit + 1, job.hi));
+                        shared.push_job(worker, job.slice(culprit + 1, job.hi));
                     }
-                    shared.sync_queue_gauge(&state);
-                    drop(state);
-                    shared.work_ready.notify_all();
+                    shared.notify_work_all();
                 } else {
                     shared.retries.fetch_add(1, Ordering::Relaxed);
                     if let Some(obs) = &shared.obs {
@@ -1236,11 +1455,8 @@ fn worker_loop(shared: &Arc<Shared>, results: &Sender<ChunkDone>, worker: usize,
                             attempt: job.attempts,
                         });
                     }
-                    let mut state = shared.lock_state();
-                    state.queue.push_back(job);
-                    shared.sync_queue_gauge(&state);
-                    drop(state);
-                    shared.work_ready.notify_one();
+                    shared.push_job(worker, job);
+                    shared.notify_work_one();
                 }
             }
         }
@@ -1337,6 +1553,23 @@ mod tests {
     }
 
     #[test]
+    fn forced_simd_levels_are_bit_identical() {
+        let a = img("####....\n..##..##\n........\n#.#.#.#.\n");
+        let b = img("####....\n..##..#.\n...##...\n.#.#.#.#\n");
+        let (seq, _) = xor_image(&a, &b).unwrap();
+        for level in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+            let mut pipeline = DiffPipelineConfig::new(2)
+                .kernel(Kernel::Packed)
+                .simd(level)
+                .build();
+            // An unsupported request clamps down instead of failing.
+            assert!(pipeline.simd_level() <= SimdLevel::detect());
+            let (got, _) = pipeline.diff_images(&a, &b).unwrap();
+            assert_eq!(got, seq, "{level}");
+        }
+    }
+
+    #[test]
     fn chunk_target_controls_scheduling_granularity() {
         let a = img("####....\n..##..##\n........\n#.#.#.#.\n");
         let b = img("####....\n..##..#.\n...##...\n.#.#.#.#\n");
@@ -1348,6 +1581,34 @@ mod tests {
         let mut fine = DiffPipelineConfig::new(2).chunk_target(1).build();
         let (_, stats) = fine.diff_images(&a, &b).unwrap();
         assert_eq!(stats.chunks, 4);
+    }
+
+    #[test]
+    fn derived_chunk_plan_feeds_every_worker() {
+        // One pathologically heavy row used to swallow the whole derived
+        // weight target, leaving fewer chunks than workers and most of the
+        // pool idle; the plan must split until every worker can get a
+        // chunk.
+        let width = 4096u32;
+        let heavy: Vec<(u32, u32)> = (0..512).map(|i| (i * 8, 3)).collect();
+        let mut rows = vec![RleRow::from_pairs(width, &heavy).unwrap()];
+        for _ in 0..7 {
+            rows.push(RleRow::new(width));
+        }
+        let a = RleImage::from_rows(width, rows).unwrap();
+        let b = RleImage::new(width, 8);
+        let mut pipeline = DiffPipeline::new(4);
+        let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+        assert_eq!(got, xor_image(&a, &b).unwrap().0);
+        assert!(
+            stats.chunks >= 4,
+            "derived plan must feed all 4 workers: {stats:?}"
+        );
+        // An image shorter than the pool caps at one chunk per row.
+        let a = img("####....\n..##..##\n");
+        let b = img("####....\n..##..#.\n");
+        let (_, stats) = pipeline.diff_images(&a, &b).unwrap();
+        assert_eq!(stats.chunks, 2);
     }
 
     #[test]
@@ -1451,6 +1712,7 @@ mod tests {
         assert_eq!(config.retry_limit, 2);
         assert!(config.row_deadline.is_none());
         assert_eq!(config.kernel, Kernel::Auto);
+        assert_eq!(config.simd, None, "SIMD level is auto-detected");
         assert_eq!(config.chunk_target, None);
         assert_eq!(config.observe, None, "observability is opt-in");
         let config = DiffPipelineConfig::new(2)
@@ -1458,15 +1720,19 @@ mod tests {
             .row_deadline(Duration::from_millis(250))
             .shutdown_grace(Duration::from_millis(100))
             .kernel(Kernel::Packed)
+            .simd(SimdLevel::Scalar)
             .chunk_target(64);
         assert_eq!(config.threads, 2);
         assert_eq!(config.retry_limit, 5);
         assert_eq!(config.row_deadline, Some(Duration::from_millis(250)));
         assert_eq!(config.shutdown_grace, Duration::from_millis(100));
         assert_eq!(config.kernel, Kernel::Packed);
+        assert_eq!(config.simd, Some(SimdLevel::Scalar));
         assert_eq!(config.chunk_target, Some(64));
         let pipeline = config.build();
         assert_eq!(pipeline.workers(), 2);
+        assert_eq!(pipeline.simd_level(), SimdLevel::Scalar);
+        assert_eq!(pipeline.abandoned(), 0);
     }
 
     #[test]

@@ -52,7 +52,11 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is
+// `engine::simd`, whose `core::arch` intrinsics require `unsafe` and which
+// carries its own allow plus per-function safety contracts. Everything
+// else in the crate remains unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod array;
 pub mod bus;
@@ -74,6 +78,7 @@ pub use array::{systolic_xor, SystolicArray};
 pub use engine::fault::{Fault, FaultPlan};
 pub use engine::kernel::{Kernel, KernelChoice};
 pub use engine::pipeline::{DiffPipeline, DiffPipelineConfig, SupervisionCounters};
+pub use engine::simd::SimdLevel;
 pub use error::SystolicError;
 pub use obs::{MetricsSnapshot, ObsConfig, Observer, TraceEvent, TraceKind};
 pub use stats::{ArrayStats, PipelineStats};

@@ -47,6 +47,21 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Adds `n`. Callers must pair every `add` with a matching [`Self::sub`]
+    /// inside the same critical section that mutates the mirrored
+    /// structure (the sharded queues do this per shard lock), so the gauge
+    /// can drift neither negative nor away from the ledger.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` (see [`Self::add`] for the pairing discipline).
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
     /// Current value.
     #[must_use]
     pub fn get(&self) -> i64 {
@@ -205,6 +220,9 @@ pub struct MetricsRegistry {
     pub chunks_dispatched: Counter,
     /// Chunks a worker carried to completion and sent back.
     pub chunks_completed: Counter,
+    /// Chunks a worker popped from another worker's shard (work-stealing
+    /// on the sharded scheduler; a measure of tail imbalance).
+    pub chunks_stolen: Counter,
     /// Chunk re-enqueues after a panic or worker death (mirrors
     /// `SupervisionCounters::retries`).
     pub retries: Counter,
@@ -247,6 +265,7 @@ impl MetricsRegistry {
             rows_systolic_kernel: self.rows_systolic_kernel.get(),
             chunks_dispatched: self.chunks_dispatched.get(),
             chunks_completed: self.chunks_completed.get(),
+            chunks_stolen: self.chunks_stolen.get(),
             retries: self.retries.get(),
             respawns: self.respawns.get(),
             timeouts: self.timeouts.get(),
@@ -280,6 +299,7 @@ pub struct MetricsSnapshot {
     pub rows_systolic_kernel: u64,
     pub chunks_dispatched: u64,
     pub chunks_completed: u64,
+    pub chunks_stolen: u64,
     pub retries: u64,
     pub respawns: u64,
     pub timeouts: u64,
@@ -306,7 +326,7 @@ impl MetricsSnapshot {
             + self.rows_systolic_kernel
     }
 
-    fn counters(&self) -> [(&'static str, u64); 16] {
+    fn counters(&self) -> [(&'static str, u64); 17] {
         [
             ("rows_submitted", self.rows_submitted),
             ("rows_completed", self.rows_completed),
@@ -320,6 +340,7 @@ impl MetricsSnapshot {
             ("rows_systolic_kernel", self.rows_systolic_kernel),
             ("chunks_dispatched", self.chunks_dispatched),
             ("chunks_completed", self.chunks_completed),
+            ("chunks_stolen", self.chunks_stolen),
             ("retries", self.retries),
             ("respawns", self.respawns),
             ("timeouts", self.timeouts),

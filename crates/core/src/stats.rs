@@ -114,6 +114,10 @@ pub struct PipelineStats {
     /// Contiguous row chunks the scheduler dispatched (the checkout and
     /// retry granularity; see `DiffPipelineConfig::chunk_target`).
     pub chunks: usize,
+    /// Chunks a worker stole from another worker's shard during this batch
+    /// (tail rebalancing on the sharded scheduler; 0 when every shard
+    /// drained its own queue in time).
+    pub chunks_stolen: u64,
     /// Rows short-circuited without running any kernel (equal inputs or an
     /// empty side; see [`crate::engine::kernel::KernelChoice::FastPath`]).
     pub rows_fast_path: usize,

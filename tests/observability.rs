@@ -275,6 +275,47 @@ fn row_errors_are_ledgered_not_lost() {
     );
 }
 
+#[test]
+fn gauges_never_go_negative_under_concurrent_sampling() {
+    // The queue-depth gauge moves inside the same shard-lock critical
+    // sections that mutate the sharded queues, so no interleaving of
+    // pushes, pops and steals can ever expose a negative depth to a
+    // concurrent scraper. Hammer several batches while a sampler thread
+    // reads both gauges as fast as it can.
+    let (a, b) = image_pair(512, 32, 0x6A06);
+    let expected = xor_image(&a, &b).unwrap().0;
+    let mut pipeline = DiffPipelineConfig::new(4).chunk_target(1).observe().build();
+    let obs = pipeline.observer().unwrap();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler = {
+        let obs = Arc::clone(&obs);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut samples = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let s = obs.metrics_snapshot();
+                assert!(s.queue_depth >= 0, "queue_depth went negative: {s:?}");
+                assert!(s.in_flight >= 0, "in_flight went negative: {s:?}");
+                samples += 1;
+            }
+            samples
+        })
+    };
+
+    for _ in 0..6 {
+        let (got, _) = pipeline.diff_images(&a, &b).unwrap();
+        assert_eq!(got, expected);
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let samples = sampler.join().expect("sampler found a negative gauge");
+    assert!(samples > 0, "sampler must have observed the run");
+
+    // Quiescent: both gauges return exactly to zero and the ledger closes.
+    let s = obs.metrics_snapshot();
+    assert_ledger_closed(&s);
+}
+
 // ---------------------------------------------------------------------------
 // Satellite: the §5 Observation through the observed pipeline.
 // ---------------------------------------------------------------------------

@@ -151,14 +151,67 @@ fn stalled_worker_trips_the_batch_deadline_instead_of_hanging() {
         "deadline must fire long before the 30 s stall ends"
     );
     assert_eq!(pipeline.supervision_counters().timeouts, 1);
-    // The wedged worker's row is still checked out; the abandoned batch
-    // reports it honestly.
-    assert!(pipeline.in_flight() >= 1);
+    // The aborted batch abandons its remaining rows behind the ticket
+    // watermark: the pipeline is immediately idle again, and the wedged
+    // worker's outstanding rows are reported honestly as abandoned.
+    assert_eq!(pipeline.in_flight(), 0);
+    assert!(pipeline.abandoned() >= 1, "{pipeline:?}");
     drop(pipeline); // must not deadlock: wedged worker is detached after grace
     assert!(
         start.elapsed() < Duration::from_secs(10),
         "drop must not wait out the stall"
     );
+}
+
+#[test]
+fn abandoned_batch_heals_and_stale_deliveries_are_discarded() {
+    quiet_injected_panics();
+    let (a, b) = image_pair(8);
+    let (expected, _) = xor_image(&a, &b).unwrap();
+    // Worker 0 wedges for ~600 ms on the first batch; the 100 ms deadline
+    // abandons that batch long before the stall ends.
+    let mut pipeline = DiffPipelineConfig::new(2)
+        .row_deadline(Duration::from_millis(100))
+        .observe()
+        .fault_plan(FaultPlan::new().stall_on_row(1, Duration::from_millis(600)))
+        .build();
+    let err = pipeline.diff_images(&a, &b).unwrap_err();
+    assert!(
+        matches!(err, SystolicError::DeadlineExceeded { .. }),
+        "{err:?}"
+    );
+    assert_eq!(pipeline.in_flight(), 0, "abandon must leave the pool idle");
+    let abandoned = pipeline.abandoned();
+    assert!(abandoned >= 1, "{pipeline:?}");
+
+    // A new batch on the surviving worker succeeds bit-identically while
+    // its sibling is still wedged mid-stall.
+    let (got, _) = pipeline.diff_images(&a, &b).unwrap();
+    assert_eq!(got, expected, "pool must keep working around the stall");
+
+    // Once the stall ends, the wedged worker delivers its stale chunk. The
+    // collector discards it at the watermark — it must never leak into a
+    // later batch — and the abandoned count drains back to zero.
+    std::thread::sleep(Duration::from_millis(700));
+    let (again, _) = pipeline.diff_images(&a, &b).unwrap();
+    assert_eq!(again, expected, "stale rows must not pollute this batch");
+    assert!(
+        pipeline.drain().is_empty(),
+        "nothing legitimately in flight"
+    );
+    assert_eq!(pipeline.abandoned(), 0, "stale deliveries all reaped");
+    assert_eq!(pipeline.in_flight(), 0);
+
+    // The metrics ledger reconciles across abandon + discard: every diffed
+    // row was either handed to a caller or booked as discarded.
+    let obs = pipeline.observer().expect("observability enabled");
+    let snap = obs.metrics_snapshot();
+    assert_eq!(
+        snap.rows_diffed,
+        snap.rows_completed + snap.rows_discarded,
+        "{snap:?}"
+    );
+    assert_eq!((snap.queue_depth, snap.in_flight), (0, 0), "{snap:?}");
 }
 
 #[test]

@@ -114,6 +114,40 @@ fn xor_kernels_agree_around_the_calibrated_threshold() {
 }
 
 #[test]
+fn packed_kernel_is_bit_identical_at_every_simd_level() {
+    use rle_systolic::systolic_core::SimdLevel;
+    // Force each level explicitly (the SYSTOLIC_SIMD env path is the same
+    // resolve call, exercised by CI re-running this suite under each
+    // value); a request above the host's capability clamps down, so every
+    // scratch built here is executable.
+    for level in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+        let mut scratch = KernelScratch::with_simd(level);
+        assert!(
+            scratch.simd() <= SimdLevel::detect(),
+            "forced level must clamp to hardware: {} on {}",
+            scratch.simd(),
+            SimdLevel::detect()
+        );
+        for width in [64u32, 65, 127, 300, 512, 1000] {
+            for density in [0.02, 0.1, 0.3, 0.5, 0.8, 0.95] {
+                let params = GenParams::for_density(width, density);
+                let a = RowGenerator::new(params, 0x51D + width as u64).next_row();
+                let b = errors::apply_errors(&a, &ErrorModel::fraction(0.1), 0xFEED);
+                let expected = rle::ops::xor(&a, &b);
+                let (got, stats, _) = diff_row(Kernel::Packed, &mut scratch, &a, &b)
+                    .unwrap_or_else(|e| panic!("{level} failed: {e}"));
+                assert_eq!(
+                    got, expected,
+                    "SIMD {level} disagrees at width {width}, density {density}"
+                );
+                assert_eq!(stats.k1, a.run_count());
+                assert_eq!(stats.k2, b.run_count());
+            }
+        }
+    }
+}
+
+#[test]
 fn xor_kernels_agree_on_degenerate_rows() {
     for width in [1u32, 2, 63, 64, 65] {
         let empty = RleRow::new(width);
