@@ -1,0 +1,148 @@
+//! Experiment E14: request latency and saturation throughput of the
+//! `diffd` network front end.
+//!
+//! An in-process `DiffServer` is bound on a loopback port and driven by
+//! N ∈ {1, 2, 4, 8} concurrent synthetic clients, each looping
+//! request/response over its own connection for a fixed wall window.
+//! Every reply is verified against the local `RleImage::xor` reference,
+//! so the load run doubles as a correctness soak. Reported per client
+//! count: p50/p99 request latency and aggregate requests/s; the maximum
+//! across client counts is the saturation throughput.
+//!
+//! Results are written to `BENCH_diffd.json` at the workspace root.
+//! Hand-rolled timing loop (not criterion): concurrent open-loop clients
+//! need raw per-request samples for the percentile report.
+//!
+//! Set `BENCH_SMOKE=1` for a seconds-scale smoke run (one client count,
+//! short window, no JSON rewrite) — used by the CI diffd-smoke job.
+
+use diffd::{DiffClient, DiffServer, DiffServerConfig};
+use rle::RleImage;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use workload::{errors, ErrorModel, GenParams, RowGenerator};
+
+const WIDTH: u32 = 2_048;
+const HEIGHT: usize = 128;
+const DENSITY: f64 = 0.3;
+
+fn build_pair(seed: u64) -> (RleImage, RleImage) {
+    let params = GenParams::for_density(WIDTH, DENSITY);
+    let a = RowGenerator::new(params, seed).next_image(HEIGHT);
+    let b = errors::apply_errors_image(&a, &ErrorModel::fraction(0.02), seed ^ 0xE14);
+    (a, b)
+}
+
+/// One client: request/response against `addr` until `window` elapses.
+/// Returns per-request latencies in milliseconds.
+fn drive_client(addr: std::net::SocketAddr, seed: u64, window: Duration) -> Vec<f64> {
+    let (a, b) = build_pair(seed);
+    let expected = a.xor(&b).expect("reference xor");
+    let mut client = DiffClient::connect(addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut latencies = Vec::new();
+    let until = Instant::now() + window;
+    while Instant::now() < until {
+        let t0 = Instant::now();
+        let reply = client.diff(&a, &b, 0).expect("diff request");
+        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(reply.image, expected, "server diff must match reference");
+    }
+    latencies
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let (window, client_counts): (Duration, &[usize]) = if smoke {
+        (Duration::from_millis(300), &[2])
+    } else {
+        (Duration::from_millis(1_500), &[1, 2, 4, 8])
+    };
+
+    let server =
+        DiffServer::bind("127.0.0.1:0", DiffServerConfig::default()).expect("bind loopback server");
+    let addr = server.local_addr();
+    let (handle, join) = server.spawn();
+    println!(
+        "diffd_load{}: {WIDTH}x{HEIGHT} images at density {DENSITY}, \
+         {:.1} s window per point, server {addr}",
+        if smoke { " (smoke)" } else { "" },
+        window.as_secs_f64(),
+    );
+
+    let mut json_rows = String::new();
+    let mut saturation_rps = 0.0f64;
+    for &clients in client_counts {
+        let t0 = Instant::now();
+        let workers: Vec<_> = (0..clients)
+            .map(|c| std::thread::spawn(move || drive_client(addr, 0xBE9C + c as u64, window)))
+            .collect();
+        let mut latencies: Vec<f64> = Vec::new();
+        for w in workers {
+            latencies.extend(w.join().expect("client thread"));
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        latencies.sort_by(|x, y| x.partial_cmp(y).expect("finite latencies"));
+        let (p50, p99) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+        let rps = latencies.len() as f64 / wall;
+        saturation_rps = saturation_rps.max(rps);
+        println!(
+            "  clients={clients}: {} requests, p50 {p50:.3} ms, p99 {p99:.3} ms, {rps:.1} req/s",
+            latencies.len(),
+        );
+        let _ = write!(
+            json_rows,
+            "{}    {{\"clients\": {clients}, \"requests\": {}, \
+             \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"throughput_rps\": {rps:.1}}}",
+            if json_rows.is_empty() { "" } else { ",\n" },
+            latencies.len(),
+        );
+    }
+
+    handle.shutdown();
+    join.join().expect("server drain");
+    let m = handle.server_metrics();
+    assert_eq!(
+        m.requests.get(),
+        m.responses_total(),
+        "request ledger closes"
+    );
+    assert_eq!(
+        handle.pipeline_in_flight(),
+        0,
+        "no leaked tickets after the soak"
+    );
+    println!(
+        "  server ledger: {} requests, {} ok, saturation {saturation_rps:.1} req/s",
+        m.requests.get(),
+        m.responses_ok.get(),
+    );
+
+    if smoke {
+        println!("smoke run: ledger guards passed; BENCH_diffd.json left untouched");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"diffd_load\",\n  \"image\": {{\"width\": {WIDTH}, \
+         \"height\": {HEIGHT}, \"density\": {DENSITY}}},\n  \
+         \"window_s\": {:.3},\n  \"saturation_rps\": {saturation_rps:.1},\n  \
+         \"results\": [\n{json_rows}\n  ]\n}}\n",
+        window.as_secs_f64(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_diffd.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

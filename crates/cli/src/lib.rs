@@ -135,6 +135,28 @@ pub enum Command {
         /// Text for the `glyphs` kind.
         text: String,
     },
+    /// Drive a remote `diffd` server with synthetic load and report
+    /// latency percentiles and throughput.
+    DiffClient {
+        /// Server address (`host:port`).
+        addr: String,
+        /// Concurrent client connections.
+        clients: usize,
+        /// Requests per client.
+        requests: usize,
+        /// Synthetic image width in pixels.
+        width: u32,
+        /// Synthetic image height in rows.
+        height: usize,
+        /// Foreground density of the synthetic images.
+        density: f64,
+        /// RNG seed for the synthetic images.
+        seed: u64,
+        /// Per-request deadline in milliseconds (`0` = server default).
+        deadline_ms: u32,
+        /// Write the summary as JSON here as well as printing it.
+        json_out: Option<PathBuf>,
+    },
     /// Show usage.
     Help,
 }
@@ -190,9 +212,14 @@ usage:
   rlediff info <file>
   rlediff components <file> [--min-area N]
   rlediff gen <pcb|paper|glyphs> -o <out> [--seed N] [--text S]
+  rlediff diff-client <host:port> [--clients N] [--requests N] [--width N]
+                      [--height N] [--density F] [--seed N] [--deadline-ms N]
+                      [--json-out PATH]
 
 Inputs and outputs may be PBM (P1/P4, by .pbm extension) or the compact
-RLE stream format (any other extension).";
+RLE stream format (any other extension). `diff-client` generates a
+synthetic workload and drives a running `diffd` server, reporting p50/p99
+latency and throughput.";
 
 /// Parses an argument vector (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
@@ -210,6 +237,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut metrics_out: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut text = String::from("RLE SYSTOLIC 1999");
+    let mut clients = 1usize;
+    let mut requests = 16usize;
+    let mut width = 512u32;
+    let mut height = 128usize;
+    let mut density = 0.3f64;
+    let mut deadline_ms = 0u32;
+    let mut json_out: Option<PathBuf> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -300,6 +334,60 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .parse()
                     .map_err(|_| CliError::Usage("--seed needs a number".into()))?;
             }
+            "--clients" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--clients needs a value".into()))?;
+                clients = v
+                    .parse()
+                    .map_err(|_| CliError::Usage("--clients needs a number".into()))?;
+            }
+            "--requests" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--requests needs a value".into()))?;
+                requests = v
+                    .parse()
+                    .map_err(|_| CliError::Usage("--requests needs a number".into()))?;
+            }
+            "--width" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--width needs a value".into()))?;
+                width = v
+                    .parse()
+                    .map_err(|_| CliError::Usage("--width needs a number".into()))?;
+            }
+            "--height" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--height needs a value".into()))?;
+                height = v
+                    .parse()
+                    .map_err(|_| CliError::Usage("--height needs a number".into()))?;
+            }
+            "--density" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--density needs a value".into()))?;
+                density = v
+                    .parse()
+                    .map_err(|_| CliError::Usage("--density needs a number".into()))?;
+            }
+            "--deadline-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--deadline-ms needs a value".into()))?;
+                deadline_ms = v
+                    .parse()
+                    .map_err(|_| CliError::Usage("--deadline-ms needs a number".into()))?;
+            }
+            "--json-out" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--json-out needs a path".into()))?;
+                json_out = Some(PathBuf::from(v));
+            }
             "--text" => {
                 let v = it
                     .next()
@@ -353,6 +441,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             seed,
             text,
         }),
+        ["diff-client", addr] => {
+            if clients == 0 || requests == 0 {
+                return Err(CliError::Usage(
+                    "--clients and --requests must be at least 1".into(),
+                ));
+            }
+            Ok(Command::DiffClient {
+                addr: (*addr).to_string(),
+                clients,
+                requests,
+                width,
+                height,
+                density,
+                seed,
+                deadline_ms,
+                json_out,
+            })
+        }
         [] => Ok(Command::Help),
         other => Err(CliError::Usage(format!(
             "unrecognised arguments: {other:?}"
@@ -551,6 +657,19 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             if metrics_out.is_some() || trace_out.is_some() {
                 config = config.observe();
             }
+            // Deterministic wedge for black-box deadline drills: with the
+            // fault-injection build, RLEDIFF_FAULT_STALL_MS=N stalls the
+            // batch's first row for N ms so `--timeout-ms` can trip.
+            #[cfg(feature = "fault-injection")]
+            if let Some(ms) = std::env::var("RLEDIFF_FAULT_STALL_MS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                config = config.fault_plan(
+                    systolic_core::FaultPlan::new()
+                        .stall_on_row(0, std::time::Duration::from_millis(ms)),
+                );
+            }
             let mut pipeline = config.build();
             let (mut diff, stats) = pipeline.diff_images_shared(&ia, &ib).map_err(|e| match e {
                 systolic_core::SystolicError::WidthMismatch { .. }
@@ -676,7 +795,156 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
                 out.display()
             ))
         }
+        Command::DiffClient {
+            addr,
+            clients,
+            requests,
+            width,
+            height,
+            density,
+            seed,
+            deadline_ms,
+            json_out,
+        } => run_diff_client(
+            addr,
+            *clients,
+            *requests,
+            *width,
+            *height,
+            *density,
+            *seed,
+            *deadline_ms,
+            json_out.as_deref(),
+        ),
     }
+}
+
+/// Typed per-request outcomes the load generator tallies; anything else
+/// (a transport failure, a protocol violation) aborts the run.
+#[derive(Default, Clone, Copy)]
+struct LoadTally {
+    ok: u64,
+    shed: u64,
+    deadline: u64,
+    other_server: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_diff_client(
+    addr: &str,
+    clients: usize,
+    requests: usize,
+    width: u32,
+    height: usize,
+    density: f64,
+    seed: u64,
+    deadline_ms: u32,
+    json_out: Option<&Path>,
+) -> Result<String, CliError> {
+    use diffd::proto::ErrorCode;
+    use std::time::Instant;
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || -> Result<(Vec<f64>, LoadTally), String> {
+                // Per-client synthetic pair; replies are verified against
+                // the local reference so the load run doubles as a
+                // correctness check.
+                let params = workload::GenParams::for_density(width, density);
+                let a = workload::RowGenerator::new(params, seed.wrapping_add(c as u64))
+                    .next_image(height);
+                let b = workload::errors::apply_errors_image(
+                    &a,
+                    &workload::ErrorModel::fraction(0.05),
+                    seed ^ 0x00C1_1E47 ^ c as u64,
+                );
+                let expected = a.xor(&b).map_err(|e| e.to_string())?;
+                let mut client = diffd::DiffClient::connect(&addr)
+                    .map_err(|e| format!("connect {addr}: {e}"))?;
+                let mut latencies_ms = Vec::with_capacity(requests);
+                let mut tally = LoadTally::default();
+                for _ in 0..requests {
+                    let t0 = Instant::now();
+                    match client.diff(&a, &b, deadline_ms) {
+                        Ok(reply) => {
+                            if reply.image != expected {
+                                return Err("server returned a wrong diff".into());
+                            }
+                            latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                            tally.ok += 1;
+                        }
+                        Err(diffd::ClientError::Server { code, .. }) => match code {
+                            ErrorCode::Overloaded => tally.shed += 1,
+                            ErrorCode::DeadlineExceeded => tally.deadline += 1,
+                            _ => tally.other_server += 1,
+                        },
+                        Err(e) => return Err(e.to_string()),
+                    }
+                }
+                Ok((latencies_ms, tally))
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut tally = LoadTally::default();
+    for w in workers {
+        let (lat, t) = w
+            .join()
+            .map_err(|_| CliError::Pipeline("a load client panicked".into()))?
+            .map_err(CliError::Pipeline)?;
+        latencies.extend(lat);
+        tally.ok += t.ok;
+        tally.shed += t.shed;
+        tally.deadline += t.deadline;
+        tally.other_server += t.other_server;
+    }
+    let wall = started.elapsed().as_secs_f64();
+    latencies.sort_by(|x, y| x.partial_cmp(y).expect("latencies are finite"));
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    let (p50, p99) = (pct(0.50), pct(0.99));
+    let throughput = if wall > 0.0 {
+        tally.ok as f64 / wall
+    } else {
+        0.0
+    };
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "diff-client: {clients} clients x {requests} requests against {addr}"
+    );
+    let _ = writeln!(
+        s,
+        "  workload   : {width}x{height} at density {density:.2}, seed {seed}"
+    );
+    let _ = writeln!(
+        s,
+        "  outcomes   : {} ok, {} shed, {} deadline, {} other",
+        tally.ok, tally.shed, tally.deadline, tally.other_server
+    );
+    let _ = writeln!(s, "  latency    : p50 {p50:.3} ms, p99 {p99:.3} ms");
+    let _ = writeln!(
+        s,
+        "  throughput : {throughput:.1} requests/s over {wall:.3} s"
+    );
+    if let Some(path) = json_out {
+        let json = format!(
+            "{{\n  \"addr\": \"{addr}\",\n  \"clients\": {clients},\n  \"requests_per_client\": {requests},\n  \"width\": {width},\n  \"height\": {height},\n  \"density\": {density},\n  \"ok\": {},\n  \"shed\": {},\n  \"deadline\": {},\n  \"other_server_errors\": {},\n  \"p50_ms\": {p50},\n  \"p99_ms\": {p99},\n  \"throughput_rps\": {throughput},\n  \"wall_s\": {wall}\n}}\n",
+            tally.ok, tally.shed, tally.deadline, tally.other_server
+        );
+        fs::write(path, json)?;
+        let _ = writeln!(s, "wrote {} (summary)", path.display());
+    }
+    Ok(s)
 }
 
 fn run_diff(a: &RleImage, b: &RleImage, algo: Algo) -> Result<(RleImage, String), CliError> {
@@ -1224,5 +1492,105 @@ mod tests {
         let out = run_command(&Command::Help).unwrap();
         assert!(out.contains("rlediff"));
         assert!(out.contains("diff"));
+        assert!(out.contains("diff-client"));
+    }
+
+    #[test]
+    fn parse_diff_client_with_options() {
+        let cmd = parse_args(&args(&[
+            "diff-client",
+            "127.0.0.1:7177",
+            "--clients",
+            "4",
+            "--requests",
+            "32",
+            "--width",
+            "256",
+            "--height",
+            "64",
+            "--density",
+            "0.25",
+            "--seed",
+            "9",
+            "--deadline-ms",
+            "500",
+            "--json-out",
+            "load.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::DiffClient {
+                addr: "127.0.0.1:7177".into(),
+                clients: 4,
+                requests: 32,
+                width: 256,
+                height: 64,
+                density: 0.25,
+                seed: 9,
+                deadline_ms: 500,
+                json_out: Some("load.json".into()),
+            }
+        );
+        assert!(matches!(
+            parse_args(&args(&["diff-client", "host:1", "--clients", "0"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["diff-client", "host:1", "--density", "thick"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn diff_client_drives_a_loopback_server_and_writes_json() {
+        let server =
+            diffd::DiffServer::bind("127.0.0.1:0", diffd::DiffServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let (handle, join) = server.spawn();
+
+        let json_path = tmp("load.json");
+        let out = run_command(&Command::DiffClient {
+            addr: addr.to_string(),
+            clients: 2,
+            requests: 3,
+            width: 64,
+            height: 16,
+            density: 0.3,
+            seed: 1,
+            deadline_ms: 0,
+            json_out: Some(json_path.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("6 ok, 0 shed"), "{out}");
+        assert!(out.contains("p50"), "{out}");
+        assert!(out.contains("requests/s"), "{out}");
+
+        let json = fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"ok\": 6"), "{json}");
+        assert!(json.contains("\"p99_ms\""), "{json}");
+
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn diff_client_reports_connect_failure_as_an_error() {
+        // A port nothing listens on: the run must fail with a typed error,
+        // not hang or panic.
+        let err = run_command(&Command::DiffClient {
+            addr: "127.0.0.1:1".into(),
+            clients: 1,
+            requests: 1,
+            width: 32,
+            height: 4,
+            density: 0.3,
+            seed: 1,
+            deadline_ms: 0,
+            json_out: None,
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Pipeline(_)), "{err:?}");
+        assert!(err.to_string().contains("connect"), "{err}");
     }
 }

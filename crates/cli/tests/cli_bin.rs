@@ -309,6 +309,75 @@ fn diff_image_metrics_out_emits_a_parsable_consistent_snapshot() {
     assert_eq!(kernels, rows);
 }
 
+/// The robustness contract of `--timeout-ms` end to end: a wedged worker
+/// (deterministically injected via `RLEDIFF_FAULT_STALL_MS`) must surface
+/// as exit code 1 with the pipeline's deadline message on stderr — no
+/// panic, no hang. Requires `--features fault-injection`.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn diff_image_timeout_under_a_stalled_worker_exits_one_with_deadline_message() {
+    let a = tmp("s_a.pbm");
+    let b = tmp("s_b.pbm");
+    rlediff(&[
+        "gen",
+        "glyphs",
+        "-o",
+        a.to_str().unwrap(),
+        "--text",
+        "STALL",
+    ]);
+    rlediff(&[
+        "gen",
+        "glyphs",
+        "-o",
+        b.to_str().unwrap(),
+        "--text",
+        "STALK",
+    ]);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_rlediff"))
+        .args([
+            "diff-image",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--timeout-ms",
+            "50",
+        ])
+        .env("RLEDIFF_FAULT_STALL_MS", "2000")
+        .output()
+        .expect("binary must run");
+    assert_eq!(out.status.code(), Some(1), "deadline expiry is exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("deadline exceeded"),
+        "stderr must carry the DeadlineExceeded message: {stderr}"
+    );
+    assert!(stderr.contains("pipeline error"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "no panic leaks: {stderr}");
+
+    // Same flags without the injected stall: clean success, proving the
+    // failure above was the deadline and not the flag plumbing.
+    let out = Command::new(env!("CARGO_BIN_EXE_rlediff"))
+        .args([
+            "diff-image",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--timeout-ms",
+            "50",
+        ])
+        .output()
+        .expect("binary must run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
 #[test]
 fn diff_of_identical_inputs_is_empty() {
     let a = tmp("i_a.pbm");

@@ -318,6 +318,32 @@ pub struct SupervisionCounters {
     pub timeouts: u64,
 }
 
+/// A point-in-time view of how much work the pipeline is carrying — the
+/// input to admission-control decisions (see [`DiffPipeline::load`]).
+/// Mirrors the `queue_depth`/`in_flight` gauges but is read from the
+/// collector's exact bookkeeping rather than the racy metric atomics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineLoad {
+    /// Chunks sitting in shard queues, not yet checked out.
+    pub queued_chunks: usize,
+    /// Completed chunks delivered but not yet swept by the collector.
+    pub ready_chunks: usize,
+    /// Rows submitted but not yet handed back to the caller.
+    pub in_flight_rows: usize,
+    /// Rows written off by an aborted batch whose stale results are still
+    /// outstanding (see [`DiffPipeline::abandoned`]).
+    pub abandoned_rows: usize,
+}
+
+/// Deadline policy for one batch run: either the configured per-collect
+/// `row_deadline`, or a hard wall-clock instant for the whole batch (the
+/// per-request deadline network front ends map onto `collect_timeout`).
+#[derive(Clone, Copy, Debug)]
+enum BatchDeadline {
+    Config,
+    Total(Instant),
+}
+
 /// Where a chunk's row pairs live. Cloning is `Arc`-cheap in both cases,
 /// which is what makes chunk checkout (and retry re-enqueue) free of row
 /// copies.
@@ -702,6 +728,30 @@ impl DiffPipeline {
         self.abandoned
     }
 
+    /// The ticket the *next* submitted row will receive. Batch front-ends
+    /// allocate one ticket per row in submission order, so a caller that
+    /// reads this before and after a batch call knows the half-open ticket
+    /// range `[before, after)` the batch occupied — the hook `diffd` uses
+    /// to map connection-level request ids onto pipeline tickets.
+    #[must_use]
+    pub fn next_ticket(&self) -> u64 {
+        self.next_ticket
+    }
+
+    /// A point-in-time load snapshot — the admission-control ("shed")
+    /// hook. Complements the lock-free `queue_depth`/`in_flight` gauges on
+    /// [`Self::observer`]: those can be read without holding the pipeline,
+    /// while this reads the collector-owned exact values.
+    #[must_use]
+    pub fn load(&self) -> PipelineLoad {
+        PipelineLoad {
+            queued_chunks: self.shared.queued.load(Ordering::Relaxed),
+            ready_chunks: self.shared.ready.load(Ordering::Relaxed),
+            in_flight_rows: self.in_flight,
+            abandoned_rows: self.abandoned,
+        }
+    }
+
     /// Lifetime supervision totals (see [`SupervisionCounters`]).
     #[must_use]
     pub fn supervision_counters(&self) -> SupervisionCounters {
@@ -1011,6 +1061,17 @@ impl DiffPipeline {
         self.pending.clear();
         self.abandoned_below = self.next_ticket;
         self.abandoned += self.in_flight;
+        // Ledger: dropped rows never ran and wedged rows will be discarded
+        // on arrival, so neither can ever reach `rows_completed` /
+        // `rows_errored`; booking them here closes
+        // `rows_submitted == rows_completed + rows_errored + rows_abandoned`.
+        // (Swept-but-undelivered pending rows were already absorbed as
+        // completed/errored above, so they are *not* re-counted.)
+        if let Some(obs) = &self.shared.obs {
+            obs.metrics
+                .rows_abandoned
+                .add((dropped_rows + self.in_flight) as u64);
+        }
         self.in_flight = 0;
         self.sync_flight_gauge();
     }
@@ -1116,7 +1177,13 @@ impl DiffPipeline {
         // The old scheduler cloned each row at submit AND at checkout; the
         // per-chunk copy keeps only the submit-time clone.
         let clones_avoided = 2 * a.height() as u64;
-        self.run_batch(a.width(), a.height(), jobs, clones_avoided)
+        self.run_batch(
+            a.width(),
+            a.height(),
+            jobs,
+            clones_avoided,
+            BatchDeadline::Config,
+        )
     }
 
     /// Zero-copy batch: like [`Self::diff_images`], but the chunks borrow
@@ -1138,7 +1205,51 @@ impl DiffPipeline {
             b: Arc::clone(b),
         });
         let clones_avoided = 4 * a.height() as u64;
-        self.run_batch(a.width(), a.height(), jobs, clones_avoided)
+        self.run_batch(
+            a.width(),
+            a.height(),
+            jobs,
+            clones_avoided,
+            BatchDeadline::Config,
+        )
+    }
+
+    /// Zero-copy batch with a **per-call wall-clock budget**: the whole
+    /// batch must complete within `budget`, with each collect waiting only
+    /// the remaining slice of it (mapped onto [`Self::collect_timeout`]).
+    /// On expiry the batch is abandoned behind the ticket watermark exactly
+    /// like a [`DiffPipelineConfig::row_deadline`] abort — the pipeline is
+    /// immediately idle and reusable, and the wedged rows surface in
+    /// [`Self::abandoned`] / the `rows_abandoned` counter.
+    ///
+    /// This is the per-request deadline hook for network front ends: one
+    /// shared pipeline can serve callers with different deadlines without
+    /// rebuilding, and a wedged row can never wedge a caller for longer
+    /// than its own budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if streaming submissions are still in flight.
+    pub fn diff_images_deadline(
+        &mut self,
+        a: &Arc<RleImage>,
+        b: &Arc<RleImage>,
+        budget: Duration,
+    ) -> Result<(RleImage, PipelineStats), SystolicError> {
+        assert!(self.in_flight == 0, "diff_images needs an idle pipeline");
+        check_dims(a, b)?;
+        let jobs = self.plan_chunks(a, b, |_, _| RowsSource::Shared {
+            a: Arc::clone(a),
+            b: Arc::clone(b),
+        });
+        let clones_avoided = 4 * a.height() as u64;
+        self.run_batch(
+            a.width(),
+            a.height(),
+            jobs,
+            clones_avoided,
+            BatchDeadline::Total(Instant::now() + budget),
+        )
     }
 
     /// Common batch engine: deal the planned chunks across the shards,
@@ -1150,6 +1261,7 @@ impl DiffPipeline {
         height: usize,
         jobs: Vec<Job>,
         clones_avoided: u64,
+        deadline: BatchDeadline,
     ) -> Result<(RleImage, PipelineStats), SystolicError> {
         let start = Instant::now();
         let counters_before = self.shared.counters();
@@ -1188,9 +1300,17 @@ impl DiffPipeline {
         let mut seen = vec![false; self.handles.len()];
         let mut first_err: Option<SystolicError> = None;
         loop {
-            let collected = match self.config.row_deadline {
-                Some(deadline) => self.collect_timeout(deadline),
-                None => Ok(self.collect()),
+            let collected = match deadline {
+                BatchDeadline::Config => match self.config.row_deadline {
+                    Some(per_collect) => self.collect_timeout(per_collect),
+                    None => Ok(self.collect()),
+                },
+                // A zero remainder still sweeps already-delivered results
+                // before timing out, so a budget that expires between
+                // collects never drops rows that made it back in time.
+                BatchDeadline::Total(at) => {
+                    self.collect_timeout(at.saturating_duration_since(Instant::now()))
+                }
             };
             let done = match collected {
                 Ok(Some(done)) => done,
@@ -1814,5 +1934,40 @@ mod tests {
         let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
         assert_eq!(got, xor_image(&a, &b).unwrap().0);
         assert_eq!(stats.timeouts, 0);
+    }
+
+    #[test]
+    fn per_call_deadline_batch_matches_reference_and_maps_tickets() {
+        let a = Arc::new(img("####....\n..##..##\n#.#.#.#.\n"));
+        let b = Arc::new(img("###.....\n..##..#.\n.#.#.#.#\n"));
+        let mut pipeline = DiffPipeline::new(2);
+        assert_eq!(pipeline.next_ticket(), 0);
+        let lo = pipeline.next_ticket();
+        let (got, _) = pipeline
+            .diff_images_deadline(&a, &b, Duration::from_secs(10))
+            .unwrap();
+        let hi = pipeline.next_ticket();
+        assert_eq!(got, xor_image(&a, &b).unwrap().0);
+        // One ticket per row, allocated contiguously for the batch.
+        assert_eq!(hi - lo, a.height() as u64);
+        // Different budgets per call on the same pool, no rebuild.
+        let (again, _) = pipeline
+            .diff_images_deadline(&a, &b, Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(again, got);
+        assert_eq!(pipeline.next_ticket(), hi + a.height() as u64);
+    }
+
+    #[test]
+    fn load_snapshot_reports_an_idle_pool() {
+        let a = img("####....\n..##..##\n");
+        let b = img("###.....\n..##..#.\n");
+        let mut pipeline = DiffPipeline::new(2);
+        pipeline.diff_images(&a, &b).unwrap();
+        let load = pipeline.load();
+        assert_eq!(load.queued_chunks, 0);
+        assert_eq!(load.ready_chunks, 0);
+        assert_eq!(load.in_flight_rows, 0);
+        assert_eq!(load.abandoned_rows, 0);
     }
 }

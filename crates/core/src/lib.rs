@@ -77,7 +77,7 @@ pub use array::{systolic_xor, SystolicArray};
 #[cfg(feature = "fault-injection")]
 pub use engine::fault::{Fault, FaultPlan};
 pub use engine::kernel::{Kernel, KernelChoice};
-pub use engine::pipeline::{DiffPipeline, DiffPipelineConfig, SupervisionCounters};
+pub use engine::pipeline::{DiffPipeline, DiffPipelineConfig, PipelineLoad, SupervisionCounters};
 pub use engine::simd::SimdLevel;
 pub use error::SystolicError;
 pub use obs::{MetricsSnapshot, ObsConfig, Observer, TraceEvent, TraceKind};

@@ -190,6 +190,9 @@ impl HistogramSnapshot {
 /// * `row_latency_ns.count == row_runs.count == rows_diffed`
 /// * `rows_diffed == rows_completed + rows_discarded` (absent kernel
 ///   errors, which `diff_images`' dimension check rules out)
+/// * `rows_submitted == rows_completed + rows_errored + rows_abandoned`
+///   (every accepted row is either delivered, delivered-as-error, or
+///   written off by a deadline abort — no row is silently lost)
 /// * `chunk_latency_ns.count == chunks_completed`
 /// * `retries`/`respawns`/`timeouts` equal both the matching trace-event
 ///   counts and the pipeline's `SupervisionCounters`.
@@ -207,6 +210,12 @@ pub struct MetricsRegistry {
     pub rows_kernel_errors: Counter,
     /// Completed row results discarded because their chunk crashed.
     pub rows_discarded: Counter,
+    /// Rows written off when a batch was aborted on a deadline: queued
+    /// rows dropped before any worker ran them, plus rows still checked
+    /// out behind the ticket watermark. The monotonic mirror of
+    /// [`crate::DiffPipeline::abandoned`] (a level that drains back to 0
+    /// as stale results arrive; this counter never decreases).
+    pub rows_abandoned: Counter,
     /// Rows short-circuited by the trivial fast path.
     pub rows_fast_path: Counter,
     /// Rows diffed by the RLE merge kernel.
@@ -259,6 +268,7 @@ impl MetricsRegistry {
             rows_diffed: self.rows_diffed.get(),
             rows_kernel_errors: self.rows_kernel_errors.get(),
             rows_discarded: self.rows_discarded.get(),
+            rows_abandoned: self.rows_abandoned.get(),
             rows_fast_path: self.rows_fast_path.get(),
             rows_rle_kernel: self.rows_rle_kernel.get(),
             rows_packed_kernel: self.rows_packed_kernel.get(),
@@ -293,6 +303,7 @@ pub struct MetricsSnapshot {
     pub rows_diffed: u64,
     pub rows_kernel_errors: u64,
     pub rows_discarded: u64,
+    pub rows_abandoned: u64,
     pub rows_fast_path: u64,
     pub rows_rle_kernel: u64,
     pub rows_packed_kernel: u64,
@@ -326,7 +337,7 @@ impl MetricsSnapshot {
             + self.rows_systolic_kernel
     }
 
-    fn counters(&self) -> [(&'static str, u64); 17] {
+    fn counters(&self) -> [(&'static str, u64); 18] {
         [
             ("rows_submitted", self.rows_submitted),
             ("rows_completed", self.rows_completed),
@@ -334,6 +345,7 @@ impl MetricsSnapshot {
             ("rows_diffed", self.rows_diffed),
             ("rows_kernel_errors", self.rows_kernel_errors),
             ("rows_discarded", self.rows_discarded),
+            ("rows_abandoned", self.rows_abandoned),
             ("rows_fast_path", self.rows_fast_path),
             ("rows_rle_kernel", self.rows_rle_kernel),
             ("rows_packed_kernel", self.rows_packed_kernel),

@@ -1,0 +1,169 @@
+//! A small blocking client for the `diffd` protocol — used by the CLI's
+//! `diff-client` load generator, the loopback test suites and the bench
+//! harness. One connection, sequential request/response.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use rle::RleImage;
+
+use crate::proto::{
+    self, encode_frame, DiffReply, DiffRequest, ErrorCode, FrameKind, FrameReadError, ProtoError,
+    DEFAULT_MAX_FRAME_LEN,
+};
+
+/// Everything a request can come back as, typed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (includes the server closing mid-response).
+    Io(std::io::Error),
+    /// The server's bytes violated the protocol.
+    Proto(ProtoError),
+    /// The server answered with a typed error frame.
+    Server {
+        /// Failure class.
+        code: ErrorCode,
+        /// Advisory detail.
+        message: String,
+    },
+    /// The connection closed before a response arrived.
+    Closed,
+    /// A well-formed frame of the wrong kind (or wrong request id).
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Proto(e) => write!(f, "protocol error: {e}"),
+            Self::Server { code, message } => write!(f, "server error ({code:?}): {message}"),
+            Self::Closed => write!(f, "connection closed before a response arrived"),
+            Self::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameReadError> for ClientError {
+    fn from(e: FrameReadError) -> Self {
+        match e {
+            FrameReadError::Io(e) => Self::Io(e),
+            FrameReadError::Proto(e) => Self::Proto(e),
+        }
+    }
+}
+
+/// A blocking `diffd` connection.
+pub struct DiffClient {
+    stream: TcpStream,
+    max_frame_len: u32,
+    next_request_id: u64,
+}
+
+impl DiffClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            next_request_id: 1,
+        })
+    }
+
+    /// Connects with a connect timeout (a resolved address is required).
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            next_request_id: 1,
+        })
+    }
+
+    /// Caps how long any single read may block (useful in tests so a
+    /// misbehaving server cannot wedge the harness).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn send(&mut self, kind: FrameKind, payload: &[u8]) -> Result<(), ClientError> {
+        let frame = encode_frame(kind, payload);
+        self.stream.write_all(&frame).map_err(ClientError::Io)?;
+        self.stream.flush().map_err(ClientError::Io)
+    }
+
+    fn recv(&mut self) -> Result<(FrameKind, Vec<u8>), ClientError> {
+        match proto::read_frame(&mut self.stream, self.max_frame_len)? {
+            Some(frame) => Ok(frame),
+            None => Err(ClientError::Closed),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send(FrameKind::Ping, &[])?;
+        match self.recv()? {
+            (FrameKind::Pong, _) => Ok(()),
+            (FrameKind::Error, payload) => Err(server_error(&payload)),
+            _ => Err(ClientError::Unexpected("wanted Pong")),
+        }
+    }
+
+    /// Fetches the server's Prometheus exposition over the binary
+    /// protocol.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.send(FrameKind::Metrics, &[])?;
+        match self.recv()? {
+            (FrameKind::MetricsText, payload) => Ok(String::from_utf8_lossy(&payload).into_owned()),
+            (FrameKind::Error, payload) => Err(server_error(&payload)),
+            _ => Err(ClientError::Unexpected("wanted MetricsText")),
+        }
+    }
+
+    /// Diffs two images on the server. `deadline_ms == 0` requests the
+    /// server's default budget. Returns the full reply (ticket range
+    /// included) on success.
+    pub fn diff(
+        &mut self,
+        a: &RleImage,
+        b: &RleImage,
+        deadline_ms: u32,
+    ) -> Result<DiffReply, ClientError> {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let req = DiffRequest {
+            request_id,
+            deadline_ms,
+            a: a.clone(),
+            b: b.clone(),
+        };
+        self.send(FrameKind::Diff, &proto::encode_diff_request(&req))?;
+        match self.recv()? {
+            (FrameKind::DiffOk, payload) => {
+                let reply = proto::decode_diff_reply(&payload).map_err(ClientError::Proto)?;
+                if reply.request_id != request_id {
+                    return Err(ClientError::Unexpected("response for a different request"));
+                }
+                Ok(reply)
+            }
+            (FrameKind::Error, payload) => Err(server_error(&payload)),
+            _ => Err(ClientError::Unexpected("wanted DiffOk or Error")),
+        }
+    }
+}
+
+fn server_error(payload: &[u8]) -> ClientError {
+    match proto::decode_error_reply(payload) {
+        Ok(reply) => ClientError::Server {
+            code: reply.code,
+            message: reply.message,
+        },
+        Err(e) => ClientError::Proto(e),
+    }
+}

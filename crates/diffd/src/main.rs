@@ -1,0 +1,136 @@
+//! The `diffd` server binary.
+//!
+//! ```text
+//! diffd [--addr HOST:PORT] [--threads N] [--max-pending-rows N]
+//!       [--max-requests N] [--max-connections N] [--deadline-ms N]
+//!       [--max-deadline-ms N] [--idle-timeout-ms N] [--frame-timeout-ms N]
+//!       [--max-frame-len BYTES]
+//! ```
+//!
+//! Shutdown: the process drains gracefully when stdin reaches EOF or a
+//! line reading `shutdown` arrives (portable without signal-handler
+//! dependencies — `echo shutdown | diffd`, or close the pipe). SIGINT /
+//! SIGTERM keep their default process-killing behaviour.
+
+use std::io::BufRead;
+use std::time::Duration;
+
+use diffd::{DiffServer, DiffServerConfig};
+
+const USAGE: &str = "\
+diffd - network front end for the compressed-domain diff pipeline
+
+USAGE:
+    diffd [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT        listen address (default 127.0.0.1:7177)
+    --threads N             pipeline worker threads (default: cores)
+    --max-pending-rows N    admission ceiling on pipeline rows (default 65536)
+    --max-requests N        concurrent admitted requests (default 64)
+    --max-connections N     concurrent sessions (default 256)
+    --deadline-ms N         default per-request budget (default 10000)
+    --max-deadline-ms N     clamp on client-requested budgets (default 60000)
+    --idle-timeout-ms N     close sessions idle this long (default 60000)
+    --frame-timeout-ms N    a started frame must finish in this (default 10000)
+    --max-frame-len BYTES   frame payload cap (default 16777216)
+    --help                  print this help
+
+SHUTDOWN:
+    send a line reading 'shutdown' on stdin, or close stdin; the server
+    stops accepting, flushes in-flight requests, then exits.
+";
+
+fn parse(args: &[String]) -> Result<(String, DiffServerConfig), String> {
+    let mut addr = String::from("127.0.0.1:7177");
+    let mut cfg = DiffServerConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?.clone(),
+            "--threads" => cfg.threads = parse_num(value("--threads")?)?,
+            "--max-pending-rows" => cfg.max_pending_rows = parse_num(value("--max-pending-rows")?)?,
+            "--max-requests" => {
+                cfg.max_concurrent_requests = parse_num(value("--max-requests")?)?;
+            }
+            "--max-connections" => cfg.max_connections = parse_num(value("--max-connections")?)?,
+            "--deadline-ms" => {
+                cfg.default_deadline = Duration::from_millis(parse_num(value("--deadline-ms")?)?);
+            }
+            "--max-deadline-ms" => {
+                cfg.max_deadline = Duration::from_millis(parse_num(value("--max-deadline-ms")?)?);
+            }
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout = Duration::from_millis(parse_num(value("--idle-timeout-ms")?)?);
+            }
+            "--frame-timeout-ms" => {
+                cfg.frame_timeout = Duration::from_millis(parse_num(value("--frame-timeout-ms")?)?);
+            }
+            "--max-frame-len" => cfg.max_frame_len = parse_num(value("--max-frame-len")?)?,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if cfg.threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    Ok((addr, cfg))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("not a number: {s}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, cfg) = match parse(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let server = match DiffServer::bind(&addr, cfg.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "diffd listening on {} ({} pipeline workers, {} max sessions)",
+        server.local_addr(),
+        cfg.threads,
+        cfg.max_connections
+    );
+
+    let handle = server.handle();
+    let watcher = handle.clone();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            match line {
+                Ok(line) if line.trim() == "shutdown" => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        // EOF or the shutdown command: begin the drain.
+        watcher.shutdown();
+    });
+
+    let report = server.run();
+    println!(
+        "diffd drained: {} sessions at shutdown, {} drained, {} detached",
+        report.sessions_at_shutdown, report.sessions_drained, report.sessions_detached
+    );
+    let _ = handle;
+}

@@ -1,0 +1,154 @@
+//! Server-side counters (`diffd_*`), kept separate from the pipeline's
+//! `diffpipeline_*` registry: the pipeline counts rows and chunks, the
+//! server counts connections, requests and the ways they fail. Built on
+//! the same lock-light atomics (`core::obs::metrics`), exposed through
+//! the same hand-rolled Prometheus/JSON text so `/metrics` is one
+//! concatenation.
+
+use systolic_core::obs::metrics::{Counter, Gauge};
+
+/// Every metric the server maintains. All counters are monotonic; the one
+/// gauge (`connections_open`) is inc/dec'd symmetrically around each
+/// connection's lifetime.
+///
+/// Accounting identities (asserted by the chaos suite on a drained
+/// server):
+///
+/// * `connections_accepted == connections_closed` once every connection
+///   has ended (`connections_open == 0`);
+/// * `requests == responses_ok + sheds + deadline_hits + mismatches +
+///   row_failures + internal_errors + shutdown_rejects` — every parsed
+///   `Diff` request gets exactly one typed response;
+/// * `protocol_errors` and `idle_timeouts` count *connection* failures
+///   before or between requests, so they are outside the request ledger.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections the accept loop handed to a session thread.
+    pub connections_accepted: Counter,
+    /// Sessions that ended (any reason).
+    pub connections_closed: Counter,
+    /// Sessions currently alive.
+    pub connections_open: Gauge,
+    /// `Diff` requests successfully parsed off the wire.
+    pub requests: Counter,
+    /// `DiffOk` responses sent.
+    pub responses_ok: Counter,
+    /// Requests (or whole connections) shed by admission control with a
+    /// typed `Overloaded` response.
+    pub sheds: Counter,
+    /// Requests that hit their deadline and were answered
+    /// `DeadlineExceeded`.
+    pub deadline_hits: Counter,
+    /// Requests rejected because the image dimensions disagreed.
+    pub mismatches: Counter,
+    /// Requests answered `RowFailed` (a row exhausted its retry budget).
+    pub row_failures: Counter,
+    /// Requests answered `Internal`.
+    pub internal_errors: Counter,
+    /// Requests refused because the server was draining.
+    pub shutdown_rejects: Counter,
+    /// Malformed frames / headers answered with a typed `Protocol` error
+    /// and a close.
+    pub protocol_errors: Counter,
+    /// Connections closed for idling between frames or stalling
+    /// mid-frame (slowloris defence).
+    pub idle_timeouts: Counter,
+    /// Payload bytes read off accepted connections.
+    pub bytes_read: Counter,
+    /// Frame bytes written to clients.
+    pub bytes_written: Counter,
+}
+
+impl ServerMetrics {
+    fn counters(&self) -> [(&'static str, u64); 14] {
+        [
+            ("connections_accepted", self.connections_accepted.get()),
+            ("connections_closed", self.connections_closed.get()),
+            ("requests", self.requests.get()),
+            ("responses_ok", self.responses_ok.get()),
+            ("sheds", self.sheds.get()),
+            ("deadline_hits", self.deadline_hits.get()),
+            ("mismatches", self.mismatches.get()),
+            ("row_failures", self.row_failures.get()),
+            ("internal_errors", self.internal_errors.get()),
+            ("shutdown_rejects", self.shutdown_rejects.get()),
+            ("protocol_errors", self.protocol_errors.get()),
+            ("idle_timeouts", self.idle_timeouts.get()),
+            ("bytes_read", self.bytes_read.get()),
+            ("bytes_written", self.bytes_written.get()),
+        ]
+    }
+
+    /// Prometheus text exposition (prefix `diffd_`, counters suffixed
+    /// `_total`), shaped like the pipeline's so both concatenate into one
+    /// `/metrics` body.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in self.counters() {
+            let _ = writeln!(out, "# TYPE diffd_{name} counter");
+            let _ = writeln!(out, "diffd_{name}_total {v}");
+        }
+        let _ = writeln!(out, "# TYPE diffd_connections_open gauge");
+        let _ = writeln!(
+            out,
+            "diffd_connections_open {}",
+            self.connections_open.get()
+        );
+        out
+    }
+
+    /// Flat JSON exposition (`name: number` pairs, no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n");
+        for (name, v) in self.counters() {
+            let _ = writeln!(out, "  \"{name}\": {v},");
+        }
+        let _ = writeln!(
+            out,
+            "  \"connections_open\": {}",
+            self.connections_open.get()
+        );
+        out.push_str("}\n");
+        out
+    }
+
+    /// The request ledger's right-hand side: every typed response class.
+    /// Equals [`Self::requests`] on a drained server.
+    #[must_use]
+    pub fn responses_total(&self) -> u64 {
+        self.responses_ok.get()
+            + self.sheds.get()
+            + self.deadline_hits.get()
+            + self.mismatches.get()
+            + self.row_failures.get()
+            + self.internal_errors.get()
+            + self.shutdown_rejects.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expositions_are_well_formed() {
+        let m = ServerMetrics::default();
+        m.requests.add(3);
+        m.responses_ok.add(2);
+        m.sheds.inc();
+        m.connections_open.set(1);
+        let prom = m.to_prometheus();
+        assert!(prom.contains("diffd_requests_total 3"));
+        assert!(prom.contains("diffd_sheds_total 1"));
+        assert!(prom.contains("diffd_connections_open 1"));
+        let json = m.to_json();
+        assert!(json.contains("\"responses_ok\": 2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n}"));
+        assert_eq!(m.responses_total(), 3);
+    }
+}

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 pub use bitimg;
+pub use diffd;
 pub use harness;
 pub use rle;
 pub use rle_analysis;

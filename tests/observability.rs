@@ -78,6 +78,11 @@ fn assert_ledger_closed(s: &MetricsSnapshot) {
         s.chunk_latency_ns.count, s.chunks_completed,
         "one chunk latency sample per completed chunk"
     );
+    assert_eq!(
+        s.rows_submitted,
+        s.rows_completed + s.rows_errored + s.rows_abandoned,
+        "every accepted row is delivered, errored, or written off by an abort"
+    );
     assert_eq!(s.queue_depth, 0, "quiescent: empty queue");
     assert_eq!(s.in_flight, 0, "quiescent: nothing in flight");
 }
@@ -667,6 +672,60 @@ mod faults {
             })
             .collect();
         assert_eq!(timeouts, vec![1], "one timeout with one row in flight");
+    }
+
+    #[test]
+    fn abandoned_batch_surfaces_in_rows_abandoned_and_ledger_recloses() {
+        quiet_injected_panics();
+        let (a, b) = image_pair(512, 6, 0xABA0);
+        let stall = Duration::from_millis(400);
+        let mut pipeline = DiffPipelineConfig::new(2)
+            .row_deadline(Duration::from_millis(40))
+            .fault_plan(FaultPlan::new().stall_on_row(0, stall))
+            .observe()
+            .build();
+        let obs = pipeline.observer().unwrap();
+        let err = pipeline.diff_images(&a, &b).unwrap_err();
+        assert!(matches!(
+            err,
+            rle_systolic::systolic_core::SystolicError::DeadlineExceeded { .. }
+        ));
+        assert_eq!(pipeline.in_flight(), 0, "abandon leaves the pool idle");
+        let wedged = pipeline.abandoned();
+        assert!(wedged >= 1, "{pipeline:?}");
+
+        // The write-off is visible without a debugger: the counter covers
+        // the wedged remainder plus any queued rows dropped before a
+        // worker ever ran them, and the submit ledger closes immediately
+        // (not only after the stall heals).
+        let s = obs.metrics_snapshot();
+        assert!(s.rows_abandoned >= wedged as u64, "{s:?}");
+        assert_eq!(
+            s.rows_submitted,
+            s.rows_completed + s.rows_errored + s.rows_abandoned
+        );
+        assert!(s
+            .to_prometheus()
+            .contains("diffpipeline_rows_abandoned_total"));
+        assert!(s.to_json().contains("\"rows_abandoned\""));
+
+        // Wait out the stall; the stale delivery is discarded at the
+        // watermark and the abandoned level drains back to zero while the
+        // counter stays monotonic.
+        let healed_by = std::time::Instant::now() + stall * 10;
+        while pipeline.abandoned() > 0 && std::time::Instant::now() < healed_by {
+            pipeline.drain();
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(pipeline.abandoned(), 0, "healed pool drains the level");
+        let healed = obs.metrics_snapshot();
+        assert_eq!(healed.rows_abandoned, s.rows_abandoned);
+        assert_ledger_closed(&healed);
+
+        // And the pool still works: a clean batch reconciles on top.
+        let (got, _) = pipeline.diff_images(&a, &b).unwrap();
+        assert_eq!(got, xor_image(&a, &b).unwrap().0);
+        assert_ledger_closed(&obs.metrics_snapshot());
     }
 
     #[test]
