@@ -97,6 +97,13 @@ pub enum Command {
         /// Write the structured trace here as JSON lines. Enables
         /// observation.
         trace_out: Option<PathBuf>,
+        /// Skip rows whose cached 64-bit signatures match; wired to
+        /// [`systolic_core::DiffPipelineConfig::signature_prefilter`].
+        sig_prefilter: bool,
+        /// Cross-check sampled skips against the reference XOR (implies
+        /// `--sig-prefilter`); wired to
+        /// [`systolic_core::DiffPipelineConfig::verify_signatures`].
+        verify_sigs: bool,
     },
     /// Convert a PBM file to the compact RLE format.
     Encode {
@@ -134,6 +141,29 @@ pub enum Command {
         seed: u64,
         /// Text for the `glyphs` kind.
         text: String,
+    },
+    /// Append frames to (or create) a versioned delta archive.
+    ArchiveAppend {
+        /// Archive path (created if missing).
+        archive: PathBuf,
+        /// Frame image paths, appended in order.
+        frames: Vec<PathBuf>,
+        /// Keyframe cadence when creating a new archive.
+        keyframe_every: usize,
+    },
+    /// Extract one frame of a delta archive.
+    ArchiveExtract {
+        /// Archive path.
+        archive: PathBuf,
+        /// Frame index (0-based).
+        index: usize,
+        /// Output image path.
+        out: PathBuf,
+    },
+    /// Print a delta archive's shape summary.
+    ArchiveStat {
+        /// Archive path.
+        archive: PathBuf,
     },
     /// Drive a remote `diffd` server with synthetic load and report
     /// latency percentiles and throughput.
@@ -205,13 +235,16 @@ usage:
   rlediff diff <a> <b> [-o OUT] [--algo systolic|sequential|mesh|dense] [--clean N]
   rlediff diff-image <a> <b> [-o OUT] [--threads N] [--clean N] [--timeout-ms N]
                      [--kernel auto|rle|packed|systolic] [--chunk-target N]
-                     [--simd auto|scalar|sse2|avx2]
-                     [--metrics-out PATH] [--trace-out PATH]
+                     [--simd auto|scalar|sse2|avx2] [--sig-prefilter]
+                     [--verify-sigs] [--metrics-out PATH] [--trace-out PATH]
   rlediff encode <in.pbm> -o <out.rle>
   rlediff decode <in.rle> -o <out.pbm>
   rlediff info <file>
   rlediff components <file> [--min-area N]
   rlediff gen <pcb|paper|glyphs> -o <out> [--seed N] [--text S]
+  rlediff archive append <archive> <frame>... [--keyframe-every N]
+  rlediff archive extract <archive> <index> -o <out>
+  rlediff archive stat <archive>
   rlediff diff-client <host:port> [--clients N] [--requests N] [--width N]
                       [--height N] [--density F] [--seed N] [--deadline-ms N]
                       [--json-out PATH]
@@ -219,7 +252,10 @@ usage:
 Inputs and outputs may be PBM (P1/P4, by .pbm extension) or the compact
 RLE stream format (any other extension). `diff-client` generates a
 synthetic workload and drives a running `diffd` server, reporting p50/p99
-latency and throughput.";
+latency and throughput; it exits nonzero when no request succeeds.
+`archive` manages a versioned delta store: frames are kept as keyframes
+plus per-row XOR deltas keyed by row signatures, and any version can be
+extracted bit-identically.";
 
 /// Parses an argument vector (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
@@ -236,6 +272,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut simd: Option<systolic_core::SimdLevel> = None;
     let mut metrics_out: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut sig_prefilter = false;
+    let mut verify_sigs = false;
     let mut text = String::from("RLE SYSTOLIC 1999");
     let mut clients = 1usize;
     let mut requests = 16usize;
@@ -244,6 +282,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut density = 0.3f64;
     let mut deadline_ms = 0u32;
     let mut json_out: Option<PathBuf> = None;
+    let mut keyframe_every = archive::DEFAULT_KEYFRAME_INTERVAL;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -314,6 +353,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .ok_or_else(|| CliError::Usage("--simd needs a value".into()))?;
                 simd = systolic_core::SimdLevel::parse_override(v).map_err(CliError::Usage)?;
             }
+            "--sig-prefilter" => sig_prefilter = true,
+            "--verify-sigs" => verify_sigs = true,
             "--metrics-out" => {
                 let v = it
                     .next()
@@ -382,6 +423,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .parse()
                     .map_err(|_| CliError::Usage("--deadline-ms needs a number".into()))?;
             }
+            "--keyframe-every" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--keyframe-every needs a value".into()))?;
+                keyframe_every = v
+                    .parse()
+                    .map_err(|_| CliError::Usage("--keyframe-every needs a number".into()))?;
+                if keyframe_every == 0 {
+                    return Err(CliError::Usage(
+                        "--keyframe-every must be at least 1".into(),
+                    ));
+                }
+            }
             "--json-out" => {
                 let v = it
                     .next()
@@ -419,6 +473,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             simd,
             metrics_out,
             trace_out,
+            sig_prefilter,
+            verify_sigs,
         }),
         ["encode", input] => Ok(Command::Encode {
             input: PathBuf::from(input),
@@ -440,6 +496,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             out: out.ok_or_else(|| CliError::Usage("gen needs -o".into()))?,
             seed,
             text,
+        }),
+        ["archive", "append", archive_path, frames @ ..] if !frames.is_empty() => {
+            Ok(Command::ArchiveAppend {
+                archive: PathBuf::from(archive_path),
+                frames: frames.iter().map(PathBuf::from).collect(),
+                keyframe_every,
+            })
+        }
+        ["archive", "extract", archive_path, index] => Ok(Command::ArchiveExtract {
+            archive: PathBuf::from(archive_path),
+            index: index
+                .parse()
+                .map_err(|_| CliError::Usage("archive extract needs a frame index".into()))?,
+            out: out.ok_or_else(|| CliError::Usage("archive extract needs -o".into()))?,
+        }),
+        ["archive", "stat", archive_path] => Ok(Command::ArchiveStat {
+            archive: PathBuf::from(archive_path),
         }),
         ["diff-client", addr] => {
             if clients == 0 || requests == 0 {
@@ -636,6 +709,8 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             simd,
             metrics_out,
             trace_out,
+            sig_prefilter,
+            verify_sigs,
         } => {
             let ia = std::sync::Arc::new(load_image(a)?);
             let ib = std::sync::Arc::new(load_image(b)?);
@@ -653,6 +728,12 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             }
             if let Some(level) = simd {
                 config = config.simd(*level);
+            }
+            if *sig_prefilter || *verify_sigs {
+                config = config.signature_prefilter();
+            }
+            if *verify_sigs {
+                config = config.verify_signatures();
             }
             if metrics_out.is_some() || trace_out.is_some() {
                 config = config.observe();
@@ -716,6 +797,13 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
                 stats.rows_systolic_kernel,
                 stats.chunks
             );
+            if stats.rows_sig_skipped + stats.sig_collisions + stats.sig_verified > 0 {
+                let _ = writeln!(
+                    s,
+                    "  signatures : {} rows skipped, {} collisions caught, {} skips verified",
+                    stats.rows_sig_skipped, stats.sig_collisions, stats.sig_verified
+                );
+            }
             let _ = writeln!(
                 s,
                 "  allocations: {} row clones avoided, {} buffers reused",
@@ -794,6 +882,93 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
                 img.total_runs(),
                 out.display()
             ))
+        }
+        Command::ArchiveAppend {
+            archive: path,
+            frames,
+            keyframe_every,
+        } => {
+            let mut store = if path.exists() {
+                archive::DeltaArchive::from_bytes(&fs::read(path)?)
+                    .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?
+            } else {
+                archive::DeltaArchive::new(*keyframe_every)
+            };
+            let mut s = String::new();
+            for frame_path in frames {
+                let frame = load_image(frame_path)?;
+                let outcome = store
+                    .append(&frame)
+                    .map_err(|e| CliError::Mismatch(format!("{}: {e}", frame_path.display())))?;
+                let _ = writeln!(
+                    s,
+                    "frame {} <- {} ({}, {} rows changed)",
+                    outcome.frame,
+                    frame_path.display(),
+                    if outcome.keyframe {
+                        "keyframe"
+                    } else {
+                        "delta"
+                    },
+                    outcome.changed_rows
+                );
+            }
+            let bytes = store.to_bytes();
+            fs::write(path, &bytes)?;
+            let _ = writeln!(
+                s,
+                "wrote {} ({} frames, {} bytes)",
+                path.display(),
+                store.len(),
+                bytes.len()
+            );
+            Ok(s)
+        }
+        Command::ArchiveExtract {
+            archive: path,
+            index,
+            out,
+        } => {
+            let store = archive::DeltaArchive::from_bytes(&fs::read(path)?)
+                .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+            let frame = store
+                .extract(*index)
+                .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+            save_image(&frame, out)?;
+            Ok(format!(
+                "extracted frame {index} ({}x{}, {} runs) -> {}\n",
+                frame.width(),
+                frame.height(),
+                frame.total_runs(),
+                out.display()
+            ))
+        }
+        Command::ArchiveStat { archive: path } => {
+            let data = fs::read(path)?;
+            let store = archive::DeltaArchive::from_bytes(&data)
+                .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+            let stats = store.stat();
+            let mut s = String::new();
+            let _ = writeln!(s, "{}", path.display());
+            let _ = writeln!(s, "  dimensions : {} x {}", stats.width, stats.height);
+            let _ = writeln!(
+                s,
+                "  frames     : {} ({} keyframes, every {})",
+                stats.frames, stats.keyframes, stats.keyframe_interval
+            );
+            let _ = writeln!(s, "  delta rows : {}", stats.delta_rows);
+            let _ = writeln!(s, "  stored runs: {}", stats.stored_runs);
+            let full = stats.frames * stats.height;
+            if full > 0 {
+                let stored = stats.keyframes * stats.height + stats.delta_rows;
+                let _ = writeln!(
+                    s,
+                    "  row storage: {stored} of {full} row-slots ({:.1}% of storing every frame in full)",
+                    stored as f64 / full as f64 * 100.0
+                );
+            }
+            let _ = writeln!(s, "  bytes      : {}", data.len());
+            Ok(s)
         }
         Command::DiffClient {
             addr,
@@ -902,6 +1077,15 @@ fn run_diff_client(
         tally.other_server += t.other_server;
     }
     let wall = started.elapsed().as_secs_f64();
+    // A run where every request was shed or timed out measured nothing:
+    // there are no latencies to report and a scripted caller must not
+    // mistake the summary for a healthy benchmark. Fail loudly instead.
+    if tally.ok == 0 {
+        return Err(CliError::Pipeline(format!(
+            "no request succeeded ({} shed, {} deadline-exceeded, {} other server errors)",
+            tally.shed, tally.deadline, tally.other_server
+        )));
+    }
     latencies.sort_by(|x, y| x.partial_cmp(y).expect("latencies are finite"));
     let pct = |p: f64| -> f64 {
         if latencies.is_empty() {
@@ -1216,8 +1400,28 @@ mod tests {
                 simd: None,
                 metrics_out: None,
                 trace_out: None,
+                sig_prefilter: false,
+                verify_sigs: false,
             }
         );
+    }
+
+    #[test]
+    fn parse_diff_image_sig_flags() {
+        let cmd = parse_args(&args(&["diff-image", "a.pbm", "b.pbm", "--verify-sigs"])).unwrap();
+        let Command::DiffImage {
+            sig_prefilter,
+            verify_sigs,
+            ..
+        } = cmd
+        else {
+            panic!("parsed the wrong command")
+        };
+        assert!(
+            !sig_prefilter,
+            "--verify-sigs implies the prefilter at run time, not parse time"
+        );
+        assert!(verify_sigs);
     }
 
     #[test]
@@ -1246,6 +1450,8 @@ mod tests {
                 simd: None,
                 metrics_out: Some("m.prom".into()),
                 trace_out: Some("t.jsonl".into()),
+                sig_prefilter: false,
+                verify_sigs: false,
             }
         );
         assert!(matches!(
@@ -1284,6 +1490,8 @@ mod tests {
                 simd: None,
                 metrics_out: None,
                 trace_out: None,
+                sig_prefilter: false,
+                verify_sigs: false,
             }
         );
         for kernel in ["auto", "rle", "systolic"] {
@@ -1350,6 +1558,8 @@ mod tests {
                 simd: None,
                 metrics_out: None,
                 trace_out: None,
+                sig_prefilter: false,
+                verify_sigs: false,
             }
         );
         assert!(matches!(
@@ -1382,6 +1592,8 @@ mod tests {
             simd: None,
             metrics_out: None,
             trace_out: None,
+            sig_prefilter: false,
+            verify_sigs: false,
         })
         .unwrap();
         assert!(msg.contains("pipeline:"), "{msg}");
@@ -1438,6 +1650,8 @@ mod tests {
             simd: None,
             metrics_out: None,
             trace_out: None,
+            sig_prefilter: false,
+            verify_sigs: false,
         })
         .unwrap();
         assert!(msg.contains("pipeline:"), "{msg}");
@@ -1470,6 +1684,8 @@ mod tests {
             simd: None,
             metrics_out: None,
             trace_out: None,
+            sig_prefilter: false,
+            verify_sigs: false,
         })
         .unwrap_err();
         assert!(matches!(err, CliError::Mismatch(_)));

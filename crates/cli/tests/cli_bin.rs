@@ -379,6 +379,131 @@ fn diff_image_timeout_under_a_stalled_worker_exits_one_with_deadline_message() {
 }
 
 #[test]
+fn archive_round_trips_frames_bit_identically() {
+    let store = tmp("seq.rda");
+    let _ = std::fs::remove_file(&store);
+    let mut frame_paths = Vec::new();
+    for (i, text) in ["AAA", "AAB", "ABB", "BBB"].iter().enumerate() {
+        let p = tmp(&format!("seq_f{i}.rle"));
+        let out = rlediff(&["gen", "glyphs", "-o", p.to_str().unwrap(), "--text", text]);
+        assert!(out.status.success());
+        frame_paths.push(p);
+    }
+
+    // Append the first two frames in one invocation, the rest in a second
+    // — the archive must pick up where it left off.
+    let out = rlediff(&[
+        "archive",
+        "append",
+        store.to_str().unwrap(),
+        frame_paths[0].to_str().unwrap(),
+        frame_paths[1].to_str().unwrap(),
+        "--keyframe-every",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("frame 0"), "{text}");
+    assert!(text.contains("keyframe"), "{text}");
+    let out = rlediff(&[
+        "archive",
+        "append",
+        store.to_str().unwrap(),
+        frame_paths[2].to_str().unwrap(),
+        frame_paths[3].to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // stat reports the shape.
+    let out = rlediff(&["archive", "stat", store.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("frames     : 4 (2 keyframes, every 3)"),
+        "{text}"
+    );
+
+    // Every extracted frame matches its source byte-for-byte.
+    for (i, src) in frame_paths.iter().enumerate() {
+        let got = tmp(&format!("seq_x{i}.rle"));
+        let out = rlediff(&[
+            "archive",
+            "extract",
+            store.to_str().unwrap(),
+            &i.to_string(),
+            "-o",
+            got.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "frame {i}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            std::fs::read(&got).unwrap(),
+            std::fs::read(src).unwrap(),
+            "frame {i} must be bit-identical"
+        );
+    }
+
+    // An out-of-range index and a corrupt archive both exit 1 cleanly.
+    let out = rlediff(&[
+        "archive",
+        "extract",
+        store.to_str().unwrap(),
+        "9",
+        "-o",
+        tmp("nope.rle").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+    let evil = tmp("evil.rda");
+    std::fs::write(&evil, b"RDA1\xFF\xFF").unwrap();
+    let out = rlediff(&["archive", "stat", evil.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("panicked"));
+}
+
+/// A load run where the server sheds every request must exit nonzero: a
+/// scripted benchmark that silently reports "p50 0.000 ms" over zero
+/// successes is worse than one that fails. A zero-admission server makes
+/// the total shed deterministic.
+#[test]
+fn diff_client_exits_one_when_every_request_is_shed() {
+    let cfg = diffd::DiffServerConfig {
+        max_concurrent_requests: 0,
+        ..Default::default()
+    };
+    let server = diffd::DiffServer::bind("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr().to_string();
+    let (handle, join) = server.spawn();
+
+    let out = rlediff(&[
+        "diff-client",
+        &addr,
+        "--clients",
+        "2",
+        "--requests",
+        "3",
+        "--width",
+        "64",
+        "--height",
+        "16",
+    ]);
+    handle.shutdown();
+    let _ = join.join();
+
+    assert_eq!(out.status.code(), Some(1), "all-shed run must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no request succeeded"), "{stderr}");
+    assert!(stderr.contains("6 shed"), "{stderr}");
+}
+
+#[test]
 fn diff_of_identical_inputs_is_empty() {
     let a = tmp("i_a.pbm");
     rlediff(&["gen", "pcb", "-o", a.to_str().unwrap(), "--seed", "3"]);

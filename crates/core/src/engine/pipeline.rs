@@ -127,6 +127,18 @@ const CHUNKS_PER_WORKER: usize = 4;
 /// At most this many spare chunk-result vectors are kept for reuse.
 const SPARE_POOL_CAP: usize = 64;
 
+/// In paranoid mode ([`DiffPipelineConfig::verify_signatures`]), every
+/// `SIG_VERIFY_SAMPLE`-th signature skip of a batch (starting with the
+/// first) is cross-checked against the reference XOR.
+const SIG_VERIFY_SAMPLE: usize = 16;
+
+/// When the signature prefilter resolves all but at most this many rows,
+/// the leftovers are diffed inline on the host instead of dispatched: for
+/// a handful of rows the pool round-trip (enqueue, wake, collect
+/// handshake) costs more than the kernels themselves, and it is exactly
+/// the low-churn frame-sequence case the prefilter exists for.
+const INLINE_RESIDUAL_ROWS: usize = 16;
+
 /// Poison-tolerant lock: a holder that panicked leaves consistent-enough
 /// data (every critical section is a single push/pop/take), so callers
 /// proceed on the recovered guard instead of propagating the poison.
@@ -201,10 +213,35 @@ pub struct DiffPipelineConfig {
     /// recording site down to one predictable `if let` branch — no
     /// timestamps are taken and nothing is recorded.
     pub observe: Option<ObsConfig>,
+    /// Signature prefilter (default off): before planning chunks, the batch
+    /// front-ends compare the two images' cached per-row signatures
+    /// ([`rle::RleRow::signature`]) and resolve every matching row
+    /// host-side as an empty diff — no submit, no checkout round-trip, no
+    /// kernel. Skips surface in [`PipelineStats::rows_sig_skipped`], the
+    /// `rows_sig_skipped` metric and `sig_skip` trace events. Equal rows
+    /// always match (signatures are canonical-view), and distinct rows
+    /// collide with probability ~2⁻⁶⁴; use [`Self::verify_signatures`] if
+    /// even that is too much. Ignored under [`Kernel::Systolic`], whose
+    /// contract is cycle-exact per-row statistics against the reference
+    /// machine — skipping rows would zero their iteration counts.
+    pub signature_prefilter: bool,
+    /// Paranoid mode for the prefilter (default off): cross-check a
+    /// deterministic sample of signature skips (the first of each batch,
+    /// then every 16th) against the reference XOR. A confirmed check
+    /// counts in [`PipelineStats::sig_verified`]; a caught collision
+    /// substitutes the reference diff for the empty row (the output stays
+    /// exact) and counts in [`PipelineStats::sig_collisions`].
+    pub verify_signatures: bool,
     /// Deterministic fault schedule for tests (see
     /// [`crate::engine::fault`]).
     #[cfg(feature = "fault-injection")]
     pub fault_plan: Option<FaultPlan>,
+    /// Test hook: image rows whose signature comparison is forced to
+    /// "equal" even when the rows differ — a synthetic 64-bit collision,
+    /// used by the false-skip drill to prove what [`Self::verify_signatures`]
+    /// catches.
+    #[cfg(feature = "fault-injection")]
+    pub fault_sig_collisions: Vec<usize>,
 }
 
 impl Default for DiffPipelineConfig {
@@ -218,8 +255,12 @@ impl Default for DiffPipelineConfig {
             simd: None,
             chunk_target: None,
             observe: None,
+            signature_prefilter: false,
+            verify_signatures: false,
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
+            #[cfg(feature = "fault-injection")]
+            fault_sig_collisions: Vec::new(),
         }
     }
 }
@@ -273,6 +314,30 @@ impl DiffPipelineConfig {
     #[must_use]
     pub fn chunk_target(mut self, runs_per_chunk: usize) -> Self {
         self.chunk_target = Some(runs_per_chunk);
+        self
+    }
+
+    /// Enables the signature prefilter (see [`Self::signature_prefilter`]).
+    #[must_use]
+    pub fn signature_prefilter(mut self) -> Self {
+        self.signature_prefilter = true;
+        self
+    }
+
+    /// Enables paranoid skip verification (see [`Self::verify_signatures`]);
+    /// implies the prefilter itself is still opted into separately.
+    #[must_use]
+    pub fn verify_signatures(mut self) -> Self {
+        self.verify_signatures = true;
+        self
+    }
+
+    /// Forces synthetic signature collisions on the given image rows (test
+    /// builds only; see [`Self::fault_sig_collisions`]).
+    #[cfg(feature = "fault-injection")]
+    #[must_use]
+    pub fn fault_sig_collisions(mut self, rows: Vec<usize>) -> Self {
+        self.fault_sig_collisions = rows;
         self
     }
 
@@ -342,6 +407,31 @@ pub struct PipelineLoad {
 enum BatchDeadline {
     Config,
     Total(Instant),
+}
+
+/// Outcome of the signature prefilter for one batch: the rows resolved
+/// host-side (never planned, submitted or ticketed) together with their
+/// pre-computed results and aggregate statistics.
+struct SkipPlan {
+    /// `resolved[i]` — row `i` is handled host-side; the chunk planner
+    /// must not include it.
+    resolved: Vec<bool>,
+    /// Rows skipped on a signature match (empty diff), in row order.
+    skipped: Vec<usize>,
+    /// Collisions caught by paranoid mode: the row's reference diff
+    /// replaces the (wrong) empty row.
+    collisions: Vec<(usize, RleRow)>,
+    /// Residual rows diffed inline on the host (small-batch shortcut; see
+    /// [`INLINE_RESIDUAL_ROWS`]) with the kernel that ran each.
+    inline: Vec<(usize, RleRow, KernelChoice)>,
+    /// Largest per-row iteration count among the inline rows, folded into
+    /// [`PipelineStats::max_row_iterations`].
+    max_inline_iterations: u64,
+    /// Aggregate [`ArrayStats`] contribution of every resolved row
+    /// (`k1`/`k2` input sizes; zero iterations — no array ran).
+    stats: ArrayStats,
+    /// Skips cross-checked against the reference XOR and confirmed.
+    verified: usize,
 }
 
 /// Where a chunk's row pairs live. Cloning is `Arc`-cheap in both cases,
@@ -625,6 +715,10 @@ pub struct DiffPipeline {
     abandoned: usize,
     /// Rows unpacked from swept chunks but not yet handed to the caller.
     pending: VecDeque<RowOutcome>,
+    /// Persistent kernel scratch for the host-side inline residual path
+    /// (see [`INLINE_RESIDUAL_ROWS`]), so tiny batches reuse buffers
+    /// exactly like a worker does.
+    host_scratch: KernelScratch,
 }
 
 impl std::fmt::Debug for DiffPipeline {
@@ -693,6 +787,7 @@ impl DiffPipeline {
             abandoned_below: 0,
             abandoned: 0,
             pending: VecDeque::new(),
+            host_scratch: KernelScratch::with_simd(simd),
         };
         pipeline.handles = (0..pipeline.config.threads)
             .map(|worker| pipeline.spawn_worker(worker))
@@ -1084,41 +1179,182 @@ impl DiffPipeline {
     /// is then split further until it holds at least one chunk per worker:
     /// a single heavy row used to produce fewer chunks than threads and
     /// idle the rest of the pool for the whole batch.
+    /// Runs the signature prefilter over a batch's rows, if enabled.
+    /// `None` means "plan every row" — either the prefilter is off, the
+    /// kernel policy demands exact per-row statistics, or no row matched.
+    fn prefilter(&self, a: &RleImage, b: &RleImage) -> Option<SkipPlan> {
+        if !self.config.signature_prefilter || self.config.kernel == Kernel::Systolic {
+            return None;
+        }
+        let height = a.height();
+        let mut plan = SkipPlan {
+            resolved: vec![false; height],
+            skipped: Vec::new(),
+            collisions: Vec::new(),
+            inline: Vec::new(),
+            max_inline_iterations: 0,
+            stats: ArrayStats::default(),
+            verified: 0,
+        };
+        for i in 0..height {
+            let (ra, rb) = (&a.rows()[i], &b.rows()[i]);
+            let matches = ra.signature() == rb.signature();
+            #[cfg(feature = "fault-injection")]
+            let matches = matches || self.config.fault_sig_collisions.contains(&i);
+            if !matches {
+                continue;
+            }
+            let row_stats = ArrayStats {
+                k1: ra.run_count(),
+                k2: rb.run_count(),
+                ..ArrayStats::default()
+            };
+            let ordinal = plan.skipped.len() + plan.collisions.len();
+            if self.config.verify_signatures && ordinal.is_multiple_of(SIG_VERIFY_SAMPLE) {
+                let reference = rle::ops::xor(ra, rb);
+                if reference.is_empty() {
+                    plan.verified += 1;
+                } else {
+                    // A 64-bit collision (or an injected one): the skip
+                    // would have dropped real differences. Resolve the row
+                    // with the reference diff instead — still host-side,
+                    // still no kernel, but exact.
+                    plan.stats.absorb(&ArrayStats {
+                        output_runs: reference.run_count(),
+                        ..row_stats
+                    });
+                    plan.resolved[i] = true;
+                    plan.collisions.push((i, reference));
+                    continue;
+                }
+            }
+            plan.stats.absorb(&row_stats);
+            plan.resolved[i] = true;
+            plan.skipped.push(i);
+        }
+        if plan.skipped.is_empty() && plan.collisions.is_empty() {
+            None
+        } else {
+            Some(plan)
+        }
+    }
+
+    /// Small-batch shortcut after the prefilter: when at most
+    /// [`INLINE_RESIDUAL_ROWS`] rows were *not* resolved, diff them here on
+    /// the host with the same kernel policy a worker would use. The batch
+    /// then plans zero chunks — no enqueue, no wake-up, no collect
+    /// handshake — which is what makes low-churn frame diffs cheap instead
+    /// of merely parallel. Inline rows join the stats ledger through the
+    /// [`SkipPlan`] like collision substitutes do; they never enter the
+    /// submit/complete ledgers (nothing was submitted).
+    fn inline_residual(
+        &mut self,
+        a: &RleImage,
+        b: &RleImage,
+        skip: &mut Option<SkipPlan>,
+    ) -> Result<(), SystolicError> {
+        let Some(plan) = skip else { return Ok(()) };
+        let residual: Vec<usize> = (0..a.height()).filter(|&i| !plan.resolved[i]).collect();
+        if residual.is_empty() || residual.len() > INLINE_RESIDUAL_ROWS {
+            return Ok(());
+        }
+        for i in residual {
+            let row_start = self.shared.obs.as_ref().map(|_| Instant::now());
+            let (row, row_stats, choice) = kernel::diff_row(
+                self.config.kernel,
+                &mut self.host_scratch,
+                &a.rows()[i],
+                &b.rows()[i],
+            )?;
+            // Mirror a worker's per-row accounting (kernel mix + the two
+            // row histograms) under `rows_inline_diffed` instead of
+            // `rows_diffed`, keeping both documented ledger identities
+            // closed: these rows were never submitted, so they must not
+            // appear on the worker/collector side.
+            if let Some(obs) = &self.shared.obs {
+                let latency_ns = row_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                obs.metrics.rows_inline_diffed.inc();
+                match choice {
+                    KernelChoice::FastPath => obs.metrics.rows_fast_path.inc(),
+                    KernelChoice::Rle => obs.metrics.rows_rle_kernel.inc(),
+                    KernelChoice::Packed => obs.metrics.rows_packed_kernel.inc(),
+                    KernelChoice::Systolic => obs.metrics.rows_systolic_kernel.inc(),
+                }
+                obs.metrics.row_latency_ns.record(latency_ns);
+                obs.metrics
+                    .row_runs
+                    .record((row_stats.k1 + row_stats.k2) as u64);
+            }
+            plan.max_inline_iterations = plan.max_inline_iterations.max(row_stats.iterations);
+            plan.stats.absorb(&row_stats);
+            plan.resolved[i] = true;
+            plan.inline.push((i, row, choice));
+        }
+        Ok(())
+    }
+
+    /// Plans a batch's chunks over every row not already resolved by the
+    /// prefilter. Returns the jobs plus — when rows were excluded, so
+    /// tickets are no longer dense over `0..height` — the ticket-offset →
+    /// image-row mapping reassembly needs.
     fn plan_chunks(
         &mut self,
         a: &RleImage,
         b: &RleImage,
+        resolved: Option<&[bool]>,
         make_source: impl Fn(usize, usize) -> RowsSource,
-    ) -> Vec<Job> {
+    ) -> (Vec<Job>, Option<Vec<usize>>) {
         let height = a.height();
+        let excluded = |i: usize| resolved.is_some_and(|r| r[i]);
         let weight = |i: usize| a.rows()[i].run_count() + b.rows()[i].run_count() + 1;
         let target = self.config.chunk_target.unwrap_or_else(|| {
-            let total: usize = (0..height).map(weight).sum();
+            let total: usize = (0..height).filter(|&i| !excluded(i)).map(weight).sum();
             total / (self.handles.len() * CHUNKS_PER_WORKER).max(1)
         });
         let target = target.max(1);
 
         let mut jobs = Vec::new();
+        let mut ticket_rows = resolved.map(|_| Vec::new());
+        let mut submitted = 0usize;
         let mut lo = 0usize;
         let mut acc = 0usize;
+        let emit = |pipeline_ticket: &mut u64, lo: usize, hi: usize, jobs: &mut Vec<Job>| {
+            let job = Job {
+                base: *pipeline_ticket,
+                lo,
+                hi,
+                attempts: 0,
+                source: make_source(lo, hi),
+            };
+            *pipeline_ticket += job.len() as u64;
+            jobs.push(job);
+        };
         for i in 0..height {
+            if excluded(i) {
+                if lo < i {
+                    emit(&mut self.next_ticket, lo, i, &mut jobs);
+                    if let Some(tr) = &mut ticket_rows {
+                        tr.extend(lo..i);
+                    }
+                    submitted += i - lo;
+                }
+                lo = i + 1;
+                acc = 0;
+                continue;
+            }
             acc += weight(i);
             if acc >= target || i + 1 == height {
-                let job = Job {
-                    base: self.next_ticket,
-                    lo,
-                    hi: i + 1,
-                    attempts: 0,
-                    source: make_source(lo, i + 1),
-                };
-                self.next_ticket += job.len() as u64;
-                jobs.push(job);
+                emit(&mut self.next_ticket, lo, i + 1, &mut jobs);
+                if let Some(tr) = &mut ticket_rows {
+                    tr.extend(lo..i + 1);
+                }
+                submitted += i + 1 - lo;
                 lo = i + 1;
                 acc = 0;
             }
         }
         if self.config.chunk_target.is_none() {
-            let want = self.handles.len().min(height);
+            let want = self.handles.len().min(submitted);
             while jobs.len() < want {
                 let Some(idx) = jobs
                     .iter()
@@ -1137,7 +1373,7 @@ impl DiffPipeline {
                 jobs.insert(idx, head);
             }
         }
-        jobs
+        (jobs, ticket_rows)
     }
 
     /// Diffs two images row by row across the pool, reassembling the rows
@@ -1165,15 +1401,22 @@ impl DiffPipeline {
     ) -> Result<(RleImage, PipelineStats), SystolicError> {
         assert!(self.in_flight == 0, "diff_images needs an idle pipeline");
         check_dims(a, b)?;
-        let jobs = self.plan_chunks(a, b, |lo, hi| {
-            let rows: Vec<(RleRow, RleRow)> = (lo..hi)
-                .map(|i| (a.rows()[i].clone(), b.rows()[i].clone()))
-                .collect();
-            RowsSource::Owned {
-                rows: Arc::from(rows),
-                first: lo,
-            }
-        });
+        let mut skip = self.prefilter(a, b);
+        self.inline_residual(a, b, &mut skip)?;
+        let (jobs, ticket_rows) = self.plan_chunks(
+            a,
+            b,
+            skip.as_ref().map(|s| s.resolved.as_slice()),
+            |lo, hi| {
+                let rows: Vec<(RleRow, RleRow)> = (lo..hi)
+                    .map(|i| (a.rows()[i].clone(), b.rows()[i].clone()))
+                    .collect();
+                RowsSource::Owned {
+                    rows: Arc::from(rows),
+                    first: lo,
+                }
+            },
+        );
         // The old scheduler cloned each row at submit AND at checkout; the
         // per-chunk copy keeps only the submit-time clone.
         let clones_avoided = 2 * a.height() as u64;
@@ -1181,6 +1424,8 @@ impl DiffPipeline {
             a.width(),
             a.height(),
             jobs,
+            ticket_rows,
+            skip,
             clones_avoided,
             BatchDeadline::Config,
         )
@@ -1200,15 +1445,24 @@ impl DiffPipeline {
     ) -> Result<(RleImage, PipelineStats), SystolicError> {
         assert!(self.in_flight == 0, "diff_images needs an idle pipeline");
         check_dims(a, b)?;
-        let jobs = self.plan_chunks(a, b, |_, _| RowsSource::Shared {
-            a: Arc::clone(a),
-            b: Arc::clone(b),
-        });
+        let mut skip = self.prefilter(a, b);
+        self.inline_residual(a, b, &mut skip)?;
+        let (jobs, ticket_rows) = self.plan_chunks(
+            a,
+            b,
+            skip.as_ref().map(|s| s.resolved.as_slice()),
+            |_, _| RowsSource::Shared {
+                a: Arc::clone(a),
+                b: Arc::clone(b),
+            },
+        );
         let clones_avoided = 4 * a.height() as u64;
         self.run_batch(
             a.width(),
             a.height(),
             jobs,
+            ticket_rows,
+            skip,
             clones_avoided,
             BatchDeadline::Config,
         )
@@ -1238,15 +1492,24 @@ impl DiffPipeline {
     ) -> Result<(RleImage, PipelineStats), SystolicError> {
         assert!(self.in_flight == 0, "diff_images needs an idle pipeline");
         check_dims(a, b)?;
-        let jobs = self.plan_chunks(a, b, |_, _| RowsSource::Shared {
-            a: Arc::clone(a),
-            b: Arc::clone(b),
-        });
+        let mut skip = self.prefilter(a, b);
+        self.inline_residual(a, b, &mut skip)?;
+        let (jobs, ticket_rows) = self.plan_chunks(
+            a,
+            b,
+            skip.as_ref().map(|s| s.resolved.as_slice()),
+            |_, _| RowsSource::Shared {
+                a: Arc::clone(a),
+                b: Arc::clone(b),
+            },
+        );
         let clones_avoided = 4 * a.height() as u64;
         self.run_batch(
             a.width(),
             a.height(),
             jobs,
+            ticket_rows,
+            skip,
             clones_avoided,
             BatchDeadline::Total(Instant::now() + budget),
         )
@@ -1255,11 +1518,14 @@ impl DiffPipeline {
     /// Common batch engine: deal the planned chunks across the shards,
     /// collect every row, reassemble in ticket order and aggregate
     /// statistics.
+    #[allow(clippy::too_many_arguments)]
     fn run_batch(
         &mut self,
         width: u32,
         height: usize,
         jobs: Vec<Job>,
+        ticket_rows: Option<Vec<usize>>,
+        skip: Option<SkipPlan>,
         clones_avoided: u64,
         deadline: BatchDeadline,
     ) -> Result<(RleImage, PipelineStats), SystolicError> {
@@ -1268,16 +1534,45 @@ impl DiffPipeline {
         let hits_before = self.shared.buffer_hits.load(Ordering::Relaxed);
         let steals_before = self.shared.steals.load(Ordering::Relaxed);
         let base = jobs.first().map_or(self.next_ticket, |j| j.base);
+        let resolved_rows = skip
+            .as_ref()
+            .map_or(0, |s| s.skipped.len() + s.collisions.len() + s.inline.len());
+        let submitted = height - resolved_rows;
         let mut stats = PipelineStats {
             workers: self.handles.len(),
             chunks: jobs.len(),
             row_clones_avoided: clones_avoided,
             ..Default::default()
         };
+        if let Some(plan) = &skip {
+            // Host-resolved rows join the batch's row and ArrayStats
+            // ledgers here; they never touch the submit/complete ledgers
+            // (nothing was submitted for them).
+            stats.rows += resolved_rows;
+            stats.rows_sig_skipped = plan.skipped.len();
+            stats.sig_verified = plan.verified;
+            stats.sig_collisions = plan.collisions.len();
+            stats.totals.absorb(&plan.stats);
+            stats.max_row_iterations = plan.max_inline_iterations;
+            for (_, _, choice) in &plan.inline {
+                match choice {
+                    KernelChoice::FastPath => stats.rows_fast_path += 1,
+                    KernelChoice::Rle => stats.rows_rle_kernel += 1,
+                    KernelChoice::Packed => stats.rows_packed_kernel += 1,
+                    KernelChoice::Systolic => stats.rows_systolic_kernel += 1,
+                }
+            }
+        }
         if let Some(obs) = &self.shared.obs {
             obs.metrics.batches.inc();
-            obs.metrics.rows_submitted.add(height as u64);
+            obs.metrics.rows_submitted.add(submitted as u64);
             obs.metrics.chunks_dispatched.add(jobs.len() as u64);
+            if let Some(plan) = &skip {
+                obs.metrics.rows_sig_skipped.add(plan.skipped.len() as u64);
+                for &row in &plan.skipped {
+                    obs.record(TraceKind::SigSkip { row: row as u64 });
+                }
+            }
             // Submit events precede the enqueue so every row's causal chain
             // starts before any worker can check its chunk out.
             for job in &jobs {
@@ -1293,10 +1588,21 @@ impl DiffPipeline {
             self.shared.push_job(i % shards, job);
         }
         self.shared.notify_work_all();
-        self.in_flight += height;
+        self.in_flight += submitted;
         self.sync_flight_gauge();
 
         let mut rows: Vec<Option<RleRow>> = vec![None; height];
+        if let Some(plan) = skip {
+            for &row in &plan.skipped {
+                rows[row] = Some(RleRow::new(width));
+            }
+            for (row, diff) in plan.collisions {
+                rows[row] = Some(diff);
+            }
+            for (row, diff, _) in plan.inline {
+                rows[row] = Some(diff);
+            }
+        }
         let mut seen = vec![false; self.handles.len()];
         let mut first_err: Option<SystolicError> = None;
         loop {
@@ -1333,8 +1639,9 @@ impl DiffPipeline {
                         None => {}
                     }
                     seen[done.worker] = true;
-                    rows[usize::try_from(done.ticket.id() - base).expect("ticket fits")] =
-                        Some(row);
+                    let offset = usize::try_from(done.ticket.id() - base).expect("ticket fits");
+                    let idx = ticket_rows.as_ref().map_or(offset, |tr| tr[offset]);
+                    rows[idx] = Some(row);
                 }
                 Err(e) => {
                     first_err.get_or_insert(e);
@@ -1969,5 +2276,214 @@ mod tests {
         assert_eq!(load.ready_chunks, 0);
         assert_eq!(load.in_flight_rows, 0);
         assert_eq!(load.abandoned_rows, 0);
+    }
+
+    #[test]
+    fn signature_prefilter_skips_matching_rows() {
+        // Rows 0 and 2 are identical between the images; rows 1 and 3
+        // differ. With the prefilter on, the identical rows resolve
+        // host-side and the rest still go through kernels — bit-identical
+        // either way.
+        let a = img("####....\n..##..##\n.#.#.#.#\n#.#.#.#.\n");
+        let b = img("####....\n..##..#.\n.#.#.#.#\n.#.#.#.#\n");
+        let (seq, _) = xor_image(&a, &b).unwrap();
+        let mut pipeline = DiffPipelineConfig::new(2).signature_prefilter().build();
+        let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+        assert_eq!(got, seq);
+        assert_eq!(stats.rows, 4);
+        assert_eq!(stats.rows_sig_skipped, 2);
+        assert_eq!(stats.sig_collisions, 0);
+        let kernel_rows = stats.rows_fast_path
+            + stats.rows_rle_kernel
+            + stats.rows_packed_kernel
+            + stats.rows_systolic_kernel;
+        assert_eq!(kernel_rows, 2, "only the changed rows reach a kernel");
+        // Skipped rows still contribute their input sizes to the totals.
+        assert_eq!(stats.totals.k1, a.total_runs());
+        assert_eq!(stats.totals.k2, b.total_runs());
+
+        // Shared and deadline front-ends agree.
+        let (a, b) = (Arc::new(a), Arc::new(b));
+        let (shared, shared_stats) = pipeline.diff_images_shared(&a, &b).unwrap();
+        assert_eq!(shared, seq);
+        assert_eq!(shared_stats.rows_sig_skipped, 2);
+        let (deadlined, deadline_stats) = pipeline
+            .diff_images_deadline(&a, &b, Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(deadlined, seq);
+        assert_eq!(deadline_stats.rows_sig_skipped, 2);
+    }
+
+    #[test]
+    fn small_residuals_are_diffed_inline_without_dispatch() {
+        // 40 rows, 3 changed: far under INLINE_RESIDUAL_ROWS, so the batch
+        // plans zero chunks, diffs the leftovers host-side, and the inline
+        // ledger (not the worker ledger) carries them.
+        let width = 256u32;
+        let rows: Vec<RleRow> = (0..40)
+            .map(|y: u32| RleRow::from_pairs(width, &[(y % 32, 5)]).unwrap())
+            .collect();
+        let a = RleImage::from_rows(width, rows.clone()).unwrap();
+        let mut rows_b = rows;
+        for y in [3usize, 17, 38] {
+            rows_b[y] = RleRow::from_pairs(width, &[(y as u32 % 32 + 64, 5)]).unwrap();
+        }
+        let b = RleImage::from_rows(width, rows_b).unwrap();
+        let (seq, _) = xor_image(&a, &b).unwrap();
+        let mut pipeline = DiffPipelineConfig::new(2)
+            .signature_prefilter()
+            .observe()
+            .build();
+        let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+        assert_eq!(got, seq);
+        assert_eq!(stats.rows, 40);
+        assert_eq!(stats.rows_sig_skipped, 37);
+        assert_eq!(stats.chunks, 0, "small residuals must not dispatch");
+        let kernel_rows = stats.rows_fast_path
+            + stats.rows_rle_kernel
+            + stats.rows_packed_kernel
+            + stats.rows_systolic_kernel;
+        assert_eq!(kernel_rows, 3, "inline rows keep their kernel accounting");
+        let s = pipeline.observer().unwrap().metrics_snapshot();
+        assert_eq!(s.rows_inline_diffed, 3);
+        assert_eq!(s.rows_submitted, 0, "nothing entered the pool");
+        assert_eq!(s.rows_diffed, 0, "no worker ran");
+        assert_eq!(s.row_latency_ns.count, 3);
+        assert_eq!(s.row_runs.count, 3);
+        assert_eq!(s.kernel_rows(), 3);
+
+        // A residual above the cap still goes through the pool.
+        let mut rows_c = a.rows().to_vec();
+        for (y, row) in rows_c.iter_mut().enumerate().take(INLINE_RESIDUAL_ROWS + 4) {
+            *row = RleRow::from_pairs(width, &[(y as u32 + 100, 7)]).unwrap();
+        }
+        let c = RleImage::from_rows(width, rows_c).unwrap();
+        let (seq_ac, _) = xor_image(&a, &c).unwrap();
+        let (got_ac, stats_ac) = pipeline.diff_images(&a, &c).unwrap();
+        assert_eq!(got_ac, seq_ac);
+        assert!(stats_ac.chunks > 0, "large residuals still dispatch");
+        let s2 = pipeline.observer().unwrap().metrics_snapshot();
+        assert_eq!(s2.rows_inline_diffed, 3, "inline count unchanged");
+        assert_eq!(
+            s2.rows_diffed,
+            (INLINE_RESIDUAL_ROWS + 4) as u64,
+            "the second batch's residual ran on workers"
+        );
+    }
+
+    #[test]
+    fn signature_prefilter_handles_fully_identical_images() {
+        let a = Arc::new(img("####....\n..##..##\n.#.#.#.#\n"));
+        let b = Arc::new((*a).clone());
+        let mut pipeline = DiffPipelineConfig::new(2)
+            .signature_prefilter()
+            .observe()
+            .build();
+        let (diff, stats) = pipeline.diff_images_shared(&a, &b).unwrap();
+        assert!(diff.rows().iter().all(RleRow::is_empty));
+        assert_eq!(diff.height(), 3);
+        assert_eq!(stats.rows, 3);
+        assert_eq!(stats.rows_sig_skipped, 3);
+        assert_eq!(stats.chunks, 0, "nothing left to plan");
+        // Skipped rows never enter the submit/complete ledgers; the metric
+        // and trace event carry them instead.
+        let snapshot = pipeline.observer().unwrap().metrics_snapshot();
+        assert_eq!(snapshot.rows_submitted, 0);
+        assert_eq!(snapshot.rows_completed, 0);
+        assert_eq!(snapshot.rows_sig_skipped, 3);
+        let events = pipeline.observer().unwrap().trace_snapshot();
+        let skips = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::SigSkip { .. }))
+            .count();
+        assert_eq!(skips, 3);
+        // The pipeline is idle and immediately reusable.
+        assert_eq!(pipeline.in_flight(), 0);
+        let (again, _) = pipeline.diff_images_shared(&a, &b).unwrap();
+        assert_eq!(again, diff);
+    }
+
+    #[test]
+    fn signature_prefilter_respects_non_canonical_encodings() {
+        // The same bitstring encoded canonically on one side and as split
+        // adjacent runs on the other: signatures match (canonical-view
+        // hashing), so the row is skipped — and that is *correct*, because
+        // the XOR of equal content is empty however it is encoded.
+        let wide = 64u32;
+        let canonical = RleRow::from_pairs(wide, &[(3, 6)]).unwrap();
+        let split = RleRow::from_pairs(wide, &[(3, 4), (7, 2)]).unwrap();
+        let changed_a = RleRow::from_pairs(wide, &[(0, 2)]).unwrap();
+        let changed_b = RleRow::from_pairs(wide, &[(1, 2)]).unwrap();
+        let a = RleImage::from_rows(wide, vec![canonical, changed_a]).unwrap();
+        let b = RleImage::from_rows(wide, vec![split, changed_b]).unwrap();
+        let (seq, _) = xor_image(&a, &b).unwrap();
+        let mut pipeline = DiffPipelineConfig::new(2).signature_prefilter().build();
+        let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+        assert_eq!(got, seq);
+        assert_eq!(stats.rows_sig_skipped, 1);
+    }
+
+    #[test]
+    fn verify_signatures_confirms_clean_skips() {
+        let a = img("####....\n..##..##\n.#.#.#.#\n#.#.#.#.\n");
+        let b = img("####....\n..##..#.\n.#.#.#.#\n.#.#.#.#\n");
+        let mut pipeline = DiffPipelineConfig::new(2)
+            .signature_prefilter()
+            .verify_signatures()
+            .build();
+        let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+        assert_eq!(got, xor_image(&a, &b).unwrap().0);
+        assert_eq!(stats.rows_sig_skipped, 2);
+        assert_eq!(stats.sig_verified, 1, "first skip of the batch sampled");
+        assert_eq!(stats.sig_collisions, 0);
+    }
+
+    #[test]
+    fn systolic_kernel_bypasses_the_prefilter() {
+        // Kernel::Systolic promises cycle-exact per-row statistics against
+        // the reference machine; the prefilter must stand aside.
+        let a = img("####....\n..##..##\n");
+        let b = img("####....\n..##..#.\n");
+        let (seq, seq_stats) = xor_image(&a, &b).unwrap();
+        let mut pipeline = DiffPipelineConfig::new(2)
+            .kernel(Kernel::Systolic)
+            .signature_prefilter()
+            .build();
+        let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
+        assert_eq!(got, seq);
+        assert_eq!(stats.rows_sig_skipped, 0);
+        assert_eq!(stats.rows_systolic_kernel, 2);
+        assert_eq!(stats.totals.iterations, seq_stats.totals.iterations);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn injected_collision_is_caught_by_paranoid_mode() {
+        // Force the prefilter to believe row 0's signatures match even
+        // though the rows differ — a synthetic 64-bit collision. Without
+        // verification the diff silently loses row 0's differences; with
+        // it, the sampled cross-check substitutes the reference diff.
+        let a = img("####....\n..##..##\n");
+        let b = img("...####.\n..##..##\n");
+        let (seq, _) = xor_image(&a, &b).unwrap();
+
+        let mut unchecked = DiffPipelineConfig::new(2)
+            .signature_prefilter()
+            .fault_sig_collisions(vec![0])
+            .build();
+        let (wrong, stats) = unchecked.diff_images(&a, &b).unwrap();
+        assert_ne!(wrong, seq, "the forced false skip drops row 0's diff");
+        assert!(wrong.rows()[0].is_empty());
+        assert_eq!(stats.rows_sig_skipped, 2);
+
+        let mut paranoid = DiffPipelineConfig::new(2)
+            .signature_prefilter()
+            .verify_signatures()
+            .fault_sig_collisions(vec![0])
+            .build();
+        let (got, stats) = paranoid.diff_images(&a, &b).unwrap();
+        assert_eq!(got, seq, "verification restores exactness");
+        assert_eq!(stats.sig_collisions, 1);
+        assert_eq!(stats.rows_sig_skipped, 1, "row 1's genuine skip remains");
     }
 }

@@ -181,13 +181,18 @@ impl HistogramSnapshot {
 ///   row crashed their chunk (the chunk re-runs whole, so these rows are
 ///   diffed again);
 /// * `rows_completed` / `rows_errored` — outcomes actually unpacked from
-///   the result channel (collector side).
+///   the result channel (collector side);
+/// * `rows_inline_diffed` — kernel executions performed host-side by the
+///   prefilter's inline-residual shortcut: real diffs through the same
+///   kernels (so they count in the kernel mix and the row histograms) but
+///   never submitted, so they appear in no queue/submit/complete ledger.
 ///
 /// Quiescent identities (asserted by `tests/observability.rs`):
 ///
 /// * `rows_fast_path + rows_rle_kernel + rows_packed_kernel +
-///   rows_systolic_kernel == rows_diffed`
-/// * `row_latency_ns.count == row_runs.count == rows_diffed`
+///   rows_systolic_kernel == rows_diffed + rows_inline_diffed`
+/// * `row_latency_ns.count == row_runs.count ==
+///   rows_diffed + rows_inline_diffed`
 /// * `rows_diffed == rows_completed + rows_discarded` (absent kernel
 ///   errors, which `diff_images`' dimension check rules out)
 /// * `rows_submitted == rows_completed + rows_errored + rows_abandoned`
@@ -216,6 +221,17 @@ pub struct MetricsRegistry {
     /// [`crate::DiffPipeline::abandoned`] (a level that drains back to 0
     /// as stale results arrive; this counter never decreases).
     pub rows_abandoned: Counter,
+    /// Rows resolved host-side by the signature prefilter: matching row
+    /// signatures short-circuited them to an empty diff before planning, so
+    /// they appear in **no** other row ledger (not submitted, not diffed,
+    /// not completed). Total rows presented to a batch front-end is
+    /// `rows_submitted + rows_sig_skipped` when the prefilter is on.
+    pub rows_sig_skipped: Counter,
+    /// Rows the prefilter's inline-residual shortcut diffed host-side
+    /// (small leftovers after a batch of skips; never submitted to the
+    /// pool). Counted in the kernel-mix counters and row histograms, but
+    /// not in `rows_diffed` (worker side) or the submit/complete ledgers.
+    pub rows_inline_diffed: Counter,
     /// Rows short-circuited by the trivial fast path.
     pub rows_fast_path: Counter,
     /// Rows diffed by the RLE merge kernel.
@@ -269,6 +285,8 @@ impl MetricsRegistry {
             rows_kernel_errors: self.rows_kernel_errors.get(),
             rows_discarded: self.rows_discarded.get(),
             rows_abandoned: self.rows_abandoned.get(),
+            rows_sig_skipped: self.rows_sig_skipped.get(),
+            rows_inline_diffed: self.rows_inline_diffed.get(),
             rows_fast_path: self.rows_fast_path.get(),
             rows_rle_kernel: self.rows_rle_kernel.get(),
             rows_packed_kernel: self.rows_packed_kernel.get(),
@@ -304,6 +322,8 @@ pub struct MetricsSnapshot {
     pub rows_kernel_errors: u64,
     pub rows_discarded: u64,
     pub rows_abandoned: u64,
+    pub rows_sig_skipped: u64,
+    pub rows_inline_diffed: u64,
     pub rows_fast_path: u64,
     pub rows_rle_kernel: u64,
     pub rows_packed_kernel: u64,
@@ -328,7 +348,7 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     /// Sum of the four per-kernel row counters — must equal
-    /// [`Self::rows_diffed`] on a quiescent pipeline.
+    /// `rows_diffed + rows_inline_diffed` on a quiescent pipeline.
     #[must_use]
     pub fn kernel_rows(&self) -> u64 {
         self.rows_fast_path
@@ -337,7 +357,7 @@ impl MetricsSnapshot {
             + self.rows_systolic_kernel
     }
 
-    fn counters(&self) -> [(&'static str, u64); 18] {
+    fn counters(&self) -> [(&'static str, u64); 20] {
         [
             ("rows_submitted", self.rows_submitted),
             ("rows_completed", self.rows_completed),
@@ -346,6 +366,8 @@ impl MetricsSnapshot {
             ("rows_kernel_errors", self.rows_kernel_errors),
             ("rows_discarded", self.rows_discarded),
             ("rows_abandoned", self.rows_abandoned),
+            ("rows_sig_skipped", self.rows_sig_skipped),
+            ("rows_inline_diffed", self.rows_inline_diffed),
             ("rows_fast_path", self.rows_fast_path),
             ("rows_rle_kernel", self.rows_rle_kernel),
             ("rows_packed_kernel", self.rows_packed_kernel),

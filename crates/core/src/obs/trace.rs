@@ -99,6 +99,14 @@ pub enum TraceKind {
         /// Rows handed back by this drain.
         collected: u64,
     },
+    /// The signature prefilter resolved a row host-side: matching row
+    /// signatures short-circuited it to an empty diff with no submit, no
+    /// checkout and no kernel. Carries the image row index (not a ticket —
+    /// skipped rows never enter the ticketed ledger).
+    SigSkip {
+        /// The image row that was skipped.
+        row: u64,
+    },
 }
 
 impl TraceKind {
@@ -116,6 +124,7 @@ impl TraceKind {
             TraceKind::Respawn { .. } => "respawn",
             TraceKind::Timeout { .. } => "timeout",
             TraceKind::Drain { .. } => "drain",
+            TraceKind::SigSkip { .. } => "sig_skip",
         }
     }
 }
@@ -195,6 +204,7 @@ impl TraceEvent {
             TraceKind::Respawn { worker } => format!(", \"worker\": {worker}}}"),
             TraceKind::Timeout { in_flight } => format!(", \"in_flight\": {in_flight}}}"),
             TraceKind::Drain { collected } => format!(", \"collected\": {collected}}}"),
+            TraceKind::SigSkip { row } => format!(", \"row\": {row}}}"),
         };
         head + &tail
     }
@@ -332,6 +342,7 @@ mod tests {
             TraceKind::Respawn { worker: 0 },
             TraceKind::Timeout { in_flight: 5 },
             TraceKind::Drain { collected: 12 },
+            TraceKind::SigSkip { row: 7 },
         ];
         for (i, kind) in cases.into_iter().enumerate() {
             let event = TraceEvent {

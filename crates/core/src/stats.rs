@@ -118,6 +118,23 @@ pub struct PipelineStats {
     /// (tail rebalancing on the sharded scheduler; 0 when every shard
     /// drained its own queue in time).
     pub chunks_stolen: u64,
+    /// Rows resolved host-side by the signature prefilter
+    /// (`DiffPipelineConfig::signature_prefilter`): matching row signatures
+    /// short-circuited them to an empty diff before any chunk was planned —
+    /// no submit, no checkout round-trip, no kernel. Disjoint from the
+    /// per-kernel counters below; `rows` partitions into
+    /// `rows_sig_skipped + sig_collisions + rows_fast_path +
+    /// rows_rle_kernel + rows_packed_kernel + rows_systolic_kernel`.
+    pub rows_sig_skipped: usize,
+    /// Signature skips cross-checked against the reference XOR in paranoid
+    /// mode (`DiffPipelineConfig::verify_signatures`); counts checks that
+    /// confirmed the skip. A check that instead caught a collision moves
+    /// the row to `sig_collisions`.
+    pub sig_verified: usize,
+    /// Paranoid-mode cross-checks that caught a signature collision (equal
+    /// signatures, unequal rows). The row's diff is replaced by the
+    /// reference XOR, so the batch output stays exact.
+    pub sig_collisions: usize,
     /// Rows short-circuited without running any kernel (equal inputs or an
     /// empty side; see [`crate::engine::kernel::KernelChoice::FastPath`]).
     pub rows_fast_path: usize,

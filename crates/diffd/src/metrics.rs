@@ -5,7 +5,7 @@
 //! the same hand-rolled Prometheus/JSON text so `/metrics` is one
 //! concatenation.
 
-use systolic_core::obs::metrics::{Counter, Gauge};
+use systolic_core::obs::metrics::{Counter, Gauge, HistogramSnapshot, Log2Histogram};
 
 /// Every metric the server maintains. All counters are monotonic; the one
 /// gauge (`connections_open`) is inc/dec'd symmetrically around each
@@ -57,6 +57,15 @@ pub struct ServerMetrics {
     pub bytes_read: Counter,
     /// Frame bytes written to clients.
     pub bytes_written: Counter,
+    /// Nanoseconds an admitted request waited for the shared pipeline
+    /// mutex before its diff could start. Splitting this out of the
+    /// request latency separates "the server is queueing" from "the diff
+    /// is slow" — the tail of this histogram is the pipeline-mutex
+    /// queueing delay under concurrent load.
+    pub queue_wait_ns: Log2Histogram,
+    /// Nanoseconds spent inside the pipeline computing the diff (the
+    /// request latency minus parse, admission and queue wait).
+    pub compute_ns: Log2Histogram,
 }
 
 impl ServerMetrics {
@@ -79,8 +88,16 @@ impl ServerMetrics {
         ]
     }
 
+    fn histograms(&self) -> [(&'static str, HistogramSnapshot); 2] {
+        [
+            ("queue_wait_ns", self.queue_wait_ns.snapshot()),
+            ("compute_ns", self.compute_ns.snapshot()),
+        ]
+    }
+
     /// Prometheus text exposition (prefix `diffd_`, counters suffixed
-    /// `_total`), shaped like the pipeline's so both concatenate into one
+    /// `_total`, histograms in the standard `_bucket`/`_sum`/`_count`
+    /// shape), shaped like the pipeline's so both concatenate into one
     /// `/metrics` body.
     #[must_use]
     pub fn to_prometheus(&self) -> String {
@@ -96,10 +113,29 @@ impl ServerMetrics {
             "diffd_connections_open {}",
             self.connections_open.get()
         );
+        for (name, h) in self.histograms() {
+            let _ = writeln!(out, "# TYPE diffd_{name} histogram");
+            let mut cumulative = 0u64;
+            for (i, n) in h.buckets.iter().enumerate() {
+                cumulative += n;
+                // Empty buckets are elided; +Inf carries the full count.
+                if *n > 0 {
+                    let _ = writeln!(
+                        out,
+                        "diffd_{name}_bucket{{le=\"{}\"}} {cumulative}",
+                        HistogramSnapshot::bucket_edge(i)
+                    );
+                }
+            }
+            let _ = writeln!(out, "diffd_{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "diffd_{name}_sum {}", h.sum);
+            let _ = writeln!(out, "diffd_{name}_count {}", h.count);
+        }
         out
     }
 
-    /// Flat JSON exposition (`name: number` pairs, no serde).
+    /// Flat JSON exposition (`name: number` pairs plus one object per
+    /// histogram, no serde).
     #[must_use]
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
@@ -109,9 +145,28 @@ impl ServerMetrics {
         }
         let _ = writeln!(
             out,
-            "  \"connections_open\": {}",
+            "  \"connections_open\": {},",
             self.connections_open.get()
         );
+        let histograms = self.histograms();
+        for (hi, (name, h)) in histograms.iter().enumerate() {
+            let _ = write!(
+                out,
+                "  \"{name}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                h.count, h.sum
+            );
+            // Trailing zero buckets are trimmed, matching the pipeline's
+            // JSON exposition.
+            let last = h.buckets.iter().rposition(|n| *n > 0).map_or(0, |i| i + 1);
+            for (i, n) in h.buckets[..last].iter().enumerate() {
+                let _ = write!(out, "{}{n}", if i == 0 { "" } else { ", " });
+            }
+            let _ = writeln!(
+                out,
+                "]}}{}",
+                if hi + 1 == histograms.len() { "" } else { "," }
+            );
+        }
         out.push_str("}\n");
         out
     }
@@ -141,12 +196,21 @@ mod tests {
         m.responses_ok.add(2);
         m.sheds.inc();
         m.connections_open.set(1);
+        m.queue_wait_ns.record(1_500);
+        m.queue_wait_ns.record(0);
+        m.compute_ns.record(2_000_000);
         let prom = m.to_prometheus();
         assert!(prom.contains("diffd_requests_total 3"));
         assert!(prom.contains("diffd_sheds_total 1"));
         assert!(prom.contains("diffd_connections_open 1"));
+        assert!(prom.contains("# TYPE diffd_queue_wait_ns histogram"));
+        assert!(prom.contains("diffd_queue_wait_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(prom.contains("diffd_queue_wait_ns_sum 1500"));
+        assert!(prom.contains("diffd_compute_ns_count 1"));
         let json = m.to_json();
         assert!(json.contains("\"responses_ok\": 2"));
+        assert!(json.contains("\"queue_wait_ns\": {\"count\": 2, \"sum\": 1500"));
+        assert!(json.contains("\"compute_ns\": {\"count\": 1"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(!json.contains(",\n}"));
         assert_eq!(m.responses_total(), 3);

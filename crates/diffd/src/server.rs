@@ -568,6 +568,13 @@ impl Session {
         let a = Arc::new(req.a);
         let b = Arc::new(req.b);
         let outcome = {
+            // Split the request latency at the pipeline mutex: time spent
+            // polling here is queueing behind other requests' batches
+            // (diffd_queue_wait_ns), time inside the batch is compute
+            // (diffd_compute_ns). The split is what distinguishes "add
+            // capacity / shard the pipeline" from "the diff itself is
+            // slow" when the p99 climbs.
+            let wait_started = Instant::now();
             let pipeline = loop {
                 match shared.pipeline.try_lock() {
                     Ok(p) => break Some(p),
@@ -580,6 +587,8 @@ impl Session {
                     }
                 }
             };
+            let wait_ns = u64::try_from(wait_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            m.queue_wait_ns.record(wait_ns);
             match pipeline {
                 None => Err(SystolicError::DeadlineExceeded {
                     waited: budget,
@@ -588,9 +597,12 @@ impl Session {
                 Some(mut pipeline) => {
                     let remaining = deadline_at.saturating_duration_since(Instant::now());
                     let lo = pipeline.next_ticket();
-                    pipeline
-                        .diff_images_deadline(&a, &b, remaining)
-                        .map(|(image, _stats)| (lo, pipeline.next_ticket(), image))
+                    let compute_started = Instant::now();
+                    let result = pipeline.diff_images_deadline(&a, &b, remaining);
+                    m.compute_ns.record(
+                        u64::try_from(compute_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    );
+                    result.map(|(image, _stats)| (lo, pipeline.next_ticket(), image))
                 }
             }
         };

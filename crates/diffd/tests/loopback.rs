@@ -87,6 +87,12 @@ fn concurrent_clients_all_get_correct_answers() {
     let m = handle.server_metrics();
     assert_eq!(m.responses_ok.get(), 24, "6 clients x 4 requests");
     assert_eq!(m.requests.get(), m.responses_total());
+    // The latency split: every admitted request records exactly one mutex
+    // wait and (having reached the pipeline) one compute sample, so
+    // queueing delay and diff time are separable after the fact.
+    assert_eq!(m.queue_wait_ns.count(), 24);
+    assert_eq!(m.compute_ns.count(), 24);
+    assert!(m.compute_ns.snapshot().sum > 0, "diffs take nonzero time");
 
     handle.shutdown();
     join.join().unwrap();
@@ -110,6 +116,8 @@ fn ping_and_binary_metrics_frames_work() {
     assert!(text.contains("diffpipeline_rows_abandoned_total"));
     assert!(text.contains("diffd_requests_total"));
     assert!(text.contains("diffd_connections_open"));
+    assert!(text.contains("diffd_queue_wait_ns_count"));
+    assert!(text.contains("diffd_compute_ns_count"));
 
     handle.shutdown();
     join.join().unwrap();

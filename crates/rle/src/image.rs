@@ -116,6 +116,20 @@ impl RleImage {
         self.rows[y].get(x)
     }
 
+    /// Per-row signatures, in row order (computed on first use and cached
+    /// on each [`RleRow`]; see [`crate::sig`]).
+    #[must_use]
+    pub fn row_signatures(&self) -> Vec<u64> {
+        self.rows.iter().map(RleRow::signature).collect()
+    }
+
+    /// Whole-image signature folding the dimensions and every row
+    /// signature (see [`crate::sig::image_signature`]). Never 0.
+    #[must_use]
+    pub fn signature(&self) -> u64 {
+        crate::sig::image_signature(self)
+    }
+
     /// Canonicalizes every row in place; returns total merges.
     pub fn canonicalize(&mut self) -> usize {
         self.rows.iter_mut().map(RleRow::canonicalize).sum()

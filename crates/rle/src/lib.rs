@@ -39,6 +39,7 @@ pub mod ops;
 pub mod row;
 pub mod run;
 pub mod serialize;
+pub mod sig;
 
 pub use error::RleError;
 pub use image::RleImage;

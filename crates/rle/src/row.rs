@@ -3,6 +3,8 @@
 use crate::error::RleError;
 use crate::run::{Pixel, Run};
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One run-length-encoded row of a binary image.
 ///
@@ -15,10 +17,40 @@ use std::fmt;
 ///
 /// A row where no two runs are adjacent is *canonical* (maximally
 /// compressed); see [`RleRow::is_canonical`] and [`RleRow::canonicalize`].
-#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct RleRow {
     width: Pixel,
     runs: Vec<Run>,
+    /// Lazily cached [`RleRow::signature`]; 0 means "not computed yet"
+    /// (computed signatures are never 0; see [`crate::sig`]). `Relaxed`
+    /// atomics suffice because racing readers compute and store the same
+    /// deterministic value. The cache is *not* part of the row's identity:
+    /// `Clone` copies it, but `PartialEq`/`Hash` ignore it.
+    sig: AtomicU64,
+}
+
+impl Clone for RleRow {
+    fn clone(&self) -> Self {
+        Self {
+            width: self.width,
+            runs: self.runs.clone(),
+            sig: AtomicU64::new(self.sig.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for RleRow {
+    fn eq(&self, other: &Self) -> bool {
+        self.width == other.width && self.runs == other.runs
+    }
+}
+
+impl Eq for RleRow {}
+
+impl Hash for RleRow {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.width.hash(state);
+        self.runs.hash(state);
+    }
 }
 
 impl RleRow {
@@ -28,6 +60,7 @@ impl RleRow {
         Self {
             width,
             runs: Vec::new(),
+            sig: AtomicU64::new(0),
         }
     }
 
@@ -38,6 +71,7 @@ impl RleRow {
         Self {
             width,
             runs: Vec::with_capacity(capacity),
+            sig: AtomicU64::new(0),
         }
     }
 
@@ -46,6 +80,7 @@ impl RleRow {
     pub fn reset(&mut self, width: Pixel) {
         self.width = width;
         self.runs.clear();
+        *self.sig.get_mut() = 0;
     }
 
     /// Makes this row a copy of `src`, reusing the existing run allocation
@@ -54,12 +89,19 @@ impl RleRow {
         self.width = src.width;
         self.runs.clear();
         self.runs.extend_from_slice(&src.runs);
+        // Equal content means the source's cached signature (possibly the
+        // "unset" 0) is exactly right for us too.
+        *self.sig.get_mut() = src.sig.load(Ordering::Relaxed);
     }
 
     /// Creates a row from a validated run list.
     pub fn from_runs(width: Pixel, runs: Vec<Run>) -> Result<Self, RleError> {
         Self::validate(width, &runs)?;
-        Ok(Self { width, runs })
+        Ok(Self {
+            width,
+            runs,
+            sig: AtomicU64::new(0),
+        })
     }
 
     /// Creates a row from the paper's `(start, length)` tuple notation.
@@ -89,7 +131,11 @@ impl RleRow {
                 i += 1;
             }
         }
-        Self { width, runs }
+        Self {
+            width,
+            runs,
+            sig: AtomicU64::new(0),
+        }
     }
 
     /// Decodes to an unencoded bitstring of length `width`.
@@ -184,6 +230,36 @@ impl RleRow {
         }
     }
 
+    /// 64-bit signature of the row's canonical content (see [`crate::sig`]).
+    ///
+    /// Computed on first use and cached; every mutator invalidates the
+    /// cache, so repeated calls on an unchanged row are one atomic load.
+    /// Equal rows — including different (canonical vs non-canonical)
+    /// encodings of the same bitstring — always return equal signatures,
+    /// and a signature is never 0. Distinct rows collide with probability
+    /// ~2⁻⁶⁴; callers that cannot tolerate that use the signature only as
+    /// a prefilter (see the pipeline's `verify_signatures`).
+    #[must_use]
+    pub fn signature(&self) -> u64 {
+        let cached = self.sig.load(Ordering::Relaxed);
+        if cached != 0 {
+            return cached;
+        }
+        let sig = crate::sig::signature_of_runs(self.width, &self.runs);
+        self.sig.store(sig, Ordering::Relaxed);
+        sig
+    }
+
+    /// The cached signature, if one has been computed since the last
+    /// mutation. Mostly useful for tests pinning the cache discipline.
+    #[must_use]
+    pub fn cached_signature(&self) -> Option<u64> {
+        match self.sig.load(Ordering::Relaxed) {
+            0 => None,
+            s => Some(s),
+        }
+    }
+
     /// Appends a run to the end of the row, validating ordering against the
     /// current last run.
     pub fn push_run(&mut self, run: Run) -> Result<(), RleError> {
@@ -200,6 +276,7 @@ impl RleRow {
             }
         }
         self.runs.push(run);
+        *self.sig.get_mut() = 0;
         Ok(())
     }
 
@@ -221,6 +298,7 @@ impl RleRow {
                     });
                 }
                 *prev = merged;
+                *self.sig.get_mut() = 0;
                 return Ok(());
             }
         }
@@ -239,6 +317,9 @@ impl RleRow {
     /// This is the "additional pass" the paper mentions at the end of §2.
     ///
     /// Returns the number of merges performed.
+    ///
+    /// The cached [`RleRow::signature`] survives: signatures are defined
+    /// over the canonical view, so canonicalizing never changes them.
     pub fn canonicalize(&mut self) -> usize {
         crate::canonical::coalesce_in_place(&mut self.runs)
     }
@@ -532,6 +613,44 @@ mod tests {
     fn density() {
         let r = RleRow::from_pairs(10, &[(0, 3)]).unwrap();
         assert!((r.density() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signature_cache_discipline() {
+        let mut r = row(&[(3, 4)]);
+        assert_eq!(r.cached_signature(), None, "lazy until first use");
+        let sig = r.signature();
+        assert_eq!(r.cached_signature(), Some(sig));
+
+        // Clone carries the cache; equality/hash ignore it.
+        let fresh = row(&[(3, 4)]);
+        assert_eq!(fresh.cached_signature(), None);
+        assert_eq!(fresh, r);
+        assert_eq!(r.clone().cached_signature(), Some(sig));
+
+        // Mutators invalidate...
+        r.push_run(Run::new(10, 2)).unwrap();
+        assert_eq!(r.cached_signature(), None);
+        let sig2 = r.signature();
+        assert_ne!(sig2, sig);
+        r.push_run_coalescing(Run::new(12, 1)).unwrap();
+        assert_eq!(r.cached_signature(), None);
+        let _ = r.signature();
+        r.reset(32);
+        assert_eq!(r.cached_signature(), None);
+
+        // ...copy_from copies the source's cache verbatim...
+        let src = row(&[(1, 2)]);
+        let src_sig = src.signature();
+        r.copy_from(&src);
+        assert_eq!(r.cached_signature(), Some(src_sig));
+
+        // ...and canonicalize preserves it (signatures are canonical-view).
+        let mut nc = row(&[(3, 4), (7, 2)]);
+        let nc_sig = nc.signature();
+        nc.canonicalize();
+        assert_eq!(nc.cached_signature(), Some(nc_sig));
+        assert_eq!(nc.signature(), row(&[(3, 6)]).signature());
     }
 
     #[test]

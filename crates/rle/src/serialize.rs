@@ -83,7 +83,10 @@ impl From<RleError> for DecodeError {
     }
 }
 
-fn put_varint(out: &mut Vec<u8>, mut v: u32) {
+/// Appends `v` as an LEB128 varint (the wire format's integer encoding;
+/// public so containers embedding RLI1 blobs — the delta archive — share
+/// one implementation).
+pub fn put_varint(out: &mut Vec<u8>, mut v: u32) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -95,7 +98,10 @@ fn put_varint(out: &mut Vec<u8>, mut v: u32) {
     }
 }
 
-fn get_varint(data: &[u8], pos: &mut usize) -> Result<u32, DecodeError> {
+/// Reads an LEB128 varint from `data` at `*pos`, advancing it (see
+/// [`put_varint`]). Overflow beyond 32 bits and truncation are typed
+/// errors, never panics.
+pub fn get_varint(data: &[u8], pos: &mut usize) -> Result<u32, DecodeError> {
     let mut value: u32 = 0;
     let mut shift = 0u32;
     loop {

@@ -27,6 +27,8 @@ pub mod gen;
 pub mod glyphs;
 pub mod motion;
 pub mod pcb;
+pub mod sequence;
 
 pub use errors::{apply_errors, ErrorModel};
 pub use gen::{GenParams, RowGenerator};
+pub use sequence::{FrameSequence, SequenceParams};

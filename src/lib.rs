@@ -8,6 +8,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`rle`] | `crates/rle` | RLE substrate: runs, rows, images, boolean ops, morphology, storage format |
+//! | [`archive`] | `crates/archive` | versioned delta store: keyframes + per-row XOR deltas keyed by row signatures |
 //! | [`bitimg`] | `crates/bitimg` | dense bitmaps, PBM I/O, parallel dense ops, conversions |
 //! | [`systolic_core`] | `crates/core` | the paper's systolic machine, engines, traces, §6 extensions |
 //! | [`workload`] | `crates/workload` | the §5 generator, error models, PCB/motion/glyph scenarios |
@@ -36,6 +37,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use archive;
 pub use bitimg;
 pub use diffd;
 pub use harness;

@@ -1,0 +1,150 @@
+//! End-to-end contract of the delta archive against realistic sequences:
+//! a 100-frame churn-controlled stream must replay bit-identically from
+//! every keyframe distance, survive serialization, re-keyframe without
+//! content drift, and reject corrupted bytes with typed errors.
+
+use rle_systolic::archive::{ArchiveError, DeltaArchive};
+use rle_systolic::rle::RleImage;
+use rle_systolic::workload::{FrameSequence, GenParams, SequenceParams};
+
+fn frames(n: usize, churn: f64, seed: u64) -> Vec<RleImage> {
+    let params = SequenceParams {
+        gen: GenParams::for_density(1_024, 0.3),
+        height: 48,
+        churn,
+    };
+    FrameSequence::new(params, seed).take_frames(n)
+}
+
+#[test]
+fn hundred_frame_sequence_replays_bit_identically() {
+    let stream = frames(100, 0.10, 0xA5C1);
+    let mut store = DeltaArchive::new(16);
+    for (i, f) in stream.iter().enumerate() {
+        let outcome = store.append(f).expect("append");
+        assert_eq!(outcome.keyframe, i % 16 == 0);
+        if !outcome.keyframe {
+            // 10% churn of 48 rows = at most 5 redrawn rows per frame.
+            assert!(
+                outcome.changed_rows <= 5,
+                "frame {i}: {}",
+                outcome.changed_rows
+            );
+        }
+    }
+    // Every frame — keyframes, mid-chain deltas, the frame right before a
+    // keyframe (the longest replay) — reconstructs exactly.
+    for (i, f) in stream.iter().enumerate() {
+        assert_eq!(&store.extract(i).expect("extract"), f, "frame {i}");
+    }
+    // And again through bytes.
+    let bytes = store.to_bytes();
+    let back = DeltaArchive::from_bytes(&bytes).expect("decode");
+    for (i, f) in stream.iter().enumerate() {
+        assert_eq!(&back.extract(i).expect("extract"), f, "decoded frame {i}");
+    }
+    // The whole point: 10% churn stores ~10% of the rows (plus keyframes).
+    let stats = back.stat();
+    let full_rows = stats.frames * stats.height;
+    let stored_rows = stats.keyframes * stats.height + stats.delta_rows;
+    assert!(
+        stored_rows * 4 < full_rows,
+        "delta storage must be well under a quarter of full storage \
+         ({stored_rows} of {full_rows} row-slots)"
+    );
+}
+
+#[test]
+fn compaction_rekeys_a_long_archive_without_drift() {
+    let stream = frames(40, 0.25, 0xC0DE);
+    // Written with a pathological interval: one keyframe, 39 deltas.
+    let mut store = DeltaArchive::new(1_000);
+    for f in &stream {
+        store.append(f).expect("append");
+    }
+    assert_eq!(store.stat().keyframes, 1);
+    store.compact(8).expect("compact");
+    assert_eq!(store.stat().keyframes, 5);
+    for (i, f) in stream.iter().enumerate() {
+        assert_eq!(
+            &store.extract(i).expect("extract"),
+            f,
+            "frame {i} after compact"
+        );
+    }
+}
+
+#[test]
+fn corrupted_bytes_are_typed_errors_never_panics() {
+    let stream = frames(12, 0.15, 0xBAD);
+    let mut store = DeltaArchive::new(4);
+    for f in &stream {
+        store.append(f).expect("append");
+    }
+    let bytes = store.to_bytes();
+
+    // Every truncation point fails typed.
+    for cut in 0..bytes.len() {
+        assert!(
+            DeltaArchive::from_bytes(&bytes[..cut]).is_err(),
+            "prefix of {cut} bytes decoded"
+        );
+    }
+    // Single-bit flips either fail typed or decode to an archive whose
+    // frames still extract or error typed — never a panic. (A flip inside
+    // an early frame's payload can go unnoticed at load, which only
+    // verifies the newest frame; extraction's signature check is the
+    // backstop, exercised here for every frame.)
+    for stride in [1usize, 7, 13] {
+        for pos in (0..bytes.len()).step_by(stride.max(bytes.len() / 97).max(1)) {
+            let mut evil = bytes.clone();
+            evil[pos] ^= 0x10;
+            if let Ok(decoded) = DeltaArchive::from_bytes(&evil) {
+                for i in 0..decoded.len() {
+                    let _ = decoded.extract(i);
+                }
+            }
+        }
+    }
+
+    // A flip inside a mid-chain delta payload is caught by extraction's
+    // signature verification even when load-time checks pass it through.
+    let mut tail_ok = bytes.clone();
+    // Find a byte whose flip load succeeds but some extract fails; sweep
+    // until we exhibit at least one SignatureMismatch, proving the
+    // signature index is a real integrity check, not decoration.
+    let mut caught = false;
+    for pos in 12..bytes.len() {
+        tail_ok.copy_from_slice(&bytes);
+        tail_ok[pos] ^= 0x01;
+        if let Ok(decoded) = DeltaArchive::from_bytes(&tail_ok) {
+            for i in 0..decoded.len() {
+                if matches!(
+                    decoded.extract(i),
+                    Err(ArchiveError::SignatureMismatch { .. })
+                ) {
+                    caught = true;
+                    break;
+                }
+            }
+        }
+        if caught {
+            break;
+        }
+    }
+    assert!(caught, "no bit flip ever tripped the signature index");
+}
+
+#[test]
+fn zero_churn_archives_are_tiny() {
+    let stream = frames(20, 0.0, 0x5AFE);
+    let mut store = DeltaArchive::new(10);
+    for f in &stream {
+        store.append(f).expect("append");
+    }
+    let stats = store.stat();
+    assert_eq!(stats.delta_rows, 0, "nothing changed, nothing stored");
+    for (i, f) in stream.iter().enumerate() {
+        assert_eq!(&store.extract(i).expect("extract"), f, "frame {i}");
+    }
+}

@@ -6,8 +6,11 @@
 //! nothing in flight):
 //!
 //! * every histogram's bucket total equals its count;
-//! * `row_latency_ns.count == row_runs.count == rows_diffed`;
-//! * the four kernel counters partition `rows_diffed`;
+//! * `row_latency_ns.count == row_runs.count ==
+//!   rows_diffed + rows_inline_diffed`;
+//! * the four kernel counters partition
+//!   `rows_diffed + rows_inline_diffed` (worker-side diffs plus the
+//!   prefilter's host-side inline residuals);
 //! * `rows_diffed == rows_completed + rows_discarded` (the all-or-nothing
 //!   chunk-retry ledger closes exactly, even under injected faults);
 //! * `rows_completed + rows_errored == rows_submitted` after a full drain;
@@ -57,16 +60,18 @@ fn assert_ledger_closed(s: &MetricsSnapshot) {
         );
     }
     assert_eq!(
-        s.row_latency_ns.count, s.rows_diffed,
-        "one latency sample per successful diff"
+        s.row_latency_ns.count,
+        s.rows_diffed + s.rows_inline_diffed,
+        "one latency sample per successful diff (worker or inline)"
     );
     assert_eq!(
-        s.row_runs.count, s.rows_diffed,
-        "one run-count sample per successful diff"
+        s.row_runs.count,
+        s.rows_diffed + s.rows_inline_diffed,
+        "one run-count sample per successful diff (worker or inline)"
     );
     assert_eq!(
         s.kernel_rows(),
-        s.rows_diffed,
+        s.rows_diffed + s.rows_inline_diffed,
         "kernel counters must partition the diffed rows"
     );
     assert_eq!(
