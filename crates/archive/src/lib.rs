@@ -51,7 +51,23 @@
 use rle::serialize::{self, get_varint, put_varint, DecodeError};
 use rle::{Pixel, RleError, RleImage, RleRow};
 
+mod crc;
+pub mod journal;
+pub mod storage;
+
+pub use journal::{
+    ArchiveFile, ArchiveOptions, FsckReport, FsyncPolicy, RecoveryReport, TornReason, JOURNAL_MAGIC,
+};
+#[cfg(feature = "fault-injection")]
+pub use storage::{CrashMode, CrashPlan, FaultStorage};
+pub use storage::{MemStorage, Storage};
+
 const MAGIC: &[u8; 4] = b"RDA1";
+
+/// Magic of the legacy whole-blob [`DeltaArchive::to_bytes`] format —
+/// exported so front ends can sniff a file's format and route it to
+/// [`DeltaArchive::from_bytes`] or the [`journal`] accordingly.
+pub const LEGACY_MAGIC: &[u8; 4] = MAGIC;
 
 /// Default re-keyframe cadence: a keyframe every 16 frames bounds any
 /// extraction to at most 15 delta replays while keeping the storage
@@ -108,6 +124,29 @@ pub enum ArchiveError {
         /// The frame whose payload was malformed.
         frame: usize,
     },
+    /// A journal record's CRC32 disagreed with its bytes — the committed
+    /// region is corrupt (run `archive fsck`).
+    CrcMismatch {
+        /// The frame whose record failed its checksum.
+        frame: usize,
+        /// Byte offset of the record in the journal.
+        offset: u64,
+    },
+    /// The journal header's CRC32 disagreed with its fields — not a torn
+    /// create (those are recovered), but in-place header corruption.
+    HeaderCorrupt,
+    /// The journal declares a format version this build does not speak.
+    UnsupportedVersion {
+        /// The version byte found in the header.
+        version: u8,
+    },
+    /// The backing storage failed.
+    Io {
+        /// The I/O error kind.
+        kind: std::io::ErrorKind,
+        /// The I/O error message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ArchiveError {
@@ -143,11 +182,29 @@ impl std::fmt::Display for ArchiveError {
                     "frame {frame}: payload geometry disagrees with the archive"
                 )
             }
+            ArchiveError::CrcMismatch { frame, offset } => write!(
+                f,
+                "frame {frame} (offset {offset}): record checksum mismatch — run fsck"
+            ),
+            ArchiveError::HeaderCorrupt => write!(f, "journal header corrupt (CRC mismatch)"),
+            ArchiveError::UnsupportedVersion { version } => {
+                write!(f, "journal format version {version} not supported")
+            }
+            ArchiveError::Io { kind, message } => write!(f, "journal I/O ({kind:?}): {message}"),
         }
     }
 }
 
 impl std::error::Error for ArchiveError {}
+
+impl From<std::io::Error> for ArchiveError {
+    fn from(e: std::io::Error) -> Self {
+        ArchiveError::Io {
+            kind: e.kind(),
+            message: e.to_string(),
+        }
+    }
+}
 
 impl From<DecodeError> for ArchiveError {
     fn from(e: DecodeError) -> Self {
@@ -198,6 +255,22 @@ pub struct ArchiveStats {
     /// Total runs stored across all payloads (keyframes + deltas) — the
     /// archive's size driver.
     pub stored_runs: usize,
+    /// Committed journal size in bytes (0 for in-memory archives).
+    pub journal_bytes: u64,
+    /// Torn/uncommitted bytes truncated by open-time recovery.
+    pub recovered_tail_bytes: u64,
+    /// Record checksum failures observed since open.
+    pub crc_errors: u64,
+    /// Records decoded in service of `extract` since open — the replay
+    /// cost the keyframe index is meant to bound.
+    pub records_replayed: u64,
+    /// Bytes written by appends since open (journal I/O, not file size).
+    pub bytes_appended: u64,
+    /// Bytes written by the most recent append — O(frame), not
+    /// O(archive), which is the journal's point.
+    pub last_append_bytes: u64,
+    /// Fsync barriers issued since open.
+    pub syncs: u64,
 }
 
 /// Outcome of one [`DeltaArchive::append`].
@@ -422,6 +495,7 @@ impl DeltaArchive {
                 .map(|f| f.changed_rows)
                 .sum(),
             stored_runs: self.frames.iter().map(|f| f.payload.total_runs()).sum(),
+            ..ArchiveStats::default()
         }
     }
 

@@ -102,10 +102,19 @@ fn main() {
         );
 
         // Bit-identity first: the prefilter must change nothing but the
-        // cost. One pass, every consecutive pair, full comparison.
+        // cost. One pass, every consecutive pair, full comparison. The
+        // adaptive bypass is pinned off (threshold 0.0) throughout this
+        // bench: the sweep measures the *raw* prefilter cost across the
+        // churn range — these numbers are what the default
+        // `sig_prefilter_min_skip_rate` break-even was derived from, so
+        // letting the bypass engage would measure the cure instead of
+        // the disease.
         {
             let mut plain = DiffPipelineConfig::new(2).build();
-            let mut filtered = DiffPipelineConfig::new(2).signature_prefilter().build();
+            let mut filtered = DiffPipelineConfig::new(2)
+                .signature_prefilter()
+                .sig_prefilter_min_skip_rate(0.0)
+                .build();
             for pair in stream.windows(2) {
                 let (d1, _) = plain.diff_images_shared(&pair[0], &pair[1]).unwrap();
                 let (d2, s2) = filtered.diff_images_shared(&pair[0], &pair[1]).unwrap();
@@ -123,10 +132,12 @@ fn main() {
             let (full_best, _) = time(samples, || diff_stream(&mut plain, &stream));
             let mut filtered = DiffPipelineConfig::new(threads)
                 .signature_prefilter()
+                .sig_prefilter_min_skip_rate(0.0)
                 .build();
             let (inc_best, _) = time(samples, || diff_stream(&mut filtered, &stream));
             let mut verified = DiffPipelineConfig::new(threads)
                 .signature_prefilter()
+                .sig_prefilter_min_skip_rate(0.0)
                 .verify_signatures()
                 .build();
             let (ver_best, _) = time(samples, || diff_stream(&mut verified, &stream));

@@ -142,7 +142,9 @@ pub enum Command {
         /// Text for the `glyphs` kind.
         text: String,
     },
-    /// Append frames to (or create) a versioned delta archive.
+    /// Append frames to (or create) a crash-safe archive journal.
+    /// Legacy RDA1 blobs are migrated to the RDA2 journal in place
+    /// (atomically, via a temp sibling + rename) before the append.
     ArchiveAppend {
         /// Archive path (created if missing).
         archive: PathBuf,
@@ -150,6 +152,9 @@ pub enum Command {
         frames: Vec<PathBuf>,
         /// Keyframe cadence when creating a new archive.
         keyframe_every: usize,
+        /// When the journal fsyncs; wired to
+        /// [`archive::ArchiveOptions::fsync`].
+        fsync: archive::FsyncPolicy,
     },
     /// Extract one frame of a delta archive.
     ArchiveExtract {
@@ -164,6 +169,16 @@ pub enum Command {
     ArchiveStat {
         /// Archive path.
         archive: PathBuf,
+    },
+    /// Check an RDA2 archive journal: structural scan plus a deep
+    /// replay-and-verify of every committed frame. Exits non-zero on an
+    /// unclean journal unless `--repair` is given.
+    ArchiveFsck {
+        /// Archive path.
+        archive: PathBuf,
+        /// Truncate torn tails and cut back past corrupt records so the
+        /// journal is consistent again (lost frames are reported).
+        repair: bool,
     },
     /// Drive a remote `diffd` server with synthetic load and report
     /// latency percentiles and throughput.
@@ -184,6 +199,12 @@ pub enum Command {
         seed: u64,
         /// Per-request deadline in milliseconds (`0` = server default).
         deadline_ms: u32,
+        /// Retries absorbed per request when the server sheds with
+        /// `Overloaded` (`0` = no retrying, the shed counts as a failure).
+        retries: u32,
+        /// Base backoff between retries in milliseconds (doubles per
+        /// attempt, capped at 32× the base, deterministically jittered).
+        backoff_ms: u64,
         /// Write the summary as JSON here as well as printing it.
         json_out: Option<PathBuf>,
     },
@@ -205,6 +226,9 @@ pub enum CliError {
     /// The diff pipeline failed (row failure past its retry budget, or a
     /// deadline expiry).
     Pipeline(String),
+    /// An archive journal failed its integrity check (`archive fsck`
+    /// without `--repair` on an unclean journal).
+    Corrupt(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -215,6 +239,7 @@ impl std::fmt::Display for CliError {
             CliError::Parse(m) => write!(f, "parse error: {m}"),
             CliError::Mismatch(m) => write!(f, "input mismatch: {m}"),
             CliError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+            CliError::Corrupt(m) => write!(f, "archive integrity error: {m}"),
         }
     }
 }
@@ -243,11 +268,13 @@ usage:
   rlediff components <file> [--min-area N]
   rlediff gen <pcb|paper|glyphs> -o <out> [--seed N] [--text S]
   rlediff archive append <archive> <frame>... [--keyframe-every N]
+                         [--fsync always|every=N|close]
   rlediff archive extract <archive> <index> -o <out>
   rlediff archive stat <archive>
+  rlediff archive fsck <archive> [--repair]
   rlediff diff-client <host:port> [--clients N] [--requests N] [--width N]
                       [--height N] [--density F] [--seed N] [--deadline-ms N]
-                      [--json-out PATH]
+                      [--retries N] [--backoff-ms N] [--json-out PATH]
 
 Inputs and outputs may be PBM (P1/P4, by .pbm extension) or the compact
 RLE stream format (any other extension). `diff-client` generates a
@@ -281,8 +308,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut height = 128usize;
     let mut density = 0.3f64;
     let mut deadline_ms = 0u32;
+    let mut retries = 0u32;
+    let mut backoff_ms = 25u64;
     let mut json_out: Option<PathBuf> = None;
     let mut keyframe_every = archive::DEFAULT_KEYFRAME_INTERVAL;
+    let mut fsync = archive::FsyncPolicy::Always;
+    let mut repair = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -423,6 +454,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .parse()
                     .map_err(|_| CliError::Usage("--deadline-ms needs a number".into()))?;
             }
+            "--retries" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--retries needs a value".into()))?;
+                retries = v
+                    .parse()
+                    .map_err(|_| CliError::Usage("--retries needs a number".into()))?;
+            }
+            "--backoff-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--backoff-ms needs a value".into()))?;
+                backoff_ms = v
+                    .parse()
+                    .map_err(|_| CliError::Usage("--backoff-ms needs a number".into()))?;
+                if backoff_ms == 0 {
+                    return Err(CliError::Usage("--backoff-ms must be at least 1".into()));
+                }
+            }
             "--keyframe-every" => {
                 let v = it
                     .next()
@@ -442,6 +492,34 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .ok_or_else(|| CliError::Usage("--json-out needs a path".into()))?;
                 json_out = Some(PathBuf::from(v));
             }
+            "--fsync" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--fsync needs a policy".into()))?;
+                fsync = match v.as_str() {
+                    "always" => archive::FsyncPolicy::Always,
+                    "close" => archive::FsyncPolicy::OnClose,
+                    other => match other.strip_prefix("every=") {
+                        Some(n) => {
+                            let n: u64 = n.parse().map_err(|_| {
+                                CliError::Usage("--fsync every=N needs a number".into())
+                            })?;
+                            if n == 0 {
+                                return Err(CliError::Usage(
+                                    "--fsync every=N must be at least 1".into(),
+                                ));
+                            }
+                            archive::FsyncPolicy::EveryN(n)
+                        }
+                        None => {
+                            return Err(CliError::Usage(format!(
+                                "unknown fsync policy {other:?} (want always, every=N or close)"
+                            )))
+                        }
+                    },
+                };
+            }
+            "--repair" => repair = true,
             "--text" => {
                 let v = it
                     .next()
@@ -502,6 +580,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 archive: PathBuf::from(archive_path),
                 frames: frames.iter().map(PathBuf::from).collect(),
                 keyframe_every,
+                fsync,
             })
         }
         ["archive", "extract", archive_path, index] => Ok(Command::ArchiveExtract {
@@ -513,6 +592,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }),
         ["archive", "stat", archive_path] => Ok(Command::ArchiveStat {
             archive: PathBuf::from(archive_path),
+        }),
+        ["archive", "fsck", archive_path] => Ok(Command::ArchiveFsck {
+            archive: PathBuf::from(archive_path),
+            repair,
         }),
         ["diff-client", addr] => {
             if clients == 0 || requests == 0 {
@@ -529,6 +612,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 density,
                 seed,
                 deadline_ms,
+                retries,
+                backoff_ms,
                 json_out,
             })
         }
@@ -568,6 +653,102 @@ pub fn save_image(img: &RleImage, path: &Path) -> Result<(), CliError> {
         fs::write(path, serialize::encode_image(img))?;
     }
     Ok(())
+}
+
+/// Opens (or creates) the RDA2 journal at `path` for appending. A legacy
+/// RDA1 blob is migrated first: its frames are imported into a temp
+/// sibling journal, synced, and atomically renamed over the original — a
+/// crash mid-migration leaves either format fully intact, never a mix.
+/// Returns the open journal plus the notes to print (migration, recovery
+/// salvage).
+fn open_journal(
+    path: &Path,
+    opts: archive::ArchiveOptions,
+) -> Result<(archive::ArchiveFile<fs::File>, String), CliError> {
+    let mut notes = String::new();
+    let legacy = match fs::read(path) {
+        Ok(data) if data.starts_with(archive::LEGACY_MAGIC) => Some(
+            archive::DeltaArchive::from_bytes(&data)
+                .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?,
+        ),
+        Ok(_) => None,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(e.into()),
+    };
+    if let Some(old) = legacy {
+        // Keep the blob's own keyframe cadence; the CLI flag only governs
+        // archives created from scratch.
+        let migrate_opts = archive::ArchiveOptions {
+            keyframe_interval: old.stat().keyframe_interval,
+            fsync: opts.fsync,
+        };
+        let mut tmp = path.to_path_buf().into_os_string();
+        tmp.push(".migrate");
+        let tmp = PathBuf::from(tmp);
+        let _ = fs::remove_file(&tmp);
+        let mut journal = archive::ArchiveFile::open(&tmp, migrate_opts)
+            .map_err(|e| CliError::Parse(format!("{}: {e}", tmp.display())))?;
+        journal
+            .import(&old)
+            .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+        journal
+            .sync()
+            .map_err(|e| CliError::Io(std::io::Error::other(e.to_string())))?;
+        drop(journal.into_storage());
+        fs::rename(&tmp, path)?;
+        let _ = writeln!(
+            notes,
+            "migrated {} RDA1 frame(s) into the RDA2 journal",
+            old.len()
+        );
+    }
+    let journal = archive::ArchiveFile::open(path, opts)
+        .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+    let rec = journal.recovery();
+    if !rec.clean() {
+        let _ = writeln!(
+            notes,
+            "recovered: {} committed frame(s) intact, {} torn byte(s) truncated ({})",
+            rec.frames,
+            rec.truncated_bytes,
+            rec.reason
+                .map_or_else(|| "unknown".to_string(), |r| r.to_string()),
+        );
+    }
+    Ok((journal, notes))
+}
+
+/// Extracts one frame from either archive format: RDA2 journals are
+/// loaded into memory first so a recovery scan never mutates the file on
+/// a read path. Returns the frame plus the notes to print.
+fn extract_frame(path: &Path, index: usize) -> Result<(RleImage, String), CliError> {
+    let data = fs::read(path)?;
+    let mut notes = String::new();
+    let frame = if data.starts_with(archive::JOURNAL_MAGIC) {
+        let mut store = archive::ArchiveFile::open_on(
+            archive::MemStorage::from_bytes(data),
+            archive::ArchiveOptions::default(),
+        )
+        .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+        let rec = store.recovery();
+        if !rec.clean() {
+            let _ = writeln!(
+                notes,
+                "note: journal tail is torn ({} byte(s) ignored); run `archive fsck`",
+                rec.truncated_bytes
+            );
+        }
+        store
+            .extract(index)
+            .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?
+    } else {
+        let store = archive::DeltaArchive::from_bytes(&data)
+            .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+        store
+            .extract(index)
+            .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?
+    };
+    Ok((frame, notes))
 }
 
 /// Executes a command, returning the text to print.
@@ -797,10 +978,15 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
                 stats.rows_systolic_kernel,
                 stats.chunks
             );
-            if stats.rows_sig_skipped + stats.sig_collisions + stats.sig_verified > 0 {
+            if stats.sig_prefilter != systolic_core::SigPrefilterMode::Off {
+                let mode = match stats.sig_prefilter {
+                    systolic_core::SigPrefilterMode::Off => unreachable!(),
+                    systolic_core::SigPrefilterMode::Active => "active",
+                    systolic_core::SigPrefilterMode::Bypassed => "bypassed (high churn)",
+                };
                 let _ = writeln!(
                     s,
-                    "  signatures : {} rows skipped, {} collisions caught, {} skips verified",
+                    "  signatures : {mode}; {} rows skipped, {} collisions caught, {} skips verified",
                     stats.rows_sig_skipped, stats.sig_collisions, stats.sig_verified
                 );
             }
@@ -887,14 +1073,13 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             archive: path,
             frames,
             keyframe_every,
+            fsync,
         } => {
-            let mut store = if path.exists() {
-                archive::DeltaArchive::from_bytes(&fs::read(path)?)
-                    .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?
-            } else {
-                archive::DeltaArchive::new(*keyframe_every)
+            let opts = archive::ArchiveOptions {
+                keyframe_interval: *keyframe_every,
+                fsync: *fsync,
             };
-            let mut s = String::new();
+            let (mut store, mut s) = open_journal(path, opts)?;
             for frame_path in frames {
                 let frame = load_image(frame_path)?;
                 let outcome = store
@@ -913,14 +1098,18 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
                     outcome.changed_rows
                 );
             }
-            let bytes = store.to_bytes();
-            fs::write(path, &bytes)?;
+            let stats = store.stat();
+            store
+                .close()
+                .map_err(|e| CliError::Io(std::io::Error::other(e.to_string())))?;
             let _ = writeln!(
                 s,
-                "wrote {} ({} frames, {} bytes)",
+                "journal {} ({} frames, {} bytes, {} appended this run, {} fsyncs)",
                 path.display(),
-                store.len(),
-                bytes.len()
+                stats.frames,
+                stats.journal_bytes,
+                frames.len(),
+                stats.syncs
             );
             Ok(s)
         }
@@ -929,27 +1118,50 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             index,
             out,
         } => {
-            let store = archive::DeltaArchive::from_bytes(&fs::read(path)?)
-                .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
-            let frame = store
-                .extract(*index)
-                .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+            let (frame, mut s) = extract_frame(path, *index)?;
             save_image(&frame, out)?;
-            Ok(format!(
-                "extracted frame {index} ({}x{}, {} runs) -> {}\n",
+            let _ = writeln!(
+                s,
+                "extracted frame {index} ({}x{}, {} runs) -> {}",
                 frame.width(),
                 frame.height(),
                 frame.total_runs(),
                 out.display()
-            ))
+            );
+            Ok(s)
         }
         Command::ArchiveStat { archive: path } => {
             let data = fs::read(path)?;
-            let store = archive::DeltaArchive::from_bytes(&data)
-                .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
-            let stats = store.stat();
             let mut s = String::new();
             let _ = writeln!(s, "{}", path.display());
+            let stats = if data.starts_with(archive::JOURNAL_MAGIC) {
+                // Load the journal bytes into memory so the recovery scan
+                // never mutates the file — stat stays read-only.
+                let store = archive::ArchiveFile::open_on(
+                    archive::MemStorage::from_bytes(data.clone()),
+                    archive::ArchiveOptions::default(),
+                )
+                .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+                let rec = *store.recovery();
+                let _ = writeln!(s, "  format     : RDA2 journal");
+                if !rec.clean() {
+                    let _ = writeln!(
+                        s,
+                        "  unclean    : {} torn byte(s) past the committed prefix ({}) — run `archive fsck`",
+                        rec.truncated_bytes,
+                        rec.reason.map_or_else(|| "unknown".to_string(), |r| r.to_string()),
+                    );
+                }
+                store.stat()
+            } else {
+                let store = archive::DeltaArchive::from_bytes(&data)
+                    .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+                let _ = writeln!(
+                    s,
+                    "  format     : RDA1 legacy blob (append migrates it to the RDA2 journal)"
+                );
+                store.stat()
+            };
             let _ = writeln!(s, "  dimensions : {} x {}", stats.width, stats.height);
             let _ = writeln!(
                 s,
@@ -970,6 +1182,53 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             let _ = writeln!(s, "  bytes      : {}", data.len());
             Ok(s)
         }
+        Command::ArchiveFsck {
+            archive: path,
+            repair,
+        } => {
+            let mut file = fs::OpenOptions::new()
+                .read(true)
+                .write(*repair)
+                .open(path)?;
+            let report = archive::ArchiveFile::<fs::File>::fsck(&mut file, *repair)
+                .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+            let mut s = String::new();
+            let _ = writeln!(s, "{}", path.display());
+            let _ = writeln!(
+                s,
+                "  frames     : {} committed, {} verified deep",
+                report.frames, report.verified
+            );
+            if report.torn_bytes > 0 {
+                let _ = writeln!(
+                    s,
+                    "  torn tail  : {} byte(s) ({})",
+                    report.torn_bytes,
+                    report
+                        .torn_reason
+                        .map_or_else(|| "unknown".to_string(), |r| r.to_string()),
+                );
+            }
+            if let Some(frame) = report.first_corrupt {
+                let _ = writeln!(s, "  corrupt    : first bad committed frame is {frame}");
+            }
+            if report.repaired {
+                let _ = writeln!(
+                    s,
+                    "  repaired   : journal cut back to {} byte(s), {} frame(s) lost",
+                    report.bytes, report.frames_lost
+                );
+            }
+            if report.clean() {
+                let _ = writeln!(s, "  clean      : every committed frame verifies");
+            } else if !*repair {
+                return Err(CliError::Corrupt(format!(
+                    "{} is unclean (re-run with --repair to truncate to the consistent prefix)\n{s}",
+                    path.display()
+                )));
+            }
+            Ok(s)
+        }
         Command::DiffClient {
             addr,
             clients,
@@ -979,6 +1238,8 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             density,
             seed,
             deadline_ms,
+            retries,
+            backoff_ms,
             json_out,
         } => run_diff_client(
             addr,
@@ -989,6 +1250,8 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
             *density,
             *seed,
             *deadline_ms,
+            *retries,
+            *backoff_ms,
             json_out.as_deref(),
         ),
     }
@@ -999,6 +1262,15 @@ pub fn run_command(cmd: &Command) -> Result<String, CliError> {
 #[derive(Default, Clone, Copy)]
 struct LoadTally {
     ok: u64,
+    /// Requests that succeeded only after absorbing ≥ 1 `Overloaded`
+    /// shed under the retry policy (a subset of `ok`; their latency
+    /// samples include the backoff, which is exactly what the p99
+    /// should show under overload).
+    shed_then_ok: u64,
+    /// Total sheds absorbed by retries across the run.
+    sheds_absorbed: u64,
+    /// Requests that ended shed (the retry budget exhausted, or no
+    /// retrying configured).
     shed: u64,
     deadline: u64,
     other_server: u64,
@@ -1014,6 +1286,8 @@ fn run_diff_client(
     density: f64,
     seed: u64,
     deadline_ms: u32,
+    retries: u32,
+    backoff_ms: u64,
     json_out: Option<&Path>,
 ) -> Result<String, CliError> {
     use diffd::proto::ErrorCode;
@@ -1038,17 +1312,29 @@ fn run_diff_client(
                 let expected = a.xor(&b).map_err(|e| e.to_string())?;
                 let mut client = diffd::DiffClient::connect(&addr)
                     .map_err(|e| format!("connect {addr}: {e}"))?;
+                // One jitter stream per client so synchronized sheds
+                // spread out instead of re-colliding on the retry.
+                let policy = diffd::RetryPolicy {
+                    retries,
+                    base_backoff: std::time::Duration::from_millis(backoff_ms),
+                    max_backoff: std::time::Duration::from_millis(backoff_ms.saturating_mul(32)),
+                    jitter_seed: seed ^ 0xBAC0_FF00 ^ c as u64,
+                };
                 let mut latencies_ms = Vec::with_capacity(requests);
                 let mut tally = LoadTally::default();
                 for _ in 0..requests {
                     let t0 = Instant::now();
-                    match client.diff(&a, &b, deadline_ms) {
-                        Ok(reply) => {
+                    match client.diff_with_retry(&a, &b, deadline_ms, &policy) {
+                        Ok((reply, sheds_absorbed)) => {
                             if reply.image != expected {
                                 return Err("server returned a wrong diff".into());
                             }
                             latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
                             tally.ok += 1;
+                            if sheds_absorbed > 0 {
+                                tally.shed_then_ok += 1;
+                                tally.sheds_absorbed += u64::from(sheds_absorbed);
+                            }
                         }
                         Err(diffd::ClientError::Server { code, .. }) => match code {
                             ErrorCode::Overloaded => tally.shed += 1,
@@ -1072,6 +1358,8 @@ fn run_diff_client(
             .map_err(CliError::Pipeline)?;
         latencies.extend(lat);
         tally.ok += t.ok;
+        tally.shed_then_ok += t.shed_then_ok;
+        tally.sheds_absorbed += t.sheds_absorbed;
         tally.shed += t.shed;
         tally.deadline += t.deadline;
         tally.other_server += t.other_server;
@@ -1115,6 +1403,14 @@ fn run_diff_client(
         "  outcomes   : {} ok, {} shed, {} deadline, {} other",
         tally.ok, tally.shed, tally.deadline, tally.other_server
     );
+    if tally.shed_then_ok > 0 || retries > 0 {
+        let _ = writeln!(
+            s,
+            "  retries    : {} of the ok succeeded after retry ({} sheds absorbed, \
+             budget {retries} x {backoff_ms} ms backoff)",
+            tally.shed_then_ok, tally.sheds_absorbed
+        );
+    }
     let _ = writeln!(s, "  latency    : p50 {p50:.3} ms, p99 {p99:.3} ms");
     let _ = writeln!(
         s,
@@ -1122,8 +1418,8 @@ fn run_diff_client(
     );
     if let Some(path) = json_out {
         let json = format!(
-            "{{\n  \"addr\": \"{addr}\",\n  \"clients\": {clients},\n  \"requests_per_client\": {requests},\n  \"width\": {width},\n  \"height\": {height},\n  \"density\": {density},\n  \"ok\": {},\n  \"shed\": {},\n  \"deadline\": {},\n  \"other_server_errors\": {},\n  \"p50_ms\": {p50},\n  \"p99_ms\": {p99},\n  \"throughput_rps\": {throughput},\n  \"wall_s\": {wall}\n}}\n",
-            tally.ok, tally.shed, tally.deadline, tally.other_server
+            "{{\n  \"addr\": \"{addr}\",\n  \"clients\": {clients},\n  \"requests_per_client\": {requests},\n  \"width\": {width},\n  \"height\": {height},\n  \"density\": {density},\n  \"retries\": {retries},\n  \"backoff_ms\": {backoff_ms},\n  \"ok\": {},\n  \"shed_then_ok\": {},\n  \"sheds_absorbed\": {},\n  \"shed\": {},\n  \"deadline\": {},\n  \"other_server_errors\": {},\n  \"p50_ms\": {p50},\n  \"p99_ms\": {p99},\n  \"throughput_rps\": {throughput},\n  \"wall_s\": {wall}\n}}\n",
+            tally.ok, tally.shed_then_ok, tally.sheds_absorbed, tally.shed, tally.deadline, tally.other_server
         );
         fs::write(path, json)?;
         let _ = writeln!(s, "wrote {} (summary)", path.display());
@@ -1730,6 +2026,10 @@ mod tests {
             "9",
             "--deadline-ms",
             "500",
+            "--retries",
+            "3",
+            "--backoff-ms",
+            "10",
             "--json-out",
             "load.json",
         ]))
@@ -1745,6 +2045,8 @@ mod tests {
                 density: 0.25,
                 seed: 9,
                 deadline_ms: 500,
+                retries: 3,
+                backoff_ms: 10,
                 json_out: Some("load.json".into()),
             }
         );
@@ -1775,6 +2077,8 @@ mod tests {
             density: 0.3,
             seed: 1,
             deadline_ms: 0,
+            retries: 0,
+            backoff_ms: 25,
             json_out: Some(json_path.clone()),
         })
         .unwrap();
@@ -1803,10 +2107,249 @@ mod tests {
             density: 0.3,
             seed: 1,
             deadline_ms: 0,
+            retries: 0,
+            backoff_ms: 25,
             json_out: None,
         })
         .unwrap_err();
         assert!(matches!(err, CliError::Pipeline(_)), "{err:?}");
         assert!(err.to_string().contains("connect"), "{err}");
+    }
+
+    /// Deterministic same-geometry frames for the archive tests, written
+    /// to disk as `.rle` files.
+    fn frame_files(prefix: &str, n: usize, seed: u64) -> (Vec<RleImage>, Vec<PathBuf>) {
+        let params = workload::SequenceParams {
+            gen: workload::GenParams::for_density(256, 0.3),
+            height: 32,
+            churn: 0.2,
+        };
+        let frames = workload::FrameSequence::new(params, seed).take_frames(n);
+        let paths: Vec<PathBuf> = frames
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let p = tmp(&format!("{prefix}_{i}.rle"));
+                save_image(f, &p).unwrap();
+                p
+            })
+            .collect();
+        (frames, paths)
+    }
+
+    #[test]
+    fn parse_archive_append_with_fsync_policies() {
+        let cmd = parse_args(&args(&[
+            "archive",
+            "append",
+            "a.rda",
+            "f0.rle",
+            "f1.rle",
+            "--keyframe-every",
+            "4",
+            "--fsync",
+            "every=8",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::ArchiveAppend {
+                archive: "a.rda".into(),
+                frames: vec!["f0.rle".into(), "f1.rle".into()],
+                keyframe_every: 4,
+                fsync: archive::FsyncPolicy::EveryN(8),
+            }
+        );
+        for (value, expected) in [
+            ("always", archive::FsyncPolicy::Always),
+            ("close", archive::FsyncPolicy::OnClose),
+        ] {
+            let cmd = parse_args(&args(&[
+                "archive", "append", "a.rda", "f.rle", "--fsync", value,
+            ]))
+            .unwrap();
+            assert!(
+                matches!(cmd, Command::ArchiveAppend { fsync, .. } if fsync == expected),
+                "{value}"
+            );
+        }
+        for bad in ["every=0", "sometimes", "every=x"] {
+            assert!(matches!(
+                parse_args(&args(&[
+                    "archive", "append", "a.rda", "f.rle", "--fsync", bad
+                ])),
+                Err(CliError::Usage(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn parse_archive_fsck() {
+        assert_eq!(
+            parse_args(&args(&["archive", "fsck", "a.rda"])).unwrap(),
+            Command::ArchiveFsck {
+                archive: "a.rda".into(),
+                repair: false,
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["archive", "fsck", "a.rda", "--repair"])).unwrap(),
+            Command::ArchiveFsck {
+                archive: "a.rda".into(),
+                repair: true,
+            }
+        );
+    }
+
+    #[test]
+    fn archive_append_extract_stat_fsck_round_trip() {
+        let (frames, paths) = frame_files("journal_rt", 6, 0xA11CE);
+        let archive_path = tmp("journal_rt.rda");
+        let _ = fs::remove_file(&archive_path);
+
+        let out = run_command(&Command::ArchiveAppend {
+            archive: archive_path.clone(),
+            frames: paths,
+            keyframe_every: 3,
+            fsync: archive::FsyncPolicy::EveryN(2),
+        })
+        .unwrap();
+        assert!(out.contains("frame 0"), "{out}");
+        assert!(out.contains("keyframe"), "{out}");
+        assert!(out.contains("6 frames"), "{out}");
+
+        // The file on disk is an RDA2 journal now.
+        let head = fs::read(&archive_path).unwrap();
+        assert!(head.starts_with(archive::JOURNAL_MAGIC));
+
+        // Every frame extracts bit-identically through the CLI.
+        for (i, want) in frames.iter().enumerate() {
+            let out_path = tmp(&format!("journal_rt_out_{i}.rle"));
+            run_command(&Command::ArchiveExtract {
+                archive: archive_path.clone(),
+                index: i,
+                out: out_path.clone(),
+            })
+            .unwrap();
+            assert_eq!(&load_image(&out_path).unwrap(), want, "frame {i}");
+        }
+
+        let stat = run_command(&Command::ArchiveStat {
+            archive: archive_path.clone(),
+        })
+        .unwrap();
+        assert!(stat.contains("RDA2 journal"), "{stat}");
+        assert!(stat.contains("6 (2 keyframes, every 3)"), "{stat}");
+        assert!(!stat.contains("unclean"), "{stat}");
+
+        let fsck = run_command(&Command::ArchiveFsck {
+            archive: archive_path.clone(),
+            repair: false,
+        })
+        .unwrap();
+        assert!(fsck.contains("6 committed, 6 verified"), "{fsck}");
+        assert!(fsck.contains("clean"), "{fsck}");
+    }
+
+    #[test]
+    fn archive_append_migrates_rda1_blobs_in_place() {
+        let (frames, paths) = frame_files("migrate", 5, 0x1DA1);
+        let archive_path = tmp("migrate.rda");
+
+        // Write a legacy RDA1 blob the old way.
+        let mut old = archive::DeltaArchive::new(2);
+        for f in &frames[..4] {
+            old.append(f).unwrap();
+        }
+        fs::write(&archive_path, old.to_bytes()).unwrap();
+
+        // Appending migrates, then appends on the journal.
+        let out = run_command(&Command::ArchiveAppend {
+            archive: archive_path.clone(),
+            frames: vec![paths[4].clone()],
+            keyframe_every: 999, // ignored: the blob's cadence wins
+            fsync: archive::FsyncPolicy::Always,
+        })
+        .unwrap();
+        assert!(out.contains("migrated 4 RDA1 frame(s)"), "{out}");
+        assert!(out.contains("5 frames"), "{out}");
+        assert!(fs::read(&archive_path)
+            .unwrap()
+            .starts_with(archive::JOURNAL_MAGIC));
+
+        let stat = run_command(&Command::ArchiveStat {
+            archive: archive_path.clone(),
+        })
+        .unwrap();
+        assert!(stat.contains("every 2"), "{stat}");
+
+        for (i, want) in frames.iter().enumerate() {
+            let out_path = tmp(&format!("migrate_out_{i}.rle"));
+            run_command(&Command::ArchiveExtract {
+                archive: archive_path.clone(),
+                index: i,
+                out: out_path.clone(),
+            })
+            .unwrap();
+            assert_eq!(&load_image(&out_path).unwrap(), want, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn archive_fsck_flags_a_torn_tail_and_repairs_it() {
+        let (frames, paths) = frame_files("fsck", 4, 0xF5C);
+        let archive_path = tmp("fsck.rda");
+        let _ = fs::remove_file(&archive_path);
+        run_command(&Command::ArchiveAppend {
+            archive: archive_path.clone(),
+            frames: paths,
+            keyframe_every: 2,
+            fsync: archive::FsyncPolicy::Always,
+        })
+        .unwrap();
+
+        // Tear the tail: chop 3 bytes off the last committed record.
+        let len = fs::metadata(&archive_path).unwrap().len();
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .open(&archive_path)
+            .unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+
+        // Without --repair: report + non-zero exit via the typed error.
+        let err = run_command(&Command::ArchiveFsck {
+            archive: archive_path.clone(),
+            repair: false,
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Corrupt(_)), "{err:?}");
+        assert!(err.to_string().contains("--repair"), "{err}");
+
+        // Reads still work (recovery ignores the torn tail) and say so.
+        let out_path = tmp("fsck_out.rle");
+        let out = run_command(&Command::ArchiveExtract {
+            archive: archive_path.clone(),
+            index: 2,
+            out: out_path.clone(),
+        })
+        .unwrap();
+        assert!(out.contains("torn"), "{out}");
+        assert_eq!(&load_image(&out_path).unwrap(), &frames[2]);
+
+        // --repair truncates to the consistent prefix; fsck is then clean.
+        let repaired = run_command(&Command::ArchiveFsck {
+            archive: archive_path.clone(),
+            repair: true,
+        })
+        .unwrap();
+        assert!(repaired.contains("repaired"), "{repaired}");
+        let clean = run_command(&Command::ArchiveFsck {
+            archive: archive_path.clone(),
+            repair: false,
+        })
+        .unwrap();
+        assert!(clean.contains("3 committed, 3 verified"), "{clean}");
+        assert!(clean.contains("clean"), "{clean}");
     }
 }

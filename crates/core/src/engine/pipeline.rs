@@ -104,7 +104,7 @@ use crate::engine::simd::SimdLevel;
 use crate::error::SystolicError;
 use crate::image::check_dims;
 use crate::obs::{ObsConfig, Observer, TraceKind};
-use crate::stats::{ArrayStats, PipelineStats};
+use crate::stats::{ArrayStats, PipelineStats, SigPrefilterMode};
 use rle::{RleImage, RleRow};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -225,6 +225,20 @@ pub struct DiffPipelineConfig {
     /// contract is cycle-exact per-row statistics against the reference
     /// machine — skipping rows would zero their iteration counts.
     pub signature_prefilter: bool,
+    /// Adaptive auto-off for the prefilter (default `0.75`): when the
+    /// previous batch's observed skip rate (fraction of rows whose
+    /// signatures matched) falls below this threshold, the next batch
+    /// *bypasses* skip resolution — every row goes to the kernels — while
+    /// still comparing the cached signatures (a u64 compare per row) to
+    /// keep measuring, so the prefilter re-arms the moment churn drops
+    /// again. `0.75` matches the measured break-even: above ~25 % churn
+    /// the prefilter's bookkeeping costs more than it saves (the
+    /// BENCH_delta sweep), which used to be a footgun callers had to
+    /// know about. Set `0.0` to disable adaptation (always resolve
+    /// skips, the pre-adaptive behaviour). The first batch after build
+    /// always runs the prefilter (there is no rate to adapt to yet);
+    /// the engaged mode is reported in [`PipelineStats::sig_prefilter`].
+    pub sig_prefilter_min_skip_rate: f64,
     /// Paranoid mode for the prefilter (default off): cross-check a
     /// deterministic sample of signature skips (the first of each batch,
     /// then every 16th) against the reference XOR. A confirmed check
@@ -256,6 +270,7 @@ impl Default for DiffPipelineConfig {
             chunk_target: None,
             observe: None,
             signature_prefilter: false,
+            sig_prefilter_min_skip_rate: 0.75,
             verify_signatures: false,
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
@@ -321,6 +336,15 @@ impl DiffPipelineConfig {
     #[must_use]
     pub fn signature_prefilter(mut self) -> Self {
         self.signature_prefilter = true;
+        self
+    }
+
+    /// Sets the adaptive prefilter bypass threshold (see
+    /// [`Self::sig_prefilter_min_skip_rate`]); `0.0` pins the prefilter
+    /// active regardless of the observed skip rate.
+    #[must_use]
+    pub fn sig_prefilter_min_skip_rate(mut self, rate: f64) -> Self {
+        self.sig_prefilter_min_skip_rate = rate;
         self
     }
 
@@ -719,6 +743,13 @@ pub struct DiffPipeline {
     /// (see [`INLINE_RESIDUAL_ROWS`]), so tiny batches reuse buffers
     /// exactly like a worker does.
     host_scratch: KernelScratch,
+    /// The previous batch's observed signature skip rate (matched rows /
+    /// total rows), driving the adaptive prefilter bypass. `None` until a
+    /// non-empty batch has been measured.
+    sig_skip_rate: Option<f64>,
+    /// How the prefilter engaged for the batch currently being planned;
+    /// copied into [`PipelineStats::sig_prefilter`] by `run_batch`.
+    sig_mode: SigPrefilterMode,
 }
 
 impl std::fmt::Debug for DiffPipeline {
@@ -788,6 +819,8 @@ impl DiffPipeline {
             abandoned: 0,
             pending: VecDeque::new(),
             host_scratch: KernelScratch::with_simd(simd),
+            sig_skip_rate: None,
+            sig_mode: SigPrefilterMode::Off,
         };
         pipeline.handles = (0..pipeline.config.threads)
             .map(|worker| pipeline.spawn_worker(worker))
@@ -1181,12 +1214,39 @@ impl DiffPipeline {
     /// idle the rest of the pool for the whole batch.
     /// Runs the signature prefilter over a batch's rows, if enabled.
     /// `None` means "plan every row" — either the prefilter is off, the
-    /// kernel policy demands exact per-row statistics, or no row matched.
-    fn prefilter(&self, a: &RleImage, b: &RleImage) -> Option<SkipPlan> {
+    /// kernel policy demands exact per-row statistics, the adaptive
+    /// bypass is engaged (previous batch's skip rate below
+    /// [`DiffPipelineConfig::sig_prefilter_min_skip_rate`]), or no row
+    /// matched. Records this batch's observed match rate either way so
+    /// the next batch adapts.
+    fn prefilter(&mut self, a: &RleImage, b: &RleImage) -> Option<SkipPlan> {
         if !self.config.signature_prefilter || self.config.kernel == Kernel::Systolic {
+            self.sig_mode = SigPrefilterMode::Off;
             return None;
         }
         let height = a.height();
+        let threshold = self.config.sig_prefilter_min_skip_rate;
+        if threshold > 0.0 && self.sig_skip_rate.is_some_and(|rate| rate < threshold) {
+            // Bypass: the last batch churned too much for skip resolution
+            // to pay for itself. Still compare the cached signatures — one
+            // u64 equality per row — so the rate stays measured and the
+            // prefilter re-arms as soon as the sequence calms down.
+            self.sig_mode = SigPrefilterMode::Bypassed;
+            let mut matched = 0usize;
+            for i in 0..height {
+                let matches = a.rows()[i].signature() == b.rows()[i].signature();
+                #[cfg(feature = "fault-injection")]
+                let matches = matches || self.config.fault_sig_collisions.contains(&i);
+                if matches {
+                    matched += 1;
+                }
+            }
+            if height > 0 {
+                self.sig_skip_rate = Some(matched as f64 / height as f64);
+            }
+            return None;
+        }
+        self.sig_mode = SigPrefilterMode::Active;
         let mut plan = SkipPlan {
             resolved: vec![false; height],
             skipped: Vec::new(),
@@ -1231,6 +1291,10 @@ impl DiffPipeline {
             plan.stats.absorb(&row_stats);
             plan.resolved[i] = true;
             plan.skipped.push(i);
+        }
+        if height > 0 {
+            let matched = plan.skipped.len() + plan.collisions.len();
+            self.sig_skip_rate = Some(matched as f64 / height as f64);
         }
         if plan.skipped.is_empty() && plan.collisions.is_empty() {
             None
@@ -1542,6 +1606,7 @@ impl DiffPipeline {
             workers: self.handles.len(),
             chunks: jobs.len(),
             row_clones_avoided: clones_avoided,
+            sig_prefilter: self.sig_mode,
             ..Default::default()
         };
         if let Some(plan) = &skip {
@@ -2287,11 +2352,19 @@ mod tests {
         let a = img("####....\n..##..##\n.#.#.#.#\n#.#.#.#.\n");
         let b = img("####....\n..##..#.\n.#.#.#.#\n.#.#.#.#\n");
         let (seq, _) = xor_image(&a, &b).unwrap();
-        let mut pipeline = DiffPipelineConfig::new(2).signature_prefilter().build();
+        // Threshold 0.0 pins the prefilter active: this test exercises the
+        // skip mechanics across all three front-ends, not the adaptive
+        // bypass (see `adaptive_prefilter_bypasses_and_rearms`), and a 0.5
+        // skip rate would otherwise trip the default threshold.
+        let mut pipeline = DiffPipelineConfig::new(2)
+            .signature_prefilter()
+            .sig_prefilter_min_skip_rate(0.0)
+            .build();
         let (got, stats) = pipeline.diff_images(&a, &b).unwrap();
         assert_eq!(got, seq);
         assert_eq!(stats.rows, 4);
         assert_eq!(stats.rows_sig_skipped, 2);
+        assert_eq!(stats.sig_prefilter, SigPrefilterMode::Active);
         assert_eq!(stats.sig_collisions, 0);
         let kernel_rows = stats.rows_fast_path
             + stats.rows_rle_kernel
@@ -2312,6 +2385,71 @@ mod tests {
             .unwrap();
         assert_eq!(deadlined, seq);
         assert_eq!(deadline_stats.rows_sig_skipped, 2);
+    }
+
+    #[test]
+    fn adaptive_prefilter_bypasses_and_rearms() {
+        // Two image pairs: `hot` churns every row (skip rate 0), `cold`
+        // changes nothing (skip rate 1). Under the default threshold the
+        // prefilter must run the first batch, stand aside after observing
+        // the churn, keep measuring while bypassed, and re-arm one batch
+        // after the sequence calms down — bit-identical output throughout.
+        let base = img("####....\n..##..##\n.#.#.#.#\n#.#.#.#.\n");
+        let hot = img("...####.\n##..##..\n#.#.#.#.\n.#.#.#.#\n");
+        let mut pipeline = DiffPipelineConfig::new(2).signature_prefilter().build();
+
+        // Batch 1: no history yet, so the prefilter runs (and finds
+        // nothing to skip — every row differs).
+        let (hot_seq, _) = xor_image(&base, &hot).unwrap();
+        let (got, stats) = pipeline.diff_images(&base, &hot).unwrap();
+        assert_eq!(got, hot_seq);
+        assert_eq!(stats.sig_prefilter, SigPrefilterMode::Active);
+        assert_eq!(stats.rows_sig_skipped, 0);
+
+        // Batch 2: the observed rate (0.0) is below the threshold, so the
+        // prefilter bypasses — even though this batch is all-identical and
+        // would have skipped every row. Output must still be exact.
+        let (got, stats) = pipeline.diff_images(&base, &base).unwrap();
+        assert!(got.rows().iter().all(RleRow::is_empty));
+        assert_eq!(stats.sig_prefilter, SigPrefilterMode::Bypassed);
+        assert_eq!(stats.rows_sig_skipped, 0, "bypassed batches skip nothing");
+        let kernel_rows = stats.rows_fast_path
+            + stats.rows_rle_kernel
+            + stats.rows_packed_kernel
+            + stats.rows_systolic_kernel;
+        assert_eq!(
+            kernel_rows, 4,
+            "every row reaches the kernels while bypassed"
+        );
+
+        // Batch 3: the bypassed batch still measured (rate 1.0), so the
+        // prefilter re-arms and resolves every matching row host-side.
+        let (got, stats) = pipeline.diff_images(&base, &base).unwrap();
+        assert!(got.rows().iter().all(RleRow::is_empty));
+        assert_eq!(stats.sig_prefilter, SigPrefilterMode::Active);
+        assert_eq!(stats.rows_sig_skipped, 4);
+
+        // And back: a hot batch under an active prefilter records its own
+        // low rate, dropping the *next* batch into bypass again.
+        let (got, stats) = pipeline.diff_images(&base, &hot).unwrap();
+        assert_eq!(got, hot_seq);
+        assert_eq!(stats.sig_prefilter, SigPrefilterMode::Active);
+        let (_, stats) = pipeline.diff_images(&base, &hot).unwrap();
+        assert_eq!(stats.sig_prefilter, SigPrefilterMode::Bypassed);
+    }
+
+    #[test]
+    fn adaptive_prefilter_threshold_zero_never_bypasses() {
+        let base = img("####....\n..##..##\n.#.#.#.#\n#.#.#.#.\n");
+        let hot = img("...####.\n##..##..\n#.#.#.#.\n.#.#.#.#\n");
+        let mut pipeline = DiffPipelineConfig::new(2)
+            .signature_prefilter()
+            .sig_prefilter_min_skip_rate(0.0)
+            .build();
+        for _ in 0..3 {
+            let (_, stats) = pipeline.diff_images(&base, &hot).unwrap();
+            assert_eq!(stats.sig_prefilter, SigPrefilterMode::Active);
+        }
     }
 
     #[test]

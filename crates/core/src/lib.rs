@@ -81,4 +81,4 @@ pub use engine::pipeline::{DiffPipeline, DiffPipelineConfig, PipelineLoad, Super
 pub use engine::simd::SimdLevel;
 pub use error::SystolicError;
 pub use obs::{MetricsSnapshot, ObsConfig, Observer, TraceEvent, TraceKind};
-pub use stats::{ArrayStats, PipelineStats};
+pub use stats::{ArrayStats, PipelineStats, SigPrefilterMode};

@@ -82,6 +82,25 @@ impl ArrayStats {
     }
 }
 
+/// How the signature prefilter engaged for one batch (see
+/// `DiffPipelineConfig::sig_prefilter_min_skip_rate` for the adaptive
+/// bypass).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SigPrefilterMode {
+    /// The prefilter did not run: disabled in the configuration, or the
+    /// kernel policy (cycle-exact systolic) forbids skipping rows.
+    #[default]
+    Off,
+    /// The prefilter compared row signatures and resolved matching rows
+    /// host-side.
+    Active,
+    /// The previous batch's skip rate fell below the adaptive threshold,
+    /// so the prefilter stood aside for this batch — signatures were
+    /// still compared (cheap, cached u64s) to measure the rate and
+    /// re-arm when churn drops again, but every row went to the kernels.
+    Bypassed,
+}
+
 /// Aggregate statistics for one [`crate::engine::pipeline::DiffPipeline`]
 /// batch: what the pool did to an image, and how the work spread over the
 /// workers.
@@ -126,6 +145,10 @@ pub struct PipelineStats {
     /// `rows_sig_skipped + sig_collisions + rows_fast_path +
     /// rows_rle_kernel + rows_packed_kernel + rows_systolic_kernel`.
     pub rows_sig_skipped: usize,
+    /// How the prefilter engaged for this batch: off, actively skipping,
+    /// or adaptively bypassed because the previous batch's skip rate fell
+    /// below `DiffPipelineConfig::sig_prefilter_min_skip_rate`.
+    pub sig_prefilter: SigPrefilterMode,
     /// Signature skips cross-checked against the reference XOR in paranoid
     /// mode (`DiffPipelineConfig::verify_signatures`); counts checks that
     /// confirmed the skip. A check that instead caught a collision moves

@@ -56,6 +56,71 @@ impl From<FrameReadError> for ClientError {
     }
 }
 
+/// Retry policy for requests the server sheds with
+/// [`ErrorCode::Overloaded`]: capped exponential backoff with
+/// deterministic jitter.
+///
+/// Only `Overloaded` is retried — it is the one response that promises
+/// the request was rejected *before* any work started, so a replay is
+/// safe and the condition is transient by construction (admission
+/// pressure). Deadline misses, mismatches and transport failures
+/// propagate immediately.
+///
+/// The jitter is a pure function of `(jitter_seed, attempt)`, not of
+/// wall-clock or process state: two runs with the same seed back off on
+/// the identical schedule, which keeps load tests reproducible, while
+/// different seeds (one per client) decorrelate the herd.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 disables retrying).
+    pub retries: u32,
+    /// Backoff before the first retry; doubles each further attempt.
+    pub base_backoff: Duration,
+    /// Ceiling the doubling clamps to.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Retrying is opt-in: the default absorbs nothing (`retries: 0`)
+    /// but carries sane backoff shape for callers who only bump the
+    /// count.
+    fn default() -> Self {
+        Self {
+            retries: 0,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based): `base · 2^attempt`,
+    /// clamped to `max_backoff`, then jittered into the upper half of that
+    /// window (`[½·d, d]`) so synchronized clients spread out without any
+    /// of them waiting longer than the cap.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let doubled = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_backoff);
+        let mixed = splitmix64(self.jitter_seed ^ (u64::from(attempt) << 32));
+        let fraction = 0.5 + (mixed >> 11) as f64 / (1u64 << 53) as f64 * 0.5;
+        doubled.mul_f64(fraction)
+    }
+}
+
+/// SplitMix64: the standard 64-bit finalizer, here as the jitter stream.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A blocking `diffd` connection.
 pub struct DiffClient {
     stream: TcpStream,
@@ -156,6 +221,41 @@ impl DiffClient {
             _ => Err(ClientError::Unexpected("wanted DiffOk or Error")),
         }
     }
+
+    /// Like [`diff`](Self::diff), but absorbs `Overloaded` sheds under
+    /// `policy`, sleeping the jittered backoff between attempts. Returns
+    /// the reply plus how many sheds were absorbed on the way (0 = the
+    /// first attempt went through). Exhausting the budget surfaces the
+    /// final `Overloaded` error; every other failure propagates
+    /// unretried.
+    pub fn diff_with_retry(
+        &mut self,
+        a: &RleImage,
+        b: &RleImage,
+        deadline_ms: u32,
+        policy: &RetryPolicy,
+    ) -> Result<(DiffReply, u32), ClientError> {
+        let mut sheds = 0u32;
+        loop {
+            match self.diff(a, b, deadline_ms) {
+                Ok(reply) => return Ok((reply, sheds)),
+                Err(ClientError::Server {
+                    code: ErrorCode::Overloaded,
+                    message,
+                }) => {
+                    if sheds >= policy.retries {
+                        return Err(ClientError::Server {
+                            code: ErrorCode::Overloaded,
+                            message,
+                        });
+                    }
+                    std::thread::sleep(policy.backoff(sheds));
+                    sheds += 1;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
 }
 
 fn server_error(payload: &[u8]) -> ClientError {
@@ -165,5 +265,57 @@ fn server_error(payload: &[u8]) -> ClientError {
             message: reply.message,
         },
         Err(e) => ClientError::Proto(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_caps_and_stays_in_the_jitter_window() {
+        let policy = RetryPolicy {
+            retries: 10,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(160),
+            jitter_seed: 7,
+        };
+        for attempt in 0..12 {
+            let nominal = Duration::from_millis(10)
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(Duration::from_millis(160));
+            let d = policy.backoff(attempt);
+            assert!(
+                d >= nominal / 2 && d <= nominal,
+                "attempt {attempt}: {d:?} outside [{:?}, {nominal:?}]",
+                nominal / 2
+            );
+        }
+        // The cap holds even at absurd attempt counts (no shift overflow).
+        assert!(policy.backoff(u32::MAX) <= Duration::from_millis(160));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_decorrelated_across_seeds() {
+        let a = RetryPolicy {
+            jitter_seed: 1,
+            retries: 3,
+            ..RetryPolicy::default()
+        };
+        let b = RetryPolicy {
+            jitter_seed: 2,
+            ..a
+        };
+        for attempt in 0..8 {
+            assert_eq!(
+                a.backoff(attempt),
+                a.backoff(attempt),
+                "same seed, same delay"
+            );
+        }
+        assert!(
+            (0..8).any(|i| a.backoff(i) != b.backoff(i)),
+            "different seeds must produce different schedules"
+        );
     }
 }

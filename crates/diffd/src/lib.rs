@@ -40,7 +40,7 @@ pub mod metrics;
 pub mod proto;
 pub mod server;
 
-pub use client::{ClientError, DiffClient};
+pub use client::{ClientError, DiffClient, RetryPolicy};
 pub use metrics::ServerMetrics;
 pub use proto::{DiffReply, DiffRequest, ErrorCode, ErrorReply, FrameKind, ProtoError};
 pub use server::{DiffServer, DiffServerConfig, DrainReport, ServerHandle};

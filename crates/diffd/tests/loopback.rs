@@ -7,7 +7,7 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use diffd::proto::{self, ErrorCode, FrameKind};
-use diffd::{ClientError, DiffClient, DiffServer, DiffServerConfig};
+use diffd::{ClientError, DiffClient, DiffServer, DiffServerConfig, RetryPolicy};
 use rle::RleImage;
 use workload::{errors, ErrorModel, GenParams, RowGenerator};
 
@@ -210,6 +210,101 @@ fn zero_row_budget_sheds_on_pipeline_pressure() {
             );
         }
         other => panic!("wanted a typed Overloaded shed, got {other:?}"),
+    }
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// The retry contract end to end: a single-slot server is driven into
+/// shed by a slow request on one connection, and a second client's
+/// `diff_with_retry` must absorb at least one `Overloaded`, converge to
+/// the correct answer once the slot frees, and report how many sheds it
+/// rode out.
+#[test]
+fn retrying_client_converges_after_a_shed() {
+    let cfg = DiffServerConfig {
+        max_concurrent_requests: 1,
+        ..test_config()
+    };
+    let server = DiffServer::bind("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+    let (handle, join) = server.spawn();
+
+    // Occupy the single request slot with a deliberately heavy diff.
+    let blocker = std::thread::spawn(move || {
+        let (a, b) = image_pair(8_192, 192, 0x51);
+        let expected = a.xor(&b).unwrap();
+        let mut client = DiffClient::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let reply = client.diff(&a, &b, 30_000).unwrap();
+        assert_eq!(reply.image, expected);
+    });
+    // Wait until the blocker holds the slot: its queue-wait sample is
+    // recorded right after it takes the pipeline, before compute starts.
+    let m = handle.server_metrics();
+    let armed = std::time::Instant::now();
+    while m.queue_wait_ns.count() == 0 && armed.elapsed() < Duration::from_secs(20) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(m.queue_wait_ns.count(), 1, "blocker never reached compute");
+
+    // The retrying client: its first attempt lands while the slot is
+    // held (a guaranteed shed), then backoff-and-retry until the blocker
+    // completes. Tiny backoff keeps the test fast; the budget is far
+    // larger than the blocker could ever need.
+    let (a, b) = image_pair(32, 4, 0x52);
+    let expected = a.xor(&b).unwrap();
+    let mut client = DiffClient::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let policy = RetryPolicy {
+        retries: 20_000,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(2),
+        jitter_seed: 0x7E57,
+    };
+    let (reply, sheds_absorbed) = client
+        .diff_with_retry(&a, &b, 0, &policy)
+        .expect("retry must converge once the slot frees");
+    assert_eq!(reply.image, expected);
+    assert!(
+        sheds_absorbed >= 1,
+        "the first attempt must have been shed ({sheds_absorbed} absorbed)"
+    );
+    assert!(
+        m.sheds.get() >= u64::from(sheds_absorbed),
+        "client-side sheds must be visible server-side"
+    );
+
+    blocker.join().unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+    assert_eq!(handle.pipeline_in_flight(), 0);
+}
+
+/// A zero-retry policy behaves exactly like `diff`: the shed surfaces.
+#[test]
+fn zero_retry_policy_surfaces_the_shed() {
+    let cfg = DiffServerConfig {
+        max_concurrent_requests: 0,
+        ..test_config()
+    };
+    let server = DiffServer::bind("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+    let (handle, join) = server.spawn();
+
+    let (a, b) = image_pair(32, 4, 0x53);
+    let mut client = DiffClient::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    match client.diff_with_retry(&a, &b, 0, &RetryPolicy::default()) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Overloaded),
+        other => panic!("wanted the shed surfaced unretried, got {other:?}"),
     }
 
     handle.shutdown();

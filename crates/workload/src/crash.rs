@@ -1,0 +1,128 @@
+//! Crash-point plans for the journal's byte-level crash-injection
+//! harness.
+//!
+//! The durability property the archive journal claims is *per byte*:
+//! after a crash at **any** write-stream offset, reopening recovers
+//! exactly the committed frames. The only fully convincing test is the
+//! exhaustive sweep — every offset from 0 to the journal's total length —
+//! and [`CrashSweep::exhaustive`] produces exactly that. For larger
+//! journals where per-byte reopening is too slow, [`CrashSweep::sampled`]
+//! keeps the offsets that matter most (every record boundary and its ±1
+//! neighbours, where commit semantics flip) and fills the interiors with
+//! deterministic seeded samples, so CI time stays bounded without the
+//! sweep going blind inside record bodies.
+//!
+//! Like everything in this crate, plans are seeded and deterministic:
+//! the same inputs always yield the same crash offsets.
+
+/// A deterministic set of byte offsets at which to injected-crash a
+/// journal write stream (see `archive::FaultStorage`).
+#[derive(Clone, Debug)]
+pub struct CrashSweep {
+    offsets: Vec<u64>,
+}
+
+/// splitmix64 — the same tiny deterministic mixer the workload
+/// generators build on.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl CrashSweep {
+    /// Every offset in `0..=total_bytes` — the full property, no blind
+    /// spots. `total_bytes` itself is included: a "crash" after the last
+    /// byte must recover everything.
+    #[must_use]
+    pub fn exhaustive(total_bytes: u64) -> Self {
+        Self {
+            offsets: (0..=total_bytes).collect(),
+        }
+    }
+
+    /// Record-boundary offsets and their ±1 neighbours (where a frame
+    /// flips between committed and torn), plus `per_gap` seeded interior
+    /// offsets between consecutive boundaries. `boundaries` are the
+    /// cumulative end offsets of each committed record, as reported by a
+    /// clean reference run.
+    #[must_use]
+    pub fn sampled(total_bytes: u64, boundaries: &[u64], per_gap: usize, seed: u64) -> Self {
+        let mut offsets = vec![0u64, total_bytes];
+        let mut prev = 0u64;
+        for (i, &b) in boundaries.iter().enumerate() {
+            let b = b.min(total_bytes);
+            offsets.push(b);
+            offsets.push(b.saturating_sub(1));
+            offsets.push((b + 1).min(total_bytes));
+            let gap = b.saturating_sub(prev);
+            if gap > 2 {
+                for j in 0..per_gap {
+                    let r = mix(seed ^ ((i as u64) << 32) ^ j as u64);
+                    offsets.push(prev + 1 + r % (gap - 1));
+                }
+            }
+            prev = b;
+        }
+        offsets.sort_unstable();
+        offsets.dedup();
+        Self { offsets }
+    }
+
+    /// The crash offsets, ascending and deduplicated.
+    #[must_use]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Number of crash points in the plan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the plan is empty (never true for the constructors here).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_covers_every_offset() {
+        let sweep = CrashSweep::exhaustive(10);
+        assert_eq!(sweep.offsets(), (0..=10).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn sampled_is_deterministic_sorted_and_hits_boundaries() {
+        let boundaries = [13u64, 150, 310, 452];
+        let a = CrashSweep::sampled(500, &boundaries, 3, 0xC0FFEE);
+        let b = CrashSweep::sampled(500, &boundaries, 3, 0xC0FFEE);
+        assert_eq!(a.offsets(), b.offsets(), "same seed, same plan");
+        for &b0 in &boundaries {
+            for want in [b0 - 1, b0, b0 + 1] {
+                assert!(
+                    a.offsets().contains(&want),
+                    "missing boundary offset {want}"
+                );
+            }
+        }
+        assert!(
+            a.offsets().windows(2).all(|w| w[0] < w[1]),
+            "sorted, deduped"
+        );
+        assert!(a.offsets().first() == Some(&0) && a.offsets().last() == Some(&500));
+        let c = CrashSweep::sampled(500, &boundaries, 3, 0xBEEF);
+        assert_ne!(
+            a.offsets(),
+            c.offsets(),
+            "different seed, different interiors"
+        );
+    }
+}

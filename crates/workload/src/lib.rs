@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod corpus;
+pub mod crash;
 pub mod errors;
 pub mod gen;
 pub mod glyphs;
@@ -29,6 +30,7 @@ pub mod motion;
 pub mod pcb;
 pub mod sequence;
 
+pub use crash::CrashSweep;
 pub use errors::{apply_errors, ErrorModel};
 pub use gen::{GenParams, RowGenerator};
 pub use sequence::{FrameSequence, SequenceParams};

@@ -1,9 +1,15 @@
 //! End-to-end contract of the delta archive against realistic sequences:
 //! a 100-frame churn-controlled stream must replay bit-identically from
 //! every keyframe distance, survive serialization, re-keyframe without
-//! content drift, and reject corrupted bytes with typed errors.
+//! content drift, and reject corrupted bytes with typed errors — plus the
+//! shared edge-case contract of both stores (in-memory `DeltaArchive` and
+//! the RDA2 journal): out-of-range indexing, degenerate compaction, the
+//! RDA1→RDA2 migration path, and the keyframe replay bound on a long
+//! archive.
 
-use rle_systolic::archive::{ArchiveError, DeltaArchive};
+use rle_systolic::archive::{
+    ArchiveError, ArchiveFile, ArchiveOptions, DeltaArchive, FsyncPolicy, MemStorage,
+};
 use rle_systolic::rle::RleImage;
 use rle_systolic::workload::{FrameSequence, GenParams, SequenceParams};
 
@@ -133,6 +139,184 @@ fn corrupted_bytes_are_typed_errors_never_panics() {
         }
     }
     assert!(caught, "no bit flip ever tripped the signature index");
+}
+
+/// Out-of-range indexing on empty and single-frame stores, for both the
+/// in-memory archive and the journal: always `FrameOutOfRange` carrying
+/// the right bounds, never a panic or a wrong frame.
+#[test]
+fn out_of_range_indexing_is_typed_on_empty_and_single_frame_stores() {
+    let one = frames(1, 0.0, 0xE1).remove(0);
+
+    let empty = DeltaArchive::new(4);
+    assert_eq!(empty.len(), 0);
+    for probe in [0usize, 1, usize::MAX] {
+        assert!(matches!(
+            empty.extract(probe),
+            Err(ArchiveError::FrameOutOfRange { frames: 0, .. })
+        ));
+        assert!(matches!(
+            empty.signatures(probe),
+            Err(ArchiveError::FrameOutOfRange { frames: 0, .. })
+        ));
+    }
+    let mut single = DeltaArchive::new(4);
+    single.append(&one).expect("append");
+    assert_eq!(&single.extract(0).expect("extract"), &one);
+    assert_eq!(single.signatures(0).expect("sigs").len(), one.height());
+    assert!(matches!(
+        single.extract(1),
+        Err(ArchiveError::FrameOutOfRange {
+            index: 1,
+            frames: 1
+        })
+    ));
+    assert!(matches!(
+        single.signatures(1),
+        Err(ArchiveError::FrameOutOfRange {
+            index: 1,
+            frames: 1
+        })
+    ));
+
+    let opts = ArchiveOptions {
+        keyframe_interval: 4,
+        fsync: FsyncPolicy::OnClose,
+    };
+    let mut journal = ArchiveFile::create_on(MemStorage::new(), opts).expect("create");
+    assert!(matches!(
+        journal.extract(0),
+        Err(ArchiveError::FrameOutOfRange { frames: 0, .. })
+    ));
+    assert!(matches!(
+        journal.signatures(0),
+        Err(ArchiveError::FrameOutOfRange { frames: 0, .. })
+    ));
+    journal.append(&one).expect("append");
+    assert_eq!(&journal.extract(0).expect("extract"), &one);
+    assert!(matches!(
+        journal.extract(1),
+        Err(ArchiveError::FrameOutOfRange {
+            index: 1,
+            frames: 1
+        })
+    ));
+    assert!(matches!(
+        journal.signatures(usize::MAX),
+        Err(ArchiveError::FrameOutOfRange { frames: 1, .. })
+    ));
+}
+
+/// Compacting with an interval larger than the archive degenerates to
+/// "one keyframe, everything else a delta" and stays bit-identical, in
+/// both stores.
+#[test]
+fn compact_with_interval_beyond_the_archive_is_sound() {
+    let stream = frames(6, 0.2, 0xC0);
+    let mut store = DeltaArchive::new(2);
+    for f in &stream {
+        store.append(f).expect("append");
+    }
+    assert_eq!(store.stat().keyframes, 3);
+    store.compact(1_000).expect("compact");
+    assert_eq!(
+        store.stat().keyframes,
+        1,
+        "one governing keyframe is enough"
+    );
+    for (i, f) in stream.iter().enumerate() {
+        assert_eq!(&store.extract(i).expect("extract"), f, "frame {i}");
+    }
+
+    let opts = ArchiveOptions {
+        keyframe_interval: 2,
+        fsync: FsyncPolicy::OnClose,
+    };
+    let mut journal = ArchiveFile::create_on(MemStorage::new(), opts).expect("create");
+    for f in &stream {
+        journal.append(f).expect("append");
+    }
+    let mut compacted = journal
+        .compact_into(MemStorage::new(), 1_000)
+        .expect("compact_into");
+    assert_eq!(compacted.stat().keyframes, 1);
+    for (i, f) in stream.iter().enumerate() {
+        assert_eq!(
+            &compacted.extract(i).expect("extract"),
+            f,
+            "journal frame {i}"
+        );
+    }
+}
+
+/// RDA1 → RDA2 migration: an old `to_bytes` blob imports into a journal
+/// and every frame survives the trip — including back out through the
+/// journal's own recovery path after a reopen.
+#[test]
+fn rda1_blobs_migrate_into_the_journal_round_trip() {
+    let stream = frames(30, 0.15, 0x314A);
+    let mut old = DeltaArchive::new(8);
+    for f in &stream {
+        old.append(f).expect("append");
+    }
+    let blob = old.to_bytes();
+
+    let legacy = DeltaArchive::from_bytes(&blob).expect("RDA1 decode");
+    let opts = ArchiveOptions {
+        keyframe_interval: 8,
+        fsync: FsyncPolicy::OnClose,
+    };
+    let mut journal = ArchiveFile::create_on(MemStorage::new(), opts).expect("create");
+    let imported = journal.import(&legacy).expect("import");
+    assert_eq!(imported, stream.len());
+    for (i, f) in stream.iter().enumerate() {
+        assert_eq!(&journal.extract(i).expect("extract"), f, "imported {i}");
+    }
+    // And through a sync → reopen cycle of the journal bytes: the
+    // migrated archive must survive its own recovery path.
+    journal.sync().expect("sync");
+    let storage = journal.into_storage();
+    let mut back = ArchiveFile::open_on(storage, opts).expect("reopen");
+    assert!(back.recovery().clean(), "migration left nothing torn");
+    assert_eq!(back.len(), stream.len());
+    for (i, f) in stream.iter().enumerate() {
+        assert_eq!(&back.extract(i).expect("extract"), f, "reopened {i}");
+    }
+}
+
+/// The replay bound on a genuinely long archive: 200 frames, interval 16,
+/// and the worst-case extraction (the frame right before a keyframe)
+/// replays exactly `interval` records — seek to the governing keyframe,
+/// never a scan from frame 0.
+#[test]
+fn long_archive_extraction_replays_at_most_one_interval() {
+    const N: usize = 200;
+    const INTERVAL: usize = 16;
+    let stream = frames(N, 0.2, 0x10_06);
+    let opts = ArchiveOptions {
+        keyframe_interval: INTERVAL,
+        fsync: FsyncPolicy::OnClose,
+    };
+    let mut journal = ArchiveFile::create_on(MemStorage::new(), opts).expect("create");
+    for f in &stream {
+        journal.append(f).expect("append");
+    }
+    // Worst case: the last frame of a full chain (191 = 12·16 − 1 → its
+    // keyframe is 176, fifteen deltas behind).
+    let worst = 12 * INTERVAL - 1;
+    let before = journal.stat().records_replayed;
+    assert_eq!(&journal.extract(worst).expect("extract"), &stream[worst]);
+    let replayed = journal.stat().records_replayed - before;
+    assert_eq!(
+        replayed, INTERVAL as u64,
+        "worst-case extract must replay exactly one interval"
+    );
+    // And the best case — a keyframe — replays exactly one record, no
+    // matter how deep in the archive it sits.
+    let key = 11 * INTERVAL;
+    let before = journal.stat().records_replayed;
+    assert_eq!(&journal.extract(key).expect("extract"), &stream[key]);
+    assert_eq!(journal.stat().records_replayed - before, 1);
 }
 
 #[test]
