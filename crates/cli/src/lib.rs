@@ -1297,7 +1297,7 @@ fn run_diff_client(
     let workers: Vec<_> = (0..clients)
         .map(|c| {
             let addr = addr.to_string();
-            std::thread::spawn(move || -> Result<(Vec<f64>, LoadTally), String> {
+            std::thread::spawn(move || -> Result<(Vec<[f64; 3]>, LoadTally), String> {
                 // Per-client synthetic pair; replies are verified against
                 // the local reference so the load run doubles as a
                 // correctness check.
@@ -1320,7 +1320,7 @@ fn run_diff_client(
                     max_backoff: std::time::Duration::from_millis(backoff_ms.saturating_mul(32)),
                     jitter_seed: seed ^ 0xBAC0_FF00 ^ c as u64,
                 };
-                let mut latencies_ms = Vec::with_capacity(requests);
+                let mut samples = Vec::with_capacity(requests);
                 let mut tally = LoadTally::default();
                 for _ in 0..requests {
                     let t0 = Instant::now();
@@ -1329,7 +1329,17 @@ fn run_diff_client(
                             if reply.image != expected {
                                 return Err("server returned a wrong diff".into());
                             }
-                            latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                            // Total round-trip, plus the server-reported
+                            // split of its own share: executor queue wait
+                            // vs. compute. The split comes per request off
+                            // the reply, so the percentiles below are true
+                            // per-request distributions, not a scrape of
+                            // the server-wide histograms.
+                            samples.push([
+                                t0.elapsed().as_secs_f64() * 1e3,
+                                reply.queue_wait_ns as f64 / 1e6,
+                                reply.compute_ns as f64 / 1e6,
+                            ]);
                             tally.ok += 1;
                             if sheds_absorbed > 0 {
                                 tally.shed_then_ok += 1;
@@ -1344,19 +1354,19 @@ fn run_diff_client(
                         Err(e) => return Err(e.to_string()),
                     }
                 }
-                Ok((latencies_ms, tally))
+                Ok((samples, tally))
             })
         })
         .collect();
 
-    let mut latencies = Vec::new();
+    let mut samples: Vec<[f64; 3]> = Vec::new();
     let mut tally = LoadTally::default();
     for w in workers {
         let (lat, t) = w
             .join()
             .map_err(|_| CliError::Pipeline("a load client panicked".into()))?
             .map_err(CliError::Pipeline)?;
-        latencies.extend(lat);
+        samples.extend(lat);
         tally.ok += t.ok;
         tally.shed_then_ok += t.shed_then_ok;
         tally.sheds_absorbed += t.sheds_absorbed;
@@ -1374,15 +1384,18 @@ fn run_diff_client(
             tally.shed, tally.deadline, tally.other_server
         )));
     }
-    latencies.sort_by(|x, y| x.partial_cmp(y).expect("latencies are finite"));
-    let pct = |p: f64| -> f64 {
-        if latencies.is_empty() {
-            return 0.0;
+    let percentiles = |column: usize| -> (f64, f64) {
+        let mut values: Vec<f64> = samples.iter().map(|s| s[column]).collect();
+        values.sort_by(|x, y| x.partial_cmp(y).expect("latencies are finite"));
+        if values.is_empty() {
+            return (0.0, 0.0);
         }
-        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
-        latencies[idx]
+        let pick = |p: f64| values[((values.len() as f64 - 1.0) * p).round() as usize];
+        (pick(0.50), pick(0.99))
     };
-    let (p50, p99) = (pct(0.50), pct(0.99));
+    let (p50, p99) = percentiles(0);
+    let (queue_p50, queue_p99) = percentiles(1);
+    let (compute_p50, compute_p99) = percentiles(2);
     let throughput = if wall > 0.0 {
         tally.ok as f64 / wall
     } else {
@@ -1414,11 +1427,19 @@ fn run_diff_client(
     let _ = writeln!(s, "  latency    : p50 {p50:.3} ms, p99 {p99:.3} ms");
     let _ = writeln!(
         s,
+        "  queue wait : p50 {queue_p50:.3} ms, p99 {queue_p99:.3} ms (server-reported, per request)"
+    );
+    let _ = writeln!(
+        s,
+        "  compute    : p50 {compute_p50:.3} ms, p99 {compute_p99:.3} ms (server-reported, per request)"
+    );
+    let _ = writeln!(
+        s,
         "  throughput : {throughput:.1} requests/s over {wall:.3} s"
     );
     if let Some(path) = json_out {
         let json = format!(
-            "{{\n  \"addr\": \"{addr}\",\n  \"clients\": {clients},\n  \"requests_per_client\": {requests},\n  \"width\": {width},\n  \"height\": {height},\n  \"density\": {density},\n  \"retries\": {retries},\n  \"backoff_ms\": {backoff_ms},\n  \"ok\": {},\n  \"shed_then_ok\": {},\n  \"sheds_absorbed\": {},\n  \"shed\": {},\n  \"deadline\": {},\n  \"other_server_errors\": {},\n  \"p50_ms\": {p50},\n  \"p99_ms\": {p99},\n  \"throughput_rps\": {throughput},\n  \"wall_s\": {wall}\n}}\n",
+            "{{\n  \"addr\": \"{addr}\",\n  \"clients\": {clients},\n  \"requests_per_client\": {requests},\n  \"width\": {width},\n  \"height\": {height},\n  \"density\": {density},\n  \"retries\": {retries},\n  \"backoff_ms\": {backoff_ms},\n  \"ok\": {},\n  \"shed_then_ok\": {},\n  \"sheds_absorbed\": {},\n  \"shed\": {},\n  \"deadline\": {},\n  \"other_server_errors\": {},\n  \"p50_ms\": {p50},\n  \"p99_ms\": {p99},\n  \"queue_wait_p50_ms\": {queue_p50},\n  \"queue_wait_p99_ms\": {queue_p99},\n  \"compute_p50_ms\": {compute_p50},\n  \"compute_p99_ms\": {compute_p99},\n  \"throughput_rps\": {throughput},\n  \"wall_s\": {wall}\n}}\n",
             tally.ok, tally.shed_then_ok, tally.sheds_absorbed, tally.shed, tally.deadline, tally.other_server
         );
         fs::write(path, json)?;

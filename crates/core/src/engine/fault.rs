@@ -1,13 +1,20 @@
-//! Deterministic fault injection for the [`crate::engine::pipeline`]
+//! Deterministic fault injection for the [`crate::engine::executor`]
 //! supervisor (compiled only with the `fault-injection` feature).
 //!
 //! A [`FaultPlan`] maps **ticket ids** (the submission sequence numbers
 //! carried by [`crate::engine::pipeline::Ticket`]; for a fresh pipeline's
 //! first `diff_images` call, ticket `n` is row `n`) to faults a worker
-//! triggers the moment it picks that job up. Faults are keyed by the job,
-//! not the worker, so a plan reproduces the same failure regardless of
-//! which thread wins the race for the job — every failure-handling path in
-//! the supervisor has a deterministic test.
+//! triggers the moment it picks that row up. Faults are keyed by the
+//! ticket, not the worker, so a plan reproduces the same failure
+//! regardless of which thread wins the race for the row — every
+//! failure-handling path in the supervisor has a deterministic test.
+//!
+//! Tickets are allocated executor-wide, so on a shared
+//! [`crate::engine::executor::DiffExecutor`] a ticket id also selects a
+//! *job*: submit jobs in a known order and a plan can plant a fault
+//! inside one job's ticket range while its neighbours run clean — the
+//! job-granularity drills in `tests/pipeline_faults.rs` use exactly this
+//! to prove recovery is isolated to the owning job.
 //!
 //! Each registered fault carries a trigger budget: a fault armed with
 //! [`FaultPlan::panic_on_row`] fires exactly once (the retry of that row

@@ -24,6 +24,13 @@
 //! per row using the calibrated crossover [`PACKED_RUNS_PER_WORD`] and
 //! short-circuits trivial rows (equal → empty diff, one side empty → copy)
 //! without running any kernel at all.
+//!
+//! Kernel selection is purely per-row (a function of the two rows and the
+//! configured [`Kernel`]), never per-batch: on the multi-image executor a
+//! worker interleaves chunks from unrelated jobs, and a row diffs to the
+//! same bits and the same kernel choice whether its job runs alone or
+//! next to a dozen others — the bit-identity half of the executor's
+//! fairness/isolation proof suite leans on this.
 
 use crate::array::SystolicArray;
 use crate::engine::simd::{common_prefix_runs, SimdLevel};

@@ -1,6 +1,5 @@
-//! Image-level diff pipeline: a supervised, persistent worker pool over
-//! whole images, scheduling zero-copy row chunks through an adaptive
-//! kernel.
+//! Image-level diff pipeline: the single-submitter facade over the
+//! sharded multi-image executor ([`crate::engine::executor`]).
 //!
 //! [`crate::engine::parallel`] parallelises *within* one row by splitting
 //! the cell array across threads, paying thread-spawn and three barriers
@@ -9,33 +8,29 @@
 //! its own rows, exactly like a rack of systolic chips scanning different
 //! board regions.
 //!
-//! [`DiffPipeline`] spawns its workers **once** and reuses them across
-//! calls. Four layers keep the hot path lean:
+//! Since the executor refactor, `DiffPipeline` owns a private
+//! [`DiffExecutor`] and submits every batch as one *job* (and its
+//! streaming rows through one persistent job). The worker pool, sharded
+//! work-stealing scheduler, supervision layer and observability ledger
+//! all live in the executor; what remains here is the image-level
+//! front end:
 //!
 //! * **Zero-copy submission.** Batch jobs reference the input images
 //!   through `Arc`s ([`DiffPipeline::diff_images_shared`] shares the
 //!   caller's images outright; [`DiffPipeline::diff_images`] clones each
-//!   row once into per-chunk storage, instead of the old twice-per-submit
-//!   plus twice-per-checkout). Checking a job out for supervision clones an
-//!   `Arc`, never row data.
-//! * **Sharded scheduling.** Every worker owns a *shard*: its own input
-//!   deque, its own checkout slot, and its own output buffer, each behind
-//!   its own short-lived lock. The batch front-end deals chunks round-robin
-//!   across the shards; a worker pops from the front of its own deque and,
-//!   only when that is empty, steals from the *back* of a sibling's — so
-//!   the common case touches one uncontended lock and the image tail still
-//!   load-balances ([`PipelineStats::chunks_stolen`] counts the steals).
-//!   The old design funnelled every pop, checkout and result through one
-//!   global mutex plus an mpsc channel, which stopped scaling past a few
-//!   threads; nothing here is shared between workers on the hot path
-//!   except two counters.
-//! * **Batched, cost-aware chunking.** The scheduler splits the image into
+//!   row once into per-chunk storage). Checking a chunk out for
+//!   supervision clones an `Arc`, never row data.
+//! * **Batched, cost-aware chunking.** The planner splits the image into
 //!   contiguous row chunks weighted by per-row run counts (target
 //!   `~total_runs / (threads * 4)` runs per chunk, overridable via
 //!   [`DiffPipelineConfig::chunk_target`]). Derived plans are additionally
 //!   split until every worker has at least one chunk, so a skewed image
-//!   can never idle most of the pool. Chunk result vectors are recycled
-//!   through a pool.
+//!   can never idle most of the pool.
+//! * **Signature prefilter.** Before planning, matching per-row
+//!   signatures can resolve unchanged rows host-side (see
+//!   [`DiffPipelineConfig::signature_prefilter`]), with an adaptive
+//!   bypass, paranoid verification, and an inline path for tiny
+//!   residuals that skips the pool round-trip entirely.
 //! * **Adaptive kernels.** Each worker diffs rows through
 //!   [`crate::engine::kernel::diff_row`] on per-worker reusable scratch
 //!   ([`KernelScratch`]): trivial rows short-circuit, sparse rows take the
@@ -64,68 +59,49 @@
 //!   (as a structured [`SystolicError::RowFailed`]); the sibling rows are
 //!   re-queued as smaller chunks.
 //! * **Dead workers.** A worker parks the chunk it is processing in its
-//!   shard's *checkout slot*. The collector doubles as a supervisor: it
-//!   wakes on a short tick, notices worker threads that exited without
-//!   being asked to shut down, respawns them, and recovers the chunk from
-//!   the dead worker's slot — re-enqueued, or failed past the retry
-//!   budget.
+//!   shard's *checkout slot*. The executor's dedicated supervisor thread
+//!   notices worker threads that exited without being asked to shut
+//!   down, respawns them, and recovers the chunk from the dead worker's
+//!   slot — re-enqueued, or failed past the retry budget.
 //! * **Stalls and deadlines.** [`DiffPipeline::collect_timeout`] (and the
 //!   per-row deadline of [`DiffPipelineConfig::row_deadline`], honoured by
 //!   the batch front-ends) bounds how long a wedged worker can hold the
 //!   caller, returning [`SystolicError::DeadlineExceeded`] instead of
-//!   hanging. An aborted batch *abandons* its remaining rows behind a
-//!   ticket watermark: the pipeline reports idle again immediately
-//!   ([`DiffPipeline::in_flight`] drops to 0, [`DiffPipeline::abandoned`]
-//!   tracks the wedged remainder), and any stale delivery that the wedged
-//!   worker eventually produces is discarded on arrival — counted as
-//!   `rows_discarded`, never handed to a later batch. Dropping the
-//!   pipeline never deadlocks: workers get
+//!   hanging. An aborted batch *abandons* its job: the pipeline reports
+//!   idle again immediately ([`DiffPipeline::in_flight`] drops to 0,
+//!   [`DiffPipeline::abandoned`] tracks the wedged remainder), and any
+//!   stale delivery that the wedged worker eventually produces is
+//!   discarded on arrival — counted as `rows_discarded`, never handed to
+//!   a later batch. Dropping the pipeline never deadlocks: workers get
 //!   [`DiffPipelineConfig::shutdown_grace`] to exit, after which wedged
 //!   threads are detached instead of joined.
 //!
-//! Wakeups go through a *doorbell* protocol: a producer bumps the shared
-//! count, then notifies while holding the bell mutex; a sleeper re-checks
-//! the count under the bell before waiting (with a supervision-tick
-//! timeout as a backstop), so a notification can never slip between the
-//! check and the wait. All lock handling is poison-tolerant
-//! (`PoisonError::into_inner`): a panic while a lock is held degrades into
-//! a recovered guard, not a cascading crash. Retries, respawns and
-//! deadline expiries are counted in [`PipelineStats`] (per batch) and
-//! [`DiffPipeline::supervision_counters`] (pipeline lifetime), alongside
-//! per-kernel row counts and the allocations the zero-copy path avoided.
+//! Retries, respawns and deadline expiries are counted in
+//! [`PipelineStats`] (attributed per job — exact even when other jobs
+//! share the executor) and [`DiffPipeline::supervision_counters`]
+//! (pipeline lifetime), alongside per-kernel row counts and the
+//! allocations the zero-copy path avoided.
 //!
 //! Results are bit-identical to the sequential reference
 //! ([`crate::image::xor_image`]) for every kernel policy; only scheduling
 //! and the per-row algorithm change. The test-suite asserts this across
 //! all engines, all kernels and across injected faults.
 
+use crate::engine::executor::{
+    plan_ranges, ChunkSpec, DiffExecutor, DiffExecutorConfig, JobHandle, RowsSource,
+};
 use crate::engine::kernel::{self, Kernel, KernelChoice, KernelScratch};
 use crate::engine::simd::SimdLevel;
 use crate::error::SystolicError;
 use crate::image::check_dims;
-use crate::obs::{ObsConfig, Observer, TraceKind};
+use crate::obs::{ObsConfig, TraceKind};
 use crate::stats::{ArrayStats, PipelineStats, SigPrefilterMode};
 use rle::{RleImage, RleRow};
-use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::thread::JoinHandle;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 #[cfg(feature = "fault-injection")]
-use crate::engine::fault::{Fault, FaultPlan};
-
-/// How often a blocked collector wakes to check worker liveness (and a
-/// blocked worker re-polls the shards — the doorbell backstop).
-const SUPERVISION_TICK: Duration = Duration::from_millis(20);
-
-/// The scheduler aims for this many chunks per worker, so stragglers can
-/// steal the tail of the image without per-row traffic.
-const CHUNKS_PER_WORKER: usize = 4;
-
-/// At most this many spare chunk-result vectors are kept for reuse.
-const SPARE_POOL_CAP: usize = 64;
+use crate::engine::fault::FaultPlan;
 
 /// In paranoid mode ([`DiffPipelineConfig::verify_signatures`]), every
 /// `SIG_VERIFY_SAMPLE`-th signature skip of a batch (starting with the
@@ -142,7 +118,7 @@ const INLINE_RESIDUAL_ROWS: usize = 16;
 /// Poison-tolerant lock: a holder that panicked leaves consistent-enough
 /// data (every critical section is a single push/pop/take), so callers
 /// proceed on the recovered guard instead of propagating the poison.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -157,6 +133,12 @@ impl Ticket {
     #[must_use]
     pub fn id(self) -> u64 {
         self.0
+    }
+
+    /// Wraps a raw sequence number (executor-internal; tickets handed to
+    /// callers always originate from a submission).
+    pub(crate) fn from_id(id: u64) -> Self {
+        Self(id)
     }
 }
 
@@ -208,10 +190,10 @@ pub struct DiffPipelineConfig {
     /// and the derived plan is further split until it has at least one
     /// chunk per worker (an explicit target is honoured exactly).
     pub chunk_target: Option<usize>,
-    /// Observability: `Some` attaches an [`Observer`] (metrics registry +
-    /// trace ring) to the pipeline. `None` (the default) compiles every
-    /// recording site down to one predictable `if let` branch — no
-    /// timestamps are taken and nothing is recorded.
+    /// Observability: `Some` attaches an [`crate::obs::Observer`] (metrics
+    /// registry + trace ring) to the pipeline. `None` (the default)
+    /// compiles every recording site down to one predictable `if let`
+    /// branch — no timestamps are taken and nothing is recorded.
     pub observe: Option<ObsConfig>,
     /// Signature prefilter (default off): before planning chunks, the batch
     /// front-ends compare the two images' cached per-row signatures
@@ -407,19 +389,19 @@ pub struct SupervisionCounters {
     pub timeouts: u64,
 }
 
-/// A point-in-time view of how much work the pipeline is carrying — the
+/// A point-in-time view of how much work the executor is carrying — the
 /// input to admission-control decisions (see [`DiffPipeline::load`]).
 /// Mirrors the `queue_depth`/`in_flight` gauges but is read from the
-/// collector's exact bookkeeping rather than the racy metric atomics.
+/// executor's exact bookkeeping rather than the racy metric atomics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PipelineLoad {
     /// Chunks sitting in shard queues, not yet checked out.
     pub queued_chunks: usize,
-    /// Completed chunks delivered but not yet swept by the collector.
+    /// Rows delivered to their job but not yet collected by its owner.
     pub ready_chunks: usize,
     /// Rows submitted but not yet handed back to the caller.
     pub in_flight_rows: usize,
-    /// Rows written off by an aborted batch whose stale results are still
+    /// Rows written off by an aborted job whose stale results are still
     /// outstanding (see [`DiffPipeline::abandoned`]).
     pub abandoned_rows: usize,
 }
@@ -458,287 +440,20 @@ struct SkipPlan {
     verified: usize,
 }
 
-/// Where a chunk's row pairs live. Cloning is `Arc`-cheap in both cases,
-/// which is what makes chunk checkout (and retry re-enqueue) free of row
-/// copies.
-#[derive(Clone)]
-enum RowsSource {
-    /// Rows owned by this chunk (streaming submits and the borrowing batch
-    /// API). `first` is the image row the slice starts at, so sub-chunks
-    /// can keep absolute indices.
-    Owned {
-        rows: Arc<[(RleRow, RleRow)]>,
-        first: usize,
-    },
-    /// Rows shared with the caller's images (the zero-copy batch API).
-    /// Indexed by absolute image row.
-    Shared { a: Arc<RleImage>, b: Arc<RleImage> },
-}
-
-/// A contiguous chunk of row pairs: the scheduling, checkout and retry
-/// unit. Row `i` (for `lo <= i < hi`) carries ticket `base + (i - lo)`, so
-/// per-row identity survives chunking.
-#[derive(Clone)]
-struct Job {
-    /// Ticket of row `lo`.
-    base: u64,
-    lo: usize,
-    hi: usize,
-    attempts: u32,
-    source: RowsSource,
-}
-
-impl Job {
-    fn len(&self) -> usize {
-        self.hi - self.lo
-    }
-
-    fn ticket_of(&self, i: usize) -> u64 {
-        self.base + (i - self.lo) as u64
-    }
-
-    fn row(&self, i: usize) -> (&RleRow, &RleRow) {
-        match &self.source {
-            RowsSource::Owned { rows, first } => {
-                let pair = &rows[i - first];
-                (&pair.0, &pair.1)
-            }
-            RowsSource::Shared { a, b } => (&a.rows()[i], &b.rows()[i]),
-        }
-    }
-
-    /// A sub-chunk over `[lo, hi)` keeping this chunk's attempt count and
-    /// per-row tickets.
-    fn slice(&self, lo: usize, hi: usize) -> Job {
-        Job {
-            base: self.base + (lo - self.lo) as u64,
-            lo,
-            hi,
-            attempts: self.attempts,
-            source: self.source.clone(),
-        }
-    }
-}
-
-/// One row's result inside a chunk message.
-struct RowResult {
-    ticket: u64,
-    kernel: Option<KernelChoice>,
-    result: Result<(RleRow, ArrayStats), SystolicError>,
-}
-
-/// What a worker delivers per finished chunk: one message for many rows.
-struct ChunkDone {
-    worker: usize,
-    results: Vec<RowResult>,
-}
-
-/// One worker's slice of the scheduler: its own input deque, checkout slot
-/// and output buffer, each behind its own short-lived lock. Workers touch
-/// other shards only to steal; the collector sweeps every shard's output.
-#[derive(Default)]
-struct Shard {
-    /// Chunks waiting for this worker (stealable from the back).
-    queue: Mutex<VecDeque<Job>>,
-    /// The chunk this worker is currently processing, parked here so the
-    /// supervisor can recover it if the thread dies mid-chunk.
-    running: Mutex<Option<Job>>,
-    /// Finished chunks awaiting the collector's sweep.
-    out: Mutex<Vec<ChunkDone>>,
-}
-
-struct Shared {
-    shards: Vec<Shard>,
-    /// Chunks sitting in shard queues (fast-path emptiness check for
-    /// workers; mutated inside the owning shard's queue lock).
-    queued: AtomicUsize,
-    /// Delivered chunks not yet swept by the collector (mutated inside the
-    /// owning shard's out lock).
-    ready: AtomicUsize,
-    shutdown: AtomicBool,
-    /// Doorbell for workers: producers notify while holding the bell, and
-    /// sleepers re-check `queued` under it, so a push can never slip
-    /// between a worker's check and its wait.
-    work_bell: Mutex<()>,
-    work_ready: Condvar,
-    /// Doorbell for the collector, same protocol over `ready`.
-    results_bell: Mutex<()>,
-    results_ready: Condvar,
-    retries: AtomicU64,
-    respawns: AtomicU64,
-    timeouts: AtomicU64,
-    /// Chunks popped from a sibling shard's queue (tail rebalancing).
-    steals: AtomicU64,
-    /// Chunk-result vectors recycled from the collector back to workers.
-    spare: Mutex<Vec<Vec<RowResult>>>,
-    /// How many times a worker got a recycled vector instead of allocating.
-    buffer_hits: AtomicU64,
-    kernel: Kernel,
-    /// Resolved SIMD level every worker's kernel scratch is built with.
-    simd: SimdLevel,
-    /// Observability sink, shared by workers, supervisor and collectors.
-    /// `None` keeps every recording site to a single predictable branch.
-    obs: Option<Arc<Observer>>,
-    #[cfg(feature = "fault-injection")]
-    faults: Option<FaultPlan>,
-}
-
-impl Shared {
-    /// Enqueues a chunk onto `shard`'s deque. The queue count and depth
-    /// gauge move inside the same critical section as the push, so neither
-    /// can drift from the queues' true contents (or go negative).
-    fn push_job(&self, shard: usize, job: Job) {
-        let mut queue = lock(&self.shards[shard].queue);
-        queue.push_back(job);
-        self.queued.fetch_add(1, Ordering::Relaxed);
-        if let Some(obs) = &self.obs {
-            obs.metrics.queue_depth.add(1);
-        }
-    }
-
-    /// Pops from one shard's deque: the owner takes the front, a thief the
-    /// back (so steals grab the work the owner would reach last). Count and
-    /// gauge move under the same lock as the pop.
-    fn pop_shard(&self, shard: usize, own: bool) -> Option<Job> {
-        let mut queue = lock(&self.shards[shard].queue);
-        let job = if own {
-            queue.pop_front()
-        } else {
-            queue.pop_back()
-        };
-        if job.is_some() {
-            self.queued.fetch_sub(1, Ordering::Relaxed);
-            if let Some(obs) = &self.obs {
-                obs.metrics.queue_depth.sub(1);
-            }
-        }
-        job
-    }
-
-    /// One non-blocking attempt to find work for `worker`: its own shard
-    /// first, then each sibling in ring order.
-    fn try_pop(&self, worker: usize) -> Option<Job> {
-        if self.queued.load(Ordering::Relaxed) == 0 {
-            return None;
-        }
-        if let Some(job) = self.pop_shard(worker, true) {
-            return Some(job);
-        }
-        let n = self.shards.len();
-        for d in 1..n {
-            if let Some(job) = self.pop_shard((worker + d) % n, false) {
-                self.steals.fetch_add(1, Ordering::Relaxed);
-                if let Some(obs) = &self.obs {
-                    obs.metrics.chunks_stolen.inc();
-                }
-                return Some(job);
-            }
-        }
-        None
-    }
-
-    /// Blocks until a chunk is available for `worker` or shutdown is
-    /// requested. The doorbell re-check plus tick timeout make a lost
-    /// wakeup impossible to get stuck on.
-    fn next_job(&self, worker: usize) -> Option<Job> {
-        loop {
-            if let Some(job) = self.try_pop(worker) {
-                return Some(job);
-            }
-            if self.shutdown.load(Ordering::Relaxed) {
-                return None;
-            }
-            let bell = lock(&self.work_bell);
-            if self.queued.load(Ordering::Relaxed) > 0 {
-                continue; // work arrived between the pop and the bell
-            }
-            if self.shutdown.load(Ordering::Relaxed) {
-                return None;
-            }
-            let _unused = self
-                .work_ready
-                .wait_timeout(bell, SUPERVISION_TICK)
-                .unwrap_or_else(PoisonError::into_inner);
-        }
-    }
-
-    fn notify_work_all(&self) {
-        let _bell = lock(&self.work_bell);
-        self.work_ready.notify_all();
-    }
-
-    fn notify_work_one(&self) {
-        let _bell = lock(&self.work_bell);
-        self.work_ready.notify_one();
-    }
-
-    /// Parks a finished chunk in `worker`'s output shard and rings the
-    /// collector's doorbell. `ready` moves inside the out lock so the
-    /// collector's sweep (which decrements under the same lock) can never
-    /// observe a chunk before its count.
-    fn deliver(&self, worker: usize, done: ChunkDone) {
-        {
-            let mut out = lock(&self.shards[worker].out);
-            out.push(done);
-            self.ready.fetch_add(1, Ordering::Relaxed);
-        }
-        let _bell = lock(&self.results_bell);
-        self.results_ready.notify_all();
-    }
-
-    fn counters(&self) -> SupervisionCounters {
-        SupervisionCounters {
-            retries: self.retries.load(Ordering::Relaxed),
-            respawns: self.respawns.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-        }
-    }
-
-    fn take_spare(&self) -> Vec<RowResult> {
-        let recycled = lock(&self.spare).pop();
-        match recycled {
-            Some(vec) => {
-                self.buffer_hits.fetch_add(1, Ordering::Relaxed);
-                vec
-            }
-            None => Vec::new(),
-        }
-    }
-
-    fn return_spare(&self, mut vec: Vec<RowResult>) {
-        vec.clear();
-        if vec.capacity() == 0 {
-            return;
-        }
-        let mut pool = lock(&self.spare);
-        if pool.len() < SPARE_POOL_CAP {
-            pool.push(vec);
-        }
-    }
-}
-
-/// A persistent, supervised pool of row-diff workers (see the module docs).
+/// A persistent, supervised pool of row-diff workers (see the module
+/// docs) — since the executor refactor, a single-submitter facade over a
+/// private [`DiffExecutor`]: each batch runs as one job, and streaming
+/// rows flow through one persistent job.
 ///
 /// Dropping the pipeline drains the remaining queue and joins every worker
 /// that exits within [`DiffPipelineConfig::shutdown_grace`]; wedged workers
 /// are detached so `Drop` never deadlocks.
 pub struct DiffPipeline {
-    shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
+    executor: DiffExecutor,
+    /// The persistent non-ledger job [`Self::submit`] pushes single-row
+    /// chunks through.
+    streaming: JobHandle,
     config: DiffPipelineConfig,
-    next_ticket: u64,
-    in_flight: usize,
-    /// Round-robin cursor for streaming submits across the shards.
-    submit_cursor: usize,
-    /// Tickets below this watermark belong to abandoned batches: their
-    /// results are discarded on arrival instead of delivered.
-    abandoned_below: u64,
-    /// Abandoned rows whose results have not yet arrived (or been
-    /// recovered from a dead worker). Purely diagnostic; see
-    /// [`Self::abandoned`].
-    abandoned: usize,
-    /// Rows unpacked from swept chunks but not yet handed to the caller.
-    pending: VecDeque<RowOutcome>,
     /// Persistent kernel scratch for the host-side inline residual path
     /// (see [`INLINE_RESIDUAL_ROWS`]), so tiny batches reuse buffers
     /// exactly like a worker does.
@@ -755,10 +470,10 @@ pub struct DiffPipeline {
 impl std::fmt::Debug for DiffPipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DiffPipeline")
-            .field("workers", &self.handles.len())
-            .field("in_flight", &self.in_flight)
-            .field("abandoned", &self.abandoned)
-            .field("counters", &self.shared.counters())
+            .field("workers", &self.executor.workers())
+            .field("in_flight", &self.in_flight())
+            .field("abandoned", &self.abandoned())
+            .field("counters", &self.executor.counters())
             .finish()
     }
 }
@@ -782,78 +497,49 @@ impl DiffPipeline {
     /// Panics if `config.threads == 0`.
     #[must_use]
     pub fn with_config(config: DiffPipelineConfig) -> Self {
-        assert!(config.threads > 0, "need at least one thread");
-        let obs = config.observe.map(|cfg| Arc::new(Observer::new(cfg)));
-        let simd = config.simd.map_or_else(SimdLevel::default_level, |level| {
-            SimdLevel::resolve(Some(level))
-        });
-        let shared = Arc::new(Shared {
-            shards: (0..config.threads).map(|_| Shard::default()).collect(),
-            queued: AtomicUsize::new(0),
-            ready: AtomicUsize::new(0),
-            shutdown: AtomicBool::new(false),
-            work_bell: Mutex::new(()),
-            work_ready: Condvar::new(),
-            results_bell: Mutex::new(()),
-            results_ready: Condvar::new(),
-            retries: AtomicU64::new(0),
-            respawns: AtomicU64::new(0),
-            timeouts: AtomicU64::new(0),
-            steals: AtomicU64::new(0),
-            spare: Mutex::new(Vec::new()),
-            buffer_hits: AtomicU64::new(0),
+        let executor = DiffExecutorConfig {
+            threads: config.threads,
+            retry_limit: config.retry_limit,
+            shutdown_grace: config.shutdown_grace,
             kernel: config.kernel,
-            simd,
-            obs,
+            simd: config.simd,
+            chunk_target: config.chunk_target,
+            observe: config.observe,
             #[cfg(feature = "fault-injection")]
-            faults: config.fault_plan.clone(),
-        });
-        let mut pipeline = Self {
-            shared,
-            handles: Vec::new(),
+            fault_plan: config.fault_plan.clone(),
+        }
+        .build();
+        let streaming = executor.streaming_job();
+        let host_scratch = KernelScratch::with_simd(executor.simd_level());
+        Self {
+            executor,
+            streaming,
             config,
-            next_ticket: 0,
-            in_flight: 0,
-            submit_cursor: 0,
-            abandoned_below: 0,
-            abandoned: 0,
-            pending: VecDeque::new(),
-            host_scratch: KernelScratch::with_simd(simd),
+            host_scratch,
             sig_skip_rate: None,
             sig_mode: SigPrefilterMode::Off,
-        };
-        pipeline.handles = (0..pipeline.config.threads)
-            .map(|worker| pipeline.spawn_worker(worker))
-            .collect();
-        pipeline
-    }
-
-    fn spawn_worker(&self, worker: usize) -> JoinHandle<()> {
-        let shared = Arc::clone(&self.shared);
-        let retry_limit = self.config.retry_limit;
-        std::thread::spawn(move || worker_loop(&shared, worker, retry_limit))
+        }
     }
 
     /// Number of workers in the pool.
     #[must_use]
     pub fn workers(&self) -> usize {
-        self.handles.len()
+        self.executor.workers()
     }
 
     /// Rows submitted but not yet collected.
     #[must_use]
     pub fn in_flight(&self) -> usize {
-        self.in_flight
+        self.executor.in_flight()
     }
 
     /// Rows written off by an aborted batch whose results are still
-    /// outstanding — held by a wedged worker, or delivered but not yet
-    /// swept. Each one is discarded (and this count decremented) when its
-    /// stale result finally arrives or its dead worker is reaped, so a
-    /// healed pipeline drains back to 0.
+    /// outstanding — held by a wedged worker. Each one is discarded (and
+    /// this count decremented) when its stale result finally arrives or
+    /// its dead worker is reaped, so a healed pipeline drains back to 0.
     #[must_use]
     pub fn abandoned(&self) -> usize {
-        self.abandoned
+        self.executor.abandoned()
     }
 
     /// The ticket the *next* submitted row will receive. Batch front-ends
@@ -863,92 +549,56 @@ impl DiffPipeline {
     /// to map connection-level request ids onto pipeline tickets.
     #[must_use]
     pub fn next_ticket(&self) -> u64 {
-        self.next_ticket
+        self.executor.next_ticket()
     }
 
     /// A point-in-time load snapshot — the admission-control ("shed")
     /// hook. Complements the lock-free `queue_depth`/`in_flight` gauges on
     /// [`Self::observer`]: those can be read without holding the pipeline,
-    /// while this reads the collector-owned exact values.
+    /// while this reads the executor's exact values.
     #[must_use]
     pub fn load(&self) -> PipelineLoad {
-        PipelineLoad {
-            queued_chunks: self.shared.queued.load(Ordering::Relaxed),
-            ready_chunks: self.shared.ready.load(Ordering::Relaxed),
-            in_flight_rows: self.in_flight,
-            abandoned_rows: self.abandoned,
-        }
+        self.executor.load()
     }
 
     /// Lifetime supervision totals (see [`SupervisionCounters`]).
     #[must_use]
     pub fn supervision_counters(&self) -> SupervisionCounters {
-        self.shared.counters()
+        self.executor.counters()
     }
 
-    /// The pipeline's [`Observer`], if observability was enabled via
-    /// [`DiffPipelineConfig::observe`]. The `Arc` stays valid after the
-    /// pipeline is dropped, so snapshots can outlive the pool.
+    /// The pipeline's [`crate::obs::Observer`], if observability was
+    /// enabled via [`DiffPipelineConfig::observe`]. The `Arc` stays valid
+    /// after the pipeline is dropped, so snapshots can outlive the pool.
     #[must_use]
-    pub fn observer(&self) -> Option<Arc<Observer>> {
-        self.shared.obs.clone()
+    pub fn observer(&self) -> Option<Arc<crate::obs::Observer>> {
+        self.executor.observer()
     }
 
     /// The SIMD level the pool's kernels resolved to (after the env /
     /// config override and the hardware clamp).
     #[must_use]
     pub fn simd_level(&self) -> SimdLevel {
-        self.shared.simd
-    }
-
-    /// Mirrors `self.in_flight` into the metrics gauge. `in_flight` is
-    /// collector-owned state, so `set` under the single collector is
-    /// race-free.
-    fn sync_flight_gauge(&self) {
-        if let Some(obs) = &self.shared.obs {
-            obs.metrics.in_flight.set(self.in_flight as i64);
-        }
+        self.executor.simd_level()
     }
 
     /// Enqueues one row pair for differencing; returns the [`Ticket`] its
     /// [`RowOutcome`] will carry. Never blocks.
     pub fn submit(&mut self, a: RleRow, b: RleRow) -> Ticket {
-        let ticket = self.next_ticket;
-        self.next_ticket += 1;
-        let job = Job {
-            base: ticket,
-            lo: 0,
-            hi: 1,
-            attempts: 0,
-            source: RowsSource::Owned {
-                rows: Arc::from(vec![(a, b)]),
-                first: 0,
-            },
-        };
-        if let Some(obs) = &self.shared.obs {
-            obs.metrics.rows_submitted.inc();
-            obs.metrics.chunks_dispatched.inc();
-            obs.record(TraceKind::Submit { ticket });
-        }
-        let shard = self.submit_cursor % self.shared.shards.len();
-        self.submit_cursor = self.submit_cursor.wrapping_add(1);
-        self.shared.push_job(shard, job);
-        self.shared.notify_work_one();
-        self.in_flight += 1;
-        self.sync_flight_gauge();
-        Ticket(ticket)
+        self.streaming.submit_row(a, b)
     }
 
     /// Blocks for the next completed row, in completion (not submission)
     /// order. Returns `None` when nothing is in flight.
     ///
-    /// While blocked, the collector supervises the pool: dead workers are
-    /// respawned and the chunks they held recovered, so a crashed thread
-    /// delays rows rather than hanging the collector. Only a genuinely
-    /// wedged worker can block indefinitely — use [`Self::collect_timeout`]
-    /// to bound that.
+    /// While blocked, the executor's supervisor keeps watching the pool:
+    /// dead workers are respawned and the chunks they held recovered, so a
+    /// crashed thread delays rows rather than hanging the collector. Only
+    /// a genuinely wedged worker can block indefinitely — use
+    /// [`Self::collect_timeout`] to bound that.
     pub fn collect(&mut self) -> Option<RowOutcome> {
-        self.collect_inner(None)
+        self.streaming
+            .collect_next(None)
             .expect("collect without a deadline cannot time out")
     }
 
@@ -961,203 +611,17 @@ impl DiffPipeline {
         &mut self,
         timeout: Duration,
     ) -> Result<Option<RowOutcome>, SystolicError> {
-        self.collect_inner(Some(timeout))
-    }
-
-    fn collect_inner(
-        &mut self,
-        timeout: Option<Duration>,
-    ) -> Result<Option<RowOutcome>, SystolicError> {
-        if self.in_flight == 0 {
-            return Ok(None);
-        }
-        let start = Instant::now();
-        let deadline = timeout.map(|t| start + t);
-        loop {
-            self.sweep();
-            if let Some(outcome) = self.pending.pop_front() {
-                self.in_flight -= 1;
-                self.sync_flight_gauge();
-                return Ok(Some(outcome));
-            }
-            if let Some(d) = deadline {
-                if Instant::now() >= d {
-                    self.shared.timeouts.fetch_add(1, Ordering::Relaxed);
-                    if let Some(obs) = &self.shared.obs {
-                        obs.metrics.timeouts.inc();
-                        obs.record(TraceKind::Timeout {
-                            in_flight: self.in_flight as u64,
-                        });
-                    }
-                    return Err(SystolicError::DeadlineExceeded {
-                        waited: start.elapsed(),
-                        in_flight: self.in_flight,
-                    });
-                }
-            }
-            let wait = match deadline {
-                Some(d) => SUPERVISION_TICK.min(d.saturating_duration_since(Instant::now())),
-                None => SUPERVISION_TICK,
-            };
-            {
-                let bell = lock(&self.shared.results_bell);
-                if self.shared.ready.load(Ordering::Relaxed) == 0 {
-                    let _unused = self
-                        .shared
-                        .results_ready
-                        .wait_timeout(bell, wait)
-                        .unwrap_or_else(PoisonError::into_inner);
-                }
-            }
-            self.supervise();
-        }
-    }
-
-    /// Sweeps every shard's output buffer into `pending`. Returns whether
-    /// anything was absorbed.
-    fn sweep(&mut self) -> bool {
-        if self.shared.ready.load(Ordering::Relaxed) == 0 {
-            return false;
-        }
-        let mut any = false;
-        for shard in 0..self.shared.shards.len() {
-            let taken: Vec<ChunkDone> = {
-                let mut out = lock(&self.shared.shards[shard].out);
-                if out.is_empty() {
-                    Vec::new()
-                } else {
-                    self.shared.ready.fetch_sub(out.len(), Ordering::Relaxed);
-                    std::mem::take(&mut *out)
-                }
-            };
-            for done in taken {
-                any = true;
-                self.absorb_chunk(done);
-            }
-        }
-        any
-    }
-
-    /// Unpacks a chunk message into per-row outcomes and recycles its
-    /// vector back to the workers. Rows below the abandon watermark are
-    /// stale — their batch already failed — and are discarded here, never
-    /// delivered; a chunk is only recycled once its delivery moved it out
-    /// of the worker, so a wedged worker can never scribble on a pooled
-    /// buffer.
-    fn absorb_chunk(&mut self, mut done: ChunkDone) {
-        for row in done.results.drain(..) {
-            if row.ticket < self.abandoned_below {
-                self.abandoned = self.abandoned.saturating_sub(1);
-                // Only successfully diffed rows entered `rows_diffed`;
-                // booking errored rows as discarded would unbalance the
-                // `rows_diffed == rows_completed + rows_discarded` ledger.
-                if row.result.is_ok() {
-                    if let Some(obs) = &self.shared.obs {
-                        obs.metrics.rows_discarded.inc();
-                    }
-                }
-                continue;
-            }
-            if let Some(obs) = &self.shared.obs {
-                if row.result.is_ok() {
-                    obs.metrics.rows_completed.inc();
-                } else {
-                    obs.metrics.rows_errored.inc();
-                }
-            }
-            self.pending.push_back(RowOutcome {
-                ticket: Ticket(row.ticket),
-                worker: done.worker,
-                kernel: row.kernel,
-                result: row.result,
-            });
-        }
-        self.shared.return_spare(done.results);
-    }
-
-    /// Replaces dead worker threads and recovers the chunks they held.
-    ///
-    /// Workers only exit voluntarily once `shutdown` is set (which happens
-    /// in `Drop`, after which no collector runs), so any finished handle
-    /// seen here is a casualty: recover the chunk parked in its checkout
-    /// slot, join it to reap the thread, and spawn a replacement on the
-    /// same slot. The orphan is re-enqueued — or failed, past the retry
-    /// budget — unless its batch was already abandoned, in which case it is
-    /// simply written off.
-    fn supervise(&mut self) {
-        for worker in 0..self.handles.len() {
-            if !self.handles[worker].is_finished() {
-                continue;
-            }
-            // Take the orphan before the replacement starts so the new
-            // thread can never race us for the slot.
-            let orphan = lock(&self.shared.shards[worker].running).take();
-            let replacement = self.spawn_worker(worker);
-            let dead = std::mem::replace(&mut self.handles[worker], replacement);
-            let _ = dead.join();
-            self.shared.respawns.fetch_add(1, Ordering::Relaxed);
-            if let Some(obs) = &self.shared.obs {
-                obs.metrics.respawns.inc();
-                obs.record(TraceKind::Respawn {
-                    worker: worker as u32,
-                });
-            }
-            let Some(mut job) = orphan else {
-                continue;
-            };
-            if job.base < self.abandoned_below {
-                self.abandoned = self.abandoned.saturating_sub(job.len());
-                continue;
-            }
-            job.attempts += 1;
-            if job.attempts > self.config.retry_limit {
-                if let Some(obs) = &self.shared.obs {
-                    for i in job.lo..job.hi {
-                        obs.record(TraceKind::RowFailed {
-                            ticket: job.ticket_of(i),
-                            attempts: job.attempts,
-                        });
-                    }
-                }
-                let results = (job.lo..job.hi)
-                    .map(|i| RowResult {
-                        ticket: job.ticket_of(i),
-                        kernel: None,
-                        result: Err(SystolicError::RowFailed {
-                            row: job.ticket_of(i),
-                            attempts: job.attempts,
-                            cause: "worker thread died while processing the row".into(),
-                        }),
-                    })
-                    .collect();
-                self.absorb_chunk(ChunkDone { worker, results });
-            } else {
-                self.shared.retries.fetch_add(1, Ordering::Relaxed);
-                if let Some(obs) = &self.shared.obs {
-                    obs.metrics.retries.inc();
-                    obs.record(TraceKind::Retry {
-                        chunk: job.base,
-                        rows: job.len() as u32,
-                        attempt: job.attempts,
-                    });
-                }
-                self.shared.push_job(worker, job);
-                self.shared.notify_work_all();
-            }
-        }
+        self.streaming.collect_next(Some(Instant::now() + timeout))
     }
 
     /// Collects every in-flight outcome (blocking, with supervision) and
-    /// returns them, leaving the pipeline idle. Also reaps any stale
-    /// deliveries from previously abandoned batches that have arrived in
-    /// the meantime (see [`Self::abandoned`]).
+    /// returns them, leaving the pipeline idle.
     pub fn drain(&mut self) -> Vec<RowOutcome> {
         let mut out = Vec::new();
         while let Some(done) = self.collect() {
             out.push(done);
         }
-        self.sweep();
-        if let Some(obs) = &self.shared.obs {
+        if let Some(obs) = self.executor.obs() {
             obs.record(TraceKind::Drain {
                 collected: out.len() as u64,
             });
@@ -1165,53 +629,6 @@ impl DiffPipeline {
         out
     }
 
-    /// Abandons a failed batch. Queued-but-unstarted chunks are dropped;
-    /// already-delivered results are absorbed (so their metrics stay
-    /// consistent) and then discarded; rows still held by a (possibly
-    /// wedged) worker move from `in_flight` to `abandoned` behind the
-    /// ticket watermark, so the pipeline is immediately idle again and the
-    /// wedged worker's eventual output is discarded on arrival.
-    fn abandon_queued(&mut self) {
-        let mut dropped_rows = 0usize;
-        for shard in &self.shared.shards {
-            let mut queue = lock(&shard.queue);
-            let jobs = queue.len();
-            dropped_rows += queue.iter().map(Job::len).sum::<usize>();
-            queue.clear();
-            self.shared.queued.fetch_sub(jobs, Ordering::Relaxed);
-            if let Some(obs) = &self.shared.obs {
-                obs.metrics.queue_depth.sub(jobs as i64);
-            }
-        }
-        self.in_flight -= dropped_rows;
-        self.sweep();
-        self.in_flight -= self.pending.len();
-        self.pending.clear();
-        self.abandoned_below = self.next_ticket;
-        self.abandoned += self.in_flight;
-        // Ledger: dropped rows never ran and wedged rows will be discarded
-        // on arrival, so neither can ever reach `rows_completed` /
-        // `rows_errored`; booking them here closes
-        // `rows_submitted == rows_completed + rows_errored + rows_abandoned`.
-        // (Swept-but-undelivered pending rows were already absorbed as
-        // completed/errored above, so they are *not* re-counted.)
-        if let Some(obs) = &self.shared.obs {
-            obs.metrics
-                .rows_abandoned
-                .add((dropped_rows + self.in_flight) as u64);
-        }
-        self.in_flight = 0;
-        self.sync_flight_gauge();
-    }
-
-    /// Splits `[0, height)` into contiguous chunks whose summed row weight
-    /// (`k1 + k2 + 1`, so empty rows still make progress) reaches the
-    /// configured or derived target, and allocates one ticket per row.
-    ///
-    /// A *derived* plan (no explicit [`DiffPipelineConfig::chunk_target`])
-    /// is then split further until it holds at least one chunk per worker:
-    /// a single heavy row used to produce fewer chunks than threads and
-    /// idle the rest of the pool for the whole batch.
     /// Runs the signature prefilter over a batch's rows, if enabled.
     /// `None` means "plan every row" — either the prefilter is off, the
     /// kernel policy demands exact per-row statistics, the adaptive
@@ -1323,7 +740,7 @@ impl DiffPipeline {
             return Ok(());
         }
         for i in residual {
-            let row_start = self.shared.obs.as_ref().map(|_| Instant::now());
+            let row_start = self.executor.obs().map(|_| Instant::now());
             let (row, row_stats, choice) = kernel::diff_row(
                 self.config.kernel,
                 &mut self.host_scratch,
@@ -1335,7 +752,7 @@ impl DiffPipeline {
             // `rows_diffed`, keeping both documented ledger identities
             // closed: these rows were never submitted, so they must not
             // appear on the worker/collector side.
-            if let Some(obs) = &self.shared.obs {
+            if let Some(obs) = self.executor.obs() {
                 let latency_ns = row_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
                 obs.metrics.rows_inline_diffed.inc();
                 match choice {
@@ -1358,86 +775,39 @@ impl DiffPipeline {
     }
 
     /// Plans a batch's chunks over every row not already resolved by the
-    /// prefilter. Returns the jobs plus — when rows were excluded, so
-    /// tickets are no longer dense over `0..height` — the ticket-offset →
-    /// image-row mapping reassembly needs.
-    fn plan_chunks(
-        &mut self,
+    /// prefilter (see [`plan_ranges`]). Returns the chunk specs plus —
+    /// when rows were excluded, so tickets are no longer dense over
+    /// `0..height` — the ticket-offset → image-row mapping reassembly
+    /// needs.
+    fn plan_specs(
+        &self,
         a: &RleImage,
         b: &RleImage,
         resolved: Option<&[bool]>,
         make_source: impl Fn(usize, usize) -> RowsSource,
-    ) -> (Vec<Job>, Option<Vec<usize>>) {
-        let height = a.height();
-        let excluded = |i: usize| resolved.is_some_and(|r| r[i]);
-        let weight = |i: usize| a.rows()[i].run_count() + b.rows()[i].run_count() + 1;
-        let target = self.config.chunk_target.unwrap_or_else(|| {
-            let total: usize = (0..height).filter(|&i| !excluded(i)).map(weight).sum();
-            total / (self.handles.len() * CHUNKS_PER_WORKER).max(1)
+    ) -> (Vec<ChunkSpec>, Option<Vec<usize>>) {
+        let ranges = plan_ranges(
+            a,
+            b,
+            resolved,
+            self.config.chunk_target,
+            self.executor.workers(),
+        );
+        let ticket_rows = resolved.map(|_| {
+            ranges
+                .iter()
+                .flat_map(|&(lo, hi)| lo..hi)
+                .collect::<Vec<usize>>()
         });
-        let target = target.max(1);
-
-        let mut jobs = Vec::new();
-        let mut ticket_rows = resolved.map(|_| Vec::new());
-        let mut submitted = 0usize;
-        let mut lo = 0usize;
-        let mut acc = 0usize;
-        let emit = |pipeline_ticket: &mut u64, lo: usize, hi: usize, jobs: &mut Vec<Job>| {
-            let job = Job {
-                base: *pipeline_ticket,
+        let specs = ranges
+            .into_iter()
+            .map(|(lo, hi)| ChunkSpec {
                 lo,
                 hi,
-                attempts: 0,
                 source: make_source(lo, hi),
-            };
-            *pipeline_ticket += job.len() as u64;
-            jobs.push(job);
-        };
-        for i in 0..height {
-            if excluded(i) {
-                if lo < i {
-                    emit(&mut self.next_ticket, lo, i, &mut jobs);
-                    if let Some(tr) = &mut ticket_rows {
-                        tr.extend(lo..i);
-                    }
-                    submitted += i - lo;
-                }
-                lo = i + 1;
-                acc = 0;
-                continue;
-            }
-            acc += weight(i);
-            if acc >= target || i + 1 == height {
-                emit(&mut self.next_ticket, lo, i + 1, &mut jobs);
-                if let Some(tr) = &mut ticket_rows {
-                    tr.extend(lo..i + 1);
-                }
-                submitted += i + 1 - lo;
-                lo = i + 1;
-                acc = 0;
-            }
-        }
-        if self.config.chunk_target.is_none() {
-            let want = self.handles.len().min(submitted);
-            while jobs.len() < want {
-                let Some(idx) = jobs
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, job)| job.len() >= 2)
-                    .max_by_key(|(_, job)| job.len())
-                    .map(|(idx, _)| idx)
-                else {
-                    break;
-                };
-                let job = jobs.remove(idx);
-                let mid = job.lo + job.len() / 2;
-                let tail = job.slice(mid, job.hi);
-                let head = job.slice(job.lo, mid);
-                jobs.insert(idx, tail);
-                jobs.insert(idx, head);
-            }
-        }
-        (jobs, ticket_rows)
+            })
+            .collect();
+        (specs, ticket_rows)
     }
 
     /// Diffs two images row by row across the pool, reassembling the rows
@@ -1463,11 +833,11 @@ impl DiffPipeline {
         a: &RleImage,
         b: &RleImage,
     ) -> Result<(RleImage, PipelineStats), SystolicError> {
-        assert!(self.in_flight == 0, "diff_images needs an idle pipeline");
+        assert!(self.in_flight() == 0, "diff_images needs an idle pipeline");
         check_dims(a, b)?;
         let mut skip = self.prefilter(a, b);
         self.inline_residual(a, b, &mut skip)?;
-        let (jobs, ticket_rows) = self.plan_chunks(
+        let (specs, ticket_rows) = self.plan_specs(
             a,
             b,
             skip.as_ref().map(|s| s.resolved.as_slice()),
@@ -1487,7 +857,7 @@ impl DiffPipeline {
         self.run_batch(
             a.width(),
             a.height(),
-            jobs,
+            specs,
             ticket_rows,
             skip,
             clones_avoided,
@@ -1507,11 +877,11 @@ impl DiffPipeline {
         a: &Arc<RleImage>,
         b: &Arc<RleImage>,
     ) -> Result<(RleImage, PipelineStats), SystolicError> {
-        assert!(self.in_flight == 0, "diff_images needs an idle pipeline");
+        assert!(self.in_flight() == 0, "diff_images needs an idle pipeline");
         check_dims(a, b)?;
         let mut skip = self.prefilter(a, b);
         self.inline_residual(a, b, &mut skip)?;
-        let (jobs, ticket_rows) = self.plan_chunks(
+        let (specs, ticket_rows) = self.plan_specs(
             a,
             b,
             skip.as_ref().map(|s| s.resolved.as_slice()),
@@ -1524,7 +894,7 @@ impl DiffPipeline {
         self.run_batch(
             a.width(),
             a.height(),
-            jobs,
+            specs,
             ticket_rows,
             skip,
             clones_avoided,
@@ -1534,16 +904,16 @@ impl DiffPipeline {
 
     /// Zero-copy batch with a **per-call wall-clock budget**: the whole
     /// batch must complete within `budget`, with each collect waiting only
-    /// the remaining slice of it (mapped onto [`Self::collect_timeout`]).
-    /// On expiry the batch is abandoned behind the ticket watermark exactly
-    /// like a [`DiffPipelineConfig::row_deadline`] abort — the pipeline is
-    /// immediately idle and reusable, and the wedged rows surface in
-    /// [`Self::abandoned`] / the `rows_abandoned` counter.
+    /// the remaining slice of it. On expiry the batch's job is abandoned
+    /// exactly like a [`DiffPipelineConfig::row_deadline`] abort — the
+    /// pipeline is immediately idle and reusable, and the wedged rows
+    /// surface in [`Self::abandoned`] / the `rows_abandoned` counter.
     ///
     /// This is the per-request deadline hook for network front ends: one
     /// shared pipeline can serve callers with different deadlines without
     /// rebuilding, and a wedged row can never wedge a caller for longer
-    /// than its own budget.
+    /// than its own budget. (`diffd` itself now goes further and submits
+    /// sessions concurrently through [`DiffExecutor::diff_pair`].)
     ///
     /// # Panics
     ///
@@ -1554,11 +924,11 @@ impl DiffPipeline {
         b: &Arc<RleImage>,
         budget: Duration,
     ) -> Result<(RleImage, PipelineStats), SystolicError> {
-        assert!(self.in_flight == 0, "diff_images needs an idle pipeline");
+        assert!(self.in_flight() == 0, "diff_images needs an idle pipeline");
         check_dims(a, b)?;
         let mut skip = self.prefilter(a, b);
         self.inline_residual(a, b, &mut skip)?;
-        let (jobs, ticket_rows) = self.plan_chunks(
+        let (specs, ticket_rows) = self.plan_specs(
             a,
             b,
             skip.as_ref().map(|s| s.resolved.as_slice()),
@@ -1571,7 +941,7 @@ impl DiffPipeline {
         self.run_batch(
             a.width(),
             a.height(),
-            jobs,
+            specs,
             ticket_rows,
             skip,
             clones_avoided,
@@ -1579,32 +949,26 @@ impl DiffPipeline {
         )
     }
 
-    /// Common batch engine: deal the planned chunks across the shards,
-    /// collect every row, reassemble in ticket order and aggregate
-    /// statistics.
+    /// Common batch engine: submit the planned chunks as one job, collect
+    /// every row, reassemble in ticket order and aggregate statistics.
     #[allow(clippy::too_many_arguments)]
     fn run_batch(
         &mut self,
         width: u32,
         height: usize,
-        jobs: Vec<Job>,
+        specs: Vec<ChunkSpec>,
         ticket_rows: Option<Vec<usize>>,
         skip: Option<SkipPlan>,
         clones_avoided: u64,
         deadline: BatchDeadline,
     ) -> Result<(RleImage, PipelineStats), SystolicError> {
         let start = Instant::now();
-        let counters_before = self.shared.counters();
-        let hits_before = self.shared.buffer_hits.load(Ordering::Relaxed);
-        let steals_before = self.shared.steals.load(Ordering::Relaxed);
-        let base = jobs.first().map_or(self.next_ticket, |j| j.base);
         let resolved_rows = skip
             .as_ref()
             .map_or(0, |s| s.skipped.len() + s.collisions.len() + s.inline.len());
-        let submitted = height - resolved_rows;
         let mut stats = PipelineStats {
-            workers: self.handles.len(),
-            chunks: jobs.len(),
+            workers: self.executor.workers(),
+            chunks: specs.len(),
             row_clones_avoided: clones_avoided,
             sig_prefilter: self.sig_mode,
             ..Default::default()
@@ -1628,33 +992,16 @@ impl DiffPipeline {
                 }
             }
         }
-        if let Some(obs) = &self.shared.obs {
-            obs.metrics.batches.inc();
-            obs.metrics.rows_submitted.add(submitted as u64);
-            obs.metrics.chunks_dispatched.add(jobs.len() as u64);
+        if let Some(obs) = self.executor.obs() {
             if let Some(plan) = &skip {
                 obs.metrics.rows_sig_skipped.add(plan.skipped.len() as u64);
                 for &row in &plan.skipped {
                     obs.record(TraceKind::SigSkip { row: row as u64 });
                 }
             }
-            // Submit events precede the enqueue so every row's causal chain
-            // starts before any worker can check its chunk out.
-            for job in &jobs {
-                for i in job.lo..job.hi {
-                    obs.record(TraceKind::Submit {
-                        ticket: job.ticket_of(i),
-                    });
-                }
-            }
         }
-        let shards = self.shared.shards.len();
-        for (i, job) in jobs.into_iter().enumerate() {
-            self.shared.push_job(i % shards, job);
-        }
-        self.shared.notify_work_all();
-        self.in_flight += submitted;
-        self.sync_flight_gauge();
+        let handle = self.executor.submit_job(specs);
+        let base = handle.tickets().0;
 
         let mut rows: Vec<Option<RleRow>> = vec![None; height];
         if let Some(plan) = skip {
@@ -1668,26 +1015,20 @@ impl DiffPipeline {
                 rows[row] = Some(diff);
             }
         }
-        let mut seen = vec![false; self.handles.len()];
         let mut first_err: Option<SystolicError> = None;
         loop {
-            let collected = match deadline {
-                BatchDeadline::Config => match self.config.row_deadline {
-                    Some(per_collect) => self.collect_timeout(per_collect),
-                    None => Ok(self.collect()),
-                },
-                // A zero remainder still sweeps already-delivered results
-                // before timing out, so a budget that expires between
-                // collects never drops rows that made it back in time.
-                BatchDeadline::Total(at) => {
-                    self.collect_timeout(at.saturating_duration_since(Instant::now()))
-                }
+            // The per-collect deadline restarts each iteration (the old
+            // `collect_timeout` semantics); a total budget is a fixed
+            // instant.
+            let collect_deadline = match deadline {
+                BatchDeadline::Config => self.config.row_deadline.map(|t| Instant::now() + t),
+                BatchDeadline::Total(at) => Some(at),
             };
-            let done = match collected {
+            let done = match handle.collect_next(collect_deadline) {
                 Ok(Some(done)) => done,
                 Ok(None) => break,
                 Err(e) => {
-                    self.abandon_queued();
+                    handle.abandon();
                     return Err(e);
                 }
             };
@@ -1703,7 +1044,6 @@ impl DiffPipeline {
                         Some(KernelChoice::Systolic) => stats.rows_systolic_kernel += 1,
                         None => {}
                     }
-                    seen[done.worker] = true;
                     let offset = usize::try_from(done.ticket.id() - base).expect("ticket fits");
                     let idx = ticket_rows.as_ref().map_or(offset, |tr| tr[offset]);
                     rows[idx] = Some(row);
@@ -1716,254 +1056,17 @@ impl DiffPipeline {
         if let Some(e) = first_err {
             return Err(e);
         }
-        stats.effective_workers = seen.iter().filter(|s| **s).count();
+        // Supervision attribution comes from the job itself, so stats are
+        // exact even when other jobs interleave on the same executor (the
+        // old global-counter deltas misattributed those).
+        handle.fill_supervision(&mut stats);
         stats.wall = start.elapsed();
-        let counters = self.shared.counters();
-        stats.retries = counters.retries - counters_before.retries;
-        stats.respawns = counters.respawns - counters_before.respawns;
-        stats.timeouts = counters.timeouts - counters_before.timeouts;
-        stats.buffers_reused = self.shared.buffer_hits.load(Ordering::Relaxed) - hits_before;
-        stats.chunks_stolen = self.shared.steals.load(Ordering::Relaxed) - steals_before;
         let rows: Vec<RleRow> = rows
             .into_iter()
             .map(|r| r.expect("every row collected"))
             .collect();
         let image = RleImage::from_rows(width, rows).expect("row widths preserved");
         Ok((image, stats))
-    }
-}
-
-impl Drop for DiffPipeline {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
-        self.shared.notify_work_all();
-        // Join workers that exit within the grace period; detach the rest
-        // (e.g. a wedged worker mid-stall) so Drop can never deadlock. A
-        // detached worker sees the shutdown flag and exits as soon as it
-        // unwedges; the Arc keeps its shared state alive until then.
-        let deadline = Instant::now() + self.config.shutdown_grace;
-        for handle in self.handles.drain(..) {
-            while !handle.is_finished() && Instant::now() < deadline {
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            if handle.is_finished() {
-                let _ = handle.join();
-            }
-        }
-    }
-}
-
-/// A worker: pop chunks from its shard (stealing the tail of siblings'
-/// when its own runs dry) until shutdown, diffing each row through the
-/// configured kernel on persistent per-worker scratch.
-///
-/// Each chunk is parked in the shard's checkout slot before processing (so
-/// the supervisor can recover it if this thread dies) and every row runs
-/// under `catch_unwind` (so a panicking row costs its chunk one retry, not
-/// the worker).
-fn worker_loop(shared: &Arc<Shared>, worker: usize, retry_limit: u32) {
-    let mut scratch = KernelScratch::with_simd(shared.simd);
-    while let Some(job) = shared.next_job(worker) {
-        *lock(&shared.shards[worker].running) = Some(job.clone());
-        // Timestamps exist only under observation; the unobserved hot path
-        // takes no clock readings at all.
-        let chunk_start = shared.obs.as_ref().map(|obs| {
-            obs.record(TraceKind::Checkout {
-                chunk: job.base,
-                rows: job.len() as u32,
-                worker: worker as u32,
-                attempt: job.attempts,
-            });
-            Instant::now()
-        });
-
-        let mut out = shared.take_spare();
-        out.reserve(job.len());
-        // Index and panic message of the row that crashed this chunk, if
-        // any; rows before it are discarded and recomputed on retry so a
-        // chunk's results are all-or-nothing (keeps stats totals exact).
-        let mut crashed: Option<(usize, String)> = None;
-        for i in job.lo..job.hi {
-            let ticket = job.ticket_of(i);
-
-            #[cfg(feature = "fault-injection")]
-            let mut injected_panic = false;
-            #[cfg(feature = "fault-injection")]
-            if let Some(fault) = shared.faults.as_ref().and_then(|plan| plan.take(ticket)) {
-                match fault {
-                    Fault::Panic => injected_panic = true,
-                    Fault::Stall(duration) => std::thread::sleep(duration),
-                    // Exit with the chunk still parked in the checkout
-                    // slot: the supervisor must notice the dead thread and
-                    // recover the orphan. Injected death is cooperative, so
-                    // the rows already diffed into `out` can be booked as
-                    // discarded (a real crash can't do this;
-                    // `rows_discarded` is a lower bound there).
-                    Fault::Die => {
-                        if let Some(obs) = &shared.obs {
-                            obs.metrics.rows_discarded.add(out.len() as u64);
-                        }
-                        return;
-                    }
-                    Fault::PoisonLock => {
-                        let shared = Arc::clone(shared);
-                        let _ = catch_unwind(AssertUnwindSafe(move || {
-                            let _guard = lock(&shared.shards[worker].queue);
-                            panic!("injected fault: poisoning a shard queue lock");
-                        }));
-                    }
-                }
-            }
-
-            let (ra, rb) = job.row(i);
-            let row_start = shared.obs.as_ref().map(|_| Instant::now());
-            let attempt = catch_unwind(AssertUnwindSafe(|| {
-                #[cfg(feature = "fault-injection")]
-                if injected_panic {
-                    panic!("injected fault: panic on row {ticket}");
-                }
-                kernel::diff_row(shared.kernel, &mut scratch, ra, rb)
-            }));
-            match attempt {
-                // Kernel errors (e.g. a width mismatch) are per-row
-                // outcomes; the rest of the chunk proceeds.
-                Ok(result) => {
-                    if let Some(obs) = &shared.obs {
-                        match &result {
-                            Ok((_, stats, choice)) => {
-                                let latency_ns =
-                                    row_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
-                                let runs = (stats.k1 + stats.k2) as u64;
-                                obs.metrics.rows_diffed.inc();
-                                match choice {
-                                    KernelChoice::FastPath => obs.metrics.rows_fast_path.inc(),
-                                    KernelChoice::Rle => obs.metrics.rows_rle_kernel.inc(),
-                                    KernelChoice::Packed => obs.metrics.rows_packed_kernel.inc(),
-                                    KernelChoice::Systolic => {
-                                        obs.metrics.rows_systolic_kernel.inc();
-                                    }
-                                }
-                                obs.metrics.row_latency_ns.record(latency_ns);
-                                obs.metrics.row_runs.record(runs);
-                                obs.record(TraceKind::Kernel {
-                                    ticket,
-                                    worker: worker as u32,
-                                    choice: *choice,
-                                    runs,
-                                    latency_ns,
-                                });
-                            }
-                            Err(_) => {
-                                obs.metrics.rows_kernel_errors.inc();
-                                obs.record(TraceKind::RowError { ticket });
-                            }
-                        }
-                    }
-                    out.push(RowResult {
-                        ticket,
-                        kernel: result.as_ref().ok().map(|(_, _, choice)| *choice),
-                        result: result.map(|(row, stats, _)| (row, stats)),
-                    });
-                }
-                Err(payload) => {
-                    scratch.discard_poisoned();
-                    crashed = Some((i, panic_message(payload)));
-                    break;
-                }
-            }
-        }
-
-        match crashed {
-            None => {
-                *lock(&shared.shards[worker].running) = None;
-                if let Some(obs) = &shared.obs {
-                    let latency_ns = chunk_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
-                    obs.metrics.chunks_completed.inc();
-                    obs.metrics.chunk_latency_ns.record(latency_ns);
-                    obs.record(TraceKind::ChunkDone {
-                        chunk: job.base,
-                        rows: out.len() as u32,
-                        worker: worker as u32,
-                        latency_ns,
-                    });
-                }
-                shared.deliver(
-                    worker,
-                    ChunkDone {
-                        worker,
-                        results: out,
-                    },
-                );
-            }
-            Some((culprit, cause)) => {
-                // The partial results are all-or-nothing casualties: their
-                // rows were diffed (and counted) but will be diffed again.
-                if let Some(obs) = &shared.obs {
-                    obs.metrics.rows_discarded.add(out.len() as u64);
-                }
-                shared.return_spare(out);
-                *lock(&shared.shards[worker].running) = None;
-                let mut job = job;
-                job.attempts += 1;
-                if job.attempts > retry_limit {
-                    // Only the culprit row fails; its siblings go back to
-                    // the queue as sub-chunks that keep the attempt count.
-                    let ticket = job.ticket_of(culprit);
-                    if let Some(obs) = &shared.obs {
-                        obs.record(TraceKind::RowFailed {
-                            ticket,
-                            attempts: job.attempts,
-                        });
-                    }
-                    shared.deliver(
-                        worker,
-                        ChunkDone {
-                            worker,
-                            results: vec![RowResult {
-                                ticket,
-                                kernel: None,
-                                result: Err(SystolicError::RowFailed {
-                                    row: ticket,
-                                    attempts: job.attempts,
-                                    cause,
-                                }),
-                            }],
-                        },
-                    );
-                    if culprit > job.lo {
-                        shared.push_job(worker, job.slice(job.lo, culprit));
-                    }
-                    if culprit + 1 < job.hi {
-                        shared.push_job(worker, job.slice(culprit + 1, job.hi));
-                    }
-                    shared.notify_work_all();
-                } else {
-                    shared.retries.fetch_add(1, Ordering::Relaxed);
-                    if let Some(obs) = &shared.obs {
-                        obs.metrics.retries.inc();
-                        obs.record(TraceKind::Retry {
-                            chunk: job.base,
-                            rows: job.len() as u32,
-                            attempt: job.attempts,
-                        });
-                    }
-                    shared.push_job(worker, job);
-                    shared.notify_work_one();
-                }
-            }
-        }
-    }
-}
-
-/// Best-effort rendering of a caught panic payload, taking ownership so a
-/// `String` payload moves out instead of being copied.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    match payload.downcast::<String>() {
-        Ok(s) => *s,
-        Err(payload) => match payload.downcast::<&str>() {
-            Ok(s) => (*s).to_string(),
-            Err(_) => "worker panicked with a non-string payload".to_string(),
-        },
     }
 }
 

@@ -259,6 +259,15 @@ pub struct MetricsRegistry {
     pub timeouts: Counter,
     /// Batch front-end calls (`diff_images` / `diff_images_shared`).
     pub batches: Counter,
+    /// Ledgered jobs accepted by the executor (`submit_job` /
+    /// `submit_pair`; the streaming job is not ledgered). Quiescent
+    /// identity: `jobs_submitted == jobs_completed + jobs_abandoned`.
+    pub jobs_submitted: Counter,
+    /// Ledgered jobs whose every row was delivered.
+    pub jobs_completed: Counter,
+    /// Ledgered jobs written off by `JobHandle::abandon` before all rows
+    /// were delivered.
+    pub jobs_abandoned: Counter,
     /// Jobs currently sitting in the scheduler queue.
     pub queue_depth: Gauge,
     /// Rows submitted but not yet handed back to the caller.
@@ -298,6 +307,9 @@ impl MetricsRegistry {
             respawns: self.respawns.get(),
             timeouts: self.timeouts.get(),
             batches: self.batches.get(),
+            jobs_submitted: self.jobs_submitted.get(),
+            jobs_completed: self.jobs_completed.get(),
+            jobs_abandoned: self.jobs_abandoned.get(),
             queue_depth: self.queue_depth.get(),
             in_flight: self.in_flight.get(),
             row_latency_ns: self.row_latency_ns.snapshot(),
@@ -335,6 +347,9 @@ pub struct MetricsSnapshot {
     pub respawns: u64,
     pub timeouts: u64,
     pub batches: u64,
+    pub jobs_submitted: u64,
+    pub jobs_completed: u64,
+    pub jobs_abandoned: u64,
     pub queue_depth: i64,
     pub in_flight: i64,
     pub row_latency_ns: HistogramSnapshot,
@@ -357,7 +372,7 @@ impl MetricsSnapshot {
             + self.rows_systolic_kernel
     }
 
-    fn counters(&self) -> [(&'static str, u64); 20] {
+    fn counters(&self) -> [(&'static str, u64); 23] {
         [
             ("rows_submitted", self.rows_submitted),
             ("rows_completed", self.rows_completed),
@@ -379,6 +394,9 @@ impl MetricsSnapshot {
             ("respawns", self.respawns),
             ("timeouts", self.timeouts),
             ("batches", self.batches),
+            ("jobs_submitted", self.jobs_submitted),
+            ("jobs_completed", self.jobs_completed),
+            ("jobs_abandoned", self.jobs_abandoned),
         ]
     }
 

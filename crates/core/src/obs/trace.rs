@@ -107,6 +107,21 @@ pub enum TraceKind {
         /// The image row that was skipped.
         row: u64,
     },
+    /// A ledgered job entered the executor (its rows get the per-ticket
+    /// `Submit` events; this is the job-level envelope).
+    JobSubmit {
+        /// The job id.
+        job: u64,
+        /// Rows the job spans.
+        rows: u64,
+    },
+    /// A ledgered job delivered its last row.
+    JobDone {
+        /// The job id.
+        job: u64,
+        /// Rows the job spanned.
+        rows: u64,
+    },
 }
 
 impl TraceKind {
@@ -125,6 +140,8 @@ impl TraceKind {
             TraceKind::Timeout { .. } => "timeout",
             TraceKind::Drain { .. } => "drain",
             TraceKind::SigSkip { .. } => "sig_skip",
+            TraceKind::JobSubmit { .. } => "job_submit",
+            TraceKind::JobDone { .. } => "job_done",
         }
     }
 }
@@ -205,6 +222,9 @@ impl TraceEvent {
             TraceKind::Timeout { in_flight } => format!(", \"in_flight\": {in_flight}}}"),
             TraceKind::Drain { collected } => format!(", \"collected\": {collected}}}"),
             TraceKind::SigSkip { row } => format!(", \"row\": {row}}}"),
+            TraceKind::JobSubmit { job, rows } | TraceKind::JobDone { job, rows } => {
+                format!(", \"job\": {job}, \"rows\": {rows}}}")
+            }
         };
         head + &tail
     }
@@ -343,6 +363,8 @@ mod tests {
             TraceKind::Timeout { in_flight: 5 },
             TraceKind::Drain { collected: 12 },
             TraceKind::SigSkip { row: 7 },
+            TraceKind::JobSubmit { job: 2, rows: 64 },
+            TraceKind::JobDone { job: 2, rows: 64 },
         ];
         for (i, kind) in cases.into_iter().enumerate() {
             let event = TraceEvent {

@@ -57,14 +57,16 @@ pub struct ServerMetrics {
     pub bytes_read: Counter,
     /// Frame bytes written to clients.
     pub bytes_written: Counter,
-    /// Nanoseconds an admitted request waited for the shared pipeline
-    /// mutex before its diff could start. Splitting this out of the
-    /// request latency separates "the server is queueing" from "the diff
-    /// is slow" — the tail of this histogram is the pipeline-mutex
-    /// queueing delay under concurrent load.
+    /// Nanoseconds an admitted request's job waited between submission
+    /// and its first chunk checkout on the shared executor. Splitting
+    /// this out of the request latency separates "the server is
+    /// queueing" from "the diff is slow" — the tail of this histogram is
+    /// the executor's scheduling delay under concurrent load (what used
+    /// to be the pipeline-mutex wait before sessions submitted as
+    /// independent jobs).
     pub queue_wait_ns: Log2Histogram,
-    /// Nanoseconds spent inside the pipeline computing the diff (the
-    /// request latency minus parse, admission and queue wait).
+    /// Nanoseconds spent computing the diff (the request latency minus
+    /// parse, admission and queue wait).
     pub compute_ns: Log2Histogram,
 }
 

@@ -211,6 +211,15 @@ pub struct DiffReply {
     pub ticket_lo: u64,
     /// One past the last pipeline ticket of the batch.
     pub ticket_hi: u64,
+    /// Nanoseconds this request's job waited between submission and its
+    /// first chunk checkout — executor queueing, not compute. Per-request,
+    /// so load tools can split their latency percentiles without scraping
+    /// the server-wide histograms.
+    pub queue_wait_ns: u64,
+    /// Nanoseconds from admission to completion minus the queue wait: the
+    /// time the request spent actually being diffed (plus result
+    /// collection).
+    pub compute_ns: u64,
     /// The XOR difference image, RLE-encoded.
     pub image: RleImage,
 }
@@ -324,26 +333,31 @@ pub fn decode_diff_request(payload: &[u8]) -> Result<DiffRequest, ProtoError> {
 }
 
 /// Encodes a [`DiffReply`] payload:
-/// `request_id:u64le | ticket_lo:u64le | ticket_hi:u64le | image`.
+/// `request_id:u64le | ticket_lo:u64le | ticket_hi:u64le |
+/// queue_wait_ns:u64le | compute_ns:u64le | image`.
 #[must_use]
 pub fn encode_diff_reply(reply: &DiffReply) -> Vec<u8> {
     let img = serialize::encode_image(&reply.image);
-    let mut out = Vec::with_capacity(24 + img.len());
+    let mut out = Vec::with_capacity(40 + img.len());
     out.extend_from_slice(&reply.request_id.to_le_bytes());
     out.extend_from_slice(&reply.ticket_lo.to_le_bytes());
     out.extend_from_slice(&reply.ticket_hi.to_le_bytes());
+    out.extend_from_slice(&reply.queue_wait_ns.to_le_bytes());
+    out.extend_from_slice(&reply.compute_ns.to_le_bytes());
     out.extend_from_slice(&img);
     out
 }
 
 /// Decodes a [`DiffReply`] payload.
 pub fn decode_diff_reply(payload: &[u8]) -> Result<DiffReply, ProtoError> {
-    need(payload, 24)?;
+    need(payload, 40)?;
     Ok(DiffReply {
         request_id: u64le(&payload[0..8]),
         ticket_lo: u64le(&payload[8..16]),
         ticket_hi: u64le(&payload[16..24]),
-        image: serialize::decode_image(&payload[24..])?,
+        queue_wait_ns: u64le(&payload[24..32]),
+        compute_ns: u64le(&payload[32..40]),
+        image: serialize::decode_image(&payload[40..])?,
     })
 }
 
@@ -470,6 +484,8 @@ mod tests {
             request_id: 9,
             ticket_lo: 40,
             ticket_hi: 42,
+            queue_wait_ns: 12_345,
+            compute_ns: 678_900,
             image: image(),
         };
         let payload = encode_diff_reply(&reply);

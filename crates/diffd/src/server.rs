@@ -1,15 +1,20 @@
 //! The `diffd` server: many connections multiplexed onto one shared
-//! [`DiffPipeline`], designed around failure first.
+//! [`DiffExecutor`], designed around failure first.
 //!
-//! * **Admission control** — before a request touches the pipeline it must
-//!   pass the shed policy, driven by the pipeline's `queue_depth` /
+//! * **Concurrent sessions, no pipeline mutex** — every session submits
+//!   its request directly as an executor *job* via
+//!   [`DiffExecutor::diff_pair`]; jobs from different sessions interleave
+//!   on the shared worker shards under the executor's round-robin policy,
+//!   so one huge request can no longer serialize the rest behind a lock.
+//! * **Admission control** — before a request touches the executor it must
+//!   pass the shed policy, driven by the executor's `queue_depth` /
 //!   `in_flight` gauges plus a server-side concurrent-request bound;
 //!   everything over the line gets a typed `Overloaded` response instead
 //!   of a place in an unbounded queue.
 //! * **Deadlines** — each request carries (or inherits) a wall-clock
-//!   budget, mapped onto [`DiffPipeline::diff_images_deadline`] /
-//!   `collect_timeout`; on expiry the batch is abandoned behind the
-//!   ticket watermark, so a wedged row can never wedge a connection.
+//!   budget, mapped onto the job's collect deadline; on expiry the job is
+//!   abandoned (other sessions' jobs unaffected), so a wedged row can
+//!   never wedge a connection.
 //! * **Slowloris defence** — a connection may idle between frames for at
 //!   most `idle_timeout`, and once a frame has started it must complete
 //!   within `frame_timeout`; reads poll in `poll_interval` slices so the
@@ -22,12 +27,12 @@
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError, TryLockError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use systolic_core::obs::Observer;
-use systolic_core::{DiffPipeline, DiffPipelineConfig, Kernel, SystolicError};
+use systolic_core::{DiffExecutor, DiffExecutorConfig, Kernel, SystolicError};
 
 #[cfg(feature = "fault-injection")]
 use systolic_core::FaultPlan;
@@ -38,25 +43,19 @@ use crate::proto::{
     FrameKind, DEFAULT_MAX_FRAME_LEN, FRAME_HEADER_LEN, PREALLOC_CAP,
 };
 
-/// Poison-tolerant lock (same policy as the pipeline: a panicking holder
-/// must not wedge the server).
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
 /// Everything tunable about a [`DiffServer`]. `Default` is production-ish;
 /// tests shrink the timeouts to milliseconds.
 #[derive(Clone, Debug)]
 pub struct DiffServerConfig {
-    /// Worker threads in the shared pipeline.
+    /// Worker threads in the shared executor.
     pub threads: usize,
     /// Ceiling on a frame's declared payload length.
     pub max_frame_len: u32,
-    /// Shed when admitting a request would push the pipeline's
+    /// Shed when admitting a request would push the executor's
     /// `in_flight` gauge past this many rows.
     pub max_pending_rows: usize,
     /// Shed when more than this many requests are admitted but unanswered
-    /// (they queue briefly on the pipeline mutex; this bounds that queue).
+    /// (each holds an executor job; this bounds that concurrency).
     pub max_concurrent_requests: usize,
     /// Refuse connections beyond this many concurrent sessions.
     pub max_connections: usize,
@@ -72,12 +71,12 @@ pub struct DiffServerConfig {
     pub poll_interval: Duration,
     /// How long drain waits for sessions before detaching them.
     pub shutdown_grace: Duration,
-    /// Kernel policy for the shared pipeline.
+    /// Kernel policy for the shared executor.
     pub kernel: Kernel,
-    /// Chunk-target override for the shared pipeline.
+    /// Chunk-target override for the shared executor.
     pub chunk_target: Option<usize>,
     #[cfg(feature = "fault-injection")]
-    /// Deterministic fault plan installed into the pipeline (chaos drills).
+    /// Deterministic fault plan installed into the executor (chaos drills).
     pub fault_plan: Option<FaultPlan>,
 }
 
@@ -117,7 +116,7 @@ pub struct DrainReport {
 struct ServerShared {
     addr: SocketAddr,
     cfg: DiffServerConfig,
-    pipeline: Mutex<DiffPipeline>,
+    executor: DiffExecutor,
     observer: Arc<Observer>,
     metrics: ServerMetrics,
     shutdown: AtomicBool,
@@ -126,7 +125,7 @@ struct ServerShared {
 }
 
 impl ServerShared {
-    /// The full `/metrics` body: pipeline exposition plus server counters.
+    /// The full `/metrics` body: executor exposition plus server counters.
     fn prometheus(&self) -> String {
         let mut text = self.observer.metrics_snapshot().to_prometheus();
         text.push_str(&self.metrics.to_prometheus());
@@ -158,30 +157,29 @@ pub struct ServerHandle {
 
 impl DiffServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"`) and spins up the shared
-    /// pipeline. The pipeline always runs observed — admission control
+    /// executor. The executor always runs observed — admission control
     /// reads its gauges and `/metrics` serves its exposition.
     pub fn bind(addr: impl ToSocketAddrs, cfg: DiffServerConfig) -> std::io::Result<Self> {
-        assert!(cfg.threads > 0, "need at least one pipeline worker");
+        assert!(cfg.threads > 0, "need at least one executor worker");
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let mut pipe_cfg = DiffPipelineConfig::new(cfg.threads)
-            .kernel(cfg.kernel)
-            .observe();
-        if let Some(target) = cfg.chunk_target {
-            pipe_cfg = pipe_cfg.chunk_target(target);
+        let executor = DiffExecutorConfig {
+            threads: cfg.threads,
+            kernel: cfg.kernel,
+            chunk_target: cfg.chunk_target,
+            observe: Some(systolic_core::ObsConfig::default()),
+            #[cfg(feature = "fault-injection")]
+            fault_plan: cfg.fault_plan.clone(),
+            ..DiffExecutorConfig::default()
         }
-        #[cfg(feature = "fault-injection")]
-        if let Some(plan) = cfg.fault_plan.clone() {
-            pipe_cfg = pipe_cfg.fault_plan(plan);
-        }
-        let pipeline = pipe_cfg.build();
-        let observer = pipeline.observer().expect("pipeline built with observe()");
+        .build();
+        let observer = executor.observer().expect("executor built observed");
         Ok(Self {
             listener,
             shared: Arc::new(ServerShared {
                 addr: local,
                 cfg,
-                pipeline: Mutex::new(pipeline),
+                executor,
                 observer,
                 metrics: ServerMetrics::default(),
                 shutdown: AtomicBool::new(false),
@@ -313,24 +311,24 @@ impl ServerHandle {
         &self.shared.metrics
     }
 
-    /// The shared pipeline's observer (ledger assertions in tests).
+    /// The shared executor's observer (ledger assertions in tests).
     #[must_use]
     pub fn observer(&self) -> Arc<Observer> {
         Arc::clone(&self.shared.observer)
     }
 
-    /// Rows currently in flight inside the shared pipeline (0 on an idle,
+    /// Rows currently in flight inside the shared executor (0 on an idle,
     /// healthy server — the no-leaked-tickets check).
     #[must_use]
     pub fn pipeline_in_flight(&self) -> usize {
-        lock(&self.shared.pipeline).in_flight()
+        self.shared.executor.in_flight()
     }
 
-    /// Abandoned-row level inside the shared pipeline (drains back to 0
+    /// Abandoned-row level inside the shared executor (drains back to 0
     /// once wedged workers heal).
     #[must_use]
     pub fn pipeline_abandoned(&self) -> usize {
-        lock(&self.shared.pipeline).abandoned()
+        self.shared.executor.abandoned()
     }
 }
 
@@ -522,9 +520,9 @@ impl Session {
             return self.send_error(id, ErrorCode::ShuttingDown, "server draining");
         }
 
-        // Admission control: the pipeline gauges are lock-free reads, so a
-        // wedged batch (which holds the pipeline mutex for at most its own
-        // deadline) can never stall the shed decision.
+        // Admission control: the executor gauges are lock-free reads, so a
+        // wedged job (bounded by its own deadline) can never stall the
+        // shed decision.
         let gauges = &shared.observer.metrics;
         let rows_in_flight = usize::try_from(gauges.in_flight.get().max(0)).unwrap_or(0);
         let queued_chunks = usize::try_from(gauges.queue_depth.get().max(0)).unwrap_or(0);
@@ -549,72 +547,48 @@ impl Session {
                 id,
                 ErrorCode::Overloaded,
                 &format!(
-                    "pipeline carrying {rows_in_flight} rows / {queued_chunks} queued chunks; \
+                    "executor carrying {rows_in_flight} rows / {queued_chunks} queued chunks; \
                      admitting {height} more would exceed {}",
                     cfg.max_pending_rows
                 ),
             );
         }
 
-        // Deadline: clamp the ask, then spend it on (a) the pipeline mutex
-        // and (b) the batch itself.
+        // Deadline: clamp the ask; the whole job must finish inside it.
         let budget = if req.deadline_ms == 0 {
             cfg.default_deadline
         } else {
             Duration::from_millis(u64::from(req.deadline_ms)).min(cfg.max_deadline)
         };
-        let deadline_at = Instant::now() + budget;
 
         let a = Arc::new(req.a);
         let b = Arc::new(req.b);
-        let outcome = {
-            // Split the request latency at the pipeline mutex: time spent
-            // polling here is queueing behind other requests' batches
-            // (diffd_queue_wait_ns), time inside the batch is compute
-            // (diffd_compute_ns). The split is what distinguishes "add
-            // capacity / shard the pipeline" from "the diff itself is
-            // slow" when the p99 climbs.
-            let wait_started = Instant::now();
-            let pipeline = loop {
-                match shared.pipeline.try_lock() {
-                    Ok(p) => break Some(p),
-                    Err(TryLockError::Poisoned(p)) => break Some(p.into_inner()),
-                    Err(TryLockError::WouldBlock) => {
-                        if Instant::now() >= deadline_at {
-                            break None;
-                        }
-                        std::thread::sleep(Duration::from_millis(1));
-                    }
-                }
-            };
-            let wait_ns = u64::try_from(wait_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            m.queue_wait_ns.record(wait_ns);
-            match pipeline {
-                None => Err(SystolicError::DeadlineExceeded {
-                    waited: budget,
-                    in_flight: 0,
-                }),
-                Some(mut pipeline) => {
-                    let remaining = deadline_at.saturating_duration_since(Instant::now());
-                    let lo = pipeline.next_ticket();
-                    let compute_started = Instant::now();
-                    let result = pipeline.diff_images_deadline(&a, &b, remaining);
-                    m.compute_ns.record(
-                        u64::try_from(compute_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                    );
-                    result.map(|(image, _stats)| (lo, pipeline.next_ticket(), image))
-                }
-            }
-        };
+        // The session submits straight into the shared executor — no
+        // pipeline mutex. The request latency splits at the job's first
+        // chunk checkout: submission → checkout is executor queueing
+        // (diffd_queue_wait_ns), the rest is compute (diffd_compute_ns).
+        // The split is what distinguishes "add capacity" from "the diff
+        // itself is slow" when the p99 climbs.
+        let total_started = Instant::now();
+        let outcome = shared.executor.diff_pair(&a, &b, Some(budget));
+        let total_ns = u64::try_from(total_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
 
         match outcome {
-            Ok((ticket_lo, ticket_hi, image)) => {
+            Ok(job) => {
+                let queue_wait_ns = u64::try_from(job.queue_wait.as_nanos())
+                    .unwrap_or(u64::MAX)
+                    .min(total_ns);
+                let compute_ns = total_ns - queue_wait_ns;
+                m.queue_wait_ns.record(queue_wait_ns);
+                m.compute_ns.record(compute_ns);
                 m.responses_ok.inc();
                 let reply = DiffReply {
                     request_id: id,
-                    ticket_lo,
-                    ticket_hi,
-                    image,
+                    ticket_lo: job.tickets.0,
+                    ticket_hi: job.tickets.1,
+                    queue_wait_ns,
+                    compute_ns,
+                    image: job.image,
                 };
                 self.send_frame(FrameKind::DiffOk, &proto::encode_diff_reply(&reply))
             }

@@ -242,14 +242,15 @@ fn retrying_client_converges_after_a_shed() {
         let reply = client.diff(&a, &b, 30_000).unwrap();
         assert_eq!(reply.image, expected);
     });
-    // Wait until the blocker holds the slot: its queue-wait sample is
-    // recorded right after it takes the pipeline, before compute starts.
+    // Wait until the blocker holds the slot: its request is counted on
+    // entry, immediately before it claims the one admission slot (the
+    // latency split itself is recorded only when its job completes).
     let m = handle.server_metrics();
     let armed = std::time::Instant::now();
-    while m.queue_wait_ns.count() == 0 && armed.elapsed() < Duration::from_secs(20) {
+    while m.requests.get() == 0 && armed.elapsed() < Duration::from_secs(20) {
         std::thread::sleep(Duration::from_millis(1));
     }
-    assert_eq!(m.queue_wait_ns.count(), 1, "blocker never reached compute");
+    assert_eq!(m.requests.get(), 1, "blocker never arrived");
 
     // The retrying client: its first attempt lands while the slot is
     // held (a guaranteed shed), then backoff-and-retry until the blocker

@@ -18,12 +18,17 @@
 //! * retry/respawn/timeout counters equal both the matching trace-event
 //!   counts and [`SupervisionCounters`];
 //! * per row, the trace is causally ordered:
-//!   `Submit < Checkout < Kernel < ChunkDone` by sequence number.
+//!   `Submit < Checkout < Kernel < ChunkDone` by sequence number;
+//! * `jobs_submitted == jobs_completed + jobs_abandoned` — the job-level
+//!   ledger the multi-image executor adds on top of the row ledger.
 //!
 //! Plus the PR's satellite audits: the paper's §5 Observation re-checked
 //! through the observed pipeline (per-row `iterations ≤ k3 + 1`), the
 //! `PipelineStats` kernel-accounting identity across kernels × threads ×
-//! uneven heights, and a deterministic multi-submitter stress drill.
+//! uneven heights, a deterministic multi-submitter stress drill, and the
+//! job-granular audit: per-job `PipelineStats` identities close for every
+//! job on a shared [`DiffExecutor`] *and* their sums reconcile with the
+//! one shared metrics registry.
 
 mod common;
 
@@ -33,7 +38,8 @@ use rle_systolic::rle::RleImage;
 use rle_systolic::systolic_core::image::xor_image;
 use rle_systolic::systolic_core::obs::ObsConfig;
 use rle_systolic::systolic_core::{
-    DiffPipelineConfig, Kernel, MetricsSnapshot, TraceEvent, TraceKind,
+    DiffExecutor, DiffExecutorConfig, DiffPipelineConfig, Kernel, MetricsSnapshot, PipelineStats,
+    TraceEvent, TraceKind,
 };
 use rle_systolic::workload::{errors, ErrorModel, GenParams, RowGenerator};
 use std::sync::{Arc, Mutex};
@@ -87,6 +93,11 @@ fn assert_ledger_closed(s: &MetricsSnapshot) {
         s.rows_submitted,
         s.rows_completed + s.rows_errored + s.rows_abandoned,
         "every accepted row is delivered, errored, or written off by an abort"
+    );
+    assert_eq!(
+        s.jobs_submitted,
+        s.jobs_completed + s.jobs_abandoned,
+        "every ledgered job either completes or is abandoned, exactly once"
     );
     assert_eq!(s.queue_depth, 0, "quiescent: empty queue");
     assert_eq!(s.in_flight, 0, "quiescent: nothing in flight");
@@ -504,6 +515,135 @@ fn shared_pipeline_stress_from_four_submitters() {
 }
 
 // ---------------------------------------------------------------------------
+// Satellite: the job-level ledger on the shared multi-image executor.
+// Per-job PipelineStats identities must close for every job, and their
+// sums must reconcile with the one shared metrics registry — exact
+// attribution under arbitrary interleaving, not merely eventual totals.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn executor_job_ledger_closes_per_job_and_in_aggregate() {
+    let executor: Arc<DiffExecutor> = Arc::new(
+        DiffExecutorConfig {
+            threads: 3,
+            observe: Some(ObsConfig::default()),
+            ..DiffExecutorConfig::default()
+        }
+        .build(),
+    );
+    let obs = executor.observer().expect("executor built observed");
+
+    // 4 submitters × 3 jobs each, uneven heights so the chunk plans and
+    // interleavings differ between jobs sharing the shards.
+    let per_job: Mutex<Vec<PipelineStats>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for submitter in 0u64..4 {
+            let executor = Arc::clone(&executor);
+            let per_job = &per_job;
+            scope.spawn(move || {
+                for round in 0u64..3 {
+                    let seed = 0x10B5 + submitter * 64 + round;
+                    let height = 5 + 7 * submitter as usize + round as usize;
+                    let (a, b) = image_pair(448, height, seed);
+                    let expected = xor_image(&a, &b).unwrap().0;
+                    let (a, b) = (Arc::new(a), Arc::new(b));
+                    let job = executor.diff_pair(&a, &b, None).unwrap();
+                    assert_eq!(
+                        job.image, expected,
+                        "submitter {submitter} round {round}: bit-identity"
+                    );
+                    // Per-job identities: the stats describe exactly this
+                    // job's rows, no more, no less.
+                    assert_eq!(job.stats.rows, height);
+                    assert_eq!(
+                        job.stats.rows_fast_path
+                            + job.stats.rows_rle_kernel
+                            + job.stats.rows_packed_kernel
+                            + job.stats.rows_systolic_kernel,
+                        height,
+                        "submitter {submitter} round {round}: per-job kernel partition"
+                    );
+                    assert_eq!(
+                        job.tickets.1 - job.tickets.0,
+                        height as u64,
+                        "ticket range covers exactly the job's rows"
+                    );
+                    per_job.lock().unwrap().push(job.stats);
+                }
+            });
+        }
+    });
+
+    let per_job = per_job.into_inner().unwrap();
+    assert_eq!(per_job.len(), 12);
+    let sum = |f: fn(&PipelineStats) -> u64| per_job.iter().map(f).sum::<u64>();
+    let total_rows = sum(|s| s.rows as u64);
+
+    let s = obs.metrics_snapshot();
+    assert_ledger_closed(&s);
+    assert_eq!(s.jobs_submitted, 12);
+    assert_eq!(s.jobs_completed, 12);
+    assert_eq!(s.jobs_abandoned, 0);
+    assert_eq!(s.rows_submitted, total_rows);
+    assert_eq!(s.rows_completed, total_rows);
+    // Summed per-job kernel counters equal the registry's global
+    // partition: every worker-side increment was attributed to exactly
+    // one job.
+    assert_eq!(s.rows_fast_path, sum(|j| j.rows_fast_path as u64));
+    assert_eq!(s.rows_rle_kernel, sum(|j| j.rows_rle_kernel as u64));
+    assert_eq!(s.rows_packed_kernel, sum(|j| j.rows_packed_kernel as u64));
+    assert_eq!(
+        s.rows_systolic_kernel,
+        sum(|j| j.rows_systolic_kernel as u64)
+    );
+    // Same for the supervision and scheduler counters.
+    assert_eq!(s.retries, sum(|j| j.retries));
+    assert_eq!(s.respawns, sum(|j| j.respawns));
+    assert_eq!(s.timeouts, sum(|j| j.timeouts));
+    assert_eq!(s.chunks_stolen, sum(|j| j.chunks_stolen));
+    assert_eq!(s.chunks_dispatched, sum(|j| j.chunks as u64));
+    assert_eq!(s.chunks_completed, s.chunks_dispatched);
+
+    // Trace: one JobSubmit and one JobDone per job, causally ordered and
+    // carrying the same row count.
+    let events = obs.trace_snapshot();
+    let submits: Vec<(u64, u64, u64)> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceKind::JobSubmit { job, rows } => Some((job, rows, e.seq)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(submits.len(), 12);
+    for (job, rows, submit_seq) in submits {
+        let done = events
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::JobDone { job: j, .. } if j == job))
+            .unwrap_or_else(|| panic!("job {job}: no JobDone event"));
+        let TraceKind::JobDone {
+            rows: done_rows, ..
+        } = done.kind
+        else {
+            unreachable!("matched above");
+        };
+        assert_eq!(done_rows, rows, "job {job}: JobDone row count");
+        assert!(submit_seq < done.seq, "job {job}: submit precedes done");
+    }
+
+    // Exposition carries the job ledger.
+    let prom = s.to_prometheus();
+    assert!(
+        prom.contains("diffpipeline_jobs_submitted_total 12"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("diffpipeline_jobs_completed_total 12"),
+        "{prom}"
+    );
+    assert!(s.to_json().contains("\"jobs_completed\": 12"));
+}
+
+// ---------------------------------------------------------------------------
 // Fault-injected audits: trace and metrics reconcile with
 // SupervisionCounters under panics, deaths and stalls.
 // ---------------------------------------------------------------------------
@@ -773,5 +913,107 @@ mod faults {
         );
         // Only the systolic kernel ran.
         assert_eq!(s.rows_systolic_kernel, s.rows_diffed);
+    }
+
+    /// Two jobs on one shared executor, a panic planned inside the second
+    /// job's ticket range: the retry lands on the faulted job's stats
+    /// only, the shared registry agrees with the per-job sums, and the
+    /// job ledger closes.
+    #[test]
+    fn job_ledger_attributes_faults_to_the_owning_job() {
+        quiet_injected_panics();
+        let executor = DiffExecutorConfig {
+            threads: 2,
+            // Job 1 takes tickets 0..8, job 2 takes 8..16; row 11 is
+            // inside job 2.
+            fault_plan: Some(FaultPlan::new().panic_on_row(11)),
+            observe: Some(ObsConfig::default()),
+            ..DiffExecutorConfig::default()
+        }
+        .build();
+        let obs = executor.observer().unwrap();
+
+        let (a1, b1) = image_pair(512, 8, 0x0A11);
+        let (a2, b2) = image_pair(512, 8, 0x0A22);
+        let clean = executor
+            .diff_pair(&Arc::new(a1.clone()), &Arc::new(b1.clone()), None)
+            .unwrap();
+        let faulted = executor
+            .diff_pair(&Arc::new(a2.clone()), &Arc::new(b2.clone()), None)
+            .unwrap();
+        assert_eq!(clean.image, xor_image(&a1, &b1).unwrap().0);
+        assert_eq!(faulted.image, xor_image(&a2, &b2).unwrap().0);
+        assert_eq!(clean.tickets, (0, 8));
+        assert_eq!(faulted.tickets, (8, 16));
+
+        assert_eq!(clean.stats.retries, 0, "the clean job saw no fault");
+        assert_eq!(faulted.stats.retries, 1, "the panic charged its owner");
+        let s = obs.metrics_snapshot();
+        assert_ledger_closed(&s);
+        assert_eq!(s.retries, clean.stats.retries + faulted.stats.retries);
+        assert_eq!(
+            (s.jobs_submitted, s.jobs_completed, s.jobs_abandoned),
+            (2, 2, 0)
+        );
+        // The crashed chunk's discarded rows belong to the ledger too.
+        assert_eq!(s.rows_diffed, 16 + s.rows_discarded);
+    }
+
+    /// An abandoned job books `jobs_abandoned` exactly once, a neighbour
+    /// job sharing the executor completes bit-identically meanwhile, and
+    /// once the stalled worker heals the full ledger re-closes.
+    #[test]
+    fn abandoned_job_ledger_closes_and_neighbour_is_unaffected() {
+        quiet_injected_panics();
+        let stall = Duration::from_millis(400);
+        let executor = DiffExecutorConfig {
+            threads: 2,
+            fault_plan: Some(FaultPlan::new().stall_on_row(0, stall)),
+            observe: Some(ObsConfig::default()),
+            ..DiffExecutorConfig::default()
+        }
+        .build();
+        let obs = executor.observer().unwrap();
+
+        let (a1, b1) = image_pair(512, 6, 0xABA1);
+        let err = executor
+            .diff_pair(
+                &Arc::new(a1.clone()),
+                &Arc::new(b1.clone()),
+                Some(Duration::from_millis(40)),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            rle_systolic::systolic_core::SystolicError::DeadlineExceeded { .. }
+        ));
+
+        // The neighbour rides the surviving worker while the first job's
+        // stalled chunk is still wedged.
+        let (a2, b2) = image_pair(512, 6, 0xABA2);
+        let job = executor
+            .diff_pair(&Arc::new(a2.clone()), &Arc::new(b2.clone()), None)
+            .unwrap();
+        assert_eq!(job.image, xor_image(&a2, &b2).unwrap().0);
+
+        // Wait out the stall: the stale delivery is discarded on arrival
+        // and the abandoned level drains back to zero.
+        let healed_by = std::time::Instant::now() + stall * 10;
+        while executor.abandoned() > 0 && std::time::Instant::now() < healed_by {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(executor.abandoned(), 0, "healed pool drains the level");
+        assert_eq!(executor.in_flight(), 0);
+
+        let s = obs.metrics_snapshot();
+        assert_ledger_closed(&s);
+        assert_eq!(
+            (s.jobs_submitted, s.jobs_completed, s.jobs_abandoned),
+            (2, 1, 1)
+        );
+        assert!(s.rows_abandoned >= 1, "{s:?}");
+        assert!(s
+            .to_prometheus()
+            .contains("diffpipeline_jobs_abandoned_total 1"));
     }
 }

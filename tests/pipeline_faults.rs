@@ -5,14 +5,23 @@
 //! that matters: after recovery, `diff_images` is **bit-identical** to the
 //! sequential reference `xor_image`, and the intervention is visible in
 //! [`PipelineStats`] / [`SupervisionCounters`].
+//!
+//! The second half re-runs the matrix at **job granularity** on the shared
+//! multi-image executor: several jobs in flight on one shard set while a
+//! worker panics, dies, or poisons a lock mid-stream. The bar gains a
+//! clause — recovery must also be *isolated*: every collected ticket stays
+//! inside its owning job's range, the intervention is charged to the job
+//! that owned the crashed chunk, and bystander jobs finish untouched.
 #![cfg(feature = "fault-injection")]
 
-use rle_systolic::rle::RleImage;
+use rle_systolic::rle::{RleImage, RleRow};
 use rle_systolic::systolic_core::image::xor_image;
 use rle_systolic::systolic_core::{
-    DiffPipelineConfig, FaultPlan, Kernel, SupervisionCounters, SystolicError,
+    DiffExecutorConfig, DiffPipelineConfig, FaultPlan, JobHandle, Kernel, SupervisionCounters,
+    SystolicError,
 };
 use rle_systolic::workload::{errors, ErrorModel, GenParams, RowGenerator};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Silence the default panic hook for the *injected* panics these drills
@@ -285,4 +294,155 @@ fn combined_faults_in_one_batch_all_recover() {
     // re-run whole chunks but only the successful attempt is absorbed.
     let (_, seq_stats) = xor_image(&a, &b).unwrap();
     assert_eq!(stats.totals.iterations, seq_stats.totals.iterations);
+}
+
+// ---------------------------------------------------------------------------
+// Job-granularity drills on the shared multi-image executor.
+// ---------------------------------------------------------------------------
+
+fn seeded_pair(height: usize, seed: u64) -> (RleImage, RleImage) {
+    let params = GenParams::for_density(512, 0.3);
+    let a = RowGenerator::new(params, seed).next_image(height);
+    let b = errors::apply_errors_image(&a, &ErrorModel::fraction(0.05), seed ^ 0xFA18);
+    (a, b)
+}
+
+/// Drains one job through [`JobHandle::collect_next`], asserting the
+/// result-isolation invariant along the way: every collected ticket lies
+/// inside the handle's own `[lo, hi)` range. Returns the rows reassembled
+/// in ticket order.
+fn collect_job(handle: &JobHandle) -> Vec<RleRow> {
+    let (lo, hi) = handle.tickets();
+    let mut rows: Vec<Option<RleRow>> = vec![None; (hi - lo) as usize];
+    while let Some(outcome) = handle
+        .collect_next(None)
+        .expect("collect without a deadline cannot time out")
+    {
+        let ticket = outcome.ticket.id();
+        assert!(
+            (lo..hi).contains(&ticket),
+            "ticket {ticket} leaked into job {} (range {lo}..{hi})",
+            handle.id()
+        );
+        let slot = &mut rows[(ticket - lo) as usize];
+        assert!(slot.is_none(), "ticket {ticket} delivered twice");
+        *slot = Some(
+            outcome
+                .result
+                .expect("no faults exhaust the retry budget")
+                .0,
+        );
+    }
+    rows.into_iter()
+        .map(|r| r.expect("every ticket delivered exactly once"))
+        .collect()
+}
+
+#[test]
+fn worker_death_between_two_in_flight_jobs_recovers_both_in_isolation() {
+    quiet_injected_panics();
+    // Both jobs are submitted before either is collected, so their chunks
+    // interleave round-robin across the same shard set and the doomed
+    // worker processes chunks from both jobs. Ticket 3 belongs to job A
+    // (tickets 0..16): the worker dies mid-stream while job B's chunks
+    // are also live on the shards.
+    let (a1, b1) = seeded_pair(16, 0xD1E1);
+    let (a2, b2) = seeded_pair(16, 0xD1E2);
+    let executor = DiffExecutorConfig {
+        threads: 2,
+        fault_plan: Some(FaultPlan::new().die_on_row(3)),
+        ..DiffExecutorConfig::default()
+    }
+    .build();
+    let job_a = executor
+        .submit_pair(&Arc::new(a1.clone()), &Arc::new(b1.clone()))
+        .unwrap();
+    let job_b = executor
+        .submit_pair(&Arc::new(a2.clone()), &Arc::new(b2.clone()))
+        .unwrap();
+    assert_eq!(job_a.tickets(), (0, 16));
+    assert_eq!(job_b.tickets(), (16, 32));
+
+    // Collect the bystander first: it must complete bit-identically even
+    // though the respawn happens underneath it.
+    let got_b = collect_job(&job_b);
+    assert_eq!(got_b, xor_image(&a2, &b2).unwrap().0.rows());
+    let got_a = collect_job(&job_a);
+    assert_eq!(got_a, xor_image(&a1, &b1).unwrap().0.rows());
+
+    // The intervention is visible globally and charged per job: exactly
+    // one respawn, owned by whichever job's chunk the dead worker held.
+    let counters = executor.counters();
+    assert_eq!(counters.respawns, 1, "the dead thread was replaced");
+    assert!(counters.retries >= 1, "the orphaned chunk was re-enqueued");
+    let (sup_a, sup_b) = (job_a.supervision(), job_b.supervision());
+    assert_eq!(
+        sup_a.respawns + sup_b.respawns,
+        1,
+        "the respawn is charged to exactly one owner, not smeared: {sup_a:?} {sup_b:?}"
+    );
+    assert_eq!(counters.retries, sup_a.retries + sup_b.retries);
+    assert_eq!(executor.in_flight(), 0);
+    assert_eq!(executor.workers(), 2, "pool size restored");
+}
+
+#[test]
+fn fault_matrix_across_three_concurrent_jobs_stays_bit_identical() {
+    quiet_injected_panics();
+    // One fault of each flavour, each planted in a different job's ticket
+    // range: panic in job 0 (tickets 0..10), death in job 1 (10..20),
+    // poison in job 2 (20..30). All three jobs are in flight together.
+    let plan = FaultPlan::new()
+        .panic_on_row(3)
+        .die_on_row(14)
+        .poison_on_row(25);
+    let executor = DiffExecutorConfig {
+        threads: 3,
+        fault_plan: Some(plan),
+        ..DiffExecutorConfig::default()
+    }
+    .build();
+    let pairs: Vec<(RleImage, RleImage)> =
+        (0..3).map(|i| seeded_pair(10, 0xFA57 + i as u64)).collect();
+    let handles: Vec<JobHandle> = pairs
+        .iter()
+        .map(|(a, b)| {
+            executor
+                .submit_pair(&Arc::new(a.clone()), &Arc::new(b.clone()))
+                .unwrap()
+        })
+        .collect();
+    for (i, (handle, (a, b))) in handles.iter().zip(&pairs).enumerate() {
+        assert_eq!(handle.tickets(), (10 * i as u64, 10 * (i + 1) as u64));
+        let got = collect_job(handle);
+        assert_eq!(
+            got,
+            xor_image(a, b).unwrap().0.rows(),
+            "job {i} must survive its fault bit-identically"
+        );
+    }
+    let counters = executor.counters();
+    assert!(
+        counters.retries >= 2,
+        "panic + orphaned chunk: {counters:?}"
+    );
+    assert_eq!(counters.respawns, 1, "{counters:?}");
+    // Per-job attribution sums to the executor's totals.
+    let sup: Vec<SupervisionCounters> = handles.iter().map(JobHandle::supervision).collect();
+    assert_eq!(counters.retries, sup.iter().map(|s| s.retries).sum::<u64>());
+    assert_eq!(
+        counters.respawns,
+        sup.iter().map(|s| s.respawns).sum::<u64>()
+    );
+    // The panic was planted in job 0's range and charged there.
+    assert!(sup[0].retries >= 1, "{sup:?}");
+    assert_eq!(executor.in_flight(), 0);
+
+    // The pool is healthy afterwards: a clean job needs no interventions.
+    let (a, b) = seeded_pair(10, 0xC1EA);
+    let job = executor
+        .diff_pair(&Arc::new(a.clone()), &Arc::new(b.clone()), None)
+        .unwrap();
+    assert_eq!(job.image, xor_image(&a, &b).unwrap().0);
+    assert_eq!((job.stats.retries, job.stats.respawns), (0, 0));
 }
